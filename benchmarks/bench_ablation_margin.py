@@ -1,0 +1,70 @@
+"""Ablation — USTA activation margin and policy aggressiveness.
+
+The paper activates USTA 2 °C below the user's limit and steps the frequency
+cap down in three stages.  This ablation compares the paper's policy with a
+gentler and a more aggressive variant, plus a sweep of the activation margin,
+on the Skype workload with the default 37 °C limit.
+"""
+
+from conftest import print_section
+
+from repro.analysis.report import format_table
+from repro.core.policy import ThrottlePolicy
+from repro.sim.experiments import run_workload
+from repro.workloads import build_benchmark
+
+MARGINS_C = (1.0, 2.0, 3.0, 4.0)
+
+
+def bench_ablation_policy_and_margin(benchmark, context, bench_scale):
+    """Compare throttle policies and activation margins on the Skype workload."""
+    duration_s = 30 * 60 * bench_scale
+    trace = build_benchmark("skype", seed=0, duration_s=duration_s)
+
+    policies = {
+        "paper (2.0 C)": ThrottlePolicy.paper_default(),
+        "gentle (1.0 C)": ThrottlePolicy.gentle(),
+        "aggressive (3.0 C)": ThrottlePolicy.aggressive(),
+    }
+    policies.update(
+        {f"margin {margin:.0f} C": ThrottlePolicy.with_activation_margin(margin) for margin in MARGINS_C}
+    )
+
+    def run():
+        results = {"baseline (no USTA)": run_workload(trace, governor="ondemand", seed=0)}
+        for label, policy in policies.items():
+            usta = context.usta_for_limit(37.0, policy=policy)
+            results[label] = run_workload(trace, governor="ondemand", thermal_manager=usta, seed=0)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            label,
+            f"{result.max_skin_temp_c:.1f}",
+            f"{result.percent_time_over(37.0):.1f}",
+            f"{result.average_frequency_ghz:.2f}",
+            f"{result.throughput_ratio:.2f}",
+        ]
+        for label, result in results.items()
+    ]
+    print_section(
+        "Ablation — throttle policy / activation margin (Skype, limit 37 C)",
+        format_table(["policy", "max skin (C)", "% over 37 C", "avg freq (GHz)", "throughput"], rows),
+    )
+
+    baseline = results["baseline (no USTA)"]
+    paper = results["paper (2.0 C)"]
+    aggressive = results["aggressive (3.0 C)"]
+    gentle = results["gentle (1.0 C)"]
+
+    # Every USTA variant improves on the uncontrolled baseline peak.
+    for label, result in results.items():
+        if label != "baseline (no USTA)":
+            assert result.max_skin_temp_c <= baseline.max_skin_temp_c + 0.2, label
+    # Earlier activation throttles at least as hard (lower or equal average frequency).
+    assert aggressive.average_frequency_ghz <= paper.average_frequency_ghz + 0.05
+    assert paper.average_frequency_ghz <= gentle.average_frequency_ghz + 0.25
+    # The gentler policy trades a hotter peak for more preserved performance.
+    assert gentle.throughput_ratio >= aggressive.throughput_ratio - 0.05

@@ -1,0 +1,69 @@
+"""Ablation — which learner drives USTA.
+
+The paper deploys REPTree because it trains fast and predicts cheaply, noting
+M5P is marginally more accurate.  This ablation puts each of the four learners
+in USTA's loop and compares the resulting thermal control on the Skype
+workload, plus the time it takes to train each model (the paper's reason for
+choosing REPTree).
+"""
+
+import time
+
+from conftest import print_section
+
+from repro.analysis.report import format_table
+from repro.core.pipeline import PAPER_MODEL_NAMES, train_runtime_predictor
+from repro.core.usta import USTAController
+from repro.sim.experiments import run_workload
+from repro.workloads import build_benchmark
+
+
+def bench_ablation_predictor_model(benchmark, context, bench_scale):
+    """Swap the predictor family inside USTA and compare control quality."""
+    duration_s = 30 * 60 * bench_scale
+    trace = build_benchmark("skype", seed=0, duration_s=duration_s)
+
+    def run():
+        results = {}
+        for model_name in PAPER_MODEL_NAMES:
+            start = time.perf_counter()
+            predictor = train_runtime_predictor(
+                context.training_data, model_name=model_name, seed=context.seed
+            )
+            train_time = time.perf_counter() - start
+            usta = USTAController(predictor=predictor, skin_limit_c=37.0)
+            result = run_workload(trace, governor="ondemand", thermal_manager=usta, seed=0)
+            results[model_name] = (result, train_time)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = run_workload(trace, governor="ondemand", seed=0)
+
+    rows = [
+        [
+            name,
+            f"{result.max_skin_temp_c:.1f}",
+            f"{result.percent_time_over(37.0):.1f}",
+            f"{result.average_frequency_ghz:.2f}",
+            f"{train_time:.2f}",
+        ]
+        for name, (result, train_time) in results.items()
+    ]
+    rows.append(
+        ["baseline (no USTA)", f"{baseline.max_skin_temp_c:.1f}", f"{baseline.percent_time_over(37.0):.1f}",
+         f"{baseline.average_frequency_ghz:.2f}", "-"]
+    )
+    print_section(
+        "Ablation — predictor family inside USTA (Skype, limit 37 C)",
+        format_table(["model", "max skin (C)", "% over 37 C", "avg freq (GHz)", "train time (s)"], rows),
+    )
+
+    # No learner makes the device run hotter than the baseline.
+    for name, (result, _) in results.items():
+        assert result.max_skin_temp_c <= baseline.max_skin_temp_c + 0.2, name
+    if bench_scale >= 0.8:
+        # Every learner is accurate enough for USTA to beat the baseline peak.
+        for name, (result, _) in results.items():
+            assert result.max_skin_temp_c < baseline.max_skin_temp_c, name
+    # The paper's deployment argument: REPTree trains faster than the MLP.
+    assert results["reptree"][1] < results["multilayer_perceptron"][1]

@@ -1,0 +1,59 @@
+"""Ablation — USTA prediction period.
+
+The paper runs the prediction every 3 seconds and notes the overhead could be
+reduced by predicting less often.  This ablation sweeps the prediction period
+on the Skype workload and reports the trade-off: longer periods mean fewer
+predictions (lower overhead) but a slower reaction to temperature ramps.
+"""
+
+from conftest import print_section
+
+from repro.analysis.report import format_table
+from repro.sim.experiments import run_workload
+from repro.workloads import build_benchmark
+
+PERIODS_S = (1.0, 3.0, 10.0, 30.0)
+
+
+def bench_ablation_prediction_period(benchmark, context, bench_scale):
+    """Sweep USTA's prediction period on the Skype workload."""
+    duration_s = 30 * 60 * bench_scale
+    trace = build_benchmark("skype", seed=0, duration_s=duration_s)
+
+    def run():
+        results = {}
+        for period in PERIODS_S:
+            usta = context.usta_for_limit(37.0, prediction_period_s=period)
+            results[period] = (
+                run_workload(trace, governor="ondemand", thermal_manager=usta, seed=0),
+                usta.prediction_count,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for period, (result, predictions) in sorted(results.items()):
+        rows.append(
+            [
+                f"{period:.0f}",
+                f"{result.max_skin_temp_c:.1f}",
+                f"{result.percent_time_over(37.0):.1f}",
+                f"{result.average_frequency_ghz:.2f}",
+                str(predictions),
+            ]
+        )
+    print_section(
+        "Ablation — prediction period (Skype, USTA @ 37 C)",
+        format_table(
+            ["period (s)", "max skin (C)", "% over 37 C", "avg freq (GHz)", "predictions"], rows
+        ),
+    )
+
+    # More frequent prediction means more predictions were made...
+    counts = [results[p][1] for p in sorted(results)]
+    assert counts == sorted(counts, reverse=True)
+    # ...and every period still keeps the peak below the uncontrolled baseline.
+    baseline = run_workload(trace, governor="ondemand", seed=0)
+    for period, (result, _) in results.items():
+        assert result.max_skin_temp_c <= baseline.max_skin_temp_c + 0.3, period

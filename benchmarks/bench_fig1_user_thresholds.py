@@ -1,0 +1,35 @@
+"""Figure 1 — per-user skin/screen comfort thresholds.
+
+Reproduces the comfort-threshold study: the ten participants hold the phone
+while the AnTuTu Tester stress workload runs under the baseline governor, and
+each reports the moment the skin temperature crosses their personal limit.
+"""
+
+from conftest import print_section
+
+from repro.analysis import PAPER_USER_STUDY_RANGE_C, figure1_user_thresholds, render_figure1
+
+
+def bench_fig1_user_thresholds(benchmark, context, bench_scale):
+    """Regenerate Figure 1 (comfort limits and discomfort onset times)."""
+    duration_s = 45 * 60 * bench_scale
+
+    def run():
+        return figure1_user_thresholds(context, duration_s=duration_s)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_section("Figure 1 — individual comfort limits (skin / screen)", render_figure1(rows))
+
+    # The population spans the paper's reported range with a 37 C average.
+    limits = [row.skin_limit_c for row in rows]
+    assert min(limits) == PAPER_USER_STUDY_RANGE_C[0]
+    assert max(limits) == PAPER_USER_STUDY_RANGE_C[1]
+    assert abs(sum(limits) / len(limits) - 37.0) < 0.1
+
+    # The stress workload makes at least the less tolerant half of the users
+    # uncomfortable, and more tolerant users take longer to get there.
+    onsets = {row.user_id: row.onset_time_s for row in rows}
+    uncomfortable = [uid for uid, onset in onsets.items() if onset is not None]
+    assert len(uncomfortable) >= 5
+    if onsets.get("f") is not None and onsets.get("a") is not None:
+        assert onsets["f"] <= onsets["a"]

@@ -1,0 +1,38 @@
+"""Figure 3 — prediction error of the four candidate learners.
+
+Reproduces the 10-fold cross-validation comparison of linear regression, the
+multilayer perceptron, M5P and REPTree on the pooled global dataset, for both
+the skin and the screen temperature targets, plus the 1 °C-deadband variant.
+"""
+
+from conftest import print_section
+
+from repro.analysis import PAPER_FIG3_ERROR_RATES, figure3_prediction_errors, render_figure3
+
+
+def bench_fig3_prediction_error(benchmark, context):
+    """Regenerate Figure 3 (cross-validated error rates of the four learners)."""
+
+    def run():
+        return figure3_prediction_errors(context, folds=10)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    body = render_figure3(rows)
+    body += "\npaper reference: REPTree 0.95% / 0.86%, M5P 0.96% / 0.89% (skin / screen)"
+    print_section("Figure 3 — average prediction error (10-fold cross-validation)", body)
+
+    by_model = {row.model_name: row for row in rows}
+    assert set(by_model) == set(PAPER_FIG3_ERROR_RATES)
+
+    # Shape checks from the paper: the tree learners are at least as accurate
+    # as linear regression, and every learner lands in the "highly accurate"
+    # regime (low single-digit percent error).
+    for tree in ("reptree", "m5p"):
+        assert by_model[tree].skin_error_rate_pct <= by_model["linear_regression"].skin_error_rate_pct + 0.05
+        assert by_model[tree].screen_error_rate_pct <= by_model["linear_regression"].screen_error_rate_pct + 0.05
+    for row in rows:
+        assert row.skin_error_rate_pct < 5.0
+        assert row.screen_error_rate_pct < 5.0
+        # The deadband variant can only lower the reported error.
+        assert row.skin_error_rate_deadband_pct <= row.skin_error_rate_pct + 1e-9
+        assert row.screen_error_rate_deadband_pct <= row.screen_error_rate_pct + 1e-9

@@ -1,0 +1,36 @@
+"""Figure 5 — satisfaction ratings of the blind baseline-vs-USTA study.
+
+Each participant "holds" the phone through a 30-minute Skype call under the
+baseline governor and another under USTA configured to their own comfort
+limit, then rates both sessions from 1 to 5.  The paper reports an average of
+4.0 for the baseline and 4.3 for USTA, with more users preferring USTA.
+"""
+
+from conftest import print_section
+
+from repro.analysis import PAPER_FIG5_MEAN_RATINGS, figure5_user_ratings, render_figure5
+
+
+def bench_fig5_user_ratings(benchmark, context, bench_scale):
+    """Regenerate Figure 5 (per-user ratings and preferences)."""
+    duration_s = 30 * 60 * bench_scale
+
+    def run():
+        return figure5_user_ratings(context, duration_s=duration_s)
+
+    rows, summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_section("Figure 5 — user ratings (baseline vs user-specific USTA)", render_figure5(rows, summary))
+
+    # Shape checks against the paper: every rating is on the 1-5 scale, USTA's
+    # mean rating is at least the baseline's, more users prefer USTA than the
+    # baseline, and several users see no difference at all.
+    assert all(1 <= row.baseline_rating <= 5 for row in rows)
+    assert all(1 <= row.usta_rating <= 5 for row in rows)
+    assert summary["mean_usta_rating"] >= summary["mean_baseline_rating"]
+    assert summary["prefer_usta"] >= summary["prefer_baseline"]
+    if bench_scale >= 0.8:
+        # Full-duration shape checks: several users see no difference and the
+        # means land in the same region the paper reports (4.0 / 4.3).
+        assert summary["no_difference"] >= 2
+        assert abs(summary["mean_baseline_rating"] - PAPER_FIG5_MEAN_RATINGS["baseline"]) <= 1.0
+        assert abs(summary["mean_usta_rating"] - PAPER_FIG5_MEAN_RATINGS["usta"]) <= 1.0

@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not a paper figure: these measure the cost of the building blocks (thermal
+step, platform step, full one-minute simulation, REPTree training) so
+regressions in the substrate's performance are visible over time.
+"""
+
+import numpy as np
+
+from repro.core.pipeline import train_runtime_predictor
+from repro.device.platform import DeviceActivity, DevicePlatform
+from repro.governors import OndemandGovernor
+from repro.sim.engine import Simulator
+from repro.thermal import ThermalSolver, build_nexus4_network
+from repro.workloads import WorkloadSample, WorkloadTrace
+
+
+def bench_thermal_step(benchmark):
+    """One implicit-Euler step of the Nexus 4 thermal network."""
+    network = build_nexus4_network()
+    solver = ThermalSolver(network)
+    power = {"cpu": 2.5, "screen": 0.5, "board": 0.6, "battery": 0.2}
+    benchmark(lambda: solver.step(1.0, power))
+
+
+def bench_platform_step(benchmark):
+    """One full device step (CPU + power + thermal + sensors)."""
+    platform = DevicePlatform(seed=0)
+    activity = DeviceActivity(cpu_demand=0.8, gpu_activity=0.3, radio_activity=0.5)
+    benchmark(lambda: platform.step(activity))
+
+
+def bench_one_minute_simulation(benchmark):
+    """Sixty simulated seconds of a heavy workload under ondemand."""
+    trace = WorkloadTrace.constant("minute", 60.0, WorkloadSample(cpu_demand=0.9))
+
+    def run():
+        platform = DevicePlatform(seed=0)
+        simulator = Simulator(platform=platform, governor=OndemandGovernor(table=platform.freq_table))
+        return simulator.run(trace)
+
+    result = benchmark(run)
+    assert len(result) == 60
+
+
+def bench_reptree_training(benchmark, context):
+    """Training the deployed REPTree on the pooled global dataset."""
+
+    def train():
+        return train_runtime_predictor(context.training_data, model_name="reptree", seed=0)
+
+    predictor = benchmark.pedantic(train, rounds=1, iterations=1)
+    assert predictor.skin_model.is_fitted
+
+
+def bench_predictor_batch_prediction(benchmark, context):
+    """Batch prediction over the whole training set (throughput check)."""
+    data = context.training_data.skin_dataset()
+
+    def predict():
+        return context.predictor.skin_model.predict(data.features)
+
+    predictions = benchmark(predict)
+    assert len(predictions) == len(data)
+    assert float(np.mean(np.abs(predictions - data.target))) < 1.0

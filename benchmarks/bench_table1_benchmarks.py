@@ -1,0 +1,41 @@
+"""Table 1 — max screen/skin temperature and average frequency, baseline vs USTA.
+
+Reproduces the paper's Table 1: all thirteen benchmarks are replayed under the
+baseline ondemand governor and under USTA configured for the default user's
+37 °C comfort limit.  The printed table lists the reproduced values with the
+paper's skin-temperature columns alongside.
+"""
+
+from conftest import print_section
+
+from repro.analysis import render_table1, reproduce_table1
+from repro.analysis.paper_data import PAPER_DEFAULT_LIMIT_C
+
+
+def bench_table1(benchmark, context, bench_scale):
+    """Regenerate Table 1 (one full pass over the thirteen benchmarks)."""
+
+    def run():
+        return reproduce_table1(context, duration_scale=bench_scale)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_section(
+        "Table 1 — maximum temperatures and average frequency (baseline vs USTA @ 37 C)",
+        render_table1(rows),
+    )
+
+    # Shape checks mirroring the paper's claim: wherever the baseline peak
+    # comes within 2 C of the limit, USTA reduces the peak skin temperature.
+    hot_rows = [row for row in rows if row.usta_should_act]
+    assert hot_rows, "at least some benchmarks must stress the default limit"
+    for row in hot_rows:
+        assert row.usta_max_skin_c <= row.baseline_max_skin_c + 0.2, row.benchmark
+
+    # USTA never *raises* the peak above the baseline on the remaining
+    # benchmarks either (it simply stays out of the way).
+    for row in rows:
+        assert row.usta_max_skin_c <= row.baseline_max_skin_c + 0.5, row.benchmark
+
+    # The hottest baseline benchmarks exceed the default user's limit, which is
+    # what motivates USTA in the first place.
+    assert max(row.baseline_max_skin_c for row in rows) > PAPER_DEFAULT_LIMIT_C

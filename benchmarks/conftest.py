@@ -1,0 +1,63 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the reproduced rows next to the paper's reported values.  The shared
+:class:`~repro.analysis.context.ReproductionContext` (benchmark data
+collection + predictor training) is built once per session.
+
+The workload-duration scale can be reduced for a quick pass::
+
+    REPRO_BENCH_SCALE=0.25 pytest benchmarks/ --benchmark-only
+
+The default scale of 1.0 replays the paper's full benchmark durations.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.context import ReproductionContext
+
+
+def _bench_scale() -> float:
+    try:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        scale = 1.0
+    return max(0.01, min(scale, 1.0))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Workload-duration scale used throughout the harness."""
+    return _bench_scale()
+
+
+@pytest.fixture(scope="session")
+def context(bench_scale) -> ReproductionContext:
+    """The shared reproduction context (training data + deployed predictor)."""
+    return ReproductionContext.build(seed=0, duration_scale=bench_scale)
+
+
+#: The reproduced tables/figures are also appended here, so the rows survive
+#: pytest's output capturing even when the harness is run without ``-s``.
+REPORT_PATH = os.path.join(os.path.dirname(__file__), "last_report.txt")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report(bench_scale):
+    """Start a fresh report file for every harness session."""
+    with open(REPORT_PATH, "w", encoding="utf-8") as handle:
+        handle.write(f"USTA reproduction benchmark report (duration scale {bench_scale})\n")
+    yield
+
+
+def print_section(title: str, body: str) -> None:
+    """Print one reproduced table/figure and append it to the report file."""
+    bar = "=" * max(20, len(title))
+    text = f"\n{bar}\n{title}\n{bar}\n{body}\n"
+    print(text, end="")
+    with open(REPORT_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,59 @@
+"""Quickstart: train the skin-temperature predictor and run USTA on a video call.
+
+This is the shortest end-to-end tour of the library:
+
+1. collect predictor training data by replaying (shortened) benchmarks on the
+   simulated, thermistor-instrumented Nexus 4;
+2. train the REPTree skin/screen temperature predictor (the model the paper
+   deploys);
+3. replay a Skype video call under the stock ondemand governor and under USTA
+   with the default 37 °C comfort limit, and compare the outcomes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import build_usta_controller, collect_training_data, train_runtime_predictor
+from repro.sim import run_workload
+from repro.workloads import build_benchmark
+
+# Scale the benchmark durations down so the example finishes in a few seconds.
+# Use DURATION_SCALE = 1.0 to replay the paper's full-length runs.
+DURATION_SCALE = 0.5
+SKIN_LIMIT_C = 37.0  # the paper's "default user" (average of the ten participants)
+
+
+def main() -> None:
+    print("1. collecting predictor training data from the benchmark suite ...")
+    data = collect_training_data(duration_scale=DURATION_SCALE, seed=0)
+    print(f"   logged {data.num_records} samples "
+          f"(features: CPU temp, battery temp, utilization, frequency)")
+
+    print("2. training the REPTree skin/screen temperature predictor ...")
+    predictor = train_runtime_predictor(data, model_name="reptree", seed=0)
+    print(f"   deployed model: {predictor.model_name}")
+
+    print("3. replaying a Skype video call under both DVFS configurations ...")
+    trace = build_benchmark("skype", seed=0, duration_s=30 * 60 * DURATION_SCALE)
+    baseline = run_workload(trace, governor="ondemand", seed=0)
+    usta = build_usta_controller(predictor, skin_limit_c=SKIN_LIMIT_C)
+    managed = run_workload(trace, governor="ondemand", thermal_manager=usta, seed=0)
+
+    print()
+    print(f"{'':24s}{'baseline':>12s}{'USTA':>12s}")
+    print(f"{'peak skin temp (C)':24s}{baseline.max_skin_temp_c:12.1f}{managed.max_skin_temp_c:12.1f}")
+    print(f"{'peak screen temp (C)':24s}{baseline.max_screen_temp_c:12.1f}{managed.max_screen_temp_c:12.1f}")
+    print(f"{'average freq (GHz)':24s}{baseline.average_frequency_ghz:12.2f}{managed.average_frequency_ghz:12.2f}")
+    print(f"{'% time over 37 C':24s}{baseline.percent_time_over(SKIN_LIMIT_C):12.1f}"
+          f"{managed.percent_time_over(SKIN_LIMIT_C):12.1f}")
+    print(f"{'throughput ratio':24s}{baseline.throughput_ratio:12.2f}{managed.throughput_ratio:12.2f}")
+    print()
+    reduction = baseline.max_skin_temp_c - managed.max_skin_temp_c
+    print(f"USTA reduced the peak skin temperature by {reduction:.1f} C "
+          f"(paper, full 30-minute call: 4.1 C) while the governor spent "
+          f"{managed.usta_active_fraction * 100:.0f}% of the run with a frequency cap installed.")
+
+
+if __name__ == "__main__":
+    main()

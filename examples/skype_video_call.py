@@ -1,0 +1,53 @@
+"""Reproduce the paper's headline experiment: the half-hour Skype video call.
+
+This example regenerates the content of Figure 4 (temperature traces under the
+baseline ondemand governor and under USTA) plus the Skype column of Table 1,
+and prints the traces as a text table.
+
+Run with::
+
+    python examples/skype_video_call.py            # full 30-minute call
+    python examples/skype_video_call.py --quick    # 10-minute version
+"""
+
+import argparse
+
+from repro.analysis import ReproductionContext, figure4_skype_traces, render_figure4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="run a shortened 10-minute call")
+    parser.add_argument("--limit", type=float, default=37.0, help="skin comfort limit in C")
+    parser.add_argument(
+        "--train-scale",
+        type=float,
+        default=1.0,
+        help="duration scale for predictor training data collection",
+    )
+    args = parser.parse_args()
+
+    duration_s = 10 * 60 if args.quick else 30 * 60
+
+    print("building the reproduction context (benchmark replay + predictor training) ...")
+    context = ReproductionContext.build(seed=0, duration_scale=args.train_scale)
+    print(f"  {context.training_data.num_records} training records, "
+          f"deployed model: {context.predictor.model_name}")
+
+    print(f"replaying a {duration_s // 60}-minute Skype call, limit {args.limit:.1f} C ...\n")
+    series = figure4_skype_traces(context, duration_s=duration_s, limit_c=args.limit)
+
+    print(render_figure4(series, every_s=max(60.0, duration_s / 12)))
+    print()
+    print("Table 1, Skype column (this reproduction):")
+    print(f"  baseline: max screen {series.baseline.max_screen_temp_c:.1f} C, "
+          f"max skin {series.baseline.max_skin_temp_c:.1f} C, "
+          f"avg freq {series.baseline.average_frequency_ghz:.2f} GHz")
+    print(f"  USTA:     max screen {series.usta.max_screen_temp_c:.1f} C, "
+          f"max skin {series.usta.max_skin_temp_c:.1f} C, "
+          f"avg freq {series.usta.average_frequency_ghz:.2f} GHz")
+    print(f"  (paper:   baseline 40.5 / 42.8 / 1.09, USTA 35.4 / 38.7 / 0.72)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Reproduce the two user studies of the paper.
+
+* **Comfort-threshold study (Figure 1):** the ten participants hold the phone
+  while the AnTuTu Tester stress application runs; each reports the moment the
+  skin temperature becomes unacceptable.
+* **Per-user exposure (Figure 2):** USTA is configured with each participant's
+  own limit (plus the 37 °C "default user") and a half-hour Skype call is
+  replayed; the study reports how much of the call is still spent above each
+  limit.
+* **Blind preference study (Figure 5):** each participant rates a baseline
+  session and a USTA session from 1 to 5 and states a preference.
+
+Run with::
+
+    python examples/user_study.py
+    python examples/user_study.py --scale 0.25      # quicker, shortened runs
+"""
+
+import argparse
+
+from repro.analysis import (
+    ReproductionContext,
+    figure1_user_thresholds,
+    figure2_time_over_threshold,
+    figure5_user_ratings,
+    render_figure1,
+    render_figure2,
+    render_figure5,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="duration scale for every run (1.0 = paper-length sessions)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("building the reproduction context ...")
+    context = ReproductionContext.build(seed=args.seed, duration_scale=args.scale)
+    population = context.population
+    print(f"  population: {len(population)} participants, skin limits "
+          f"{population.min_skin_limit_c:.1f}-{population.max_skin_limit_c:.1f} C "
+          f"(mean {population.mean_skin_limit_c:.1f} C)\n")
+
+    print("Figure 1 — comfort-threshold study (AnTuTu Tester, baseline governor)")
+    rows1 = figure1_user_thresholds(context, duration_s=45 * 60 * args.scale)
+    print(render_figure1(rows1))
+    print()
+
+    print("Figure 2 — % of the Skype call above each user's limit (USTA per user)")
+    rows2 = figure2_time_over_threshold(context, duration_s=30 * 60 * args.scale)
+    print(render_figure2(rows2))
+    print()
+
+    print("Figure 5 — blind preference study (baseline vs user-specific USTA)")
+    rows5, summary = figure5_user_ratings(context, duration_s=30 * 60 * args.scale)
+    print(render_figure5(rows5, summary))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``pip install -e . --no-use-pep517`` / ``python setup.py develop`` path
+on machines where PEP 517 editable installs are unavailable offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — reproduction of "User-specific Skin Temperature-aware DVFS for Smartphones".
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: the run-time skin/screen
+  temperature predictor and the USTA governor layer;
+* :mod:`repro.thermal` — compact RC thermal network of the handset;
+* :mod:`repro.device` — the simulated Nexus-4-class platform (DVFS table,
+  power model, battery, sensors);
+* :mod:`repro.governors` — cpufreq governors (ondemand baseline and friends);
+* :mod:`repro.workloads` — synthetic traces for the thirteen paper benchmarks;
+* :mod:`repro.ml` — from-scratch regressors replacing WEKA;
+* :mod:`repro.users` — the study population, comfort and satisfaction models;
+* :mod:`repro.sim` — the fixed-step simulation engine and experiment helpers;
+* :mod:`repro.analysis` — reproduction of Table 1 and Figures 1-5.
+
+Quickstart::
+
+    from repro.analysis import ReproductionContext, figure4_skype_traces
+
+    context = ReproductionContext.build(duration_scale=0.2)
+    fig4 = figure4_skype_traces(context, duration_s=600)
+    print(fig4.peak_skin_reduction_c)
+"""
+
+from .core import (
+    PredictionFeatures,
+    RuntimePredictor,
+    SkinScreenPrediction,
+    ThrottlePolicy,
+    USTAController,
+    build_usta_controller,
+    collect_training_data,
+    evaluate_prediction_models,
+    train_runtime_predictor,
+)
+from .device import DeviceActivity, DevicePlatform, nexus4_frequency_table
+from .governors import OndemandGovernor, create_governor
+from .sim import SimulationResult, Simulator, run_benchmark, run_workload
+from .users import ThermalComfortProfile, UserPopulation, paper_population
+from .workloads import BENCHMARK_NAMES, build_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PredictionFeatures",
+    "RuntimePredictor",
+    "SkinScreenPrediction",
+    "ThrottlePolicy",
+    "USTAController",
+    "build_usta_controller",
+    "collect_training_data",
+    "evaluate_prediction_models",
+    "train_runtime_predictor",
+    "DeviceActivity",
+    "DevicePlatform",
+    "nexus4_frequency_table",
+    "OndemandGovernor",
+    "create_governor",
+    "SimulationResult",
+    "Simulator",
+    "run_benchmark",
+    "run_workload",
+    "ThermalComfortProfile",
+    "UserPopulation",
+    "paper_population",
+    "BENCHMARK_NAMES",
+    "build_benchmark",
+    "__version__",
+]

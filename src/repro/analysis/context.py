@@ -1,0 +1,82 @@
+"""Shared experiment context.
+
+Reproducing the paper's figures requires a trained skin-temperature predictor
+and the user population; training the predictor means running the benchmark
+suite to collect data, which is the most expensive part of the pipeline.
+:class:`ReproductionContext` builds those shared pieces once and hands them to
+every table/figure function, and :func:`default_context` caches one instance
+per (seed, scale) so the benchmark harness does not retrain for every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from ..core.pipeline import (
+    TrainingData,
+    collect_training_data,
+    train_runtime_predictor,
+)
+from ..core.predictor import RuntimePredictor
+from ..core.usta import USTAController
+from ..users.population import ThermalComfortProfile, UserPopulation, paper_population
+
+__all__ = ["ReproductionContext", "default_context"]
+
+
+@dataclass
+class ReproductionContext:
+    """Everything the paper-reproduction experiments share.
+
+    Attributes:
+        predictor: trained run-time skin/screen predictor.
+        training_data: the pooled dataset the predictor was trained on.
+        population: the ten-user study population.
+        seed: base seed used for workloads, sensors and fold assignment.
+        duration_scale: benchmark-duration scaling used when collecting the
+            training data (1.0 = the paper's full durations).
+    """
+
+    predictor: RuntimePredictor
+    training_data: TrainingData
+    population: UserPopulation
+    seed: int = 0
+    duration_scale: float = 1.0
+
+    @classmethod
+    def build(
+        cls,
+        seed: int = 0,
+        duration_scale: float = 1.0,
+        model_name: str = "reptree",
+    ) -> "ReproductionContext":
+        """Collect training data, train the predictor and assemble the context."""
+        data = collect_training_data(seed=seed, duration_scale=duration_scale)
+        predictor = train_runtime_predictor(data, model_name=model_name, seed=seed)
+        return cls(
+            predictor=predictor,
+            training_data=data,
+            population=paper_population(),
+            seed=seed,
+            duration_scale=duration_scale,
+        )
+
+    def usta_for_limit(self, skin_limit_c: float, **kwargs) -> USTAController:
+        """A USTA controller enforcing an explicit comfort limit."""
+        return USTAController(predictor=self.predictor, skin_limit_c=skin_limit_c, **kwargs)
+
+    def usta_for_user(self, profile: ThermalComfortProfile, **kwargs) -> USTAController:
+        """A USTA controller configured for one study participant."""
+        return USTAController.for_user(self.predictor, profile, **kwargs)
+
+    def usta_default(self, **kwargs) -> USTAController:
+        """USTA configured for the default (population-average) user."""
+        return self.usta_for_limit(self.population.default_user().skin_limit_c, **kwargs)
+
+
+@lru_cache(maxsize=4)
+def default_context(seed: int = 0, duration_scale: float = 1.0) -> ReproductionContext:
+    """A cached shared context (training runs once per (seed, scale) pair)."""
+    return ReproductionContext.build(seed=seed, duration_scale=duration_scale)

@@ -1,0 +1,96 @@
+"""The paper's reported numbers, kept verbatim for comparison.
+
+These constants are *reference values transcribed from the paper*, used only
+to (a) fill the "paper" columns of EXPERIMENTS.md and the benchmark output and
+(b) check the *shape* of the reproduction (orderings, winners, approximate
+magnitudes).  The simulator is not expected to match them exactly — the
+authors measured a physical Nexus 4, we measure a calibrated compact model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "PaperTable1Row",
+    "PAPER_TABLE1",
+    "PAPER_FIG3_ERROR_RATES",
+    "PAPER_FIG3_DEADBAND_ERROR_RATES",
+    "PAPER_FIG2_DEFAULT_USER_PCT",
+    "PAPER_FIG4_PEAK_REDUCTION_C",
+    "PAPER_FIG5_MEAN_RATINGS",
+    "PAPER_DEFAULT_LIMIT_C",
+    "PAPER_USER_STUDY_RANGE_C",
+    "PAPER_PREDICTION_OVERHEAD_MS",
+]
+
+#: USTA's default comfort limit: the average of the ten users' reported limits.
+PAPER_DEFAULT_LIMIT_C = 37.0
+
+#: The spread of skin-temperature comfort limits reported in Figure 1.
+PAPER_USER_STUDY_RANGE_C: Tuple[float, float] = (34.0, 42.8)
+
+#: For the default user, the fraction of the 30-minute Skype call spent above
+#: the comfort limit (Figure 2).
+PAPER_FIG2_DEFAULT_USER_PCT = 15.6
+
+#: Peak skin-temperature reduction of USTA vs baseline on the Skype call (Figure 4).
+PAPER_FIG4_PEAK_REDUCTION_C = 4.1
+
+#: Average error rates (%) of the four learners, 10-fold CV on the global set (Figure 3).
+PAPER_FIG3_ERROR_RATES: Dict[str, Dict[str, float]] = {
+    "linear_regression": {"skin": 2.5, "screen": 2.3},
+    "multilayer_perceptron": {"skin": 2.3, "screen": 2.1},
+    "m5p": {"skin": 0.96, "screen": 0.89},
+    "reptree": {"skin": 0.95, "screen": 0.86},
+}
+
+#: Error rates (%) once sub-1 °C differences are ignored (M5P wins this variant).
+PAPER_FIG3_DEADBAND_ERROR_RATES: Dict[str, Dict[str, float]] = {
+    "m5p": {"skin": 0.26, "screen": 0.17},
+}
+
+#: Mean satisfaction ratings of the preference study (Figure 5).
+PAPER_FIG5_MEAN_RATINGS: Dict[str, float] = {"baseline": 4.0, "usta": 4.3}
+
+#: Run-time prediction overhead reported in §IV.A (milliseconds per window).
+PAPER_PREDICTION_OVERHEAD_MS: Dict[str, float] = {
+    "skin": 5.603,
+    "screen": 6.708,
+    "total": 12.383,
+}
+
+
+@dataclass(frozen=True)
+class PaperTable1Row:
+    """One benchmark column of the paper's Table 1."""
+
+    benchmark: str
+    baseline_max_screen_c: float
+    baseline_max_skin_c: float
+    baseline_avg_freq_ghz: float
+    usta_max_screen_c: float
+    usta_max_skin_c: float
+    usta_avg_freq_ghz: float
+
+
+#: Table 1 as printed in the paper (USTA limit = 37 °C, the default user).
+PAPER_TABLE1: Dict[str, PaperTable1Row] = {
+    row.benchmark: row
+    for row in (
+        PaperTable1Row("antutu_cpu", 33.4, 37.9, 1.04, 31.7, 35.1, 1.22),
+        PaperTable1Row("antutu_cpu_gpu_ram", 32.5, 36.3, 1.01, 31.4, 35.1, 0.91),
+        PaperTable1Row("antutu_user_exp", 28.5, 31.9, 1.22, 29.2, 32.7, 1.05),
+        PaperTable1Row("antutu_full", 30.5, 34.0, 1.11, 31.5, 34.0, 0.99),
+        PaperTable1Row("antutu_cpu_long", 35.1, 39.3, 1.09, 34.9, 38.8, 0.69),
+        PaperTable1Row("antutu_tester", 34.3, 42.8, 1.16, 34.9, 41.1, 0.89),
+        PaperTable1Row("gfxbench", 26.3, 29.3, 0.85, 28.5, 34.8, 1.16),
+        PaperTable1Row("vellamo", 28.6, 31.0, 0.97, 29.7, 32.1, 0.96),
+        PaperTable1Row("skype", 40.5, 42.8, 1.09, 35.4, 38.7, 0.72),
+        PaperTable1Row("youtube", 28.0, 30.4, 0.80, 30.0, 32.9, 0.64),
+        PaperTable1Row("record", 32.8, 37.1, 0.86, 32.5, 36.6, 0.81),
+        PaperTable1Row("charging", 29.0, 31.7, 0.45, 29.9, 32.3, 0.39),
+        PaperTable1Row("game", 33.3, 36.6, 1.14, 31.7, 35.1, 0.63),
+    )
+}

@@ -1,0 +1,149 @@
+"""Plain-text rendering of the reproduced tables and figure series.
+
+The benchmark harness and the CLI print these renderings so the reproduced
+rows can be compared against the paper's at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .figures import Figure1Row, Figure2Row, Figure3Row, Figure4Series, Figure5Row
+from .table1 import Table1Row
+
+__all__ = [
+    "format_table",
+    "render_table1",
+    "render_figure1",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Render the reproduced Table 1 (with the paper's values alongside)."""
+    headers = [
+        "benchmark",
+        "base screen",
+        "base skin",
+        "base GHz",
+        "USTA screen",
+        "USTA skin",
+        "USTA GHz",
+        "paper base skin",
+        "paper USTA skin",
+    ]
+    body = []
+    for row in rows:
+        body.append(
+            [
+                row.benchmark,
+                f"{row.baseline_max_screen_c:.1f}",
+                f"{row.baseline_max_skin_c:.1f}",
+                f"{row.baseline_avg_freq_ghz:.2f}",
+                f"{row.usta_max_screen_c:.1f}",
+                f"{row.usta_max_skin_c:.1f}",
+                f"{row.usta_avg_freq_ghz:.2f}",
+                f"{row.paper.baseline_max_skin_c:.1f}" if row.paper else "-",
+                f"{row.paper.usta_max_skin_c:.1f}" if row.paper else "-",
+            ]
+        )
+    return format_table(headers, body)
+
+
+def render_figure1(rows: Sequence[Figure1Row]) -> str:
+    """Render the per-user comfort-threshold study."""
+    headers = ["user", "skin limit (C)", "screen limit (C)", "discomfort onset (min)"]
+    body = []
+    for row in rows:
+        onset = "-" if row.onset_time_s is None else f"{row.onset_time_s / 60.0:.1f}"
+        body.append([row.user_id, f"{row.skin_limit_c:.1f}", f"{row.screen_limit_c:.1f}", onset])
+    return format_table(headers, body)
+
+
+def render_figure2(rows: Sequence[Figure2Row]) -> str:
+    """Render the time-over-threshold series of Figure 2."""
+    headers = ["user", "skin limit (C)", "% time over limit"]
+    body = [
+        [row.user_id, f"{row.skin_limit_c:.1f}", f"{row.percent_time_over_limit:.1f}"]
+        for row in rows
+    ]
+    return format_table(headers, body)
+
+
+def render_figure3(rows: Sequence[Figure3Row]) -> str:
+    """Render the prediction-error comparison of Figure 3."""
+    headers = ["model", "skin err %", "screen err %", "skin err % (1C deadband)", "screen err % (1C deadband)"]
+    body = [
+        [
+            row.model_name,
+            f"{row.skin_error_rate_pct:.2f}",
+            f"{row.screen_error_rate_pct:.2f}",
+            f"{row.skin_error_rate_deadband_pct:.2f}",
+            f"{row.screen_error_rate_deadband_pct:.2f}",
+        ]
+        for row in rows
+    ]
+    return format_table(headers, body)
+
+
+def render_figure4(series: Figure4Series, every_s: float = 180.0) -> str:
+    """Render the down-sampled Skype temperature traces of Figure 4."""
+    headers = ["time (min)", "baseline skin", "USTA skin", "baseline screen", "USTA screen"]
+    body = [
+        [
+            f"{row['time_s'] / 60.0:.0f}",
+            f"{row['baseline_skin_c']:.1f}",
+            f"{row['usta_skin_c']:.1f}",
+            f"{row['baseline_screen_c']:.1f}",
+            f"{row['usta_screen_c']:.1f}",
+        ]
+        for row in series.sampled_series(every_s=every_s)
+    ]
+    table = format_table(headers, body)
+    footer = (
+        f"\npeak skin reduction: {series.peak_skin_reduction_c:.1f} C "
+        f"(paper: 4.1 C); average frequency reduction: "
+        f"{series.average_frequency_reduction_fraction * 100:.0f}% (paper: 34%)"
+    )
+    return table + footer
+
+
+def render_figure5(rows: Sequence[Figure5Row], summary: Dict[str, float]) -> str:
+    """Render the preference-study ratings of Figure 5."""
+    headers = ["user", "baseline rating", "USTA rating", "preference", "USTA acted"]
+    body = [
+        [
+            row.user_id,
+            str(row.baseline_rating),
+            str(row.usta_rating),
+            row.preference,
+            "yes" if row.usta_ever_active else "no",
+        ]
+        for row in rows
+    ]
+    table = format_table(headers, body)
+    footer = (
+        f"\nmean baseline rating: {summary['mean_baseline_rating']:.1f} (paper: 4.0); "
+        f"mean USTA rating: {summary['mean_usta_rating']:.1f} (paper: 4.3); "
+        f"prefer USTA: {summary['prefer_usta']:.0f}, prefer baseline: "
+        f"{summary['prefer_baseline']:.0f}, no difference: {summary['no_difference']:.0f}"
+    )
+    return table + footer

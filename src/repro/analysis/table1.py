@@ -1,0 +1,98 @@
+"""Reproduction of the paper's Table 1.
+
+For every one of the thirteen benchmarks the table reports the maximum screen
+temperature, the maximum skin temperature and the average CPU frequency, once
+under the baseline ondemand governor and once under USTA configured for the
+default user's 37 °C limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.experiments import run_workload
+from ..workloads.benchmarks import BENCHMARK_NAMES, BENCHMARKS, build_benchmark
+from .context import ReproductionContext
+from .paper_data import PAPER_DEFAULT_LIMIT_C, PAPER_TABLE1, PaperTable1Row
+
+__all__ = ["Table1Row", "reproduce_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One benchmark's measurements under the baseline governor and under USTA."""
+
+    benchmark: str
+    title: str
+    baseline_max_screen_c: float
+    baseline_max_skin_c: float
+    baseline_avg_freq_ghz: float
+    usta_max_screen_c: float
+    usta_max_skin_c: float
+    usta_avg_freq_ghz: float
+    paper: Optional[PaperTable1Row] = None
+
+    @property
+    def skin_reduction_c(self) -> float:
+        """How much USTA lowers the peak skin temperature."""
+        return self.baseline_max_skin_c - self.usta_max_skin_c
+
+    @property
+    def usta_should_act(self) -> bool:
+        """True when the baseline peak comes within 2 °C of the 37 °C limit.
+
+        The paper's claim: "In all applications where the temperature is
+        within 2 °C or exceeds this threshold for the default DVFS, USTA is
+        able to reduce the peak temperature."
+        """
+        return self.baseline_max_skin_c >= PAPER_DEFAULT_LIMIT_C - 2.0
+
+
+def reproduce_table1(
+    context: ReproductionContext,
+    benchmarks: Optional[Sequence[str]] = None,
+    duration_scale: float = 1.0,
+    skin_limit_c: float = PAPER_DEFAULT_LIMIT_C,
+) -> List[Table1Row]:
+    """Run every benchmark under both DVFS configurations and tabulate the results.
+
+    Args:
+        context: shared context (provides the trained predictor).
+        benchmarks: subset of benchmark names (all thirteen by default).
+        duration_scale: scale factor applied to every benchmark's duration
+            (1.0 reproduces the paper's run lengths; smaller values give a
+            faster, rougher table).
+        skin_limit_c: USTA's comfort limit (37 °C = the default user).
+    """
+    if duration_scale <= 0:
+        raise ValueError("duration_scale must be positive")
+    names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_NAMES
+
+    rows: List[Table1Row] = []
+    for index, name in enumerate(names):
+        spec = BENCHMARKS[name]
+        duration = spec.duration_s * duration_scale
+        trace = build_benchmark(name, seed=context.seed + index, duration_s=duration)
+
+        baseline = run_workload(trace, governor="ondemand", seed=context.seed + index)
+        usta = run_workload(
+            trace,
+            governor="ondemand",
+            thermal_manager=context.usta_for_limit(skin_limit_c),
+            seed=context.seed + index,
+        )
+        rows.append(
+            Table1Row(
+                benchmark=name,
+                title=spec.title,
+                baseline_max_screen_c=baseline.max_screen_temp_c,
+                baseline_max_skin_c=baseline.max_skin_temp_c,
+                baseline_avg_freq_ghz=baseline.average_frequency_ghz,
+                usta_max_screen_c=usta.max_screen_temp_c,
+                usta_max_skin_c=usta.max_skin_temp_c,
+                usta_avg_freq_ghz=usta.average_frequency_ghz,
+                paper=PAPER_TABLE1.get(name),
+            )
+        )
+    return rows

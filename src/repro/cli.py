@@ -1,0 +1,116 @@
+"""Command-line front end.
+
+``python -m repro`` (or the ``repro-usta`` console script) regenerates the
+paper's tables and figures from the command line::
+
+    repro-usta table1 --scale 0.25
+    repro-usta fig1
+    repro-usta fig2
+    repro-usta fig3
+    repro-usta fig4
+    repro-usta fig5
+    repro-usta all --scale 0.25
+
+``--scale`` shortens every benchmark proportionally (1.0 replays the paper's
+full durations; 0.25 gives a quick look).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    ReproductionContext,
+    figure1_user_thresholds,
+    figure2_time_over_threshold,
+    figure3_prediction_errors,
+    figure4_skype_traces,
+    figure5_user_ratings,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_table1,
+    reproduce_table1,
+)
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-usta",
+        description="Reproduce the tables and figures of the USTA (DATE 2015) paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which paper result to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="benchmark duration scale (1.0 = the paper's full durations)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--model",
+        default="reptree",
+        help="predictor model deployed inside USTA (reptree, m5p, linear_regression, ...)",
+    )
+    parser.add_argument(
+        "--folds", type=int, default=10, help="cross-validation folds for fig3"
+    )
+    return parser
+
+
+def _run_experiment(name: str, context: ReproductionContext, args: argparse.Namespace) -> str:
+    scale = args.scale
+    if name == "table1":
+        rows = reproduce_table1(context, duration_scale=scale)
+        return "Table 1 — max temperatures and average frequency\n" + render_table1(rows)
+    if name == "fig1":
+        rows = figure1_user_thresholds(context, duration_s=45 * 60 * scale)
+        return "Figure 1 — per-user comfort thresholds\n" + render_figure1(rows)
+    if name == "fig2":
+        rows = figure2_time_over_threshold(context, duration_s=30 * 60 * scale)
+        return "Figure 2 — % of the Skype call above each limit\n" + render_figure2(rows)
+    if name == "fig3":
+        rows = figure3_prediction_errors(context, folds=args.folds)
+        return "Figure 3 — prediction error of the four learners\n" + render_figure3(rows)
+    if name == "fig4":
+        series = figure4_skype_traces(context, duration_s=30 * 60 * scale)
+        return "Figure 4 — Skype temperature traces\n" + render_figure4(series)
+    if name == "fig5":
+        rows, summary = figure5_user_ratings(context, duration_s=30 * 60 * scale)
+        return "Figure 5 — user satisfaction ratings\n" + render_figure5(rows, summary)
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    print(f"building reproduction context (scale={args.scale}, model={args.model}) ...")
+    context = ReproductionContext.build(
+        seed=args.seed, duration_scale=args.scale, model_name=args.model
+    )
+    print(f"training data: {context.training_data.num_records} log records\n")
+
+    names: List[str] = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(_run_experiment(name, context, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

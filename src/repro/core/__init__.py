@@ -1,0 +1,32 @@
+"""The paper's contribution: skin-temperature prediction + the USTA DVFS layer."""
+
+from .pipeline import (
+    PAPER_MODEL_NAMES,
+    TrainingData,
+    build_usta_controller,
+    collect_training_data,
+    default_model_factories,
+    evaluate_prediction_models,
+    train_runtime_predictor,
+)
+from .policy import ThrottlePolicy, ThrottleStep
+from .predictor import PredictionFeatures, RuntimePredictor, SkinScreenPrediction
+from .screen_aware import ScreenAwareUSTAController
+from .usta import USTAController
+
+__all__ = [
+    "PAPER_MODEL_NAMES",
+    "TrainingData",
+    "build_usta_controller",
+    "collect_training_data",
+    "default_model_factories",
+    "evaluate_prediction_models",
+    "train_runtime_predictor",
+    "ThrottlePolicy",
+    "ThrottleStep",
+    "PredictionFeatures",
+    "RuntimePredictor",
+    "SkinScreenPrediction",
+    "USTAController",
+    "ScreenAwareUSTAController",
+]

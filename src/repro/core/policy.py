@@ -1,0 +1,149 @@
+"""USTA's frequency-throttling policy.
+
+From the paper (§III.B):
+
+    "USTA has a threshold for activation which is set to 2°C below the skin
+    temperature limit of the user.  If the difference between the predicted
+    skin temperature and the temperature limit is between 1°C and 2°C, the
+    maximum allowed CPU frequency is decreased by one level (...).  If the
+    difference between the prediction and the temperature limit is between
+    0.5°C and 1°C, then, the maximum allowed CPU frequency is decreased by two
+    levels.  Finally, if the prediction is closer than 0.5°C to the limit or
+    it is exceeding the limit, then, the maximum CPU frequency is set to the
+    minimum frequency level."
+
+:class:`ThrottlePolicy` encodes exactly those rules, parameterised so the
+ablation benchmarks can vary the margins and the step sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..device.freq_table import FrequencyTable
+
+__all__ = ["ThrottleStep", "ThrottlePolicy"]
+
+
+@dataclass(frozen=True)
+class ThrottleStep:
+    """One rule of the throttle policy.
+
+    Attributes:
+        margin_above_c: the rule applies while ``limit - prediction`` is
+            *less than* this margin (and at least the next rule's margin).
+        levels_below_max: how many levels below the maximum to cap the
+            frequency at; ``None`` means "cap at the minimum level".
+    """
+
+    margin_above_c: float
+    levels_below_max: Optional[int]
+
+
+@dataclass
+class ThrottlePolicy:
+    """Maps the predicted margin to the comfort limit onto a frequency cap.
+
+    The default steps are the paper's: activation at a 2 °C margin, one level
+    down inside 2 °C, two levels down inside 1 °C, minimum frequency inside
+    0.5 °C (or when the limit is exceeded).
+    """
+
+    steps: Tuple[ThrottleStep, ...] = (
+        ThrottleStep(margin_above_c=2.0, levels_below_max=1),
+        ThrottleStep(margin_above_c=1.0, levels_below_max=2),
+        ThrottleStep(margin_above_c=0.5, levels_below_max=None),
+    )
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a throttle policy needs at least one step")
+        margins = [s.margin_above_c for s in self.steps]
+        if margins != sorted(margins, reverse=True):
+            raise ValueError("steps must be ordered by strictly decreasing margin")
+        if len(set(margins)) != len(margins):
+            raise ValueError("step margins must be distinct")
+        for step in self.steps:
+            if step.levels_below_max is not None and step.levels_below_max < 0:
+                raise ValueError("levels_below_max must be non-negative or None")
+
+    @property
+    def activation_margin_c(self) -> float:
+        """USTA intervenes only when the prediction is within this margin of the limit."""
+        return self.steps[0].margin_above_c
+
+    def cap_for_margin(self, margin_c: float, table: FrequencyTable) -> Optional[int]:
+        """Frequency-level cap for a given margin ``limit - prediction``.
+
+        Returns ``None`` when no cap should be installed (the prediction is
+        comfortably below the activation threshold) and otherwise the highest
+        level the governor may select.
+        """
+        if margin_c >= self.activation_margin_c:
+            return None
+        # Walk the rules from the loosest margin to the tightest; the last rule
+        # whose margin the prediction has crossed wins.  Boundaries are
+        # inclusive on the hotter side (a margin of exactly 1.0 °C uses the
+        # two-level rule).
+        cap_levels: Optional[int] = self.steps[0].levels_below_max
+        for step in self.steps:
+            if margin_c <= step.margin_above_c:
+                cap_levels = step.levels_below_max
+            else:
+                break
+        if cap_levels is None:
+            return table.min_level
+        return table.clamp_level(table.max_level - cap_levels)
+
+    def cap_for_prediction(
+        self, predicted_skin_temp_c: float, limit_c: float, table: FrequencyTable
+    ) -> Optional[int]:
+        """Convenience wrapper taking the prediction and the limit directly."""
+        return self.cap_for_margin(limit_c - predicted_skin_temp_c, table)
+
+    # -- alternative policies for ablation studies -----------------------------------
+
+    @classmethod
+    def paper_default(cls) -> "ThrottlePolicy":
+        """The exact policy described in the paper."""
+        return cls()
+
+    @classmethod
+    def aggressive(cls) -> "ThrottlePolicy":
+        """Throttle earlier and harder (3 °C activation, bigger steps)."""
+        return cls(
+            steps=(
+                ThrottleStep(margin_above_c=3.0, levels_below_max=2),
+                ThrottleStep(margin_above_c=1.5, levels_below_max=4),
+                ThrottleStep(margin_above_c=0.75, levels_below_max=None),
+            )
+        )
+
+    @classmethod
+    def gentle(cls) -> "ThrottlePolicy":
+        """Throttle later and in smaller steps (1 °C activation)."""
+        return cls(
+            steps=(
+                ThrottleStep(margin_above_c=1.0, levels_below_max=1),
+                ThrottleStep(margin_above_c=0.5, levels_below_max=2),
+                ThrottleStep(margin_above_c=0.0, levels_below_max=4),
+            )
+        )
+
+    @classmethod
+    def with_activation_margin(cls, activation_margin_c: float) -> "ThrottlePolicy":
+        """The paper's step structure, scaled to a different activation margin.
+
+        Used by the margin-ablation benchmark: the three break points keep the
+        same proportions (100%, 50% and 25% of the activation margin).
+        """
+        if activation_margin_c <= 0:
+            raise ValueError("activation_margin_c must be positive")
+        return cls(
+            steps=(
+                ThrottleStep(margin_above_c=activation_margin_c, levels_below_max=1),
+                ThrottleStep(margin_above_c=activation_margin_c * 0.5, levels_below_max=2),
+                ThrottleStep(margin_above_c=activation_margin_c * 0.25, levels_below_max=None),
+            )
+        )

@@ -1,0 +1,156 @@
+"""Run-time skin and screen temperature predictor.
+
+The predictor is the piece USTA queries every 3 seconds: it takes the signals
+available on a stock phone — CPU temperature, battery temperature, CPU
+utilization and CPU frequency — and estimates the back-cover ("skin") and
+screen temperatures that would otherwise require external thermistors.
+
+The models behind it are the regressors of :mod:`repro.ml`; the paper deploys
+REPTree (fast to build, no halting) and notes M5P is slightly better once
+sub-1 °C errors are ignored.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ml.base import Regressor
+from ..sim.logger import FEATURE_NAMES
+
+__all__ = ["PredictionFeatures", "SkinScreenPrediction", "RuntimePredictor"]
+
+
+@dataclass(frozen=True)
+class PredictionFeatures:
+    """The on-device signals the predictor consumes."""
+
+    cpu_temp_c: float
+    battery_temp_c: float
+    utilization: float
+    frequency_khz: float
+
+    def as_vector(self) -> np.ndarray:
+        """Feature vector in the canonical column order used for training."""
+        return np.array(
+            [self.cpu_temp_c, self.battery_temp_c, self.utilization, self.frequency_khz],
+            dtype=float,
+        )
+
+    @classmethod
+    def from_readings(
+        cls,
+        sensor_readings: Mapping[str, float],
+        utilization: float,
+        frequency_khz: float,
+    ) -> "PredictionFeatures":
+        """Build features from the sensor suite's readings plus CPU state."""
+        return cls(
+            cpu_temp_c=float(sensor_readings["cpu"]),
+            battery_temp_c=float(sensor_readings["battery"]),
+            utilization=float(utilization),
+            frequency_khz=float(frequency_khz),
+        )
+
+
+@dataclass(frozen=True)
+class SkinScreenPrediction:
+    """One prediction of the exterior temperatures."""
+
+    skin_temp_c: float
+    screen_temp_c: Optional[float]
+    latency_s: float
+
+
+@dataclass
+class RuntimePredictor:
+    """Wraps the trained skin (and optionally screen) regression models.
+
+    Attributes:
+        skin_model: fitted regressor predicting the back-cover temperature.
+        screen_model: optional fitted regressor for the screen temperature
+            (the paper notes it can be predicted selectively, e.g. only during
+            phone calls, to save overhead).
+        feature_names: order of the feature columns the models were trained on.
+    """
+
+    skin_model: Regressor
+    screen_model: Optional[Regressor] = None
+    feature_names: Tuple[str, ...] = FEATURE_NAMES
+
+    def __post_init__(self) -> None:
+        if not self.skin_model.is_fitted:
+            raise ValueError("skin_model must be fitted")
+        if self.screen_model is not None and not self.screen_model.is_fitted:
+            raise ValueError("screen_model must be fitted when provided")
+        if tuple(self.feature_names) != FEATURE_NAMES:
+            raise ValueError(f"feature_names must be {FEATURE_NAMES}")
+
+    @property
+    def model_name(self) -> str:
+        """Name of the underlying skin model (e.g. ``"reptree"``)."""
+        return self.skin_model.name
+
+    def predict(self, features: PredictionFeatures, predict_screen: bool = True) -> SkinScreenPrediction:
+        """Predict the exterior temperatures from on-device signals.
+
+        Args:
+            features: the current on-device signals.
+            predict_screen: also predict the screen temperature when a screen
+                model is available (disable to halve the run-time cost, as the
+                paper suggests).
+        """
+        vector = features.as_vector().reshape(1, -1)
+        start = time.perf_counter()
+        skin = float(self.skin_model.predict(vector)[0])
+        screen: Optional[float] = None
+        if predict_screen and self.screen_model is not None:
+            screen = float(self.screen_model.predict(vector)[0])
+        latency = time.perf_counter() - start
+        return SkinScreenPrediction(skin_temp_c=skin, screen_temp_c=screen, latency_s=latency)
+
+    def predict_from_readings(
+        self,
+        sensor_readings: Mapping[str, float],
+        utilization: float,
+        frequency_khz: float,
+        predict_screen: bool = True,
+    ) -> SkinScreenPrediction:
+        """Predict directly from a sensor-suite reading dictionary."""
+        features = PredictionFeatures.from_readings(sensor_readings, utilization, frequency_khz)
+        return self.predict(features, predict_screen=predict_screen)
+
+    def measure_overhead(
+        self, features: Sequence[PredictionFeatures], repeats: int = 10
+    ) -> Dict[str, float]:
+        """Measure the prediction latency (the paper reports ~12 ms per window).
+
+        Returns mean per-prediction latency for the skin model alone and for
+        skin + screen together, in seconds.
+        """
+        if not features:
+            raise ValueError("need at least one feature sample to measure overhead")
+        vectors = np.vstack([f.as_vector() for f in features])
+
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for row in vectors:
+                self.skin_model.predict(row.reshape(1, -1))
+        skin_latency = (time.perf_counter() - start) / (repeats * len(features))
+
+        both_latency = skin_latency
+        if self.screen_model is not None:
+            start = time.perf_counter()
+            for _ in range(repeats):
+                for row in vectors:
+                    self.screen_model.predict(row.reshape(1, -1))
+            screen_latency = (time.perf_counter() - start) / (repeats * len(features))
+            both_latency = skin_latency + screen_latency
+
+        return {
+            "skin_latency_s": skin_latency,
+            "total_latency_s": both_latency,
+        }

@@ -1,0 +1,111 @@
+"""Screen-aware extension of USTA.
+
+The paper's comfort study (Fig. 1) records a *screen* comfort limit for every
+participant as well as the skin limit, and its predictor estimates both
+temperatures, but the published controller only acts on the skin temperature.
+This module implements the natural extension the paper leaves open: a
+controller that predicts both exterior temperatures every window and applies
+the throttle policy to whichever surface is closest to its own limit.
+
+It is exercised by the ``examples/custom_policy.py`` workflow and by the
+``bench_ablation_margin`` family of ablations; the default reproduction of the
+paper's figures continues to use the published skin-only controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.engine import ManagerDecision
+from ..users.population import ThermalComfortProfile
+from .predictor import PredictionFeatures, RuntimePredictor
+from .usta import USTAController
+
+__all__ = ["ScreenAwareUSTAController"]
+
+
+@dataclass
+class ScreenAwareUSTAController(USTAController):
+    """USTA variant that also enforces a screen-temperature limit.
+
+    Attributes:
+        screen_limit_c: the user's screen comfort limit (°C).  The governor cap
+            is the tighter of the skin-margin cap and the screen-margin cap.
+    """
+
+    screen_limit_c: float = 35.0
+
+    #: Name used in result labels ("usta-screen+ondemand").
+    name: str = "usta-screen"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 25.0 < self.screen_limit_c < 60.0:
+            raise ValueError("screen_limit_c must be a plausible screen-temperature limit")
+        if self.predictor.screen_model is None:
+            raise ValueError("ScreenAwareUSTAController needs a predictor with a screen model")
+        # The screen prediction is required every window, whatever the caller
+        # passed for predict_screen.
+        self.predict_screen = True
+
+    @classmethod
+    def for_user(
+        cls,
+        predictor: RuntimePredictor,
+        profile: ThermalComfortProfile,
+        **kwargs,
+    ) -> "ScreenAwareUSTAController":
+        """Configure the controller from both of a participant's limits."""
+        return cls(
+            predictor=predictor,
+            skin_limit_c=profile.skin_limit_c,
+            screen_limit_c=profile.screen_limit_c,
+            **kwargs,
+        )
+
+    def observe(
+        self,
+        time_s: float,
+        sensor_readings: Dict[str, float],
+        utilization: float,
+        frequency_khz: float,
+    ) -> ManagerDecision:
+        """Predict both surfaces and keep the tighter of the two caps."""
+        due = (
+            self._last_prediction_time is None
+            or time_s - self._last_prediction_time >= self.prediction_period_s - 1e-9
+        )
+        if due:
+            features = PredictionFeatures.from_readings(sensor_readings, utilization, frequency_khz)
+            prediction = self.predictor.predict(features, predict_screen=True)
+            self._last_prediction_time = time_s
+            self._last_prediction = prediction.skin_temp_c
+            self._last_screen_prediction = prediction.screen_temp_c
+            self._total_latency_s += prediction.latency_s
+            self._prediction_count += 1
+
+            skin_cap = self.policy.cap_for_prediction(
+                prediction.skin_temp_c, self.skin_limit_c, self.table
+            )
+            screen_cap: Optional[int] = None
+            if prediction.screen_temp_c is not None:
+                screen_cap = self.policy.cap_for_prediction(
+                    prediction.screen_temp_c, self.screen_limit_c, self.table
+                )
+            self._current_cap = self._tighter_cap(skin_cap, screen_cap)
+
+        return ManagerDecision(
+            level_cap=self._current_cap,
+            predicted_skin_temp_c=self._last_prediction,
+            predicted_screen_temp_c=self._last_screen_prediction,
+        )
+
+    @staticmethod
+    def _tighter_cap(skin_cap: Optional[int], screen_cap: Optional[int]) -> Optional[int]:
+        """The stricter (lower) of two optional level caps."""
+        if skin_cap is None:
+            return screen_cap
+        if screen_cap is None:
+            return skin_cap
+        return min(skin_cap, screen_cap)

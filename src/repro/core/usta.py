@@ -1,0 +1,156 @@
+"""USTA: the User-specific Skin Temperature-Aware DVFS controller.
+
+USTA sits on top of the baseline ondemand governor.  Every
+``prediction_period_s`` (3 s in the paper) it predicts the skin temperature
+from on-device signals and compares it against the user's comfort limit:
+
+* prediction more than 2 °C below the limit → USTA stays out of the way and
+  the ondemand governor optimises for power alone;
+* within 2 °C → the maximum allowed frequency is lowered by one level;
+* within 1 °C → lowered by two levels;
+* within 0.5 °C or above the limit → the maximum frequency is clamped to the
+  minimum level.
+
+The controller implements the :class:`~repro.sim.engine.ThermalManager`
+protocol, so it plugs directly into the simulation engine; on a real device
+the same logic would run in a userspace daemon writing
+``scaling_max_freq``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..device.freq_table import FrequencyTable, nexus4_frequency_table
+from ..sim.engine import ManagerDecision
+from ..users.population import ThermalComfortProfile
+from .policy import ThrottlePolicy
+from .predictor import PredictionFeatures, RuntimePredictor
+
+__all__ = ["USTAController"]
+
+
+@dataclass
+class USTAController:
+    """The skin-temperature-aware DVFS layer.
+
+    Attributes:
+        predictor: the trained run-time skin/screen temperature predictor.
+        skin_limit_c: the user's skin temperature comfort limit (°C); the paper
+            uses 37 °C for the "default" user and each participant's own limit
+            in the user-specific experiments.
+        policy: margin → frequency-cap rules (the paper's by default).
+        prediction_period_s: how often the prediction runs (3 s in the paper).
+        table: the platform's frequency table.
+        predict_screen: also predict the screen temperature at every window
+            (costs extra latency; USTA's control decision only needs the skin).
+    """
+
+    predictor: RuntimePredictor
+    skin_limit_c: float = 37.0
+    policy: ThrottlePolicy = field(default_factory=ThrottlePolicy)
+    prediction_period_s: float = 3.0
+    table: FrequencyTable = field(default_factory=nexus4_frequency_table)
+    predict_screen: bool = False
+
+    #: Name used in result labels ("usta+ondemand").
+    name: str = "usta"
+
+    def __post_init__(self) -> None:
+        if self.prediction_period_s <= 0:
+            raise ValueError("prediction_period_s must be positive")
+        if not 25.0 < self.skin_limit_c < 60.0:
+            raise ValueError("skin_limit_c must be a plausible skin-temperature limit")
+        self._last_prediction_time: Optional[float] = None
+        self._current_cap: Optional[int] = None
+        self._last_prediction: Optional[float] = None
+        self._last_screen_prediction: Optional[float] = None
+        self._total_latency_s: float = 0.0
+        self._prediction_count: int = 0
+
+    # -- configuration helpers ---------------------------------------------------------
+
+    @classmethod
+    def for_user(
+        cls,
+        predictor: RuntimePredictor,
+        profile: ThermalComfortProfile,
+        **kwargs,
+    ) -> "USTAController":
+        """Configure USTA for a specific user's comfort limit."""
+        return cls(predictor=predictor, skin_limit_c=profile.skin_limit_c, **kwargs)
+
+    @property
+    def activation_temp_c(self) -> float:
+        """Skin temperature above which USTA starts intervening."""
+        return self.skin_limit_c - self.policy.activation_margin_c
+
+    # -- run-time statistics --------------------------------------------------------------
+
+    @property
+    def prediction_count(self) -> int:
+        """Number of predictions performed since the last reset."""
+        return self._prediction_count
+
+    @property
+    def average_prediction_latency_s(self) -> float:
+        """Mean wall-clock latency per prediction (the paper's overhead metric)."""
+        if self._prediction_count == 0:
+            return 0.0
+        return self._total_latency_s / self._prediction_count
+
+    @property
+    def last_prediction_c(self) -> Optional[float]:
+        """Most recent skin-temperature prediction."""
+        return self._last_prediction
+
+    @property
+    def current_cap(self) -> Optional[int]:
+        """Currently requested frequency-level cap (``None`` = no cap)."""
+        return self._current_cap
+
+    # -- ThermalManager protocol ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear controller state before a new run."""
+        self._last_prediction_time = None
+        self._current_cap = None
+        self._last_prediction = None
+        self._last_screen_prediction = None
+        self._total_latency_s = 0.0
+        self._prediction_count = 0
+
+    def observe(
+        self,
+        time_s: float,
+        sensor_readings: Dict[str, float],
+        utilization: float,
+        frequency_khz: float,
+    ) -> ManagerDecision:
+        """Run the periodic skin-temperature check and return the desired cap.
+
+        Between prediction windows the previously decided cap is kept in
+        place; the prediction (and hence any change of the cap) happens every
+        ``prediction_period_s`` seconds.
+        """
+        due = (
+            self._last_prediction_time is None
+            or time_s - self._last_prediction_time >= self.prediction_period_s - 1e-9
+        )
+        if due:
+            features = PredictionFeatures.from_readings(sensor_readings, utilization, frequency_khz)
+            prediction = self.predictor.predict(features, predict_screen=self.predict_screen)
+            self._last_prediction_time = time_s
+            self._last_prediction = prediction.skin_temp_c
+            self._last_screen_prediction = prediction.screen_temp_c
+            self._total_latency_s += prediction.latency_s
+            self._prediction_count += 1
+            self._current_cap = self.policy.cap_for_prediction(
+                prediction.skin_temp_c, self.skin_limit_c, self.table
+            )
+        return ManagerDecision(
+            level_cap=self._current_cap,
+            predicted_skin_temp_c=self._last_prediction,
+            predicted_screen_temp_c=self._last_screen_prediction,
+        )

@@ -1,0 +1,129 @@
+"""CPU performance model.
+
+Workload traces specify *demand*: the fraction of the CPU's maximum-frequency
+capacity the application would like to consume in a window.  What the governor
+observes is *utilization at the current frequency*: when the clock is lowered,
+the same demand occupies a larger fraction of the available cycles (and may
+saturate, in which case work is left pending and perceived performance drops).
+
+This relationship is what couples DVFS decisions back into both the ondemand
+governor (utilization goes up when frequency goes down, so ondemand pushes
+back) and the user-visible performance metric reported in the evaluation
+(average frequency and throughput loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .freq_table import FrequencyTable, OperatingPoint, nexus4_frequency_table
+
+__all__ = ["CpuState", "Cpu"]
+
+
+@dataclass(frozen=True)
+class CpuState:
+    """Observable CPU state for one simulation window."""
+
+    level: int
+    frequency_khz: int
+    utilization: float
+    demand: float
+    delivered_work: float
+    pending_work: float
+
+    @property
+    def saturated(self) -> bool:
+        """True when the CPU could not serve all demanded work this window."""
+        return self.utilization >= 0.999
+
+
+@dataclass
+class Cpu:
+    """A single DVFS domain (the Nexus 4 scales all four Krait cores together).
+
+    Attributes:
+        table: frequency table of the platform.
+        level: current operating level index.
+        carry_over: whether unserved demand is carried into the next window
+            (models a backlog of work, which keeps utilization pinned at 100%
+            after heavy throttling until the backlog drains).
+        max_backlog: cap on accumulated backlog, expressed in windows of
+            full-speed work, to keep the model bounded.
+    """
+
+    table: FrequencyTable = field(default_factory=nexus4_frequency_table)
+    level: int = 0
+    carry_over: bool = True
+    max_backlog: float = 2.0
+
+    def __post_init__(self) -> None:
+        self.level = self.table.clamp_level(self.level)
+        self._backlog = 0.0
+
+    # -- frequency control ----------------------------------------------------
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        """The currently selected operating point."""
+        return self.table[self.level]
+
+    @property
+    def frequency_khz(self) -> int:
+        """Current clock frequency in kHz."""
+        return self.operating_point.frequency_khz
+
+    def set_level(self, level: int) -> None:
+        """Switch to a (clamped) operating level."""
+        self.level = self.table.clamp_level(level)
+
+    def set_frequency(self, frequency_khz: int) -> None:
+        """Switch to the level closest to ``frequency_khz``."""
+        self.level = self.table.level_of(frequency_khz)
+
+    # -- workload execution ---------------------------------------------------
+
+    @property
+    def backlog(self) -> float:
+        """Unserved demand carried over from previous windows (full-speed windows)."""
+        return self._backlog
+
+    def reset(self, level: int | None = None) -> None:
+        """Clear the backlog and optionally reset the operating level."""
+        self._backlog = 0.0
+        if level is not None:
+            self.set_level(level)
+
+    def run_window(self, demand: float, dt_s: float) -> CpuState:
+        """Execute one scheduling window.
+
+        Args:
+            demand: requested work as a fraction of *maximum-frequency*
+                capacity for this window, in [0, 1].
+            dt_s: window length in seconds (used only for bookkeeping; demand
+                is already normalised per window).
+
+        Returns:
+            A :class:`CpuState` snapshot with the utilization the governor will
+            observe and the work actually delivered.
+        """
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        demand = min(max(demand, 0.0), 1.0)
+        total_demand = demand + (self._backlog if self.carry_over else 0.0)
+
+        capacity = self.frequency_khz / self.table.max_frequency_khz
+        delivered = min(total_demand, capacity)
+        utilization = 0.0 if capacity <= 0 else min(1.0, total_demand / capacity)
+
+        leftover = max(0.0, total_demand - delivered)
+        self._backlog = min(leftover, self.max_backlog) if self.carry_over else 0.0
+
+        return CpuState(
+            level=self.level,
+            frequency_khz=self.frequency_khz,
+            utilization=utilization,
+            demand=demand,
+            delivered_work=delivered,
+            pending_work=self._backlog,
+        )

@@ -1,0 +1,218 @@
+"""Power models for the simulated smartphone platform.
+
+The thermal network is driven by heat dissipated in the SoC (CPU + GPU), the
+display and the battery.  This module turns architectural activity (CPU
+utilization, operating point, GPU activity, screen brightness, radio activity,
+charging current) into Watts.
+
+The model follows the standard decomposition used by mobile power simulators:
+
+* CPU dynamic power   ``P_dyn = C_eff * V^2 * f * util``
+* CPU leakage power   ``P_leak = P_leak0 * exp(k * (T_die - T_ref)) * V / V_ref``
+  (leakage grows exponentially with die temperature and roughly linearly with
+  supply voltage — the thermal feedback loop that makes sustained workloads
+  drift upward)
+* GPU power           activity-proportional with its own ceiling
+* Display power       base + brightness-proportional panel power
+* Radio power         activity-proportional (camera/streaming workloads keep the
+  modem/WiFi busy)
+* Battery/charger heat  conversion-loss fraction of the charging power plus an
+  I^2R discharge loss proportional to total platform draw
+
+Absolute magnitudes were chosen so that a fully loaded Nexus-4-class phone
+dissipates ≈3.5–4.5 W platform power, which reproduces the skin temperatures in
+the paper's Table 1 once fed through the calibrated thermal network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .freq_table import FrequencyTable, OperatingPoint, nexus4_frequency_table
+
+__all__ = [
+    "CpuPowerModel",
+    "GpuPowerModel",
+    "DisplayPowerModel",
+    "RadioPowerModel",
+    "ChargerPowerModel",
+    "PlatformPowerModel",
+    "PowerBreakdown",
+]
+
+
+@dataclass
+class CpuPowerModel:
+    """Dynamic + temperature-dependent leakage power of the application CPU.
+
+    Attributes:
+        effective_capacitance_f: lumped switched capacitance (Farads) per core
+            cluster; multiplied by V^2 * f * util for dynamic power.
+        leakage_at_ref_w: leakage power at the reference die temperature and
+            reference voltage.
+        leakage_temp_coeff: exponential temperature coefficient (1/°C) of
+            leakage; 0.02–0.04 is typical for 28 nm class silicon.
+        reference_temp_c: die temperature at which ``leakage_at_ref_w`` holds.
+        reference_voltage_v: voltage at which ``leakage_at_ref_w`` holds.
+        idle_power_w: uncore/rail floor that is burnt whenever the SoC is on.
+    """
+
+    effective_capacitance_f: float = 1.05e-9
+    leakage_at_ref_w: float = 0.18
+    leakage_temp_coeff: float = 0.025
+    reference_temp_c: float = 40.0
+    reference_voltage_v: float = 1.05
+    idle_power_w: float = 0.08
+
+    def dynamic_power(self, opp: OperatingPoint, utilization: float) -> float:
+        """Dynamic (switching) power in Watts at an operating point."""
+        utilization = min(max(utilization, 0.0), 1.0)
+        return (
+            self.effective_capacitance_f
+            * opp.voltage_v ** 2
+            * opp.frequency_hz
+            * utilization
+        )
+
+    def leakage_power(self, opp: OperatingPoint, die_temp_c: float) -> float:
+        """Temperature- and voltage-dependent leakage power in Watts."""
+        temp_factor = math.exp(self.leakage_temp_coeff * (die_temp_c - self.reference_temp_c))
+        voltage_factor = opp.voltage_v / self.reference_voltage_v
+        return self.leakage_at_ref_w * temp_factor * voltage_factor
+
+    def power(self, opp: OperatingPoint, utilization: float, die_temp_c: float) -> float:
+        """Total CPU power in Watts."""
+        return (
+            self.idle_power_w
+            + self.dynamic_power(opp, utilization)
+            + self.leakage_power(opp, die_temp_c)
+        )
+
+
+@dataclass
+class GpuPowerModel:
+    """Activity-proportional GPU (Adreno 320 class) power."""
+
+    max_power_w: float = 1.1
+    idle_power_w: float = 0.02
+
+    def power(self, gpu_activity: float) -> float:
+        """GPU power in Watts for an activity fraction in [0, 1]."""
+        gpu_activity = min(max(gpu_activity, 0.0), 1.0)
+        return self.idle_power_w + gpu_activity * (self.max_power_w - self.idle_power_w)
+
+
+@dataclass
+class DisplayPowerModel:
+    """LCD panel + backlight power.
+
+    The Nexus 4 has an IPS LCD whose power is dominated by the backlight and
+    therefore scales roughly linearly with brightness when the screen is on.
+    """
+
+    base_power_w: float = 0.20
+    max_backlight_power_w: float = 0.55
+
+    def power(self, screen_on: bool, brightness: float) -> float:
+        """Display power in Watts."""
+        if not screen_on:
+            return 0.0
+        brightness = min(max(brightness, 0.0), 1.0)
+        return self.base_power_w + brightness * self.max_backlight_power_w
+
+
+@dataclass
+class RadioPowerModel:
+    """Cellular/WiFi/camera subsystem power, activity proportional."""
+
+    max_power_w: float = 1.0
+    idle_power_w: float = 0.03
+
+    def power(self, radio_activity: float) -> float:
+        """Radio/camera power in Watts for an activity fraction in [0, 1]."""
+        radio_activity = min(max(radio_activity, 0.0), 1.0)
+        return self.idle_power_w + radio_activity * (self.max_power_w - self.idle_power_w)
+
+
+@dataclass
+class ChargerPowerModel:
+    """Heat generated inside the battery / charging circuitry.
+
+    Charging dissipates a conversion-loss fraction of the charge power in the
+    PMIC and cell; discharging dissipates I^2*R_internal, approximated as a
+    loss fraction of the platform draw.
+    """
+
+    charge_power_w: float = 5.0
+    charge_loss_fraction: float = 0.25
+    discharge_loss_fraction: float = 0.06
+
+    def heat(self, charging: bool, platform_draw_w: float) -> float:
+        """Battery-side heat in Watts."""
+        if charging:
+            return self.charge_power_w * self.charge_loss_fraction
+        return max(platform_draw_w, 0.0) * self.discharge_loss_fraction
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component platform power for one simulation step (Watts)."""
+
+    cpu_w: float
+    gpu_w: float
+    display_w: float
+    radio_w: float
+    battery_w: float
+
+    @property
+    def soc_w(self) -> float:
+        """Heat injected into the SoC die node (CPU + GPU)."""
+        return self.cpu_w + self.gpu_w
+
+    @property
+    def total_w(self) -> float:
+        """Total platform heat."""
+        return self.cpu_w + self.gpu_w + self.display_w + self.radio_w + self.battery_w
+
+
+@dataclass
+class PlatformPowerModel:
+    """Aggregates the component models into one platform-level evaluation."""
+
+    cpu: CpuPowerModel = field(default_factory=CpuPowerModel)
+    gpu: GpuPowerModel = field(default_factory=GpuPowerModel)
+    display: DisplayPowerModel = field(default_factory=DisplayPowerModel)
+    radio: RadioPowerModel = field(default_factory=RadioPowerModel)
+    charger: ChargerPowerModel = field(default_factory=ChargerPowerModel)
+
+    def evaluate(
+        self,
+        opp: OperatingPoint,
+        cpu_utilization: float,
+        die_temp_c: float,
+        gpu_activity: float = 0.0,
+        screen_on: bool = True,
+        brightness: float = 0.7,
+        radio_activity: float = 0.0,
+        charging: bool = False,
+    ) -> PowerBreakdown:
+        """Compute the per-component power breakdown for one activity sample."""
+        cpu_w = self.cpu.power(opp, cpu_utilization, die_temp_c)
+        gpu_w = self.gpu.power(gpu_activity)
+        display_w = self.display.power(screen_on, brightness)
+        radio_w = self.radio.power(radio_activity)
+        platform_draw = cpu_w + gpu_w + display_w + radio_w
+        battery_w = self.charger.heat(charging, platform_draw)
+        return PowerBreakdown(
+            cpu_w=cpu_w,
+            gpu_w=gpu_w,
+            display_w=display_w,
+            radio_w=radio_w,
+            battery_w=battery_w,
+        )
+
+    def max_cpu_power(self, table: FrequencyTable | None = None, die_temp_c: float = 70.0) -> float:
+        """Upper bound on CPU power (full utilization at the top frequency)."""
+        table = table or nexus4_frequency_table()
+        return self.cpu.power(table[table.max_level], 1.0, die_temp_c)

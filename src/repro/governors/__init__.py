@@ -1,0 +1,49 @@
+"""Linux/Android cpufreq governor substrate."""
+
+from typing import Dict, Optional, Type
+
+from ..device.freq_table import FrequencyTable
+from .base import Governor, GovernorObservation
+from .conservative import ConservativeGovernor
+from .ondemand import OndemandGovernor
+from .static import PerformanceGovernor, PowersaveGovernor, UserspaceGovernor
+
+__all__ = [
+    "Governor",
+    "GovernorObservation",
+    "OndemandGovernor",
+    "ConservativeGovernor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "UserspaceGovernor",
+    "GOVERNOR_REGISTRY",
+    "create_governor",
+]
+
+#: Registry of governor names → classes (mirrors /sys/devices/system/cpu/cpufreq).
+GOVERNOR_REGISTRY: Dict[str, Type[Governor]] = {
+    OndemandGovernor.name: OndemandGovernor,
+    ConservativeGovernor.name: ConservativeGovernor,
+    PerformanceGovernor.name: PerformanceGovernor,
+    PowersaveGovernor.name: PowersaveGovernor,
+    UserspaceGovernor.name: UserspaceGovernor,
+}
+
+
+def create_governor(name: str, table: Optional[FrequencyTable] = None, **kwargs) -> Governor:
+    """Instantiate a governor by its cpufreq name.
+
+    Args:
+        name: one of the keys of :data:`GOVERNOR_REGISTRY`.
+        table: frequency table for the target platform (Nexus 4 by default).
+        **kwargs: forwarded to the governor constructor.
+
+    Raises:
+        KeyError: for unknown governor names.
+    """
+    try:
+        cls = GOVERNOR_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(GOVERNOR_REGISTRY))
+        raise KeyError(f"unknown governor {name!r}; known governors: {known}") from None
+    return cls(table=table, **kwargs)

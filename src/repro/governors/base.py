@@ -1,0 +1,90 @@
+"""Governor interface.
+
+A *governor* decides, once per scheduling window, which DVFS operating level
+the CPU should use for the next window, based on what it observed during the
+previous window (primarily CPU utilization).  This mirrors the Linux cpufreq
+governor contract the paper builds on.
+
+Every governor also honours a *level cap*: an externally imposed ceiling on
+the maximum operating level.  The stock policies never set one; USTA works by
+installing and removing this cap, exactly as described in the paper ("the
+maximum allowed CPU frequency is decreased by one level / two levels / set to
+the minimum frequency level").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from ..device.freq_table import FrequencyTable, nexus4_frequency_table
+
+__all__ = ["GovernorObservation", "Governor"]
+
+
+@dataclass(frozen=True)
+class GovernorObservation:
+    """What the governor sees at the end of a scheduling window."""
+
+    utilization: float
+    current_level: int
+    time_s: float
+    dt_s: float
+
+
+class Governor(abc.ABC):
+    """Base class for DVFS governors.
+
+    Subclasses implement :meth:`_target_level`; the base class applies the
+    level cap and clamps the result into the legal range.
+    """
+
+    #: Human-readable governor name (mirrors the cpufreq sysfs names).
+    name: str = "base"
+
+    def __init__(self, table: Optional[FrequencyTable] = None):
+        self.table = table or nexus4_frequency_table()
+        self._level_cap: int = self.table.max_level
+
+    # -- level cap (what USTA manipulates) ---------------------------------------
+
+    @property
+    def level_cap(self) -> int:
+        """The highest operating level the governor may currently select."""
+        return self._level_cap
+
+    def set_level_cap(self, level: Optional[int]) -> None:
+        """Install a ceiling on the selectable level (``None`` removes it)."""
+        if level is None:
+            self._level_cap = self.table.max_level
+        else:
+            self._level_cap = self.table.clamp_level(level)
+
+    def clear_level_cap(self) -> None:
+        """Remove any installed ceiling."""
+        self._level_cap = self.table.max_level
+
+    @property
+    def is_capped(self) -> bool:
+        """True when an external ceiling below the top level is installed."""
+        return self._level_cap < self.table.max_level
+
+    # -- decision -----------------------------------------------------------------
+
+    def select_level(self, observation: GovernorObservation) -> int:
+        """Select the operating level for the next window (cap applied)."""
+        level = self._target_level(observation)
+        level = self.table.clamp_level(level)
+        return min(level, self._level_cap)
+
+    @abc.abstractmethod
+    def _target_level(self, observation: GovernorObservation) -> int:
+        """Return the uncapped target level for the next window."""
+
+    def reset(self) -> None:
+        """Reset any internal governor state (history, counters) and the cap."""
+        self._level_cap = self.table.max_level
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, cap={self._level_cap})"

@@ -1,0 +1,48 @@
+"""The Linux *conservative* governor.
+
+Like ondemand it tracks utilization, but it moves one step at a time in both
+directions instead of jumping to the maximum.  It is included as an additional
+comparison point / ablation baseline: a smoother governor heats the phone more
+slowly but also reacts more slowly to load, which brackets USTA's behaviour
+from the "gentle" side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..device.freq_table import FrequencyTable
+from .base import Governor, GovernorObservation
+
+__all__ = ["ConservativeGovernor"]
+
+
+class ConservativeGovernor(Governor):
+    """Step-at-a-time utilization governor."""
+
+    name = "conservative"
+
+    def __init__(
+        self,
+        table: Optional[FrequencyTable] = None,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.20,
+        step_levels: int = 1,
+    ):
+        super().__init__(table)
+        if not 0.0 < down_threshold < up_threshold <= 1.0:
+            raise ValueError("thresholds must satisfy 0 < down < up <= 1")
+        if step_levels < 1:
+            raise ValueError("step_levels must be at least 1")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.step_levels = step_levels
+
+    def _target_level(self, observation: GovernorObservation) -> int:
+        util = min(max(observation.utilization, 0.0), 1.0)
+        current = self.table.clamp_level(observation.current_level)
+        if util >= self.up_threshold:
+            return current + self.step_levels
+        if util <= self.down_threshold:
+            return current - self.step_levels
+        return current

@@ -1,0 +1,72 @@
+"""The Android/Linux *ondemand* governor — the paper's baseline DVFS.
+
+From the paper (§III.B):
+
+    "The baseline DVFS is the default Android on-demand governor and it scales
+    the frequency of the processor according to CPU utilization.  When
+    utilization is at the maximum, the frequency is also set at the maximum
+    level.  The reduction in frequency can be steep if the utilization is very
+    low or it could be in steps if the utilization is below a threshold
+    (around 80%), but above a minimum (around 20%)."
+
+The implementation follows the classic cpufreq ondemand algorithm:
+
+* utilization above ``up_threshold`` (80 %) → jump straight to the maximum
+  frequency;
+* utilization below ``down_threshold`` (20 %) → drop steeply, directly to the
+  frequency proportional to the load;
+* in between → step the frequency down gradually (one level per sampling
+  period) towards the load-proportional frequency, never below it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..device.freq_table import FrequencyTable
+from .base import Governor, GovernorObservation
+
+__all__ = ["OndemandGovernor"]
+
+
+class OndemandGovernor(Governor):
+    """Utilization-driven baseline governor (Android default)."""
+
+    name = "ondemand"
+
+    def __init__(
+        self,
+        table: Optional[FrequencyTable] = None,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.20,
+        down_step_levels: int = 1,
+    ):
+        super().__init__(table)
+        if not 0.0 < down_threshold < up_threshold <= 1.0:
+            raise ValueError("thresholds must satisfy 0 < down < up <= 1")
+        if down_step_levels < 1:
+            raise ValueError("down_step_levels must be at least 1")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.down_step_levels = down_step_levels
+
+    def _target_level(self, observation: GovernorObservation) -> int:
+        util = min(max(observation.utilization, 0.0), 1.0)
+        current = self.table.clamp_level(observation.current_level)
+
+        if util >= self.up_threshold:
+            # Busy: go straight to the top so the work finishes quickly.
+            return self.table.max_level
+
+        # The frequency that would serve this load with some headroom
+        # (cpufreq uses f_target = f_max * util / up_threshold).
+        proportional = self.table.scale_for_utilization(util / self.up_threshold)
+
+        if util <= self.down_threshold:
+            # Nearly idle: drop steeply, straight to the proportional frequency.
+            return proportional
+
+        # Moderate load: step down gradually, never below the proportional level.
+        if proportional < current:
+            return max(proportional, current - self.down_step_levels)
+        return proportional

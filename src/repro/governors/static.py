@@ -1,0 +1,59 @@
+"""Static cpufreq policies: performance, powersave and userspace.
+
+These are not evaluated in the paper but exist on every Android device and are
+useful as comparison points in the benchmark harness (a *performance* run gives
+the thermal worst case, *powersave* the floor).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..device.freq_table import FrequencyTable
+from .base import Governor, GovernorObservation
+
+__all__ = ["PerformanceGovernor", "PowersaveGovernor", "UserspaceGovernor"]
+
+
+class PerformanceGovernor(Governor):
+    """Always run at the highest allowed frequency."""
+
+    name = "performance"
+
+    def _target_level(self, observation: GovernorObservation) -> int:
+        return self.table.max_level
+
+
+class PowersaveGovernor(Governor):
+    """Always run at the lowest frequency."""
+
+    name = "powersave"
+
+    def _target_level(self, observation: GovernorObservation) -> int:
+        return self.table.min_level
+
+
+class UserspaceGovernor(Governor):
+    """Run at a fixed, user-selected frequency level."""
+
+    name = "userspace"
+
+    def __init__(self, table: Optional[FrequencyTable] = None, level: int = 0):
+        super().__init__(table)
+        self._requested_level = self.table.clamp_level(level)
+
+    @property
+    def requested_level(self) -> int:
+        """The level requested from userspace."""
+        return self._requested_level
+
+    def set_requested_level(self, level: int) -> None:
+        """Change the requested level."""
+        self._requested_level = self.table.clamp_level(level)
+
+    def set_requested_frequency(self, frequency_khz: int) -> None:
+        """Change the requested level by frequency."""
+        self._requested_level = self.table.level_of(frequency_khz)
+
+    def _target_level(self, observation: GovernorObservation) -> int:
+        return self._requested_level

@@ -1,0 +1,46 @@
+"""From-scratch ML substrate replacing the paper's use of WEKA.
+
+Four regressor families (matching the four WEKA algorithms the paper
+evaluates), a dataset container, the paper's error-rate metric and a k-fold
+cross-validation harness.
+"""
+
+from .base import MODEL_REGISTRY, Regressor, create_model, register_model
+from .crossval import CrossValidationResult, cross_validate, kfold_indices
+from .dataset import Dataset
+from .linear import LinearRegression
+from .m5p import M5ModelTree
+from .metrics import (
+    error_rate,
+    error_rate_with_deadband,
+    mean_absolute_error,
+    r2_score,
+    regression_report,
+    root_mean_squared_error,
+)
+from .mlp import MultilayerPerceptron
+from .reptree import RepTree
+from .splitting import SplitCandidate, find_best_split
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "Regressor",
+    "create_model",
+    "register_model",
+    "CrossValidationResult",
+    "cross_validate",
+    "kfold_indices",
+    "Dataset",
+    "LinearRegression",
+    "M5ModelTree",
+    "error_rate",
+    "error_rate_with_deadband",
+    "mean_absolute_error",
+    "r2_score",
+    "regression_report",
+    "root_mean_squared_error",
+    "MultilayerPerceptron",
+    "RepTree",
+    "SplitCandidate",
+    "find_best_split",
+]

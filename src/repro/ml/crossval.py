@@ -1,0 +1,116 @@
+"""K-fold cross validation, mirroring the paper's evaluation protocol.
+
+The paper trains a single global model on data from all benchmarks and
+evaluates it with WEKA's 10-fold cross-validation, collecting the expected and
+predicted values of every fold and computing the average error rate over all
+of them.  :func:`cross_validate` does exactly that: it returns the
+out-of-fold prediction for every instance, plus aggregate metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .base import Regressor
+from .dataset import Dataset
+from .metrics import regression_report
+
+__all__ = ["kfold_indices", "CrossValidationResult", "cross_validate"]
+
+
+def kfold_indices(
+    num_samples: int, folds: int = 10, seed: int = 0
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold (train_indices, test_indices) pairs.
+
+    Args:
+        num_samples: dataset size.
+        folds: number of folds (10 in the paper).
+        seed: shuffling seed.
+
+    Returns:
+        One (train, test) index pair per fold; every sample appears in exactly
+        one test fold.
+    """
+    if folds < 2:
+        raise ValueError("folds must be at least 2")
+    if num_samples < folds:
+        raise ValueError("cannot have more folds than samples")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_samples)
+    fold_slices = np.array_split(order, folds)
+    pairs: List[Tuple[np.ndarray, np.ndarray]] = []
+    for i, test_idx in enumerate(fold_slices):
+        train_idx = np.concatenate([fold_slices[j] for j in range(folds) if j != i])
+        pairs.append((train_idx, test_idx))
+    return pairs
+
+
+@dataclass
+class CrossValidationResult:
+    """Out-of-fold predictions and aggregate metrics for one model."""
+
+    model_name: str
+    expected: np.ndarray
+    predicted: np.ndarray
+    fold_metrics: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def metrics(self) -> Dict[str, float]:
+        """Aggregate metrics computed over every out-of-fold prediction."""
+        return regression_report(self.expected, self.predicted)
+
+    @property
+    def error_rate_pct(self) -> float:
+        """The paper's Equation (1) error rate, in percent."""
+        return self.metrics["error_rate_pct"]
+
+    @property
+    def error_rate_deadband_pct(self) -> float:
+        """Error rate ignoring differences below 1 °C."""
+        return self.metrics["error_rate_deadband_pct"]
+
+
+def cross_validate(
+    model_factory: Callable[[], Regressor],
+    data: Dataset,
+    folds: int = 10,
+    seed: int = 0,
+) -> CrossValidationResult:
+    """Run k-fold cross validation for one model family.
+
+    Args:
+        model_factory: zero-argument callable returning a fresh, unfitted model
+            (a fresh model is trained for every fold).
+        data: the full dataset.
+        folds: number of folds (default 10, as in the paper).
+        seed: fold-assignment seed.
+
+    Returns:
+        A :class:`CrossValidationResult` with every instance's out-of-fold
+        prediction, in the original row order of ``data``.
+    """
+    if data.is_empty:
+        raise ValueError("cannot cross-validate an empty dataset")
+
+    predictions = np.full(len(data), np.nan)
+    fold_metrics: List[Dict[str, float]] = []
+    model_name = ""
+
+    for train_idx, test_idx in kfold_indices(len(data), folds=folds, seed=seed):
+        model = model_factory()
+        model_name = model.name
+        model.fit(data.subset(train_idx))
+        fold_predictions = model.predict(data.features[test_idx])
+        predictions[test_idx] = fold_predictions
+        fold_metrics.append(regression_report(data.target[test_idx], fold_predictions))
+
+    return CrossValidationResult(
+        model_name=model_name,
+        expected=data.target.copy(),
+        predicted=predictions,
+        fold_metrics=fold_metrics,
+    )

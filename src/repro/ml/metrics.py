@@ -1,0 +1,104 @@
+"""Regression metrics, including the paper's error-rate definition.
+
+The paper evaluates its predictors with Equation (1):
+
+    error rate = |expected - predicted| / expected * 100
+
+averaged over all predictions, and additionally reports a variant that ignores
+absolute errors below 1 °C "as humans are less sensitive in that range".  Both
+are implemented here, together with the standard MAE / RMSE / R² metrics used
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "error_rate",
+    "error_rate_with_deadband",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "r2_score",
+    "regression_report",
+]
+
+
+def _validate(expected: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    expected = np.asarray(expected, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if expected.shape != predicted.shape:
+        raise ValueError("expected and predicted must have the same shape")
+    if expected.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return expected, predicted
+
+
+def error_rate(expected: np.ndarray, predicted: np.ndarray) -> float:
+    """Average percentage error per the paper's Equation (1).
+
+    Samples whose expected value is zero are excluded (the relative error is
+    undefined there); temperature data in °C never hits zero in practice.
+    """
+    expected, predicted = _validate(expected, predicted)
+    mask = expected != 0
+    if not np.any(mask):
+        raise ValueError("error_rate is undefined when every expected value is zero")
+    rates = np.abs(expected[mask] - predicted[mask]) / np.abs(expected[mask]) * 100.0
+    return float(np.mean(rates))
+
+
+def error_rate_with_deadband(
+    expected: np.ndarray, predicted: np.ndarray, deadband_c: float = 1.0
+) -> float:
+    """Equation (1) error rate with small absolute errors treated as exact.
+
+    The paper's refinement: differences smaller than ``deadband_c`` (1 °C by
+    default) are ignored because users cannot perceive them, i.e. they
+    contribute zero error.
+    """
+    expected, predicted = _validate(expected, predicted)
+    if deadband_c < 0:
+        raise ValueError("deadband_c must be non-negative")
+    mask = expected != 0
+    if not np.any(mask):
+        raise ValueError("error rate is undefined when every expected value is zero")
+    diff = np.abs(expected[mask] - predicted[mask])
+    diff = np.where(diff < deadband_c, 0.0, diff)
+    rates = diff / np.abs(expected[mask]) * 100.0
+    return float(np.mean(rates))
+
+
+def mean_absolute_error(expected: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute error."""
+    expected, predicted = _validate(expected, predicted)
+    return float(np.mean(np.abs(expected - predicted)))
+
+
+def root_mean_squared_error(expected: np.ndarray, predicted: np.ndarray) -> float:
+    """Root mean squared error."""
+    expected, predicted = _validate(expected, predicted)
+    return float(np.sqrt(np.mean((expected - predicted) ** 2)))
+
+
+def r2_score(expected: np.ndarray, predicted: np.ndarray) -> float:
+    """Coefficient of determination (1 is perfect, 0 is the mean predictor)."""
+    expected, predicted = _validate(expected, predicted)
+    ss_res = float(np.sum((expected - predicted) ** 2))
+    ss_tot = float(np.sum((expected - np.mean(expected)) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def regression_report(expected: np.ndarray, predicted: np.ndarray) -> Dict[str, float]:
+    """All metrics in one dictionary."""
+    return {
+        "error_rate_pct": error_rate(expected, predicted),
+        "error_rate_deadband_pct": error_rate_with_deadband(expected, predicted),
+        "mae": mean_absolute_error(expected, predicted),
+        "rmse": root_mean_squared_error(expected, predicted),
+        "r2": r2_score(expected, predicted),
+    }

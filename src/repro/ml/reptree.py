@@ -1,0 +1,197 @@
+"""REPTree: a fast regression tree with reduced-error pruning.
+
+This is the model the paper ends up deploying on the phone ("REPtree builds
+faster than M5P and does not cause halting.  Thus, we have chosen REPtree to
+implement").  The WEKA algorithm:
+
+1. grow a binary regression tree by variance reduction, with a minimum number
+   of instances per leaf and an optional maximum depth;
+2. hold out a fraction of the training data as a *pruning set* and replace any
+   subtree whose pruning-set error is not better than that of a leaf with that
+   leaf (reduced-error pruning).
+
+Prediction at a leaf is the mean training target of the leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .base import Regressor, register_model
+from .dataset import Dataset
+from .splitting import find_best_split
+
+__all__ = ["RepTree"]
+
+
+@dataclass
+class _Node:
+    """One node of the regression tree."""
+
+    prediction: float
+    count: int
+    feature_index: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None or self.right is None
+
+    def to_leaf(self) -> None:
+        """Collapse this node into a leaf."""
+        self.left = None
+        self.right = None
+        self.feature_index = -1
+
+
+@register_model
+class RepTree(Regressor):
+    """Variance-reduction regression tree with reduced-error pruning.
+
+    Attributes:
+        min_leaf: minimum instances per leaf.
+        max_depth: depth cap (``None`` = unlimited).
+        prune: whether to perform reduced-error pruning.
+        prune_fraction: fraction of training data held out as the pruning set.
+        seed: seed for the train/prune split.
+    """
+
+    name = "reptree"
+
+    def __init__(
+        self,
+        min_leaf: int = 5,
+        max_depth: Optional[int] = None,
+        prune: bool = True,
+        prune_fraction: float = 0.25,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if min_leaf < 1:
+            raise ValueError("min_leaf must be at least 1")
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be at least 1 when given")
+        if not 0.0 < prune_fraction < 1.0:
+            raise ValueError("prune_fraction must be strictly between 0 and 1")
+        self.min_leaf = min_leaf
+        self.max_depth = max_depth
+        self.prune = prune
+        self.prune_fraction = prune_fraction
+        self.seed = seed
+        self._root: Optional[_Node] = None
+        self._feature_names: Tuple[str, ...] = ()
+
+    # -- training --------------------------------------------------------------------
+
+    def _fit(self, data: Dataset) -> None:
+        self._feature_names = data.feature_names
+        if self.prune and len(data) >= 4 * self.min_leaf:
+            grow_set, prune_set = data.split(1.0 - self.prune_fraction, seed=self.seed)
+        else:
+            grow_set, prune_set = data, None
+
+        self._root = self._grow(grow_set.features, grow_set.target, depth=0)
+        if prune_set is not None and not prune_set.is_empty:
+            self._reduced_error_prune(self._root, prune_set.features, prune_set.target)
+
+    def _grow(self, features: np.ndarray, target: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(np.mean(target)), count=len(target))
+        if self.max_depth is not None and depth >= self.max_depth:
+            return node
+        split = find_best_split(features, target, self.min_leaf)
+        if split is None:
+            return node
+
+        mask = features[:, split.feature_index] <= split.threshold
+        node.feature_index = split.feature_index
+        node.threshold = split.threshold
+        node.left = self._grow(features[mask], target[mask], depth + 1)
+        node.right = self._grow(features[~mask], target[~mask], depth + 1)
+        return node
+
+    def _reduced_error_prune(
+        self, node: _Node, features: np.ndarray, target: np.ndarray
+    ) -> float:
+        """Prune bottom-up; returns the pruning-set squared error of the node."""
+        leaf_error = float(np.sum((target - node.prediction) ** 2)) if len(target) else 0.0
+        if node.is_leaf:
+            return leaf_error
+
+        mask = features[:, node.feature_index] <= node.threshold
+        left_error = self._reduced_error_prune(node.left, features[mask], target[mask])
+        right_error = self._reduced_error_prune(node.right, features[~mask], target[~mask])
+        subtree_error = left_error + right_error
+
+        # If turning the subtree into a leaf does not hurt on the pruning set,
+        # prefer the simpler tree (<=, as WEKA does).
+        if leaf_error <= subtree_error:
+            node.to_leaf()
+            return leaf_error
+        return subtree_error
+
+    # -- prediction -------------------------------------------------------------------
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        assert self._root is not None
+        return np.array([self._predict_row(row) for row in features])
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self._root
+        while not node.is_leaf:
+            if row[node.feature_index] <= node.threshold:
+                node = node.left
+            else:
+                node = node.right
+        return node.prediction
+
+    # -- introspection -------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted tree (a single leaf has depth 0)."""
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+        return walk(self._root)
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves of the fitted tree."""
+        def walk(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+        return walk(self._root)
+
+    def describe(self, max_depth: int = 4) -> str:
+        """A textual rendering of the top of the tree (for debugging / docs)."""
+        if self._root is None:
+            return "RepTree (not fitted)"
+        lines: List[str] = []
+
+        def walk(node: _Node, depth: int, prefix: str) -> None:
+            indent = "  " * depth
+            if node.is_leaf or depth >= max_depth:
+                lines.append(f"{indent}{prefix}-> {node.prediction:.2f} (n={node.count})")
+                return
+            name = self._feature_names[node.feature_index]
+            lines.append(f"{indent}{prefix}{name} <= {node.threshold:.3f}?")
+            walk(node.left, depth + 1, "yes: ")
+            walk(node.right, depth + 1, "no:  ")
+
+        walk(self._root, 0, "")
+        return "\n".join(lines)

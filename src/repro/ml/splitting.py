@@ -1,0 +1,97 @@
+"""Shared split-search machinery for the tree learners (REPTree, M5P).
+
+Both tree learners grow binary regression trees by picking, at every node, the
+(feature, threshold) pair that maximally reduces the target variance (REPTree)
+or standard deviation (M5) of the node.  The search below is exact: for every
+feature it sorts the values, sweeps all mid-point thresholds and evaluates the
+split criterion incrementally, which keeps tree construction O(n log n · d)
+per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SplitCandidate", "find_best_split"]
+
+
+@dataclass(frozen=True)
+class SplitCandidate:
+    """The best split found for a node."""
+
+    feature_index: int
+    threshold: float
+    score: float
+    left_count: int
+    right_count: int
+
+
+def find_best_split(
+    features: np.ndarray,
+    target: np.ndarray,
+    min_leaf: int,
+) -> Optional[SplitCandidate]:
+    """Find the variance-reduction-maximising binary split of a node.
+
+    Args:
+        features: (n, d) feature matrix of the node's instances.
+        target: (n,) target values of the node's instances.
+        min_leaf: minimum number of instances each side must keep.
+
+    Returns:
+        The best :class:`SplitCandidate`, or ``None`` when no legal split
+        improves on the unsplit node (e.g. all targets equal, or too few
+        instances).
+    """
+    n, d = features.shape
+    if n < 2 * min_leaf:
+        return None
+    total_var = float(np.var(target))
+    if total_var <= 0.0:
+        return None
+
+    best: Optional[SplitCandidate] = None
+    total_sum = float(target.sum())
+    total_sq = float(np.square(target).sum())
+
+    for feature_index in range(d):
+        column = features[:, feature_index]
+        order = np.argsort(column, kind="mergesort")
+        sorted_values = column[order]
+        sorted_target = target[order]
+
+        # Prefix sums let us evaluate every threshold in O(1).
+        prefix_sum = np.cumsum(sorted_target)
+        prefix_sq = np.cumsum(np.square(sorted_target))
+
+        for i in range(min_leaf - 1, n - min_leaf):
+            # Only split between distinct feature values.
+            if sorted_values[i] == sorted_values[i + 1]:
+                continue
+            left_n = i + 1
+            right_n = n - left_n
+            left_sum = float(prefix_sum[i])
+            left_sq = float(prefix_sq[i])
+            right_sum = total_sum - left_sum
+            right_sq = total_sq - left_sq
+
+            left_var = left_sq / left_n - (left_sum / left_n) ** 2
+            right_var = right_sq / right_n - (right_sum / right_n) ** 2
+            weighted = (left_n * left_var + right_n * right_var) / n
+            reduction = total_var - weighted
+            if reduction <= 0:
+                continue
+
+            if best is None or reduction > best.score:
+                threshold = 0.5 * (sorted_values[i] + sorted_values[i + 1])
+                best = SplitCandidate(
+                    feature_index=feature_index,
+                    threshold=float(threshold),
+                    score=float(reduction),
+                    left_count=left_n,
+                    right_count=right_n,
+                )
+    return best

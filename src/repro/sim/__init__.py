@@ -1,0 +1,35 @@
+"""Simulation engine: fixed-step loop, system logger, results, experiment helpers."""
+
+from .engine import ManagerDecision, Simulator, ThermalManager
+from .logger import FEATURE_NAMES, SCREEN_TARGET, SKIN_TARGET, LogRecord, SystemLogger
+from .results import SimulationResult, StepRecord
+from .experiments import GovernorComparison, compare_runs, run_benchmark, run_workload
+from .export import (
+    load_log_csv,
+    load_trace_csv,
+    save_log_csv,
+    save_result_csv,
+    save_trace_csv,
+)
+
+__all__ = [
+    "ManagerDecision",
+    "Simulator",
+    "ThermalManager",
+    "FEATURE_NAMES",
+    "SCREEN_TARGET",
+    "SKIN_TARGET",
+    "LogRecord",
+    "SystemLogger",
+    "SimulationResult",
+    "StepRecord",
+    "GovernorComparison",
+    "compare_runs",
+    "run_benchmark",
+    "run_workload",
+    "load_log_csv",
+    "load_trace_csv",
+    "save_log_csv",
+    "save_result_csv",
+    "save_trace_csv",
+]

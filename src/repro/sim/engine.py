@@ -1,0 +1,188 @@
+"""The fixed-step simulation loop.
+
+One :class:`Simulator` instance couples a :class:`~repro.device.DevicePlatform`
+with a governor, an optional thermal manager (USTA) and an optional system
+logger, and replays a workload trace through them:
+
+1. the CPU executes the current window's demand at the frequency chosen at the
+   end of the previous window;
+2. the dissipated power is integrated by the thermal network and the sensors
+   are sampled;
+3. the thermal manager (if any) observes the sensor readings and may install
+   or remove a frequency cap on the governor;
+4. the governor picks the frequency for the next window from the observed
+   utilization.
+
+This ordering mirrors the real system, where the ondemand governor and USTA's
+periodic skin-temperature check both run *after* the workload's activity has
+been observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+from ..device.platform import DevicePlatform, DeviceStepResult
+from ..governors.base import Governor, GovernorObservation
+from ..workloads.trace import WorkloadTrace
+from .logger import SystemLogger
+from .results import SimulationResult, StepRecord
+
+__all__ = ["ThermalManager", "ManagerDecision", "Simulator"]
+
+
+@dataclass(frozen=True)
+class ManagerDecision:
+    """What a thermal manager decided after one observation."""
+
+    level_cap: Optional[int]
+    predicted_skin_temp_c: Optional[float] = None
+    predicted_screen_temp_c: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        """True when a cap (below the maximum level) is being requested."""
+        return self.level_cap is not None
+
+
+@runtime_checkable
+class ThermalManager(Protocol):
+    """Protocol implemented by skin-temperature-aware managers (USTA)."""
+
+    def observe(
+        self,
+        time_s: float,
+        sensor_readings: Dict[str, float],
+        utilization: float,
+        frequency_khz: float,
+    ) -> ManagerDecision:
+        """Observe the device and return the desired frequency cap (or none)."""
+        ...
+
+    def reset(self) -> None:
+        """Clear internal state before a new run."""
+        ...
+
+
+@dataclass
+class Simulator:
+    """Replays workload traces against the simulated platform.
+
+    Attributes:
+        platform: the simulated handset.
+        governor: the baseline DVFS policy.
+        thermal_manager: optional USTA-style manager layered on the governor.
+        logger: optional system logger collecting predictor training data.
+    """
+
+    platform: DevicePlatform
+    governor: Governor
+    thermal_manager: Optional[ThermalManager] = None
+    logger: Optional[SystemLogger] = None
+
+    def run(
+        self,
+        trace: WorkloadTrace,
+        reset: bool = True,
+        initial_temps: Optional[Dict[str, float]] = None,
+    ) -> SimulationResult:
+        """Replay a workload trace and return the simulation result.
+
+        Args:
+            trace: the workload to replay.
+            reset: reset platform, governor and manager state first (set to
+                False to chain traces back-to-back on a warm device).
+            initial_temps: optional initial node temperatures (°C).
+        """
+        if reset:
+            self.platform.reset(initial_temps)
+            self.governor.reset()
+            if self.thermal_manager is not None:
+                self.thermal_manager.reset()
+            if self.logger is not None:
+                self.logger.reset()
+        elif initial_temps:
+            self.platform.network.set_temperatures(initial_temps)
+
+        dt = trace.sample_period_s
+        result = SimulationResult(
+            workload_name=trace.name,
+            governor_name=self._governor_label(),
+            dt_s=dt,
+        )
+
+        for sample in trace:
+            step = self.platform.step(sample.to_activity(), dt)
+            decision = self._consult_manager(step)
+            self._log(step, trace.name)
+            self._drive_governor(step, dt)
+            result.append(self._record(step, decision))
+
+        return result
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _governor_label(self) -> str:
+        label = self.governor.name
+        if self.thermal_manager is not None:
+            manager_name = getattr(self.thermal_manager, "name", type(self.thermal_manager).__name__)
+            label = f"{manager_name}+{label}"
+        return label
+
+    def _consult_manager(self, step: DeviceStepResult) -> ManagerDecision:
+        if self.thermal_manager is None:
+            return ManagerDecision(level_cap=None)
+        decision = self.thermal_manager.observe(
+            time_s=step.time_s,
+            sensor_readings=step.sensor_readings_c,
+            utilization=step.cpu_state.utilization,
+            frequency_khz=float(step.cpu_state.frequency_khz),
+        )
+        self.governor.set_level_cap(decision.level_cap)
+        return decision
+
+    def _log(self, step: DeviceStepResult, benchmark: str) -> None:
+        if self.logger is None:
+            return
+        self.logger.maybe_log(
+            time_s=step.time_s,
+            benchmark=benchmark,
+            sensor_readings=step.sensor_readings_c,
+            utilization=step.cpu_state.utilization,
+            frequency_khz=float(step.cpu_state.frequency_khz),
+        )
+
+    def _drive_governor(self, step: DeviceStepResult, dt: float) -> None:
+        observation = GovernorObservation(
+            utilization=step.cpu_state.utilization,
+            current_level=step.cpu_state.level,
+            time_s=step.time_s,
+            dt_s=dt,
+        )
+        next_level = self.governor.select_level(observation)
+        self.platform.set_frequency_level(next_level)
+
+    def _record(self, step: DeviceStepResult, decision: ManagerDecision) -> StepRecord:
+        readings = step.sensor_readings_c
+        return StepRecord(
+            time_s=step.time_s,
+            frequency_khz=step.cpu_state.frequency_khz,
+            frequency_level=step.cpu_state.level,
+            level_cap=self.governor.level_cap,
+            utilization=step.cpu_state.utilization,
+            demand=step.cpu_state.demand,
+            delivered_work=step.cpu_state.delivered_work,
+            power_w=step.power.total_w,
+            cpu_temp_c=step.cpu_temp_c,
+            battery_temp_c=step.battery_temp_c,
+            skin_temp_c=step.skin_temp_c,
+            screen_temp_c=step.screen_temp_c,
+            sensor_cpu_temp_c=readings.get("cpu", step.cpu_temp_c),
+            sensor_battery_temp_c=readings.get("battery", step.battery_temp_c),
+            sensor_skin_temp_c=readings.get("skin", step.skin_temp_c),
+            sensor_screen_temp_c=readings.get("screen", step.screen_temp_c),
+            predicted_skin_temp_c=decision.predicted_skin_temp_c,
+            predicted_screen_temp_c=decision.predicted_screen_temp_c,
+            usta_active=decision.active and self.governor.is_capped,
+        )

@@ -1,0 +1,143 @@
+"""Experiment helpers: one-call wrappers around the simulation engine.
+
+These helpers build the platform/governor plumbing for the common experiment
+shapes — "run benchmark X under governor Y", "run the same workload under two
+configurations and compare" — so examples, tests and the paper-reproduction
+benchmarks stay short.  They are deliberately agnostic of USTA: any object
+implementing the :class:`~repro.sim.engine.ThermalManager` protocol can be
+passed as ``thermal_manager``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Union
+
+from ..device.platform import DevicePlatform
+from ..governors import Governor, create_governor
+from ..workloads.benchmarks import build_benchmark
+from ..workloads.trace import WorkloadTrace
+from .engine import Simulator, ThermalManager
+from .logger import SystemLogger
+from .results import SimulationResult
+
+__all__ = ["run_workload", "run_benchmark", "compare_runs", "GovernorComparison"]
+
+
+def _resolve_governor(governor: Union[str, Governor, None], platform: DevicePlatform) -> Governor:
+    if governor is None:
+        return create_governor("ondemand", table=platform.freq_table)
+    if isinstance(governor, str):
+        return create_governor(governor, table=platform.freq_table)
+    return governor
+
+
+def run_workload(
+    trace: WorkloadTrace,
+    governor: Union[str, Governor, None] = None,
+    thermal_manager: Optional[ThermalManager] = None,
+    platform: Optional[DevicePlatform] = None,
+    logger: Optional[SystemLogger] = None,
+    seed: int = 0,
+    initial_temps: Optional[Dict[str, float]] = None,
+) -> SimulationResult:
+    """Replay one workload trace under one DVFS configuration.
+
+    Args:
+        trace: the workload to replay.
+        governor: a governor instance, a cpufreq governor name, or ``None``
+            for the default ondemand baseline.
+        thermal_manager: optional USTA-style manager layered on the governor.
+        platform: custom platform (a fresh seeded Nexus-4 platform otherwise).
+        logger: optional system logger to fill during the run.
+        seed: platform seed (sensor noise) when no platform is supplied.
+        initial_temps: optional initial node temperatures.
+    """
+    platform = platform or DevicePlatform(seed=seed)
+    resolved = _resolve_governor(governor, platform)
+    simulator = Simulator(
+        platform=platform,
+        governor=resolved,
+        thermal_manager=thermal_manager,
+        logger=logger,
+    )
+    return simulator.run(trace, initial_temps=initial_temps)
+
+
+def run_benchmark(
+    name: str,
+    governor: Union[str, Governor, None] = None,
+    thermal_manager: Optional[ThermalManager] = None,
+    seed: int = 0,
+    duration_s: Optional[float] = None,
+    **kwargs,
+) -> SimulationResult:
+    """Build one of the thirteen paper benchmarks and replay it.
+
+    Args:
+        name: benchmark name (see :data:`repro.workloads.BENCHMARK_NAMES`).
+        governor: governor instance / name / ``None`` for ondemand.
+        thermal_manager: optional USTA-style manager.
+        seed: workload and platform seed.
+        duration_s: optional override of the benchmark's nominal duration.
+        **kwargs: forwarded to :func:`run_workload`.
+    """
+    trace = build_benchmark(name, seed=seed, duration_s=duration_s)
+    return run_workload(trace, governor=governor, thermal_manager=thermal_manager, seed=seed, **kwargs)
+
+
+@dataclass(frozen=True)
+class GovernorComparison:
+    """Baseline-vs-treatment comparison of one workload."""
+
+    baseline: SimulationResult
+    treatment: SimulationResult
+
+    @property
+    def peak_skin_reduction_c(self) -> float:
+        """How much cooler the treatment's peak skin temperature is (°C)."""
+        return self.baseline.max_skin_temp_c - self.treatment.max_skin_temp_c
+
+    @property
+    def peak_screen_reduction_c(self) -> float:
+        """How much cooler the treatment's peak screen temperature is (°C)."""
+        return self.baseline.max_screen_temp_c - self.treatment.max_screen_temp_c
+
+    @property
+    def frequency_reduction_fraction(self) -> float:
+        """Relative reduction of the average frequency under the treatment."""
+        base = self.baseline.average_frequency_ghz
+        if base <= 0:
+            return 0.0
+        return (base - self.treatment.average_frequency_ghz) / base
+
+    @property
+    def throughput_loss_fraction(self) -> float:
+        """Relative throughput loss of the treatment vs the baseline."""
+        base = self.baseline.throughput_ratio
+        if base <= 0:
+            return 0.0
+        return max(0.0, (base - self.treatment.throughput_ratio) / base)
+
+
+def compare_runs(
+    trace: WorkloadTrace,
+    baseline_governor: Union[str, Governor, None] = None,
+    treatment_governor: Union[str, Governor, None] = None,
+    treatment_manager: Optional[ThermalManager] = None,
+    seed: int = 0,
+) -> GovernorComparison:
+    """Run the same workload under a baseline and a treatment configuration.
+
+    Both runs use identically seeded platforms so the only difference is the
+    DVFS configuration — the simulated analogue of the paper's back-to-back
+    baseline/USTA sessions.
+    """
+    baseline = run_workload(trace, governor=baseline_governor, seed=seed)
+    treatment = run_workload(
+        trace,
+        governor=treatment_governor if treatment_governor is not None else baseline_governor,
+        thermal_manager=treatment_manager,
+        seed=seed,
+    )
+    return GovernorComparison(baseline=baseline, treatment=treatment)

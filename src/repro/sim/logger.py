@@ -1,0 +1,139 @@
+"""The system-level logging application.
+
+The paper instruments the phone with "an application to periodically log
+system level information, such as CPU temperature, battery temperature, CPU
+utilization, and CPU frequency", and pairs those logs with the external
+thermistor measurements to build the training set for the skin/screen
+temperature predictors.
+
+:class:`SystemLogger` reproduces that data-collection path: it samples the
+simulated device at a fixed period and emits log records containing the
+on-device sensor readings (the predictor's features) together with the
+thermistor readings (the prediction targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ml.dataset import Dataset
+
+__all__ = ["LogRecord", "SystemLogger", "FEATURE_NAMES", "SKIN_TARGET", "SCREEN_TARGET"]
+
+#: The predictor features the paper lists: CPU temperature, battery
+#: temperature, CPU utilization and CPU frequency.
+FEATURE_NAMES = ("cpu_temp_c", "battery_temp_c", "utilization", "frequency_khz")
+SKIN_TARGET = "skin_temp_c"
+SCREEN_TARGET = "screen_temp_c"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One row of the logging application's output."""
+
+    time_s: float
+    benchmark: str
+    cpu_temp_c: float
+    battery_temp_c: float
+    utilization: float
+    frequency_khz: float
+    skin_temp_c: float
+    screen_temp_c: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """The record as a feature/target dictionary."""
+        return {
+            "time_s": self.time_s,
+            "cpu_temp_c": self.cpu_temp_c,
+            "battery_temp_c": self.battery_temp_c,
+            "utilization": self.utilization,
+            "frequency_khz": self.frequency_khz,
+            "skin_temp_c": self.skin_temp_c,
+            "screen_temp_c": self.screen_temp_c,
+        }
+
+
+@dataclass
+class SystemLogger:
+    """Periodic system-level logger.
+
+    Attributes:
+        period_s: logging period (the paper logs every few seconds; 3 s
+            matches USTA's prediction window).
+        records: collected log rows.
+    """
+
+    period_s: float = 3.0
+    records: List[LogRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self._last_log_time: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def reset(self) -> None:
+        """Drop collected records and restart the logging clock."""
+        self.records.clear()
+        self._last_log_time = None
+
+    def should_log(self, time_s: float) -> bool:
+        """True when at least one period has elapsed since the last record."""
+        if self._last_log_time is None:
+            return True
+        return time_s - self._last_log_time >= self.period_s - 1e-9
+
+    def maybe_log(
+        self,
+        time_s: float,
+        benchmark: str,
+        sensor_readings: Dict[str, float],
+        utilization: float,
+        frequency_khz: float,
+    ) -> Optional[LogRecord]:
+        """Log a record if the logging period has elapsed.
+
+        The sensor readings must contain the ``cpu``, ``battery``, ``skin``
+        and ``screen`` channels produced by
+        :meth:`repro.device.sensors.SensorSuite.read_all`.
+        """
+        if not self.should_log(time_s):
+            return None
+        record = LogRecord(
+            time_s=time_s,
+            benchmark=benchmark,
+            cpu_temp_c=sensor_readings["cpu"],
+            battery_temp_c=sensor_readings["battery"],
+            utilization=utilization,
+            frequency_khz=float(frequency_khz),
+            skin_temp_c=sensor_readings["skin"],
+            screen_temp_c=sensor_readings["screen"],
+        )
+        self.records.append(record)
+        self._last_log_time = time_s
+        return record
+
+    # -- dataset export -------------------------------------------------------------
+
+    def to_dataset(self, target: str = SKIN_TARGET) -> Dataset:
+        """Convert the collected log into an ML dataset.
+
+        Args:
+            target: ``"skin_temp_c"`` or ``"screen_temp_c"``.
+        """
+        if target not in (SKIN_TARGET, SCREEN_TARGET):
+            raise ValueError(f"target must be {SKIN_TARGET!r} or {SCREEN_TARGET!r}")
+        if not self.records:
+            raise ValueError("the logger has no records to convert")
+        return Dataset.from_records(
+            (r.as_dict() for r in self.records),
+            feature_names=FEATURE_NAMES,
+            target_name=target,
+        )
+
+    def extend(self, other: "SystemLogger") -> None:
+        """Append another logger's records (used to pool benchmarks into one set)."""
+        self.records.extend(other.records)

@@ -1,0 +1,202 @@
+"""Simulation results: per-step records and summary metrics.
+
+The summary metrics mirror the three rows of the paper's Table 1 (maximum
+screen temperature, maximum skin temperature, average frequency) plus the
+quantities needed by Figures 2 and 4 (time series, time over a comfort limit)
+and by the satisfaction model (delivered vs demanded work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..users.comfort import ComfortAnalysis, analyse_comfort
+
+__all__ = ["StepRecord", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Everything recorded about one simulation step."""
+
+    time_s: float
+    frequency_khz: int
+    frequency_level: int
+    level_cap: int
+    utilization: float
+    demand: float
+    delivered_work: float
+    power_w: float
+    cpu_temp_c: float
+    battery_temp_c: float
+    skin_temp_c: float
+    screen_temp_c: float
+    sensor_cpu_temp_c: float
+    sensor_battery_temp_c: float
+    sensor_skin_temp_c: float
+    sensor_screen_temp_c: float
+    predicted_skin_temp_c: Optional[float] = None
+    predicted_screen_temp_c: Optional[float] = None
+    usta_active: bool = False
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of replaying one workload trace under one DVFS configuration."""
+
+    workload_name: str
+    governor_name: str
+    dt_s: float
+    records: List[StepRecord] = field(default_factory=list)
+
+    # -- container protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, record: StepRecord) -> None:
+        """Add one step record."""
+        self.records.append(record)
+
+    # -- time series -----------------------------------------------------------------
+
+    def times_s(self) -> np.ndarray:
+        """Step timestamps (seconds)."""
+        return np.array([r.time_s for r in self.records])
+
+    def skin_temps_c(self) -> np.ndarray:
+        """True skin (back-cover mid) temperature series."""
+        return np.array([r.skin_temp_c for r in self.records])
+
+    def screen_temps_c(self) -> np.ndarray:
+        """True screen temperature series."""
+        return np.array([r.screen_temp_c for r in self.records])
+
+    def cpu_temps_c(self) -> np.ndarray:
+        """True CPU die temperature series."""
+        return np.array([r.cpu_temp_c for r in self.records])
+
+    def battery_temps_c(self) -> np.ndarray:
+        """True battery temperature series."""
+        return np.array([r.battery_temp_c for r in self.records])
+
+    def frequencies_khz(self) -> np.ndarray:
+        """Selected CPU frequency series (kHz)."""
+        return np.array([r.frequency_khz for r in self.records])
+
+    def utilizations(self) -> np.ndarray:
+        """Observed CPU utilization series."""
+        return np.array([r.utilization for r in self.records])
+
+    def power_w(self) -> np.ndarray:
+        """Total platform power series (Watts)."""
+        return np.array([r.power_w for r in self.records])
+
+    # -- summary metrics (Table 1 rows) ---------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated duration."""
+        return len(self.records) * self.dt_s
+
+    @property
+    def max_skin_temp_c(self) -> float:
+        """Maximum skin temperature (Table 1, "Max Skin Temp")."""
+        return float(np.max(self.skin_temps_c())) if self.records else float("nan")
+
+    @property
+    def max_screen_temp_c(self) -> float:
+        """Maximum screen temperature (Table 1, "Max Screen Temp")."""
+        return float(np.max(self.screen_temps_c())) if self.records else float("nan")
+
+    @property
+    def max_cpu_temp_c(self) -> float:
+        """Maximum CPU die temperature."""
+        return float(np.max(self.cpu_temps_c())) if self.records else float("nan")
+
+    @property
+    def average_frequency_ghz(self) -> float:
+        """Average CPU frequency in GHz (Table 1, "Average Freq.")."""
+        if not self.records:
+            return float("nan")
+        return float(np.mean(self.frequencies_khz())) / 1e6
+
+    @property
+    def average_power_w(self) -> float:
+        """Average platform power."""
+        return float(np.mean(self.power_w())) if self.records else float("nan")
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total platform energy over the run (Joules)."""
+        return float(np.sum(self.power_w()) * self.dt_s) if self.records else 0.0
+
+    @property
+    def demanded_work(self) -> float:
+        """Total work the workload asked for (full-speed window equivalents)."""
+        return float(np.sum([r.demand for r in self.records]))
+
+    @property
+    def delivered_work(self) -> float:
+        """Total work actually executed."""
+        return float(np.sum([r.delivered_work for r in self.records]))
+
+    @property
+    def throughput_ratio(self) -> float:
+        """Delivered / demanded work (1.0 = no slowdown)."""
+        demanded = self.demanded_work
+        if demanded <= 0:
+            return 1.0
+        return min(1.0, self.delivered_work / demanded)
+
+    @property
+    def usta_active_fraction(self) -> float:
+        """Fraction of steps in which USTA had a frequency cap installed."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([1.0 if r.usta_active else 0.0 for r in self.records]))
+
+    # -- comfort ------------------------------------------------------------------------
+
+    def comfort_against(self, limit_c: float, user_id: str = "default") -> ComfortAnalysis:
+        """Analyse the skin-temperature series against a comfort limit."""
+        return analyse_comfort(self.skin_temps_c(), limit_c, dt_s=self.dt_s, user_id=user_id)
+
+    def percent_time_over(self, limit_c: float) -> float:
+        """Percentage of the run spent with the skin temperature above ``limit_c``."""
+        return self.comfort_against(limit_c).percent_time_over_limit
+
+    # -- export --------------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics in one dictionary (used by the benchmark harness)."""
+        return {
+            "max_skin_temp_c": self.max_skin_temp_c,
+            "max_screen_temp_c": self.max_screen_temp_c,
+            "max_cpu_temp_c": self.max_cpu_temp_c,
+            "average_frequency_ghz": self.average_frequency_ghz,
+            "average_power_w": self.average_power_w,
+            "throughput_ratio": self.throughput_ratio,
+            "usta_active_fraction": self.usta_active_fraction,
+        }
+
+    def to_records(self) -> List[Dict[str, float]]:
+        """Per-step records as plain dictionaries (for ML training / export)."""
+        return [
+            {
+                "time_s": r.time_s,
+                "frequency_khz": float(r.frequency_khz),
+                "utilization": r.utilization,
+                "cpu_temp_c": r.sensor_cpu_temp_c,
+                "battery_temp_c": r.sensor_battery_temp_c,
+                "skin_temp_c": r.sensor_skin_temp_c,
+                "screen_temp_c": r.sensor_screen_temp_c,
+                "true_skin_temp_c": r.skin_temp_c,
+                "true_screen_temp_c": r.screen_temp_c,
+                "power_w": r.power_w,
+            }
+            for r in self.records
+        ]

@@ -1,0 +1,25 @@
+"""Compact thermal-network substrate (nodes, solver, Nexus 4 calibration)."""
+
+from .ambient import AMBIENT_NODE, HAND_NODE, AmbientConditions, HandContact
+from .network import ThermalConductance, ThermalNetwork, ThermalNode
+from .nexus4 import (
+    NEXUS4_NODES,
+    Nexus4ThermalParameters,
+    build_nexus4_network,
+)
+from .solver import ThermalSolver, steady_state
+
+__all__ = [
+    "AMBIENT_NODE",
+    "HAND_NODE",
+    "AmbientConditions",
+    "HandContact",
+    "ThermalConductance",
+    "ThermalNetwork",
+    "ThermalNode",
+    "NEXUS4_NODES",
+    "Nexus4ThermalParameters",
+    "build_nexus4_network",
+    "ThermalSolver",
+    "steady_state",
+]

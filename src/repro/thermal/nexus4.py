@@ -1,0 +1,151 @@
+"""Calibrated compact thermal model of the Google Nexus 4.
+
+Node layout (side view, back of the phone at the bottom)::
+
+        screen  ───────────────────────────────  (user-facing glass + LCD)
+          │                │
+        board ── cpu       battery               (PCB + frame; SoC die on PCB)
+          │        │          │
+        back_cover_upper   back_cover            (polycarbonate back; the paper's
+          │                   │                   "skin" point is the middle of
+        ambient / hand     ambient / hand          the back cover)
+
+Capacitances reflect a ~140 g handset (total ≈ 175 J/°C); internal
+conductances are large compared to the ~0.2 W/°C exterior film coefficient so
+the whole phone warms together on a 10–20 minute time constant, matching the
+paper's observation that a half-hour video call is enough to reach peak skin
+temperature and that heavy benchmarks exceed every user's comfort limit.
+
+Calibration targets (baseline ondemand governor, 23 °C ambient):
+
+* sustained heavy load (Skype video call class, ≈4 W platform) → back-cover
+  peak in the low 40s °C after 30 min, screen ~2–4 °C cooler;
+* moderate load (AnTuTu CPU class, ≈3 W) → back cover high 30s °C;
+* light load (YouTube playback, ≈2 W) → back cover ≈30 °C;
+* idle/charging → low 30s °C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .ambient import AMBIENT_NODE, HAND_NODE, AmbientConditions
+from .network import ThermalNetwork
+
+__all__ = ["Nexus4ThermalParameters", "build_nexus4_network", "NEXUS4_NODES"]
+
+# Node names used throughout the package.
+CPU_NODE = "cpu"
+BOARD_NODE = "board"
+BATTERY_NODE = "battery"
+BACK_COVER_NODE = "back_cover"
+BACK_COVER_UPPER_NODE = "back_cover_upper"
+SCREEN_NODE = "screen"
+
+NEXUS4_NODES = (
+    CPU_NODE,
+    BOARD_NODE,
+    BATTERY_NODE,
+    BACK_COVER_NODE,
+    BACK_COVER_UPPER_NODE,
+    SCREEN_NODE,
+)
+
+
+@dataclass
+class Nexus4ThermalParameters:
+    """Capacitances (J/°C) and conductances (W/°C) of the Nexus 4 model.
+
+    All values can be overridden to model a different handset or to run
+    sensitivity studies; the defaults are the calibrated Nexus 4 values.
+    """
+
+    # Heat capacitances (J/°C)
+    cpu_capacitance: float = 5.0
+    board_capacitance: float = 32.0
+    battery_capacitance: float = 55.0
+    back_cover_capacitance: float = 16.0
+    back_cover_upper_capacitance: float = 11.0
+    screen_capacitance: float = 30.0
+
+    # Internal conductances (W/°C).  The SoC and battery sit against the back
+    # cover, so the back-side couplings are stronger than the screen-side ones
+    # — this is what makes the skin (back cover) the hottest exterior surface,
+    # as in the paper's measurements.
+    cpu_board: float = 0.6
+    board_battery: float = 0.55
+    board_back_cover_upper: float = 0.36
+    board_back_cover: float = 0.30
+    battery_back_cover: float = 0.30
+    board_screen: float = 0.13
+    battery_screen: float = 0.06
+    back_cover_upper_back_cover: float = 0.15
+
+    # Exterior (film) conductances to ambient (W/°C)
+    back_cover_ambient: float = 0.050
+    back_cover_upper_ambient: float = 0.030
+    screen_ambient: float = 0.100
+    battery_ambient: float = 0.008
+    board_ambient: float = 0.006
+
+    # Hand contact (configured at run time through HandContact)
+    hand_back_cover: float = 0.05
+
+    # Environment
+    ambient: AmbientConditions = field(default_factory=AmbientConditions)
+
+    def initial_temperatures(self) -> Dict[str, float]:
+        """All nodes start at ambient (a phone that has been sitting idle)."""
+        return {name: self.ambient.air_temp_c for name in NEXUS4_NODES}
+
+
+def build_nexus4_network(params: Nexus4ThermalParameters | None = None) -> ThermalNetwork:
+    """Build and assemble the calibrated Nexus 4 thermal network.
+
+    Args:
+        params: optional parameter overrides; defaults to the calibrated model.
+
+    Returns:
+        An assembled :class:`ThermalNetwork` whose nodes are the entries of
+        :data:`NEXUS4_NODES` plus the ``ambient`` and ``hand`` boundaries.
+    """
+    params = params or Nexus4ThermalParameters()
+    initial = params.initial_temperatures()
+
+    net = ThermalNetwork()
+    net.add_node(CPU_NODE, params.cpu_capacitance, initial_temp_c=initial[CPU_NODE])
+    net.add_node(BOARD_NODE, params.board_capacitance, initial_temp_c=initial[BOARD_NODE])
+    net.add_node(BATTERY_NODE, params.battery_capacitance, initial_temp_c=initial[BATTERY_NODE])
+    net.add_node(
+        BACK_COVER_NODE, params.back_cover_capacitance, initial_temp_c=initial[BACK_COVER_NODE]
+    )
+    net.add_node(
+        BACK_COVER_UPPER_NODE,
+        params.back_cover_upper_capacitance,
+        initial_temp_c=initial[BACK_COVER_UPPER_NODE],
+    )
+    net.add_node(SCREEN_NODE, params.screen_capacitance, initial_temp_c=initial[SCREEN_NODE])
+    net.add_node(AMBIENT_NODE, boundary=True, initial_temp_c=params.ambient.air_temp_c)
+    net.add_node(HAND_NODE, boundary=True, initial_temp_c=params.ambient.hand_temp_c)
+
+    # Internal heat paths
+    net.add_conductance(CPU_NODE, BOARD_NODE, params.cpu_board)
+    net.add_conductance(BOARD_NODE, BATTERY_NODE, params.board_battery)
+    net.add_conductance(BOARD_NODE, BACK_COVER_UPPER_NODE, params.board_back_cover_upper)
+    net.add_conductance(BOARD_NODE, BACK_COVER_NODE, params.board_back_cover)
+    net.add_conductance(BATTERY_NODE, BACK_COVER_NODE, params.battery_back_cover)
+    net.add_conductance(BOARD_NODE, SCREEN_NODE, params.board_screen)
+    net.add_conductance(BATTERY_NODE, SCREEN_NODE, params.battery_screen)
+    net.add_conductance(BACK_COVER_UPPER_NODE, BACK_COVER_NODE, params.back_cover_upper_back_cover)
+
+    # Exterior film conductances
+    net.add_conductance(BACK_COVER_NODE, AMBIENT_NODE, params.back_cover_ambient)
+    net.add_conductance(BACK_COVER_UPPER_NODE, AMBIENT_NODE, params.back_cover_upper_ambient)
+    net.add_conductance(SCREEN_NODE, AMBIENT_NODE, params.screen_ambient)
+    net.add_conductance(BATTERY_NODE, AMBIENT_NODE, params.battery_ambient)
+    net.add_conductance(BOARD_NODE, AMBIENT_NODE, params.board_ambient)
+
+    net.assemble()
+    params.ambient.apply(net)
+    return net

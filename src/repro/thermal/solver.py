@@ -1,0 +1,140 @@
+"""Time integration and steady-state solving for the thermal network.
+
+The compact-model ODE
+
+    C * dT/dt = -G * T + G_b * T_b + P
+
+is stiff (the CPU die time constant is seconds, the battery's is tens of
+minutes), so the default integrator is backward (implicit) Euler, which is
+unconditionally stable and lets the simulator take one-second steps without
+sub-cycling.  A forward-Euler integrator with automatic sub-stepping is kept
+for cross-checking, and a direct steady-state solve supports calibration and
+property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from .network import ThermalNetwork
+
+__all__ = ["ThermalSolver", "steady_state"]
+
+
+def steady_state(network: ThermalNetwork, power_w: Mapping[str, float]) -> Dict[str, float]:
+    """Solve ``G * T = G_b * T_b + P`` for the steady-state temperatures.
+
+    Args:
+        network: an assembled :class:`ThermalNetwork`.
+        power_w: injected power per node (Watts).
+
+    Returns:
+        Steady-state temperatures for every node (boundary nodes keep their
+        imposed temperatures).
+    """
+    if not network.assembled:
+        network.assemble()
+    g = network.conductance_matrix
+    rhs = network.boundary_coupling @ network.boundary_temperatures_vector
+    rhs = rhs + network.power_vector(power_w)
+    temps = np.linalg.solve(g, rhs)
+    result = dict(zip(network.internal_names, (float(t) for t in temps)))
+    for name in network.boundary_names:
+        result[name] = network.temperature_of(name)
+    return result
+
+
+@dataclass
+class ThermalSolver:
+    """Steps a :class:`ThermalNetwork` forward in time.
+
+    Attributes:
+        network: the assembled network to integrate.
+        method: ``"implicit"`` (backward Euler, default) or ``"explicit"``
+            (forward Euler with automatic sub-stepping).
+        max_explicit_dt_s: sub-step ceiling for the explicit method.
+    """
+
+    network: ThermalNetwork
+    method: str = "implicit"
+    max_explicit_dt_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.method not in ("implicit", "explicit"):
+            raise ValueError("method must be 'implicit' or 'explicit'")
+        if not self.network.assembled:
+            self.network.assemble()
+        self._cache_dt: Optional[float] = None
+        self._cache_lu: Optional[np.ndarray] = None
+
+    def step(self, dt_s: float, power_w: Mapping[str, float]) -> Dict[str, float]:
+        """Advance the network by ``dt_s`` seconds with the given injected power.
+
+        Returns the node temperatures after the step (all nodes, by name).
+        """
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        if self.method == "implicit":
+            self._step_implicit(dt_s, power_w)
+        else:
+            self._step_explicit(dt_s, power_w)
+        return self.network.temperatures()
+
+    # -- integrators ------------------------------------------------------------
+
+    def _step_implicit(self, dt_s: float, power_w: Mapping[str, float]) -> None:
+        net = self.network
+        c = net.capacitances
+        g = net.conductance_matrix
+        t_old = net.temperatures_vector
+        rhs_const = net.boundary_coupling @ net.boundary_temperatures_vector
+        p = net.power_vector(power_w)
+
+        # (C/dt + G) T_new = C/dt * T_old + G_b T_b + P
+        a = np.diag(c / dt_s) + g
+        b = (c / dt_s) * t_old + rhs_const + p
+        t_new = np.linalg.solve(a, b)
+        net.apply_temperature_vector(t_new)
+
+    def _step_explicit(self, dt_s: float, power_w: Mapping[str, float]) -> None:
+        net = self.network
+        c = net.capacitances
+        g = net.conductance_matrix
+        rhs_const = net.boundary_coupling @ net.boundary_temperatures_vector
+        p = net.power_vector(power_w)
+
+        # Stability limit for forward Euler: dt < 2 * C_i / G_ii for every node.
+        diag = np.diag(g)
+        with np.errstate(divide="ignore"):
+            limits = np.where(diag > 0, c / diag, np.inf)
+        stable_dt = min(self.max_explicit_dt_s, float(0.5 * np.min(limits)))
+        steps = max(1, int(np.ceil(dt_s / stable_dt)))
+        sub_dt = dt_s / steps
+
+        t = net.temperatures_vector
+        for _ in range(steps):
+            dTdt = (-g @ t + rhs_const + p) / c
+            t = t + sub_dt * dTdt
+        net.apply_temperature_vector(t)
+
+    # -- convenience -------------------------------------------------------------
+
+    def run(
+        self,
+        duration_s: float,
+        dt_s: float,
+        power_w: Mapping[str, float],
+    ) -> Dict[str, float]:
+        """Integrate a constant power profile for ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        elapsed = 0.0
+        temps = self.network.temperatures()
+        while elapsed < duration_s - 1e-9:
+            step = min(dt_s, duration_s - elapsed)
+            temps = self.step(step, power_w)
+            elapsed += step
+        return temps

@@ -1,0 +1,32 @@
+"""User-study substrate: comfort profiles, comfort analysis, satisfaction model."""
+
+from .comfort import ComfortAnalysis, analyse_comfort, analyse_for_user, discomfort_onset_time
+from .population import (
+    DEFAULT_USER_ID,
+    PAPER_USER_IDS,
+    ThermalComfortProfile,
+    UserPopulation,
+    paper_population,
+)
+from .satisfaction import (
+    PreferenceResult,
+    RatingModel,
+    SessionOutcome,
+    summarize_preferences,
+)
+
+__all__ = [
+    "ComfortAnalysis",
+    "analyse_comfort",
+    "analyse_for_user",
+    "discomfort_onset_time",
+    "DEFAULT_USER_ID",
+    "PAPER_USER_IDS",
+    "ThermalComfortProfile",
+    "UserPopulation",
+    "paper_population",
+    "PreferenceResult",
+    "RatingModel",
+    "SessionOutcome",
+    "summarize_preferences",
+]

@@ -1,0 +1,102 @@
+"""Comfort analysis: time spent above a user's limit, discomfort onset, severity.
+
+These are the quantities behind Figure 2 (percentage of a 30-minute Skype call
+spent above each user's comfort limit) and behind the comfort-threshold study
+of Figure 1 (the instant a ramping skin temperature first crosses the user's
+limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .population import ThermalComfortProfile
+
+__all__ = ["ComfortAnalysis", "analyse_comfort", "discomfort_onset_time"]
+
+
+@dataclass(frozen=True)
+class ComfortAnalysis:
+    """Summary of how a temperature trace relates to one user's comfort limit."""
+
+    user_id: str
+    limit_c: float
+    duration_s: float
+    time_over_limit_s: float
+    peak_temp_c: float
+    peak_exceedance_c: float
+    mean_exceedance_c: float
+    onset_time_s: Optional[float]
+
+    @property
+    def percent_time_over_limit(self) -> float:
+        """Percentage of the trace spent above the limit (Fig. 2's metric)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return 100.0 * self.time_over_limit_s / self.duration_s
+
+    @property
+    def ever_uncomfortable(self) -> bool:
+        """True if the limit was crossed at least once."""
+        return self.time_over_limit_s > 0
+
+
+def analyse_comfort(
+    temperatures_c: Sequence[float],
+    limit_c: float,
+    dt_s: float = 1.0,
+    user_id: str = "default",
+) -> ComfortAnalysis:
+    """Analyse a temperature trace against a comfort limit.
+
+    Args:
+        temperatures_c: the skin (or screen) temperature samples.
+        limit_c: the user's comfort limit.
+        dt_s: sampling period of the trace.
+        user_id: identifier carried into the result for reporting.
+    """
+    temps = np.asarray(list(temperatures_c), dtype=float)
+    if temps.size == 0:
+        raise ValueError("cannot analyse an empty temperature trace")
+    if dt_s <= 0:
+        raise ValueError("dt_s must be positive")
+
+    over = temps > limit_c
+    exceedance = np.where(over, temps - limit_c, 0.0)
+    onset_index = int(np.argmax(over)) if bool(np.any(over)) else None
+
+    return ComfortAnalysis(
+        user_id=user_id,
+        limit_c=limit_c,
+        duration_s=float(temps.size * dt_s),
+        time_over_limit_s=float(np.count_nonzero(over) * dt_s),
+        peak_temp_c=float(np.max(temps)),
+        peak_exceedance_c=float(np.max(exceedance)),
+        mean_exceedance_c=float(np.mean(exceedance)),
+        onset_time_s=None if onset_index is None else float(onset_index * dt_s),
+    )
+
+
+def analyse_for_user(
+    skin_temps_c: Sequence[float],
+    profile: ThermalComfortProfile,
+    dt_s: float = 1.0,
+) -> ComfortAnalysis:
+    """Convenience wrapper: analyse a skin-temperature trace against a profile."""
+    return analyse_comfort(skin_temps_c, profile.skin_limit_c, dt_s=dt_s, user_id=profile.user_id)
+
+
+def discomfort_onset_time(
+    temperatures_c: Sequence[float], limit_c: float, dt_s: float = 1.0
+) -> Optional[float]:
+    """Time (seconds) at which the trace first exceeds the limit, or ``None``.
+
+    This is the quantity measured in the Fig. 1 user study: participants report
+    the instant the device becomes unacceptably warm, which in the simulated
+    study is the first crossing of their comfort limit.
+    """
+    analysis = analyse_comfort(temperatures_c, limit_c, dt_s=dt_s)
+    return analysis.onset_time_s

@@ -1,0 +1,163 @@
+"""The synthetic user population.
+
+The paper's first user study (Fig. 1) measures, for ten participants (labelled
+a–j, five male and five female), the skin and screen temperature at which the
+discomfort became unacceptable.  The reported spread is large: the least
+tolerant user quits at a skin temperature of 34.0 °C, the most tolerant at
+42.8 °C, and the average — used as the "default user" limit for USTA's
+benchmark evaluation — is 37 °C.
+
+The profiles below reproduce that population: the same minimum, maximum and
+mean, a high-threshold group (users a, d, e, g, i — the ones for whom USTA
+"did not take any action" in the preference study) and a low-threshold group
+(b, c, f, h, j).  Each profile also carries the sensitivity weights used by the
+satisfaction model for the Fig. 5 preference study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["ThermalComfortProfile", "UserPopulation", "DEFAULT_USER_ID", "PAPER_USER_IDS"]
+
+DEFAULT_USER_ID = "default"
+
+#: The paper labels its participants a through j.
+PAPER_USER_IDS: Tuple[str, ...] = ("a", "b", "c", "d", "e", "f", "g", "h", "i", "j")
+
+
+@dataclass(frozen=True)
+class ThermalComfortProfile:
+    """One user's thermal comfort characteristics.
+
+    Attributes:
+        user_id: the paper's participant label (``"a"`` … ``"j"``) or
+            ``"default"`` for the average user.
+        skin_limit_c: back-cover temperature at which discomfort becomes
+            unacceptable.
+        screen_limit_c: screen temperature at which discomfort becomes
+            unacceptable.
+        heat_sensitivity: weight of thermal discomfort in the satisfaction
+            model (higher = rating drops faster when the phone runs hot).
+        performance_sensitivity: weight of perceived slowdown in the
+            satisfaction model (higher = rating drops faster when throttled).
+    """
+
+    user_id: str
+    skin_limit_c: float
+    screen_limit_c: float
+    heat_sensitivity: float = 1.0
+    performance_sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 25.0 < self.skin_limit_c < 60.0:
+            raise ValueError("skin_limit_c must be a plausible skin temperature limit")
+        if not 25.0 < self.screen_limit_c < 60.0:
+            raise ValueError("screen_limit_c must be a plausible screen temperature limit")
+        if self.heat_sensitivity < 0 or self.performance_sensitivity < 0:
+            raise ValueError("sensitivities must be non-negative")
+
+    @property
+    def usta_activation_temp_c(self) -> float:
+        """The temperature at which USTA starts intervening (limit − 2 °C)."""
+        return self.skin_limit_c - 2.0
+
+
+# Calibrated per-user limits: min 34.0 °C, max 42.8 °C, mean exactly 37.0 °C
+# (the paper's default-user limit).  Screen limits sit a couple of degrees
+# below the skin limits, as in Fig. 1.  Users c and g weight performance more
+# heavily — in the paper they are the two participants who preferred the
+# baseline governor.
+_PAPER_PROFILES: Tuple[ThermalComfortProfile, ...] = (
+    ThermalComfortProfile("a", 38.5, 36.5, heat_sensitivity=0.8, performance_sensitivity=1.0),
+    ThermalComfortProfile("b", 34.3, 33.0, heat_sensitivity=1.3, performance_sensitivity=0.8),
+    ThermalComfortProfile("c", 35.2, 33.8, heat_sensitivity=0.6, performance_sensitivity=2.4),
+    ThermalComfortProfile("d", 39.5, 37.5, heat_sensitivity=0.8, performance_sensitivity=1.0),
+    ThermalComfortProfile("e", 38.2, 36.0, heat_sensitivity=0.9, performance_sensitivity=1.0),
+    ThermalComfortProfile("f", 34.0, 32.5, heat_sensitivity=1.4, performance_sensitivity=0.7),
+    ThermalComfortProfile("g", 42.8, 40.0, heat_sensitivity=0.5, performance_sensitivity=2.0),
+    ThermalComfortProfile("h", 34.1, 32.8, heat_sensitivity=1.3, performance_sensitivity=0.8),
+    ThermalComfortProfile("i", 39.0, 37.0, heat_sensitivity=0.8, performance_sensitivity=1.0),
+    ThermalComfortProfile("j", 34.4, 33.2, heat_sensitivity=1.2, performance_sensitivity=0.8),
+)
+
+
+class UserPopulation:
+    """The ten study participants plus the derived "default" user."""
+
+    def __init__(self, profiles: Tuple[ThermalComfortProfile, ...] = _PAPER_PROFILES):
+        if not profiles:
+            raise ValueError("a population needs at least one profile")
+        self._profiles: Dict[str, ThermalComfortProfile] = {p.user_id: p for p in profiles}
+        if len(self._profiles) != len(profiles):
+            raise ValueError("duplicate user ids in the population")
+
+    # -- container protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> Iterator[ThermalComfortProfile]:
+        return iter(self._profiles.values())
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._profiles
+
+    def __getitem__(self, user_id: str) -> ThermalComfortProfile:
+        if user_id == DEFAULT_USER_ID:
+            return self.default_user()
+        return self._profiles[user_id]
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def user_ids(self) -> Tuple[str, ...]:
+        """All participant ids, in study order."""
+        return tuple(self._profiles)
+
+    def profiles(self) -> List[ThermalComfortProfile]:
+        """All participant profiles, in study order."""
+        return list(self._profiles.values())
+
+    def skin_limits(self) -> Dict[str, float]:
+        """Skin comfort limits keyed by user id."""
+        return {uid: p.skin_limit_c for uid, p in self._profiles.items()}
+
+    def screen_limits(self) -> Dict[str, float]:
+        """Screen comfort limits keyed by user id."""
+        return {uid: p.screen_limit_c for uid, p in self._profiles.items()}
+
+    @property
+    def min_skin_limit_c(self) -> float:
+        """The least tolerant participant's skin limit (34.0 °C in the paper)."""
+        return min(p.skin_limit_c for p in self._profiles.values())
+
+    @property
+    def max_skin_limit_c(self) -> float:
+        """The most tolerant participant's skin limit (42.8 °C in the paper)."""
+        return max(p.skin_limit_c for p in self._profiles.values())
+
+    @property
+    def mean_skin_limit_c(self) -> float:
+        """The average skin limit (37.0 °C — the paper's default USTA limit)."""
+        return sum(p.skin_limit_c for p in self._profiles.values()) / len(self._profiles)
+
+    def default_user(self) -> ThermalComfortProfile:
+        """The "default" user whose limit is the population average."""
+        return ThermalComfortProfile(
+            user_id=DEFAULT_USER_ID,
+            skin_limit_c=round(self.mean_skin_limit_c, 2),
+            screen_limit_c=round(
+                sum(p.screen_limit_c for p in self._profiles.values()) / len(self._profiles), 2
+            ),
+        )
+
+    def with_default(self) -> List[ThermalComfortProfile]:
+        """All participants plus the default user (the 11 settings of Fig. 2)."""
+        return self.profiles() + [self.default_user()]
+
+
+def paper_population() -> UserPopulation:
+    """The calibrated ten-user population of the paper's studies."""
+    return UserPopulation()

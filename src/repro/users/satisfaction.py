@@ -1,0 +1,144 @@
+"""Satisfaction / rating model for the blind preference study (Figure 5).
+
+The paper's final study asks each participant to hold the phone through two
+30-minute Skype video calls — one governed by the baseline ondemand policy and
+one by USTA configured to that user's own comfort limit — and then rate each
+session from 1 to 5, without knowing which scheme was active.  The reported
+outcome: baseline averages 4.0, USTA 4.3; four users see no difference (their
+thresholds are high enough that USTA never intervened), four prefer USTA and
+two prefer the baseline.
+
+The rating model below converts the two objective session outcomes — thermal
+discomfort and perceived slowdown — into a 1–5 rating using each user's
+sensitivity weights:
+
+* thermal penalty grows with the fraction of the session spent above the
+  user's limit and with how far above the limit the device got;
+* performance penalty grows with the relative throughput loss, but only beyond
+  a *noticeability floor* (a few percent of slowdown is imperceptible during a
+  video call — consistent with the paper's observation that no user noticed
+  USTA's frequency reductions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Literal, Sequence
+
+from .comfort import ComfortAnalysis
+from .population import ThermalComfortProfile
+
+__all__ = ["SessionOutcome", "RatingModel", "PreferenceResult"]
+
+Preference = Literal["usta", "baseline", "no_difference"]
+
+
+@dataclass(frozen=True)
+class SessionOutcome:
+    """Objective outcome of one rated session (one scheme, one user)."""
+
+    scheme: str
+    comfort: ComfortAnalysis
+    delivered_work: float
+    demanded_work: float
+
+    @property
+    def slowdown(self) -> float:
+        """Relative throughput loss in [0, 1] (0 = no work was lost)."""
+        if self.demanded_work <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.delivered_work / self.demanded_work)
+
+
+@dataclass
+class RatingModel:
+    """Maps a session outcome to a 1–5 satisfaction rating.
+
+    Attributes:
+        heat_time_weight: rating points lost per unit fraction of the session
+            spent over the limit.
+        heat_severity_weight: rating points lost per °C of mean exceedance.
+        performance_weight: rating points lost per unit of *noticeable*
+            slowdown.
+        slowdown_noticeability: slowdown below this fraction is imperceptible.
+        base_rating: rating of a perfectly cool, perfectly fast session.
+        indifference_band: minimum continuous-score difference a user needs to
+            state a preference (smaller differences count as "no difference").
+    """
+
+    heat_time_weight: float = 0.55
+    heat_severity_weight: float = 0.30
+    performance_weight: float = 0.8
+    slowdown_noticeability: float = 0.05
+    base_rating: float = 5.0
+    indifference_band: float = 0.25
+
+    def score(self, outcome: SessionOutcome, profile: ThermalComfortProfile) -> float:
+        """Continuous 1–5 satisfaction score of one session for one user."""
+        time_fraction = outcome.comfort.percent_time_over_limit / 100.0
+        thermal_penalty = profile.heat_sensitivity * (
+            self.heat_time_weight * time_fraction
+            + self.heat_severity_weight * outcome.comfort.mean_exceedance_c
+        )
+        noticeable = max(0.0, outcome.slowdown - self.slowdown_noticeability)
+        performance_penalty = (
+            profile.performance_sensitivity * self.performance_weight * noticeable
+        )
+        return float(min(5.0, max(1.0, self.base_rating - thermal_penalty - performance_penalty)))
+
+    def rate(self, outcome: SessionOutcome, profile: ThermalComfortProfile) -> int:
+        """Integer 1–5 rating (the value reported on the study questionnaire)."""
+        return int(round(self.score(outcome, profile)))
+
+    def preference(
+        self,
+        baseline: SessionOutcome,
+        usta: SessionOutcome,
+        profile: ThermalComfortProfile,
+    ) -> "PreferenceResult":
+        """Rate both sessions and derive the user's preference."""
+        baseline_rating = self.rate(baseline, profile)
+        usta_rating = self.rate(usta, profile)
+        # The preference question is separate from the 1-5 rating: two sessions
+        # can receive the same rounded rating while the user still leans one
+        # way (users c and g in the paper prefer the baseline despite equal
+        # ratings).  Preference therefore compares the continuous scores with a
+        # small indifference band.
+        baseline_score = self.score(baseline, profile)
+        usta_score = self.score(usta, profile)
+        if usta_score > baseline_score + self.indifference_band:
+            choice: Preference = "usta"
+        elif baseline_score > usta_score + self.indifference_band:
+            choice = "baseline"
+        else:
+            choice = "no_difference"
+        return PreferenceResult(
+            user_id=profile.user_id,
+            baseline_rating=baseline_rating,
+            usta_rating=usta_rating,
+            preference=choice,
+        )
+
+
+@dataclass(frozen=True)
+class PreferenceResult:
+    """One row of the Figure 5 study."""
+
+    user_id: str
+    baseline_rating: int
+    usta_rating: int
+    preference: Preference
+
+
+def summarize_preferences(results: Sequence[PreferenceResult]) -> Dict[str, float]:
+    """Aggregate a set of preference results (the numbers quoted in §IV.B)."""
+    if not results:
+        raise ValueError("no preference results to summarize")
+    count = len(results)
+    return {
+        "mean_baseline_rating": sum(r.baseline_rating for r in results) / count,
+        "mean_usta_rating": sum(r.usta_rating for r in results) / count,
+        "prefer_usta": float(sum(1 for r in results if r.preference == "usta")),
+        "prefer_baseline": float(sum(1 for r in results if r.preference == "baseline")),
+        "no_difference": float(sum(1 for r in results if r.preference == "no_difference")),
+    }

@@ -1,0 +1,38 @@
+"""Synthetic workload traces and the thirteen paper benchmarks."""
+
+from .benchmarks import (
+    ANTUTU_TESTER_BENCHMARK,
+    BENCHMARK_NAMES,
+    BENCHMARKS,
+    SKYPE_BENCHMARK,
+    BenchmarkSpec,
+    build_all_benchmarks,
+    build_benchmark,
+)
+from .generators import (
+    BurstyLoad,
+    ConstantLoad,
+    LoadGenerator,
+    PeriodicLoad,
+    PhasedLoad,
+    RampLoad,
+)
+from .trace import WorkloadSample, WorkloadTrace
+
+__all__ = [
+    "ANTUTU_TESTER_BENCHMARK",
+    "BENCHMARK_NAMES",
+    "BENCHMARKS",
+    "SKYPE_BENCHMARK",
+    "BenchmarkSpec",
+    "build_all_benchmarks",
+    "build_benchmark",
+    "BurstyLoad",
+    "ConstantLoad",
+    "LoadGenerator",
+    "PeriodicLoad",
+    "PhasedLoad",
+    "RampLoad",
+    "WorkloadSample",
+    "WorkloadTrace",
+]

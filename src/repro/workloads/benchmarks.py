@@ -1,0 +1,313 @@
+"""The thirteen benchmark workloads used in the paper's evaluation.
+
+The paper collects data with thirteen benchmarks: several configurations
+derived from the customizable AnTuTu Benchmark Set (CPU, CPU-GPU-RAM, User
+Experience, the full set, and a 1.5-hour CPU run), AnTuTu Tester, GFXBench 3.0,
+Vellamo, Skype (30-minute video call), YouTube playback, plus two built-in
+functionalities (video Record and Charging) and the game *The Legend of Holy
+Archer*.
+
+Each entry below is a synthetic trace generator tuned to the qualitative
+activity profile of the corresponding application class (compute bursts,
+GPU-bound rendering, sustained video call with camera and radio, idle
+charging, ...).  Durations are chosen to match the paper where it states them
+(30-minute Skype call, 1.5-hour AnTuTu CPU run) and to realistic run lengths
+otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .generators import BurstyLoad, ConstantLoad, LoadGenerator, PeriodicLoad, PhasedLoad, RampLoad
+from .trace import WorkloadSample, WorkloadTrace
+
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "BENCHMARK_NAMES",
+    "build_benchmark",
+    "build_all_benchmarks",
+    "SKYPE_BENCHMARK",
+    "ANTUTU_TESTER_BENCHMARK",
+]
+
+MINUTE = 60.0
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Description of one paper benchmark.
+
+    Attributes:
+        name: benchmark identifier used throughout the library.
+        title: human-readable title (as the paper labels it).
+        duration_s: nominal trace duration.
+        builder: callable producing the generator for a given seed.
+        description: one-line description of the activity profile.
+    """
+
+    name: str
+    title: str
+    duration_s: float
+    builder: Callable[[float, int], LoadGenerator]
+    description: str = ""
+
+    def build(self, seed: int = 0, duration_s: Optional[float] = None) -> WorkloadTrace:
+        """Generate the benchmark trace (optionally with a custom duration)."""
+        duration = duration_s if duration_s is not None else self.duration_s
+        generator = self.builder(duration, seed)
+        return generator.generate(self.name, description=self.description)
+
+
+# ---------------------------------------------------------------------------
+# Activity-profile builders
+# ---------------------------------------------------------------------------
+
+
+def _antutu_cpu(duration_s: float, seed: int) -> LoadGenerator:
+    """AnTuTu CPU sub-test: near-saturating integer/float bursts with short gaps."""
+    return BurstyLoad(
+        duration_s=duration_s,
+        seed=seed,
+        busy_demand=0.93,
+        idle_demand=0.30,
+        busy_duration_s=70.0,
+        idle_duration_s=8.0,
+        base_sample=WorkloadSample(gpu_activity=0.05, radio_activity=0.05, brightness=0.8),
+    )
+
+
+def _antutu_cpu_gpu_ram(duration_s: float, seed: int) -> LoadGenerator:
+    """AnTuTu CPU+GPU+RAM: alternating compute-bound and render-bound intervals."""
+    return PeriodicLoad(
+        duration_s=duration_s,
+        seed=seed,
+        high_demand=0.88,
+        low_demand=0.45,
+        period_s=120.0,
+        duty_cycle=0.55,
+        base_sample=WorkloadSample(gpu_activity=0.45, radio_activity=0.05, brightness=0.8),
+    )
+
+
+def _antutu_user_exp(duration_s: float, seed: int) -> LoadGenerator:
+    """AnTuTu User Experience: UI scrolling and media decode, moderate load."""
+    return BurstyLoad(
+        duration_s=duration_s,
+        seed=seed,
+        busy_demand=0.60,
+        idle_demand=0.18,
+        busy_duration_s=25.0,
+        idle_duration_s=15.0,
+        base_sample=WorkloadSample(gpu_activity=0.25, radio_activity=0.05, brightness=0.8),
+    )
+
+
+def _antutu_full(duration_s: float, seed: int) -> LoadGenerator:
+    """The full AnTuTu set: CPU, GPU, memory and UX phases back to back."""
+    quarter = duration_s / 4.0
+    base = WorkloadSample(gpu_activity=0.1, radio_activity=0.05, brightness=0.8)
+    gpu_base = WorkloadSample(gpu_activity=0.7, radio_activity=0.05, brightness=0.8)
+    return PhasedLoad(
+        seed=seed,
+        phases=[
+            ("cpu", ConstantLoad(duration_s=quarter, seed=seed + 1, demand=0.85, base_sample=base)),
+            ("gpu", ConstantLoad(duration_s=quarter, seed=seed + 2, demand=0.5, base_sample=gpu_base)),
+            ("ram", ConstantLoad(duration_s=quarter, seed=seed + 3, demand=0.70, base_sample=base)),
+            ("ux", BurstyLoad(
+                duration_s=quarter,
+                seed=seed + 4,
+                busy_demand=0.55,
+                idle_demand=0.2,
+                busy_duration_s=20.0,
+                idle_duration_s=10.0,
+                base_sample=base,
+            )),
+        ],
+    )
+
+
+def _antutu_cpu_long(duration_s: float, seed: int) -> LoadGenerator:
+    """The 1.5-hour AnTuTu CPU run: long sustained compute bursts."""
+    return BurstyLoad(
+        duration_s=duration_s,
+        seed=seed,
+        busy_demand=0.90,
+        idle_demand=0.35,
+        busy_duration_s=60.0,
+        idle_duration_s=12.0,
+        base_sample=WorkloadSample(gpu_activity=0.05, radio_activity=0.05, brightness=0.8),
+    )
+
+
+def _antutu_tester(duration_s: float, seed: int) -> LoadGenerator:
+    """AnTuTu Tester stress application: continuous saturating CPU load.
+
+    This is the workload the paper uses for the comfort-threshold user study:
+    it exceeds every participant's comfort limit while staying below the
+    CPU-temperature threshold of the built-in power management.
+    """
+    return ConstantLoad(
+        duration_s=duration_s,
+        seed=seed,
+        demand=0.97,
+        demand_jitter=0.02,
+        base_sample=WorkloadSample(gpu_activity=0.35, radio_activity=0.10, brightness=0.85),
+    )
+
+
+def _gfxbench(duration_s: float, seed: int) -> LoadGenerator:
+    """GFXBench 3.0: GPU-bound rendering, moderate CPU driver load."""
+    return ConstantLoad(
+        duration_s=duration_s,
+        seed=seed,
+        demand=0.40,
+        demand_jitter=0.05,
+        base_sample=WorkloadSample(gpu_activity=0.75, radio_activity=0.02, brightness=0.85),
+    )
+
+
+def _vellamo(duration_s: float, seed: int) -> LoadGenerator:
+    """Vellamo browser benchmark: scripted page loads, bursty CPU plus radio."""
+    return BurstyLoad(
+        duration_s=duration_s,
+        seed=seed,
+        busy_demand=0.72,
+        idle_demand=0.20,
+        busy_duration_s=20.0,
+        idle_duration_s=12.0,
+        base_sample=WorkloadSample(gpu_activity=0.15, radio_activity=0.35, brightness=0.8),
+    )
+
+
+def _skype(duration_s: float, seed: int) -> LoadGenerator:
+    """Skype video call: sustained encode/decode, camera and radio all active.
+
+    This is the paper's headline workload (Figures 2 and 4): a half-hour video
+    call heats the back cover past the average comfort limit under the baseline
+    governor.
+    """
+    return ConstantLoad(
+        duration_s=duration_s,
+        seed=seed,
+        demand=0.65,
+        demand_jitter=0.06,
+        base_sample=WorkloadSample(gpu_activity=0.50, radio_activity=0.90, brightness=0.85),
+    )
+
+
+def _youtube(duration_s: float, seed: int) -> LoadGenerator:
+    """YouTube playback: hardware-assisted decode, light CPU, steady radio."""
+    return ConstantLoad(
+        duration_s=duration_s,
+        seed=seed,
+        demand=0.20,
+        demand_jitter=0.05,
+        base_sample=WorkloadSample(gpu_activity=0.05, radio_activity=0.25, brightness=0.5),
+    )
+
+
+def _record(duration_s: float, seed: int) -> LoadGenerator:
+    """Built-in video recording: camera pipeline plus encoder, sustained."""
+    return ConstantLoad(
+        duration_s=duration_s,
+        seed=seed,
+        demand=0.50,
+        demand_jitter=0.05,
+        base_sample=WorkloadSample(gpu_activity=0.25, radio_activity=0.55, brightness=0.8),
+    )
+
+
+def _charging(duration_s: float, seed: int) -> LoadGenerator:
+    """Idle charging: screen off, charger connected, battery self-heating."""
+    return ConstantLoad(
+        duration_s=duration_s,
+        seed=seed,
+        demand=0.06,
+        demand_jitter=0.02,
+        base_sample=WorkloadSample(
+            gpu_activity=0.0,
+            radio_activity=0.05,
+            screen_on=False,
+            brightness=0.0,
+            charging=True,
+            touching=False,
+        ),
+    )
+
+
+def _game(duration_s: float, seed: int) -> LoadGenerator:
+    """The Legend of Holy Archer: mixed CPU/GPU game load with loading pauses."""
+    return BurstyLoad(
+        duration_s=duration_s,
+        seed=seed,
+        busy_demand=0.75,
+        idle_demand=0.30,
+        busy_duration_s=90.0,
+        idle_duration_s=15.0,
+        base_sample=WorkloadSample(gpu_activity=0.45, radio_activity=0.15, brightness=0.9),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+SKYPE_BENCHMARK = "skype"
+ANTUTU_TESTER_BENCHMARK = "antutu_tester"
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        BenchmarkSpec("antutu_cpu", "AnTuTu CPU", 30 * MINUTE, _antutu_cpu,
+                      "AnTuTu CPU sub-test: saturating compute bursts."),
+        BenchmarkSpec("antutu_cpu_gpu_ram", "AnTuTu CPU-GPU-RAM", 20 * MINUTE, _antutu_cpu_gpu_ram,
+                      "AnTuTu combined CPU/GPU/memory sub-tests."),
+        BenchmarkSpec("antutu_user_exp", "AnTuTu User Exp.", 15 * MINUTE, _antutu_user_exp,
+                      "AnTuTu user-experience sub-test: UI and media."),
+        BenchmarkSpec("antutu_full", "AnTuTu Full Set", 25 * MINUTE, _antutu_full,
+                      "Full AnTuTu benchmark set, all phases."),
+        BenchmarkSpec("antutu_cpu_long", "AnTuTu CPU (1.5 hours)", 90 * MINUTE, _antutu_cpu_long,
+                      "Extended 1.5-hour AnTuTu CPU run."),
+        BenchmarkSpec("antutu_tester", "AnTuTu Tester", 45 * MINUTE, _antutu_tester,
+                      "AnTuTu Tester stress application (user-study workload)."),
+        BenchmarkSpec("gfxbench", "GFXBench", 8 * MINUTE, _gfxbench,
+                      "GFXBench 3.0 GPU-bound rendering."),
+        BenchmarkSpec("vellamo", "Vellamo", 10 * MINUTE, _vellamo,
+                      "Vellamo browser/system benchmark."),
+        BenchmarkSpec("skype", "Skype", 30 * MINUTE, _skype,
+                      "Half-hour Skype video call (Figures 2 and 4)."),
+        BenchmarkSpec("youtube", "Youtube", 30 * MINUTE, _youtube,
+                      "YouTube video playback."),
+        BenchmarkSpec("record", "Record", 30 * MINUTE, _record,
+                      "Built-in camera video recording."),
+        BenchmarkSpec("charging", "Charging", 30 * MINUTE, _charging,
+                      "Idle charging with the screen off."),
+        BenchmarkSpec("game", "Game", 30 * MINUTE, _game,
+                      "The Legend of Holy Archer gameplay."),
+    ]
+}
+
+#: Benchmark names in the paper's Table 1 column order.
+BENCHMARK_NAMES: Tuple[str, ...] = tuple(BENCHMARKS)
+
+
+def build_benchmark(name: str, seed: int = 0, duration_s: Optional[float] = None) -> WorkloadTrace:
+    """Build one benchmark trace by name.
+
+    Raises:
+        KeyError: if the name is not one of the thirteen paper benchmarks.
+    """
+    try:
+        spec = BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(BENCHMARK_NAMES)
+        raise KeyError(f"unknown benchmark {name!r}; known benchmarks: {known}") from None
+    return spec.build(seed=seed, duration_s=duration_s)
+
+
+def build_all_benchmarks(seed: int = 0) -> List[WorkloadTrace]:
+    """Build all thirteen benchmark traces (in Table 1 order)."""
+    return [BENCHMARKS[name].build(seed=seed) for name in BENCHMARK_NAMES]

@@ -1,0 +1,244 @@
+"""Synthetic workload generators.
+
+The paper drives the phone with real Android applications; offline we need
+activity traces with the same qualitative structure.  The generators in this
+module produce seeded, reproducible traces of the common application shapes:
+
+* :class:`ConstantLoad` — steady activity (video playback, video call);
+* :class:`BurstyLoad` — alternating busy bursts and quieter gaps with jitter
+  (benchmark suites, games with loading screens);
+* :class:`PeriodicLoad` — square-wave activity (benchmark sub-tests run
+  back-to-back);
+* :class:`RampLoad` — demand rising (or falling) linearly over the trace
+  (warm-up phases, progressive benchmark stages);
+* :class:`PhasedLoad` — an arbitrary sequence of named phases, each with its
+  own generator, concatenated.
+
+Every generator draws per-sample jitter from a seeded
+:class:`numpy.random.Generator`, so a (generator, seed) pair always produces
+the same trace.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .trace import WorkloadSample, WorkloadTrace
+
+__all__ = [
+    "LoadGenerator",
+    "ConstantLoad",
+    "BurstyLoad",
+    "PeriodicLoad",
+    "RampLoad",
+    "PhasedLoad",
+]
+
+
+def _clip01(value: float) -> float:
+    return float(min(1.0, max(0.0, value)))
+
+
+@dataclass
+class LoadGenerator(abc.ABC):
+    """Base class for trace generators.
+
+    Attributes:
+        duration_s: length of the generated trace in seconds.
+        sample_period_s: sampling period of the generated trace.
+        base_sample: template for the non-CPU fields (GPU, radio, screen,
+            charging, touching); generators typically vary only ``cpu_demand``
+            and sometimes ``gpu_activity`` around this template.
+        demand_jitter: standard deviation of gaussian jitter added to the CPU
+            demand of every sample.
+        seed: RNG seed.
+    """
+
+    duration_s: float = 600.0
+    sample_period_s: float = 1.0
+    base_sample: WorkloadSample = field(default_factory=WorkloadSample)
+    demand_jitter: float = 0.03
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.sample_period_s <= 0:
+            raise ValueError("sample_period_s must be positive")
+        if self.demand_jitter < 0:
+            raise ValueError("demand_jitter must be non-negative")
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples the generator will emit."""
+        return max(1, int(round(self.duration_s / self.sample_period_s)))
+
+    def generate(self, name: str, description: str = "") -> WorkloadTrace:
+        """Generate the trace."""
+        rng = np.random.default_rng(self.seed)
+        samples: List[WorkloadSample] = []
+        for index in range(self.num_samples):
+            time_s = index * self.sample_period_s
+            demand = self._demand_at(index, time_s, rng)
+            if self.demand_jitter > 0:
+                demand += float(rng.normal(0.0, self.demand_jitter))
+            sample = self._decorate(
+                replace(self.base_sample, cpu_demand=_clip01(demand)), index, time_s, rng
+            )
+            samples.append(sample)
+        return WorkloadTrace(
+            name=name,
+            samples=samples,
+            sample_period_s=self.sample_period_s,
+            description=description,
+        )
+
+    @abc.abstractmethod
+    def _demand_at(self, index: int, time_s: float, rng: np.random.Generator) -> float:
+        """CPU demand (before jitter) at a sample index."""
+
+    def _decorate(
+        self,
+        sample: WorkloadSample,
+        index: int,
+        time_s: float,
+        rng: np.random.Generator,
+    ) -> WorkloadSample:
+        """Hook for subclasses that vary more than CPU demand."""
+        return sample
+
+
+@dataclass
+class ConstantLoad(LoadGenerator):
+    """Steady CPU demand (video call, playback, sustained compute)."""
+
+    demand: float = 0.5
+
+    def _demand_at(self, index: int, time_s: float, rng: np.random.Generator) -> float:
+        return self.demand
+
+
+@dataclass
+class BurstyLoad(LoadGenerator):
+    """Alternating busy bursts and quiet gaps with randomized lengths.
+
+    Attributes:
+        busy_demand: CPU demand during a burst.
+        idle_demand: CPU demand between bursts.
+        busy_duration_s: mean burst length.
+        idle_duration_s: mean gap length.
+        duration_jitter: fractional jitter applied to each burst/gap length.
+    """
+
+    busy_demand: float = 0.95
+    idle_demand: float = 0.15
+    busy_duration_s: float = 30.0
+    idle_duration_s: float = 10.0
+    duration_jitter: float = 0.3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.busy_duration_s <= 0 or self.idle_duration_s <= 0:
+            raise ValueError("burst and gap durations must be positive")
+        self._schedule: Optional[List[Tuple[float, float, float]]] = None
+
+    def _build_schedule(self, rng: np.random.Generator) -> List[Tuple[float, float, float]]:
+        """Build (start, end, demand) segments covering the whole trace."""
+        schedule: List[Tuple[float, float, float]] = []
+        time_s = 0.0
+        busy = True
+        while time_s < self.duration_s:
+            mean = self.busy_duration_s if busy else self.idle_duration_s
+            jitter = 1.0 + float(rng.uniform(-self.duration_jitter, self.duration_jitter))
+            length = max(self.sample_period_s, mean * jitter)
+            demand = self.busy_demand if busy else self.idle_demand
+            schedule.append((time_s, time_s + length, demand))
+            time_s += length
+            busy = not busy
+        return schedule
+
+    def generate(self, name: str, description: str = "") -> WorkloadTrace:
+        # The burst schedule must be drawn once per trace, before per-sample
+        # jitter, so it is rebuilt here with a dedicated RNG stream.
+        self._schedule = self._build_schedule(np.random.default_rng(self.seed + 1))
+        return super().generate(name, description)
+
+    def _demand_at(self, index: int, time_s: float, rng: np.random.Generator) -> float:
+        if not self._schedule:
+            self._schedule = self._build_schedule(np.random.default_rng(self.seed + 1))
+        for start, end, demand in self._schedule:
+            if start <= time_s < end:
+                return demand
+        return self._schedule[-1][2]
+
+
+@dataclass
+class PeriodicLoad(LoadGenerator):
+    """Deterministic square wave between a high and a low demand."""
+
+    high_demand: float = 0.9
+    low_demand: float = 0.2
+    period_s: float = 60.0
+    duty_cycle: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not 0.0 < self.duty_cycle < 1.0:
+            raise ValueError("duty_cycle must be strictly between 0 and 1")
+
+    def _demand_at(self, index: int, time_s: float, rng: np.random.Generator) -> float:
+        phase = (time_s % self.period_s) / self.period_s
+        return self.high_demand if phase < self.duty_cycle else self.low_demand
+
+
+@dataclass
+class RampLoad(LoadGenerator):
+    """Demand interpolated linearly from ``start_demand`` to ``end_demand``."""
+
+    start_demand: float = 0.1
+    end_demand: float = 1.0
+
+    def _demand_at(self, index: int, time_s: float, rng: np.random.Generator) -> float:
+        if self.num_samples <= 1:
+            return self.end_demand
+        progress = index / (self.num_samples - 1)
+        return self.start_demand + progress * (self.end_demand - self.start_demand)
+
+
+@dataclass
+class PhasedLoad(LoadGenerator):
+    """A sequence of named phases, each produced by its own generator.
+
+    The phase generators keep their own durations; the outer ``duration_s`` is
+    ignored (it is recomputed from the phases).
+    """
+
+    phases: Sequence[Tuple[str, LoadGenerator]] = ()
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("PhasedLoad needs at least one phase")
+        self.duration_s = sum(gen.duration_s for _, gen in self.phases)
+        super().__post_init__()
+
+    def generate(self, name: str, description: str = "") -> WorkloadTrace:
+        trace: Optional[WorkloadTrace] = None
+        for phase_name, generator in self.phases:
+            phase_trace = generator.generate(f"{name}:{phase_name}")
+            trace = phase_trace if trace is None else trace.concatenated(phase_trace, name=name)
+        assert trace is not None
+        return WorkloadTrace(
+            name=name,
+            samples=list(trace.samples),
+            sample_period_s=trace.sample_period_s,
+            description=description,
+        )
+
+    def _demand_at(self, index: int, time_s: float, rng: np.random.Generator) -> float:
+        raise NotImplementedError("PhasedLoad delegates generation to its phases")

@@ -1,0 +1,203 @@
+"""Workload traces.
+
+A *workload trace* is the time series of activity a benchmark or application
+imposes on the device: CPU demand (fraction of maximum-frequency capacity),
+GPU activity, radio/camera activity, screen state and brightness, charging
+state and whether the user is holding the phone.  Traces are sampled at a
+fixed period (1 s by default) and are what the simulation engine replays
+against the :class:`~repro.device.platform.DevicePlatform`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from ..device.platform import DeviceActivity
+
+__all__ = ["WorkloadSample", "WorkloadTrace"]
+
+
+@dataclass(frozen=True)
+class WorkloadSample:
+    """Activity requested during one trace sample."""
+
+    cpu_demand: float = 0.0
+    gpu_activity: float = 0.0
+    radio_activity: float = 0.0
+    screen_on: bool = True
+    brightness: float = 0.7
+    charging: bool = False
+    touching: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("cpu_demand", "gpu_activity", "radio_activity", "brightness"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {value}")
+
+    def to_activity(self) -> DeviceActivity:
+        """Convert to the device-facing :class:`DeviceActivity`."""
+        return DeviceActivity(
+            cpu_demand=self.cpu_demand,
+            gpu_activity=self.gpu_activity,
+            radio_activity=self.radio_activity,
+            screen_on=self.screen_on,
+            brightness=self.brightness,
+            charging=self.charging,
+            touching=self.touching,
+        )
+
+
+@dataclass
+class WorkloadTrace:
+    """A named, fixed-period sequence of :class:`WorkloadSample` entries.
+
+    Attributes:
+        name: workload identifier (e.g. ``"skype"``).
+        samples: the activity samples in playback order.
+        sample_period_s: trace sampling period in seconds.
+        description: optional human-readable description.
+    """
+
+    name: str
+    samples: List[WorkloadSample] = field(default_factory=list)
+    sample_period_s: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sample_period_s <= 0:
+            raise ValueError("sample_period_s must be positive")
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[WorkloadSample]:
+        return iter(self.samples)
+
+    def __getitem__(self, index: int) -> WorkloadSample:
+        return self.samples[index]
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """Total trace duration in seconds."""
+        return len(self.samples) * self.sample_period_s
+
+    @property
+    def mean_cpu_demand(self) -> float:
+        """Average CPU demand over the trace."""
+        if not self.samples:
+            return 0.0
+        return sum(s.cpu_demand for s in self.samples) / len(self.samples)
+
+    @property
+    def peak_cpu_demand(self) -> float:
+        """Maximum CPU demand over the trace."""
+        if not self.samples:
+            return 0.0
+        return max(s.cpu_demand for s in self.samples)
+
+    def sample_at(self, time_s: float) -> WorkloadSample:
+        """The sample active at absolute trace time ``time_s`` (clamped)."""
+        if not self.samples:
+            raise ValueError(f"trace {self.name!r} is empty")
+        index = int(time_s / self.sample_period_s)
+        index = max(0, min(len(self.samples) - 1, index))
+        return self.samples[index]
+
+    # -- trace algebra ----------------------------------------------------------
+
+    def truncated(self, duration_s: float) -> "WorkloadTrace":
+        """A copy of the trace limited to the first ``duration_s`` seconds."""
+        count = max(1, int(round(duration_s / self.sample_period_s)))
+        return WorkloadTrace(
+            name=self.name,
+            samples=list(self.samples[:count]),
+            sample_period_s=self.sample_period_s,
+            description=self.description,
+        )
+
+    def repeated(self, times: int) -> "WorkloadTrace":
+        """A copy with the sample sequence repeated ``times`` times."""
+        if times < 1:
+            raise ValueError("times must be at least 1")
+        return WorkloadTrace(
+            name=self.name,
+            samples=list(self.samples) * times,
+            sample_period_s=self.sample_period_s,
+            description=self.description,
+        )
+
+    def concatenated(self, other: "WorkloadTrace", name: Optional[str] = None) -> "WorkloadTrace":
+        """This trace followed by another (periods must match)."""
+        if abs(other.sample_period_s - self.sample_period_s) > 1e-9:
+            raise ValueError("cannot concatenate traces with different sample periods")
+        return WorkloadTrace(
+            name=name or f"{self.name}+{other.name}",
+            samples=list(self.samples) + list(other.samples),
+            sample_period_s=self.sample_period_s,
+            description=self.description,
+        )
+
+    def scaled_demand(self, factor: float, name: Optional[str] = None) -> "WorkloadTrace":
+        """A copy with CPU demand multiplied by ``factor`` (clipped to [0, 1])."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        samples = [
+            replace(s, cpu_demand=min(1.0, s.cpu_demand * factor)) for s in self.samples
+        ]
+        return WorkloadTrace(
+            name=name or self.name,
+            samples=samples,
+            sample_period_s=self.sample_period_s,
+            description=self.description,
+        )
+
+    def mapped(
+        self, transform: Callable[[WorkloadSample], WorkloadSample], name: Optional[str] = None
+    ) -> "WorkloadTrace":
+        """A copy with every sample passed through ``transform``."""
+        return WorkloadTrace(
+            name=name or self.name,
+            samples=[transform(s) for s in self.samples],
+            sample_period_s=self.sample_period_s,
+            description=self.description,
+        )
+
+    @classmethod
+    def from_samples(
+        cls,
+        name: str,
+        samples: Iterable[WorkloadSample],
+        sample_period_s: float = 1.0,
+        description: str = "",
+    ) -> "WorkloadTrace":
+        """Build a trace from any iterable of samples."""
+        return cls(
+            name=name,
+            samples=list(samples),
+            sample_period_s=sample_period_s,
+            description=description,
+        )
+
+    @classmethod
+    def constant(
+        cls,
+        name: str,
+        duration_s: float,
+        sample: WorkloadSample,
+        sample_period_s: float = 1.0,
+        description: str = "",
+    ) -> "WorkloadTrace":
+        """Build a trace that repeats one sample for ``duration_s`` seconds."""
+        count = max(1, int(round(duration_s / sample_period_s)))
+        return cls(
+            name=name,
+            samples=[sample] * count,
+            sample_period_s=sample_period_s,
+            description=description,
+        )

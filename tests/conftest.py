@@ -1,0 +1,115 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (training data, trained predictors, reproduction contexts)
+are built once per session at reduced workload durations so the full suite
+stays fast while still exercising the real pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.context import ReproductionContext
+from repro.core.pipeline import collect_training_data, train_runtime_predictor
+from repro.core.predictor import RuntimePredictor
+from repro.device.freq_table import nexus4_frequency_table
+from repro.device.platform import DevicePlatform
+from repro.governors.ondemand import OndemandGovernor
+from repro.ml.dataset import Dataset
+from repro.ml.linear import LinearRegression
+from repro.sim.logger import FEATURE_NAMES
+from repro.workloads.benchmarks import build_benchmark
+
+
+@pytest.fixture(scope="session")
+def freq_table():
+    """The Nexus 4 frequency table."""
+    return nexus4_frequency_table()
+
+
+@pytest.fixture()
+def platform():
+    """A fresh simulated handset with deterministic sensor noise."""
+    return DevicePlatform(seed=7)
+
+
+@pytest.fixture()
+def ondemand(freq_table):
+    """A fresh ondemand governor."""
+    return OndemandGovernor(table=freq_table)
+
+
+def _linear_training_dataset(target_offset: float) -> Dataset:
+    """A synthetic dataset where the exterior temperature tracks the CPU temperature.
+
+    The generated relationship is ``target = cpu_temp - target_offset`` with
+    small contributions from the other features, spanning 25-60 °C so that a
+    model trained on it extrapolates sensibly in controller tests.
+    """
+    rng = np.random.default_rng(42)
+    n = 400
+    cpu_temp = rng.uniform(25.0, 60.0, n)
+    battery_temp = cpu_temp - rng.uniform(1.0, 4.0, n)
+    utilization = rng.uniform(0.0, 1.0, n)
+    frequency = rng.choice(nexus4_frequency_table().frequencies_khz, n).astype(float)
+    target = cpu_temp - target_offset + 0.02 * utilization
+    features = np.column_stack([cpu_temp, battery_temp, utilization, frequency])
+    return Dataset(
+        features=features,
+        target=target,
+        feature_names=FEATURE_NAMES,
+        target_name="skin_temp_c",
+    )
+
+
+@pytest.fixture(scope="session")
+def linear_predictor() -> RuntimePredictor:
+    """A predictor whose skin prediction is (CPU temperature - 5 °C).
+
+    Because it is linear it extrapolates over any temperature range, which
+    makes USTA controller tests independent of the thermal calibration.
+    """
+    skin = LinearRegression().fit(_linear_training_dataset(5.0))
+    screen = LinearRegression().fit(_linear_training_dataset(7.0))
+    return RuntimePredictor(skin_model=skin, screen_model=screen)
+
+
+@pytest.fixture(scope="session")
+def small_training_data():
+    """A small pooled training set built from three shortened benchmarks."""
+    return collect_training_data(
+        benchmarks=("skype", "antutu_tester", "youtube"),
+        seed=3,
+        duration_scale=0.1,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_predictor(small_training_data) -> RuntimePredictor:
+    """A REPTree predictor trained on the small pooled training set."""
+    return train_runtime_predictor(small_training_data, model_name="reptree", seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_context(linear_predictor, small_training_data) -> ReproductionContext:
+    """A reproduction context that is cheap to evaluate in analysis tests.
+
+    It reuses the small training data but deploys the linear predictor, whose
+    extrapolation keeps USTA responsive even on shortened workloads.
+    """
+    from repro.users.population import paper_population
+
+    return ReproductionContext(
+        predictor=linear_predictor,
+        training_data=small_training_data,
+        population=paper_population(),
+        seed=3,
+        duration_scale=0.1,
+    )
+
+
+@pytest.fixture(scope="session")
+def skype_trace_short():
+    """A five-minute Skype trace for integration tests."""
+    return build_benchmark("skype", seed=1, duration_s=300)

@@ -1,0 +1,206 @@
+"""Tests for the paper-reproduction analysis (Table 1 and Figures 1-5).
+
+All experiments run on shortened workloads through the ``small_context``
+fixture; the full-length reproduction lives in the benchmark harness.
+"""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_DEFAULT_LIMIT_C,
+    PAPER_TABLE1,
+    PAPER_USER_STUDY_RANGE_C,
+    figure1_user_thresholds,
+    figure2_time_over_threshold,
+    figure3_prediction_errors,
+    figure4_skype_traces,
+    figure5_user_ratings,
+    format_table,
+    render_figure1,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_table1,
+    reproduce_table1,
+)
+from repro.analysis.context import ReproductionContext
+
+
+class TestPaperData:
+    def test_table1_covers_all_thirteen_benchmarks(self):
+        assert len(PAPER_TABLE1) == 13
+
+    def test_default_limit_and_user_range(self):
+        assert PAPER_DEFAULT_LIMIT_C == 37.0
+        assert PAPER_USER_STUDY_RANGE_C == (34.0, 42.8)
+
+    def test_usta_reduces_peak_in_paper_table_for_hot_benchmarks(self):
+        # Sanity of the transcription: on the hot benchmarks the paper's USTA
+        # column is cooler than the baseline column.
+        for name in ("antutu_tester", "skype", "antutu_cpu"):
+            row = PAPER_TABLE1[name]
+            assert row.usta_max_skin_c < row.baseline_max_skin_c
+
+
+class TestContext:
+    def test_context_provides_usta_builders(self, small_context):
+        default = small_context.usta_default()
+        assert default.skin_limit_c == pytest.approx(37.0, abs=0.05)
+        user = small_context.usta_for_user(small_context.population["f"])
+        assert user.skin_limit_c == pytest.approx(34.0)
+        fixed = small_context.usta_for_limit(40.0)
+        assert fixed.skin_limit_c == 40.0
+
+    def test_build_constructs_trained_predictor(self):
+        context = ReproductionContext.build(seed=1, duration_scale=0.03)
+        assert context.training_data.num_records > 10
+        assert context.predictor.skin_model.is_fitted
+
+
+class TestFigure1:
+    def test_rows_cover_all_users(self, small_context):
+        rows = figure1_user_thresholds(small_context, duration_s=300)
+        assert len(rows) == 10
+        assert {row.user_id for row in rows} == set(small_context.population.user_ids)
+
+    def test_limits_match_population(self, small_context):
+        rows = figure1_user_thresholds(small_context, duration_s=300)
+        limits = {row.user_id: row.skin_limit_c for row in rows}
+        assert limits["f"] == pytest.approx(34.0)
+        assert limits["g"] == pytest.approx(42.8)
+
+    def test_less_tolerant_users_report_discomfort_sooner(self, small_context):
+        # A longer stress run crosses the lower limits first.
+        rows = figure1_user_thresholds(small_context, duration_s=1500)
+        onsets = {row.user_id: row.onset_time_s for row in rows}
+        if onsets["f"] is not None and onsets["a"] is not None:
+            assert onsets["f"] <= onsets["a"]
+        # The most tolerant user never gets uncomfortable on a shortened run.
+        assert onsets["g"] is None
+
+
+class TestFigure2:
+    def test_eleven_limit_settings(self, small_context):
+        rows = figure2_time_over_threshold(small_context, duration_s=240)
+        assert len(rows) == 11
+        assert rows[-1].user_id == "default"
+
+    def test_percentages_bounded(self, small_context):
+        rows = figure2_time_over_threshold(small_context, duration_s=240)
+        assert all(0.0 <= row.percent_time_over_limit <= 100.0 for row in rows)
+
+    def test_tolerant_users_never_exceed_their_limit(self, small_context):
+        rows = figure2_time_over_threshold(small_context, duration_s=240)
+        by_user = {row.user_id: row for row in rows}
+        assert by_user["g"].percent_time_over_limit == 0.0
+
+    def test_baseline_variant_is_at_least_as_bad(self, small_context):
+        usta_rows = figure2_time_over_threshold(small_context, duration_s=600, under_usta=True)
+        base_rows = figure2_time_over_threshold(small_context, duration_s=600, under_usta=False)
+        for u, b in zip(usta_rows, base_rows):
+            assert u.percent_time_over_limit <= b.percent_time_over_limit + 1e-6
+
+
+class TestFigure3:
+    def test_rows_cover_requested_models(self, small_context):
+        rows = figure3_prediction_errors(
+            small_context, folds=4, model_names=("linear_regression", "reptree")
+        )
+        assert {row.model_name for row in rows} == {"linear_regression", "reptree"}
+
+    def test_error_rates_are_non_negative_and_deadband_not_larger(self, small_context):
+        rows = figure3_prediction_errors(small_context, folds=4, model_names=("reptree",))
+        row = rows[0]
+        assert row.skin_error_rate_pct >= 0.0
+        assert row.skin_error_rate_deadband_pct <= row.skin_error_rate_pct + 1e-9
+        assert row.screen_error_rate_deadband_pct <= row.screen_error_rate_pct + 1e-9
+
+
+class TestFigure4:
+    def test_series_structure_and_reduction(self, small_context):
+        series = figure4_skype_traces(small_context, duration_s=900)
+        assert series.limit_c == pytest.approx(37.0, abs=0.05)
+        assert len(series.baseline) == len(series.usta) == 900
+        sampled = series.sampled_series(every_s=60.0)
+        assert len(sampled) == 15
+        assert set(sampled[0]) == {
+            "time_s",
+            "baseline_skin_c",
+            "usta_skin_c",
+            "baseline_screen_c",
+            "usta_screen_c",
+        }
+
+    def test_usta_never_hotter_than_baseline_at_peak(self, small_context):
+        series = figure4_skype_traces(small_context, duration_s=900)
+        assert series.usta.max_skin_temp_c <= series.baseline.max_skin_temp_c + 0.2
+        assert 0.0 <= series.average_frequency_reduction_fraction <= 1.0
+
+
+class TestFigure5:
+    def test_rows_and_summary(self, small_context):
+        rows, summary = figure5_user_ratings(small_context, duration_s=600)
+        assert len(rows) == 10
+        assert all(1 <= row.baseline_rating <= 5 for row in rows)
+        assert all(1 <= row.usta_rating <= 5 for row in rows)
+        assert (
+            summary["prefer_usta"] + summary["prefer_baseline"] + summary["no_difference"] == 10
+        )
+        assert 1.0 <= summary["mean_baseline_rating"] <= 5.0
+        assert 1.0 <= summary["mean_usta_rating"] <= 5.0
+
+    def test_usta_not_worse_on_average(self, small_context):
+        _, summary = figure5_user_ratings(small_context, duration_s=600)
+        assert summary["mean_usta_rating"] >= summary["mean_baseline_rating"] - 0.11
+
+
+class TestTable1:
+    def test_subset_of_benchmarks(self, small_context):
+        rows = reproduce_table1(
+            small_context, benchmarks=("youtube", "skype"), duration_scale=0.1
+        )
+        assert [row.benchmark for row in rows] == ["youtube", "skype"]
+        for row in rows:
+            assert row.paper is not None
+            assert row.baseline_max_skin_c > 20.0
+            assert row.usta_max_skin_c > 20.0
+            assert row.baseline_avg_freq_ghz > 0.0
+
+    def test_skin_reduction_property(self, small_context):
+        rows = reproduce_table1(small_context, benchmarks=("skype",), duration_scale=0.2)
+        row = rows[0]
+        assert row.skin_reduction_c == pytest.approx(
+            row.baseline_max_skin_c - row.usta_max_skin_c
+        )
+
+    def test_invalid_duration_scale(self, small_context):
+        with pytest.raises(ValueError):
+            reproduce_table1(small_context, duration_scale=0.0)
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_functions_produce_text(self, small_context):
+        fig1 = render_figure1(figure1_user_thresholds(small_context, duration_s=120))
+        assert "user" in fig1 and "g" in fig1
+        fig2 = render_figure2(figure2_time_over_threshold(small_context, duration_s=120))
+        assert "% time over limit" in fig2
+        fig3 = render_figure3(
+            figure3_prediction_errors(small_context, folds=3, model_names=("reptree",))
+        )
+        assert "reptree" in fig3
+        fig4 = render_figure4(figure4_skype_traces(small_context, duration_s=300), every_s=100)
+        assert "peak skin reduction" in fig4
+        rows5, summary5 = figure5_user_ratings(small_context, duration_s=300)
+        fig5 = render_figure5(rows5, summary5)
+        assert "mean baseline rating" in fig5
+        table = render_table1(
+            reproduce_table1(small_context, benchmarks=("youtube",), duration_scale=0.05)
+        )
+        assert "youtube" in table

@@ -1,0 +1,222 @@
+"""Tests for the battery, CPU execution model and temperature sensors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.device.battery import Battery
+from repro.device.cpu import Cpu
+from repro.device.freq_table import nexus4_frequency_table
+from repro.device.sensors import SensorSuite, TemperatureSensor
+
+
+class TestBattery:
+    def test_discharging_reduces_state_of_charge(self):
+        battery = Battery(state_of_charge=0.5)
+        battery.step(dt_s=3600.0, platform_draw_w=2.0, charging=False)
+        assert battery.state_of_charge < 0.5
+
+    def test_charging_increases_state_of_charge(self):
+        battery = Battery(state_of_charge=0.5)
+        battery.step(dt_s=3600.0, platform_draw_w=0.5, charging=True)
+        assert battery.state_of_charge > 0.5
+
+    def test_state_of_charge_stays_in_bounds(self):
+        battery = Battery(state_of_charge=0.999)
+        for _ in range(100):
+            battery.step(dt_s=3600.0, platform_draw_w=0.0, charging=True)
+        assert battery.state_of_charge <= 1.0
+        battery = Battery(state_of_charge=0.001)
+        for _ in range(100):
+            battery.step(dt_s=3600.0, platform_draw_w=5.0, charging=False)
+        assert battery.state_of_charge >= 0.0
+
+    def test_energy_accounting(self):
+        battery = Battery(capacity_wh=8.0, state_of_charge=0.5)
+        assert battery.energy_wh == pytest.approx(4.0)
+
+    def test_full_and_empty_flags(self):
+        assert Battery(state_of_charge=0.999).is_full
+        assert Battery(state_of_charge=0.001).is_empty
+        assert not Battery(state_of_charge=0.5).is_full
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_wh=0.0)
+        with pytest.raises(ValueError):
+            Battery(state_of_charge=1.5)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            Battery().step(dt_s=-1.0, platform_draw_w=1.0, charging=False)
+
+    @given(
+        draw=st.floats(0.0, 6.0),
+        charging=st.booleans(),
+        steps=st.integers(1, 50),
+    )
+    def test_soc_always_within_unit_interval(self, draw, charging, steps):
+        battery = Battery(state_of_charge=0.5)
+        for _ in range(steps):
+            battery.step(dt_s=60.0, platform_draw_w=draw, charging=charging)
+            assert 0.0 <= battery.state_of_charge <= 1.0
+
+
+class TestCpu:
+    def test_full_speed_serves_all_demand(self):
+        cpu = Cpu()
+        cpu.set_level(cpu.table.max_level)
+        state = cpu.run_window(demand=1.0, dt_s=1.0)
+        assert state.delivered_work == pytest.approx(1.0)
+        assert state.utilization == pytest.approx(1.0)
+        assert state.pending_work == pytest.approx(0.0)
+
+    def test_low_frequency_saturates_on_heavy_demand(self):
+        cpu = Cpu()
+        cpu.set_level(0)
+        state = cpu.run_window(demand=1.0, dt_s=1.0)
+        capacity = cpu.table.min_frequency_khz / cpu.table.max_frequency_khz
+        assert state.delivered_work == pytest.approx(capacity)
+        assert state.saturated
+        assert state.pending_work > 0
+
+    def test_backlog_drains_when_frequency_recovers(self):
+        cpu = Cpu()
+        cpu.set_level(0)
+        cpu.run_window(demand=1.0, dt_s=1.0)
+        assert cpu.backlog > 0
+        cpu.set_level(cpu.table.max_level)
+        cpu.run_window(demand=0.0, dt_s=1.0)
+        assert cpu.backlog == pytest.approx(0.0)
+
+    def test_backlog_is_capped(self):
+        cpu = Cpu(max_backlog=1.5)
+        cpu.set_level(0)
+        for _ in range(20):
+            cpu.run_window(demand=1.0, dt_s=1.0)
+        assert cpu.backlog <= 1.5
+
+    def test_no_carry_over_mode(self):
+        cpu = Cpu(carry_over=False)
+        cpu.set_level(0)
+        cpu.run_window(demand=1.0, dt_s=1.0)
+        assert cpu.backlog == 0.0
+
+    def test_utilization_reflects_frequency(self):
+        cpu = Cpu()
+        cpu.set_level(cpu.table.max_level)
+        full = cpu.run_window(demand=0.4, dt_s=1.0)
+        cpu.reset()
+        cpu.set_level(cpu.table.level_of(756_000))
+        half = cpu.run_window(demand=0.4, dt_s=1.0)
+        assert half.utilization > full.utilization
+
+    def test_set_frequency_snaps_to_table(self):
+        cpu = Cpu()
+        cpu.set_frequency(1_000_000)
+        assert cpu.frequency_khz in cpu.table.frequencies_khz
+
+    def test_reset_restores_level_and_backlog(self):
+        cpu = Cpu()
+        cpu.set_level(0)
+        cpu.run_window(demand=1.0, dt_s=1.0)
+        cpu.reset(level=5)
+        assert cpu.backlog == 0.0
+        assert cpu.level == 5
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(ValueError):
+            Cpu().run_window(demand=0.5, dt_s=0.0)
+
+    @given(demand=st.floats(0.0, 1.0), level=st.integers(0, 11))
+    def test_delivered_never_exceeds_capacity_or_demand(self, demand, level):
+        cpu = Cpu(carry_over=False)
+        cpu.set_level(level)
+        state = cpu.run_window(demand=demand, dt_s=1.0)
+        capacity = cpu.frequency_khz / cpu.table.max_frequency_khz
+        assert state.delivered_work <= capacity + 1e-12
+        assert state.delivered_work <= demand + 1e-12
+        assert 0.0 <= state.utilization <= 1.0
+
+
+class TestTemperatureSensor:
+    def test_noiseless_sensor_reports_truth(self):
+        sensor = TemperatureSensor("t", "node", noise_std_c=0.0, quantization_c=0.0)
+        assert sensor.read(36.6) == pytest.approx(36.6)
+
+    def test_quantization(self):
+        sensor = TemperatureSensor("t", "node", noise_std_c=0.0, quantization_c=0.5)
+        assert sensor.read(36.6) == pytest.approx(36.5)
+        assert sensor.read(36.9) == pytest.approx(37.0)
+
+    def test_offset(self):
+        sensor = TemperatureSensor("t", "node", noise_std_c=0.0, quantization_c=0.0, offset_c=1.5)
+        assert sensor.read(30.0) == pytest.approx(31.5)
+
+    def test_noise_is_reproducible_per_seed(self):
+        a = TemperatureSensor("t", "node", noise_std_c=0.5, quantization_c=0.0, seed=3)
+        b = TemperatureSensor("t", "node", noise_std_c=0.5, quantization_c=0.0, seed=3)
+        assert [a.read(30.0) for _ in range(5)] == [b.read(30.0) for _ in range(5)]
+
+    def test_noise_statistics(self):
+        sensor = TemperatureSensor("t", "node", noise_std_c=0.2, quantization_c=0.0, seed=1)
+        readings = np.array([sensor.read(35.0) for _ in range(2000)])
+        assert abs(readings.mean() - 35.0) < 0.05
+        assert 0.15 < readings.std() < 0.25
+
+    def test_reset_restores_noise_sequence(self):
+        sensor = TemperatureSensor("t", "node", noise_std_c=0.3, quantization_c=0.0, seed=9)
+        first = [sensor.read(30.0) for _ in range(3)]
+        sensor.reset()
+        assert [sensor.read(30.0) for _ in range(3)] == first
+
+    def test_last_reading_tracking(self):
+        sensor = TemperatureSensor("t", "node", noise_std_c=0.0)
+        assert sensor.last_reading is None
+        sensor.read(31.0)
+        assert sensor.last_reading == pytest.approx(31.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TemperatureSensor("t", "node", noise_std_c=-1.0)
+        with pytest.raises(ValueError):
+            TemperatureSensor("t", "node", quantization_c=-0.1)
+
+
+class TestSensorSuite:
+    def test_nexus4_suite_has_paper_channels(self):
+        suite = SensorSuite.nexus4_instrumented()
+        for name in ("cpu", "battery", "skin", "skin_upper", "screen"):
+            assert name in suite
+
+    def test_read_all_skips_missing_nodes(self):
+        suite = SensorSuite.nexus4_instrumented()
+        readings = suite.read_all({"cpu": 50.0, "battery": 35.0})
+        assert set(readings) == {"cpu", "battery"}
+
+    def test_read_all_full_network(self):
+        suite = SensorSuite.nexus4_instrumented()
+        temps = {
+            "cpu": 50.0,
+            "battery": 36.0,
+            "back_cover": 38.0,
+            "back_cover_upper": 39.0,
+            "screen": 35.0,
+        }
+        readings = suite.read_all(temps)
+        assert set(readings) == {"cpu", "battery", "skin", "skin_upper", "screen"}
+        # Readings stay close to the true node temperatures.
+        assert abs(readings["skin"] - 38.0) < 1.0
+        assert abs(readings["cpu"] - 50.0) < 3.0
+
+    def test_add_custom_sensor(self):
+        suite = SensorSuite.nexus4_instrumented()
+        suite.add(TemperatureSensor("board_probe", "board", noise_std_c=0.0))
+        readings = suite.read_all({"board": 40.0})
+        assert readings["board_probe"] == pytest.approx(40.0)
+
+    def test_reset_reseeds_deterministically(self):
+        suite = SensorSuite.nexus4_instrumented(seed=5)
+        first = suite.read_all({"back_cover": 38.0})
+        suite.reset(seed=5)
+        assert suite.read_all({"back_cover": 38.0}) == first

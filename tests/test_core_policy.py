@@ -1,0 +1,113 @@
+"""Tests for USTA's throttle policy (the paper's margin → frequency-cap rules)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policy import ThrottlePolicy, ThrottleStep
+from repro.device.freq_table import nexus4_frequency_table
+
+TABLE = nexus4_frequency_table()
+
+
+class TestPaperPolicy:
+    """The exact rules from §III.B of the paper, with a 37 °C limit."""
+
+    LIMIT = 37.0
+
+    def setup_method(self):
+        self.policy = ThrottlePolicy.paper_default()
+
+    def cap(self, predicted):
+        return self.policy.cap_for_prediction(predicted, self.LIMIT, TABLE)
+
+    def test_no_action_far_from_limit(self):
+        assert self.cap(30.0) is None
+        assert self.cap(34.9) is None
+        assert self.cap(35.0) is None  # exactly 2 C below: activation threshold
+
+    def test_one_level_down_between_one_and_two_degrees(self):
+        assert self.cap(35.5) == TABLE.max_level - 1
+        assert self.cap(35.9) == TABLE.max_level - 1
+
+    def test_two_levels_down_between_half_and_one_degree(self):
+        assert self.cap(36.0) == TABLE.max_level - 2
+        assert self.cap(36.4) == TABLE.max_level - 2
+
+    def test_minimum_frequency_within_half_degree(self):
+        assert self.cap(36.6) == TABLE.min_level
+        assert self.cap(37.0) == TABLE.min_level
+
+    def test_minimum_frequency_above_limit(self):
+        assert self.cap(38.5) == TABLE.min_level
+        assert self.cap(45.0) == TABLE.min_level
+
+    def test_activation_margin_property(self):
+        assert self.policy.activation_margin_c == pytest.approx(2.0)
+
+    @given(predicted=st.floats(20.0, 50.0))
+    def test_cap_is_monotone_in_prediction(self, predicted):
+        # Hotter predictions never allow a higher frequency cap.
+        cooler_cap = self.cap(predicted - 0.5)
+        hotter_cap = self.cap(predicted)
+        cooler_value = TABLE.max_level if cooler_cap is None else cooler_cap
+        hotter_value = TABLE.max_level if hotter_cap is None else hotter_cap
+        assert hotter_value <= cooler_value
+
+    @given(predicted=st.floats(20.0, 50.0), limit=st.floats(30.0, 45.0))
+    def test_cap_is_always_a_valid_level_or_none(self, predicted, limit):
+        cap = self.policy.cap_for_prediction(predicted, limit, TABLE)
+        assert cap is None or 0 <= cap <= TABLE.max_level
+
+
+class TestCustomPolicies:
+    def test_aggressive_policy_activates_earlier(self):
+        aggressive = ThrottlePolicy.aggressive()
+        default = ThrottlePolicy.paper_default()
+        assert aggressive.activation_margin_c > default.activation_margin_c
+        # 2.5 C below the limit: the default does nothing, aggressive caps.
+        assert default.cap_for_margin(2.5, TABLE) is None
+        assert aggressive.cap_for_margin(2.5, TABLE) is not None
+
+    def test_gentle_policy_activates_later(self):
+        gentle = ThrottlePolicy.gentle()
+        assert gentle.activation_margin_c == pytest.approx(1.0)
+        assert gentle.cap_for_margin(1.5, TABLE) is None
+        assert gentle.cap_for_margin(0.8, TABLE) == TABLE.max_level - 1
+
+    def test_with_activation_margin_scales_breakpoints(self):
+        policy = ThrottlePolicy.with_activation_margin(4.0)
+        assert policy.activation_margin_c == pytest.approx(4.0)
+        assert policy.cap_for_margin(3.0, TABLE) == TABLE.max_level - 1
+        assert policy.cap_for_margin(1.5, TABLE) == TABLE.max_level - 2
+        assert policy.cap_for_margin(0.5, TABLE) == TABLE.min_level
+
+    def test_with_activation_margin_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ThrottlePolicy.with_activation_margin(0.0)
+
+    def test_steps_must_be_strictly_decreasing(self):
+        with pytest.raises(ValueError):
+            ThrottlePolicy(
+                steps=(
+                    ThrottleStep(1.0, 1),
+                    ThrottleStep(2.0, 2),
+                )
+            )
+        with pytest.raises(ValueError):
+            ThrottlePolicy(steps=(ThrottleStep(1.0, 1), ThrottleStep(1.0, 2)))
+
+    def test_empty_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ThrottlePolicy(steps=())
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            ThrottlePolicy(steps=(ThrottleStep(2.0, -1),))
+
+    def test_cap_for_margin_with_none_step_goes_to_min(self):
+        policy = ThrottlePolicy(steps=(ThrottleStep(1.0, None),))
+        assert policy.cap_for_margin(0.5, TABLE) == TABLE.min_level
+
+    def test_cap_levels_clamped_to_table(self):
+        policy = ThrottlePolicy(steps=(ThrottleStep(2.0, 50),))
+        assert policy.cap_for_margin(1.0, TABLE) == TABLE.min_level

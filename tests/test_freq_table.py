@@ -1,0 +1,139 @@
+"""Tests for the DVFS operating-point table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.device.freq_table import (
+    NEXUS4_FREQUENCIES_KHZ,
+    NEXUS4_VOLTAGES_MV,
+    FrequencyTable,
+    nexus4_frequency_table,
+)
+
+
+class TestNexus4Table:
+    def test_has_twelve_levels(self):
+        table = nexus4_frequency_table()
+        assert len(table) == 12
+
+    def test_range_matches_paper(self):
+        table = nexus4_frequency_table()
+        assert table.min_frequency_khz == 384_000
+        assert table.max_frequency_khz == 1_512_000
+
+    def test_frequencies_ascending_and_unique(self):
+        freqs = nexus4_frequency_table().frequencies_khz
+        assert list(freqs) == sorted(freqs)
+        assert len(set(freqs)) == len(freqs)
+
+    def test_voltages_monotonically_non_decreasing(self):
+        table = nexus4_frequency_table()
+        voltages = [table.voltage_at(level) for level in range(len(table))]
+        assert voltages == sorted(voltages)
+
+    def test_operating_point_properties(self):
+        opp = nexus4_frequency_table()[11]
+        assert opp.frequency_ghz == pytest.approx(1.512)
+        assert opp.frequency_hz == pytest.approx(1.512e9)
+        assert opp.voltage_v == pytest.approx(1.25)
+        assert opp.index == 11
+
+
+class TestConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="same length"):
+            FrequencyTable([100_000, 200_000], [900])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError, match="at least two"):
+            FrequencyTable([100_000], [900])
+
+    def test_rejects_unsorted_frequencies(self):
+        with pytest.raises(ValueError, match="ascending"):
+            FrequencyTable([200_000, 100_000], [900, 950])
+
+    def test_rejects_duplicate_frequencies(self):
+        with pytest.raises(ValueError, match="unique"):
+            FrequencyTable([100_000, 100_000], [900, 950])
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError, match="positive"):
+            FrequencyTable([0, 100_000], [900, 950])
+
+    def test_rejects_non_positive_voltage(self):
+        with pytest.raises(ValueError, match="positive"):
+            FrequencyTable([100_000, 200_000], [0, 950])
+
+
+class TestLookups:
+    def test_level_of_exact_frequency(self, freq_table):
+        for point in freq_table:
+            assert freq_table.level_of(point.frequency_khz) == point.index
+
+    def test_level_of_clamps_below(self, freq_table):
+        assert freq_table.level_of(1) == 0
+
+    def test_level_of_clamps_above(self, freq_table):
+        assert freq_table.level_of(10_000_000) == freq_table.max_level
+
+    def test_level_of_picks_nearest(self, freq_table):
+        # 500 MHz is closer to 486 MHz (level 1) than to 594 MHz (level 2).
+        assert freq_table.level_of(500_000) == 1
+        # 560 MHz is closer to 594 MHz.
+        assert freq_table.level_of(560_000) == 2
+
+    def test_floor_and_ceil_levels(self, freq_table):
+        assert freq_table.floor_level(600_000) == 2   # 594 MHz
+        assert freq_table.ceil_level(600_000) == 3    # 702 MHz
+        assert freq_table.floor_level(100_000) == 0
+        assert freq_table.ceil_level(2_000_000) == freq_table.max_level
+
+    def test_clamp_level(self, freq_table):
+        assert freq_table.clamp_level(-5) == 0
+        assert freq_table.clamp_level(100) == freq_table.max_level
+        assert freq_table.clamp_level(6) == 6
+
+    def test_frequency_and_voltage_at_clamped_levels(self, freq_table):
+        assert freq_table.frequency_at(-1) == freq_table.min_frequency_khz
+        assert freq_table.frequency_at(99) == freq_table.max_frequency_khz
+        assert freq_table.voltage_at(0) == pytest.approx(0.95)
+
+
+class TestScaleForUtilization:
+    def test_zero_utilization_gives_min_level(self, freq_table):
+        assert freq_table.scale_for_utilization(0.0) == 0
+
+    def test_full_utilization_gives_max_level(self, freq_table):
+        assert freq_table.scale_for_utilization(1.0) == freq_table.max_level
+
+    def test_half_utilization_is_sufficient(self, freq_table):
+        level = freq_table.scale_for_utilization(0.5)
+        assert freq_table.frequency_at(level) >= 0.5 * freq_table.max_frequency_khz
+
+    def test_out_of_range_utilization_is_clamped(self, freq_table):
+        assert freq_table.scale_for_utilization(-1.0) == 0
+        assert freq_table.scale_for_utilization(2.0) == freq_table.max_level
+
+    @given(util=st.floats(min_value=0.0, max_value=1.0))
+    def test_selected_level_always_serves_the_load(self, util):
+        table = nexus4_frequency_table()
+        level = table.scale_for_utilization(util)
+        assert table.frequency_at(level) >= util * table.max_frequency_khz - 1e-6
+
+    @given(util_a=st.floats(0.0, 1.0), util_b=st.floats(0.0, 1.0))
+    def test_scaling_is_monotonic_in_utilization(self, util_a, util_b):
+        table = nexus4_frequency_table()
+        if util_a <= util_b:
+            assert table.scale_for_utilization(util_a) <= table.scale_for_utilization(util_b)
+
+
+class TestContainerProtocol:
+    def test_iteration_yields_all_points_in_order(self, freq_table):
+        points = list(freq_table)
+        assert [p.index for p in points] == list(range(12))
+        assert [p.frequency_khz for p in points] == list(NEXUS4_FREQUENCIES_KHZ)
+        assert [p.voltage_mv for p in points] == list(NEXUS4_VOLTAGES_MV)
+
+    def test_getitem(self, freq_table):
+        assert freq_table[0].frequency_khz == 384_000
+        assert freq_table[11].frequency_khz == 1_512_000

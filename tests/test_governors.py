@@ -1,0 +1,170 @@
+"""Tests for the cpufreq governor substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.device.freq_table import nexus4_frequency_table
+from repro.governors import (
+    GOVERNOR_REGISTRY,
+    ConservativeGovernor,
+    GovernorObservation,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    UserspaceGovernor,
+    create_governor,
+)
+
+TABLE = nexus4_frequency_table()
+
+
+def observe(util, current=0, time_s=0.0):
+    return GovernorObservation(utilization=util, current_level=current, time_s=time_s, dt_s=1.0)
+
+
+class TestRegistry:
+    def test_all_expected_governors_registered(self):
+        assert set(GOVERNOR_REGISTRY) == {
+            "ondemand",
+            "conservative",
+            "performance",
+            "powersave",
+            "userspace",
+        }
+
+    def test_create_by_name(self):
+        governor = create_governor("ondemand", table=TABLE)
+        assert isinstance(governor, OndemandGovernor)
+
+    def test_create_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown governor"):
+            create_governor("turbo")
+
+    def test_create_with_kwargs(self):
+        governor = create_governor("ondemand", table=TABLE, up_threshold=0.9)
+        assert governor.up_threshold == 0.9
+
+
+class TestOndemand:
+    def test_high_utilization_jumps_to_max(self, ondemand):
+        assert ondemand.select_level(observe(0.95, current=3)) == TABLE.max_level
+        assert ondemand.select_level(observe(0.80, current=0)) == TABLE.max_level
+
+    def test_idle_drops_steeply(self, ondemand):
+        level = ondemand.select_level(observe(0.05, current=TABLE.max_level))
+        assert level <= 2
+
+    def test_moderate_load_steps_down_gradually(self, ondemand):
+        # Utilization between the thresholds: one level per window, not a jump.
+        level = ondemand.select_level(observe(0.5, current=TABLE.max_level))
+        assert level == TABLE.max_level - 1
+
+    def test_moderate_load_never_goes_below_proportional(self, ondemand):
+        # At 70% utilization the proportional target is high; stepping down from
+        # just above it must stop at the proportional level.
+        proportional = TABLE.scale_for_utilization(0.7 / ondemand.up_threshold)
+        level = ondemand.select_level(observe(0.7, current=proportional + 1))
+        assert level == proportional
+
+    def test_moderate_load_can_raise_to_proportional(self, ondemand):
+        proportional = TABLE.scale_for_utilization(0.7 / ondemand.up_threshold)
+        level = ondemand.select_level(observe(0.7, current=0))
+        assert level == proportional
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            OndemandGovernor(table=TABLE, up_threshold=0.2, down_threshold=0.8)
+        with pytest.raises(ValueError):
+            OndemandGovernor(table=TABLE, down_step_levels=0)
+
+    @given(util=st.floats(0.0, 1.0), current=st.integers(0, 11))
+    def test_selected_level_always_valid(self, util, current):
+        governor = OndemandGovernor(table=TABLE)
+        level = governor.select_level(observe(util, current=current))
+        assert 0 <= level <= TABLE.max_level
+
+
+class TestLevelCap:
+    def test_cap_limits_selection(self, ondemand):
+        ondemand.set_level_cap(5)
+        assert ondemand.select_level(observe(1.0, current=3)) == 5
+        assert ondemand.is_capped
+
+    def test_cap_none_removes_limit(self, ondemand):
+        ondemand.set_level_cap(2)
+        ondemand.set_level_cap(None)
+        assert ondemand.select_level(observe(1.0, current=3)) == TABLE.max_level
+        assert not ondemand.is_capped
+
+    def test_clear_level_cap(self, ondemand):
+        ondemand.set_level_cap(0)
+        ondemand.clear_level_cap()
+        assert ondemand.level_cap == TABLE.max_level
+
+    def test_cap_is_clamped_to_table(self, ondemand):
+        ondemand.set_level_cap(99)
+        assert ondemand.level_cap == TABLE.max_level
+        ondemand.set_level_cap(-4)
+        assert ondemand.level_cap == 0
+
+    def test_reset_clears_cap(self, ondemand):
+        ondemand.set_level_cap(1)
+        ondemand.reset()
+        assert not ondemand.is_capped
+
+    @given(util=st.floats(0.0, 1.0), cap=st.integers(0, 11), current=st.integers(0, 11))
+    def test_selection_never_exceeds_cap(self, util, cap, current):
+        governor = OndemandGovernor(table=TABLE)
+        governor.set_level_cap(cap)
+        assert governor.select_level(observe(util, current=current)) <= cap
+
+
+class TestStaticGovernors:
+    def test_performance_always_max(self):
+        governor = PerformanceGovernor(table=TABLE)
+        assert governor.select_level(observe(0.0)) == TABLE.max_level
+
+    def test_performance_honours_cap(self):
+        governor = PerformanceGovernor(table=TABLE)
+        governor.set_level_cap(3)
+        assert governor.select_level(observe(1.0)) == 3
+
+    def test_powersave_always_min(self):
+        governor = PowersaveGovernor(table=TABLE)
+        assert governor.select_level(observe(1.0, current=8)) == 0
+
+    def test_userspace_fixed_level(self):
+        governor = UserspaceGovernor(table=TABLE, level=6)
+        assert governor.select_level(observe(1.0)) == 6
+        governor.set_requested_level(2)
+        assert governor.select_level(observe(0.0)) == 2
+
+    def test_userspace_request_by_frequency(self):
+        governor = UserspaceGovernor(table=TABLE)
+        governor.set_requested_frequency(1_026_000)
+        assert governor.requested_level == TABLE.level_of(1_026_000)
+
+
+class TestConservative:
+    def test_steps_up_one_level_under_load(self):
+        governor = ConservativeGovernor(table=TABLE)
+        assert governor.select_level(observe(0.95, current=4)) == 5
+
+    def test_steps_down_one_level_when_idle(self):
+        governor = ConservativeGovernor(table=TABLE)
+        assert governor.select_level(observe(0.05, current=4)) == 3
+
+    def test_holds_in_the_middle_band(self):
+        governor = ConservativeGovernor(table=TABLE)
+        assert governor.select_level(observe(0.5, current=4)) == 4
+
+    def test_does_not_exceed_table_bounds(self):
+        governor = ConservativeGovernor(table=TABLE)
+        assert governor.select_level(observe(1.0, current=TABLE.max_level)) == TABLE.max_level
+        assert governor.select_level(observe(0.0, current=0)) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ConservativeGovernor(table=TABLE, up_threshold=0.1, down_threshold=0.5)
+        with pytest.raises(ValueError):
+            ConservativeGovernor(table=TABLE, step_levels=0)

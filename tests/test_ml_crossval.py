@@ -1,0 +1,80 @@
+"""Tests for the k-fold cross-validation harness."""
+
+import numpy as np
+import pytest
+
+from repro.ml import Dataset, LinearRegression, RepTree, cross_validate, kfold_indices
+
+
+def make_dataset(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 10, size=(n, 3))
+    y = 1.5 * x[:, 0] - 0.5 * x[:, 1] + 0.1 * x[:, 2] + rng.normal(0, 0.2, n)
+    return Dataset(x, y, ("a", "b", "c"), "y")
+
+
+class TestKFoldIndices:
+    def test_every_sample_tested_exactly_once(self):
+        pairs = kfold_indices(57, folds=10, seed=0)
+        tested = np.concatenate([test for _, test in pairs])
+        assert sorted(tested.tolist()) == list(range(57))
+
+    def test_train_and_test_are_disjoint(self):
+        for train, test in kfold_indices(40, folds=5, seed=1):
+            assert set(train.tolist()).isdisjoint(test.tolist())
+            assert len(train) + len(test) == 40
+
+    def test_fold_count(self):
+        assert len(kfold_indices(100, folds=10)) == 10
+        assert len(kfold_indices(10, folds=2)) == 2
+
+    def test_deterministic_per_seed(self):
+        a = kfold_indices(30, folds=3, seed=7)
+        b = kfold_indices(30, folds=3, seed=7)
+        for (ta, sa), (tb, sb) in zip(a, b):
+            assert np.array_equal(ta, tb)
+            assert np.array_equal(sa, sb)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            kfold_indices(10, folds=1)
+        with pytest.raises(ValueError):
+            kfold_indices(3, folds=5)
+
+
+class TestCrossValidate:
+    def test_produces_prediction_for_every_row(self):
+        data = make_dataset()
+        result = cross_validate(LinearRegression, data, folds=5, seed=0)
+        assert len(result.predicted) == len(data)
+        assert not np.any(np.isnan(result.predicted))
+        assert np.array_equal(result.expected, data.target)
+
+    def test_records_per_fold_metrics(self):
+        result = cross_validate(LinearRegression, make_dataset(), folds=5, seed=0)
+        assert len(result.fold_metrics) == 5
+        assert all("error_rate_pct" in m for m in result.fold_metrics)
+
+    def test_model_name_captured(self):
+        result = cross_validate(lambda: RepTree(min_leaf=5), make_dataset(), folds=4)
+        assert result.model_name == "reptree"
+
+    def test_error_rate_properties(self):
+        result = cross_validate(LinearRegression, make_dataset(), folds=5)
+        assert result.error_rate_pct >= 0.0
+        assert result.error_rate_deadband_pct <= result.error_rate_pct + 1e-9
+
+    def test_accurate_model_has_low_error(self):
+        result = cross_validate(LinearRegression, make_dataset(), folds=10, seed=2)
+        assert result.metrics["r2"] > 0.95
+
+    def test_empty_dataset_rejected(self):
+        empty = Dataset(np.empty((0, 2)), np.empty(0), ("a", "b"), "y")
+        with pytest.raises(ValueError):
+            cross_validate(LinearRegression, empty)
+
+    def test_deterministic_given_seed(self):
+        data = make_dataset()
+        a = cross_validate(lambda: RepTree(seed=0), data, folds=5, seed=3)
+        b = cross_validate(lambda: RepTree(seed=0), data, folds=5, seed=3)
+        assert np.allclose(a.predicted, b.predicted)

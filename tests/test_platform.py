@@ -1,0 +1,118 @@
+"""Tests for the integrated device platform."""
+
+import pytest
+
+from repro.device.platform import DeviceActivity, DevicePlatform
+from repro.thermal.nexus4 import BACK_COVER_NODE, CPU_NODE, SCREEN_NODE
+
+
+HEAVY = DeviceActivity(cpu_demand=1.0, gpu_activity=0.5, radio_activity=0.5, brightness=0.9)
+IDLE = DeviceActivity(cpu_demand=0.0, gpu_activity=0.0, radio_activity=0.0, screen_on=False, brightness=0.0)
+
+
+class TestStep:
+    def test_step_advances_time(self, platform):
+        platform.step(IDLE, dt_s=2.0)
+        platform.step(IDLE, dt_s=3.0)
+        assert platform.time_s == pytest.approx(5.0)
+
+    def test_step_rejects_non_positive_dt(self, platform):
+        with pytest.raises(ValueError):
+            platform.step(IDLE, dt_s=0.0)
+
+    def test_result_exposes_paper_quantities(self, platform):
+        result = platform.step(HEAVY)
+        assert result.skin_temp_c == result.node_temps_c[BACK_COVER_NODE]
+        assert result.screen_temp_c == result.node_temps_c[SCREEN_NODE]
+        assert result.cpu_temp_c == result.node_temps_c[CPU_NODE]
+        assert result.battery_temp_c == result.node_temps_c["battery"]
+        assert set(result.sensor_readings_c) >= {"cpu", "battery", "skin", "screen"}
+
+    def test_heavy_load_heats_the_device(self, platform):
+        platform.set_frequency_level(platform.freq_table.max_level)
+        start = platform.temperatures()[CPU_NODE]
+        for _ in range(300):
+            platform.step(HEAVY)
+        assert platform.temperatures()[CPU_NODE] > start + 3.0
+        assert platform.temperatures()[BACK_COVER_NODE] > 23.5
+
+    def test_idle_device_stays_near_ambient(self, platform):
+        for _ in range(300):
+            platform.step(IDLE)
+        assert platform.temperatures()[BACK_COVER_NODE] < 26.0
+
+    def test_power_breakdown_depends_on_activity(self, platform):
+        platform.set_frequency_level(platform.freq_table.max_level)
+        heavy = platform.step(HEAVY)
+        platform.reset()
+        platform.set_frequency_level(platform.freq_table.max_level)
+        idle = platform.step(IDLE)
+        assert heavy.power.total_w > idle.power.total_w + 1.0
+
+    def test_battery_discharges_under_load(self, platform):
+        start = platform.battery.state_of_charge
+        for _ in range(600):
+            platform.step(HEAVY)
+        assert platform.battery.state_of_charge < start
+
+    def test_charging_activity_charges_the_battery(self, platform):
+        platform.battery.state_of_charge = 0.3
+        charging = DeviceActivity(cpu_demand=0.05, screen_on=False, charging=True, touching=False)
+        for _ in range(600):
+            platform.step(charging)
+        assert platform.battery.state_of_charge > 0.3
+
+    def test_utilization_rises_when_frequency_capped(self, platform):
+        moderate = DeviceActivity(cpu_demand=0.4)
+        platform.set_frequency_level(platform.freq_table.max_level)
+        at_max = platform.step(moderate)
+        platform.reset()
+        platform.set_frequency_level(0)
+        at_min = platform.step(moderate)
+        assert at_min.cpu_state.utilization > at_max.cpu_state.utilization
+
+
+class TestFrequencyControl:
+    def test_set_and_read_level(self, platform):
+        platform.set_frequency_level(4)
+        assert platform.frequency_level == 4
+        assert platform.frequency_khz == platform.freq_table.frequency_at(4)
+
+    def test_levels_clamped(self, platform):
+        platform.set_frequency_level(99)
+        assert platform.frequency_level == platform.freq_table.max_level
+
+
+class TestReset:
+    def test_reset_restores_ambient_and_time(self, platform):
+        for _ in range(120):
+            platform.step(HEAVY)
+        platform.reset()
+        assert platform.time_s == 0.0
+        assert platform.temperatures()[CPU_NODE] == pytest.approx(platform.ambient.air_temp_c)
+        assert platform.cpu.backlog == 0.0
+
+    def test_reset_with_initial_temperatures(self, platform):
+        platform.reset(initial_temps={CPU_NODE: 40.0})
+        assert platform.temperatures()[CPU_NODE] == pytest.approx(40.0)
+
+    def test_reset_gives_reproducible_sensor_noise(self, platform):
+        first = platform.step(HEAVY).sensor_readings_c
+        platform.reset()
+        second = platform.step(HEAVY).sensor_readings_c
+        assert first == second
+
+    def test_two_platforms_same_seed_agree(self):
+        a = DevicePlatform(seed=11)
+        b = DevicePlatform(seed=11)
+        ra = [a.step(HEAVY).sensor_readings_c["skin"] for _ in range(10)]
+        rb = [b.step(HEAVY).sensor_readings_c["skin"] for _ in range(10)]
+        assert ra == rb
+
+
+class TestHandContact:
+    def test_touch_state_follows_activity(self, platform):
+        platform.step(DeviceActivity(cpu_demand=0.1, touching=True))
+        assert platform.hand.touching
+        platform.step(DeviceActivity(cpu_demand=0.1, touching=False))
+        assert not platform.hand.touching

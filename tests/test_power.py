@@ -1,0 +1,187 @@
+"""Tests for the platform power models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.device.freq_table import nexus4_frequency_table
+from repro.device.power import (
+    ChargerPowerModel,
+    CpuPowerModel,
+    DisplayPowerModel,
+    GpuPowerModel,
+    PlatformPowerModel,
+    RadioPowerModel,
+)
+
+TABLE = nexus4_frequency_table()
+
+
+class TestCpuPowerModel:
+    def test_dynamic_power_scales_with_utilization(self):
+        model = CpuPowerModel()
+        opp = TABLE[TABLE.max_level]
+        assert model.dynamic_power(opp, 1.0) > model.dynamic_power(opp, 0.5) > 0
+        assert model.dynamic_power(opp, 0.0) == 0.0
+
+    def test_dynamic_power_scales_with_frequency(self):
+        model = CpuPowerModel()
+        low = model.dynamic_power(TABLE[0], 1.0)
+        high = model.dynamic_power(TABLE[TABLE.max_level], 1.0)
+        assert high > low
+        # V^2 * f scaling: top OPP is ~4x the bottom OPP in dynamic power.
+        assert high / low > 3.0
+
+    def test_dynamic_power_clamps_utilization(self):
+        model = CpuPowerModel()
+        opp = TABLE[5]
+        assert model.dynamic_power(opp, 2.0) == model.dynamic_power(opp, 1.0)
+        assert model.dynamic_power(opp, -1.0) == 0.0
+
+    def test_leakage_grows_with_temperature(self):
+        model = CpuPowerModel()
+        opp = TABLE[5]
+        assert model.leakage_power(opp, 80.0) > model.leakage_power(opp, 40.0)
+
+    def test_leakage_at_reference_point(self):
+        model = CpuPowerModel()
+        opp_at_ref_voltage = next(p for p in TABLE if abs(p.voltage_v - model.reference_voltage_v) < 1e-9)
+        assert model.leakage_power(opp_at_ref_voltage, model.reference_temp_c) == pytest.approx(
+            model.leakage_at_ref_w
+        )
+
+    def test_total_power_includes_idle_floor(self):
+        model = CpuPowerModel()
+        opp = TABLE[0]
+        assert model.power(opp, 0.0, 25.0) > model.idle_power_w
+
+    def test_full_load_power_is_realistic(self):
+        # A fully loaded Krait cluster at the top frequency burns a few Watts.
+        model = CpuPowerModel()
+        power = model.power(TABLE[TABLE.max_level], 1.0, 60.0)
+        assert 2.0 < power < 5.0
+
+
+class TestGpuDisplayRadio:
+    def test_gpu_power_bounds(self):
+        gpu = GpuPowerModel()
+        assert gpu.power(0.0) == pytest.approx(gpu.idle_power_w)
+        assert gpu.power(1.0) == pytest.approx(gpu.max_power_w)
+        assert gpu.idle_power_w < gpu.power(0.5) < gpu.max_power_w
+
+    def test_gpu_activity_clamped(self):
+        gpu = GpuPowerModel()
+        assert gpu.power(5.0) == gpu.power(1.0)
+        assert gpu.power(-5.0) == gpu.power(0.0)
+
+    def test_display_off_draws_nothing(self):
+        display = DisplayPowerModel()
+        assert display.power(False, 1.0) == 0.0
+
+    def test_display_power_grows_with_brightness(self):
+        display = DisplayPowerModel()
+        assert display.power(True, 1.0) > display.power(True, 0.2) > 0
+
+    def test_radio_power_bounds(self):
+        radio = RadioPowerModel()
+        assert radio.power(0.0) == pytest.approx(radio.idle_power_w)
+        assert radio.power(1.0) == pytest.approx(radio.max_power_w)
+
+
+class TestCharger:
+    def test_charging_heat_is_constant_fraction(self):
+        charger = ChargerPowerModel()
+        assert charger.heat(True, 0.0) == pytest.approx(
+            charger.charge_power_w * charger.charge_loss_fraction
+        )
+
+    def test_discharge_heat_scales_with_draw(self):
+        charger = ChargerPowerModel()
+        assert charger.heat(False, 4.0) == pytest.approx(4.0 * charger.discharge_loss_fraction)
+        assert charger.heat(False, 0.0) == 0.0
+
+    def test_negative_draw_is_ignored(self):
+        charger = ChargerPowerModel()
+        assert charger.heat(False, -3.0) == 0.0
+
+
+class TestPlatformPowerModel:
+    def test_breakdown_totals(self):
+        model = PlatformPowerModel()
+        breakdown = model.evaluate(
+            opp=TABLE[6],
+            cpu_utilization=0.5,
+            die_temp_c=45.0,
+            gpu_activity=0.3,
+            screen_on=True,
+            brightness=0.7,
+            radio_activity=0.4,
+            charging=False,
+        )
+        assert breakdown.total_w == pytest.approx(
+            breakdown.cpu_w
+            + breakdown.gpu_w
+            + breakdown.display_w
+            + breakdown.radio_w
+            + breakdown.battery_w
+        )
+        assert breakdown.soc_w == pytest.approx(breakdown.cpu_w + breakdown.gpu_w)
+
+    def test_idle_platform_power_is_small(self):
+        model = PlatformPowerModel()
+        breakdown = model.evaluate(
+            opp=TABLE[0],
+            cpu_utilization=0.0,
+            die_temp_c=25.0,
+            screen_on=False,
+            brightness=0.0,
+        )
+        assert breakdown.total_w < 1.0
+
+    def test_heavy_platform_power_is_several_watts(self):
+        model = PlatformPowerModel()
+        breakdown = model.evaluate(
+            opp=TABLE[TABLE.max_level],
+            cpu_utilization=1.0,
+            die_temp_c=60.0,
+            gpu_activity=0.5,
+            screen_on=True,
+            brightness=0.9,
+            radio_activity=0.9,
+        )
+        assert 3.0 < breakdown.total_w < 7.0
+
+    def test_max_cpu_power_helper(self):
+        model = PlatformPowerModel()
+        assert model.max_cpu_power() > 2.0
+
+    @given(
+        util=st.floats(0.0, 1.0),
+        gpu=st.floats(0.0, 1.0),
+        radio=st.floats(0.0, 1.0),
+        brightness=st.floats(0.0, 1.0),
+        level=st.integers(0, 11),
+        temp=st.floats(20.0, 90.0),
+        charging=st.booleans(),
+    )
+    def test_power_is_always_positive_and_bounded(self, util, gpu, radio, brightness, level, temp, charging):
+        model = PlatformPowerModel()
+        breakdown = model.evaluate(
+            opp=TABLE[level],
+            cpu_utilization=util,
+            die_temp_c=temp,
+            gpu_activity=gpu,
+            screen_on=True,
+            brightness=brightness,
+            radio_activity=radio,
+            charging=charging,
+        )
+        assert 0.0 < breakdown.total_w < 12.0
+
+    @given(level_low=st.integers(0, 11), level_high=st.integers(0, 11))
+    def test_cpu_power_monotonic_in_level_at_full_load(self, level_low, level_high):
+        if level_low > level_high:
+            level_low, level_high = level_high, level_low
+        model = CpuPowerModel()
+        low = model.power(TABLE[level_low], 1.0, 50.0)
+        high = model.power(TABLE[level_high], 1.0, 50.0)
+        assert high >= low - 1e-12

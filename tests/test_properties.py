@@ -1,0 +1,141 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check system-level invariants that should hold for *any* workload,
+policy or limit — not just the paper's configurations:
+
+* a frequency cap is never violated by the closed loop;
+* USTA can only lower (never raise) the peak temperature and average frequency;
+* the thermal state stays within physically sensible bounds for any activity;
+* tighter comfort limits never lead to hotter peaks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import ThrottlePolicy, USTAController
+from repro.device.freq_table import nexus4_frequency_table
+from repro.device.platform import DeviceActivity, DevicePlatform
+from repro.sim.experiments import run_workload
+from repro.workloads import ConstantLoad, WorkloadSample, WorkloadTrace
+
+TABLE = nexus4_frequency_table()
+
+SLOW = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def constant_trace(demand, duration_s=240, **fields):
+    sample = WorkloadSample(cpu_demand=demand, **fields)
+    return WorkloadTrace.constant("prop", duration_s, sample)
+
+
+class TestClosedLoopInvariants:
+    @SLOW
+    @given(
+        demand=st.floats(0.0, 1.0),
+        cap=st.integers(0, 11),
+    )
+    def test_external_cap_is_never_violated(self, demand, cap):
+        """Whatever the load, the selected frequency never exceeds the cap."""
+
+        class FixedCapManager:
+            name = "fixed-cap"
+
+            def observe(self, time_s, sensor_readings, utilization, frequency_khz):
+                from repro.sim.engine import ManagerDecision
+
+                return ManagerDecision(level_cap=cap)
+
+            def reset(self):
+                pass
+
+        result = run_workload(
+            constant_trace(demand, 90), thermal_manager=FixedCapManager(), seed=1
+        )
+        # The very first window runs at the pre-existing level (minimum), every
+        # later one must respect the cap.
+        assert max(result.frequencies_khz()[1:]) <= TABLE.frequency_at(cap)
+
+    @SLOW
+    @given(limit=st.floats(30.5, 45.0), demand=st.floats(0.5, 1.0))
+    def test_usta_never_runs_hotter_or_faster_than_baseline(
+        self, limit, demand, linear_predictor
+    ):
+        trace = constant_trace(demand, 300, gpu_activity=0.3, brightness=0.9)
+        baseline = run_workload(trace, governor="ondemand", seed=2)
+        usta = USTAController(predictor=linear_predictor, skin_limit_c=limit)
+        managed = run_workload(trace, governor="ondemand", thermal_manager=usta, seed=2)
+        assert managed.max_skin_temp_c <= baseline.max_skin_temp_c + 0.05
+        assert managed.average_frequency_ghz <= baseline.average_frequency_ghz + 1e-9
+        assert managed.delivered_work <= baseline.delivered_work + 1e-9
+
+    @SLOW
+    @given(
+        limit_low=st.floats(31.0, 36.0),
+        delta=st.floats(1.0, 8.0),
+    )
+    def test_tighter_limits_never_give_hotter_peaks(self, limit_low, delta, linear_predictor):
+        trace = constant_trace(0.95, 300, gpu_activity=0.3, brightness=0.9)
+        tight = USTAController(predictor=linear_predictor, skin_limit_c=limit_low)
+        loose = USTAController(predictor=linear_predictor, skin_limit_c=limit_low + delta)
+        result_tight = run_workload(trace, governor="ondemand", thermal_manager=tight, seed=3)
+        result_loose = run_workload(trace, governor="ondemand", thermal_manager=loose, seed=3)
+        assert result_tight.max_skin_temp_c <= result_loose.max_skin_temp_c + 0.1
+
+
+class TestPlatformInvariants:
+    @SLOW
+    @given(
+        demand=st.floats(0.0, 1.0),
+        gpu=st.floats(0.0, 1.0),
+        radio=st.floats(0.0, 1.0),
+        brightness=st.floats(0.0, 1.0),
+        charging=st.booleans(),
+    )
+    def test_temperatures_stay_physical(self, demand, gpu, radio, brightness, charging):
+        """Node temperatures stay between ambient and a hard physical ceiling."""
+        platform = DevicePlatform(seed=0)
+        platform.set_frequency_level(TABLE.max_level)
+        activity = DeviceActivity(
+            cpu_demand=demand,
+            gpu_activity=gpu,
+            radio_activity=radio,
+            brightness=brightness,
+            charging=charging,
+        )
+        for _ in range(120):
+            result = platform.step(activity, dt_s=5.0)
+        ambient = platform.ambient.air_temp_c
+        for name, temp in result.node_temps_c.items():
+            assert ambient - 0.5 <= temp <= 95.0, name
+
+    @SLOW
+    @given(seed=st.integers(0, 10_000))
+    def test_simulation_is_deterministic_per_seed(self, seed):
+        trace = ConstantLoad(duration_s=60, demand=0.7, seed=seed).generate("det")
+        a = run_workload(trace, governor="ondemand", seed=seed)
+        b = run_workload(trace, governor="ondemand", seed=seed)
+        assert np.allclose(a.skin_temps_c(), b.skin_temps_c())
+        assert np.array_equal(a.frequencies_khz(), b.frequencies_khz())
+
+
+class TestPolicyInvariants:
+    @given(
+        margin_a=st.floats(-5.0, 6.0),
+        margin_b=st.floats(-5.0, 6.0),
+        activation=st.floats(0.5, 5.0),
+    )
+    def test_any_scaled_policy_is_monotone(self, margin_a, margin_b, activation):
+        policy = ThrottlePolicy.with_activation_margin(activation)
+        cap_a = policy.cap_for_margin(margin_a, TABLE)
+        cap_b = policy.cap_for_margin(margin_b, TABLE)
+        value_a = TABLE.max_level if cap_a is None else cap_a
+        value_b = TABLE.max_level if cap_b is None else cap_b
+        if margin_a <= margin_b:
+            assert value_a <= value_b
+        else:
+            assert value_a >= value_b

@@ -1,0 +1,141 @@
+"""Tests for the simulation engine and experiment helpers."""
+
+import pytest
+
+from repro.device.platform import DevicePlatform
+from repro.governors import OndemandGovernor, PerformanceGovernor, PowersaveGovernor
+from repro.sim.engine import ManagerDecision, Simulator
+from repro.sim.experiments import compare_runs, run_benchmark, run_workload
+from repro.sim.logger import SystemLogger
+from repro.workloads import WorkloadSample, WorkloadTrace, build_benchmark
+
+
+def constant_trace(demand, duration_s=120, name="const"):
+    return WorkloadTrace.constant(name, duration_s, WorkloadSample(cpu_demand=demand))
+
+
+class RecordingManager:
+    """A fake thermal manager that records observations and applies a fixed cap."""
+
+    name = "recording"
+
+    def __init__(self, cap=None):
+        self.cap = cap
+        self.observations = []
+        self.resets = 0
+
+    def observe(self, time_s, sensor_readings, utilization, frequency_khz):
+        self.observations.append((time_s, utilization, frequency_khz))
+        return ManagerDecision(level_cap=self.cap, predicted_skin_temp_c=30.0)
+
+    def reset(self):
+        self.resets += 1
+
+
+class TestSimulator:
+    def test_runs_whole_trace(self, platform, ondemand):
+        simulator = Simulator(platform=platform, governor=ondemand)
+        result = simulator.run(constant_trace(0.5, 90))
+        assert len(result) == 90
+        assert result.workload_name == "const"
+        assert result.governor_name == "ondemand"
+
+    def test_ondemand_raises_frequency_under_load(self, platform, ondemand):
+        simulator = Simulator(platform=platform, governor=ondemand)
+        result = simulator.run(constant_trace(1.0, 60))
+        assert result.frequencies_khz()[-1] == platform.freq_table.max_frequency_khz
+
+    def test_idle_trace_keeps_frequency_low(self, platform, ondemand):
+        simulator = Simulator(platform=platform, governor=ondemand)
+        result = simulator.run(constant_trace(0.02, 60))
+        assert result.average_frequency_ghz < 0.6
+
+    def test_heavier_load_runs_hotter(self):
+        heavy = run_workload(constant_trace(1.0, 600), governor="performance", seed=0)
+        light = run_workload(constant_trace(0.05, 600), governor="performance", seed=0)
+        assert heavy.max_skin_temp_c > light.max_skin_temp_c
+
+    def test_reset_between_runs(self, platform, ondemand):
+        simulator = Simulator(platform=platform, governor=ondemand)
+        first = simulator.run(constant_trace(1.0, 300))
+        second = simulator.run(constant_trace(1.0, 300))
+        assert first.max_skin_temp_c == pytest.approx(second.max_skin_temp_c)
+
+    def test_warm_start_without_reset(self, platform, ondemand):
+        simulator = Simulator(platform=platform, governor=ondemand)
+        simulator.run(constant_trace(1.0, 300))
+        warm = simulator.run(constant_trace(1.0, 300), reset=False)
+        cold = run_workload(constant_trace(1.0, 300), governor="ondemand", seed=7)
+        assert warm.max_skin_temp_c > cold.max_skin_temp_c
+
+    def test_initial_temperature_override(self, platform, ondemand):
+        simulator = Simulator(platform=platform, governor=ondemand)
+        result = simulator.run(constant_trace(0.02, 30), initial_temps={"back_cover": 40.0})
+        assert result.skin_temps_c()[0] > 35.0
+
+    def test_manager_is_consulted_and_reset(self, platform, ondemand):
+        manager = RecordingManager(cap=None)
+        simulator = Simulator(platform=platform, governor=ondemand, thermal_manager=manager)
+        simulator.run(constant_trace(0.5, 30))
+        assert len(manager.observations) == 30
+        assert manager.resets == 1
+        assert simulator._governor_label() == "recording+ondemand"
+
+    def test_manager_cap_limits_frequency(self, platform, ondemand):
+        manager = RecordingManager(cap=2)
+        simulator = Simulator(platform=platform, governor=ondemand, thermal_manager=manager)
+        result = simulator.run(constant_trace(1.0, 60))
+        # After the first window the cap is in force for every later window.
+        assert max(result.frequencies_khz()[2:]) <= platform.freq_table.frequency_at(2)
+        assert result.usta_active_fraction > 0.9
+
+    def test_logger_fills_during_run(self, platform, ondemand):
+        logger = SystemLogger(period_s=3.0)
+        simulator = Simulator(platform=platform, governor=ondemand, logger=logger)
+        simulator.run(constant_trace(0.5, 30))
+        assert len(logger) == pytest.approx(10, abs=1)
+
+    def test_records_carry_sensor_and_truth_channels(self, platform, ondemand):
+        simulator = Simulator(platform=platform, governor=ondemand)
+        result = simulator.run(constant_trace(0.9, 30))
+        record = result.records[-1]
+        assert record.sensor_skin_temp_c == pytest.approx(record.skin_temp_c, abs=1.0)
+        assert record.cpu_temp_c > record.skin_temp_c
+
+
+class TestExperimentHelpers:
+    def test_run_workload_defaults_to_ondemand(self):
+        result = run_workload(constant_trace(0.5, 30), seed=1)
+        assert result.governor_name == "ondemand"
+
+    def test_run_workload_accepts_governor_instance(self):
+        governor = PowersaveGovernor()
+        result = run_workload(constant_trace(1.0, 30), governor=governor, seed=1)
+        assert result.frequencies_khz().max() == governor.table.min_frequency_khz
+
+    def test_run_benchmark_by_name(self):
+        result = run_benchmark("youtube", duration_s=60, seed=0)
+        assert result.workload_name == "youtube"
+        assert len(result) == 60
+
+    def test_run_benchmark_unknown_name(self):
+        with pytest.raises(KeyError):
+            run_benchmark("doom", duration_s=10)
+
+    def test_compare_runs_performance_vs_powersave(self):
+        trace = constant_trace(1.0, 600)
+        comparison = compare_runs(
+            trace,
+            baseline_governor=PerformanceGovernor(),
+            treatment_governor=PowersaveGovernor(),
+            seed=0,
+        )
+        assert comparison.peak_skin_reduction_c > 0.5
+        assert comparison.frequency_reduction_fraction > 0.5
+        assert comparison.throughput_loss_fraction > 0.0
+
+    def test_compare_runs_same_governor_is_neutral(self):
+        trace = constant_trace(0.6, 120)
+        comparison = compare_runs(trace, baseline_governor="ondemand", seed=3)
+        assert comparison.peak_skin_reduction_c == pytest.approx(0.0, abs=1e-9)
+        assert comparison.frequency_reduction_fraction == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,284 @@
+"""Tests for the thermal network, solver and Nexus 4 calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.thermal import (
+    AmbientConditions,
+    HandContact,
+    Nexus4ThermalParameters,
+    ThermalNetwork,
+    ThermalSolver,
+    build_nexus4_network,
+    steady_state,
+)
+from repro.thermal.ambient import AMBIENT_NODE, HAND_NODE
+from repro.thermal.nexus4 import BACK_COVER_NODE, CPU_NODE, SCREEN_NODE
+
+
+def two_node_network(cap=10.0, g_internal=1.0, g_ambient=0.5, ambient=20.0):
+    """A tiny heater->cover->ambient chain used by the unit tests."""
+    net = ThermalNetwork()
+    net.add_node("heater", capacitance_j_per_c=cap, initial_temp_c=ambient)
+    net.add_node("cover", capacitance_j_per_c=cap, initial_temp_c=ambient)
+    net.add_node("ambient", boundary=True, initial_temp_c=ambient)
+    net.add_conductance("heater", "cover", g_internal)
+    net.add_conductance("cover", "ambient", g_ambient)
+    net.assemble()
+    return net
+
+
+class TestNetworkConstruction:
+    def test_duplicate_node_rejected(self):
+        net = ThermalNetwork()
+        net.add_node("a")
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_node("a")
+
+    def test_conductance_requires_existing_nodes(self):
+        net = ThermalNetwork()
+        net.add_node("a")
+        with pytest.raises(KeyError):
+            net.add_conductance("a", "missing", 1.0)
+
+    def test_self_conductance_rejected(self):
+        net = ThermalNetwork()
+        net.add_node("a")
+        with pytest.raises(ValueError):
+            net.add_conductance("a", "a", 1.0)
+
+    def test_non_positive_conductance_rejected(self):
+        net = ThermalNetwork()
+        net.add_node("a")
+        net.add_node("b")
+        with pytest.raises(ValueError):
+            net.add_conductance("a", "b", 0.0)
+
+    def test_internal_node_needs_positive_capacitance(self):
+        net = ThermalNetwork()
+        with pytest.raises(ValueError):
+            net.add_node("a", capacitance_j_per_c=0.0)
+
+    def test_assembly_requires_internal_node(self):
+        net = ThermalNetwork()
+        net.add_node("ambient", boundary=True)
+        with pytest.raises(RuntimeError):
+            net.assemble()
+
+    def test_empty_network_cannot_assemble(self):
+        with pytest.raises(RuntimeError):
+            ThermalNetwork().assemble()
+
+    def test_no_mutation_after_assembly(self):
+        net = two_node_network()
+        with pytest.raises(RuntimeError):
+            net.add_node("late")
+        with pytest.raises(RuntimeError):
+            net.add_conductance("heater", "cover", 1.0)
+
+    def test_access_before_assembly_raises(self):
+        net = ThermalNetwork()
+        net.add_node("a")
+        with pytest.raises(RuntimeError):
+            net.temperatures()
+
+
+class TestNetworkState:
+    def test_temperatures_and_lookup(self):
+        net = two_node_network(ambient=21.0)
+        temps = net.temperatures()
+        assert temps == {"heater": 21.0, "cover": 21.0, "ambient": 21.0}
+        assert net.temperature_of("heater") == 21.0
+        with pytest.raises(KeyError):
+            net.temperature_of("nope")
+
+    def test_set_temperatures(self):
+        net = two_node_network()
+        net.set_temperatures({"heater": 40.0, "ambient": 25.0})
+        assert net.temperature_of("heater") == 40.0
+        assert net.temperature_of("ambient") == 25.0
+        with pytest.raises(KeyError):
+            net.set_temperatures({"ghost": 1.0})
+
+    def test_set_boundary_temperature_requires_boundary(self):
+        net = two_node_network()
+        with pytest.raises(KeyError):
+            net.set_boundary_temperature("heater", 30.0)
+
+    def test_power_vector_routing(self):
+        net = two_node_network()
+        vec = net.power_vector({"heater": 2.0, "ambient": 5.0})
+        assert vec[list(net.internal_names).index("heater")] == 2.0
+        with pytest.raises(KeyError):
+            net.power_vector({"ghost": 1.0})
+
+    def test_reset_restores_initial_temperatures(self):
+        net = two_node_network(ambient=20.0)
+        net.set_temperatures({"heater": 55.0})
+        net.reset()
+        assert net.temperature_of("heater") == 20.0
+
+    def test_runtime_boundary_conductance_change(self):
+        net = two_node_network()
+        # Strengthening the cover-ambient coupling at run time is allowed.
+        net.set_conductance("cover", "ambient", 1.0)
+        with pytest.raises(KeyError):
+            net.set_conductance("heater", "cover", 2.0)
+
+
+class TestSolver:
+    def test_steady_state_matches_hand_calculation(self):
+        # 1 W into the heater, series conductances 1.0 and 0.5 to a 20 C ambient:
+        # cover sits at 20 + 1/0.5 = 22, heater at 22 + 1/1.0 = 23.
+        net = two_node_network(g_internal=1.0, g_ambient=0.5, ambient=20.0)
+        temps = steady_state(net, {"heater": 1.0})
+        assert temps["cover"] == pytest.approx(22.0)
+        assert temps["heater"] == pytest.approx(23.0)
+        assert temps["ambient"] == 20.0
+
+    def test_transient_converges_to_steady_state(self):
+        net = two_node_network()
+        target = steady_state(net, {"heater": 1.0})
+        solver = ThermalSolver(net)
+        solver.run(duration_s=2000.0, dt_s=1.0, power_w={"heater": 1.0})
+        assert net.temperature_of("heater") == pytest.approx(target["heater"], abs=0.05)
+        assert net.temperature_of("cover") == pytest.approx(target["cover"], abs=0.05)
+
+    def test_zero_power_stays_at_ambient(self):
+        net = two_node_network(ambient=22.0)
+        solver = ThermalSolver(net)
+        solver.run(duration_s=500.0, dt_s=1.0, power_w={})
+        assert net.temperature_of("heater") == pytest.approx(22.0, abs=1e-6)
+
+    def test_explicit_and_implicit_agree(self):
+        net_a = two_node_network()
+        net_b = two_node_network()
+        ThermalSolver(net_a, method="implicit").run(300.0, 1.0, {"heater": 1.5})
+        ThermalSolver(net_b, method="explicit").run(300.0, 1.0, {"heater": 1.5})
+        assert net_a.temperature_of("cover") == pytest.approx(net_b.temperature_of("cover"), abs=0.2)
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalSolver(two_node_network(), method="magic")
+
+    def test_non_positive_step_rejected(self):
+        solver = ThermalSolver(two_node_network())
+        with pytest.raises(ValueError):
+            solver.step(0.0, {})
+
+    def test_temperature_never_drops_below_ambient_with_heating(self):
+        net = two_node_network(ambient=20.0)
+        solver = ThermalSolver(net)
+        for _ in range(200):
+            temps = solver.step(1.0, {"heater": 0.8})
+            assert all(t >= 20.0 - 1e-9 for t in temps.values())
+
+    @given(power=st.floats(0.0, 6.0), dt=st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_heating_from_ambient(self, power, dt):
+        net = two_node_network()
+        solver = ThermalSolver(net)
+        previous = net.temperature_of("heater")
+        for _ in range(30):
+            temps = solver.step(dt, {"heater": power})
+            assert temps["heater"] >= previous - 1e-9
+            previous = temps["heater"]
+
+    @given(power=st.floats(0.1, 5.0))
+    @settings(max_examples=25, deadline=None)
+    def test_steady_state_scales_linearly_with_power(self, power):
+        net = two_node_network(ambient=20.0)
+        one_watt = steady_state(net, {"heater": 1.0})
+        scaled = steady_state(net, {"heater": power})
+        assert scaled["heater"] - 20.0 == pytest.approx(power * (one_watt["heater"] - 20.0), rel=1e-6)
+
+
+class TestNexus4Model:
+    def test_network_contains_expected_nodes(self):
+        net = build_nexus4_network()
+        for node in (CPU_NODE, "board", "battery", BACK_COVER_NODE, "back_cover_upper", SCREEN_NODE):
+            assert node in net.internal_names
+        assert AMBIENT_NODE in net.boundary_names
+        assert HAND_NODE in net.boundary_names
+
+    def test_initial_state_is_ambient(self):
+        params = Nexus4ThermalParameters(ambient=AmbientConditions(air_temp_c=24.0))
+        net = build_nexus4_network(params)
+        assert all(
+            net.temperature_of(name) == pytest.approx(24.0) for name in net.internal_names
+        )
+
+    def test_steady_state_full_load_reaches_paper_range(self):
+        # ~4 W of sustained platform power drives the back cover into the
+        # low-to-mid 40s C, consistent with the paper's hottest measurements.
+        net = build_nexus4_network()
+        temps = steady_state(net, {CPU_NODE: 2.6, SCREEN_NODE: 0.5, "board": 0.8, "battery": 0.2})
+        assert 40.0 < temps[BACK_COVER_NODE] < 50.0
+        assert temps[CPU_NODE] > temps[BACK_COVER_NODE]
+
+    def test_back_cover_hotter_than_screen_under_soc_load(self):
+        net = build_nexus4_network()
+        temps = steady_state(net, {CPU_NODE: 2.5, "board": 0.5})
+        assert temps[BACK_COVER_NODE] > temps[SCREEN_NODE]
+
+    def test_skin_time_constant_is_minutes(self):
+        # After one minute of full load the skin has barely moved; after 20
+        # minutes it is clearly warm — i.e. the response is minutes-scale.
+        net = build_nexus4_network()
+        solver = ThermalSolver(net)
+        power = {CPU_NODE: 2.6, SCREEN_NODE: 0.5, "board": 0.8, "battery": 0.2}
+        solver.run(60.0, 1.0, power)
+        after_1min = net.temperature_of(BACK_COVER_NODE)
+        solver.run(19 * 60.0, 1.0, power)
+        after_20min = net.temperature_of(BACK_COVER_NODE)
+        assert after_1min < 27.0
+        assert after_20min > 36.0
+
+    def test_custom_parameters_change_the_response(self):
+        hot = Nexus4ThermalParameters(back_cover_ambient=0.02)
+        cool = Nexus4ThermalParameters(back_cover_ambient=0.20)
+        temps_hot = steady_state(build_nexus4_network(hot), {CPU_NODE: 2.0})
+        temps_cool = steady_state(build_nexus4_network(cool), {CPU_NODE: 2.0})
+        assert temps_hot[BACK_COVER_NODE] > temps_cool[BACK_COVER_NODE]
+
+
+class TestAmbientAndHand:
+    def test_ambient_apply_sets_boundaries(self):
+        net = build_nexus4_network()
+        AmbientConditions(air_temp_c=30.0, hand_temp_c=34.0).apply(net)
+        assert net.temperature_of(AMBIENT_NODE) == 30.0
+        assert net.temperature_of(HAND_NODE) == 34.0
+
+    def test_hand_contact_warms_an_idle_phone(self):
+        # A 33 C palm warms a cold, idle phone's back cover.
+        net = build_nexus4_network()
+        hand = HandContact(conductance_w_per_c=0.15)
+        hand.touch(net)
+        ThermalSolver(net).run(1200.0, 1.0, {})
+        assert net.temperature_of(BACK_COVER_NODE) > 24.0
+
+    def test_hand_contact_effect_is_small_when_active(self):
+        # The paper's observation: touch barely changes the exterior
+        # temperature when the phone is under load.
+        power = {CPU_NODE: 2.5, SCREEN_NODE: 0.5, "board": 0.7}
+
+        held = build_nexus4_network()
+        HandContact().touch(held)
+        ThermalSolver(held).run(1800.0, 1.0, power)
+
+        untouched = build_nexus4_network()
+        HandContact().release(untouched)
+        ThermalSolver(untouched).run(1800.0, 1.0, power)
+
+        difference = abs(
+            held.temperature_of(BACK_COVER_NODE) - untouched.temperature_of(BACK_COVER_NODE)
+        )
+        assert difference < 2.0
+
+    def test_release_removes_coupling(self):
+        net = build_nexus4_network()
+        hand = HandContact()
+        hand.touch(net)
+        hand.release(net)
+        assert not hand.touching

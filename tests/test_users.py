@@ -1,0 +1,213 @@
+"""Tests for the user population, comfort analysis and satisfaction model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.users import (
+    DEFAULT_USER_ID,
+    PAPER_USER_IDS,
+    ComfortAnalysis,
+    RatingModel,
+    SessionOutcome,
+    ThermalComfortProfile,
+    UserPopulation,
+    analyse_comfort,
+    analyse_for_user,
+    discomfort_onset_time,
+    paper_population,
+    summarize_preferences,
+)
+
+
+class TestPopulation:
+    def test_ten_participants(self):
+        population = paper_population()
+        assert len(population) == 10
+        assert population.user_ids == PAPER_USER_IDS
+
+    def test_limits_match_the_paper_spread(self):
+        population = paper_population()
+        assert population.min_skin_limit_c == pytest.approx(34.0)
+        assert population.max_skin_limit_c == pytest.approx(42.8)
+        assert population.mean_skin_limit_c == pytest.approx(37.0, abs=0.05)
+
+    def test_default_user_is_the_average(self):
+        default = paper_population().default_user()
+        assert default.user_id == DEFAULT_USER_ID
+        assert default.skin_limit_c == pytest.approx(37.0, abs=0.05)
+
+    def test_with_default_has_eleven_entries(self):
+        assert len(paper_population().with_default()) == 11
+
+    def test_lookup_by_id(self):
+        population = paper_population()
+        assert population["g"].skin_limit_c == pytest.approx(42.8)
+        assert population[DEFAULT_USER_ID].user_id == DEFAULT_USER_ID
+        assert "a" in population and "zz" not in population
+        with pytest.raises(KeyError):
+            population["zz"]
+
+    def test_screen_limits_below_skin_limits(self):
+        for profile in paper_population():
+            assert profile.screen_limit_c < profile.skin_limit_c
+
+    def test_activation_threshold_is_two_degrees_below(self):
+        profile = paper_population()["a"]
+        assert profile.usta_activation_temp_c == pytest.approx(profile.skin_limit_c - 2.0)
+
+    def test_skin_limits_mapping(self):
+        limits = paper_population().skin_limits()
+        assert set(limits) == set(PAPER_USER_IDS)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ThermalComfortProfile("x", 10.0, 30.0)
+        with pytest.raises(ValueError):
+            ThermalComfortProfile("x", 37.0, 70.0)
+        with pytest.raises(ValueError):
+            ThermalComfortProfile("x", 37.0, 35.0, heat_sensitivity=-1.0)
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            UserPopulation(())
+        duplicate = (
+            ThermalComfortProfile("x", 36.0, 34.0),
+            ThermalComfortProfile("x", 37.0, 35.0),
+        )
+        with pytest.raises(ValueError):
+            UserPopulation(duplicate)
+
+
+class TestComfortAnalysis:
+    def test_never_exceeding_the_limit(self):
+        analysis = analyse_comfort([30.0, 31.0, 32.0], limit_c=35.0)
+        assert analysis.percent_time_over_limit == 0.0
+        assert not analysis.ever_uncomfortable
+        assert analysis.onset_time_s is None
+        assert analysis.peak_exceedance_c == 0.0
+
+    def test_partial_exceedance(self):
+        temps = [34.0, 36.0, 38.0, 36.0]
+        analysis = analyse_comfort(temps, limit_c=35.0, dt_s=1.0)
+        assert analysis.time_over_limit_s == 3.0
+        assert analysis.percent_time_over_limit == pytest.approx(75.0)
+        assert analysis.peak_temp_c == 38.0
+        assert analysis.peak_exceedance_c == pytest.approx(3.0)
+        assert analysis.onset_time_s == pytest.approx(1.0)
+        assert analysis.ever_uncomfortable
+
+    def test_mean_exceedance_only_counts_overshoot(self):
+        analysis = analyse_comfort([34.0, 36.0], limit_c=35.0)
+        assert analysis.mean_exceedance_c == pytest.approx(0.5)
+
+    def test_dt_scaling(self):
+        analysis = analyse_comfort([36.0, 36.0], limit_c=35.0, dt_s=3.0)
+        assert analysis.duration_s == 6.0
+        assert analysis.time_over_limit_s == 6.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            analyse_comfort([], limit_c=35.0)
+        with pytest.raises(ValueError):
+            analyse_comfort([30.0], limit_c=35.0, dt_s=0.0)
+
+    def test_analyse_for_user_uses_skin_limit(self):
+        profile = paper_population()["f"]  # 34.0 C
+        analysis = analyse_for_user([35.0, 33.0], profile)
+        assert analysis.user_id == "f"
+        assert analysis.limit_c == pytest.approx(34.0)
+        assert analysis.time_over_limit_s == 1.0
+
+    def test_discomfort_onset_time(self):
+        ramp = np.linspace(30.0, 40.0, 101)  # 0.1 C per sample
+        onset = discomfort_onset_time(ramp, limit_c=35.0, dt_s=1.0)
+        assert onset == pytest.approx(51.0, abs=1.0)
+        assert discomfort_onset_time(ramp, limit_c=45.0) is None
+
+    @given(limit=st.floats(30.0, 45.0))
+    def test_percentage_bounded(self, limit):
+        rng = np.random.default_rng(0)
+        temps = rng.uniform(28.0, 44.0, 60)
+        analysis = analyse_comfort(temps, limit_c=limit)
+        assert 0.0 <= analysis.percent_time_over_limit <= 100.0
+
+
+def make_outcome(scheme, temps, limit, delivered=100.0, demanded=100.0, user="x"):
+    return SessionOutcome(
+        scheme=scheme,
+        comfort=analyse_comfort(temps, limit_c=limit, user_id=user),
+        delivered_work=delivered,
+        demanded_work=demanded,
+    )
+
+
+class TestRatingModel:
+    def test_cool_fast_session_gets_top_rating(self):
+        profile = ThermalComfortProfile("x", 37.0, 35.0)
+        outcome = make_outcome("baseline", [30.0] * 10, 37.0)
+        assert RatingModel().rate(outcome, profile) == 5
+
+    def test_hot_session_rated_lower(self):
+        profile = ThermalComfortProfile("x", 37.0, 35.0, heat_sensitivity=1.5)
+        cool = make_outcome("baseline", [30.0] * 10, 37.0)
+        hot = make_outcome("baseline", [41.0] * 10, 37.0)
+        model = RatingModel()
+        assert model.rate(hot, profile) < model.rate(cool, profile)
+
+    def test_rating_stays_in_1_to_5(self):
+        profile = ThermalComfortProfile("x", 37.0, 35.0, heat_sensitivity=10.0)
+        scorched = make_outcome("baseline", [50.0] * 10, 37.0)
+        assert RatingModel().rate(scorched, profile) == 1
+
+    def test_slowdown_below_noticeability_is_free(self):
+        profile = ThermalComfortProfile("x", 37.0, 35.0, performance_sensitivity=2.0)
+        slight = make_outcome("usta", [30.0] * 10, 37.0, delivered=97.0, demanded=100.0)
+        assert RatingModel().rate(slight, profile) == 5
+
+    def test_large_slowdown_penalised_for_sensitive_user(self):
+        sensitive = ThermalComfortProfile("x", 37.0, 35.0, performance_sensitivity=3.0)
+        relaxed = ThermalComfortProfile("y", 37.0, 35.0, performance_sensitivity=0.2)
+        slow = make_outcome("usta", [30.0] * 10, 37.0, delivered=50.0, demanded=100.0)
+        model = RatingModel()
+        assert model.score(slow, sensitive) < model.score(slow, relaxed)
+
+    def test_slowdown_property(self):
+        outcome = make_outcome("usta", [30.0], 37.0, delivered=80.0, demanded=100.0)
+        assert outcome.slowdown == pytest.approx(0.2)
+        free = make_outcome("usta", [30.0], 37.0, delivered=10.0, demanded=0.0)
+        assert free.slowdown == 0.0
+
+    def test_preference_prefers_cooler_scheme_for_heat_sensitive_user(self):
+        profile = ThermalComfortProfile("x", 35.0, 33.0, heat_sensitivity=1.5)
+        baseline = make_outcome("baseline", [40.0] * 20, 35.0)
+        usta = make_outcome("usta", [35.5] * 20, 35.0, delivered=85.0)
+        result = RatingModel().preference(baseline, usta, profile)
+        assert result.preference == "usta"
+        assert result.usta_rating >= result.baseline_rating
+
+    def test_preference_no_difference_when_nothing_changes(self):
+        profile = ThermalComfortProfile("x", 42.0, 40.0)
+        same = make_outcome("baseline", [33.0] * 20, 42.0)
+        result = RatingModel().preference(same, same, profile)
+        assert result.preference == "no_difference"
+
+    def test_preference_baseline_for_performance_sensitive_user(self):
+        profile = ThermalComfortProfile("x", 36.0, 34.0, heat_sensitivity=0.3, performance_sensitivity=3.0)
+        baseline = make_outcome("baseline", [37.0] * 20, 36.0)
+        usta = make_outcome("usta", [36.2] * 20, 36.0, delivered=55.0)
+        result = RatingModel().preference(baseline, usta, profile)
+        assert result.preference == "baseline"
+
+    def test_summarize_preferences(self):
+        profile = ThermalComfortProfile("x", 35.0, 33.0, heat_sensitivity=1.5)
+        baseline = make_outcome("baseline", [40.0] * 20, 35.0)
+        usta = make_outcome("usta", [35.2] * 20, 35.0)
+        results = [RatingModel().preference(baseline, usta, profile) for _ in range(3)]
+        summary = summarize_preferences(results)
+        assert summary["prefer_usta"] == 3.0
+        assert summary["mean_usta_rating"] >= summary["mean_baseline_rating"]
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_preferences([])

@@ -1,0 +1,236 @@
+"""Tests for workload traces, generators and the thirteen paper benchmarks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    BENCHMARKS,
+    BurstyLoad,
+    ConstantLoad,
+    PeriodicLoad,
+    PhasedLoad,
+    RampLoad,
+    WorkloadSample,
+    WorkloadTrace,
+    build_all_benchmarks,
+    build_benchmark,
+)
+
+
+class TestWorkloadSample:
+    def test_defaults_are_valid(self):
+        sample = WorkloadSample()
+        assert sample.cpu_demand == 0.0
+        assert sample.screen_on
+
+    def test_out_of_range_values_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSample(cpu_demand=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSample(gpu_activity=-0.1)
+        with pytest.raises(ValueError):
+            WorkloadSample(brightness=2.0)
+
+    def test_to_activity_round_trip(self):
+        sample = WorkloadSample(cpu_demand=0.4, gpu_activity=0.2, charging=True, touching=False)
+        activity = sample.to_activity()
+        assert activity.cpu_demand == 0.4
+        assert activity.gpu_activity == 0.2
+        assert activity.charging
+        assert not activity.touching
+
+
+class TestWorkloadTrace:
+    def test_constant_constructor(self):
+        trace = WorkloadTrace.constant("t", 10.0, WorkloadSample(cpu_demand=0.5))
+        assert len(trace) == 10
+        assert trace.duration_s == 10.0
+        assert trace.mean_cpu_demand == pytest.approx(0.5)
+        assert trace.peak_cpu_demand == pytest.approx(0.5)
+
+    def test_sample_at_clamps(self):
+        trace = WorkloadTrace.constant("t", 5.0, WorkloadSample(cpu_demand=0.3))
+        assert trace.sample_at(-10.0).cpu_demand == 0.3
+        assert trace.sample_at(100.0).cpu_demand == 0.3
+
+    def test_sample_at_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace("empty").sample_at(0.0)
+
+    def test_truncated(self):
+        trace = WorkloadTrace.constant("t", 100.0, WorkloadSample())
+        assert trace.truncated(30.0).duration_s == pytest.approx(30.0)
+
+    def test_repeated_and_concatenated(self):
+        a = WorkloadTrace.constant("a", 5.0, WorkloadSample(cpu_demand=0.1))
+        b = WorkloadTrace.constant("b", 5.0, WorkloadSample(cpu_demand=0.9))
+        assert a.repeated(3).duration_s == pytest.approx(15.0)
+        joined = a.concatenated(b)
+        assert len(joined) == 10
+        assert joined.samples[0].cpu_demand == 0.1
+        assert joined.samples[-1].cpu_demand == 0.9
+
+    def test_concatenation_requires_matching_period(self):
+        a = WorkloadTrace.constant("a", 5.0, WorkloadSample(), sample_period_s=1.0)
+        b = WorkloadTrace.constant("b", 5.0, WorkloadSample(), sample_period_s=2.0)
+        with pytest.raises(ValueError):
+            a.concatenated(b)
+
+    def test_scaled_demand_clips(self):
+        trace = WorkloadTrace.constant("t", 5.0, WorkloadSample(cpu_demand=0.6))
+        scaled = trace.scaled_demand(2.0)
+        assert all(s.cpu_demand == 1.0 for s in scaled)
+        with pytest.raises(ValueError):
+            trace.scaled_demand(-1.0)
+
+    def test_mapped_transform(self):
+        trace = WorkloadTrace.constant("t", 3.0, WorkloadSample(cpu_demand=0.6))
+        flipped = trace.mapped(lambda s: WorkloadSample(cpu_demand=1.0 - s.cpu_demand))
+        assert flipped.samples[0].cpu_demand == pytest.approx(0.4)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace("t", sample_period_s=0.0)
+
+    def test_repeated_rejects_non_positive(self):
+        trace = WorkloadTrace.constant("t", 3.0, WorkloadSample())
+        with pytest.raises(ValueError):
+            trace.repeated(0)
+
+
+class TestGenerators:
+    def test_constant_load(self):
+        trace = ConstantLoad(duration_s=60, demand=0.7, demand_jitter=0.0, seed=0).generate("c")
+        assert len(trace) == 60
+        assert all(s.cpu_demand == pytest.approx(0.7) for s in trace)
+
+    def test_jitter_changes_samples_but_is_reproducible(self):
+        gen_a = ConstantLoad(duration_s=60, demand=0.5, demand_jitter=0.1, seed=5)
+        gen_b = ConstantLoad(duration_s=60, demand=0.5, demand_jitter=0.1, seed=5)
+        trace_a, trace_b = gen_a.generate("a"), gen_b.generate("b")
+        assert [s.cpu_demand for s in trace_a] == [s.cpu_demand for s in trace_b]
+        assert len({s.cpu_demand for s in trace_a}) > 1
+
+    def test_different_seeds_differ(self):
+        a = ConstantLoad(duration_s=60, demand=0.5, demand_jitter=0.1, seed=1).generate("a")
+        b = ConstantLoad(duration_s=60, demand=0.5, demand_jitter=0.1, seed=2).generate("b")
+        assert [s.cpu_demand for s in a] != [s.cpu_demand for s in b]
+
+    def test_bursty_load_has_two_levels(self):
+        trace = BurstyLoad(
+            duration_s=600, seed=0, demand_jitter=0.0, busy_demand=0.9, idle_demand=0.1
+        ).generate("b")
+        demands = {round(s.cpu_demand, 2) for s in trace}
+        assert 0.9 in demands and 0.1 in demands
+
+    def test_periodic_load_duty_cycle(self):
+        trace = PeriodicLoad(
+            duration_s=100, period_s=10, duty_cycle=0.5, high_demand=1.0, low_demand=0.0,
+            demand_jitter=0.0, seed=0,
+        ).generate("p")
+        high = sum(1 for s in trace if s.cpu_demand > 0.5)
+        assert high == pytest.approx(50, abs=5)
+
+    def test_ramp_load_endpoints(self):
+        trace = RampLoad(duration_s=100, start_demand=0.0, end_demand=1.0, demand_jitter=0.0).generate("r")
+        assert trace.samples[0].cpu_demand == pytest.approx(0.0)
+        assert trace.samples[-1].cpu_demand == pytest.approx(1.0)
+        demands = [s.cpu_demand for s in trace]
+        assert demands == sorted(demands)
+
+    def test_phased_load_concatenates_phases(self):
+        phased = PhasedLoad(
+            seed=0,
+            phases=[
+                ("warm", ConstantLoad(duration_s=30, demand=0.2, demand_jitter=0.0)),
+                ("hot", ConstantLoad(duration_s=30, demand=0.9, demand_jitter=0.0)),
+            ],
+        )
+        trace = phased.generate("two_phase")
+        assert len(trace) == 60
+        assert trace.samples[0].cpu_demand == pytest.approx(0.2)
+        assert trace.samples[-1].cpu_demand == pytest.approx(0.9)
+
+    def test_phased_load_requires_phases(self):
+        with pytest.raises(ValueError):
+            PhasedLoad(phases=[])
+
+    def test_invalid_generator_parameters(self):
+        with pytest.raises(ValueError):
+            ConstantLoad(duration_s=0)
+        with pytest.raises(ValueError):
+            BurstyLoad(busy_duration_s=0)
+        with pytest.raises(ValueError):
+            PeriodicLoad(duty_cycle=0.0)
+        with pytest.raises(ValueError):
+            ConstantLoad(demand_jitter=-0.1)
+
+    @given(
+        demand=st.floats(0.0, 1.0),
+        jitter=st.floats(0.0, 0.3),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_generated_demand_always_in_unit_interval(self, demand, jitter, seed):
+        trace = ConstantLoad(duration_s=30, demand=demand, demand_jitter=jitter, seed=seed).generate("x")
+        assert all(0.0 <= s.cpu_demand <= 1.0 for s in trace)
+
+
+class TestBenchmarks:
+    def test_thirteen_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 13
+        assert len(BENCHMARKS) == 13
+
+    def test_build_all(self):
+        traces = build_all_benchmarks(seed=0)
+        assert len(traces) == 13
+        assert {t.name for t in traces} == set(BENCHMARK_NAMES)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            build_benchmark("angry_birds")
+
+    def test_durations_match_paper_statements(self):
+        assert BENCHMARKS["skype"].duration_s == pytest.approx(30 * 60)
+        assert BENCHMARKS["antutu_cpu_long"].duration_s == pytest.approx(90 * 60)
+
+    def test_duration_override(self):
+        trace = build_benchmark("skype", duration_s=120)
+        assert trace.duration_s == pytest.approx(120)
+
+    def test_benchmarks_are_reproducible_per_seed(self):
+        a = build_benchmark("vellamo", seed=4)
+        b = build_benchmark("vellamo", seed=4)
+        assert [s.cpu_demand for s in a] == [s.cpu_demand for s in b]
+
+    def test_charging_benchmark_profile(self):
+        trace = build_benchmark("charging", duration_s=60)
+        assert all(s.charging for s in trace)
+        assert all(not s.screen_on for s in trace)
+        assert all(not s.touching for s in trace)
+        assert trace.mean_cpu_demand < 0.2
+
+    def test_skype_is_sustained_and_radio_heavy(self):
+        trace = build_benchmark("skype", duration_s=300)
+        assert trace.mean_cpu_demand > 0.4
+        assert all(s.radio_activity > 0.5 for s in trace)
+
+    def test_gfxbench_is_gpu_bound(self):
+        trace = build_benchmark("gfxbench", duration_s=300)
+        mean_gpu = sum(s.gpu_activity for s in trace) / len(trace)
+        assert mean_gpu > trace.mean_cpu_demand
+
+    def test_antutu_tester_is_heavier_than_youtube(self):
+        tester = build_benchmark("antutu_tester", duration_s=300)
+        youtube = build_benchmark("youtube", duration_s=300)
+        assert tester.mean_cpu_demand > youtube.mean_cpu_demand + 0.3
+
+    def test_all_benchmark_samples_are_valid(self):
+        for name in BENCHMARK_NAMES:
+            trace = build_benchmark(name, duration_s=180)
+            assert len(trace) == 180
+            for sample in trace:
+                assert 0.0 <= sample.cpu_demand <= 1.0
+                assert 0.0 <= sample.gpu_activity <= 1.0
+                assert 0.0 <= sample.radio_activity <= 1.0
