@@ -1,0 +1,21 @@
+# Developer checks for the USTA reproduction.
+#
+# `make check` is what CI runs on every PR: the tier-1 test suite plus a
+# smoke run of the batched experiment runtime (table1 through a 2-worker
+# process pool at a tiny duration scale).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check test smoke bench-baseline
+
+check: test smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) -m repro table1 --scale 0.05 --jobs 2
+
+bench-baseline:
+	$(PYTHON) benchmarks/bench_batch_runtime.py

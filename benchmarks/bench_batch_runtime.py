@@ -1,0 +1,201 @@
+"""Benchmarks of the batched experiment runtime.
+
+Not a paper figure: these measure the three performance tiers the runtime
+introduces —
+
+1. prefactored implicit thermal stepping (vs the seed's rebuild-and-solve),
+2. a single ``Simulator.run`` on the prefactored substrate,
+3. a 16-user same-trace population through the vectorized engine (vs 16
+   sequential ``Simulator.run`` calls),
+
+so regressions in the batching machinery are visible over time.
+
+Run under pytest-benchmark as part of the harness, or directly::
+
+    python benchmarks/bench_batch_runtime.py
+
+which re-measures everything and rewrites ``benchmarks/BENCH_batch_runtime.json``
+— the committed baseline that gives future PRs a perf trajectory.
+"""
+
+import json
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # allow running as a script without PYTHONPATH
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.device.platform import DevicePlatform
+from repro.governors import OndemandGovernor
+from repro.runtime import PopulationMember, simulate_population
+from repro.sim.engine import Simulator
+from repro.thermal import ThermalSolver, build_nexus4_network
+from repro.workloads.benchmarks import build_benchmark
+
+POWER = {"cpu": 2.5, "screen": 0.5, "board": 0.6, "battery": 0.2}
+POPULATION_SIZE = 16
+TRACE_SECONDS = 600.0
+
+
+def _unfactored_step(network, dt_s, power_w):
+    """The seed solver's implicit step (rebuilds and solves every call)."""
+    c = network.capacitances
+    g = network.conductance_matrix
+    t_old = network.temperatures_vector
+    rhs_const = network.boundary_coupling @ network.boundary_temperatures_vector
+    p = network.power_vector(power_w)
+    a = np.diag(c / dt_s) + g
+    b = (c / dt_s) * t_old + rhs_const + p
+    network.apply_temperature_vector(np.linalg.solve(a, b))
+    return network.temperatures()
+
+
+def _population_members(count):
+    members = []
+    for seed in range(count):
+        platform = DevicePlatform(seed=seed)
+        members.append(
+            PopulationMember(platform=platform, governor=OndemandGovernor(table=platform.freq_table))
+        )
+    return members
+
+
+def _sequential_population(trace, count):
+    results = []
+    for seed in range(count):
+        platform = DevicePlatform(seed=seed)
+        simulator = Simulator(platform=platform, governor=OndemandGovernor(table=platform.freq_table))
+        results.append(simulator.run(trace))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+def bench_thermal_step_unfactored(benchmark):
+    """Seed-style implicit step: rebuild (C/dt + G) and dense-solve each call."""
+    network = build_nexus4_network()
+    benchmark(lambda: _unfactored_step(network, 1.0, POWER))
+
+
+def bench_thermal_step_prefactored(benchmark):
+    """Prefactored implicit step: cached LU + getrs back-substitution."""
+    solver = ThermalSolver(build_nexus4_network())
+    solver.step(1.0, POWER)  # warm the factorization cache
+    benchmark(lambda: solver.step(1.0, POWER))
+
+
+def bench_population_16_sequential(benchmark):
+    """16 same-trace users as 16 sequential Simulator.run calls."""
+    trace = build_benchmark("skype", seed=0, duration_s=TRACE_SECONDS)
+    results = benchmark.pedantic(
+        lambda: _sequential_population(trace, POPULATION_SIZE), rounds=3, iterations=1
+    )
+    assert len(results) == POPULATION_SIZE
+
+
+def bench_population_16_vectorized(benchmark):
+    """16 same-trace users as one vectorized population (bit-exact mode)."""
+    trace = build_benchmark("skype", seed=0, duration_s=TRACE_SECONDS)
+
+    def run():
+        return simulate_population(trace, _population_members(POPULATION_SIZE))
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results) == POPULATION_SIZE
+
+
+def bench_population_16_vectorized_blocked(benchmark):
+    """Same population with one blocked multi-RHS solve per step (exact=False)."""
+    trace = build_benchmark("skype", seed=0, duration_s=TRACE_SECONDS)
+
+    def run():
+        return simulate_population(trace, _population_members(POPULATION_SIZE), exact=False)
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results) == POPULATION_SIZE
+
+
+# ---------------------------------------------------------------------------
+# baseline writer (python benchmarks/bench_batch_runtime.py)
+# ---------------------------------------------------------------------------
+
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_batch_runtime.json")
+
+
+def _time_call(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def write_baseline(path=BASELINE_PATH):
+    """Measure the three tiers and write the JSON baseline."""
+    # -- thermal step ------------------------------------------------------
+    network = build_nexus4_network()
+    loops = 20_000
+    seed_s = _time_call(lambda: [_unfactored_step(network, 1.0, POWER) for _ in range(loops)])
+    solver = ThermalSolver(build_nexus4_network())
+    solver.step(1.0, POWER)
+    pre_s = _time_call(lambda: [solver.step(1.0, POWER) for _ in range(loops)])
+
+    # -- single run --------------------------------------------------------
+    trace = build_benchmark("skype", seed=0, duration_s=TRACE_SECONDS)
+    single_s = _time_call(lambda: _sequential_population(trace, 1))
+
+    # -- population --------------------------------------------------------
+    sequential_s = _time_call(lambda: _sequential_population(trace, POPULATION_SIZE))
+    vectorized_s = _time_call(
+        lambda: simulate_population(trace, _population_members(POPULATION_SIZE))
+    )
+    blocked_s = _time_call(
+        lambda: simulate_population(trace, _population_members(POPULATION_SIZE), exact=False)
+    )
+
+    steps = len(trace)
+    member_steps = steps * POPULATION_SIZE
+    baseline = {
+        "config": {
+            "population_size": POPULATION_SIZE,
+            "trace": "skype",
+            "trace_steps": steps,
+            "thermal_step_loops": loops,
+        },
+        "thermal_step": {
+            "unfactored_us": 1e6 * seed_s / loops,
+            "prefactored_us": 1e6 * pre_s / loops,
+            "speedup": seed_s / pre_s,
+        },
+        "single_run": {
+            "seconds": single_s,
+            "steps_per_s": steps / single_s,
+        },
+        "population_16": {
+            "sequential_s": sequential_s,
+            "vectorized_exact_s": vectorized_s,
+            "vectorized_blocked_s": blocked_s,
+            "sequential_member_steps_per_s": member_steps / sequential_s,
+            "vectorized_member_steps_per_s": member_steps / vectorized_s,
+            "speedup_exact": sequential_s / vectorized_s,
+            "speedup_blocked": sequential_s / blocked_s,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(baseline, handle, indent=2)
+        handle.write("\n")
+    return baseline
+
+
+if __name__ == "__main__":
+    report = write_baseline()
+    print(json.dumps(report, indent=2))
+    speedup = report["population_16"]["speedup_exact"]
+    print(f"\n16-user population speedup (bit-exact): {speedup:.2f}x", file=sys.stderr)

@@ -20,7 +20,7 @@ from ..core.pipeline import (
     train_runtime_predictor,
 )
 from ..core.predictor import RuntimePredictor
-from ..core.usta import USTAController
+from ..core.usta import USTAController, USTAControllerFactory
 from ..users.population import ThermalComfortProfile, UserPopulation, paper_population
 
 __all__ = ["ReproductionContext", "default_context"]
@@ -51,9 +51,16 @@ class ReproductionContext:
         seed: int = 0,
         duration_scale: float = 1.0,
         model_name: str = "reptree",
+        jobs: Optional[int] = None,
     ) -> "ReproductionContext":
-        """Collect training data, train the predictor and assemble the context."""
-        data = collect_training_data(seed=seed, duration_scale=duration_scale)
+        """Collect training data, train the predictor and assemble the context.
+
+        Args:
+            jobs: worker-process count forwarded to
+                :func:`~repro.core.pipeline.collect_training_data` (the most
+                expensive stage of context construction).
+        """
+        data = collect_training_data(seed=seed, duration_scale=duration_scale, jobs=jobs)
         predictor = train_runtime_predictor(data, model_name=model_name, seed=seed)
         return cls(
             predictor=predictor,
@@ -74,6 +81,22 @@ class ReproductionContext:
     def usta_default(self, **kwargs) -> USTAController:
         """USTA configured for the default (population-average) user."""
         return self.usta_for_limit(self.population.default_user().skin_limit_c, **kwargs)
+
+    def usta_factory_for_limit(self, skin_limit_c: float) -> USTAControllerFactory:
+        """A lean, picklable per-cell controller factory for an explicit limit.
+
+        Prefer this over ``partial(context.usta_for_limit, ...)`` in
+        :class:`~repro.runtime.plan.ExperimentCell` definitions: it carries
+        only the predictor and the limit, not the whole context (training
+        data included), which matters when cells cross process boundaries.
+        """
+        return USTAControllerFactory(predictor=self.predictor, skin_limit_c=skin_limit_c)
+
+    def usta_factory_for_user(self, profile: ThermalComfortProfile) -> USTAControllerFactory:
+        """A lean, picklable per-cell controller factory for one participant."""
+        return USTAControllerFactory(
+            predictor=self.predictor, skin_limit_c=profile.skin_limit_c
+        )
 
 
 @lru_cache(maxsize=4)

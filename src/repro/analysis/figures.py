@@ -13,7 +13,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.pipeline import evaluate_prediction_models
-from ..sim.experiments import run_benchmark, run_workload
+from ..runtime import BatchRunner, ExperimentCell, ExperimentPlan
+from ..sim.experiments import run_benchmark
 from ..sim.results import SimulationResult
 from ..users.comfort import discomfort_onset_time
 from ..users.population import DEFAULT_USER_ID, ThermalComfortProfile
@@ -108,6 +109,7 @@ def figure2_time_over_threshold(
     context: ReproductionContext,
     duration_s: float = 30 * MINUTE,
     under_usta: bool = True,
+    runner: Optional[BatchRunner] = None,
 ) -> List[Figure2Row]:
     """Reproduce Figure 2: the half-hour Skype call against eleven limits.
 
@@ -116,25 +118,38 @@ def figure2_time_over_threshold(
     temperature still spends above that limit.  ``under_usta=False`` runs the
     baseline governor instead, which isolates how much of the exposure is
     USTA's doing versus the workload's.
+
+    The eleven limit settings share one Skype trace, so the default runner
+    integrates the whole sweep as a single vectorized population.
     """
-    rows: List[Figure2Row] = []
-    for profile in context.population.with_default():
-        manager = context.usta_for_user(profile) if under_usta else None
-        result = run_benchmark(
-            SKYPE_BENCHMARK,
-            governor="ondemand",
-            thermal_manager=manager,
-            seed=context.seed,
-            duration_s=duration_s,
-        )
-        rows.append(
-            Figure2Row(
-                user_id=profile.user_id,
-                skin_limit_c=profile.skin_limit_c,
-                percent_time_over_limit=result.percent_time_over(profile.skin_limit_c),
+    profiles = list(context.population.with_default())
+    trace = build_benchmark(SKYPE_BENCHMARK, seed=context.seed, duration_s=duration_s)
+    plan = ExperimentPlan(
+        [
+            ExperimentCell(
+                cell_id=profile.user_id,
+                trace=trace,
+                governor="ondemand",
+                manager_factory=(
+                    context.usta_factory_for_user(profile) if under_usta else None
+                ),
+                seed=context.seed,
+                metadata={"user_id": profile.user_id},
             )
+            for profile in profiles
+        ]
+    )
+    store = (runner if runner is not None else BatchRunner.for_jobs(None)).run(plan)
+    return [
+        Figure2Row(
+            user_id=profile.user_id,
+            skin_limit_c=profile.skin_limit_c,
+            percent_time_over_limit=store.result_of(profile.user_id).percent_time_over(
+                profile.skin_limit_c
+            ),
         )
-    return rows
+        for profile in profiles
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -227,18 +242,40 @@ def figure4_skype_traces(
     context: ReproductionContext,
     duration_s: float = 30 * MINUTE,
     limit_c: Optional[float] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> Figure4Series:
-    """Reproduce Figure 4: the Skype call under the baseline and under USTA."""
+    """Reproduce Figure 4: the Skype call under the baseline and under USTA.
+
+    The baseline/USTA pair shares one trace and executes as a two-member
+    vectorized population under the default runner.
+    """
     limit = limit_c if limit_c is not None else context.population.default_user().skin_limit_c
     trace = build_benchmark(SKYPE_BENCHMARK, seed=context.seed, duration_s=duration_s)
-    baseline = run_workload(trace, governor="ondemand", seed=context.seed)
-    usta = run_workload(
-        trace,
-        governor="ondemand",
-        thermal_manager=context.usta_for_limit(limit),
-        seed=context.seed,
+    plan = ExperimentPlan(
+        [
+            ExperimentCell(
+                cell_id="baseline",
+                trace=trace,
+                governor="ondemand",
+                seed=context.seed,
+                metadata={"scheme": "baseline"},
+            ),
+            ExperimentCell(
+                cell_id="usta",
+                trace=trace,
+                governor="ondemand",
+                manager_factory=context.usta_factory_for_limit(limit),
+                seed=context.seed,
+                metadata={"scheme": "usta"},
+            ),
+        ]
     )
-    return Figure4Series(limit_c=limit, baseline=baseline, usta=usta)
+    store = (runner if runner is not None else BatchRunner.for_jobs(None)).run(plan)
+    return Figure4Series(
+        limit_c=limit,
+        baseline=store.result_of("baseline"),
+        usta=store.result_of("usta"),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -261,12 +298,16 @@ def figure5_user_ratings(
     context: ReproductionContext,
     duration_s: float = 30 * MINUTE,
     rating_model: Optional[RatingModel] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> Tuple[List[Figure5Row], Dict[str, float]]:
     """Reproduce Figure 5: per-user ratings of baseline vs user-specific USTA.
 
     Each participant "holds the phone" through two 30-minute Skype sessions —
     one under the baseline governor and one under USTA configured to their own
-    comfort limit — and rates both via the satisfaction model.
+    comfort limit — and rates both via the satisfaction model.  The shared
+    baseline plus the ten user-specific USTA sessions all replay one trace,
+    so the default runner integrates them as a single eleven-member
+    vectorized population.
 
     Returns:
         The per-user rows and the aggregate summary (mean ratings and
@@ -274,17 +315,35 @@ def figure5_user_ratings(
     """
     model = rating_model or RatingModel()
     trace = build_benchmark(SKYPE_BENCHMARK, seed=context.seed, duration_s=duration_s)
-    baseline_result = run_workload(trace, governor="ondemand", seed=context.seed)
+    profiles = list(context.population)
+    plan = ExperimentPlan(
+        [
+            ExperimentCell(
+                cell_id="baseline",
+                trace=trace,
+                governor="ondemand",
+                seed=context.seed,
+                metadata={"scheme": "baseline"},
+            )
+        ]
+    ).extend(
+        ExperimentCell(
+            cell_id=f"usta/{profile.user_id}",
+            trace=trace,
+            governor="ondemand",
+            manager_factory=context.usta_factory_for_user(profile),
+            seed=context.seed,
+            metadata={"scheme": "usta", "user_id": profile.user_id},
+        )
+        for profile in profiles
+    )
+    store = (runner if runner is not None else BatchRunner.for_jobs(None)).run(plan)
+    baseline_result = store.result_of("baseline")
 
     rows: List[Figure5Row] = []
     results: List[PreferenceResult] = []
-    for profile in context.population:
-        usta_result = run_workload(
-            trace,
-            governor="ondemand",
-            thermal_manager=context.usta_for_user(profile),
-            seed=context.seed,
-        )
+    for profile in profiles:
+        usta_result = store.result_of(f"usta/{profile.user_id}")
         baseline_outcome = SessionOutcome(
             scheme="baseline",
             comfort=baseline_result.comfort_against(profile.skin_limit_c, profile.user_id),

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..sim.experiments import run_workload
+from ..runtime import BatchRunner, ExperimentCell, ExperimentPlan
 from ..workloads.benchmarks import BENCHMARK_NAMES, BENCHMARKS, build_benchmark
 from .context import ReproductionContext
 from .paper_data import PAPER_DEFAULT_LIMIT_C, PAPER_TABLE1, PaperTable1Row
@@ -54,8 +54,17 @@ def reproduce_table1(
     benchmarks: Optional[Sequence[str]] = None,
     duration_scale: float = 1.0,
     skin_limit_c: float = PAPER_DEFAULT_LIMIT_C,
+    runner: Optional[BatchRunner] = None,
+    jobs: Optional[int] = None,
 ) -> List[Table1Row]:
     """Run every benchmark under both DVFS configurations and tabulate the results.
+
+    The 13 × {ondemand, USTA} grid is declared as an
+    :class:`~repro.runtime.plan.ExperimentPlan` and executed through a
+    :class:`~repro.runtime.runner.BatchRunner`: by default each benchmark's
+    baseline/USTA pair integrates as one vectorized population (bit-identical
+    to sequential runs), and ``jobs > 1`` fans the cells out over a process
+    pool instead.
 
     Args:
         context: shared context (provides the trained predictor).
@@ -64,24 +73,40 @@ def reproduce_table1(
             (1.0 reproduces the paper's run lengths; smaller values give a
             faster, rougher table).
         skin_limit_c: USTA's comfort limit (37 °C = the default user).
+        runner: custom batch runner (overrides ``jobs``).
+        jobs: worker-process count for parallel execution (see
+            :meth:`BatchRunner.for_jobs`).
     """
     if duration_scale <= 0:
         raise ValueError("duration_scale must be positive")
     names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_NAMES
 
-    rows: List[Table1Row] = []
+    plan = ExperimentPlan()
     for index, name in enumerate(names):
         spec = BENCHMARKS[name]
         duration = spec.duration_s * duration_scale
         trace = build_benchmark(name, seed=context.seed + index, duration_s=duration)
+        for scheme, factory in (
+            ("baseline", None),
+            ("usta", context.usta_factory_for_limit(skin_limit_c)),
+        ):
+            plan.add(
+                ExperimentCell(
+                    cell_id=f"{name}/{scheme}",
+                    trace=trace,
+                    governor="ondemand",
+                    manager_factory=factory,
+                    seed=context.seed + index,
+                    metadata={"benchmark": name, "scheme": scheme},
+                )
+            )
+    store = (runner if runner is not None else BatchRunner.for_jobs(jobs)).run(plan)
 
-        baseline = run_workload(trace, governor="ondemand", seed=context.seed + index)
-        usta = run_workload(
-            trace,
-            governor="ondemand",
-            thermal_manager=context.usta_for_limit(skin_limit_c),
-            seed=context.seed + index,
-        )
+    rows: List[Table1Row] = []
+    for name in names:
+        spec = BENCHMARKS[name]
+        baseline = store.result_of(f"{name}/baseline")
+        usta = store.result_of(f"{name}/usta")
         rows.append(
             Table1Row(
                 benchmark=name,

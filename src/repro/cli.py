@@ -4,21 +4,29 @@
 paper's tables and figures from the command line::
 
     repro-usta table1 --scale 0.25
+    repro-usta table1 --scale 1.0 --jobs 4
     repro-usta fig1
     repro-usta fig2
     repro-usta fig3
     repro-usta fig4
     repro-usta fig5
     repro-usta all --scale 0.25
+    repro-usta sweep --scale 0.25 --repeat 10
 
 ``--scale`` shortens every benchmark proportionally (1.0 replays the paper's
-full durations; 0.25 gives a quick look).
+full durations).  ``--jobs N`` fans the experiment grid out over N worker
+processes (``table1``/``all``/``sweep``); without it the vectorized
+in-process runner batches same-trace cells.  ``sweep`` runs a user
+population (the ten study participants × ``--repeat``) against one benchmark
+under user-specific USTA — the population-scale experiment the batched
+runtime in :mod:`repro.runtime` exists for.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .analysis import (
@@ -50,8 +58,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all",),
-        help="which paper result to regenerate",
+        choices=EXPERIMENTS + ("all", "sweep"),
+        help="which paper result to regenerate (or 'sweep' for a population sweep)",
     )
     parser.add_argument(
         "--scale",
@@ -68,13 +76,88 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--folds", type=int, default=10, help="cross-validation folds for fig3"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for table1/all/sweep (default: vectorized in-process runner)",
+    )
+    parser.add_argument(
+        "--benchmark",
+        default="skype",
+        help="benchmark replayed by the sweep (default: skype)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="population copies for the sweep (10 users per copy)",
+    )
     return parser
+
+
+def _run_sweep(context: ReproductionContext, args: argparse.Namespace) -> str:
+    """Run `--repeat` copies of the study population through one benchmark."""
+    from .runtime import BatchRunner, ExperimentCell, ExperimentPlan
+    from .workloads.benchmarks import BENCHMARKS, build_benchmark
+
+    if args.repeat < 1:
+        raise SystemExit("repro-usta sweep: --repeat must be at least 1")
+    if args.benchmark not in BENCHMARKS:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise SystemExit(
+            f"repro-usta sweep: unknown benchmark {args.benchmark!r}; choose from: {known}"
+        )
+    spec = BENCHMARKS[args.benchmark]
+    duration = spec.duration_s * args.scale
+    trace = build_benchmark(args.benchmark, seed=context.seed, duration_s=duration)
+
+    plan = ExperimentPlan()
+    for rep in range(args.repeat):
+        for profile in context.population:
+            suffix = f"/r{rep}" if args.repeat > 1 else ""
+            plan.add(
+                ExperimentCell(
+                    cell_id=f"{profile.user_id}{suffix}",
+                    trace=trace,
+                    governor="ondemand",
+                    manager_factory=context.usta_factory_for_user(profile),
+                    seed=context.seed + rep,
+                    metadata={"user_id": profile.user_id, "rep": rep},
+                )
+            )
+
+    start = time.perf_counter()
+    store = BatchRunner.for_jobs(args.jobs).run(plan)
+    elapsed = time.perf_counter() - start
+
+    lines = [
+        f"{'member':>12} {'limit °C':>9} {'peak skin °C':>13} {'% over limit':>13}"
+        f" {'avg GHz':>8} {'USTA on %':>10}"
+    ]
+    profiles = {p.user_id: p for p in context.population}
+    for entry in store:
+        profile = profiles[entry.cell.metadata["user_id"]]
+        result = entry.result
+        lines.append(
+            f"{entry.cell.cell_id:>12} {profile.skin_limit_c:>9.1f}"
+            f" {result.max_skin_temp_c:>13.2f}"
+            f" {result.percent_time_over(profile.skin_limit_c):>13.1f}"
+            f" {result.average_frequency_ghz:>8.3f}"
+            f" {100.0 * result.usta_active_fraction:>10.1f}"
+        )
+    total_steps = sum(len(entry.result) for entry in store)
+    lines.append(
+        f"{len(store)} members x {len(trace)} steps in {elapsed:.2f}s"
+        f" ({total_steps / elapsed:,.0f} member-steps/s)"
+    )
+    return "\n".join(lines)
 
 
 def _run_experiment(name: str, context: ReproductionContext, args: argparse.Namespace) -> str:
     scale = args.scale
     if name == "table1":
-        rows = reproduce_table1(context, duration_scale=scale)
+        rows = reproduce_table1(context, duration_scale=scale, jobs=args.jobs)
         return "Table 1 — max temperatures and average frequency\n" + render_table1(rows)
     if name == "fig1":
         rows = figure1_user_thresholds(context, duration_s=45 * 60 * scale)
@@ -91,6 +174,10 @@ def _run_experiment(name: str, context: ReproductionContext, args: argparse.Name
     if name == "fig5":
         rows, summary = figure5_user_ratings(context, duration_s=30 * 60 * scale)
         return "Figure 5 — user satisfaction ratings\n" + render_figure5(rows, summary)
+    if name == "sweep":
+        return f"Population sweep — {args.benchmark} × {args.repeat}×10 users\n" + _run_sweep(
+            context, args
+        )
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -101,7 +188,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print(f"building reproduction context (scale={args.scale}, model={args.model}) ...")
     context = ReproductionContext.build(
-        seed=args.seed, duration_scale=args.scale, model_name=args.model
+        seed=args.seed, duration_scale=args.scale, model_name=args.model, jobs=args.jobs
     )
     print(f"training data: {context.training_data.num_records} log records\n")
 

@@ -12,7 +12,7 @@ from .pipeline import (
 from .policy import ThrottlePolicy, ThrottleStep
 from .predictor import PredictionFeatures, RuntimePredictor, SkinScreenPrediction
 from .screen_aware import ScreenAwareUSTAController
-from .usta import USTAController
+from .usta import USTAController, USTAControllerFactory
 
 __all__ = [
     "PAPER_MODEL_NAMES",
@@ -28,5 +28,6 @@ __all__ = [
     "RuntimePredictor",
     "SkinScreenPrediction",
     "USTAController",
+    "USTAControllerFactory",
     "ScreenAwareUSTAController",
 ]

@@ -22,7 +22,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..device.platform import DevicePlatform
-from ..governors.ondemand import OndemandGovernor
 from ..ml.base import Regressor, create_model
 from ..ml.crossval import CrossValidationResult, cross_validate
 from ..ml.dataset import Dataset
@@ -30,7 +29,6 @@ from ..ml.linear import LinearRegression
 from ..ml.m5p import M5ModelTree
 from ..ml.mlp import MultilayerPerceptron
 from ..ml.reptree import RepTree
-from ..sim.engine import Simulator
 from ..sim.logger import SCREEN_TARGET, SKIN_TARGET, SystemLogger
 from ..users.population import ThermalComfortProfile
 from ..workloads.benchmarks import BENCHMARK_NAMES, build_benchmark
@@ -95,8 +93,16 @@ def collect_training_data(
     log_period_s: float = 3.0,
     duration_scale: float = 1.0,
     platform_factory: Optional[Callable[[], DevicePlatform]] = None,
+    jobs: Optional[int] = None,
+    runner: Optional["BatchRunner"] = None,
 ) -> TrainingData:
     """Run the benchmark suite under the baseline governor and log predictor data.
+
+    The benchmark runs are declared as one
+    :class:`~repro.runtime.plan.ExperimentPlan` (one logging cell per
+    benchmark) and executed through a
+    :class:`~repro.runtime.runner.BatchRunner`, so the most expensive stage
+    of the pipeline can fan out over a process pool with ``jobs > 1``.
 
     Args:
         benchmarks: benchmark names to run (all thirteen by default).
@@ -105,28 +111,42 @@ def collect_training_data(
         duration_scale: multiply every benchmark's duration by this factor
             (useful to build smaller datasets in tests and quick examples).
         platform_factory: custom platform constructor (defaults to a fresh
-            Nexus-4 platform per benchmark).
+            Nexus-4 platform per benchmark; must be picklable when combined
+            with ``jobs > 1``).
+        jobs: worker-process count for parallel collection.
+        runner: custom batch runner (overrides ``jobs``).
 
     Returns:
         A :class:`TrainingData` whose logger pools the records of every
         benchmark, mirroring the paper's single global dataset.
     """
+    from ..runtime import BatchRunner, ExperimentCell, ExperimentPlan
+
     if duration_scale <= 0:
         raise ValueError("duration_scale must be positive")
     names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_NAMES
-    pooled = SystemLogger(period_s=log_period_s)
 
+    plan = ExperimentPlan()
     for index, name in enumerate(names):
         trace = build_benchmark(name, seed=seed + index)
         if duration_scale != 1.0:
             trace = trace.truncated(max(log_period_s, trace.duration_s * duration_scale))
-        platform = platform_factory() if platform_factory is not None else DevicePlatform(seed=seed + index)
-        governor = OndemandGovernor(table=platform.freq_table)
-        run_logger = SystemLogger(period_s=log_period_s)
-        simulator = Simulator(platform=platform, governor=governor, logger=run_logger)
-        simulator.run(trace)
-        pooled.extend(run_logger)
+        plan.add(
+            ExperimentCell(
+                cell_id=name,
+                trace=trace,
+                governor="ondemand",
+                seed=seed + index,
+                log_period_s=log_period_s,
+                platform_factory=platform_factory,
+                metadata={"benchmark": name},
+            )
+        )
+    store = (runner if runner is not None else BatchRunner.for_jobs(jobs)).run(plan)
 
+    pooled = SystemLogger(period_s=log_period_s)
+    for cell_result in store:
+        pooled.extend(cell_result.logger)
     return TrainingData(logger=pooled, benchmarks=names)
 
 

@@ -28,7 +28,23 @@ from ..users.population import ThermalComfortProfile
 from .policy import ThrottlePolicy
 from .predictor import PredictionFeatures, RuntimePredictor
 
-__all__ = ["USTAController"]
+__all__ = ["USTAController", "USTAControllerFactory"]
+
+
+@dataclass(frozen=True)
+class USTAControllerFactory:
+    """Builds fresh USTA controllers for batched-runtime experiment cells.
+
+    Carries only what a controller needs (the trained predictor and a comfort
+    limit), so process-pool executors pickle a small payload per cell instead
+    of whatever object graph a bound method would drag along.
+    """
+
+    predictor: RuntimePredictor
+    skin_limit_c: float = 37.0
+
+    def __call__(self) -> "USTAController":
+        return USTAController(predictor=self.predictor, skin_limit_c=self.skin_limit_c)
 
 
 @dataclass

@@ -1,0 +1,58 @@
+"""Batched experiment runtime.
+
+This package turns the paper's evaluation grid into data: an
+:class:`~repro.runtime.plan.ExperimentPlan` describes the cells (benchmark ×
+governor × manager × seed), a :class:`~repro.runtime.runner.BatchRunner`
+executes them through a pluggable executor, and a
+:class:`~repro.runtime.store.ResultStore` collects the per-cell
+:class:`~repro.sim.results.SimulationResult` streams with their metadata.
+
+Executors trade scheduling for the same deterministic results:
+
+* :class:`~repro.runtime.executors.SerialExecutor` — simple in-process loop;
+* :class:`~repro.runtime.executors.ProcessPoolCellExecutor` — cells fan out
+  over a process pool (``repro-usta table1 --jobs 4``);
+* :class:`~repro.runtime.executors.VectorizedExecutor` — cells sharing one
+  workload trace integrate in lockstep through
+  :func:`~repro.runtime.vectorized.simulate_population`, turning N thermal
+  solves per step into one batched solve on the cached LU factorization.
+
+Quickstart::
+
+    from repro.runtime import BatchRunner, ExperimentPlan
+
+    plan = ExperimentPlan.from_product(
+        benchmarks=("skype", "youtube"),
+        managers={"baseline": None},
+        duration_scale=0.1,
+    )
+    store = BatchRunner.for_jobs(None).run(plan)
+    for row in store.summary_rows():
+        print(row["cell_id"], row["max_skin_temp_c"])
+"""
+
+from .executors import ProcessPoolCellExecutor, SerialExecutor, VectorizedExecutor
+from .plan import ConstantManagerFactory, ExperimentCell, ExperimentPlan
+from .runner import BatchRunner, run_cell
+from .store import CellResult, ResultStore
+from .vectorized import (
+    PopulationMember,
+    VectorizationError,
+    simulate_population,
+)
+
+__all__ = [
+    "BatchRunner",
+    "CellResult",
+    "ConstantManagerFactory",
+    "ExperimentCell",
+    "ExperimentPlan",
+    "PopulationMember",
+    "ProcessPoolCellExecutor",
+    "ResultStore",
+    "SerialExecutor",
+    "VectorizationError",
+    "VectorizedExecutor",
+    "run_cell",
+    "simulate_population",
+]

@@ -1,0 +1,167 @@
+"""Cell executors: serial, process pool, and vectorized same-trace batching.
+
+An executor consumes a list of :class:`~repro.runtime.plan.ExperimentCell`
+entries and yields one :class:`~repro.runtime.store.CellResult` per cell *in
+input order*.  All three executors are deterministic and interchangeable:
+for a given plan they produce identical :class:`StepRecord` streams (the
+parity tests in ``tests/test_runtime.py`` assert this bit-for-bit).
+
+* :class:`SerialExecutor` — one cell after another in the current process.
+* :class:`ProcessPoolCellExecutor` — cells fan out over a
+  ``concurrent.futures`` process pool; cells and their manager factories must
+  be picklable.
+* :class:`VectorizedExecutor` — cells that share a workload trace and the
+  default platform are batched through
+  :func:`~repro.runtime.vectorized.simulate_population`; everything else
+  falls back to the wrapped executor.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..device.platform import DevicePlatform
+from ..governors import create_governor
+from ..governors.base import Governor
+from ..sim.logger import SystemLogger
+from .plan import ExperimentCell
+from .runner import run_cell
+from .store import CellResult
+from .vectorized import PopulationMember, VectorizationError, simulate_population
+
+__all__ = [
+    "SerialExecutor",
+    "ProcessPoolCellExecutor",
+    "VectorizedExecutor",
+]
+
+
+@dataclass
+class SerialExecutor:
+    """Runs every cell sequentially in the current process."""
+
+    def execute(self, cells: Iterable[ExperimentCell]) -> Iterator[CellResult]:
+        """Yield one result per cell, in order."""
+        for cell in cells:
+            yield run_cell(cell)
+
+
+@dataclass
+class ProcessPoolCellExecutor:
+    """Fans cells out over a process pool.
+
+    Attributes:
+        max_workers: pool size (``None`` lets ``concurrent.futures`` decide).
+        chunksize: cells submitted per worker task (larger values amortize
+            pickling for plans of many small cells).
+    """
+
+    max_workers: Optional[int] = None
+    chunksize: int = 1
+
+    def execute(self, cells: Iterable[ExperimentCell]) -> Iterator[CellResult]:
+        """Yield one result per cell, in order (pool map preserves order)."""
+        cell_list = list(cells)
+        if not cell_list:
+            return
+        if len(cell_list) == 1:
+            # Not worth a pool spin-up for a single cell.
+            yield run_cell(cell_list[0])
+            return
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            yield from pool.map(run_cell, cell_list, chunksize=self.chunksize)
+
+
+@dataclass
+class VectorizedExecutor:
+    """Batches same-trace cells through the vectorized population engine.
+
+    Cells are grouped by workload identity (same explicit trace object, or
+    same ``(benchmark, seed, duration)``); each group of two or more
+    default-platform cells becomes one
+    :func:`~repro.runtime.vectorized.simulate_population` call.  Ungroupable
+    cells (custom platforms, pre-built governor instances, singleton groups)
+    run through :func:`~repro.runtime.runner.run_cell` unchanged, as does any
+    group the population engine rejects.
+
+    Attributes:
+        exact: forwarded to :func:`simulate_population`; keep True (default)
+            for bit-identical parity with the scalar engine.
+    """
+
+    exact: bool = True
+
+    @staticmethod
+    def _group_key(cell: ExperimentCell) -> Optional[Tuple]:
+        if cell.platform_factory is not None:
+            return None  # custom hardware — cannot assume a shared network
+        if isinstance(cell.governor, Governor):
+            return None  # pre-built instances may be shared between cells
+        if cell.trace is not None:
+            return ("trace", id(cell.trace), cell.duration_s)
+        return ("bench", cell.benchmark, cell.seed, cell.duration_s)
+
+    def execute(self, cells: Iterable[ExperimentCell]) -> Iterator[CellResult]:
+        """Yield one result per cell, in input order."""
+        cell_list = list(cells)
+        groups: Dict[Tuple, List[int]] = {}
+        order: List[Tuple] = []
+        singles: List[int] = []
+        for index, cell in enumerate(cell_list):
+            key = self._group_key(cell)
+            if key is None:
+                singles.append(index)
+                continue
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(index)
+
+        results: List[Optional[CellResult]] = [None] * len(cell_list)
+        for index in singles:
+            results[index] = run_cell(cell_list[index])
+        for key in order:
+            indices = groups[key]
+            group = [cell_list[i] for i in indices]
+            for i, cell_result in zip(indices, self._run_group(group)):
+                results[i] = cell_result
+        for cell_result in results:
+            assert cell_result is not None
+            yield cell_result
+
+    def _run_group(self, group: Sequence[ExperimentCell]) -> List[CellResult]:
+        if len(group) == 1:
+            return [run_cell(group[0])]
+        start = time.perf_counter()
+        trace = group[0].build_trace()
+        members = []
+        loggers: List[Optional[SystemLogger]] = []
+        for cell in group:
+            platform = DevicePlatform(seed=cell.seed)
+            logger = (
+                SystemLogger(period_s=cell.log_period_s)
+                if cell.log_period_s is not None
+                else None
+            )
+            loggers.append(logger)
+            members.append(
+                PopulationMember(
+                    platform=platform,
+                    governor=create_governor(cell.governor, table=platform.freq_table),
+                    thermal_manager=cell.build_manager(),
+                    logger=logger,
+                    initial_temps=cell.initial_temps,
+                )
+            )
+        try:
+            sim_results = simulate_population(trace, members, exact=self.exact)
+        except VectorizationError:
+            return [run_cell(cell) for cell in group]
+        wall_each = (time.perf_counter() - start) / len(group)
+        return [
+            CellResult(cell=cell, result=result, logger=logger, wall_time_s=wall_each)
+            for cell, result, logger in zip(group, sim_results, loggers)
+        ]

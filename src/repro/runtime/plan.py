@@ -1,0 +1,257 @@
+"""Declarative experiment plans.
+
+The paper's evaluation is a grid of scenarios — benchmarks × DVFS schemes ×
+per-user comfort limits — and the analysis layer used to replay each grid
+cell through a hand-rolled loop.  An :class:`ExperimentPlan` makes that grid
+a first-class object: a list of :class:`ExperimentCell` descriptions that a
+:class:`~repro.runtime.runner.BatchRunner` can execute with any executor
+(serial, process pool, or the vectorized same-trace population path).
+
+Cells are plain picklable data so they can cross process boundaries.  A cell
+names its workload either by benchmark registry name (rebuilt inside the
+worker) or by an explicit :class:`~repro.workloads.trace.WorkloadTrace`
+(shared across cells — this is what lets the vectorized executor recognise a
+same-trace population).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import (
+    Callable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from ..device.platform import DevicePlatform
+from ..governors.base import Governor
+from ..sim.engine import ThermalManager
+from ..workloads.benchmarks import BENCHMARKS, build_benchmark
+from ..workloads.trace import WorkloadTrace
+
+__all__ = ["ConstantManagerFactory", "ExperimentCell", "ExperimentPlan"]
+
+#: A manager factory builds a fresh ThermalManager for one cell.  Factories
+#: (rather than instances) keep cells independent: managers carry run state,
+#: so two cells must never share one instance when executed concurrently.
+ManagerFactory = Callable[[], ThermalManager]
+
+
+@dataclass(frozen=True)
+class ConstantManagerFactory:
+    """Adapts a pre-built manager instance into a cell's manager factory.
+
+    Only safe when the instance is exclusive to one cell of the plan (the
+    instance carries run state); picklable whenever the manager is.
+    """
+
+    manager: ThermalManager
+
+    def __call__(self) -> ThermalManager:
+        return self.manager
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One cell of the experiment grid.
+
+    Attributes:
+        cell_id: unique identifier within the plan (used for result lookup).
+        benchmark: benchmark registry name; the trace is rebuilt from
+            ``(benchmark, seed, duration_s)`` at execution time.  Ignored when
+            ``trace`` is given.
+        trace: explicit workload trace.  Cells sharing the *same* trace object
+            form a same-trace population the vectorized executor can batch.
+        duration_s: optional duration override (truncates an explicit trace,
+            or is forwarded to the benchmark builder).
+        governor: cpufreq governor name, or a pre-built :class:`Governor`
+            instance (an instance must then be exclusive to this cell).
+        manager_factory: zero-argument callable returning a fresh thermal
+            manager (``None`` runs the bare governor).  Must be picklable for
+            the process-pool executor.
+        seed: platform seed (sensor noise) and benchmark-builder seed.
+        initial_temps: optional initial node temperatures (°C).
+        log_period_s: when set, a :class:`~repro.sim.logger.SystemLogger`
+            with this period is attached and returned with the cell result.
+        platform_factory: optional custom platform constructor (defaults to a
+            fresh seeded Nexus-4 platform); must be picklable for the
+            process-pool executor.  Cells with a custom platform are not
+            eligible for vectorized batching.
+        metadata: free-form labels (user id, scheme, ...) carried through to
+            the :class:`~repro.runtime.store.ResultStore`.
+    """
+
+    cell_id: str
+    benchmark: Optional[str] = None
+    trace: Optional[WorkloadTrace] = None
+    duration_s: Optional[float] = None
+    governor: Union[str, Governor] = "ondemand"
+    manager_factory: Optional[ManagerFactory] = None
+    seed: int = 0
+    initial_temps: Optional[Mapping[str, float]] = None
+    log_period_s: Optional[float] = None
+    platform_factory: Optional[Callable[[], DevicePlatform]] = None
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.benchmark is None and self.trace is None:
+            raise ValueError("a cell needs a benchmark name or an explicit trace")
+
+    def build_trace(self) -> WorkloadTrace:
+        """Materialise the cell's workload trace."""
+        if self.trace is not None:
+            if self.duration_s is not None:
+                return self.trace.truncated(self.duration_s)
+            return self.trace
+        return build_benchmark(self.benchmark, seed=self.seed, duration_s=self.duration_s)
+
+    def build_manager(self) -> Optional[ThermalManager]:
+        """Build a fresh thermal manager for this cell (or ``None``)."""
+        return self.manager_factory() if self.manager_factory is not None else None
+
+    def with_metadata(self, **extra: object) -> "ExperimentCell":
+        """A copy of the cell with additional metadata entries."""
+        merged = dict(self.metadata)
+        merged.update(extra)
+        return replace(self, metadata=merged)
+
+
+@dataclass
+class ExperimentPlan:
+    """An ordered collection of :class:`ExperimentCell` entries.
+
+    Executors preserve plan order in their result streams, so analysis code
+    can rely on positional pairing as well as ``cell_id`` lookup.
+    """
+
+    cells: List[ExperimentCell] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._ids = set()
+        for cell in self.cells:
+            if cell.cell_id in self._ids:
+                raise ValueError(f"duplicate cell_id {cell.cell_id!r}")
+            self._ids.add(cell.cell_id)
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[ExperimentCell]:
+        return iter(self.cells)
+
+    def add(self, cell: ExperimentCell) -> "ExperimentPlan":
+        """Append a cell (returns self for chaining)."""
+        if cell.cell_id in self._ids:
+            raise ValueError(f"duplicate cell_id {cell.cell_id!r}")
+        self.cells.append(cell)
+        self._ids.add(cell.cell_id)
+        return self
+
+    def extend(self, cells: Sequence[ExperimentCell]) -> "ExperimentPlan":
+        """Append several cells (returns self for chaining)."""
+        for cell in cells:
+            self.add(cell)
+        return self
+
+    # -- builders --------------------------------------------------------------
+
+    @classmethod
+    def from_product(
+        cls,
+        benchmarks: Sequence[str],
+        governors: Sequence[str] = ("ondemand",),
+        managers: Optional[Mapping[str, Optional[ManagerFactory]]] = None,
+        seeds: Sequence[int] = (0,),
+        duration_scale: float = 1.0,
+    ) -> "ExperimentPlan":
+        """Build the cartesian product benchmarks × governors × managers × seeds.
+
+        Args:
+            benchmarks: benchmark registry names.
+            governors: cpufreq governor names.
+            managers: mapping of scheme label → manager factory (``None`` for
+                the bare governor).  Defaults to ``{"baseline": None}``.
+            seeds: platform/workload seeds.
+            duration_scale: multiplies every benchmark's nominal duration.
+
+        Returns:
+            A plan whose cells carry ``benchmark``, ``governor``, ``scheme``
+            and ``seed`` metadata for result lookup.
+        """
+        if duration_scale <= 0:
+            raise ValueError("duration_scale must be positive")
+        schemes = dict(managers) if managers is not None else {"baseline": None}
+        plan = cls()
+        for name in benchmarks:
+            spec = BENCHMARKS[name]
+            duration = spec.duration_s * duration_scale
+            for governor in governors:
+                for scheme, factory in schemes.items():
+                    for seed in seeds:
+                        plan.add(
+                            ExperimentCell(
+                                cell_id=f"{name}/{governor}/{scheme}/seed{seed}",
+                                benchmark=name,
+                                duration_s=duration,
+                                governor=governor,
+                                manager_factory=factory,
+                                seed=seed,
+                                metadata={
+                                    "benchmark": name,
+                                    "governor": governor,
+                                    "scheme": scheme,
+                                    "seed": seed,
+                                },
+                            )
+                        )
+        return plan
+
+    @classmethod
+    def population(
+        cls,
+        trace: WorkloadTrace,
+        managers: Mapping[str, Optional[ManagerFactory]],
+        governor: str = "ondemand",
+        seeds: Optional[Sequence[int]] = None,
+        cell_prefix: str = "",
+    ) -> "ExperimentPlan":
+        """A same-trace population: one cell per (member, seed) on one trace.
+
+        All cells share the given trace object, which makes the whole plan a
+        single batch for the vectorized executor.
+
+        Args:
+            trace: the shared workload trace.
+            managers: mapping of member label → manager factory (``None`` for
+                an unmanaged member).
+            governor: cpufreq governor name shared by all members.
+            seeds: per-member platform seeds (one shared seed 0 by default).
+            cell_prefix: optional prefix for the generated cell ids.
+        """
+        seed_list = list(seeds) if seeds is not None else [0]
+        plan = cls()
+        for member, factory in managers.items():
+            for seed in seed_list:
+                suffix = f"/seed{seed}" if len(seed_list) > 1 else ""
+                plan.add(
+                    ExperimentCell(
+                        cell_id=f"{cell_prefix}{member}{suffix}",
+                        trace=trace,
+                        governor=governor,
+                        manager_factory=factory,
+                        seed=seed,
+                        metadata={
+                            "member": member,
+                            "governor": governor,
+                            "seed": seed,
+                            "benchmark": trace.name,
+                        },
+                    )
+                )
+        return plan

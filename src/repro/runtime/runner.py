@@ -1,0 +1,118 @@
+"""The batch runner: executes an :class:`ExperimentPlan` through an executor.
+
+:func:`run_cell` is the single-cell unit of work — a module-level function so
+the process-pool executor can pickle it — and :class:`BatchRunner` streams a
+plan through a pluggable executor into a :class:`~repro.runtime.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ..device.platform import DevicePlatform
+from ..governors import create_governor
+from ..governors.base import Governor
+from ..sim.engine import Simulator
+from ..sim.logger import SystemLogger
+from .plan import ExperimentCell, ExperimentPlan
+from .store import CellResult, ResultStore
+
+__all__ = ["run_cell", "BatchRunner"]
+
+
+def _build_platform(cell: ExperimentCell) -> DevicePlatform:
+    if cell.platform_factory is not None:
+        return cell.platform_factory()
+    return DevicePlatform(seed=cell.seed)
+
+
+def _build_governor(cell: ExperimentCell, platform: DevicePlatform) -> Governor:
+    if isinstance(cell.governor, Governor):
+        return cell.governor
+    return create_governor(cell.governor, table=platform.freq_table)
+
+
+def run_cell(cell: ExperimentCell) -> CellResult:
+    """Execute one experiment cell from scratch and return its result.
+
+    Builds the trace, a fresh seeded platform, the governor and (optionally)
+    the thermal manager and logger described by the cell, then replays the
+    trace through :class:`~repro.sim.engine.Simulator`.  Deterministic: the
+    same cell always produces the same :class:`StepRecord` stream, which is
+    what lets the serial, process-pool and vectorized executors be used
+    interchangeably.
+    """
+    start = time.perf_counter()
+    trace = cell.build_trace()
+    platform = _build_platform(cell)
+    governor = _build_governor(cell, platform)
+    manager = cell.build_manager()
+    logger = SystemLogger(period_s=cell.log_period_s) if cell.log_period_s is not None else None
+    simulator = Simulator(
+        platform=platform,
+        governor=governor,
+        thermal_manager=manager,
+        logger=logger,
+    )
+    result = simulator.run(
+        trace,
+        initial_temps=dict(cell.initial_temps) if cell.initial_temps else None,
+    )
+    return CellResult(
+        cell=cell,
+        result=result,
+        logger=logger,
+        wall_time_s=time.perf_counter() - start,
+    )
+
+
+#: An executor turns a sequence of cells into a stream of results, preserving
+#: input order.  See :mod:`repro.runtime.executors` for implementations.
+CellExecutor = Callable[[Iterable[ExperimentCell]], Iterable[CellResult]]
+
+
+@dataclass
+class BatchRunner:
+    """Executes experiment plans through a pluggable cell executor.
+
+    Attributes:
+        executor: object with an ``execute(cells) -> iterable of CellResult``
+            method (``SerialExecutor`` by default — see
+            :mod:`repro.runtime.executors` for the process-pool and vectorized
+            alternatives).
+    """
+
+    executor: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.executor is None:
+            from .executors import SerialExecutor
+
+            self.executor = SerialExecutor()
+
+    def run(self, plan: ExperimentPlan) -> ResultStore:
+        """Execute every cell of the plan and collect the results.
+
+        Results are streamed into the store in plan order regardless of the
+        executor's internal scheduling.
+        """
+        store = ResultStore()
+        for cell_result in self.executor.execute(list(plan)):
+            store.append(cell_result)
+        return store
+
+    @classmethod
+    def for_jobs(cls, jobs: Optional[int]) -> "BatchRunner":
+        """A runner matching a CLI ``--jobs`` setting.
+
+        ``jobs`` of ``None``/``0``/``1`` selects the vectorized in-process
+        executor (which batches same-trace cells and runs the rest serially);
+        anything above 1 selects a process pool of that many workers.
+        """
+        from .executors import ProcessPoolCellExecutor, VectorizedExecutor
+
+        if jobs is not None and jobs > 1:
+            return cls(executor=ProcessPoolCellExecutor(max_workers=jobs))
+        return cls(executor=VectorizedExecutor())

@@ -1,0 +1,103 @@
+"""Result storage for batched experiment runs.
+
+A :class:`ResultStore` collects :class:`CellResult` entries as an executor
+streams them back, preserving plan order, and offers the lookups the
+analysis layer needs: by ``cell_id``, by metadata filter, and as flat summary
+rows for tabulation/export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..sim.logger import SystemLogger
+from ..sim.results import SimulationResult
+from .plan import ExperimentCell
+
+__all__ = ["CellResult", "ResultStore"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """The outcome of executing one experiment cell.
+
+    Attributes:
+        cell: the executed cell (with its metadata).
+        result: the per-step simulation result.
+        logger: the cell's system logger, when ``cell.log_period_s`` was set
+            (this is how :func:`repro.core.pipeline.collect_training_data`
+            gets its records back from pool workers).
+        wall_time_s: wall-clock execution time of the cell.
+    """
+
+    cell: ExperimentCell
+    result: SimulationResult
+    logger: Optional[SystemLogger] = None
+    wall_time_s: float = 0.0
+
+
+class ResultStore:
+    """Ordered, queryable collection of :class:`CellResult` entries."""
+
+    def __init__(self) -> None:
+        self._results: List[CellResult] = []
+        self._by_id: Dict[str, CellResult] = {}
+
+    # -- collection ------------------------------------------------------------
+
+    def append(self, cell_result: CellResult) -> None:
+        """Add one cell result (cell ids must stay unique)."""
+        cell_id = cell_result.cell.cell_id
+        if cell_id in self._by_id:
+            raise ValueError(f"duplicate result for cell {cell_id!r}")
+        self._results.append(cell_result)
+        self._by_id[cell_id] = cell_result
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[CellResult]:
+        return iter(self._results)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, cell_id: str) -> CellResult:
+        """The result of the cell with the given id (KeyError when missing)."""
+        return self._by_id[cell_id]
+
+    def result_of(self, cell_id: str) -> SimulationResult:
+        """Shorthand for ``store.get(cell_id).result``."""
+        return self._by_id[cell_id].result
+
+    def select(self, **filters: object) -> List[CellResult]:
+        """All results whose cell metadata matches every given key/value."""
+        return [
+            entry
+            for entry in self._results
+            if all(entry.cell.metadata.get(key) == value for key, value in filters.items())
+        ]
+
+    def one(self, **filters: object) -> CellResult:
+        """The single result matching the metadata filter (raises otherwise)."""
+        matches = self.select(**filters)
+        if len(matches) != 1:
+            raise LookupError(f"expected exactly one result for {filters!r}, found {len(matches)}")
+        return matches[0]
+
+    # -- export ----------------------------------------------------------------
+
+    @property
+    def total_wall_time_s(self) -> float:
+        """Summed wall-clock time of all executed cells."""
+        return sum(entry.wall_time_s for entry in self._results)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One flat dictionary per cell: id, metadata, and headline metrics."""
+        rows: List[Dict[str, object]] = []
+        for entry in self._results:
+            row: Dict[str, object] = {"cell_id": entry.cell.cell_id}
+            row.update(entry.cell.metadata)
+            row.update(entry.result.summary())
+            rows.append(row)
+        return rows

@@ -1,0 +1,506 @@
+"""Vectorized same-trace population simulation.
+
+The paper's sweeps repeatedly replay *one* workload trace against many device
+instances that differ only in seed, governor configuration or USTA comfort
+limit (Figs 2/4/5, and population-scale what-if studies).  Run serially, each
+instance pays the full per-step Python cost; run here, the N instances march
+through the trace in lockstep and the expensive parts of the device step —
+the implicit thermal solve, the CPU window, the power model, the sensor
+models — are evaluated once per step across the whole population with numpy.
+
+Bit-exactness is a hard requirement (the batched runtime must be a drop-in
+replacement for N sequential :meth:`Simulator.run` calls), which dictates a
+few implementation choices:
+
+* the thermal solve reuses the shared cached LU factorization but
+  back-substitutes per column (`exact=True`), because blocked multi-RHS
+  LAPACK calls differ from the scalar path in the last ulp;
+* CPU leakage uses ``math.exp`` per instance (numpy's vectorized ``exp`` is
+  not bit-identical to libm);
+* sensor noise is pre-drawn per (instance, sensor) in one block from the same
+  seeded generators the scalar path uses — a block draw consumes the
+  generator stream exactly like repeated scalar draws;
+* every elementwise expression mirrors the operation order of the scalar
+  model code, because float addition and multiplication are not associative.
+
+Governors and thermal managers keep their (cheap) per-instance Python
+implementations, so any :class:`~repro.governors.base.Governor` subclass or
+:class:`~repro.sim.engine.ThermalManager` works unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..device.platform import DevicePlatform
+from ..governors.base import Governor, GovernorObservation
+from ..governors.ondemand import OndemandGovernor
+from ..sim.engine import ManagerDecision, ThermalManager
+from ..sim.logger import SystemLogger
+from ..sim.results import SimulationResult, StepRecord
+from ..workloads.trace import WorkloadTrace
+
+__all__ = ["PopulationMember", "VectorizationError", "simulate_population"]
+
+
+class VectorizationError(RuntimeError):
+    """The member set cannot be integrated as one population.
+
+    Raised during validation, after the members have been reset but before
+    any trace step has executed, so callers can safely fall back to
+    sequential execution (which resets again).
+    """
+
+
+@dataclass
+class PopulationMember:
+    """One device instance of a same-trace population.
+
+    Attributes:
+        platform: the member's simulated handset (provides seeded sensors,
+            initial state and the shared hardware configuration).
+        governor: the member's DVFS policy (exclusive to this member).
+        thermal_manager: optional USTA-style manager (exclusive to this member).
+        logger: optional system logger filled during the run.
+        initial_temps: optional initial *internal* node temperatures (°C).
+    """
+
+    platform: DevicePlatform
+    governor: Governor
+    thermal_manager: Optional[ThermalManager] = None
+    logger: Optional[SystemLogger] = None
+    initial_temps: Optional[Mapping[str, float]] = None
+
+    def governor_label(self) -> str:
+        """Same label :meth:`SimulationKernel.governor_label` produces."""
+        label = self.governor.name
+        if self.thermal_manager is not None:
+            manager_name = getattr(
+                self.thermal_manager, "name", type(self.thermal_manager).__name__
+            )
+            label = f"{manager_name}+{label}"
+        return label
+
+
+def _cpu_config(platform: DevicePlatform) -> Tuple:
+    table = platform.freq_table
+    return (
+        table.frequencies_khz,
+        tuple(table.voltage_at(level) for level in range(len(table))),
+        platform.cpu.carry_over,
+        platform.cpu.max_backlog,
+    )
+
+
+def _sensor_config(platform: DevicePlatform) -> Tuple:
+    return tuple(
+        (s.name, s.node, s.noise_std_c, s.quantization_c, s.offset_c)
+        for s in platform.sensors.sensors.values()
+    )
+
+
+def _validate_members(members: Sequence[PopulationMember]) -> None:
+    """Check that all members share one hardware configuration.
+
+    The population shares a single thermal factorization and a single set of
+    per-level power constants, so everything except seeds, governors,
+    managers and initial internal temperatures must be identical.
+    """
+    if not members:
+        raise VectorizationError("a population needs at least one member")
+    template = members[0].platform
+    net = template.network
+    if template.solver.method != "implicit":
+        raise VectorizationError("all members must use the implicit solver")
+    for member in members[1:]:
+        p = member.platform
+        if p.solver.method != "implicit":
+            raise VectorizationError("all members must use the implicit solver")
+        if not (
+            np.array_equal(p.network.capacitances, net.capacitances)
+            and np.array_equal(p.network.conductance_matrix, net.conductance_matrix)
+            and np.array_equal(p.network.boundary_coupling, net.boundary_coupling)
+            and p.network.internal_names == net.internal_names
+            and p.network.boundary_names == net.boundary_names
+        ):
+            raise VectorizationError("members have different thermal networks")
+        if not np.array_equal(
+            p.network.boundary_temperatures_vector, net.boundary_temperatures_vector
+        ):
+            raise VectorizationError(
+                "members have different boundary temperatures (ambient/hand)"
+            )
+        if p.power_model != template.power_model:
+            raise VectorizationError("members have different power models")
+        if p.hand != template.hand:
+            raise VectorizationError("members have different hand-contact models")
+        if p.battery != template.battery:
+            raise VectorizationError("members have different battery models")
+        if _cpu_config(p) != _cpu_config(template):
+            raise VectorizationError("members have different CPU/frequency tables")
+        if _sensor_config(p) != _sensor_config(template):
+            raise VectorizationError("members have different sensor configurations")
+    internal = set(template.network.internal_names)
+    for sensor in template.sensors.sensors.values():
+        if sensor.node not in internal:
+            raise VectorizationError(
+                f"sensor {sensor.name!r} observes non-internal node {sensor.node!r}"
+            )
+    seen_governors: Dict[int, int] = {}
+    seen_managers: Dict[int, int] = {}
+    for member in members:
+        if id(member.governor) in seen_governors:
+            raise VectorizationError("two members share one governor instance")
+        seen_governors[id(member.governor)] = 1
+        if member.thermal_manager is not None:
+            if id(member.thermal_manager) in seen_managers:
+                raise VectorizationError("two members share one thermal manager instance")
+            seen_managers[id(member.thermal_manager)] = 1
+        if member.initial_temps:
+            boundary = set(member.platform.network.boundary_names)
+            if any(name in boundary for name in member.initial_temps):
+                raise VectorizationError(
+                    "per-member boundary temperatures break the shared factorization"
+                )
+
+
+def simulate_population(
+    trace: WorkloadTrace,
+    members: Sequence[PopulationMember],
+    exact: bool = True,
+) -> List[SimulationResult]:
+    """Replay one trace against N device instances in lockstep.
+
+    Semantically equivalent to ``[Simulator(m...).run(trace) for m in
+    members]`` and — with ``exact=True`` — bit-for-bit identical to it, but
+    the per-step device work is evaluated across the whole population at
+    once.
+
+    Args:
+        trace: the shared workload trace.
+        members: the population (platforms must share one hardware
+            configuration; see :class:`VectorizationError`).
+        exact: per-column thermal back-substitution for bitwise parity with
+            the scalar engine (default); ``False`` uses one blocked solve per
+            step, which is faster for large populations but may differ in the
+            last ulp.
+
+    Returns:
+        One :class:`SimulationResult` per member, in member order.
+    """
+    n_members = len(members)
+    dt = trace.sample_period_s
+    n_steps = len(trace)
+
+    # -- reset every member exactly like SimulationKernel.reset ---------------
+    for member in members:
+        member.platform.reset(dict(member.initial_temps) if member.initial_temps else None)
+        member.governor.reset()
+        if member.thermal_manager is not None:
+            member.thermal_manager.reset()
+        if member.logger is not None:
+            member.logger.reset()
+
+    # Validation runs on the freshly reset platforms (reset re-applies each
+    # member's ambient and hand contact, which is exactly the state that must
+    # agree for a shared factorization); no trace step has executed yet, so
+    # callers can still fall back to sequential execution safely.
+    _validate_members(members)
+
+    template = members[0].platform
+    net = template.network
+    solver = template.solver
+    table = template.freq_table
+    cpu_model = template.power_model.cpu
+    power_model = template.power_model
+    charger = power_model.charger
+    battery = template.battery
+    carry_over = template.cpu.carry_over
+    max_backlog = template.cpu.max_backlog
+
+    internal_index = {name: i for i, name in enumerate(net.internal_names)}
+    cpu_i = internal_index["cpu"]
+    battery_i = internal_index["battery"]
+    back_i = internal_index["back_cover"]
+    screen_i = internal_index["screen"]
+    board_i = internal_index["board"]
+
+    # -- shared per-level power constants (python-float exact) -----------------
+    freqs_khz = np.array(table.frequencies_khz, dtype=np.int64)
+    max_freq_khz = table.max_frequency_khz
+    # dynamic_power(opp, 1.0) == ((C_eff * V^2) * f) — the prefix of the
+    # scalar expression ((C_eff * V^2) * f) * util, so multiplying by util
+    # afterwards reproduces the scalar result bit-for-bit.
+    dyn_k = np.array(
+        [cpu_model.dynamic_power(table[level], 1.0) for level in range(len(table))]
+    )
+    volt_factor = np.array(
+        [table[level].voltage_v / cpu_model.reference_voltage_v for level in range(len(table))]
+    )
+    leak_coeff = cpu_model.leakage_temp_coeff
+    leak_ref = cpu_model.reference_temp_c
+    leak0 = cpu_model.leakage_at_ref_w
+    idle_w = cpu_model.idle_power_w
+
+    # -- per-member state ------------------------------------------------------
+    temps = np.stack(
+        [member.platform.network.temperatures_vector for member in members], axis=1
+    )
+    levels = np.array([member.platform.cpu.level for member in members], dtype=np.int64)
+    backlog = np.zeros(n_members)
+    soc = np.array([member.platform.battery.state_of_charge for member in members])
+
+    # -- pre-drawn sensor noise ------------------------------------------------
+    # One block draw per (member, sensor) consumes each seeded generator
+    # exactly like the scalar engine's one-draw-per-step reads.
+    sensor_specs = []  # (name, node_index, offset, quantization, noise (N, n_steps))
+    for s_idx, name in enumerate(template.sensors.sensors):
+        sensor0 = template.sensors.sensors[name]
+        noise = np.zeros((n_members, n_steps))
+        if sensor0.noise_std_c > 0:
+            for m_idx, member in enumerate(members):
+                noise[m_idx] = member.platform.sensors.sensors[name].draw_noise(n_steps)
+        sensor_specs.append(
+            (name, internal_index[sensor0.node], sensor0.offset_c, sensor0.quantization_c, noise)
+        )
+
+    results = [
+        SimulationResult(
+            workload_name=trace.name,
+            governor_name=member.governor_label(),
+            dt_s=dt,
+        )
+        for member in members
+    ]
+
+    hand = template.hand
+    time_s = 0.0
+    no_decision = ManagerDecision(level_cap=None)
+    has_managers = any(member.thermal_manager is not None for member in members)
+    loggers = [
+        (i, member.logger) for i, member in enumerate(members) if member.logger is not None
+    ]
+    node_power = np.zeros((temps.shape[0], n_members))
+
+    # Homogeneous stock-ondemand populations take a fully vectorized governor
+    # path (exact replica of OndemandGovernor._target_level + the level cap);
+    # mixed or custom governors fall back to per-member select_level calls.
+    governors = [member.governor for member in members]
+    fast_ondemand = all(type(g) is OndemandGovernor for g in governors) and (
+        len(
+            {
+                (g.up_threshold, g.down_threshold, g.down_step_levels)
+                for g in governors
+            }
+        )
+        == 1
+    )
+    if fast_ondemand:
+        up_threshold = governors[0].up_threshold
+        down_threshold = governors[0].down_threshold
+        down_step_levels = governors[0].down_step_levels
+        max_level = table.max_level
+
+    for t, sample in enumerate(trace):
+        # Hand contact can change between windows (shared trace — all members
+        # toggle together); the conductance change bumps the network's matrix
+        # version and the solver refactors on the next solve.
+        if sample.touching != hand.touching:
+            hand.touching = sample.touching
+            hand.apply(net)
+
+        # -- CPU window (Cpu.run_window, vectorized) ---------------------------
+        demand = min(max(sample.cpu_demand, 0.0), 1.0)
+        total_demand = demand + backlog if carry_over else np.full(n_members, demand)
+        freq_khz = freqs_khz[levels]
+        capacity = freq_khz / max_freq_khz
+        delivered = np.minimum(total_demand, capacity)
+        utilization = np.minimum(1.0, total_demand / capacity)
+        leftover = np.maximum(0.0, total_demand - delivered)
+        backlog = np.minimum(leftover, max_backlog) if carry_over else backlog
+
+        # -- power model (PlatformPowerModel.evaluate, vectorized) -------------
+        die_temp = temps[cpu_i]
+        util_clamped = np.minimum(np.maximum(utilization, 0.0), 1.0)
+        dyn_w = dyn_k[levels] * util_clamped
+        # math.exp, not np.exp: numpy's vectorized exp differs from libm in
+        # the last ulp, which would break bitwise parity with the scalar path.
+        temp_factor = np.array(
+            [math.exp(leak_coeff * (td - leak_ref)) for td in die_temp.tolist()]
+        )
+        leak_w = leak0 * temp_factor * volt_factor[levels]
+        cpu_w = idle_w + dyn_w + leak_w
+        gpu_w = power_model.gpu.power(sample.gpu_activity)
+        display_w = power_model.display.power(sample.screen_on, sample.brightness)
+        radio_w = power_model.radio.power(sample.radio_activity)
+        platform_draw = cpu_w + gpu_w + display_w + radio_w
+        if sample.charging:
+            battery_w = np.full(n_members, charger.charge_power_w * charger.charge_loss_fraction)
+        else:
+            battery_w = np.maximum(platform_draw, 0.0) * charger.discharge_loss_fraction
+        total_w = platform_draw + battery_w
+        soc_w = cpu_w + gpu_w
+
+        # -- thermal (one population solve) ------------------------------------
+        # node_power rows other than the four below stay zero for the whole run.
+        node_power[cpu_i] = soc_w
+        node_power[screen_i] = 0.65 * display_w
+        node_power[board_i] = radio_w + 0.35 * display_w
+        node_power[battery_i] = battery_w
+        temps = solver.step_many(dt, node_power, temps, exact=exact)
+
+        # -- battery SoC (Battery.step, vectorized) ----------------------------
+        draw_param = total_w - battery_w
+        net_w = -np.maximum(draw_param, 0.0)
+        if sample.charging:
+            net_w = net_w + np.where(
+                soc >= 0.995, 0.0, battery.charge_power_w * battery.charge_efficiency
+            )
+        delta_wh = net_w * dt / 3600.0
+        soc = np.minimum(1.0, np.maximum(0.0, soc + delta_wh / battery.capacity_wh))
+
+        # -- sensors (pre-drawn noise, vectorized quantization) ----------------
+        reading_arrays = []
+        for name, node_idx, offset, quantization, noise in sensor_specs:
+            value = temps[node_idx] + offset
+            value = value + noise[:, t]
+            if quantization > 0:
+                value = np.rint(value / quantization) * quantization
+            reading_arrays.append((name, value))
+
+        time_s += dt
+
+        # Bulk-convert the per-member arrays once per step; .tolist() yields
+        # python ints/floats with the exact same values as scalar extraction.
+        util_list = utilization.tolist()
+        freq_list = freq_khz.tolist()
+        level_list = levels.tolist()
+        delivered_list = delivered.tolist()
+        total_w_list = total_w.tolist()
+        cpu_temp_list = temps[cpu_i].tolist()
+        battery_temp_list = temps[battery_i].tolist()
+        skin_temp_list = temps[back_i].tolist()
+        screen_temp_list = temps[screen_i].tolist()
+        reading_lists = [(name, value.tolist()) for name, value in reading_arrays]
+        sensor_values = dict(reading_lists)
+        sens_cpu = sensor_values.get("cpu", cpu_temp_list)
+        sens_battery = sensor_values.get("battery", battery_temp_list)
+        sens_skin = sensor_values.get("skin", skin_temp_list)
+        sens_screen = sensor_values.get("screen", screen_temp_list)
+
+        # -- managers observe (may install/remove frequency caps) --------------
+        decisions = None
+        if has_managers:
+            decisions = []
+            for i, member in enumerate(members):
+                if member.thermal_manager is None:
+                    decisions.append(no_decision)
+                    continue
+                readings = {name: values[i] for name, values in reading_lists}
+                decision = member.thermal_manager.observe(
+                    time_s=time_s,
+                    sensor_readings=readings,
+                    utilization=util_list[i],
+                    frequency_khz=float(freq_list[i]),
+                )
+                member.governor.set_level_cap(decision.level_cap)
+                decisions.append(decision)
+
+        # -- loggers -----------------------------------------------------------
+        for i, logger in loggers:
+            readings = {name: values[i] for name, values in reading_lists}
+            logger.maybe_log(
+                time_s=time_s,
+                benchmark=trace.name,
+                sensor_readings=readings,
+                utilization=util_list[i],
+                frequency_khz=float(freq_list[i]),
+            )
+
+        # -- governors pick the level for the next window ----------------------
+        if fast_ondemand:
+            # Exact vectorization of OndemandGovernor._target_level: jump to
+            # the top above up_threshold, straight to the load-proportional
+            # level below down_threshold, step down gradually in between —
+            # then apply each member's current level cap.
+            target_khz = np.rint((utilization / up_threshold) * max_freq_khz)
+            proportional = np.minimum(
+                np.searchsorted(freqs_khz, target_khz, side="left"), max_level
+            )
+            stepped = np.where(
+                proportional < levels,
+                np.maximum(proportional, levels - down_step_levels),
+                proportional,
+            )
+            uncapped = np.where(
+                utilization >= up_threshold,
+                max_level,
+                np.where(utilization <= down_threshold, proportional, stepped),
+            )
+            if has_managers:
+                caps = np.array([g.level_cap for g in governors], dtype=np.int64)
+                levels = np.minimum(uncapped, caps)
+            else:
+                # Without managers nothing ever installs a cap.
+                levels = uncapped
+        else:
+            for i, member in enumerate(members):
+                observation = GovernorObservation(
+                    utilization=util_list[i],
+                    current_level=level_list[i],
+                    time_s=time_s,
+                    dt_s=dt,
+                )
+                levels[i] = member.governor.select_level(observation)
+
+        # -- per-member step records -------------------------------------------
+        for i, member in enumerate(members):
+            governor = member.governor
+            decision = decisions[i] if decisions is not None else no_decision
+            results[i].append(
+                StepRecord(
+                    time_s=time_s,
+                    frequency_khz=freq_list[i],
+                    frequency_level=level_list[i],
+                    level_cap=governor.level_cap,
+                    utilization=util_list[i],
+                    demand=demand,
+                    delivered_work=delivered_list[i],
+                    power_w=total_w_list[i],
+                    cpu_temp_c=cpu_temp_list[i],
+                    battery_temp_c=battery_temp_list[i],
+                    skin_temp_c=skin_temp_list[i],
+                    screen_temp_c=screen_temp_list[i],
+                    sensor_cpu_temp_c=sens_cpu[i],
+                    sensor_battery_temp_c=sens_battery[i],
+                    sensor_skin_temp_c=sens_skin[i],
+                    sensor_screen_temp_c=sens_screen[i],
+                    predicted_skin_temp_c=decision.predicted_skin_temp_c,
+                    predicted_screen_temp_c=decision.predicted_screen_temp_c,
+                    usta_active=decision.active and governor.is_capped,
+                )
+            )
+
+    # -- write final state back to the member platforms ------------------------
+    # A sequential run leaves every platform warm (final temperatures, SoC,
+    # CPU level/backlog, hand contact, elapsed time); mirror that so warm
+    # restarts and re-validation behave identically after a batched run.
+    final_levels = levels.tolist()
+    final_backlog = backlog.tolist()
+    final_soc = soc.tolist()
+    for i, member in enumerate(members):
+        platform = member.platform
+        platform.hand.touching = hand.touching
+        if platform.hand is not hand:
+            platform.hand.apply(platform.network)
+        platform.network.apply_temperature_vector(temps[:, i])
+        platform.cpu.level = final_levels[i]
+        platform.cpu._backlog = final_backlog[i]
+        platform.battery.state_of_charge = final_soc[i]
+        platform._time_s = time_s
+
+    return results

@@ -1,6 +1,6 @@
 """Simulation engine: fixed-step loop, system logger, results, experiment helpers."""
 
-from .engine import ManagerDecision, Simulator, ThermalManager
+from .engine import ManagerDecision, SimulationKernel, Simulator, ThermalManager
 from .logger import FEATURE_NAMES, SCREEN_TARGET, SKIN_TARGET, LogRecord, SystemLogger
 from .results import SimulationResult, StepRecord
 from .experiments import GovernorComparison, compare_runs, run_benchmark, run_workload
@@ -14,6 +14,7 @@ from .export import (
 
 __all__ = [
     "ManagerDecision",
+    "SimulationKernel",
     "Simulator",
     "ThermalManager",
     "FEATURE_NAMES",

@@ -25,11 +25,11 @@ from typing import Dict, Optional, Protocol, runtime_checkable
 
 from ..device.platform import DevicePlatform, DeviceStepResult
 from ..governors.base import Governor, GovernorObservation
-from ..workloads.trace import WorkloadTrace
+from ..workloads.trace import WorkloadSample, WorkloadTrace
 from .logger import SystemLogger
 from .results import SimulationResult, StepRecord
 
-__all__ = ["ThermalManager", "ManagerDecision", "Simulator"]
+__all__ = ["ThermalManager", "ManagerDecision", "SimulationKernel", "Simulator"]
 
 
 @dataclass(frozen=True)
@@ -66,8 +66,14 @@ class ThermalManager(Protocol):
 
 
 @dataclass
-class Simulator:
-    """Replays workload traces against the simulated platform.
+class SimulationKernel:
+    """Per-step orchestration shared by :class:`Simulator` and the batched runtime.
+
+    One kernel couples a platform with a governor, an optional thermal manager
+    and an optional logger and exposes exactly one unit of work: advance the
+    whole stack by one workload sample.  :class:`Simulator` drives a kernel
+    over a trace; :mod:`repro.runtime` drives many kernels (or their
+    vectorized equivalent) over a plan.
 
     Attributes:
         platform: the simulated handset.
@@ -81,54 +87,36 @@ class Simulator:
     thermal_manager: Optional[ThermalManager] = None
     logger: Optional[SystemLogger] = None
 
-    def run(
-        self,
-        trace: WorkloadTrace,
-        reset: bool = True,
-        initial_temps: Optional[Dict[str, float]] = None,
-    ) -> SimulationResult:
-        """Replay a workload trace and return the simulation result.
+    def reset(self, initial_temps: Optional[Dict[str, float]] = None) -> None:
+        """Reset the platform, governor, manager and logger for a fresh run."""
+        self.platform.reset(initial_temps)
+        self.governor.reset()
+        if self.thermal_manager is not None:
+            self.thermal_manager.reset()
+        if self.logger is not None:
+            self.logger.reset()
 
-        Args:
-            trace: the workload to replay.
-            reset: reset platform, governor and manager state first (set to
-                False to chain traces back-to-back on a warm device).
-            initial_temps: optional initial node temperatures (°C).
-        """
-        if reset:
-            self.platform.reset(initial_temps)
-            self.governor.reset()
-            if self.thermal_manager is not None:
-                self.thermal_manager.reset()
-            if self.logger is not None:
-                self.logger.reset()
-        elif initial_temps:
-            self.platform.network.set_temperatures(initial_temps)
-
-        dt = trace.sample_period_s
-        result = SimulationResult(
-            workload_name=trace.name,
-            governor_name=self._governor_label(),
-            dt_s=dt,
-        )
-
-        for sample in trace:
-            step = self.platform.step(sample.to_activity(), dt)
-            decision = self._consult_manager(step)
-            self._log(step, trace.name)
-            self._drive_governor(step, dt)
-            result.append(self._record(step, decision))
-
-        return result
-
-    # -- internals ---------------------------------------------------------------------
-
-    def _governor_label(self) -> str:
+    def governor_label(self) -> str:
+        """Result label: governor name, prefixed by the manager name if any."""
         label = self.governor.name
         if self.thermal_manager is not None:
             manager_name = getattr(self.thermal_manager, "name", type(self.thermal_manager).__name__)
             label = f"{manager_name}+{label}"
         return label
+
+    def step(self, sample: WorkloadSample, dt_s: float, benchmark: str) -> StepRecord:
+        """Advance the device/governor/manager stack by one workload sample.
+
+        The ordering mirrors the real system (see the module docstring): the
+        platform executes the window, the manager observes and may adjust the
+        frequency cap, the logger samples, and the governor picks the level
+        for the next window.
+        """
+        step = self.platform.step(sample.to_activity(), dt_s)
+        decision = self._consult_manager(step)
+        self._log(step, benchmark)
+        self._drive_governor(step, dt_s)
+        return self._record(step, decision)
 
     def _consult_manager(self, step: DeviceStepResult) -> ManagerDecision:
         if self.thermal_manager is None:
@@ -163,6 +151,8 @@ class Simulator:
         next_level = self.governor.select_level(observation)
         self.platform.set_frequency_level(next_level)
 
+    # -- internals ---------------------------------------------------------------------
+
     def _record(self, step: DeviceStepResult, decision: ManagerDecision) -> StepRecord:
         readings = step.sensor_readings_c
         return StepRecord(
@@ -186,3 +176,64 @@ class Simulator:
             predicted_screen_temp_c=decision.predicted_screen_temp_c,
             usta_active=decision.active and self.governor.is_capped,
         )
+
+
+@dataclass
+class Simulator:
+    """Replays workload traces against the simulated platform.
+
+    Attributes:
+        platform: the simulated handset.
+        governor: the baseline DVFS policy.
+        thermal_manager: optional USTA-style manager layered on the governor.
+        logger: optional system logger collecting predictor training data.
+    """
+
+    platform: DevicePlatform
+    governor: Governor
+    thermal_manager: Optional[ThermalManager] = None
+    logger: Optional[SystemLogger] = None
+
+    @property
+    def kernel(self) -> SimulationKernel:
+        """The per-step kernel over this simulator's components."""
+        return SimulationKernel(
+            platform=self.platform,
+            governor=self.governor,
+            thermal_manager=self.thermal_manager,
+            logger=self.logger,
+        )
+
+    def run(
+        self,
+        trace: WorkloadTrace,
+        reset: bool = True,
+        initial_temps: Optional[Dict[str, float]] = None,
+    ) -> SimulationResult:
+        """Replay a workload trace and return the simulation result.
+
+        Args:
+            trace: the workload to replay.
+            reset: reset platform, governor and manager state first (set to
+                False to chain traces back-to-back on a warm device).
+            initial_temps: optional initial node temperatures (°C).
+        """
+        kernel = self.kernel
+        if reset:
+            kernel.reset(initial_temps)
+        elif initial_temps:
+            self.platform.network.set_temperatures(initial_temps)
+
+        dt = trace.sample_period_s
+        result = SimulationResult(
+            workload_name=trace.name,
+            governor_name=kernel.governor_label(),
+            dt_s=dt,
+        )
+        for sample in trace:
+            result.append(kernel.step(sample, dt, trace.name))
+        return result
+
+    # Backwards-compatible alias (the label logic moved to the kernel).
+    def _governor_label(self) -> str:
+        return self.kernel.governor_label()

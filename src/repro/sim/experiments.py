@@ -126,18 +126,52 @@ def compare_runs(
     treatment_governor: Union[str, Governor, None] = None,
     treatment_manager: Optional[ThermalManager] = None,
     seed: int = 0,
+    runner: Optional["BatchRunner"] = None,
 ) -> GovernorComparison:
     """Run the same workload under a baseline and a treatment configuration.
 
     Both runs use identically seeded platforms so the only difference is the
     DVFS configuration — the simulated analogue of the paper's back-to-back
-    baseline/USTA sessions.
+    baseline/USTA sessions.  The pair executes as a two-cell
+    :class:`~repro.runtime.plan.ExperimentPlan`; with governors given by name
+    the default runner batches both cells through one vectorized population
+    step.
+
+    Args:
+        runner: optional custom :class:`~repro.runtime.runner.BatchRunner`
+            (defaults to the vectorized in-process runner).
     """
-    baseline = run_workload(trace, governor=baseline_governor, seed=seed)
-    treatment = run_workload(
-        trace,
-        governor=treatment_governor if treatment_governor is not None else baseline_governor,
-        thermal_manager=treatment_manager,
-        seed=seed,
+    from ..runtime import BatchRunner, ConstantManagerFactory, ExperimentCell, ExperimentPlan
+
+    plan = ExperimentPlan(
+        [
+            ExperimentCell(
+                cell_id="baseline",
+                trace=trace,
+                governor=baseline_governor if baseline_governor is not None else "ondemand",
+                seed=seed,
+                metadata={"scheme": "baseline"},
+            ),
+            ExperimentCell(
+                cell_id="treatment",
+                trace=trace,
+                governor=(
+                    treatment_governor
+                    if treatment_governor is not None
+                    else (baseline_governor if baseline_governor is not None else "ondemand")
+                ),
+                manager_factory=(
+                    ConstantManagerFactory(treatment_manager)
+                    if treatment_manager is not None
+                    else None
+                ),
+                seed=seed,
+                metadata={"scheme": "treatment"},
+            ),
+        ]
     )
-    return GovernorComparison(baseline=baseline, treatment=treatment)
+    store = (runner if runner is not None else BatchRunner.for_jobs(None)).run(plan)
+    return GovernorComparison(
+        baseline=store.result_of("baseline"),
+        treatment=store.result_of("treatment"),
+    )

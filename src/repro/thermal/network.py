@@ -71,6 +71,11 @@ class ThermalNetwork:
         self._nodes: Dict[str, ThermalNode] = {}
         self._conductances: List[ThermalConductance] = []
         self._assembled = False
+        # Monotonic counters solvers use to invalidate cached factorizations:
+        # matrix_version covers the (C, G, G_b) matrices, boundary_version the
+        # imposed boundary temperatures.
+        self._matrix_version = 0
+        self._boundary_version = 0
         # Filled by assemble():
         self._internal_names: List[str] = []
         self._boundary_names: List[str] = []
@@ -172,6 +177,8 @@ class ThermalNetwork:
             [self._nodes[name].initial_temp_c for name in self._boundary_names], dtype=float
         )
         self._assembled = True
+        self._matrix_version += 1
+        self._boundary_version += 1
 
     # -- state access ----------------------------------------------------------
 
@@ -179,6 +186,24 @@ class ThermalNetwork:
     def assembled(self) -> bool:
         """True once :meth:`assemble` has run."""
         return self._assembled
+
+    @property
+    def matrix_version(self) -> int:
+        """Counter bumped whenever the solver matrices (C, G, G_b) change.
+
+        Solvers key cached factorizations of ``C/dt + G`` on this value so a
+        re-assembly or a run-time conductance change (hand contact toggling)
+        invalidates them.
+        """
+        return self._matrix_version
+
+    @property
+    def boundary_version(self) -> int:
+        """Counter bumped whenever a boundary temperature changes.
+
+        Covers the cached constant RHS term ``G_b @ T_b``.
+        """
+        return self._boundary_version
 
     @property
     def internal_names(self) -> Tuple[str, ...]:
@@ -254,6 +279,7 @@ class ThermalNetwork:
                 self._temps[self._index[name]] = float(value)
             elif name in self._boundary_index:
                 self._boundary_temps[self._boundary_index[name]] = float(value)
+                self._boundary_version += 1
             else:
                 raise KeyError(f"unknown node {name!r}")
 
@@ -263,6 +289,7 @@ class ThermalNetwork:
         if name not in self._boundary_index:
             raise KeyError(f"{name!r} is not a boundary node")
         self._boundary_temps[self._boundary_index[name]] = float(temp_c)
+        self._boundary_version += 1
 
     def set_conductance(self, node_a: str, node_b: str, conductance_w_per_c: float) -> None:
         """Change the value of an existing internal/boundary coupling at run time.
@@ -286,6 +313,7 @@ class ThermalNetwork:
         previous = self._g_boundary[i, j]
         self._g_internal[i, i] += conductance_w_per_c - previous
         self._g_boundary[i, j] = conductance_w_per_c
+        self._matrix_version += 1
 
     def power_vector(self, power_w: Mapping[str, float]) -> np.ndarray:
         """Build the injected-power vector from a {node: Watts} mapping.
@@ -320,6 +348,7 @@ class ThermalNetwork:
         self._boundary_temps = np.array(
             [self._nodes[name].initial_temp_c for name in self._boundary_names], dtype=float
         )
+        self._boundary_version += 1
         if initial_temps:
             self.set_temperatures(initial_temps)
 

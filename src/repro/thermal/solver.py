@@ -10,14 +10,30 @@ unconditionally stable and lets the simulator take one-second steps without
 sub-cycling.  A forward-Euler integrator with automatic sub-stepping is kept
 for cross-checking, and a direct steady-state solve supports calibration and
 property tests.
+
+Because the step matrix ``A = C/dt + G`` only depends on the network topology
+and the step size, the implicit path factors it once (LU) and reuses the
+factorization across steps; the factorization is invalidated through the
+network's :attr:`~repro.thermal.network.ThermalNetwork.matrix_version`
+counter when the topology or ``dt`` changes.  The same factorization also
+backs :meth:`ThermalSolver.step_many`, which integrates N independent device
+instances that share one network as a single ``(n_nodes, N)`` solve — the
+substrate of the batched experiment runtime in :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
+
+try:  # pragma: no cover - exercised implicitly on machines with SciPy
+    from scipy.linalg import get_lapack_funcs as _get_lapack_funcs
+    from scipy.linalg import lu_factor as _lu_factor
+except ImportError:  # pragma: no cover - SciPy-less fallback
+    _get_lapack_funcs = None
+    _lu_factor = None
 
 from .network import ThermalNetwork
 
@@ -67,8 +83,16 @@ class ThermalSolver:
             raise ValueError("method must be 'implicit' or 'explicit'")
         if not self.network.assembled:
             self.network.assemble()
+        # Cached implicit-Euler factorization of A = C/dt + G, keyed on the
+        # step size and the network's version counters.
         self._cache_dt: Optional[float] = None
-        self._cache_lu: Optional[np.ndarray] = None
+        self._cache_lu: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._cache_getrs = None
+        self._cache_matrix: Optional[np.ndarray] = None
+        self._cache_c_over_dt: Optional[np.ndarray] = None
+        self._cache_rhs_const: Optional[np.ndarray] = None
+        self._cache_matrix_version: int = -1
+        self._cache_boundary_version: int = -1
 
     def step(self, dt_s: float, power_w: Mapping[str, float]) -> Dict[str, float]:
         """Advance the network by ``dt_s`` seconds with the given injected power.
@@ -83,20 +107,82 @@ class ThermalSolver:
             self._step_explicit(dt_s, power_w)
         return self.network.temperatures()
 
+    # -- factorization cache -----------------------------------------------------
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached factorization (forces a refactorization next step).
+
+        Normally unnecessary — the cache tracks the network's version counters
+        — but exposed for callers that mutate network internals directly.
+        """
+        self._cache_dt = None
+        self._cache_matrix_version = -1
+        self._cache_boundary_version = -1
+
+    def _refresh_factorization(self, dt_s: float) -> None:
+        """Ensure the cached factorization matches ``dt_s`` and the network.
+
+        The matrix ``A = C/dt + G`` is factored once per (dt, topology) pair;
+        the constant RHS term ``G_b @ T_b`` is refreshed independently when a
+        boundary temperature changes (it does not require refactoring).
+        """
+        net = self.network
+        if (
+            self._cache_dt != dt_s
+            or self._cache_matrix_version != net.matrix_version
+        ):
+            c = net.capacitances
+            g = net.conductance_matrix
+            c_over_dt = c / dt_s
+            a = np.diag(c_over_dt) + g
+            self._cache_c_over_dt = c_over_dt
+            self._cache_matrix = a
+            if _lu_factor is not None:
+                lu, piv = _lu_factor(a)
+                # LAPACK wants Fortran order; converting once here avoids a
+                # copy inside every getrs call.
+                lu = np.asfortranarray(lu)
+                self._cache_lu = (lu, piv)
+                self._cache_getrs = _get_lapack_funcs(("getrs",), (lu,))[0]
+            else:
+                self._cache_lu = None
+                self._cache_getrs = None
+            self._cache_dt = dt_s
+            self._cache_matrix_version = net.matrix_version
+            # G_b may have changed together with G; force an RHS refresh.
+            self._cache_boundary_version = -1
+        if self._cache_boundary_version != net.boundary_version:
+            self._cache_rhs_const = (
+                net.boundary_coupling @ net.boundary_temperatures_vector
+            )
+            self._cache_boundary_version = net.boundary_version
+
+    def _solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` against the cached factorization.
+
+        Calls LAPACK ``getrs`` directly — the same back-substitution
+        ``np.linalg.solve`` (``gesv``) performs after its factorization, so
+        the result is bit-for-bit identical to an unfactored solve.
+        """
+        if self._cache_getrs is not None:
+            lu, piv = self._cache_lu
+            x, info = self._cache_getrs(lu, piv, b)
+            if info != 0:  # pragma: no cover - defensive; A is diagonally dominant
+                raise np.linalg.LinAlgError(f"getrs failed with info={info}")
+            return x
+        return np.linalg.solve(self._cache_matrix, b)
+
     # -- integrators ------------------------------------------------------------
 
     def _step_implicit(self, dt_s: float, power_w: Mapping[str, float]) -> None:
         net = self.network
-        c = net.capacitances
-        g = net.conductance_matrix
+        self._refresh_factorization(dt_s)
         t_old = net.temperatures_vector
-        rhs_const = net.boundary_coupling @ net.boundary_temperatures_vector
         p = net.power_vector(power_w)
 
         # (C/dt + G) T_new = C/dt * T_old + G_b T_b + P
-        a = np.diag(c / dt_s) + g
-        b = (c / dt_s) * t_old + rhs_const + p
-        t_new = np.linalg.solve(a, b)
+        b = self._cache_c_over_dt * t_old + self._cache_rhs_const + p
+        t_new = self._solve(b)
         net.apply_temperature_vector(t_new)
 
     def _step_explicit(self, dt_s: float, power_w: Mapping[str, float]) -> None:
@@ -120,6 +206,58 @@ class ThermalSolver:
             t = t + sub_dt * dTdt
         net.apply_temperature_vector(t)
 
+    # -- vectorized stepping ------------------------------------------------------
+
+    def step_many(
+        self,
+        dt_s: float,
+        power_matrix: np.ndarray,
+        temps_matrix: np.ndarray,
+        exact: bool = True,
+    ) -> np.ndarray:
+        """Advance N independent instances of this network by one implicit step.
+
+        Every column of ``temps_matrix`` is the internal temperature vector of
+        one device instance and every column of ``power_matrix`` its injected
+        power; all instances share this solver's network matrices and boundary
+        temperatures, so the cached factorization is applied to all N
+        right-hand sides at once.  The solver's own network state is *not*
+        touched — callers own the state matrix.
+
+        Args:
+            dt_s: step size in seconds.
+            power_matrix: injected power, shape ``(n_internal, N)``.
+            temps_matrix: internal temperatures, shape ``(n_internal, N)``.
+            exact: when True (default) each column is solved individually so
+                the result is bit-for-bit identical to N scalar
+                :meth:`step` calls; when False all columns are solved in one
+                blocked LAPACK call, which is faster but may differ from the
+                scalar path in the last ulp.
+
+        Returns:
+            The new temperature matrix, shape ``(n_internal, N)``.
+        """
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        if self.method != "implicit":
+            raise ValueError("step_many requires the implicit method")
+        temps_matrix = np.asarray(temps_matrix, dtype=float)
+        power_matrix = np.asarray(power_matrix, dtype=float)
+        if temps_matrix.ndim != 2 or power_matrix.shape != temps_matrix.shape:
+            raise ValueError("power and temperature matrices must share shape (n_internal, N)")
+        self._refresh_factorization(dt_s)
+        b = (
+            self._cache_c_over_dt[:, None] * temps_matrix
+            + self._cache_rhs_const[:, None]
+            + power_matrix
+        )
+        if not exact:
+            return self._solve(b)
+        out = np.empty_like(b)
+        for j in range(b.shape[1]):
+            out[:, j] = self._solve(b[:, j])
+        return out
+
     # -- convenience -------------------------------------------------------------
 
     def run(
@@ -128,13 +266,19 @@ class ThermalSolver:
         dt_s: float,
         power_w: Mapping[str, float],
     ) -> Dict[str, float]:
-        """Integrate a constant power profile for ``duration_s`` seconds."""
+        """Integrate a constant power profile for ``duration_s`` seconds.
+
+        The number of whole steps is computed up front (mirroring the explicit
+        integrator's sub-step logic) so long horizons do not suffer from
+        float accumulation drift in the ``elapsed`` counter.
+        """
         if duration_s < 0:
             raise ValueError("duration_s must be non-negative")
-        elapsed = 0.0
+        steps = int(np.floor(duration_s / dt_s + 1e-9))
+        remainder = duration_s - steps * dt_s
         temps = self.network.temperatures()
-        while elapsed < duration_s - 1e-9:
-            step = min(dt_s, duration_s - elapsed)
-            temps = self.step(step, power_w)
-            elapsed += step
+        for _ in range(steps):
+            temps = self.step(dt_s, power_w)
+        if remainder > 1e-9:
+            temps = self.step(remainder, power_w)
         return temps
