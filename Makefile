@@ -2,20 +2,27 @@
 #
 # `make check` is what CI runs on every PR: the tier-1 test suite plus a
 # smoke run of the batched experiment runtime (table1 through a 2-worker
-# process pool at a tiny duration scale).
+# process pool at a tiny duration scale) and of the online policy-session
+# driver (`repro serve --smoke`).  `make lint` needs ruff on the PATH.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test smoke bench-baseline
+.PHONY: check test smoke serve-smoke lint bench-baseline
 
-check: test smoke
+check: test smoke serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 smoke:
 	$(PYTHON) -m repro table1 --scale 0.05 --jobs 2
+
+serve-smoke:
+	$(PYTHON) -m repro serve --smoke
+
+lint:
+	$(PYTHON) -m ruff check .
 
 bench-baseline:
 	$(PYTHON) benchmarks/bench_batch_runtime.py

@@ -12,7 +12,12 @@ The package is organised as:
 * :mod:`repro.ml` — from-scratch regressors replacing WEKA;
 * :mod:`repro.users` — the study population, comfort and satisfaction models;
 * :mod:`repro.sim` — the fixed-step simulation engine and experiment helpers;
-* :mod:`repro.analysis` — reproduction of Table 1 and Figures 1-5.
+* :mod:`repro.analysis` — reproduction of Table 1 and Figures 1-5;
+* :mod:`repro.api` — the unified policy API: registry-backed declarative
+  specs (``PolicySpec``) and the online ``PolicySession`` streaming
+  interface;
+* :mod:`repro.runtime` — the batched experiment runtime (plans, executors,
+  result stores).
 
 Quickstart::
 
@@ -23,6 +28,9 @@ Quickstart::
     print(fig4.peak_skin_reduction_c)
 """
 
+from .api import CapDecision, TelemetrySample
+from .api.session import PolicySession, SessionPool, open_session
+from .api.specs import GovernorSpec, ManagerSpec, PolicySpec, PredictorSpec, SpecError
 from .core import (
     PredictionFeatures,
     RuntimePredictor,
@@ -43,6 +51,16 @@ from .workloads import BENCHMARK_NAMES, build_benchmark
 __version__ = "1.0.0"
 
 __all__ = [
+    "CapDecision",
+    "TelemetrySample",
+    "PolicySession",
+    "SessionPool",
+    "open_session",
+    "GovernorSpec",
+    "ManagerSpec",
+    "PolicySpec",
+    "PredictorSpec",
+    "SpecError",
     "PredictionFeatures",
     "RuntimePredictor",
     "SkinScreenPrediction",

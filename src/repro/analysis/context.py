@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
+from ..api.specs import GovernorSpec, ManagerSpec, PolicySpec
 from ..core.pipeline import (
     TrainingData,
     collect_training_data,
@@ -96,6 +97,44 @@ class ReproductionContext:
         """A lean, picklable per-cell controller factory for one participant."""
         return USTAControllerFactory(
             predictor=self.predictor, skin_limit_c=profile.skin_limit_c
+        )
+
+    # -- declarative policy specs ---------------------------------------------------
+
+    @staticmethod
+    def baseline_policy_spec(governor: str = "ondemand") -> PolicySpec:
+        """The bare baseline-governor policy as a declarative spec."""
+        return PolicySpec(governor=GovernorSpec(governor), label=governor)
+
+    @staticmethod
+    def usta_policy_spec(
+        skin_limit_c: Optional[float] = None,
+        profile: Optional[ThermalComfortProfile] = None,
+        governor: str = "ondemand",
+    ) -> PolicySpec:
+        """USTA over a baseline governor, as a declarative spec.
+
+        The spec carries no trained artifact — pair it with this context's
+        ``predictor`` at build time (``ExperimentCell(policy=spec,
+        predictor=context.predictor)`` or ``open_session(spec,
+        predictor=context.predictor)``).
+
+        Args:
+            skin_limit_c: explicit comfort limit (37 °C default-user when
+                neither argument is given).  Ignored when ``profile`` is set.
+            profile: configure the limit from one study participant.
+            governor: baseline cpufreq governor name.
+        """
+        if profile is not None:
+            limit = profile.skin_limit_c
+        elif skin_limit_c is not None:
+            limit = skin_limit_c
+        else:
+            limit = 37.0
+        return PolicySpec(
+            governor=GovernorSpec(governor),
+            manager=ManagerSpec("usta", params={"skin_limit_c": limit}),
+            label=f"usta+{governor}",
         )
 
 

@@ -82,20 +82,21 @@ def reproduce_table1(
     names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_NAMES
 
     plan = ExperimentPlan()
+    schemes = (
+        ("baseline", context.baseline_policy_spec()),
+        ("usta", context.usta_policy_spec(skin_limit_c=skin_limit_c)),
+    )
     for index, name in enumerate(names):
         spec = BENCHMARKS[name]
         duration = spec.duration_s * duration_scale
         trace = build_benchmark(name, seed=context.seed + index, duration_s=duration)
-        for scheme, factory in (
-            ("baseline", None),
-            ("usta", context.usta_factory_for_limit(skin_limit_c)),
-        ):
+        for scheme, policy in schemes:
             plan.add(
                 ExperimentCell(
                     cell_id=f"{name}/{scheme}",
                     trace=trace,
-                    governor="ondemand",
-                    manager_factory=factory,
+                    policy=policy,
+                    predictor=context.predictor if policy.manager is not None else None,
                     seed=context.seed + index,
                     metadata={"benchmark": name, "scheme": scheme},
                 )

@@ -1,0 +1,153 @@
+"""Decorator-based component registries for the policy API.
+
+A *policy* — in the sense of :mod:`repro.api.specs` — is assembled from three
+kinds of components: a cpufreq governor, an optional thermal manager (USTA and
+friends) and, for manager construction, a trained run-time predictor.  Each
+kind has one :class:`ComponentRegistry`; implementations register themselves
+with the ``@register_governor("ondemand")`` / ``@register_manager("usta")`` /
+``@register_predictor("trained")`` decorators, and declarative specs resolve
+names through :meth:`ComponentRegistry.create`.
+
+The registries live in this leaf module (no ``repro`` imports) so that the
+implementing packages — :mod:`repro.governors`, :mod:`repro.core` — can
+register into them without import cycles.  Lookup is lazy: when a name is
+missing, the registry first imports the modules listed in
+``autoload_modules`` (which triggers their registration decorators) and only
+then reports an error, with a did-you-mean suggestion.
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+from typing import Callable, Dict, Iterable, Mapping, Tuple
+
+__all__ = [
+    "ComponentRegistry",
+    "UnknownComponentError",
+    "GOVERNORS",
+    "MANAGERS",
+    "PREDICTORS",
+    "register_governor",
+    "register_manager",
+    "register_predictor",
+]
+
+
+class UnknownComponentError(KeyError):
+    """A registry lookup failed (subclasses ``KeyError`` for compatibility)."""
+
+    def __str__(self) -> str:  # KeyError would repr() the message, quoting it
+        return self.args[0] if self.args else ""
+
+
+class ComponentRegistry:
+    """Name → factory registry for one kind of policy component.
+
+    Attributes:
+        kind: human-readable component kind, used in error messages
+            (``"governor"``, ``"thermal manager"``, ``"predictor"``).
+    """
+
+    def __init__(self, kind: str, autoload_modules: Iterable[str] = ()):
+        self.kind = kind
+        self._components: Dict[str, Callable] = {}
+        self._autoload_modules: Tuple[str, ...] = tuple(autoload_modules)
+        self._autoloaded = False
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, name: str) -> Callable[[Callable], Callable]:
+        """Decorator registering a factory (class or function) under ``name``."""
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"a {self.kind} registry name must be a non-empty string")
+
+        def decorator(factory: Callable) -> Callable:
+            existing = self._components.get(name)
+            if existing is not None and existing is not factory:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered to {existing!r}"
+                )
+            self._components[name] = factory
+            return factory
+
+        return decorator
+
+    # -- lookup -----------------------------------------------------------------
+
+    @property
+    def components(self) -> Mapping[str, Callable]:
+        """The live name → factory mapping (treat as read-only)."""
+        self._ensure_loaded()
+        return self._components
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, sorted."""
+        self._ensure_loaded()
+        return tuple(sorted(self._components))
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_loaded()
+        return name in self._components
+
+    def get(self, name: str) -> Callable:
+        """The factory registered under ``name``.
+
+        Raises:
+            UnknownComponentError: with the known names and a did-you-mean
+                suggestion when ``name`` is not registered.
+        """
+        self._ensure_loaded()
+        try:
+            return self._components[name]
+        except KeyError:
+            known = ", ".join(sorted(self._components))
+            close = difflib.get_close_matches(str(name), self._components, n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            raise UnknownComponentError(
+                f"unknown {self.kind} {name!r}{hint}; known {self.kind}s: {known}"
+            ) from None
+
+    def create(self, name: str, **params):
+        """Instantiate the component registered under ``name``."""
+        return self.get(name)(**params)
+
+    # -- internals --------------------------------------------------------------
+
+    def _ensure_loaded(self) -> None:
+        if self._autoloaded:
+            return
+        self._autoloaded = True
+        for module in self._autoload_modules:
+            importlib.import_module(module)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ComponentRegistry(kind={self.kind!r}, names={sorted(self._components)})"
+
+
+#: Governors by cpufreq name (``repro.governors`` registers the stock five).
+GOVERNORS = ComponentRegistry("governor", autoload_modules=("repro.governors",))
+
+#: Thermal managers by scheme name (``usta``, ``usta-screen``).
+MANAGERS = ComponentRegistry(
+    "thermal manager",
+    autoload_modules=("repro.core.usta", "repro.core.screen_aware"),
+)
+
+#: Run-time predictor builders by kind (``trained``).
+PREDICTORS = ComponentRegistry("predictor", autoload_modules=("repro.core.predictor",))
+
+
+def register_governor(name: str):
+    """Register a :class:`~repro.governors.base.Governor` class by cpufreq name."""
+    return GOVERNORS.register(name)
+
+
+def register_manager(name: str):
+    """Register a :class:`~repro.sim.engine.ThermalManager` implementation."""
+    return MANAGERS.register(name)
+
+
+def register_predictor(kind: str):
+    """Register a builder returning a :class:`~repro.core.predictor.RuntimePredictor`."""
+    return PREDICTORS.register(kind)

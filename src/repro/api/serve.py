@@ -1,0 +1,166 @@
+"""``repro serve`` — drive a population of online policy sessions.
+
+This is the demonstration workload for the session API: replay one
+benchmark's telemetry (as a device fleet would stream it back) into thousands
+of concurrent per-user :class:`~repro.api.session.PolicySession` instances
+through a :class:`~repro.api.session.SessionPool`, with predictions batched
+across sessions.  It reports throughput (feeds/s), prediction batching
+efficiency and how often each user's policy had a cap installed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..device.platform import DevicePlatform
+from ..governors import create_governor
+from ..sim.engine import Simulator
+from ..workloads.benchmarks import build_benchmark
+from ..workloads.trace import WorkloadTrace
+from .session import SessionPool
+from .specs import ManagerSpec, PolicySpec
+from .types import TelemetrySample
+
+__all__ = ["ServeReport", "replay_telemetry", "run_serve"]
+
+
+def replay_telemetry(
+    trace: WorkloadTrace, seed: int = 0, governor: str = "ondemand"
+) -> List[TelemetrySample]:
+    """Simulate one baseline run of a trace and return its telemetry stream.
+
+    This stands in for the on-device logging daemon: the samples carry exactly
+    the signals a userspace policy sees (sensor channels, utilization, the
+    frequency the window ran at).
+    """
+    platform = DevicePlatform(seed=seed)
+    simulator = Simulator(
+        platform=platform,
+        governor=create_governor(governor, table=platform.freq_table),
+    )
+    result = simulator.run(trace)
+    return [TelemetrySample.from_step_record(record) for record in result.records]
+
+
+@dataclass
+class ServeReport:
+    """What one serve run did, for the CLI to render."""
+
+    benchmark: str
+    n_sessions: int
+    n_steps: int
+    feed_count: int
+    prediction_count: int
+    batch_count: int
+    average_batch_size: float
+    capped_sessions: int
+    elapsed_s: float
+    policy_label: str
+    per_user_capped_fraction: Dict[str, float]
+
+    @property
+    def feeds_per_second(self) -> float:
+        """Session-feeds per wall-clock second."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.feed_count / self.elapsed_s
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            f"policy: {self.policy_label}",
+            f"{self.n_sessions} sessions x {self.n_steps} telemetry steps "
+            f"in {self.elapsed_s:.2f}s ({self.feeds_per_second:,.0f} feeds/s)",
+            f"predictions: {self.prediction_count} in {self.batch_count} batches "
+            f"(avg batch {self.average_batch_size:.1f} sessions)",
+            f"sessions ever capped: {self.capped_sessions}/{self.n_sessions}",
+        ]
+        if self.per_user_capped_fraction:
+            lines.append(f"{'user':>6} {'% feeds capped':>15}")
+            for user_id, fraction in sorted(self.per_user_capped_fraction.items()):
+                lines.append(f"{user_id:>6} {100.0 * fraction:>15.1f}")
+        return "\n".join(lines)
+
+
+def run_serve(
+    context,
+    benchmark: str = "skype",
+    duration_s: Optional[float] = None,
+    sessions: int = 1000,
+    policy: Optional[PolicySpec] = None,
+    seed: Optional[int] = None,
+) -> ServeReport:
+    """Stream replayed telemetry through a per-user session population.
+
+    Args:
+        context: a :class:`~repro.analysis.context.ReproductionContext` (or
+            anything with ``predictor``, ``population`` and ``seed``).
+        benchmark: benchmark whose telemetry is replayed.
+        duration_s: optional benchmark duration override.
+        sessions: number of concurrent sessions (users are cycled from the
+            ten-participant study population).
+        policy: policy served to every session (per-user comfort limits are
+            applied on top); defaults to user-specific USTA over ondemand.
+        seed: workload/platform seed (the context's seed by default).
+    """
+    if sessions < 1:
+        raise ValueError("sessions must be at least 1")
+    seed = context.seed if seed is None else seed
+    spec = policy if policy is not None else PolicySpec(manager=ManagerSpec("usta"))
+
+    trace = build_benchmark(benchmark, seed=seed, duration_s=duration_s)
+    telemetry = replay_telemetry(trace, seed=seed)
+
+    # The context predictor is only the fallback; a policy that declares its
+    # own predictor recipe keeps it (the recipe builder caches, so the first
+    # session pays the training cost and the rest share the artifact).
+    fallback_predictor = None
+    if spec.manager is not None and spec.manager.predictor is None:
+        fallback_predictor = context.predictor
+
+    pool = SessionPool()
+    profiles = list(context.population)
+    session_users: Dict[str, str] = {}
+    for index in range(sessions):
+        profile = profiles[index % len(profiles)]
+        session_id = f"{profile.user_id}-{index:05d}"
+        pool.open(session_id, spec, user_profile=profile, predictor=fallback_predictor)
+        session_users[session_id] = profile.user_id
+
+    start = time.perf_counter()
+    ever_capped = set()
+    for sample in telemetry:
+        decisions = pool.feed_all(sample)
+        for session_id, decision in decisions.items():
+            if decision.active:
+                ever_capped.add(session_id)
+    elapsed = time.perf_counter() - start
+
+    per_user_feeds: Dict[str, int] = {}
+    per_user_caps: Dict[str, float] = {}
+    for session in pool:
+        user_id = session_users[session.session_id]
+        per_user_feeds[user_id] = per_user_feeds.get(user_id, 0) + 1
+        per_user_caps[user_id] = per_user_caps.get(user_id, 0.0) + session.capped_fraction
+    per_user_capped_fraction = {
+        user_id: per_user_caps[user_id] / per_user_feeds[user_id] for user_id in per_user_feeds
+    }
+
+    label = spec.label or (
+        f"{spec.manager.name}+{spec.governor.name}" if spec.manager else spec.governor.name
+    )
+    return ServeReport(
+        benchmark=benchmark,
+        n_sessions=sessions,
+        n_steps=len(telemetry),
+        feed_count=pool.feed_count,
+        prediction_count=pool.prediction_count,
+        batch_count=pool.batch_count,
+        average_batch_size=pool.average_batch_size,
+        capped_sessions=len(ever_capped),
+        elapsed_s=elapsed,
+        policy_label=label,
+        per_user_capped_fraction=per_user_capped_fraction,
+    )

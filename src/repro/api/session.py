@@ -1,0 +1,290 @@
+"""Online policy sessions: feed telemetry, get frequency-cap decisions.
+
+On a real handset the USTA controller is a userspace daemon: it wakes up with
+fresh telemetry, predicts the skin temperature, and writes a frequency cap to
+``scaling_max_freq``.  A :class:`PolicySession` is exactly that daemon loop,
+decoupled from the simulator: ``open_session(spec, user_profile)`` builds the
+per-user policy state, and ``session.feed(TelemetrySample) → CapDecision``
+advances it by one observation.  The simulation engine's
+:class:`~repro.sim.engine.SimulationKernel` is just one client of this
+interface; replayed telemetry logs, live device streams, and the ``repro
+serve`` population driver are others.
+
+:class:`SessionPool` scales the same interface to thousands of concurrent
+sessions: per-user session state stays isolated, but the expensive part of a
+tick — the predictor evaluation — is batched across every session whose
+prediction window is due, through one matrix call into the underlying
+regressors (:meth:`~repro.core.predictor.RuntimePredictor.predict_batch`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.predictor import PredictionFeatures, RuntimePredictor
+from ..core.usta import USTAController
+from ..sim.engine import ThermalManager
+from .specs import PolicySpec
+from .types import CapDecision, TelemetrySample
+
+__all__ = ["PolicySession", "SessionPool", "open_session"]
+
+
+class PolicySession:
+    """One user's online policy loop.
+
+    Attributes:
+        manager: the thermal manager driving cap decisions (``None`` for a
+            bare-governor policy that never caps).
+        table: the platform frequency table, used to express caps as
+            frequencies on the wire (taken from the manager when present).
+        spec: the policy spec this session was opened from, when any.
+        session_id: caller-chosen identifier (used by :class:`SessionPool`).
+    """
+
+    def __init__(
+        self,
+        manager: Optional[ThermalManager] = None,
+        table=None,
+        spec: Optional[PolicySpec] = None,
+        session_id: Optional[str] = None,
+        resolve_frequency: bool = True,
+    ):
+        self.manager = manager
+        self.table = table if table is not None else getattr(manager, "table", None)
+        self.spec = spec
+        self.session_id = session_id
+        # Clients that only consume level caps (the simulation kernel) skip
+        # the per-decision cap→frequency lookup in their hot loop.
+        self.resolve_frequency = resolve_frequency
+        self._last_decision: Optional[CapDecision] = None
+        self._feed_count = 0
+        self._cap_count = 0
+
+    # -- the online loop --------------------------------------------------------
+
+    def feed(self, sample: TelemetrySample) -> CapDecision:
+        """Advance the policy by one telemetry sample and return its decision."""
+        if self.manager is None:
+            decision = CapDecision.no_cap()
+        else:
+            manager_decision = self.manager.observe(
+                time_s=sample.time_s,
+                sensor_readings=sample.sensor_readings,
+                utilization=sample.utilization,
+                frequency_khz=sample.frequency_khz,
+            )
+            decision = CapDecision.from_manager_decision(
+                manager_decision, self.table if self.resolve_frequency else None
+            )
+        self.note_decision(decision)
+        return decision
+
+    def note_decision(self, decision: CapDecision) -> None:
+        """Record a decision computed out-of-band (batched pool prediction)."""
+        self._last_decision = decision
+        self._feed_count += 1
+        if decision.active:
+            self._cap_count += 1
+
+    def reset(self) -> None:
+        """Clear manager and session state for a fresh stream."""
+        if self.manager is not None:
+            self.manager.reset()
+        self._last_decision = None
+        self._feed_count = 0
+        self._cap_count = 0
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def last_decision(self) -> Optional[CapDecision]:
+        """The most recent decision (``None`` before the first feed)."""
+        return self._last_decision
+
+    @property
+    def feed_count(self) -> int:
+        """Telemetry samples consumed since the last reset."""
+        return self._feed_count
+
+    @property
+    def capped_fraction(self) -> float:
+        """Fraction of feeds that answered with an active cap."""
+        if self._feed_count == 0:
+            return 0.0
+        return self._cap_count / self._feed_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        manager = type(self.manager).__name__ if self.manager is not None else None
+        return f"PolicySession(id={self.session_id!r}, manager={manager}, feeds={self._feed_count})"
+
+
+def open_session(
+    spec: Union[PolicySpec, Mapping],
+    user_profile=None,
+    predictor: Optional[RuntimePredictor] = None,
+    table=None,
+    session_id: Optional[str] = None,
+) -> PolicySession:
+    """Open an online session for one policy (and optionally one user).
+
+    Args:
+        spec: a :class:`~repro.api.specs.PolicySpec` (or its dictionary form).
+        user_profile: optional :class:`~repro.users.population.
+            ThermalComfortProfile`; overrides the spec's comfort limit(s).
+        predictor: trained predictor injected into the manager (required when
+            the spec carries a manager without a predictor recipe).
+        table: optional platform frequency table for frequency-typed caps.
+        session_id: caller-chosen identifier.
+    """
+    if not isinstance(spec, PolicySpec):
+        spec = PolicySpec.from_spec(spec)
+    if user_profile is not None:
+        spec = spec.for_user(user_profile)
+    manager = spec.build_manager(predictor=predictor, table=table)
+    return PolicySession(manager=manager, table=table, spec=spec, session_id=session_id)
+
+
+class SessionPool:
+    """Thousands of concurrent policy sessions with batched prediction.
+
+    Sessions keep their per-user state (comfort limit, prediction clock,
+    current cap); the pool's contribution is scheduling: on
+    :meth:`feed_many`, every USTA session whose prediction window is due is
+    collected, their feature vectors are stacked, and the underlying
+    regressors run once per (predictor, screen-flag) group instead of once
+    per session.  Managers the pool does not understand simply fall back to
+    their sessions' scalar :meth:`PolicySession.feed`.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, PolicySession] = {}
+        self._feed_count = 0
+        self._prediction_count = 0
+        self._batch_count = 0
+
+    # -- membership -------------------------------------------------------------
+
+    def open(
+        self,
+        session_id: str,
+        spec: Union[PolicySpec, Mapping],
+        user_profile=None,
+        predictor: Optional[RuntimePredictor] = None,
+        table=None,
+    ) -> PolicySession:
+        """Open and register a new session under a unique id."""
+        if session_id in self._sessions:
+            raise ValueError(f"duplicate session id {session_id!r}")
+        session = open_session(
+            spec,
+            user_profile=user_profile,
+            predictor=predictor,
+            table=table,
+            session_id=session_id,
+        )
+        self._sessions[session_id] = session
+        return session
+
+    def get(self, session_id: str) -> PolicySession:
+        """The session registered under ``session_id`` (KeyError when missing)."""
+        return self._sessions[session_id]
+
+    def close(self, session_id: str) -> None:
+        """Remove a session from the pool."""
+        del self._sessions[session_id]
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self) -> Iterator[PolicySession]:
+        return iter(self._sessions.values())
+
+    # -- batched feeding --------------------------------------------------------
+
+    def feed_all(self, sample: TelemetrySample) -> Dict[str, CapDecision]:
+        """Feed one telemetry sample to every session (a shared replayed stream)."""
+        return self.feed_many({sid: sample for sid in self._sessions})
+
+    def feed_many(self, samples: Mapping[str, TelemetrySample]) -> Dict[str, CapDecision]:
+        """Feed per-session telemetry and return per-session decisions.
+
+        Prediction-due USTA sessions are evaluated in batches (one matrix
+        predict per predictor/screen-flag group); everything else goes through
+        the scalar session feed.  Decisions come back keyed and ordered like
+        ``samples``.
+        """
+        decisions: Dict[str, CapDecision] = {}
+        due: Dict[Tuple[int, bool], List[Tuple[str, PolicySession, TelemetrySample]]] = {}
+        for session_id, sample in samples.items():
+            session = self._sessions[session_id]
+            manager = session.manager
+            if self._batchable(manager) and manager.prediction_due(sample.time_s):
+                key = (id(manager.predictor), bool(manager.predict_screen))
+                due.setdefault(key, []).append((session_id, session, sample))
+            else:
+                decisions[session_id] = session.feed(sample)
+                self._feed_count += 1
+
+        for (_, predict_screen), group in due.items():
+            predictor = group[0][1].manager.predictor
+            features = np.vstack(
+                [
+                    PredictionFeatures.from_readings(
+                        sample.sensor_readings, sample.utilization, sample.frequency_khz
+                    ).as_vector()
+                    for _, _, sample in group
+                ]
+            )
+            predictions = predictor.predict_batch(features, predict_screen=predict_screen)
+            self._batch_count += 1
+            self._prediction_count += len(group)
+            for (session_id, session, sample), prediction in zip(group, predictions):
+                manager_decision = session.manager.apply_prediction(sample.time_s, prediction)
+                decision = CapDecision.from_manager_decision(
+                    manager_decision, session.table if session.resolve_frequency else None
+                )
+                session.note_decision(decision)
+                decisions[session_id] = decision
+                self._feed_count += 1
+
+        return {session_id: decisions[session_id] for session_id in samples}
+
+    @staticmethod
+    def _batchable(manager) -> bool:
+        """True when the batched due/apply split is faithful to ``observe``.
+
+        A subclass that overrides ``observe`` itself (rather than the
+        ``_cap_for`` hook) may implement logic the split would bypass, so it
+        must go through the scalar session feed.
+        """
+        return (
+            isinstance(manager, USTAController)
+            and type(manager).observe is USTAController.observe
+        )
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def feed_count(self) -> int:
+        """Total telemetry samples consumed across all sessions."""
+        return self._feed_count
+
+    @property
+    def prediction_count(self) -> int:
+        """Predictions evaluated through the batched path."""
+        return self._prediction_count
+
+    @property
+    def batch_count(self) -> int:
+        """Matrix-predict calls issued (batches)."""
+        return self._batch_count
+
+    @property
+    def average_batch_size(self) -> float:
+        """Mean sessions per batched predictor call."""
+        if self._batch_count == 0:
+            return 0.0
+        return self._prediction_count / self._batch_count

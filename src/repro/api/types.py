@@ -1,0 +1,102 @@
+"""Wire types of the online policy interface.
+
+On a real device the USTA daemon consumes a stream of on-device telemetry
+(sensor readings, CPU utilization, current frequency) and emits frequency-cap
+decisions that it writes to ``scaling_max_freq``.  :class:`TelemetrySample`
+and :class:`CapDecision` are those two messages; :class:`~repro.api.session.
+PolicySession` maps one onto the other.
+
+This module is intentionally a leaf (stdlib imports only) so the simulation
+engine can speak the session wire format without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+__all__ = ["TelemetrySample", "CapDecision"]
+
+
+@dataclass(frozen=True)
+class TelemetrySample:
+    """One observation of the device, as a policy daemon would see it.
+
+    Attributes:
+        time_s: device uptime of the observation.
+        utilization: CPU utilization observed over the last window, in [0, 1].
+        frequency_khz: CPU frequency the window ran at.
+        sensor_readings: on-device sensor channels (°C); USTA's predictor
+            needs at least ``"cpu"`` and ``"battery"``.
+    """
+
+    time_s: float
+    utilization: float
+    frequency_khz: float
+    sensor_readings: Mapping[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_step_record(cls, record) -> "TelemetrySample":
+        """Telemetry as logged by one :class:`~repro.sim.results.StepRecord`.
+
+        Used to replay recorded (or simulated) runs as online telemetry
+        streams — the ``repro serve`` workload.
+        """
+        return cls(
+            time_s=record.time_s,
+            utilization=record.utilization,
+            frequency_khz=float(record.frequency_khz),
+            sensor_readings={
+                "cpu": record.sensor_cpu_temp_c,
+                "battery": record.sensor_battery_temp_c,
+                "skin": record.sensor_skin_temp_c,
+                "screen": record.sensor_screen_temp_c,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class CapDecision:
+    """What the policy decided after one telemetry sample.
+
+    Attributes:
+        level_cap: highest frequency level the governor may select
+            (``None`` = no cap; on-device this clears ``scaling_max_freq``).
+        max_frequency_khz: the cap as a frequency, when the session knows the
+            platform's frequency table.
+        predicted_skin_temp_c: the skin prediction behind the decision (held
+            from the last prediction window between predictions).
+        predicted_screen_temp_c: the screen prediction, when computed.
+    """
+
+    level_cap: Optional[int]
+    max_frequency_khz: Optional[int] = None
+    predicted_skin_temp_c: Optional[float] = None
+    predicted_screen_temp_c: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        """True when a frequency cap is being requested."""
+        return self.level_cap is not None
+
+    @classmethod
+    def no_cap(cls) -> "CapDecision":
+        """The decision of a policy with nothing to say."""
+        return _NO_CAP
+
+    @classmethod
+    def from_manager_decision(cls, decision, table=None) -> "CapDecision":
+        """Wrap a :class:`~repro.sim.engine.ManagerDecision` for the wire."""
+        cap = decision.level_cap
+        max_khz = None
+        if cap is not None and table is not None:
+            max_khz = table.frequency_at(cap)
+        return cls(
+            level_cap=cap,
+            max_frequency_khz=max_khz,
+            predicted_skin_temp_c=decision.predicted_skin_temp_c,
+            predicted_screen_temp_c=decision.predicted_screen_temp_c,
+        )
+
+
+_NO_CAP = CapDecision(level_cap=None)

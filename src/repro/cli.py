@@ -20,6 +20,15 @@ in-process runner batches same-trace cells.  ``sweep`` runs a user
 population (the ten study participants × ``--repeat``) against one benchmark
 under user-specific USTA — the population-scale experiment the batched
 runtime in :mod:`repro.runtime` exists for.
+
+Policies are declarative: ``--policy policy.json`` points ``sweep`` and
+``serve`` at a :class:`~repro.api.specs.PolicySpec` file instead of the
+hardcoded USTA-over-ondemand default (see ``examples/policy.json``).
+``serve`` replays one benchmark's telemetry into thousands of concurrent
+online :class:`~repro.api.session.PolicySession` instances (``--sessions``),
+with predictions batched across sessions; ``--smoke`` shrinks it to a CI-
+sized run.  ``sweep --approx-solve`` opts the vectorized executor into the
+blocked thermal solve (faster, last-ulp-level deviations).
 """
 
 from __future__ import annotations
@@ -58,8 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all", "sweep"),
-        help="which paper result to regenerate (or 'sweep' for a population sweep)",
+        choices=EXPERIMENTS + ("all", "sweep", "serve"),
+        help=(
+            "which paper result to regenerate ('sweep' for a population sweep, "
+            "'serve' for the online policy-session driver)"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -93,7 +105,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="population copies for the sweep (10 users per copy)",
     )
+    parser.add_argument(
+        "--policy",
+        default=None,
+        metavar="FILE",
+        help="policy spec JSON for sweep/serve (default: user-specific USTA over ondemand)",
+    )
+    parser.add_argument(
+        "--approx-solve",
+        action="store_true",
+        help="sweep: allow the blocked (non-bit-exact) vectorized thermal solve",
+    )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=2000,
+        help="serve: number of concurrent policy sessions",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="serve: tiny CI-sized configuration (caps --scale and --sessions)",
+    )
     return parser
+
+
+def _load_policy(args: argparse.Namespace):
+    """The policy spec named by ``--policy`` (or ``None`` for the default).
+
+    Loaded and registry-validated once, up front — before the expensive
+    reproduction-context build — and cached on the namespace.
+    """
+    if args.policy is None:
+        return None
+    if getattr(args, "_policy_spec", None) is not None:
+        return args._policy_spec
+    from .api.specs import PolicySpec, SpecError
+
+    try:
+        args._policy_spec = PolicySpec.from_file(args.policy).validate_registered()
+    except OSError as exc:
+        raise SystemExit(f"repro-usta: cannot read policy file {args.policy!r}: {exc}")
+    except SpecError as exc:
+        raise SystemExit(f"repro-usta: bad policy file {args.policy!r}: {exc}")
+    return args._policy_spec
+
+
+def _cell_predictor(context: ReproductionContext, policy):
+    """The predictor to inject into a policy's manager (or ``None``).
+
+    The context predictor is only a *fallback*: a policy whose manager
+    declares its own predictor recipe keeps it (injection would silently
+    override the declared model).
+    """
+    if policy.manager is None or policy.manager.predictor is not None:
+        return None
+    return context.predictor
 
 
 def _run_sweep(context: ReproductionContext, args: argparse.Namespace) -> str:
@@ -112,23 +179,28 @@ def _run_sweep(context: ReproductionContext, args: argparse.Namespace) -> str:
     duration = spec.duration_s * args.scale
     trace = build_benchmark(args.benchmark, seed=context.seed, duration_s=duration)
 
+    policy = _load_policy(args)
+    if policy is None:
+        policy = context.usta_policy_spec()
+
     plan = ExperimentPlan()
     for rep in range(args.repeat):
         for profile in context.population:
             suffix = f"/r{rep}" if args.repeat > 1 else ""
+            user_policy = policy.for_user(profile)
             plan.add(
                 ExperimentCell(
                     cell_id=f"{profile.user_id}{suffix}",
                     trace=trace,
-                    governor="ondemand",
-                    manager_factory=context.usta_factory_for_user(profile),
+                    policy=user_policy,
+                    predictor=_cell_predictor(context, user_policy),
                     seed=context.seed + rep,
                     metadata={"user_id": profile.user_id, "rep": rep},
                 )
             )
 
     start = time.perf_counter()
-    store = BatchRunner.for_jobs(args.jobs).run(plan)
+    store = BatchRunner.for_jobs(args.jobs, approx_solve=args.approx_solve).run(plan)
     elapsed = time.perf_counter() - start
 
     lines = [
@@ -178,13 +250,54 @@ def _run_experiment(name: str, context: ReproductionContext, args: argparse.Name
         return f"Population sweep — {args.benchmark} × {args.repeat}×10 users\n" + _run_sweep(
             context, args
         )
+    if name == "serve":
+        return f"Policy sessions — {args.benchmark} × {args.sessions} sessions\n" + _run_serve(
+            context, args
+        )
     raise ValueError(f"unknown experiment {name!r}")
+
+
+def _run_serve(context: ReproductionContext, args: argparse.Namespace) -> str:
+    """Drive a population of online policy sessions from replayed telemetry."""
+    from .api.serve import run_serve
+    from .workloads.benchmarks import BENCHMARKS
+
+    if args.benchmark not in BENCHMARKS:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise SystemExit(
+            f"repro-usta serve: unknown benchmark {args.benchmark!r}; choose from: {known}"
+        )
+    duration = BENCHMARKS[args.benchmark].duration_s * args.scale
+    report = run_serve(
+        context,
+        benchmark=args.benchmark,
+        duration_s=duration,
+        sessions=args.sessions,
+        policy=_load_policy(args),
+    )
+    return report.render()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.policy is not None and args.experiment not in ("sweep", "serve"):
+        # Refuse rather than silently running the hardcoded schemes under a
+        # label the user thinks came from their policy file.
+        raise SystemExit(
+            f"repro-usta: --policy only applies to 'sweep' and 'serve', "
+            f"not {args.experiment!r}"
+        )
+
+    if args.experiment == "serve" and args.smoke:
+        # CI-sized serve run: a short trace and a small session population.
+        args.scale = min(args.scale, 0.05)
+        args.sessions = min(args.sessions, 200)
+
+    # Surface policy-file problems before minutes of context training.
+    _load_policy(args)
 
     print(f"building reproduction context (scale={args.scale}, model={args.model}) ...")
     context = ReproductionContext.build(

@@ -120,12 +120,14 @@ def collect_training_data(
         A :class:`TrainingData` whose logger pools the records of every
         benchmark, mirroring the paper's single global dataset.
     """
+    from ..api.specs import PolicySpec
     from ..runtime import BatchRunner, ExperimentCell, ExperimentPlan
 
     if duration_scale <= 0:
         raise ValueError("duration_scale must be positive")
     names = tuple(benchmarks) if benchmarks is not None else BENCHMARK_NAMES
 
+    baseline_policy = PolicySpec(label="ondemand-logging")
     plan = ExperimentPlan()
     for index, name in enumerate(names):
         trace = build_benchmark(name, seed=seed + index)
@@ -135,7 +137,7 @@ def collect_training_data(
             ExperimentCell(
                 cell_id=name,
                 trace=trace,
-                governor="ondemand",
+                policy=baseline_policy,
                 seed=seed + index,
                 log_period_s=log_period_s,
                 platform_factory=platform_factory,

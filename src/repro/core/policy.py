@@ -19,7 +19,7 @@ ablation benchmarks can vary the margins and the step sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..device.freq_table import FrequencyTable
 
@@ -101,6 +101,55 @@ class ThrottlePolicy:
     ) -> Optional[int]:
         """Convenience wrapper taking the prediction and the limit directly."""
         return self.cap_for_margin(limit_c - predicted_skin_temp_c, table)
+
+    # -- declarative spec round-trip ---------------------------------------------------
+
+    def to_spec(self) -> Dict[str, object]:
+        """The policy as a JSON-serializable dictionary (see :meth:`from_spec`)."""
+        return {
+            "steps": [
+                {"margin_above_c": step.margin_above_c, "levels_below_max": step.levels_below_max}
+                for step in self.steps
+            ]
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Mapping) -> "ThrottlePolicy":
+        """Rebuild a policy from its :meth:`to_spec` dictionary.
+
+        Raises:
+            ValueError: for non-mapping specs, unknown keys, or step tables
+                that violate the policy invariants.
+        """
+        if not isinstance(spec, Mapping):
+            raise ValueError(f"a throttle-policy spec must be a mapping, got {type(spec).__name__}")
+        unknown = set(spec) - {"steps"}
+        if unknown:
+            raise ValueError(
+                f"unknown key(s) {sorted(unknown)} in throttle-policy spec; valid keys: steps"
+            )
+        if "steps" not in spec:
+            raise ValueError("a throttle-policy spec requires the key 'steps'")
+        steps = []
+        for entry in spec["steps"]:
+            if not isinstance(entry, Mapping):
+                raise ValueError(f"each throttle step must be a mapping, got {entry!r}")
+            bad = set(entry) - {"margin_above_c", "levels_below_max"}
+            if bad:
+                raise ValueError(
+                    f"unknown key(s) {sorted(bad)} in throttle step; "
+                    "valid keys: margin_above_c, levels_below_max"
+                )
+            if "margin_above_c" not in entry:
+                raise ValueError("each throttle step requires 'margin_above_c'")
+            levels = entry.get("levels_below_max")
+            steps.append(
+                ThrottleStep(
+                    margin_above_c=float(entry["margin_above_c"]),
+                    levels_below_max=None if levels is None else int(levels),
+                )
+            )
+        return cls(steps=tuple(steps))
 
     # -- alternative policies for ablation studies -----------------------------------
 

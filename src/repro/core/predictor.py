@@ -14,14 +14,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api.registry import register_predictor
 from ..ml.base import Regressor
 from ..sim.logger import FEATURE_NAMES
 
-__all__ = ["PredictionFeatures", "SkinScreenPrediction", "RuntimePredictor"]
+__all__ = [
+    "PredictionFeatures",
+    "SkinScreenPrediction",
+    "RuntimePredictor",
+    "build_trained_predictor",
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +118,43 @@ class RuntimePredictor:
         latency = time.perf_counter() - start
         return SkinScreenPrediction(skin_temp_c=skin, screen_temp_c=screen, latency_s=latency)
 
+    def predict_batch(
+        self, features: np.ndarray, predict_screen: bool = True
+    ) -> List[SkinScreenPrediction]:
+        """Predict for a whole batch of feature rows in one regressor call.
+
+        This is the session pool's fast path: when N concurrent policy
+        sessions hit their prediction window on the same tick, one
+        ``(N, 4)`` matrix predict replaces N scalar calls.  The reported
+        per-prediction latency is the batch wall-clock divided by N (the
+        amortized cost each session pays).
+
+        Args:
+            features: ``(n_samples, n_features)`` matrix in the canonical
+                column order (see :meth:`PredictionFeatures.as_vector`).
+            predict_screen: also evaluate the screen model when available.
+        """
+        matrix = np.atleast_2d(np.asarray(features, dtype=float))
+        if matrix.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"feature matrix must have {len(self.feature_names)} columns, "
+                f"got {matrix.shape[1]}"
+            )
+        start = time.perf_counter()
+        skin = self.skin_model.predict(matrix)
+        screen: Optional[np.ndarray] = None
+        if predict_screen and self.screen_model is not None:
+            screen = self.screen_model.predict(matrix)
+        latency = (time.perf_counter() - start) / len(matrix)
+        return [
+            SkinScreenPrediction(
+                skin_temp_c=float(skin[i]),
+                screen_temp_c=float(screen[i]) if screen is not None else None,
+                latency_s=latency,
+            )
+            for i in range(len(matrix))
+        ]
+
     def predict_from_readings(
         self,
         sensor_readings: Mapping[str, float],
@@ -154,3 +197,49 @@ class RuntimePredictor:
             "skin_latency_s": skin_latency,
             "total_latency_s": both_latency,
         }
+
+
+#: Cache of deterministically trained predictors, keyed by recipe parameters,
+#: so many spec-built experiment cells in one process train at most once.
+_TRAINED_CACHE: Dict[Tuple, RuntimePredictor] = {}
+
+
+@register_predictor("trained")
+def build_trained_predictor(
+    model: str = "reptree",
+    seed: int = 0,
+    duration_scale: float = 1.0,
+    benchmarks: Optional[Sequence[str]] = None,
+    include_screen: bool = True,
+    log_period_s: float = 3.0,
+) -> RuntimePredictor:
+    """Reproduce the paper's offline pipeline deterministically from a recipe.
+
+    This is the registered builder behind ``PredictorSpec(kind="trained")``:
+    collect logging data by running the benchmark suite under the baseline
+    governor, then train the named learner on the pooled dataset.  The same
+    recipe always yields the same predictor, which is what makes spec-built
+    policies reproducible without shipping model weights.
+    """
+    key = (
+        model,
+        seed,
+        duration_scale,
+        tuple(benchmarks) if benchmarks is not None else None,
+        include_screen,
+        log_period_s,
+    )
+    if key not in _TRAINED_CACHE:
+        # Imported lazily: the pipeline module sits above this one.
+        from .pipeline import collect_training_data, train_runtime_predictor
+
+        data = collect_training_data(
+            benchmarks=benchmarks,
+            seed=seed,
+            log_period_s=log_period_s,
+            duration_scale=duration_scale,
+        )
+        _TRAINED_CACHE[key] = train_runtime_predictor(
+            data, model_name=model, include_screen=include_screen, seed=seed
+        )
+    return _TRAINED_CACHE[key]

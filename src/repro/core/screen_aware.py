@@ -15,16 +15,17 @@ paper's figures continues to use the published skin-only controller.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
-from ..sim.engine import ManagerDecision
+from ..api.registry import register_manager
 from ..users.population import ThermalComfortProfile
-from .predictor import PredictionFeatures, RuntimePredictor
+from .predictor import RuntimePredictor, SkinScreenPrediction
 from .usta import USTAController
 
 __all__ = ["ScreenAwareUSTAController"]
 
 
+@register_manager("usta-screen")
 @dataclass
 class ScreenAwareUSTAController(USTAController):
     """USTA variant that also enforces a screen-temperature limit.
@@ -38,6 +39,13 @@ class ScreenAwareUSTAController(USTAController):
 
     #: Name used in result labels ("usta-screen+ondemand").
     name: str = "usta-screen"
+
+    # Per-user parameterization contract (see USTAController.profile_params):
+    # this variant also takes the participant's screen comfort limit.
+    profile_params = (
+        ("skin_limit_c", "skin_limit_c"),
+        ("screen_limit_c", "screen_limit_c"),
+    )
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -64,42 +72,22 @@ class ScreenAwareUSTAController(USTAController):
             **kwargs,
         )
 
-    def observe(
-        self,
-        time_s: float,
-        sensor_readings: Dict[str, float],
-        utilization: float,
-        frequency_khz: float,
-    ) -> ManagerDecision:
-        """Predict both surfaces and keep the tighter of the two caps."""
-        due = (
-            self._last_prediction_time is None
-            or time_s - self._last_prediction_time >= self.prediction_period_s - 1e-9
-        )
-        if due:
-            features = PredictionFeatures.from_readings(sensor_readings, utilization, frequency_khz)
-            prediction = self.predictor.predict(features, predict_screen=True)
-            self._last_prediction_time = time_s
-            self._last_prediction = prediction.skin_temp_c
-            self._last_screen_prediction = prediction.screen_temp_c
-            self._total_latency_s += prediction.latency_s
-            self._prediction_count += 1
+    def _cap_for(self, prediction: SkinScreenPrediction) -> Optional[int]:
+        """The tighter of the skin-margin cap and the screen-margin cap.
 
-            skin_cap = self.policy.cap_for_prediction(
-                prediction.skin_temp_c, self.skin_limit_c, self.table
+        The periodic scheduling (and hence the batched-session support)
+        lives in the base class; this hook only changes how one prediction
+        maps onto a cap.
+        """
+        skin_cap = self.policy.cap_for_prediction(
+            prediction.skin_temp_c, self.skin_limit_c, self.table
+        )
+        screen_cap: Optional[int] = None
+        if prediction.screen_temp_c is not None:
+            screen_cap = self.policy.cap_for_prediction(
+                prediction.screen_temp_c, self.screen_limit_c, self.table
             )
-            screen_cap: Optional[int] = None
-            if prediction.screen_temp_c is not None:
-                screen_cap = self.policy.cap_for_prediction(
-                    prediction.screen_temp_c, self.screen_limit_c, self.table
-                )
-            self._current_cap = self._tighter_cap(skin_cap, screen_cap)
-
-        return ManagerDecision(
-            level_cap=self._current_cap,
-            predicted_skin_temp_c=self._last_prediction,
-            predicted_screen_temp_c=self._last_screen_prediction,
-        )
+        return self._tighter_cap(skin_cap, screen_cap)
 
     @staticmethod
     def _tighter_cap(skin_cap: Optional[int], screen_cap: Optional[int]) -> Optional[int]:

@@ -22,11 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..api.registry import register_manager
 from ..device.freq_table import FrequencyTable, nexus4_frequency_table
 from ..sim.engine import ManagerDecision
 from ..users.population import ThermalComfortProfile
 from .policy import ThrottlePolicy
-from .predictor import PredictionFeatures, RuntimePredictor
+from .predictor import PredictionFeatures, RuntimePredictor, SkinScreenPrediction
 
 __all__ = ["USTAController", "USTAControllerFactory"]
 
@@ -47,6 +48,7 @@ class USTAControllerFactory:
         return USTAController(predictor=self.predictor, skin_limit_c=self.skin_limit_c)
 
 
+@register_manager("usta")
 @dataclass
 class USTAController:
     """The skin-temperature-aware DVFS layer.
@@ -72,6 +74,12 @@ class USTAController:
 
     #: Name used in result labels ("usta+ondemand").
     name: str = "usta"
+
+    # Constructor params that come from a user's comfort profile, as
+    # (param_name, profile_attribute) pairs — the contract ManagerSpec.for_user
+    # uses to configure per-user cells/sessions.  Deliberately not a dataclass
+    # field (no annotation): it describes the class, not an instance.
+    profile_params = (("skin_limit_c", "skin_limit_c"),)
 
     def __post_init__(self) -> None:
         if self.prediction_period_s <= 0:
@@ -150,23 +158,45 @@ class USTAController:
         place; the prediction (and hence any change of the cap) happens every
         ``prediction_period_s`` seconds.
         """
-        due = (
+        if self.prediction_due(time_s):
+            features = PredictionFeatures.from_readings(sensor_readings, utilization, frequency_khz)
+            prediction = self.predictor.predict(features, predict_screen=self.predict_screen)
+            return self.apply_prediction(time_s, prediction)
+        return self.held_decision()
+
+    # -- batched-session support -----------------------------------------------------
+    #
+    # The observe() loop above is the scalar path.  A SessionPool splits the
+    # same logic in two so the predictor can run once for a whole batch of
+    # sessions: prediction_due() → (pooled predict_batch) → apply_prediction().
+
+    def prediction_due(self, time_s: float) -> bool:
+        """True when the periodic prediction window has elapsed."""
+        return (
             self._last_prediction_time is None
             or time_s - self._last_prediction_time >= self.prediction_period_s - 1e-9
         )
-        if due:
-            features = PredictionFeatures.from_readings(sensor_readings, utilization, frequency_khz)
-            prediction = self.predictor.predict(features, predict_screen=self.predict_screen)
-            self._last_prediction_time = time_s
-            self._last_prediction = prediction.skin_temp_c
-            self._last_screen_prediction = prediction.screen_temp_c
-            self._total_latency_s += prediction.latency_s
-            self._prediction_count += 1
-            self._current_cap = self.policy.cap_for_prediction(
-                prediction.skin_temp_c, self.skin_limit_c, self.table
-            )
+
+    def apply_prediction(self, time_s: float, prediction: SkinScreenPrediction) -> ManagerDecision:
+        """Consume one (possibly batch-computed) prediction and update the cap."""
+        self._last_prediction_time = time_s
+        self._last_prediction = prediction.skin_temp_c
+        self._last_screen_prediction = prediction.screen_temp_c
+        self._total_latency_s += prediction.latency_s
+        self._prediction_count += 1
+        self._current_cap = self._cap_for(prediction)
+        return self.held_decision()
+
+    def held_decision(self) -> ManagerDecision:
+        """The decision currently in force (kept between prediction windows)."""
         return ManagerDecision(
             level_cap=self._current_cap,
             predicted_skin_temp_c=self._last_prediction,
             predicted_screen_temp_c=self._last_screen_prediction,
+        )
+
+    def _cap_for(self, prediction: SkinScreenPrediction) -> Optional[int]:
+        """Map one prediction onto a frequency-level cap (subclass hook)."""
+        return self.policy.cap_for_prediction(
+            prediction.skin_temp_c, self.skin_limit_c, self.table
         )

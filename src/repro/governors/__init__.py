@@ -1,7 +1,14 @@
-"""Linux/Android cpufreq governor substrate."""
+"""Linux/Android cpufreq governor substrate.
 
-from typing import Dict, Optional, Type
+Governors register themselves into the policy API's governor registry
+(:data:`repro.api.registry.GOVERNORS`) with ``@register_governor(name)``;
+the :data:`GOVERNOR_REGISTRY` mapping and :func:`create_governor` factory
+below are views over that registry, kept for the original call sites.
+"""
 
+from typing import Mapping, Optional, Type
+
+from ..api.registry import GOVERNORS
 from ..device.freq_table import FrequencyTable
 from .base import Governor, GovernorObservation
 from .conservative import ConservativeGovernor
@@ -20,30 +27,19 @@ __all__ = [
     "create_governor",
 ]
 
-#: Registry of governor names → classes (mirrors /sys/devices/system/cpu/cpufreq).
-GOVERNOR_REGISTRY: Dict[str, Type[Governor]] = {
-    OndemandGovernor.name: OndemandGovernor,
-    ConservativeGovernor.name: ConservativeGovernor,
-    PerformanceGovernor.name: PerformanceGovernor,
-    PowersaveGovernor.name: PowersaveGovernor,
-    UserspaceGovernor.name: UserspaceGovernor,
-}
+#: Live view of governor names → classes (mirrors /sys/devices/system/cpu/cpufreq).
+GOVERNOR_REGISTRY: Mapping[str, Type[Governor]] = GOVERNORS.components
 
 
 def create_governor(name: str, table: Optional[FrequencyTable] = None, **kwargs) -> Governor:
     """Instantiate a governor by its cpufreq name.
 
     Args:
-        name: one of the keys of :data:`GOVERNOR_REGISTRY`.
+        name: one of the names in :data:`GOVERNOR_REGISTRY`.
         table: frequency table for the target platform (Nexus 4 by default).
         **kwargs: forwarded to the governor constructor.
 
     Raises:
-        KeyError: for unknown governor names.
+        KeyError: for unknown governor names (with a did-you-mean hint).
     """
-    try:
-        cls = GOVERNOR_REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(GOVERNOR_REGISTRY))
-        raise KeyError(f"unknown governor {name!r}; known governors: {known}") from None
-    return cls(table=table, **kwargs)
+    return GOVERNORS.create(name, table=table, **kwargs)

@@ -15,6 +15,7 @@ the minimum frequency level").
 from __future__ import annotations
 
 import abc
+import numbers
 from dataclasses import dataclass
 from typing import Optional
 
@@ -55,11 +56,20 @@ class Governor(abc.ABC):
         return self._level_cap
 
     def set_level_cap(self, level: Optional[int]) -> None:
-        """Install a ceiling on the selectable level (``None`` removes it)."""
+        """Install a ceiling on the selectable level (``None`` removes it).
+
+        Caps are clamped into the table's legal range: a cap at or above
+        ``max_level`` is equivalent to no cap (``is_capped`` stays False), a
+        negative cap clamps to the minimum level.  Only integral levels are
+        accepted — fractional or boolean "levels" are programming errors, not
+        values to truncate silently.
+        """
         if level is None:
             self._level_cap = self.table.max_level
-        else:
-            self._level_cap = self.table.clamp_level(level)
+            return
+        if isinstance(level, bool) or not isinstance(level, numbers.Integral):
+            raise TypeError(f"level cap must be an integer level or None, got {level!r}")
+        self._level_cap = self.table.clamp_level(int(level))
 
     def clear_level_cap(self) -> None:
         """Remove any installed ceiling."""

@@ -11,12 +11,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..api.registry import register_governor
 from ..device.freq_table import FrequencyTable
 from .base import Governor, GovernorObservation
 
 __all__ = ["ConservativeGovernor"]
 
 
+@register_governor("conservative")
 class ConservativeGovernor(Governor):
     """Step-at-a-time utilization governor."""
 

@@ -23,12 +23,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..api.registry import register_governor
 from ..device.freq_table import FrequencyTable
 from .base import Governor, GovernorObservation
 
 __all__ = ["OndemandGovernor"]
 
 
+@register_governor("ondemand")
 class OndemandGovernor(Governor):
     """Utilization-driven baseline governor (Android default)."""
 

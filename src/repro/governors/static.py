@@ -9,12 +9,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..api.registry import register_governor
 from ..device.freq_table import FrequencyTable
 from .base import Governor, GovernorObservation
 
 __all__ = ["PerformanceGovernor", "PowersaveGovernor", "UserspaceGovernor"]
 
 
+@register_governor("performance")
 class PerformanceGovernor(Governor):
     """Always run at the highest allowed frequency."""
 
@@ -24,6 +26,7 @@ class PerformanceGovernor(Governor):
         return self.table.max_level
 
 
+@register_governor("powersave")
 class PowersaveGovernor(Governor):
     """Always run at the lowest frequency."""
 
@@ -33,6 +36,7 @@ class PowersaveGovernor(Governor):
         return self.table.min_level
 
 
+@register_governor("userspace")
 class UserspaceGovernor(Governor):
     """Run at a fixed, user-selected frequency level."""
 

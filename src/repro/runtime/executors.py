@@ -24,7 +24,6 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..device.platform import DevicePlatform
-from ..governors import create_governor
 from ..governors.base import Governor
 from ..sim.logger import SystemLogger
 from .plan import ExperimentCell
@@ -150,7 +149,7 @@ class VectorizedExecutor:
             members.append(
                 PopulationMember(
                     platform=platform,
-                    governor=create_governor(cell.governor, table=platform.freq_table),
+                    governor=cell.build_governor(table=platform.freq_table),
                     thermal_manager=cell.build_manager(),
                     logger=logger,
                     initial_temps=cell.initial_temps,

@@ -27,7 +27,11 @@ from typing import (
     Union,
 )
 
+from ..api.specs import PolicySpec
+from ..core.predictor import RuntimePredictor
+from ..device.freq_table import FrequencyTable
 from ..device.platform import DevicePlatform
+from ..governors import create_governor
 from ..governors.base import Governor
 from ..sim.engine import ThermalManager
 from ..workloads.benchmarks import BENCHMARKS, build_benchmark
@@ -70,9 +74,17 @@ class ExperimentCell:
             or is forwarded to the benchmark builder).
         governor: cpufreq governor name, or a pre-built :class:`Governor`
             instance (an instance must then be exclusive to this cell).
+            Ignored when ``policy`` is given.
         manager_factory: zero-argument callable returning a fresh thermal
             manager (``None`` runs the bare governor).  Must be picklable for
-            the process-pool executor.
+            the process-pool executor.  Mutually exclusive with ``policy``.
+        policy: declarative :class:`~repro.api.specs.PolicySpec` describing
+            both the governor and the (optional) thermal manager.  Specs are
+            plain picklable data, so policy cells cross process boundaries
+            without closures.
+        predictor: trained predictor injected into ``policy``'s manager at
+            build time (the spec itself stays artifact-free); required when
+            the policy's manager spec carries no predictor recipe.
         seed: platform seed (sensor noise) and benchmark-builder seed.
         initial_temps: optional initial node temperatures (°C).
         log_period_s: when set, a :class:`~repro.sim.logger.SystemLogger`
@@ -81,6 +93,11 @@ class ExperimentCell:
             fresh seeded Nexus-4 platform); must be picklable for the
             process-pool executor.  Cells with a custom platform are not
             eligible for vectorized batching.
+        detached_trace: set by :meth:`~repro.runtime.store.ResultStore.load`
+            on cells whose original explicit workload trace was not
+            persisted; such cells are descriptive only and refuse to build a
+            trace (re-running them would silently replay a different
+            workload).
         metadata: free-form labels (user id, scheme, ...) carried through to
             the :class:`~repro.runtime.store.ResultStore`.
     """
@@ -91,26 +108,51 @@ class ExperimentCell:
     duration_s: Optional[float] = None
     governor: Union[str, Governor] = "ondemand"
     manager_factory: Optional[ManagerFactory] = None
+    policy: Optional[PolicySpec] = None
+    predictor: Optional[RuntimePredictor] = None
     seed: int = 0
     initial_temps: Optional[Mapping[str, float]] = None
     log_period_s: Optional[float] = None
     platform_factory: Optional[Callable[[], DevicePlatform]] = None
+    detached_trace: bool = False
     metadata: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.benchmark is None and self.trace is None:
             raise ValueError("a cell needs a benchmark name or an explicit trace")
+        if self.policy is not None:
+            if self.manager_factory is not None:
+                raise ValueError("a cell takes either a policy spec or a manager_factory, not both")
+            if isinstance(self.governor, Governor):
+                raise ValueError("a policy-spec cell must not also carry a governor instance")
+        elif self.predictor is not None:
+            raise ValueError("cell.predictor is only meaningful together with a policy spec")
 
     def build_trace(self) -> WorkloadTrace:
         """Materialise the cell's workload trace."""
+        if self.detached_trace:
+            raise ValueError(
+                f"cell {self.cell_id!r} was loaded from a result store and its "
+                "original workload trace was not persisted; it cannot be re-executed"
+            )
         if self.trace is not None:
             if self.duration_s is not None:
                 return self.trace.truncated(self.duration_s)
             return self.trace
         return build_benchmark(self.benchmark, seed=self.seed, duration_s=self.duration_s)
 
+    def build_governor(self, table: Optional[FrequencyTable] = None) -> Governor:
+        """Build (or return) the cell's governor for a platform's table."""
+        if self.policy is not None:
+            return self.policy.build_governor(table=table)
+        if isinstance(self.governor, Governor):
+            return self.governor
+        return create_governor(self.governor, table=table)
+
     def build_manager(self) -> Optional[ThermalManager]:
         """Build a fresh thermal manager for this cell (or ``None``)."""
+        if self.policy is not None:
+            return self.policy.build_manager(predictor=self.predictor)
         return self.manager_factory() if self.manager_factory is not None else None
 
     def with_metadata(self, **extra: object) -> "ExperimentCell":

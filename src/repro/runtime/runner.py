@@ -12,8 +12,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 from ..device.platform import DevicePlatform
-from ..governors import create_governor
-from ..governors.base import Governor
 from ..sim.engine import Simulator
 from ..sim.logger import SystemLogger
 from .plan import ExperimentCell, ExperimentPlan
@@ -28,26 +26,21 @@ def _build_platform(cell: ExperimentCell) -> DevicePlatform:
     return DevicePlatform(seed=cell.seed)
 
 
-def _build_governor(cell: ExperimentCell, platform: DevicePlatform) -> Governor:
-    if isinstance(cell.governor, Governor):
-        return cell.governor
-    return create_governor(cell.governor, table=platform.freq_table)
-
-
 def run_cell(cell: ExperimentCell) -> CellResult:
     """Execute one experiment cell from scratch and return its result.
 
     Builds the trace, a fresh seeded platform, the governor and (optionally)
-    the thermal manager and logger described by the cell, then replays the
-    trace through :class:`~repro.sim.engine.Simulator`.  Deterministic: the
-    same cell always produces the same :class:`StepRecord` stream, which is
-    what lets the serial, process-pool and vectorized executors be used
-    interchangeably.
+    the thermal manager and logger described by the cell — whether wired by
+    name/factory or declared by a :class:`~repro.api.specs.PolicySpec` —
+    then replays the trace through :class:`~repro.sim.engine.Simulator`.
+    Deterministic: the same cell always produces the same
+    :class:`StepRecord` stream, which is what lets the serial, process-pool
+    and vectorized executors be used interchangeably.
     """
     start = time.perf_counter()
     trace = cell.build_trace()
     platform = _build_platform(cell)
-    governor = _build_governor(cell, platform)
+    governor = cell.build_governor(table=platform.freq_table)
     manager = cell.build_manager()
     logger = SystemLogger(period_s=cell.log_period_s) if cell.log_period_s is not None else None
     simulator = Simulator(
@@ -104,15 +97,22 @@ class BatchRunner:
         return store
 
     @classmethod
-    def for_jobs(cls, jobs: Optional[int]) -> "BatchRunner":
+    def for_jobs(cls, jobs: Optional[int], approx_solve: bool = False) -> "BatchRunner":
         """A runner matching a CLI ``--jobs`` setting.
 
         ``jobs`` of ``None``/``0``/``1`` selects the vectorized in-process
         executor (which batches same-trace cells and runs the rest serially);
         anything above 1 selects a process pool of that many workers.
+
+        Args:
+            jobs: worker-process count (``None``/``0``/``1`` = in-process).
+            approx_solve: let the vectorized executor use the blocked
+                (``exact=False``) multi-RHS thermal solve — faster for large
+                populations, bit-parity with the scalar engine traded for
+                last-ulp-level differences.  Ignored by the process pool.
         """
         from .executors import ProcessPoolCellExecutor, VectorizedExecutor
 
         if jobs is not None and jobs > 1:
             return cls(executor=ProcessPoolCellExecutor(max_workers=jobs))
-        return cls(executor=VectorizedExecutor())
+        return cls(executor=VectorizedExecutor(exact=not approx_solve))

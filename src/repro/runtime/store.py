@@ -4,18 +4,29 @@ A :class:`ResultStore` collects :class:`CellResult` entries as an executor
 streams them back, preserving plan order, and offers the lookups the
 analysis layer needs: by ``cell_id``, by metadata filter, and as flat summary
 rows for tabulation/export.
+
+Stores also round-trip through JSON Lines files (:meth:`ResultStore.save` /
+:meth:`ResultStore.load`): one line per cell, carrying the cell's identity
+(id, benchmark, governor or policy spec, seed, metadata) and the full
+:class:`~repro.sim.results.StepRecord` stream.  JSON serialises floats via
+``repr``, so the records survive the trip bit-for-bit — the first step
+toward out-of-core persistence for sweeps too large to keep in memory.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass, fields
 from typing import Dict, Iterator, List, Optional
 
+from ..api.specs import PolicySpec
 from ..sim.logger import SystemLogger
-from ..sim.results import SimulationResult
+from ..sim.results import SimulationResult, StepRecord
 from .plan import ExperimentCell
 
 __all__ = ["CellResult", "ResultStore"]
+
+_STEP_RECORD_FIELDS = tuple(f.name for f in fields(StepRecord))
 
 
 @dataclass(frozen=True)
@@ -84,6 +95,109 @@ class ResultStore:
         if len(matches) != 1:
             raise LookupError(f"expected exactly one result for {filters!r}, found {len(matches)}")
         return matches[0]
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path) -> int:
+        """Write the store as a JSON Lines file (one cell result per line).
+
+        The cell's identity (id, benchmark, governor name or policy spec,
+        seed, duration and metadata) and the full step-record stream are
+        preserved exactly; workload traces, factories, platform constructors
+        and attached loggers are not serialisable and are dropped.
+
+        Returns:
+            The number of cell results written.
+        """
+        with open(path, "w", encoding="utf-8") as fh:
+            for entry in self._results:
+                fh.write(json.dumps(self._entry_to_jsonable(entry), separators=(",", ":")))
+                fh.write("\n")
+        return len(self._results)
+
+    @classmethod
+    def load(cls, path) -> "ResultStore":
+        """Rebuild a store from a :meth:`save` file.
+
+        Loaded cells are descriptive (benchmark name, governor name or policy
+        spec, seed, metadata) — enough for every lookup, summary and analysis
+        path.  Cells whose workload was rebuilt from a benchmark name remain
+        re-executable; cells that carried an explicit trace come back with
+        ``detached_trace=True`` and refuse to build a trace rather than
+        silently replaying a different workload.
+        """
+        store = cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                store.append(cls._entry_from_jsonable(json.loads(line)))
+        return store
+
+    @staticmethod
+    def _entry_to_jsonable(entry: CellResult) -> Dict[str, object]:
+        cell = entry.cell
+        if cell.policy is not None:
+            # The cell's `governor` field is the ignored dataclass default
+            # for policy cells; the effective governor lives in the spec.
+            governor = cell.policy.governor.name
+        elif isinstance(cell.governor, str):
+            governor = cell.governor
+        else:
+            governor = getattr(cell.governor, "name", type(cell.governor).__name__)
+        benchmark = cell.benchmark
+        if benchmark is None and cell.trace is not None:
+            benchmark = cell.trace.name
+        return {
+            "cell": {
+                "cell_id": cell.cell_id,
+                "benchmark": benchmark,
+                # Benchmark-named cells rebuild their workload faithfully from
+                # (benchmark, seed, duration); explicit traces are not
+                # persisted, so their cells load as descriptive-only.
+                "workload": "trace" if cell.trace is not None else "benchmark",
+                "duration_s": cell.duration_s,
+                "governor": governor,
+                "policy": cell.policy.to_spec() if cell.policy is not None else None,
+                "seed": cell.seed,
+                "metadata": dict(cell.metadata),
+            },
+            "result": {
+                "workload_name": entry.result.workload_name,
+                "governor_name": entry.result.governor_name,
+                "dt_s": entry.result.dt_s,
+                "records": [asdict(record) for record in entry.result.records],
+            },
+            "wall_time_s": entry.wall_time_s,
+        }
+
+    @staticmethod
+    def _entry_from_jsonable(data: Dict[str, object]) -> CellResult:
+        cell_data = data["cell"]
+        result_data = data["result"]
+        policy_spec = cell_data.get("policy")
+        cell = ExperimentCell(
+            cell_id=cell_data["cell_id"],
+            benchmark=cell_data.get("benchmark") or result_data["workload_name"],
+            duration_s=cell_data.get("duration_s"),
+            governor=cell_data.get("governor") or "ondemand",
+            policy=PolicySpec.from_spec(policy_spec) if policy_spec is not None else None,
+            seed=cell_data.get("seed", 0),
+            detached_trace=cell_data.get("workload", "trace") == "trace",
+            metadata=cell_data.get("metadata", {}),
+        )
+        result = SimulationResult(
+            workload_name=result_data["workload_name"],
+            governor_name=result_data["governor_name"],
+            dt_s=result_data["dt_s"],
+        )
+        for record in result_data["records"]:
+            unknown = set(record) - set(_STEP_RECORD_FIELDS)
+            if unknown:
+                raise ValueError(f"unknown step-record field(s) {sorted(unknown)} in {cell.cell_id!r}")
+            result.append(StepRecord(**record))
+        return CellResult(cell=cell, result=result, wall_time_s=data.get("wall_time_s", 0.0))
 
     # -- export ----------------------------------------------------------------
 

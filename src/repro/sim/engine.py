@@ -21,13 +21,17 @@ been observed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Dict, Optional, Protocol, runtime_checkable
 
+from ..api.types import CapDecision, TelemetrySample
 from ..device.platform import DevicePlatform, DeviceStepResult
 from ..governors.base import Governor, GovernorObservation
 from ..workloads.trace import WorkloadSample, WorkloadTrace
 from .logger import SystemLogger
 from .results import SimulationResult, StepRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.session import PolicySession
 
 __all__ = ["ThermalManager", "ManagerDecision", "SimulationKernel", "Simulator"]
 
@@ -75,6 +79,13 @@ class SimulationKernel:
     over a trace; :mod:`repro.runtime` drives many kernels (or their
     vectorized equivalent) over a plan.
 
+    The thermal manager is consulted through the online policy interface
+    (:class:`~repro.api.session.PolicySession`): the kernel is one *client*
+    of the session — it streams the step's telemetry in, gets a
+    :class:`~repro.api.types.CapDecision` back, and applies the cap to the
+    governor, exactly as the on-device daemon applies its decision via
+    ``scaling_max_freq``.
+
     Attributes:
         platform: the simulated handset.
         governor: the baseline DVFS policy.
@@ -86,6 +97,20 @@ class SimulationKernel:
     governor: Governor
     thermal_manager: Optional[ThermalManager] = None
     logger: Optional[SystemLogger] = None
+    _session: Optional["PolicySession"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def policy_session(self) -> "PolicySession":
+        """The online session wrapping this kernel's thermal manager."""
+        # Imported lazily: the session layer sits above the engine.
+        from ..api.session import PolicySession
+
+        if self._session is None or self._session.manager is not self.thermal_manager:
+            # The kernel applies level caps directly; skip the per-decision
+            # cap→frequency resolution in the per-step loop.
+            self._session = PolicySession(manager=self.thermal_manager, resolve_frequency=False)
+        return self._session
 
     def reset(self, initial_temps: Optional[Dict[str, float]] = None) -> None:
         """Reset the platform, governor, manager and logger for a fresh run."""
@@ -118,14 +143,16 @@ class SimulationKernel:
         self._drive_governor(step, dt_s)
         return self._record(step, decision)
 
-    def _consult_manager(self, step: DeviceStepResult) -> ManagerDecision:
+    def _consult_manager(self, step: DeviceStepResult) -> CapDecision:
         if self.thermal_manager is None:
-            return ManagerDecision(level_cap=None)
-        decision = self.thermal_manager.observe(
-            time_s=step.time_s,
-            sensor_readings=step.sensor_readings_c,
-            utilization=step.cpu_state.utilization,
-            frequency_khz=float(step.cpu_state.frequency_khz),
+            return CapDecision.no_cap()
+        decision = self.policy_session().feed(
+            TelemetrySample(
+                time_s=step.time_s,
+                utilization=step.cpu_state.utilization,
+                frequency_khz=float(step.cpu_state.frequency_khz),
+                sensor_readings=step.sensor_readings_c,
+            )
         )
         self.governor.set_level_cap(decision.level_cap)
         return decision
@@ -153,7 +180,7 @@ class SimulationKernel:
 
     # -- internals ---------------------------------------------------------------------
 
-    def _record(self, step: DeviceStepResult, decision: ManagerDecision) -> StepRecord:
+    def _record(self, step: DeviceStepResult, decision: CapDecision) -> StepRecord:
         readings = step.sensor_readings_c
         return StepRecord(
             time_s=step.time_s,

@@ -36,6 +36,24 @@ class TestCliParser:
         assert args.seed == 3
         assert args.model == "m5p"
 
+    def test_serve_and_policy_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--sessions", "500", "--policy", "examples/policy.json", "--smoke"]
+        )
+        assert args.experiment == "serve"
+        assert args.sessions == 500
+        assert args.policy == "examples/policy.json"
+        assert args.smoke is True
+
+    def test_sweep_approx_solve_flag(self):
+        args = build_parser().parse_args(["sweep", "--approx-solve"])
+        assert args.approx_solve is True
+        assert build_parser().parse_args(["sweep"]).approx_solve is False
+
+    def test_policy_rejected_for_experiments_that_ignore_it(self):
+        with pytest.raises(SystemExit, match="--policy only applies"):
+            main(["table1", "--policy", "examples/policy.json"])
+
 
 class TestCliExecution:
     def test_fig4_end_to_end(self, capsys):

@@ -45,6 +45,72 @@ class TestRegistry:
         assert governor.up_threshold == 0.9
 
 
+@pytest.mark.parametrize(
+    "name", ["ondemand", "conservative", "performance", "powersave", "userspace"]
+)
+class TestLevelCapEdges:
+    """Regression tests for set_level_cap edge semantics, per governor."""
+
+    def _fresh(self, name):
+        return create_governor(name, table=TABLE)
+
+    def test_cap_reset_restores_uncapped_selection(self, name):
+        governor = self._fresh(name)
+        reference = self._fresh(name)
+        governor.set_level_cap(2)
+        assert governor.is_capped
+        governor.set_level_cap(None)
+        assert governor.level_cap == TABLE.max_level
+        assert not governor.is_capped
+        for util in (0.05, 0.5, 0.95):
+            obs = observe(util, current=TABLE.max_level)
+            assert governor.select_level(obs) == reference.select_level(obs)
+
+    def test_clear_level_cap_equals_none(self, name):
+        governor = self._fresh(name)
+        governor.set_level_cap(1)
+        governor.clear_level_cap()
+        assert governor.level_cap == TABLE.max_level
+        assert not governor.is_capped
+
+    def test_cap_at_min_level_pins_selection(self, name):
+        governor = self._fresh(name)
+        governor.set_level_cap(TABLE.min_level)
+        assert governor.is_capped
+        assert governor.select_level(observe(1.0, current=TABLE.max_level)) == TABLE.min_level
+
+    def test_out_of_range_caps_clamp(self, name):
+        governor = self._fresh(name)
+        governor.set_level_cap(TABLE.max_level + 50)
+        # A cap at/above the top level is equivalent to no cap at all.
+        assert governor.level_cap == TABLE.max_level
+        assert not governor.is_capped
+        governor.set_level_cap(-7)
+        assert governor.level_cap == TABLE.min_level
+        assert governor.is_capped
+        assert governor.select_level(observe(1.0, current=TABLE.max_level)) == TABLE.min_level
+
+    def test_reset_clears_cap(self, name):
+        governor = self._fresh(name)
+        governor.set_level_cap(3)
+        governor.reset()
+        assert governor.level_cap == TABLE.max_level
+        assert not governor.is_capped
+
+    def test_numpy_integer_caps_accepted(self, name):
+        import numpy as np
+
+        governor = self._fresh(name)
+        governor.set_level_cap(np.int64(4))
+        assert governor.level_cap == 4
+
+    @pytest.mark.parametrize("bad", [2.5, True, "3"], ids=["float", "bool", "str"])
+    def test_non_integral_caps_rejected(self, name, bad):
+        governor = self._fresh(name)
+        with pytest.raises(TypeError, match="integer level or None"):
+            governor.set_level_cap(bad)
+
+
 class TestOndemand:
     def test_high_utilization_jumps_to_max(self, ondemand):
         assert ondemand.select_level(observe(0.95, current=3)) == TABLE.max_level

@@ -1,0 +1,182 @@
+"""Tests for ResultStore JSONL persistence and the opt-in approx solve."""
+
+import numpy as np
+import pytest
+
+from repro.api.specs import GovernorSpec, ManagerSpec, PolicySpec
+from repro.runtime import (
+    BatchRunner,
+    ExperimentCell,
+    ExperimentPlan,
+    ProcessPoolCellExecutor,
+    ResultStore,
+    SerialExecutor,
+    VectorizedExecutor,
+)
+from repro.workloads.benchmarks import build_benchmark
+
+
+def _small_store(trace, linear_predictor):
+    plan = ExperimentPlan()
+    plan.add(
+        ExperimentCell(
+            cell_id="baseline",
+            trace=trace,
+            policy=PolicySpec(governor=GovernorSpec("ondemand")),
+            seed=2,
+            metadata={"scheme": "baseline", "seed": 2},
+        )
+    )
+    plan.add(
+        ExperimentCell(
+            cell_id="usta",
+            trace=trace,
+            policy=PolicySpec(manager=ManagerSpec("usta", params={"skin_limit_c": 32.0})),
+            predictor=linear_predictor,
+            seed=2,
+            metadata={"scheme": "usta", "seed": 2},
+        )
+    )
+    return BatchRunner(executor=SerialExecutor()).run(plan)
+
+
+class TestResultStorePersistence:
+    @pytest.fixture()
+    def trace(self):
+        return build_benchmark("skype", seed=2, duration_s=120)
+
+    def test_save_load_round_trip_is_exact(self, tmp_path, trace, linear_predictor):
+        store = _small_store(trace, linear_predictor)
+        path = tmp_path / "sweep.jsonl"
+        assert store.save(path) == 2
+
+        loaded = ResultStore.load(path)
+        assert len(loaded) == len(store)
+        for original, restored in zip(store, loaded):
+            assert restored.cell.cell_id == original.cell.cell_id
+            assert dict(restored.cell.metadata) == dict(original.cell.metadata)
+            assert restored.cell.seed == original.cell.seed
+            assert restored.result.workload_name == original.result.workload_name
+            assert restored.result.governor_name == original.result.governor_name
+            assert restored.result.dt_s == original.result.dt_s
+            # Bit-exact: JSON floats round-trip through repr.
+            assert restored.result.records == original.result.records
+        assert loaded.summary_rows() == store.summary_rows()
+
+    def test_loaded_store_supports_lookups(self, tmp_path, trace, linear_predictor):
+        store = _small_store(trace, linear_predictor)
+        path = tmp_path / "sweep.jsonl"
+        store.save(path)
+        loaded = ResultStore.load(path)
+        assert loaded.one(scheme="usta").cell.cell_id == "usta"
+        assert len(loaded.select(seed=2)) == 2
+        assert loaded.result_of("baseline").max_skin_temp_c == store.result_of(
+            "baseline"
+        ).max_skin_temp_c
+
+    def test_policy_spec_survives_persistence(self, tmp_path, trace, linear_predictor):
+        store = _small_store(trace, linear_predictor)
+        path = tmp_path / "sweep.jsonl"
+        store.save(path)
+        loaded = ResultStore.load(path)
+        assert loaded.get("usta").cell.policy == store.get("usta").cell.policy
+        assert loaded.get("baseline").cell.policy.manager is None
+
+    def test_saved_governor_field_reflects_policy_spec(self, tmp_path, linear_predictor):
+        import json
+
+        trace = build_benchmark("skype", seed=2, duration_s=30)
+        plan = ExperimentPlan()
+        plan.add(
+            ExperimentCell(
+                cell_id="cons",
+                trace=trace,
+                policy=PolicySpec(governor=GovernorSpec("conservative")),
+                seed=2,
+            )
+        )
+        store = BatchRunner(executor=SerialExecutor()).run(plan)
+        path = tmp_path / "one.jsonl"
+        store.save(path)
+        line = json.loads(path.read_text().splitlines()[0])
+        # The cell's unused `governor` dataclass default must not leak out.
+        assert line["cell"]["governor"] == "conservative"
+
+    def test_loaded_trace_cells_refuse_reexecution(self, tmp_path, trace, linear_predictor):
+        store = _small_store(trace, linear_predictor)
+        path = tmp_path / "sweep.jsonl"
+        store.save(path)
+        loaded = ResultStore.load(path)
+        cell = loaded.get("baseline").cell
+        assert cell.detached_trace
+        with pytest.raises(ValueError, match="cannot be re-executed"):
+            cell.build_trace()
+
+    def test_loaded_benchmark_cells_reexecute_bit_identically(self, tmp_path):
+        from repro.runtime import run_cell
+
+        plan = ExperimentPlan()
+        plan.add(
+            ExperimentCell(
+                cell_id="bench",
+                benchmark="youtube",
+                duration_s=60.0,
+                policy=PolicySpec(governor=GovernorSpec("ondemand")),
+                seed=7,
+            )
+        )
+        store = BatchRunner(executor=SerialExecutor()).run(plan)
+        path = tmp_path / "bench.jsonl"
+        store.save(path)
+        loaded_cell = ResultStore.load(path).get("bench").cell
+        assert not loaded_cell.detached_trace
+        rerun = run_cell(loaded_cell)
+        assert rerun.result.records == store.get("bench").result.records
+
+    def test_unknown_record_field_rejected(self, tmp_path, trace, linear_predictor):
+        store = _small_store(trace, linear_predictor)
+        path = tmp_path / "sweep.jsonl"
+        store.save(path)
+        text = path.read_text()
+        path.write_text(text.replace('"time_s"', '"time_warp"'))
+        with pytest.raises((ValueError, TypeError)):
+            ResultStore.load(path)
+
+
+class TestApproxSolve:
+    def _population_plan(self, trace, linear_predictor):
+        plan = ExperimentPlan()
+        for index, limit in enumerate((31.0, 32.0, 33.0, 36.0)):
+            plan.add(
+                ExperimentCell(
+                    cell_id=f"user{index}",
+                    trace=trace,
+                    policy=PolicySpec(
+                        manager=ManagerSpec("usta", params={"skin_limit_c": limit})
+                    ),
+                    predictor=linear_predictor,
+                    seed=4,
+                )
+            )
+        return plan
+
+    def test_blocked_solve_stays_within_tolerance(self, linear_predictor):
+        trace = build_benchmark("skype", seed=4, duration_s=240)
+        plan = self._population_plan(trace, linear_predictor)
+        exact = BatchRunner(executor=VectorizedExecutor(exact=True)).run(plan)
+        approx = BatchRunner(executor=VectorizedExecutor(exact=False)).run(plan)
+        for entry_exact, entry_approx in zip(exact, approx):
+            e, a = entry_exact.result, entry_approx.result
+            assert np.allclose(a.skin_temps_c(), e.skin_temps_c(), atol=5e-2)
+            assert np.allclose(a.cpu_temps_c(), e.cpu_temps_c(), atol=5e-2)
+            assert a.max_skin_temp_c == pytest.approx(e.max_skin_temp_c, abs=5e-2)
+            assert a.average_frequency_ghz == pytest.approx(e.average_frequency_ghz, abs=0.05)
+
+    def test_for_jobs_wires_approx_flag(self):
+        runner = BatchRunner.for_jobs(None, approx_solve=True)
+        assert isinstance(runner.executor, VectorizedExecutor)
+        assert runner.executor.exact is False
+        default = BatchRunner.for_jobs(None)
+        assert default.executor.exact is True
+        pooled = BatchRunner.for_jobs(4, approx_solve=True)
+        assert isinstance(pooled.executor, ProcessPoolCellExecutor)
