@@ -4,16 +4,29 @@
 # smoke run of the batched experiment runtime (table1 through a 2-worker
 # process pool at a tiny duration scale) and of the online policy-session
 # driver (`repro serve --smoke`).  `make lint` needs ruff on the PATH.
+#
+# The coverage gate (--cov=repro --cov-fail-under=80) switches on
+# automatically when pytest-cov is installed (CI installs it); without it the
+# suite runs plain so laptops with the bare toolchain keep working.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test smoke serve-smoke lint bench-baseline
+# Recursively expanded (=) so the probe only runs for targets that use it.
+COV_FLAGS = $(shell $(PYTHON) -c "import importlib.util as u; print('--cov=repro --cov-fail-under=80' if u.find_spec('pytest_cov') else '')")
+
+.PHONY: check test coverage smoke serve-smoke golden lint bench-baseline
 
 check: test smoke serve-smoke
 
 test:
-	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest -x -q $(COV_FLAGS)
+
+coverage:  # hard-requires pytest-cov (what CI effectively runs via `test`)
+	$(PYTHON) -m pytest -q --cov=repro --cov-fail-under=80
+
+golden:
+	$(PYTHON) -m repro golden
 
 smoke:
 	$(PYTHON) -m repro table1 --scale 0.05 --jobs 2

@@ -24,22 +24,25 @@ from __future__ import annotations
 import importlib
 
 from .registry import (
+    ADAPTERS,
     GOVERNORS,
     MANAGERS,
     PREDICTORS,
     ComponentRegistry,
     UnknownComponentError,
+    register_adapter,
     register_governor,
     register_manager,
     register_predictor,
 )
-from .types import CapDecision, TelemetrySample
+from .types import CapDecision, FeedbackEvent, TelemetrySample
 
 _LAZY_EXPORTS = {
     "SpecError": "specs",
     "GovernorSpec": "specs",
     "PredictorSpec": "specs",
     "ManagerSpec": "specs",
+    "AdapterSpec": "specs",
     "PolicySpec": "specs",
     "PolicySession": "session",
     "SessionPool": "session",
@@ -55,11 +58,14 @@ __all__ = [
     "GOVERNORS",
     "MANAGERS",
     "PREDICTORS",
+    "ADAPTERS",
     "register_governor",
     "register_manager",
     "register_predictor",
+    "register_adapter",
     "CapDecision",
     "TelemetrySample",
+    "FeedbackEvent",
     *sorted(_LAZY_EXPORTS),
 ]
 

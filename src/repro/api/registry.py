@@ -1,12 +1,14 @@
 """Decorator-based component registries for the policy API.
 
-A *policy* — in the sense of :mod:`repro.api.specs` — is assembled from three
+A *policy* — in the sense of :mod:`repro.api.specs` — is assembled from four
 kinds of components: a cpufreq governor, an optional thermal manager (USTA and
-friends) and, for manager construction, a trained run-time predictor.  Each
-kind has one :class:`ComponentRegistry`; implementations register themselves
-with the ``@register_governor("ondemand")`` / ``@register_manager("usta")`` /
-``@register_predictor("trained")`` decorators, and declarative specs resolve
-names through :meth:`ComponentRegistry.create`.
+friends), for manager construction a trained run-time predictor, and an
+optional comfort-limit adapter (the user-feedback loop).  Each kind has one
+:class:`ComponentRegistry`; implementations register themselves with the
+``@register_governor("ondemand")`` / ``@register_manager("usta")`` /
+``@register_predictor("trained")`` / ``@register_adapter("feedback_step")``
+decorators, and declarative specs resolve names through
+:meth:`ComponentRegistry.create`.
 
 The registries live in this leaf module (no ``repro`` imports) so that the
 implementing packages — :mod:`repro.governors`, :mod:`repro.core` — can
@@ -28,9 +30,11 @@ __all__ = [
     "GOVERNORS",
     "MANAGERS",
     "PREDICTORS",
+    "ADAPTERS",
     "register_governor",
     "register_manager",
     "register_predictor",
+    "register_adapter",
 ]
 
 
@@ -137,6 +141,12 @@ MANAGERS = ComponentRegistry(
 #: Run-time predictor builders by kind (``trained``).
 PREDICTORS = ComponentRegistry("predictor", autoload_modules=("repro.core.predictor",))
 
+#: Comfort-limit adapters by strategy name (``fixed``, ``feedback_step``,
+#: ``quantile_tracker``) — the paper's user-feedback loop.
+ADAPTERS = ComponentRegistry(
+    "comfort adapter", autoload_modules=("repro.users.adaptation",)
+)
+
 
 def register_governor(name: str):
     """Register a :class:`~repro.governors.base.Governor` class by cpufreq name."""
@@ -151,3 +161,8 @@ def register_manager(name: str):
 def register_predictor(kind: str):
     """Register a builder returning a :class:`~repro.core.predictor.RuntimePredictor`."""
     return PREDICTORS.register(kind)
+
+
+def register_adapter(name: str):
+    """Register a :class:`~repro.users.adaptation.ComfortAdapter` strategy."""
+    return ADAPTERS.register(name)

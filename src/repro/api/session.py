@@ -19,15 +19,16 @@ regressors (:meth:`~repro.core.predictor.RuntimePredictor.predict_batch`).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.predictor import PredictionFeatures, RuntimePredictor
 from ..core.usta import USTAController
 from ..sim.engine import ThermalManager
+from ..users.adaptation import AdaptiveComfortManager
 from .specs import PolicySpec
-from .types import CapDecision, TelemetrySample
+from .types import CapDecision, FeedbackEvent, TelemetrySample
 
 __all__ = ["PolicySession", "SessionPool", "open_session"]
 
@@ -65,8 +66,23 @@ class PolicySession:
 
     # -- the online loop --------------------------------------------------------
 
-    def feed(self, sample: TelemetrySample) -> CapDecision:
-        """Advance the policy by one telemetry sample and return its decision."""
+    def feed(
+        self,
+        sample: TelemetrySample,
+        feedback: Sequence[FeedbackEvent] = (),
+    ) -> CapDecision:
+        """Advance the policy by one telemetry sample and return its decision.
+
+        Args:
+            sample: the tick's device telemetry.
+            feedback: comfort reports the user filed since the last tick;
+                they are applied to the policy's comfort adapter *before*
+                the cap decision, so a "too hot" tap takes effect on the
+                very next decision.  Raises ``ValueError`` when the policy
+                has no adapter to route them into.
+        """
+        for event in feedback:
+            self.feed_feedback(event)
         if self.manager is None:
             decision = CapDecision.no_cap()
         else:
@@ -81,6 +97,21 @@ class PolicySession:
             )
         self.note_decision(decision)
         return decision
+
+    def feed_feedback(self, event: FeedbackEvent) -> float:
+        """Route one comfort report into the policy's adapter.
+
+        Returns the live comfort limit after the event.  Raises
+        ``ValueError`` for policies without an adapter — silently dropping a
+        user's "too hot" tap would be the worst possible failure mode.
+        """
+        apply = getattr(self.manager, "apply_feedback", None)
+        if apply is None:
+            raise ValueError(
+                "this policy has no comfort adapter; add an 'adapter' entry to "
+                "the policy spec to accept user feedback"
+            )
+        return apply(event)
 
     def note_decision(self, decision: CapDecision) -> None:
         """Record a decision computed out-of-band (batched pool prediction)."""
@@ -103,6 +134,21 @@ class PolicySession:
     def last_decision(self) -> Optional[CapDecision]:
         """The most recent decision (``None`` before the first feed)."""
         return self._last_decision
+
+    @property
+    def current_limit_c(self) -> Optional[float]:
+        """The live skin comfort limit the policy is enforcing.
+
+        For adaptive policies this is the adapter's current estimate; for
+        static USTA it is the configured limit; ``None`` for bare-governor
+        policies with no comfort limit at all.
+        """
+        if self.manager is None:
+            return None
+        limit = getattr(self.manager, "current_limit_c", None)
+        if limit is None:
+            limit = getattr(self.manager, "current_skin_limit_c", None)
+        return limit
 
     @property
     def feed_count(self) -> int:
@@ -190,11 +236,24 @@ class SessionPool:
 
     def get(self, session_id: str) -> PolicySession:
         """The session registered under ``session_id`` (KeyError when missing)."""
-        return self._sessions[session_id]
+        return self._session(session_id)
 
     def close(self, session_id: str) -> None:
         """Remove a session from the pool."""
+        self._session(session_id)  # same known-ids hint as every other lookup
         del self._sessions[session_id]
+
+    def _session(self, session_id: str) -> PolicySession:
+        """Look up a session, or raise a KeyError that names the known ids."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            known = sorted(self._sessions)
+            preview = ", ".join(repr(sid) for sid in known[:8])
+            if len(known) > 8:
+                preview += f", ... ({len(known)} total)"
+            hint = f"known session ids: {preview}" if known else "the pool is empty"
+            raise KeyError(f"unknown session id {session_id!r}; {hint}") from None
 
     def __len__(self) -> int:
         return len(self._sessions)
@@ -216,12 +275,24 @@ class SessionPool:
         the scalar session feed.  Decisions come back keyed and ordered like
         ``samples``.
         """
+        # Unknown ids fail loudly with the known-ids hint (historically a bare
+        # dict KeyError with no context) — and they fail before any session in
+        # the batch has consumed its sample, so a bad batch has no effect.
+        for session_id in samples:
+            self._session(session_id)
         decisions: Dict[str, CapDecision] = {}
         due: Dict[Tuple[int, bool], List[Tuple[str, PolicySession, TelemetrySample]]] = {}
         for session_id, sample in samples.items():
             session = self._sessions[session_id]
             manager = session.manager
             if self._batchable(manager) and manager.prediction_due(sample.time_s):
+                # An adaptive wrapper ingests the tick's user feedback here —
+                # the step its observe() would have run before predicting.
+                # Non-due wrapper ticks go through the scalar feed below,
+                # where observe() ingests it itself.
+                pre_feed = getattr(manager, "pre_feed", None)
+                if pre_feed is not None:
+                    pre_feed(sample)
                 key = (id(manager.predictor), bool(manager.predict_screen))
                 due.setdefault(key, []).append((session_id, session, sample))
             else:
@@ -252,14 +323,24 @@ class SessionPool:
 
         return {session_id: decisions[session_id] for session_id in samples}
 
+    def feed_feedback(self, session_id: str, event: FeedbackEvent) -> float:
+        """Route one comfort report into one session's adapter (live limit back)."""
+        return self._session(session_id).feed_feedback(event)
+
     @staticmethod
     def _batchable(manager) -> bool:
         """True when the batched due/apply split is faithful to ``observe``.
 
         A subclass that overrides ``observe`` itself (rather than the
         ``_cap_for`` hook) may implement logic the split would bypass, so it
-        must go through the scalar session feed.
+        must go through the scalar session feed.  An adaptive wrapper is
+        batchable when the controller it wraps is: its feedback step runs
+        through ``pre_feed`` on due ticks and through ``observe`` otherwise.
         """
+        if isinstance(manager, AdaptiveComfortManager):
+            return type(manager) is AdaptiveComfortManager and SessionPool._batchable(
+                manager.inner
+            )
         return (
             isinstance(manager, USTAController)
             and type(manager).observe is USTAController.observe

@@ -31,13 +31,14 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 from ..core.policy import ThrottlePolicy
-from .registry import GOVERNORS, MANAGERS, PREDICTORS, UnknownComponentError
+from .registry import ADAPTERS, GOVERNORS, MANAGERS, PREDICTORS, UnknownComponentError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.predictor import RuntimePredictor
     from ..device.freq_table import FrequencyTable
     from ..governors.base import Governor
     from ..sim.engine import ThermalManager
+    from ..users.adaptation import ComfortAdapter, UserFeedbackModel
     from ..users.population import ThermalComfortProfile
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
     "GovernorSpec",
     "PredictorSpec",
     "ManagerSpec",
+    "AdapterSpec",
     "PolicySpec",
 ]
 
@@ -195,7 +197,9 @@ class ManagerSpec:
         """The manager's throttle policy, when the spec overrides the default."""
         return ThrottlePolicy.from_spec(self.policy) if self.policy is not None else None
 
-    def for_user(self, profile: "ThermalComfortProfile") -> "ManagerSpec":
+    def for_user(
+        self, profile: "ThermalComfortProfile", exclude: Sequence[str] = ()
+    ) -> "ManagerSpec":
         """A copy of the spec with the comfort limit(s) of one study participant.
 
         The registered manager declares which constructor params come from a
@@ -204,12 +208,20 @@ class ManagerSpec:
         ``skin_limit_c``; the screen-aware variant adds ``screen_limit_c``).
         Managers that declare nothing are returned unchanged, so third-party
         managers without per-user limits survive population sweeps.
+
+        Args:
+            exclude: profile params to leave at the spec's configured value
+                (adaptive policies exclude the limit the feedback loop learns).
         """
         try:
             factory = MANAGERS.get(self.name)
         except UnknownComponentError as exc:
             raise SpecError(str(exc)) from exc
-        mapping = getattr(factory, "profile_params", ())
+        mapping = [
+            (param, attribute)
+            for param, attribute in getattr(factory, "profile_params", ())
+            if param not in exclude
+        ]
         if not mapping:
             return self
         params = dict(self.params)
@@ -273,6 +285,105 @@ class ManagerSpec:
         )
 
 
+#: Keys accepted in an AdapterSpec's simulated-user ``feedback`` mapping;
+#: they mirror :class:`~repro.users.adaptation.UserFeedbackModel`'s fields.
+_FEEDBACK_KEYS = ("true_limit_c", "report_period_s", "comfort_band_c")
+
+
+@dataclass(frozen=True)
+class AdapterSpec:
+    """Declarative description of a comfort-limit adapter (user-feedback loop).
+
+    Attributes:
+        name: registry name (``"fixed"``, ``"feedback_step"``,
+            ``"quantile_tracker"``).
+        params: strategy constructor keyword arguments (``step_down_c``,
+            ``quantile``, clamp bounds, ...).  ``initial_limit_c`` may be set
+            explicitly; otherwise the manager's configured limit is used.
+        feedback: optional simulated-user report-model configuration
+            (:class:`~repro.users.adaptation.UserFeedbackModel` fields).  Its
+            ``true_limit_c`` is what :meth:`for_user` fills in from a study
+            participant; omit the whole mapping for sessions whose feedback
+            arrives externally (a real user).
+    """
+
+    name: str = "feedback_step"
+    params: Mapping[str, object] = field(default_factory=dict)
+    feedback: Optional[Mapping[str, object]] = None
+
+    def __post_init__(self) -> None:
+        _require_name("adapter", self.name)
+        object.__setattr__(self, "params", dict(self.params))
+        if self.feedback is not None:
+            _check_keys("adapter feedback", self.feedback, _FEEDBACK_KEYS)
+            object.__setattr__(self, "feedback", dict(self.feedback))
+
+    def for_user(self, profile: "ThermalComfortProfile") -> "AdapterSpec":
+        """The same adapter with the participant's *true* limit as feedback truth.
+
+        Note the asymmetry with :meth:`ManagerSpec.for_user`: an adaptive
+        policy deliberately keeps the manager's (possibly mis-specified)
+        initial limit — the profile's real limit goes into the simulated
+        user's feedback model, and the loop has to learn it.
+        """
+        feedback = dict(self.feedback) if self.feedback is not None else {}
+        feedback["true_limit_c"] = profile.skin_limit_c
+        return replace(self, feedback=feedback)
+
+    def build(self, initial_limit_c: Optional[float] = None) -> "ComfortAdapter":
+        """Instantiate the adaptation strategy.
+
+        Args:
+            initial_limit_c: starting limit, used when ``params`` does not
+                pin one (callers pass the manager's configured limit so the
+                loop starts exactly where the static policy would sit).
+        """
+        kwargs = dict(self.params)
+        if initial_limit_c is not None:
+            kwargs.setdefault("initial_limit_c", initial_limit_c)
+        try:
+            return ADAPTERS.create(self.name, **kwargs)
+        except UnknownComponentError as exc:
+            raise SpecError(str(exc)) from exc
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"invalid params for adapter {self.name!r}: {exc}") from exc
+
+    def build_feedback(self) -> Optional["UserFeedbackModel"]:
+        """The simulated-user report model, when the spec configures one."""
+        if self.feedback is None:
+            return None
+        if "true_limit_c" not in self.feedback:
+            raise SpecError(
+                f"adapter {self.name!r} feedback config needs 'true_limit_c' "
+                "(call for_user(profile) or set it explicitly)"
+            )
+        from ..users.adaptation import UserFeedbackModel
+
+        try:
+            return UserFeedbackModel(**self.feedback)
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"bad feedback config in adapter {self.name!r}: {exc}") from exc
+
+    def to_spec(self) -> dict:
+        spec: dict = {"name": self.name}
+        if self.params:
+            spec["params"] = dict(self.params)
+        if self.feedback is not None:
+            spec["feedback"] = dict(self.feedback)
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: Union[str, Mapping]) -> "AdapterSpec":
+        if isinstance(spec, str):
+            return cls(name=spec)
+        _check_keys("adapter", spec, ("name", "params", "feedback"), required=("name",))
+        return cls(
+            name=_require_name("adapter", spec["name"]),
+            params=spec.get("params", {}),
+            feedback=spec.get("feedback"),
+        )
+
+
 @dataclass(frozen=True)
 class PolicySpec:
     """One complete DVFS policy: a governor plus an optional thermal manager.
@@ -280,14 +391,39 @@ class PolicySpec:
     This is the unit the CLI's ``--policy policy.json`` consumes, the payload
     an :class:`~repro.runtime.plan.ExperimentCell` carries, and what
     :func:`~repro.api.session.open_session` builds an online session from.
+    An optional :class:`AdapterSpec` turns the manager's comfort limit into a
+    live, feedback-adapted quantity.
     """
 
     governor: GovernorSpec = field(default_factory=GovernorSpec)
     manager: Optional[ManagerSpec] = None
+    adapter: Optional[AdapterSpec] = None
     label: Optional[str] = None
 
+    def __post_init__(self) -> None:
+        if self.adapter is not None and self.manager is None:
+            raise SpecError(
+                "a policy adapter needs a thermal manager to act on "
+                "(set 'manager' alongside 'adapter')"
+            )
+
     def for_user(self, profile: "ThermalComfortProfile") -> "PolicySpec":
-        """The same policy configured for one participant's comfort limits."""
+        """The same policy configured for one participant.
+
+        Static policies get the participant's comfort limit(s) frozen into
+        the manager spec.  Adaptive policies keep the manager's initial
+        *skin* limit — that is the quantity the feedback loop must learn,
+        pointed at the participant's true value via
+        :meth:`AdapterSpec.for_user` — while every other per-user manager
+        param (e.g. ``usta-screen``'s screen limit, which no adapter
+        touches) is still personalised.
+        """
+        if self.adapter is not None:
+            return replace(
+                self,
+                manager=self.manager.for_user(profile, exclude=("skin_limit_c",)),
+                adapter=self.adapter.for_user(profile),
+            )
         if self.manager is None:
             return self
         return replace(self, manager=self.manager.for_user(profile))
@@ -309,6 +445,8 @@ class PolicySpec:
                 MANAGERS.get(self.manager.name)
                 if self.manager.predictor is not None:
                     PREDICTORS.get(self.manager.predictor.kind)
+            if self.adapter is not None:
+                ADAPTERS.get(self.adapter.name)
         except UnknownComponentError as exc:
             raise SpecError(str(exc)) from exc
         return self
@@ -324,10 +462,33 @@ class PolicySpec:
         predictor: Optional["RuntimePredictor"] = None,
         table: Optional["FrequencyTable"] = None,
     ) -> Optional["ThermalManager"]:
-        """Instantiate the thermal manager (``None`` for a bare-governor policy)."""
+        """Instantiate the thermal manager (``None`` for a bare-governor policy).
+
+        With an :class:`AdapterSpec` present the manager comes back wrapped in
+        an :class:`~repro.users.adaptation.AdaptiveComfortManager` whose
+        adapter starts at the manager's configured limit.
+        """
         if self.manager is None:
             return None
-        return self.manager.build(predictor=predictor, table=table)
+        manager = self.manager.build(predictor=predictor, table=table)
+        if self.adapter is None:
+            return manager
+        from ..users.adaptation import AdaptiveComfortManager
+
+        adapter = self.adapter.build(
+            initial_limit_c=getattr(manager, "skin_limit_c", None)
+        )
+        try:
+            return AdaptiveComfortManager(
+                inner=manager,
+                adapter=adapter,
+                feedback=self.adapter.build_feedback(),
+            )
+        except TypeError as exc:
+            raise SpecError(
+                f"adapter {self.adapter.name!r} cannot wrap manager "
+                f"{self.manager.name!r}: {exc}"
+            ) from exc
 
     # -- serialization ----------------------------------------------------------
 
@@ -336,6 +497,8 @@ class PolicySpec:
         spec: dict = {"governor": self.governor.to_spec()}
         if self.manager is not None:
             spec["manager"] = self.manager.to_spec()
+        if self.adapter is not None:
+            spec["adapter"] = self.adapter.to_spec()
         if self.label is not None:
             spec["label"] = self.label
         return spec
@@ -343,14 +506,16 @@ class PolicySpec:
     @classmethod
     def from_spec(cls, spec: Mapping) -> "PolicySpec":
         """Parse a dictionary produced by :meth:`to_spec` (or hand-written)."""
-        _check_keys("policy", spec, ("governor", "manager", "label"))
+        _check_keys("policy", spec, ("governor", "manager", "adapter", "label"))
         manager = spec.get("manager")
+        adapter = spec.get("adapter")
         label = spec.get("label")
         if label is not None and not isinstance(label, str):
             raise SpecError(f"a policy spec's 'label' must be a string, got {label!r}")
         return cls(
             governor=GovernorSpec.from_spec(spec.get("governor", "ondemand")),
             manager=ManagerSpec.from_spec(manager) if manager is not None else None,
+            adapter=AdapterSpec.from_spec(adapter) if adapter is not None else None,
             label=label,
         )
 

@@ -6,6 +6,12 @@ decisions that it writes to ``scaling_max_freq``.  :class:`TelemetrySample`
 and :class:`CapDecision` are those two messages; :class:`~repro.api.session.
 PolicySession` maps one onto the other.
 
+A third message, :class:`FeedbackEvent`, travels in the opposite direction of
+the telemetry: it is the user's thumb on the scale ("this is too hot" / "this
+is fine"), the signal the paper's user-feedback loop adapts the comfort limit
+from.  Sessions route feedback events into a
+:class:`~repro.users.adaptation.ComfortAdapter`.
+
 This module is intentionally a leaf (stdlib imports only) so the simulation
 engine can speak the session wire format without import cycles.
 """
@@ -15,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
-__all__ = ["TelemetrySample", "CapDecision"]
+__all__ = ["TelemetrySample", "CapDecision", "FeedbackEvent"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +62,49 @@ class TelemetrySample:
 
 
 @dataclass(frozen=True)
+class FeedbackEvent:
+    """One explicit comfort report from the (real or simulated) user.
+
+    Attributes:
+        time_s: device uptime of the report.
+        kind: ``"discomfort"`` ("too hot right now") or ``"comfort"``
+            ("perfectly fine right now").
+        skin_temp_c: the skin temperature the user was feeling when they
+            reported, when known; adapters that track the comfort threshold
+            (rather than just stepping the limit) need it.
+    """
+
+    DISCOMFORT = "discomfort"
+    COMFORT = "comfort"
+
+    time_s: float
+    kind: str
+    skin_temp_c: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (self.DISCOMFORT, self.COMFORT):
+            raise ValueError(
+                f"feedback kind must be {self.DISCOMFORT!r} or {self.COMFORT!r}, "
+                f"got {self.kind!r}"
+            )
+
+    @property
+    def is_discomfort(self) -> bool:
+        """True for a "too hot" report."""
+        return self.kind == self.DISCOMFORT
+
+    @classmethod
+    def discomfort(cls, time_s: float, skin_temp_c: Optional[float] = None) -> "FeedbackEvent":
+        """A "too hot" report."""
+        return cls(time_s=time_s, kind=cls.DISCOMFORT, skin_temp_c=skin_temp_c)
+
+    @classmethod
+    def comfort(cls, time_s: float, skin_temp_c: Optional[float] = None) -> "FeedbackEvent":
+        """A "feels fine" report."""
+        return cls(time_s=time_s, kind=cls.COMFORT, skin_temp_c=skin_temp_c)
+
+
+@dataclass(frozen=True)
 class CapDecision:
     """What the policy decided after one telemetry sample.
 
@@ -67,12 +116,17 @@ class CapDecision:
         predicted_skin_temp_c: the skin prediction behind the decision (held
             from the last prediction window between predictions).
         predicted_screen_temp_c: the screen prediction, when computed.
+        comfort_limit_c: the live skin comfort limit the decision was made
+            against (``None`` for policies without one); under an adaptive
+            policy this is the limit the feedback loop has converged to so
+            far, not the profile's frozen value.
     """
 
     level_cap: Optional[int]
     max_frequency_khz: Optional[int] = None
     predicted_skin_temp_c: Optional[float] = None
     predicted_screen_temp_c: Optional[float] = None
+    comfort_limit_c: Optional[float] = None
 
     @property
     def active(self) -> bool:
@@ -96,6 +150,7 @@ class CapDecision:
             max_frequency_khz=max_khz,
             predicted_skin_temp_c=decision.predicted_skin_temp_c,
             predicted_screen_temp_c=decision.predicted_screen_temp_c,
+            comfort_limit_c=getattr(decision, "comfort_limit_c", None),
         )
 
 

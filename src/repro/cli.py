@@ -24,6 +24,12 @@ runtime in :mod:`repro.runtime` exists for.
 Policies are declarative: ``--policy policy.json`` points ``sweep`` and
 ``serve`` at a :class:`~repro.api.specs.PolicySpec` file instead of the
 hardcoded USTA-over-ondemand default (see ``examples/policy.json``).
+``--adapter feedback_step`` switches the user-feedback loop on: every user
+starts at the default comfort limit and the policy adapts it online from
+simulated comfort reports (``examples/adaptive_policy.json`` shows the
+spec-file equivalent).  ``adapt`` prints the adapters' convergence report
+and ``golden`` checks (or ``--update`` regenerates) the committed bit-exact
+regression files under ``tests/golden/``.
 ``serve`` replays one benchmark's telemetry into thousands of concurrent
 online :class:`~repro.api.session.PolicySession` instances (``--sessions``),
 with predictions batched across sessions; ``--smoke`` shrinks it to a CI-
@@ -67,10 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all", "sweep", "serve"),
+        choices=EXPERIMENTS + ("all", "sweep", "serve", "adapt", "golden"),
         help=(
             "which paper result to regenerate ('sweep' for a population sweep, "
-            "'serve' for the online policy-session driver)"
+            "'serve' for the online policy-session driver, 'adapt' for the "
+            "comfort-limit adaptation convergence report, 'golden' to check or "
+            "--update the committed golden regression files)"
         ),
     )
     parser.add_argument(
@@ -112,9 +120,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="policy spec JSON for sweep/serve (default: user-specific USTA over ondemand)",
     )
     parser.add_argument(
+        "--adapter",
+        default=None,
+        metavar="NAME",
+        help=(
+            "comfort-limit adapter for sweep/serve (fixed, feedback_step, "
+            "quantile_tracker); sweeps then start every user at the default "
+            "limit and adapt it from simulated feedback.  For 'adapt' it "
+            "restricts the convergence report to one strategy."
+        ),
+    )
+    parser.add_argument(
         "--approx-solve",
         action="store_true",
         help="sweep: allow the blocked (non-bit-exact) vectorized thermal solve",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="golden: regenerate the committed expectation files instead of checking them",
+    )
+    parser.add_argument(
+        "--golden-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "golden: directory of the expectation files (default: the "
+            "repository's tests/golden, wherever the CLI is run from)"
+        ),
     )
     parser.add_argument(
         "--sessions",
@@ -151,6 +184,25 @@ def _load_policy(args: argparse.Namespace):
     return args._policy_spec
 
 
+def _apply_adapter(policy, args: argparse.Namespace):
+    """Overlay ``--adapter`` onto a policy spec (validated against the registry)."""
+    if args.adapter is None:
+        return policy
+    from dataclasses import replace
+
+    from .api.registry import ADAPTERS, UnknownComponentError
+    from .api.specs import AdapterSpec, SpecError
+
+    try:
+        ADAPTERS.get(args.adapter)
+    except UnknownComponentError as exc:
+        raise SystemExit(f"repro-usta: {exc}")
+    try:
+        return replace(policy, adapter=AdapterSpec(name=args.adapter))
+    except SpecError as exc:
+        raise SystemExit(f"repro-usta: --adapter {args.adapter}: {exc}")
+
+
 def _cell_predictor(context: ReproductionContext, policy):
     """The predictor to inject into a policy's manager (or ``None``).
 
@@ -182,6 +234,7 @@ def _run_sweep(context: ReproductionContext, args: argparse.Namespace) -> str:
     policy = _load_policy(args)
     if policy is None:
         policy = context.usta_policy_spec()
+    policy = _apply_adapter(policy, args)
 
     plan = ExperimentPlan()
     for rep in range(args.repeat):
@@ -204,15 +257,19 @@ def _run_sweep(context: ReproductionContext, args: argparse.Namespace) -> str:
     elapsed = time.perf_counter() - start
 
     lines = [
-        f"{'member':>12} {'limit °C':>9} {'peak skin °C':>13} {'% over limit':>13}"
-        f" {'avg GHz':>8} {'USTA on %':>10}"
+        f"{'member':>12} {'limit °C':>9} {'end limit °C':>13} {'peak skin °C':>13}"
+        f" {'% over limit':>13} {'avg GHz':>8} {'USTA on %':>10}"
     ]
     profiles = {p.user_id: p for p in context.population}
     for entry in store:
         profile = profiles[entry.cell.metadata["user_id"]]
         result = entry.result
+        # Under an adaptive policy the live limit the run *ended* on shows how
+        # far the feedback loop moved from the (mis-specified) starting limit.
+        end_limit = result.records[-1].comfort_limit_c if result.records else None
         lines.append(
             f"{entry.cell.cell_id:>12} {profile.skin_limit_c:>9.1f}"
+            f" {'-' if end_limit is None else format(end_limit, '.2f'):>13}"
             f" {result.max_skin_temp_c:>13.2f}"
             f" {result.percent_time_over(profile.skin_limit_c):>13.1f}"
             f" {result.average_frequency_ghz:>8.3f}"
@@ -260,6 +317,7 @@ def _run_experiment(name: str, context: ReproductionContext, args: argparse.Name
 def _run_serve(context: ReproductionContext, args: argparse.Namespace) -> str:
     """Drive a population of online policy sessions from replayed telemetry."""
     from .api.serve import run_serve
+    from .api.specs import ManagerSpec, PolicySpec
     from .workloads.benchmarks import BENCHMARKS
 
     if args.benchmark not in BENCHMARKS:
@@ -268,14 +326,72 @@ def _run_serve(context: ReproductionContext, args: argparse.Namespace) -> str:
             f"repro-usta serve: unknown benchmark {args.benchmark!r}; choose from: {known}"
         )
     duration = BENCHMARKS[args.benchmark].duration_s * args.scale
+    policy = _load_policy(args)
+    if args.adapter is not None:
+        # --adapter needs an explicit manager policy to wrap; mirror run_serve's
+        # default here so the two flags compose.
+        if policy is None:
+            policy = PolicySpec(manager=ManagerSpec("usta"))
+        policy = _apply_adapter(policy, args)
     report = run_serve(
         context,
         benchmark=args.benchmark,
         duration_s=duration,
         sessions=args.sessions,
-        policy=_load_policy(args),
+        policy=policy,
     )
     return report.render()
+
+
+def _run_adapt(args: argparse.Namespace) -> int:
+    """Render the comfort-limit adaptation convergence report (no context needed)."""
+    from .analysis.adaptation import adaptation_trajectories, render_adaptation
+    from .api.registry import ADAPTERS, UnknownComponentError
+
+    if args.adapter is not None:
+        try:
+            ADAPTERS.get(args.adapter)
+        except UnknownComponentError as exc:
+            raise SystemExit(f"repro-usta adapt: {exc}")
+    names = (args.adapter,) if args.adapter is not None else ADAPTERS.names()
+    for name in names:
+        print(f"Adaptation convergence — {name} (open-loop synthetic limit probe)")
+        print(render_adaptation(adaptation_trajectories(name)))
+        print()
+    print(
+        "note: the probe ignores the cap, so step controllers (feedback_step)\n"
+        "ride their clamp here by design — they regulate in closed loop, while\n"
+        "the trackers are the ones expected to converge to each true limit."
+    )
+    return 0
+
+
+def _run_golden(args: argparse.Namespace) -> int:
+    """Check (or --update) the committed golden regression files."""
+    from .runtime.golden import GOLDEN_DIR, verify_golden, write_golden
+
+    directory = args.golden_dir if args.golden_dir is not None else GOLDEN_DIR
+    if args.golden_dir is None and not GOLDEN_DIR.parent.is_dir():
+        # The default anchors to <repo>/tests/golden; for an installed package
+        # that path does not exist, and "missing golden file" / writing into
+        # site-packages would both mislead.
+        raise SystemExit(
+            f"repro-usta golden: no golden directory at {GOLDEN_DIR}; "
+            "run from a repository checkout or pass --golden-dir"
+        )
+    if args.update:
+        paths = write_golden(directory)
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
+    problems = verify_golden(directory)
+    if not problems:
+        print(f"golden files in {directory} are bit-identical")
+        return 0
+    for scenario, problem in sorted(problems.items()):
+        print(f"golden drift in {scenario}: {problem}")
+    print("run `python -m repro golden --update` if the change is intended")
+    return 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -290,6 +406,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"repro-usta: --policy only applies to 'sweep' and 'serve', "
             f"not {args.experiment!r}"
         )
+    if args.adapter is not None and args.experiment not in ("sweep", "serve", "adapt"):
+        raise SystemExit(
+            f"repro-usta: --adapter only applies to 'sweep', 'serve' and 'adapt', "
+            f"not {args.experiment!r}"
+        )
+    if (args.update or args.golden_dir is not None) and args.experiment != "golden":
+        raise SystemExit(
+            f"repro-usta: --update/--golden-dir only apply to 'golden', "
+            f"not {args.experiment!r}"
+        )
+
+    # Context-free subcommands: neither needs the trained predictor, so they
+    # dispatch before the expensive reproduction-context build.
+    if args.experiment == "adapt":
+        return _run_adapt(args)
+    if args.experiment == "golden":
+        return _run_golden(args)
 
     if args.experiment == "serve" and args.smoke:
         # CI-sized serve run: a short trace and a small session population.

@@ -80,7 +80,7 @@ class ScreenAwareUSTAController(USTAController):
         maps onto a cap.
         """
         skin_cap = self.policy.cap_for_prediction(
-            prediction.skin_temp_c, self.skin_limit_c, self.table
+            prediction.skin_temp_c, self.current_skin_limit_c, self.table
         )
         screen_cap: Optional[int] = None
         if prediction.screen_temp_c is not None:

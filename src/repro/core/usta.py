@@ -92,6 +92,10 @@ class USTAController:
         self._last_screen_prediction: Optional[float] = None
         self._total_latency_s: float = 0.0
         self._prediction_count: int = 0
+        # The live limit the cap computation reads.  It starts at (and resets
+        # to) the configured profile value; a comfort adapter moves it through
+        # set_skin_limit as the user-feedback loop learns.
+        self._live_limit_c: float = self.skin_limit_c
 
     # -- configuration helpers ---------------------------------------------------------
 
@@ -107,8 +111,27 @@ class USTAController:
 
     @property
     def activation_temp_c(self) -> float:
-        """Skin temperature above which USTA starts intervening."""
-        return self.skin_limit_c - self.policy.activation_margin_c
+        """Skin temperature above which USTA starts intervening (live limit)."""
+        return self.current_skin_limit_c - self.policy.activation_margin_c
+
+    @property
+    def current_skin_limit_c(self) -> float:
+        """The live comfort limit the cap computation uses.
+
+        Equal to the configured ``skin_limit_c`` until a comfort adapter
+        (:mod:`repro.users.adaptation`) moves it via :meth:`set_skin_limit`.
+        """
+        return self._live_limit_c
+
+    def set_skin_limit(self, limit_c: float) -> None:
+        """Install a new live comfort limit (the user-feedback loop's knob).
+
+        The configured ``skin_limit_c`` is untouched — :meth:`reset` returns
+        to it — so a run always starts from the declared profile value.
+        """
+        if not 25.0 < limit_c < 60.0:
+            raise ValueError("skin limit must be a plausible skin-temperature limit")
+        self._live_limit_c = float(limit_c)
 
     # -- run-time statistics --------------------------------------------------------------
 
@@ -144,6 +167,7 @@ class USTAController:
         self._last_screen_prediction = None
         self._total_latency_s = 0.0
         self._prediction_count = 0
+        self._live_limit_c = self.skin_limit_c
 
     def observe(
         self,
@@ -193,10 +217,11 @@ class USTAController:
             level_cap=self._current_cap,
             predicted_skin_temp_c=self._last_prediction,
             predicted_screen_temp_c=self._last_screen_prediction,
+            comfort_limit_c=self._live_limit_c,
         )
 
     def _cap_for(self, prediction: SkinScreenPrediction) -> Optional[int]:
         """Map one prediction onto a frequency-level cap (subclass hook)."""
         return self.policy.cap_for_prediction(
-            prediction.skin_temp_c, self.skin_limit_c, self.table
+            prediction.skin_temp_c, self.current_skin_limit_c, self.table
         )

@@ -27,7 +27,7 @@ from typing import (
     Union,
 )
 
-from ..api.specs import PolicySpec
+from ..api.specs import AdapterSpec, PolicySpec
 from ..core.predictor import RuntimePredictor
 from ..device.freq_table import FrequencyTable
 from ..device.platform import DevicePlatform
@@ -82,6 +82,10 @@ class ExperimentCell:
             both the governor and the (optional) thermal manager.  Specs are
             plain picklable data, so policy cells cross process boundaries
             without closures.
+        adapter: optional :class:`~repro.api.specs.AdapterSpec` overlaid on
+            ``policy`` (it overrides any adapter the policy already names),
+            so one sweep can compare static vs. adaptive users without
+            cloning the whole policy per cell.  Requires ``policy``.
         predictor: trained predictor injected into ``policy``'s manager at
             build time (the spec itself stays artifact-free); required when
             the policy's manager spec carries no predictor recipe.
@@ -109,6 +113,7 @@ class ExperimentCell:
     governor: Union[str, Governor] = "ondemand"
     manager_factory: Optional[ManagerFactory] = None
     policy: Optional[PolicySpec] = None
+    adapter: Optional[AdapterSpec] = None
     predictor: Optional[RuntimePredictor] = None
     seed: int = 0
     initial_temps: Optional[Mapping[str, float]] = None
@@ -127,6 +132,8 @@ class ExperimentCell:
                 raise ValueError("a policy-spec cell must not also carry a governor instance")
         elif self.predictor is not None:
             raise ValueError("cell.predictor is only meaningful together with a policy spec")
+        elif self.adapter is not None:
+            raise ValueError("cell.adapter is only meaningful together with a policy spec")
 
     def build_trace(self) -> WorkloadTrace:
         """Materialise the cell's workload trace."""
@@ -152,8 +159,14 @@ class ExperimentCell:
     def build_manager(self) -> Optional[ThermalManager]:
         """Build a fresh thermal manager for this cell (or ``None``)."""
         if self.policy is not None:
-            return self.policy.build_manager(predictor=self.predictor)
+            return self.effective_policy().build_manager(predictor=self.predictor)
         return self.manager_factory() if self.manager_factory is not None else None
+
+    def effective_policy(self) -> Optional[PolicySpec]:
+        """The cell's policy with any cell-level adapter overlaid."""
+        if self.policy is None or self.adapter is None:
+            return self.policy
+        return replace(self.policy, adapter=self.adapter)
 
     def with_metadata(self, **extra: object) -> "ExperimentCell":
         """A copy of the cell with additional metadata entries."""

@@ -19,7 +19,7 @@ import json
 from dataclasses import asdict, dataclass, fields
 from typing import Dict, Iterator, List, Optional
 
-from ..api.specs import PolicySpec
+from ..api.specs import AdapterSpec, PolicySpec
 from ..sim.logger import SystemLogger
 from ..sim.results import SimulationResult, StepRecord
 from .plan import ExperimentCell
@@ -160,6 +160,7 @@ class ResultStore:
                 "duration_s": cell.duration_s,
                 "governor": governor,
                 "policy": cell.policy.to_spec() if cell.policy is not None else None,
+                "adapter": cell.adapter.to_spec() if cell.adapter is not None else None,
                 "seed": cell.seed,
                 "metadata": dict(cell.metadata),
             },
@@ -177,12 +178,14 @@ class ResultStore:
         cell_data = data["cell"]
         result_data = data["result"]
         policy_spec = cell_data.get("policy")
+        adapter_spec = cell_data.get("adapter")
         cell = ExperimentCell(
             cell_id=cell_data["cell_id"],
             benchmark=cell_data.get("benchmark") or result_data["workload_name"],
             duration_s=cell_data.get("duration_s"),
             governor=cell_data.get("governor") or "ondemand",
             policy=PolicySpec.from_spec(policy_spec) if policy_spec is not None else None,
+            adapter=AdapterSpec.from_spec(adapter_spec) if adapter_spec is not None else None,
             seed=cell_data.get("seed", 0),
             detached_trace=cell_data.get("workload", "trace") == "trace",
             metadata=cell_data.get("metadata", {}),

@@ -482,6 +482,7 @@ def simulate_population(
                     predicted_skin_temp_c=decision.predicted_skin_temp_c,
                     predicted_screen_temp_c=decision.predicted_screen_temp_c,
                     usta_active=decision.active and governor.is_capped,
+                    comfort_limit_c=decision.comfort_limit_c,
                 )
             )
 

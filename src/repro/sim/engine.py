@@ -38,11 +38,17 @@ __all__ = ["ThermalManager", "ManagerDecision", "SimulationKernel", "Simulator"]
 
 @dataclass(frozen=True)
 class ManagerDecision:
-    """What a thermal manager decided after one observation."""
+    """What a thermal manager decided after one observation.
+
+    ``comfort_limit_c`` carries the live skin comfort limit the decision was
+    made against (``None`` for managers without one); under an adaptive
+    policy it is the limit the user-feedback loop has learned so far.
+    """
 
     level_cap: Optional[int]
     predicted_skin_temp_c: Optional[float] = None
     predicted_screen_temp_c: Optional[float] = None
+    comfort_limit_c: Optional[float] = None
 
     @property
     def active(self) -> bool:
@@ -202,6 +208,7 @@ class SimulationKernel:
             predicted_skin_temp_c=decision.predicted_skin_temp_c,
             predicted_screen_temp_c=decision.predicted_screen_temp_c,
             usta_active=decision.active and self.governor.is_capped,
+            comfort_limit_c=decision.comfort_limit_c,
         )
 
 

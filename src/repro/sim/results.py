@@ -41,6 +41,9 @@ class StepRecord:
     predicted_skin_temp_c: Optional[float] = None
     predicted_screen_temp_c: Optional[float] = None
     usta_active: bool = False
+    #: Live skin comfort limit the manager decided against (None = no manager
+    #: or a manager without one); adaptive policies move it over the run.
+    comfort_limit_c: Optional[float] = None
 
 
 @dataclass

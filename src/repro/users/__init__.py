@@ -1,5 +1,13 @@
-"""User-study substrate: comfort profiles, comfort analysis, satisfaction model."""
+"""User-study substrate: comfort profiles, analysis, satisfaction, adaptation."""
 
+from .adaptation import (
+    AdaptiveComfortManager,
+    ComfortAdapter,
+    FeedbackStep,
+    FixedLimit,
+    QuantileTracker,
+    UserFeedbackModel,
+)
 from .comfort import ComfortAnalysis, analyse_comfort, analyse_for_user, discomfort_onset_time
 from .population import (
     DEFAULT_USER_ID,
@@ -16,6 +24,12 @@ from .satisfaction import (
 )
 
 __all__ = [
+    "AdaptiveComfortManager",
+    "ComfortAdapter",
+    "FeedbackStep",
+    "FixedLimit",
+    "QuantileTracker",
+    "UserFeedbackModel",
     "ComfortAnalysis",
     "analyse_comfort",
     "analyse_for_user",

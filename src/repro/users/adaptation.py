@@ -1,0 +1,438 @@
+"""Online adaptation of the comfort limit — the paper's user-feedback loop.
+
+The paper's defining claim is that the skin-temperature cap should be
+*user-specific*, and it sketches how the limit would be obtained in practice:
+start from a population default and adapt as the user reports discomfort (or
+its absence).  This module makes that loop a first-class, pluggable component:
+
+* :class:`ComfortAdapter` — the strategy protocol: consume one
+  :class:`~repro.api.types.FeedbackEvent`, expose the live ``current_limit_c``;
+* :class:`FixedLimit` — the no-op baseline (a static per-profile limit,
+  exactly what the reproduction hard-coded before this module);
+* :class:`FeedbackStep` — AIMD-style stepping: shift the limit down by a
+  large step on discomfort, creep it back up by a small step on comfort,
+  with a refractory hold-off (hysteresis) and hard clamp bounds;
+* :class:`QuantileTracker` — converge the limit toward the temperature at
+  which the user's satisfaction flips, by pulling the estimate toward the
+  felt temperature of near-limit reports with asymmetric, decaying gains
+  (the quantile parameter weights the "too hot" side against the "fine"
+  side, so low quantiles learn conservative limits);
+* :class:`UserFeedbackModel` — the satisfaction-driven event generator for
+  simulated users: every report period it compares the felt skin temperature
+  against the profile's true limit and emits discomfort above it or comfort
+  just below it (far-below temperatures elicit no report — users do not
+  volunteer "my phone is pleasantly cold");
+* :class:`AdaptiveComfortManager` — the thermal-manager wrapper that threads
+  the loop through every execution surface: it generates (or receives)
+  feedback, lets the adapter update the limit, pushes the live limit into
+  the wrapped USTA controller via ``set_skin_limit``, and then defers the
+  cap decision to it.  Because it implements the plain
+  :class:`~repro.sim.engine.ThermalManager` protocol it runs unchanged under
+  the scalar kernel, the process pool and the vectorized population engine.
+
+Simulated users "feel" the *skin sensor reading* rather than the internal
+node temperature: it is the only skin signal present on every execution path
+(scalar telemetry and vectorized population alike), and its noise doubles as
+perception noise.  This is what makes adaptive cells bit-identical across all
+three executors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, runtime_checkable
+
+from ..api.registry import register_adapter
+from ..api.types import FeedbackEvent
+
+__all__ = [
+    "ComfortAdapter",
+    "FixedLimit",
+    "FeedbackStep",
+    "QuantileTracker",
+    "UserFeedbackModel",
+    "AdaptiveComfortManager",
+    "WARM_START_TEMPS",
+]
+
+#: Internal node temperatures of a device that has been busy for a while —
+#: the shared warm-start profile for adaptation experiments (the analysis
+#: frontier, the golden sweep scenario, parity tests), so short traces reach
+#: comfort-relevant skin temperatures immediately.
+WARM_START_TEMPS = {
+    "cpu": 48.0,
+    "board": 40.0,
+    "battery": 37.0,
+    "back_cover": 34.5,
+    "screen": 33.5,
+}
+
+
+@runtime_checkable
+class ComfortAdapter(Protocol):
+    """Protocol implemented by comfort-limit adaptation strategies."""
+
+    def observe(self, event: FeedbackEvent) -> float:
+        """Consume one feedback event and return the (possibly updated) limit."""
+        ...
+
+    def reset(self) -> None:
+        """Return to the initial limit before a fresh run."""
+        ...
+
+    @property
+    def current_limit_c(self) -> float:
+        """The live comfort limit (°C)."""
+        ...
+
+
+def _check_bounds(min_limit_c: float, max_limit_c: float, initial_limit_c: float) -> None:
+    if not min_limit_c < max_limit_c:
+        raise ValueError("min_limit_c must be strictly below max_limit_c")
+    if not (25.0 < min_limit_c and max_limit_c < 60.0):
+        raise ValueError("clamp bounds must lie in the plausible (25, 60) °C range")
+    if not (min_limit_c <= initial_limit_c <= max_limit_c):
+        raise ValueError("initial_limit_c must lie within the clamp bounds")
+
+
+@register_adapter("fixed")
+@dataclass
+class FixedLimit:
+    """The no-op baseline: the limit never moves, whatever the user reports.
+
+    This is exactly the pre-adaptation behaviour (a frozen per-profile
+    ``skin_limit_c``), kept as a registered strategy so static and adaptive
+    policies differ by one spec field and nothing else.
+    """
+
+    initial_limit_c: float = 37.0
+
+    #: Registry/label name (no annotation: class attribute, not a field).
+    name = "fixed"
+
+    def __post_init__(self) -> None:
+        if not 25.0 < self.initial_limit_c < 60.0:
+            raise ValueError("initial_limit_c must be a plausible skin-temperature limit")
+        self._limit_c = self.initial_limit_c
+
+    @property
+    def current_limit_c(self) -> float:
+        return self._limit_c
+
+    def observe(self, event: FeedbackEvent) -> float:
+        return self._limit_c
+
+    def reset(self) -> None:
+        self._limit_c = self.initial_limit_c
+
+
+@register_adapter("feedback_step")
+@dataclass
+class FeedbackStep:
+    """AIMD stepping with hysteresis: big steps down on discomfort, small creep up.
+
+    Attributes:
+        initial_limit_c: starting limit (typically the mis-specified
+            population default the loop must correct).
+        step_down_c: °C removed from the limit per acted-on discomfort report.
+        step_up_c: °C added per acted-on comfort report (keep well below
+            ``step_down_c`` so the loop probes upward gently).
+        hold_off_s: refractory period after any adjustment; reports inside it
+            are ignored (hysteresis — one hot spell is one correction, not a
+            correction per report).
+        min_limit_c / max_limit_c: hard clamp bounds on the live limit.
+    """
+
+    initial_limit_c: float = 37.0
+    step_down_c: float = 0.5
+    step_up_c: float = 0.1
+    hold_off_s: float = 30.0
+    min_limit_c: float = 30.0
+    max_limit_c: float = 45.0
+
+    #: Registry/label name (no annotation: class attribute, not a field).
+    name = "feedback_step"
+
+    def __post_init__(self) -> None:
+        _check_bounds(self.min_limit_c, self.max_limit_c, self.initial_limit_c)
+        if self.step_down_c <= 0 or self.step_up_c <= 0:
+            raise ValueError("step sizes must be positive")
+        if self.hold_off_s < 0:
+            raise ValueError("hold_off_s must be non-negative")
+        self._limit_c = self.initial_limit_c
+        self._last_change_s: Optional[float] = None
+
+    @property
+    def current_limit_c(self) -> float:
+        return self._limit_c
+
+    def observe(self, event: FeedbackEvent) -> float:
+        if (
+            self._last_change_s is not None
+            and event.time_s - self._last_change_s < self.hold_off_s
+        ):
+            return self._limit_c
+        if event.is_discomfort:
+            adjusted = max(self.min_limit_c, self._limit_c - self.step_down_c)
+        else:
+            adjusted = min(self.max_limit_c, self._limit_c + self.step_up_c)
+        if adjusted != self._limit_c:
+            self._limit_c = adjusted
+            self._last_change_s = event.time_s
+        return self._limit_c
+
+    def reset(self) -> None:
+        self._limit_c = self.initial_limit_c
+        self._last_change_s = None
+
+
+@register_adapter("quantile_tracker")
+@dataclass
+class QuantileTracker:
+    """Track the temperature at which the user's satisfaction flips.
+
+    Feedback events near the current estimate are the informative ones: a
+    discomfort report *below* the estimate means the limit is too high and
+    pulls it down toward the felt temperature; a comfort report *above* the
+    estimate means the limit is too low and pulls it up.  Reports far on the
+    expected side of the estimate (comfort well below it, discomfort well
+    above it) carry no new information and leave it unchanged, so the
+    estimate is pinched toward the flip temperature from both sides.
+
+    The ``quantile`` parameter sets the asymmetry: downward corrections are
+    weighted ``1 - quantile`` and upward corrections ``quantile``, so low
+    quantiles converge to a conservative (cooler) point of the flip region
+    and ``0.5`` splits it.  The per-event gain decays as ``gain_c / (1 +
+    decay * n_events)`` (stochastic approximation), which damps jitter from
+    noisy feedback as evidence accumulates.
+
+    Attributes:
+        initial_limit_c: starting estimate.
+        quantile: flip-region quantile to converge to, in (0, 1).
+        gain_c: initial fraction of the error corrected per event.
+        decay: gain decay rate per observed event.
+        min_limit_c / max_limit_c: hard clamp bounds on the live limit.
+    """
+
+    initial_limit_c: float = 37.0
+    quantile: float = 0.5
+    gain_c: float = 0.7
+    decay: float = 0.01
+    min_limit_c: float = 30.0
+    max_limit_c: float = 45.0
+
+    #: Registry/label name (no annotation: class attribute, not a field).
+    name = "quantile_tracker"
+
+    def __post_init__(self) -> None:
+        _check_bounds(self.min_limit_c, self.max_limit_c, self.initial_limit_c)
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if not 0.0 < self.gain_c <= 1.0:
+            raise ValueError("gain_c must be in (0, 1]")
+        if self.decay < 0:
+            raise ValueError("decay must be non-negative")
+        self._limit_c = self.initial_limit_c
+        self._event_count = 0
+
+    @property
+    def current_limit_c(self) -> float:
+        return self._limit_c
+
+    @property
+    def event_count(self) -> int:
+        """Feedback events consumed since the last reset."""
+        return self._event_count
+
+    def observe(self, event: FeedbackEvent) -> float:
+        temp = event.skin_temp_c
+        if temp is None:
+            # Without a felt temperature there is nothing to track toward.
+            return self._limit_c
+        self._event_count += 1
+        gain = self.gain_c / (1.0 + self.decay * self._event_count)
+        if event.is_discomfort:
+            if temp < self._limit_c:
+                self._limit_c += (1.0 - self.quantile) * gain * (temp - self._limit_c)
+        else:
+            if temp > self._limit_c:
+                self._limit_c += self.quantile * gain * (temp - self._limit_c)
+        self._limit_c = min(self.max_limit_c, max(self.min_limit_c, self._limit_c))
+        return self._limit_c
+
+    def reset(self) -> None:
+        self._limit_c = self.initial_limit_c
+        self._event_count = 0
+
+
+@dataclass
+class UserFeedbackModel:
+    """Deterministic satisfaction-driven feedback for a simulated user.
+
+    Every ``report_period_s`` the user compares the felt skin temperature
+    against their *true* comfort limit (the quantity the adapter must learn):
+
+    * above the limit → a discomfort report;
+    * within ``comfort_band_c`` below the limit → a comfort report ("warm
+      but fine" — the informative kind for threshold tracking);
+    * cooler than that → silence.
+
+    Attributes:
+        true_limit_c: the user's actual flip temperature (e.g.
+            :attr:`~repro.users.population.ThermalComfortProfile.skin_limit_c`).
+        report_period_s: minimum time between reports.
+        comfort_band_c: width of the "warm but fine" band below the limit in
+            which comfort is reported.
+    """
+
+    true_limit_c: float
+    report_period_s: float = 15.0
+    comfort_band_c: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 25.0 < self.true_limit_c < 60.0:
+            raise ValueError("true_limit_c must be a plausible skin-temperature limit")
+        if self.report_period_s <= 0:
+            raise ValueError("report_period_s must be positive")
+        if self.comfort_band_c <= 0:
+            raise ValueError("comfort_band_c must be positive")
+        self._last_report_s: Optional[float] = None
+
+    def observe(self, time_s: float, skin_temp_c: float) -> Optional[FeedbackEvent]:
+        """The user's report for this instant, or ``None`` when they say nothing."""
+        if (
+            self._last_report_s is not None
+            and time_s - self._last_report_s < self.report_period_s - 1e-9
+        ):
+            return None
+        if skin_temp_c > self.true_limit_c:
+            event = FeedbackEvent.discomfort(time_s, skin_temp_c)
+        elif skin_temp_c > self.true_limit_c - self.comfort_band_c:
+            event = FeedbackEvent.comfort(time_s, skin_temp_c)
+        else:
+            return None
+        self._last_report_s = time_s
+        return event
+
+    def reset(self) -> None:
+        """Forget the report clock before a fresh run."""
+        self._last_report_s = None
+
+
+@dataclass
+class AdaptiveComfortManager:
+    """Thermal manager that closes the user-feedback loop around USTA.
+
+    One instance couples an inner manager exposing a live comfort limit
+    (:meth:`~repro.core.usta.USTAController.set_skin_limit`) with a
+    :class:`ComfortAdapter` and, for simulated users, a
+    :class:`UserFeedbackModel`.  On every observation it first lets the
+    simulated user report (from the skin sensor reading), applies any report
+    to the adapter, pushes the adapter's limit into the inner manager, and
+    only then lets the inner manager decide the cap.  External feedback
+    (a real user tapping "too hot") arrives through :meth:`apply_feedback` —
+    this is what :meth:`~repro.api.session.PolicySession.feed` routes
+    ``feedback=`` events into.
+
+    Attributes:
+        inner: the wrapped manager (USTA or a compatible subclass).
+        adapter: the comfort-limit adaptation strategy.
+        feedback: optional simulated-user report generator (``None`` when
+            feedback only arrives externally, e.g. in a live service).
+    """
+
+    inner: object
+    adapter: ComfortAdapter
+    feedback: Optional[UserFeedbackModel] = None
+
+    def __post_init__(self) -> None:
+        if not hasattr(self.inner, "set_skin_limit"):
+            raise TypeError(
+                f"{type(self.inner).__name__} does not expose a live comfort limit "
+                "(set_skin_limit); adaptive policies need a USTA-style manager"
+            )
+        self.inner.set_skin_limit(self.adapter.current_limit_c)
+
+    @property
+    def name(self) -> str:
+        """Result label, e.g. ``"feedback_step+usta"``."""
+        adapter_name = getattr(self.adapter, "name", type(self.adapter).__name__)
+        inner_name = getattr(self.inner, "name", type(self.inner).__name__)
+        return f"{adapter_name}+{inner_name}"
+
+    @property
+    def table(self):
+        """The inner manager's frequency table (so sessions resolve cap→frequency)."""
+        return getattr(self.inner, "table", None)
+
+    @property
+    def current_limit_c(self) -> float:
+        """The live (adapted) comfort limit."""
+        return self.adapter.current_limit_c
+
+    def apply_feedback(self, event: FeedbackEvent) -> float:
+        """Consume one feedback event and sync the inner manager's limit."""
+        limit = self.adapter.observe(event)
+        self.inner.set_skin_limit(limit)
+        return limit
+
+    def _ingest_feedback(self, time_s, sensor_readings) -> None:
+        """Let the simulated user report on this tick's felt skin temperature."""
+        if self.feedback is None:
+            return
+        felt = sensor_readings.get("skin")
+        if felt is not None:
+            event = self.feedback.observe(time_s, felt)
+            if event is not None:
+                self.apply_feedback(event)
+
+    # -- ThermalManager protocol -------------------------------------------------
+
+    def observe(self, time_s, sensor_readings, utilization, frequency_khz):
+        """Let the simulated user report, adapt the limit, then decide the cap."""
+        self._ingest_feedback(time_s, sensor_readings)
+        return self.inner.observe(
+            time_s=time_s,
+            sensor_readings=sensor_readings,
+            utilization=utilization,
+            frequency_khz=frequency_khz,
+        )
+
+    def reset(self) -> None:
+        """Reset the inner manager, the adapter and the feedback clock."""
+        self.inner.reset()
+        self.adapter.reset()
+        if self.feedback is not None:
+            self.feedback.reset()
+        self.inner.set_skin_limit(self.adapter.current_limit_c)
+
+    # -- batched-session support -------------------------------------------------
+    #
+    # A SessionPool splits observe() into prediction_due → (pooled
+    # predict_batch) → apply_prediction to batch the predictor across
+    # sessions.  The wrapper stays faithful under that split: on due ticks
+    # the pool hands the telemetry to pre_feed() first (the feedback step
+    # observe() would have run), and the scheduling/apply calls forward to
+    # the inner controller.
+
+    def pre_feed(self, sample) -> None:
+        """Consume one telemetry sample's feedback before a batched prediction."""
+        self._ingest_feedback(sample.time_s, sample.sensor_readings)
+
+    def prediction_due(self, time_s) -> bool:
+        """Forward the inner controller's prediction schedule."""
+        return self.inner.prediction_due(time_s)
+
+    def apply_prediction(self, time_s, prediction):
+        """Forward a batch-computed prediction to the inner controller."""
+        return self.inner.apply_prediction(time_s, prediction)
+
+    @property
+    def predictor(self):
+        """The inner controller's predictor (pool batching groups by it)."""
+        return self.inner.predictor
+
+    @property
+    def predict_screen(self) -> bool:
+        """Whether the inner controller wants screen predictions."""
+        return self.inner.predict_screen

@@ -33,10 +33,14 @@ class ComfortAnalysis:
 
     @property
     def percent_time_over_limit(self) -> float:
-        """Percentage of the trace spent above the limit (Fig. 2's metric)."""
+        """Percentage of the trace spent above the limit (Fig. 2's metric).
+
+        Clamped to 100: the rounding of ``100 * t / d`` can exceed it by one
+        ulp when the whole trace is over the limit.
+        """
         if self.duration_s <= 0:
             return 0.0
-        return 100.0 * self.time_over_limit_s / self.duration_s
+        return min(100.0, 100.0 * self.time_over_limit_s / self.duration_s)
 
     @property
     def ever_uncomfortable(self) -> bool:

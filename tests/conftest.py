@@ -7,8 +7,11 @@ stays fast while still exercising the real pipeline.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.analysis.context import ReproductionContext
 from repro.core.pipeline import collect_training_data, train_runtime_predictor
@@ -20,6 +23,25 @@ from repro.ml.dataset import Dataset
 from repro.ml.linear import LinearRegression
 from repro.sim.logger import FEATURE_NAMES
 from repro.workloads.benchmarks import build_benchmark
+
+# Hypothesis profiles: "dev" keeps the suite quick on laptops; "ci" runs more
+# examples with a derandomized (fixed-seed) search so CI failures reproduce.
+# Select with HYPOTHESIS_PROFILE=ci (the workflow does).  Tests that pin their
+# own @settings (e.g. the slow closed-loop properties) override the profile.
+settings.register_profile(
+    "dev",
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=60,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

@@ -5,10 +5,14 @@ import pytest
 
 from repro.api.serve import replay_telemetry, run_serve
 from repro.api.session import PolicySession, SessionPool, open_session
-from repro.api.specs import GovernorSpec, ManagerSpec, PolicySpec
-from repro.api.types import CapDecision, TelemetrySample
+from repro.api.specs import AdapterSpec, GovernorSpec, ManagerSpec, PolicySpec
+from repro.api.types import CapDecision, FeedbackEvent, TelemetrySample
 from repro.core.usta import USTAController
 from repro.device.freq_table import nexus4_frequency_table
+from repro.device.platform import DevicePlatform
+from repro.governors.ondemand import OndemandGovernor
+from repro.sim.engine import Simulator
+from repro.users.adaptation import WARM_START_TEMPS as WARM_TEMPS, UserFeedbackModel
 from repro.workloads.benchmarks import build_benchmark
 
 TABLE = nexus4_frequency_table()
@@ -175,6 +179,145 @@ class TestSessionPool:
         assert list(decisions) == ids
         assert not decisions[ids[0]].active
         assert decisions[ids[1]].active  # 45 °C prediction is over any limit
+
+    def test_feed_many_rejects_unknown_session_ids(self, linear_predictor, small_context):
+        """Regression: unknown ids used to surface as a bare dict KeyError; now
+        they fail with a known-ids hint, before any session consumes a sample."""
+        pool = self._pool(linear_predictor, small_context.population, n=2)
+        ids = [s.session_id for s in pool]
+        with pytest.raises(KeyError, match="unknown session id 'ghost'") as exc_info:
+            pool.feed_many({ids[0]: _sample(1.0, 30.0), "ghost": _sample(1.0, 30.0)})
+        assert "known session ids" in str(exc_info.value)
+        assert ids[0] in str(exc_info.value)
+        # The known session was not half-fed by the failed batch.
+        assert pool.get(ids[0]).feed_count == 0
+        assert pool.feed_count == 0
+
+    def test_get_and_close_share_the_known_ids_hint(self, linear_predictor, small_context):
+        pool = self._pool(linear_predictor, small_context.population, n=1)
+        with pytest.raises(KeyError, match="known session ids"):
+            pool.get("ghost")
+        with pytest.raises(KeyError, match="known session ids"):
+            pool.close("ghost")
+        empty = SessionPool()
+        with pytest.raises(KeyError, match="the pool is empty"):
+            empty.get("ghost")
+
+
+class TestAdaptiveSessionParity:
+    """A PolicySession fed sample-by-sample with explicit feedback events must
+    produce bit-identical cap decisions to the same adapter running inside
+    SimulationKernel (where the simulated user reports internally)."""
+
+    REPORT_PERIOD_S = 9.0
+    TRUE_LIMIT_C = 34.3  # user b
+
+    def _adaptive_spec(self, with_feedback: bool) -> PolicySpec:
+        feedback = (
+            {"true_limit_c": self.TRUE_LIMIT_C, "report_period_s": self.REPORT_PERIOD_S}
+            if with_feedback
+            else None
+        )
+        return PolicySpec(
+            manager=ManagerSpec("usta", params={"skin_limit_c": 37.0}),
+            adapter=AdapterSpec(
+                "feedback_step",
+                params={"step_down_c": 0.5, "hold_off_s": 15.0},
+                feedback=feedback,
+            ),
+        )
+
+    def test_session_with_external_feedback_matches_kernel(self, linear_predictor):
+        trace = build_benchmark("skype", seed=0, duration_s=150)
+
+        # Closed loop through the kernel: the wrapper generates the feedback
+        # internally from each step's skin sensor reading.
+        platform = DevicePlatform(seed=0)
+        kernel_manager = self._adaptive_spec(with_feedback=True).build_manager(
+            predictor=linear_predictor
+        )
+        simulator = Simulator(
+            platform=platform,
+            governor=OndemandGovernor(table=platform.freq_table),
+            thermal_manager=kernel_manager,
+        )
+        result = simulator.run(trace, initial_temps=dict(WARM_TEMPS))
+
+        # The kernel must have exercised the loop, or this parity test is vacuous.
+        kernel_limits = [r.comfort_limit_c for r in result.records]
+        assert len(set(kernel_limits)) > 1
+
+        # Open a standalone session over the same policy *without* the internal
+        # feedback model, and replay the kernel's telemetry with the feedback
+        # events computed externally by an identical user model.
+        session = open_session(
+            self._adaptive_spec(with_feedback=False), predictor=linear_predictor
+        )
+        user = UserFeedbackModel(
+            true_limit_c=self.TRUE_LIMIT_C, report_period_s=self.REPORT_PERIOD_S
+        )
+        for record in result.records:
+            sample = TelemetrySample.from_step_record(record)
+            event = user.observe(sample.time_s, sample.sensor_readings["skin"])
+            decision = session.feed(sample, feedback=[event] if event else [])
+            # Bit-identical live limit and cap at every step.
+            assert decision.comfort_limit_c == record.comfort_limit_c
+            assert session.current_limit_c == record.comfort_limit_c
+            applied = decision.level_cap if decision.level_cap is not None else TABLE.max_level
+            assert applied == record.level_cap
+
+    def test_feedback_into_adapterless_policy_is_an_error(self, linear_predictor):
+        spec = PolicySpec(manager=ManagerSpec("usta", params={"skin_limit_c": 37.0}))
+        session = open_session(spec, predictor=linear_predictor)
+        with pytest.raises(ValueError, match="no comfort adapter"):
+            session.feed(_sample(1.0, 30.0), feedback=[FeedbackEvent.discomfort(1.0, 36.0)])
+        assert session.current_limit_c == 37.0  # static limit still exposed
+
+    def test_pooled_adaptive_sessions_batch_and_match_scalar(self, linear_predictor):
+        """Adaptive wrappers stay on the pool's batched-prediction path and
+        decide identically to standalone scalar sessions."""
+        spec = self._adaptive_spec(with_feedback=True)
+        pool = SessionPool()
+        scalar = []
+        for index in range(8):
+            pool.open(f"s-{index}", spec, predictor=linear_predictor)
+            scalar.append(open_session(spec, predictor=linear_predictor))
+        # Ramp the replayed skin temperature through the user's true limit so
+        # feedback fires while predictions are due.
+        for t in range(30):
+            sample = TelemetrySample(
+                time_s=float(t + 1),
+                utilization=0.6,
+                frequency_khz=1_512_000.0,
+                sensor_readings={
+                    "cpu": 36.0 + 0.3 * t,
+                    "battery": 34.0 + 0.3 * t,
+                    "skin": 31.0 + 0.3 * t,
+                },
+            )
+            pooled = pool.feed_all(sample)
+            for index, session in enumerate(scalar):
+                decision = session.feed(sample)
+                assert pooled[f"s-{index}"].level_cap == decision.level_cap
+                assert pooled[f"s-{index}"].comfort_limit_c == decision.comfort_limit_c
+        # The predictions went through batches (not 8 scalar predicts per tick)
+        # and the feedback loop actually moved the limit.
+        assert pool.batch_count == 10  # due every 3 s over 30 s
+        assert pool.average_batch_size == 8.0
+        assert pool.get("s-0").current_limit_c < 37.0
+
+    def test_pool_routes_feedback_by_session_id(self, linear_predictor):
+        pool = SessionPool()
+        pool.open(
+            "b-0",
+            self._adaptive_spec(with_feedback=False),
+            predictor=linear_predictor,
+        )
+        limit = pool.feed_feedback("b-0", FeedbackEvent.discomfort(20.0, 36.0))
+        assert limit == pytest.approx(36.5)
+        assert pool.get("b-0").current_limit_c == pytest.approx(36.5)
+        with pytest.raises(KeyError, match="unknown session id"):
+            pool.feed_feedback("ghost", FeedbackEvent.discomfort(20.0, 36.0))
 
 
 class TestServe:

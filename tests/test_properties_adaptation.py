@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) for the comfort/adaptation/spec stack.
+
+Three invariant families the issue's harness pins down for *arbitrary* valid
+inputs, not just the paper's configurations:
+
+* :func:`analyse_comfort` — time above the limit is monotone non-increasing
+  in the limit, onset never exceeds the trace length, exceedances are sane;
+* comfort adapters — the live limit never leaves its clamp bounds under any
+  feedback sequence, and :class:`FixedLimit` is *exactly* a no-op on cap
+  decisions (bit-identical to an unwrapped controller);
+* declarative specs — ``AdapterSpec``/``PolicySpec`` survive dict and JSON
+  round-trips unchanged for arbitrary valid specs.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.api.specs import AdapterSpec, GovernorSpec, ManagerSpec, PolicySpec
+from repro.api.types import FeedbackEvent
+from repro.core.usta import USTAController
+from repro.users.adaptation import (
+    AdaptiveComfortManager,
+    FeedbackStep,
+    FixedLimit,
+    QuantileTracker,
+    UserFeedbackModel,
+)
+from repro.users.comfort import analyse_comfort
+
+# -- strategies ------------------------------------------------------------------
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+temps_traces = st.lists(st.floats(20.0, 60.0, **finite), min_size=1, max_size=200)
+
+feedback_events = st.lists(
+    st.builds(
+        FeedbackEvent,
+        time_s=st.floats(0.0, 1e5, **finite),
+        kind=st.sampled_from([FeedbackEvent.DISCOMFORT, FeedbackEvent.COMFORT]),
+        skin_temp_c=st.one_of(st.none(), st.floats(15.0, 70.0, **finite)),
+    ),
+    max_size=60,
+)
+
+
+@st.composite
+def clamp_bounds(draw):
+    """(min_limit, max_limit, initial) with initial inside the bounds."""
+    low = draw(st.floats(26.0, 40.0, **finite))
+    high = draw(st.floats(low + 0.5, 55.0, **finite))
+    initial = draw(st.floats(low, high, **finite))
+    return low, high, initial
+
+
+@st.composite
+def adapter_specs(draw):
+    name = draw(st.sampled_from(["fixed", "feedback_step", "quantile_tracker"]))
+    params = {}
+    if name != "fixed" and draw(st.booleans()):
+        low, high, initial = draw(clamp_bounds())
+        params = {"min_limit_c": low, "max_limit_c": high, "initial_limit_c": initial}
+    if name == "feedback_step" and draw(st.booleans()):
+        params["step_down_c"] = draw(st.floats(0.05, 2.0, **finite))
+        params["hold_off_s"] = draw(st.floats(0.0, 120.0, **finite))
+    if name == "quantile_tracker" and draw(st.booleans()):
+        params["quantile"] = draw(st.floats(0.05, 0.95, **finite))
+        params["gain_c"] = draw(st.floats(0.05, 1.0, **finite))
+    feedback = None
+    if draw(st.booleans()):
+        feedback = {"true_limit_c": draw(st.floats(30.0, 45.0, **finite))}
+        if draw(st.booleans()):
+            feedback["report_period_s"] = draw(st.floats(1.0, 120.0, **finite))
+    return AdapterSpec(name=name, params=params, feedback=feedback)
+
+
+@st.composite
+def policy_specs(draw):
+    governor = GovernorSpec(
+        name=draw(st.sampled_from(["ondemand", "conservative", "performance"]))
+    )
+    manager = None
+    adapter = None
+    if draw(st.booleans()):
+        manager = ManagerSpec(
+            "usta",
+            params={"skin_limit_c": draw(st.floats(30.0, 45.0, **finite))},
+        )
+        if draw(st.booleans()):
+            adapter = draw(adapter_specs())
+    label = draw(st.one_of(st.none(), st.text(min_size=1, max_size=12)))
+    return PolicySpec(governor=governor, manager=manager, adapter=adapter, label=label)
+
+
+# -- analyse_comfort invariants --------------------------------------------------
+
+
+class TestComfortInvariants:
+    @given(
+        temps=temps_traces,
+        limit_low=st.floats(25.0, 55.0, **finite),
+        delta=st.floats(0.0, 20.0, **finite),
+        dt=st.floats(0.1, 10.0, **finite),
+    )
+    def test_time_over_limit_is_monotone_in_limit(self, temps, limit_low, delta, dt):
+        """Raising the limit can only shrink the time (and severity) above it."""
+        tight = analyse_comfort(temps, limit_low, dt_s=dt)
+        loose = analyse_comfort(temps, limit_low + delta, dt_s=dt)
+        assert loose.time_over_limit_s <= tight.time_over_limit_s
+        assert loose.peak_exceedance_c <= tight.peak_exceedance_c
+        assert loose.mean_exceedance_c <= tight.mean_exceedance_c
+
+    @given(temps=temps_traces, limit=st.floats(25.0, 55.0, **finite), dt=st.floats(0.1, 10.0, **finite))
+    def test_onset_and_bounds(self, temps, limit, dt):
+        analysis = analyse_comfort(temps, limit, dt_s=dt)
+        assert analysis.duration_s == pytest.approx(len(temps) * dt)
+        assert 0.0 <= analysis.time_over_limit_s <= analysis.duration_s
+        assert 0.0 <= analysis.percent_time_over_limit <= 100.0
+        # np.mean's pairwise summation can land one ulp above the max when
+        # every sample is identical; allow that rounding headroom.
+        tolerance = 1e-9 * max(1.0, abs(analysis.peak_exceedance_c))
+        assert analysis.peak_exceedance_c >= analysis.mean_exceedance_c - tolerance
+        assert analysis.mean_exceedance_c >= 0.0
+        if analysis.onset_time_s is not None:
+            # Onset is the start of the first over-limit sample, strictly
+            # inside the trace.
+            assert 0.0 <= analysis.onset_time_s < analysis.duration_s
+            assert analysis.ever_uncomfortable
+        else:
+            assert not analysis.ever_uncomfortable
+
+
+# -- adapter invariants ----------------------------------------------------------
+
+
+class TestAdapterInvariants:
+    @given(bounds=clamp_bounds(), events=feedback_events)
+    def test_feedback_step_limit_stays_clamped(self, bounds, events):
+        low, high, initial = bounds
+        adapter = FeedbackStep(
+            initial_limit_c=initial, min_limit_c=low, max_limit_c=high
+        )
+        for event in events:
+            limit = adapter.observe(event)
+            assert low <= limit <= high
+            assert limit == adapter.current_limit_c
+
+    @given(
+        bounds=clamp_bounds(),
+        events=feedback_events,
+        quantile=st.floats(0.05, 0.95, **finite),
+        gain=st.floats(0.05, 1.0, **finite),
+    )
+    def test_quantile_tracker_limit_stays_clamped(self, bounds, events, quantile, gain):
+        low, high, initial = bounds
+        adapter = QuantileTracker(
+            initial_limit_c=initial,
+            min_limit_c=low,
+            max_limit_c=high,
+            quantile=quantile,
+            gain_c=gain,
+        )
+        for event in events:
+            limit = adapter.observe(event)
+            assert low <= limit <= high
+
+    @given(events=feedback_events, initial=st.floats(26.0, 59.0, **finite))
+    def test_fixed_limit_never_moves(self, events, initial):
+        adapter = FixedLimit(initial_limit_c=initial)
+        for event in events:
+            assert adapter.observe(event) == initial
+        adapter.reset()
+        assert adapter.current_limit_c == initial
+
+    @given(
+        limit=st.floats(30.5, 45.0, **finite),
+        true_limit=st.floats(30.5, 45.0, **finite),
+        cpu_temps=st.lists(st.floats(25.0, 55.0, **finite), min_size=1, max_size=40),
+    )
+    def test_fixed_limit_is_a_decision_noop(self, limit, true_limit, cpu_temps, linear_predictor):
+        """A FixedLimit wrapper must produce bit-identical cap decisions to the
+        bare controller, even while the simulated user keeps reporting."""
+        bare = USTAController(predictor=linear_predictor, skin_limit_c=limit)
+        wrapped = AdaptiveComfortManager(
+            inner=USTAController(predictor=linear_predictor, skin_limit_c=limit),
+            adapter=FixedLimit(initial_limit_c=limit),
+            feedback=UserFeedbackModel(true_limit_c=true_limit, report_period_s=2.0),
+        )
+        for step, cpu in enumerate(cpu_temps):
+            readings = {"cpu": cpu, "battery": cpu - 2.0, "skin": cpu - 5.0}
+            kwargs = dict(
+                time_s=float(step + 1),
+                sensor_readings=readings,
+                utilization=0.6,
+                frequency_khz=1_512_000.0,
+            )
+            assert wrapped.observe(**kwargs) == bare.observe(**kwargs)
+
+
+# -- spec round-trips ------------------------------------------------------------
+
+
+class TestSpecRoundTrips:
+    @given(spec=adapter_specs())
+    def test_adapter_spec_dict_round_trip(self, spec):
+        assert AdapterSpec.from_spec(spec.to_spec()) == spec
+
+    @given(spec=policy_specs())
+    def test_policy_spec_dict_round_trip(self, spec):
+        assert PolicySpec.from_spec(spec.to_spec()) == spec
+
+    @given(spec=policy_specs())
+    def test_policy_spec_json_round_trip(self, spec):
+        """JSON serialisation is exact: floats survive via repr."""
+        assert PolicySpec.from_json(spec.to_json()) == spec
