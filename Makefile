@@ -15,9 +15,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Recursively expanded (=) so the probe only runs for targets that use it.
 COV_FLAGS = $(shell $(PYTHON) -c "import importlib.util as u; print('--cov=repro --cov-fail-under=80' if u.find_spec('pytest_cov') else '')")
 
-.PHONY: check test coverage smoke serve-smoke golden lint bench-baseline
+.PHONY: check test coverage smoke serve-smoke stream-smoke golden lint bench-baseline
 
-check: test smoke serve-smoke
+check: test smoke serve-smoke stream-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q $(COV_FLAGS)
@@ -33,6 +33,15 @@ smoke:
 
 serve-smoke:
 	$(PYTHON) -m repro serve --smoke
+
+# Exercises the crash-safe streaming path end to end: a tiny sweep streamed
+# to sharded JSONL, then the same sweep again with --resume (which must skip
+# every persisted cell and rebuild the table from the shards).
+stream-smoke:
+	rm -rf .stream-smoke
+	$(PYTHON) -m repro sweep --scale 0.02 --model linear_regression --stream-to .stream-smoke
+	$(PYTHON) -m repro sweep --scale 0.02 --model linear_regression --stream-to .stream-smoke --resume
+	rm -rf .stream-smoke
 
 lint:
 	$(PYTHON) -m ruff check .

@@ -185,6 +185,8 @@ def comfort_performance_frontier(
     report_period_s: float = 9.0,
     warm_start: bool = True,
     jobs: Optional[int] = None,
+    stream_to=None,
+    resume: bool = False,
 ) -> List[FrontierPoint]:
     """Discomfort-minutes vs. throughput-loss for static and adaptive schemes.
 
@@ -207,6 +209,12 @@ def comfort_performance_frontier(
         warm_start: start from :data:`WARM_START_TEMPS` so short traces reach
             comfort-relevant temperatures immediately.
         jobs: worker processes (``None`` = vectorized in-process).
+        stream_to: optional directory; when given, cells stream into a
+            :class:`~repro.runtime.streamstore.StreamingResultStore` there
+            and the frontier is computed by single-pass streaming comfort
+            aggregation — O(1) memory per cell, shards left for later reuse.
+        resume: with ``stream_to``, continue a directory that already holds
+            cells (only the missing ones run); refused otherwise.
     """
     from ..runtime import BatchRunner, ExperimentCell, ExperimentPlan
     from ..workloads.benchmarks import build_benchmark
@@ -244,20 +252,51 @@ def comfort_performance_frontier(
                 )
             )
 
-    store = BatchRunner.for_jobs(jobs).run(plan)
+    runner = BatchRunner.for_jobs(jobs)
+    limits = {profile.user_id: profile.skin_limit_c for profile in profiles}
+    if stream_to is not None:
+        from .streaming import stream_plan_summaries
+
+        run = stream_plan_summaries(
+            runner,
+            plan,
+            stream_to,
+            limit_for=lambda cell: limits[cell.metadata["user_id"]],
+            resume=resume,
+        )
+
+        def point_metrics(cell_id, profile):
+            summary = run.entries[cell_id].summary
+            return (
+                summary.time_over_limit_s,
+                1.0 - summary.throughput_ratio,
+                summary.final_comfort_limit_c,
+            )
+
+    else:
+        store = runner.run(plan)
+
+        def point_metrics(cell_id, profile):
+            result = store.result_of(cell_id)
+            comfort = result.comfort_against(profile.skin_limit_c, user_id=profile.user_id)
+            return (
+                comfort.time_over_limit_s,
+                1.0 - result.throughput_ratio,
+                result.records[-1].comfort_limit_c,
+            )
+
     points: List[FrontierPoint] = []
     for profile in profiles:
         for scheme in ("static", "oracle", *adapters):
-            result = store.result_of(f"{profile.user_id}/{scheme}")
-            comfort = result.comfort_against(profile.skin_limit_c, user_id=profile.user_id)
+            over_s, loss, final_limit = point_metrics(f"{profile.user_id}/{scheme}", profile)
             points.append(
                 FrontierPoint(
                     user_id=profile.user_id,
                     scheme=scheme,
                     true_limit_c=profile.skin_limit_c,
-                    discomfort_minutes=comfort.time_over_limit_s / 60.0,
-                    throughput_loss=1.0 - result.throughput_ratio,
-                    final_limit_c=result.records[-1].comfort_limit_c,
+                    discomfort_minutes=over_s / 60.0,
+                    throughput_loss=loss,
+                    final_limit_c=final_limit,
                 )
             )
     return points

@@ -56,6 +56,8 @@ def reproduce_table1(
     skin_limit_c: float = PAPER_DEFAULT_LIMIT_C,
     runner: Optional[BatchRunner] = None,
     jobs: Optional[int] = None,
+    stream_to=None,
+    resume: bool = False,
 ) -> List[Table1Row]:
     """Run every benchmark under both DVFS configurations and tabulate the results.
 
@@ -76,6 +78,12 @@ def reproduce_table1(
         runner: custom batch runner (overrides ``jobs``).
         jobs: worker-process count for parallel execution (see
             :meth:`BatchRunner.for_jobs`).
+        stream_to: optional directory; when given, cells stream into a
+            :class:`~repro.runtime.streamstore.StreamingResultStore` there
+            and the table is built from single-pass streaming summaries —
+            per-cell memory stays bounded however long the runs are.
+        resume: with ``stream_to``, skip cells the directory already holds
+            (crash-safe restart); their rows come from the persisted shards.
     """
     if duration_scale <= 0:
         raise ValueError("duration_scale must be positive")
@@ -101,13 +109,18 @@ def reproduce_table1(
                     metadata={"benchmark": name, "scheme": scheme},
                 )
             )
-    store = (runner if runner is not None else BatchRunner.for_jobs(jobs)).run(plan)
+    active_runner = runner if runner is not None else BatchRunner.for_jobs(jobs)
+    if stream_to is not None:
+        metrics = _stream_metrics(active_runner, plan, stream_to, resume)
+    else:
+        store = active_runner.run(plan)
+        metrics = store.result_of
 
     rows: List[Table1Row] = []
     for name in names:
         spec = BENCHMARKS[name]
-        baseline = store.result_of(f"{name}/baseline")
-        usta = store.result_of(f"{name}/usta")
+        baseline = metrics(f"{name}/baseline")
+        usta = metrics(f"{name}/usta")
         rows.append(
             Table1Row(
                 benchmark=name,
@@ -122,3 +135,17 @@ def reproduce_table1(
             )
         )
     return rows
+
+
+def _stream_metrics(runner: BatchRunner, plan, stream_to, resume: bool):
+    """Stream the plan into a shard directory; per-cell metric lookup back.
+
+    Maxima and averages come from :class:`~repro.analysis.streaming.
+    StreamingCellSummary` objects (property-compatible with
+    :class:`SimulationResult`), folded live for freshly executed cells and
+    re-folded shard-by-shard for cells a resumed run skipped.
+    """
+    from .streaming import stream_plan_summaries
+
+    run = stream_plan_summaries(runner, plan, stream_to, resume=resume)
+    return lambda cell_id: run.entries[cell_id].summary

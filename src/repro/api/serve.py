@@ -10,8 +10,10 @@ efficiency and how often each user's policy had a cap installed.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..device.platform import DevicePlatform
@@ -59,6 +61,8 @@ class ServeReport:
     elapsed_s: float
     policy_label: str
     per_user_capped_fraction: Dict[str, float]
+    #: Path of the session decision log, when the run drained one.
+    decision_log: Optional[str] = None
 
     @property
     def feeds_per_second(self) -> float:
@@ -77,6 +81,8 @@ class ServeReport:
             f"(avg batch {self.average_batch_size:.1f} sessions)",
             f"sessions ever capped: {self.capped_sessions}/{self.n_sessions}",
         ]
+        if self.decision_log is not None:
+            lines.append(f"decision log: {self.decision_log}")
         if self.per_user_capped_fraction:
             lines.append(f"{'user':>6} {'% feeds capped':>15}")
             for user_id, fraction in sorted(self.per_user_capped_fraction.items()):
@@ -91,6 +97,7 @@ def run_serve(
     sessions: int = 1000,
     policy: Optional[PolicySpec] = None,
     seed: Optional[int] = None,
+    decision_log=None,
 ) -> ServeReport:
     """Stream replayed telemetry through a per-user session population.
 
@@ -104,6 +111,11 @@ def run_serve(
         policy: policy served to every session (per-user comfort limits are
             applied on top); defaults to user-specific USTA over ondemand.
         seed: workload/platform seed (the context's seed by default).
+        decision_log: optional JSONL path the per-step cap decisions drain
+            to as the run progresses (the ``serve --stream-to`` sink): one
+            appended line per telemetry step listing the sessions holding an
+            active cap, so a fleet-scale run leaves an audit trail instead
+            of an in-memory log.
     """
     if sessions < 1:
         raise ValueError("sessions must be at least 1")
@@ -129,13 +141,39 @@ def run_serve(
         pool.open(session_id, spec, user_profile=profile, predictor=fallback_predictor)
         session_users[session_id] = profile.user_id
 
+    log_fh = None
+    log_path: Optional[str] = None
+    if decision_log is not None:
+        path = Path(decision_log)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        log_fh = open(path, "a", encoding="utf-8")
+        log_path = str(path)
+
     start = time.perf_counter()
     ever_capped = set()
-    for sample in telemetry:
-        decisions = pool.feed_all(sample)
-        for session_id, decision in decisions.items():
-            if decision.active:
-                ever_capped.add(session_id)
+    try:
+        for sample in telemetry:
+            decisions = pool.feed_all(sample)
+            capped_now = []
+            for session_id, decision in decisions.items():
+                if decision.active:
+                    ever_capped.add(session_id)
+                    capped_now.append((session_id, decision.level_cap))
+            if log_fh is not None:
+                log_fh.write(
+                    json.dumps(
+                        {
+                            "time_s": sample.time_s,
+                            "active": len(capped_now),
+                            "caps": sorted(capped_now),
+                        },
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+    finally:
+        if log_fh is not None:
+            log_fh.close()
     elapsed = time.perf_counter() - start
 
     per_user_feeds: Dict[str, int] = {}
@@ -163,4 +201,5 @@ def run_serve(
         elapsed_s=elapsed,
         policy_label=label,
         per_user_capped_fraction=per_user_capped_fraction,
+        decision_log=log_path,
     )

@@ -263,40 +263,77 @@ class SessionPool:
 
     # -- batched feeding --------------------------------------------------------
 
-    def feed_all(self, sample: TelemetrySample) -> Dict[str, CapDecision]:
+    def feed_all(
+        self,
+        sample: TelemetrySample,
+        feedback: Optional[Mapping[str, Sequence[FeedbackEvent]]] = None,
+    ) -> Dict[str, CapDecision]:
         """Feed one telemetry sample to every session (a shared replayed stream)."""
-        return self.feed_many({sid: sample for sid in self._sessions})
+        return self.feed_many({sid: sample for sid in self._sessions}, feedback=feedback)
 
-    def feed_many(self, samples: Mapping[str, TelemetrySample]) -> Dict[str, CapDecision]:
+    def feed_many(
+        self,
+        samples: Mapping[str, TelemetrySample],
+        feedback: Optional[Mapping[str, Sequence[FeedbackEvent]]] = None,
+    ) -> Dict[str, CapDecision]:
         """Feed per-session telemetry and return per-session decisions.
 
         Prediction-due USTA sessions are evaluated in batches (one matrix
         predict per predictor/screen-flag group); everything else goes through
         the scalar session feed.  Decisions come back keyed and ordered like
         ``samples``.
+
+        Args:
+            samples: per-session telemetry for this tick.
+            feedback: optional per-session comfort reports filed since the
+                last tick.  Each session's events are applied *before* its
+                cap decision — exactly :meth:`PolicySession.feed`'s ordering —
+                so external ("real user") feedback rides the batched
+                prediction path instead of forcing sessions onto scalar
+                feeds.  Keys must be a subset of ``samples``.
         """
+        feedback = feedback or {}
         # Unknown ids fail loudly with the known-ids hint (historically a bare
-        # dict KeyError with no context) — and they fail before any session in
-        # the batch has consumed its sample, so a bad batch has no effect.
+        # dict KeyError with no context) — and they, like feedback aimed at a
+        # session that cannot route it, fail before any session in the batch
+        # has consumed its sample or feedback, so a bad batch has no effect.
         for session_id in samples:
             self._session(session_id)
+        for session_id, events in feedback.items():
+            if session_id not in samples:
+                raise KeyError(
+                    f"feedback for session {session_id!r} without a telemetry "
+                    "sample in the same batch"
+                )
+            session = self._sessions[session_id]
+            if events and getattr(session.manager, "apply_feedback", None) is None:
+                raise ValueError(
+                    f"session {session_id!r}'s policy has no comfort adapter; "
+                    "add an 'adapter' entry to its policy spec to accept user "
+                    "feedback"
+                )
         decisions: Dict[str, CapDecision] = {}
         due: Dict[Tuple[int, bool], List[Tuple[str, PolicySession, TelemetrySample]]] = {}
         for session_id, sample in samples.items():
             session = self._sessions[session_id]
             manager = session.manager
             if self._batchable(manager) and manager.prediction_due(sample.time_s):
-                # An adaptive wrapper ingests the tick's user feedback here —
-                # the step its observe() would have run before predicting.
-                # Non-due wrapper ticks go through the scalar feed below,
-                # where observe() ingests it itself.
+                # External feedback first (the scalar feed's ordering), then
+                # an adaptive wrapper ingests the tick's simulated-user
+                # feedback via pre_feed — the step its observe() would have
+                # run before predicting.  Non-due wrapper ticks go through
+                # the scalar feed below, where feed() handles both itself.
+                for event in feedback.get(session_id, ()):
+                    session.feed_feedback(event)
                 pre_feed = getattr(manager, "pre_feed", None)
                 if pre_feed is not None:
                     pre_feed(sample)
                 key = (id(manager.predictor), bool(manager.predict_screen))
                 due.setdefault(key, []).append((session_id, session, sample))
             else:
-                decisions[session_id] = session.feed(sample)
+                decisions[session_id] = session.feed(
+                    sample, feedback=feedback.get(session_id, ())
+                )
                 self._feed_count += 1
 
         for (_, predict_screen), group in due.items():

@@ -286,8 +286,16 @@ class ManagerSpec:
 
 
 #: Keys accepted in an AdapterSpec's simulated-user ``feedback`` mapping;
-#: they mirror :class:`~repro.users.adaptation.UserFeedbackModel`'s fields.
-_FEEDBACK_KEYS = ("true_limit_c", "report_period_s", "comfort_band_c")
+#: they mirror :class:`~repro.users.adaptation.UserFeedbackModel`'s fields
+#: (including the adversarial noise/lag knobs).
+_FEEDBACK_KEYS = (
+    "true_limit_c",
+    "report_period_s",
+    "comfort_band_c",
+    "flip_probability",
+    "delay_s",
+    "seed",
+)
 
 
 @dataclass(frozen=True)

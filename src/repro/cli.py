@@ -136,6 +136,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep: allow the blocked (non-bit-exact) vectorized thermal solve",
     )
     parser.add_argument(
+        "--stream-to",
+        default=None,
+        metavar="DIR",
+        help=(
+            "stream results to a sharded JSONL store in DIR instead of "
+            "holding them in memory (sweep/table1: completed cells append "
+            "incrementally, crash-safe; serve: per-step cap decisions drain "
+            "to a session log there)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "with --stream-to: skip cells the store already holds and run "
+            "only the missing ones (restart a crashed sweep/table1)"
+        ),
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="golden: regenerate the committed expectation files instead of checking them",
@@ -252,41 +271,136 @@ def _run_sweep(context: ReproductionContext, args: argparse.Namespace) -> str:
                 )
             )
 
+    runner = BatchRunner.for_jobs(args.jobs, approx_solve=args.approx_solve)
+    profiles = {p.user_id: p for p in context.population}
     start = time.perf_counter()
-    store = BatchRunner.for_jobs(args.jobs, approx_solve=args.approx_solve).run(plan)
+    footers: List[str] = []
+    if args.stream_to is not None:
+        summaries, executed_ids, footers = _stream_sweep(runner, plan, profiles, args)
+        metrics = [(cell.cell_id, summaries[cell.cell_id]) for cell in plan]
+    else:
+        store = runner.run(plan)
+        metrics = []
+        for entry in store:
+            profile = profiles[entry.cell.metadata["user_id"]]
+            result = entry.result
+            metrics.append((entry.cell.cell_id, _SweepRow.from_result(result, profile)))
+        executed_ids = {cell_id for cell_id, _ in metrics}
     elapsed = time.perf_counter() - start
 
     lines = [
         f"{'member':>12} {'limit °C':>9} {'end limit °C':>13} {'peak skin °C':>13}"
         f" {'% over limit':>13} {'avg GHz':>8} {'USTA on %':>10}"
     ]
-    profiles = {p.user_id: p for p in context.population}
-    for entry in store:
-        profile = profiles[entry.cell.metadata["user_id"]]
-        result = entry.result
+    users = {cell.cell_id: cell.metadata["user_id"] for cell in plan}
+    executed_steps = 0
+    for cell_id, row in metrics:
+        profile = profiles[users[cell_id]]
+        if cell_id in executed_ids:
+            executed_steps += row.n_steps
+        lines.append(
+            f"{cell_id:>12} {profile.skin_limit_c:>9.1f}"
+            f" {'-' if row.end_limit_c is None else format(row.end_limit_c, '.2f'):>13}"
+            f" {row.max_skin_temp_c:>13.2f}"
+            f" {row.percent_over_limit:>13.1f}"
+            f" {row.average_frequency_ghz:>8.3f}"
+            f" {100.0 * row.usta_active_fraction:>10.1f}"
+        )
+    if executed_ids:
+        lines.append(
+            f"{len(metrics)} members x {len(trace)} steps in {elapsed:.2f}s"
+            f" ({executed_steps / elapsed:,.0f} member-steps/s)"
+        )
+    else:
+        lines.append(
+            f"{len(metrics)} members x {len(trace)} steps"
+            f" (all answered from disk in {elapsed:.2f}s)"
+        )
+    lines.extend(footers)
+    return "\n".join(lines)
+
+
+class _SweepRow:
+    """The per-member numbers the sweep table prints, from either path."""
+
+    def __init__(self, n_steps, end_limit_c, max_skin_temp_c, percent_over_limit,
+                 average_frequency_ghz, usta_active_fraction):
+        self.n_steps = n_steps
         # Under an adaptive policy the live limit the run *ended* on shows how
         # far the feedback loop moved from the (mis-specified) starting limit.
-        end_limit = result.records[-1].comfort_limit_c if result.records else None
-        lines.append(
-            f"{entry.cell.cell_id:>12} {profile.skin_limit_c:>9.1f}"
-            f" {'-' if end_limit is None else format(end_limit, '.2f'):>13}"
-            f" {result.max_skin_temp_c:>13.2f}"
-            f" {result.percent_time_over(profile.skin_limit_c):>13.1f}"
-            f" {result.average_frequency_ghz:>8.3f}"
-            f" {100.0 * result.usta_active_fraction:>10.1f}"
+        self.end_limit_c = end_limit_c
+        self.max_skin_temp_c = max_skin_temp_c
+        self.percent_over_limit = percent_over_limit
+        self.average_frequency_ghz = average_frequency_ghz
+        self.usta_active_fraction = usta_active_fraction
+
+    @classmethod
+    def from_result(cls, result, profile) -> "_SweepRow":
+        return cls(
+            n_steps=len(result),
+            end_limit_c=result.records[-1].comfort_limit_c if result.records else None,
+            max_skin_temp_c=result.max_skin_temp_c,
+            percent_over_limit=result.percent_time_over(profile.skin_limit_c),
+            average_frequency_ghz=result.average_frequency_ghz,
+            usta_active_fraction=result.usta_active_fraction,
         )
-    total_steps = sum(len(entry.result) for entry in store)
-    lines.append(
-        f"{len(store)} members x {len(trace)} steps in {elapsed:.2f}s"
-        f" ({total_steps / elapsed:,.0f} member-steps/s)"
-    )
-    return "\n".join(lines)
+
+    @classmethod
+    def from_summary(cls, summary) -> "_SweepRow":
+        return cls(
+            n_steps=summary.n_records,
+            end_limit_c=summary.final_comfort_limit_c,
+            max_skin_temp_c=summary.max_skin_temp_c,
+            percent_over_limit=summary.percent_time_over_limit,
+            average_frequency_ghz=summary.average_frequency_ghz,
+            usta_active_fraction=summary.usta_active_fraction,
+        )
+
+
+def _stream_sweep(runner, plan, profiles, args):
+    """Stream the sweep plan into a sharded store; rows, executed ids, footers."""
+    from .analysis.streaming import stream_plan_summaries
+    from .runtime.streamstore import StoreCorruptionError
+
+    try:
+        run = stream_plan_summaries(
+            runner,
+            plan,
+            args.stream_to,
+            limit_for=lambda cell: profiles[cell.metadata["user_id"]].skin_limit_c,
+            resume=args.resume,
+        )
+    except StoreCorruptionError as exc:
+        raise SystemExit(f"repro-usta sweep: {exc}")
+    except ValueError:
+        raise SystemExit(
+            f"repro-usta sweep: {args.stream_to} already holds results; "
+            "pass --resume to continue it or choose a fresh directory"
+        )
+
+    rows = {cell_id: _SweepRow.from_summary(e.summary) for cell_id, e in run.entries.items()}
+    footers = [
+        f"streamed to {run.store.directory} ({len(run.executed_ids)} cell(s) "
+        f"executed, {len(run.resumed_ids)} resumed from disk)"
+    ]
+    if run.store.recovered_tail is not None:
+        footers.append(f"recovered: {run.store.recovered_tail}")
+    return rows, run.executed_ids, footers
 
 
 def _run_experiment(name: str, context: ReproductionContext, args: argparse.Namespace) -> str:
     scale = args.scale
     if name == "table1":
-        rows = reproduce_table1(context, duration_scale=scale, jobs=args.jobs)
+        try:
+            rows = reproduce_table1(
+                context,
+                duration_scale=scale,
+                jobs=args.jobs,
+                stream_to=getattr(args, "stream_to", None),
+                resume=getattr(args, "resume", False),
+            )
+        except ValueError as exc:
+            raise SystemExit(f"repro-usta table1: {exc}")
         return "Table 1 — max temperatures and average frequency\n" + render_table1(rows)
     if name == "fig1":
         rows = figure1_user_thresholds(context, duration_s=45 * 60 * scale)
@@ -333,12 +447,18 @@ def _run_serve(context: ReproductionContext, args: argparse.Namespace) -> str:
         if policy is None:
             policy = PolicySpec(manager=ManagerSpec("usta"))
         policy = _apply_adapter(policy, args)
+    decision_log = None
+    if args.stream_to is not None:
+        from pathlib import Path
+
+        decision_log = Path(args.stream_to) / "serve-decisions.jsonl"
     report = run_serve(
         context,
         benchmark=args.benchmark,
         duration_s=duration,
         sessions=args.sessions,
         policy=policy,
+        decision_log=decision_log,
     )
     return report.render()
 
@@ -416,6 +536,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"repro-usta: --update/--golden-dir only apply to 'golden', "
             f"not {args.experiment!r}"
         )
+    if args.stream_to is not None and args.experiment not in ("sweep", "table1", "serve"):
+        raise SystemExit(
+            f"repro-usta: --stream-to only applies to 'sweep', 'table1' and "
+            f"'serve', not {args.experiment!r}"
+        )
+    if args.resume and args.stream_to is None:
+        raise SystemExit("repro-usta: --resume needs --stream-to")
 
     # Context-free subcommands: neither needs the trained predictor, so they
     # dispatch before the expensive reproduction-context build.

@@ -203,6 +203,28 @@ class RuntimePredictor:
 #: so many spec-built experiment cells in one process train at most once.
 _TRAINED_CACHE: Dict[Tuple, RuntimePredictor] = {}
 
+#: Per-process cache traffic of :func:`build_trained_predictor` — how often a
+#: recipe was answered from memory, resolved from the disk artifact cache, or
+#: actually collected-and-trained (the expensive path the cache exists to
+#: avoid).  Read via :func:`predictor_cache_stats`.
+_CACHE_STATS: Dict[str, int] = {"memory_hits": 0, "disk_hits": 0, "trained": 0, "stored": 0}
+
+
+def predictor_cache_stats() -> Dict[str, int]:
+    """This process's trained-predictor cache counters (a copy)."""
+    return dict(_CACHE_STATS)
+
+
+def reset_predictor_caches() -> None:
+    """Clear the in-memory recipe cache and counters (testing hook).
+
+    The disk artifact cache is untouched — point ``REPRO_ARTIFACT_DIR``
+    somewhere else (or at ``off``) to isolate it.
+    """
+    _TRAINED_CACHE.clear()
+    for name in _CACHE_STATS:
+        _CACHE_STATS[name] = 0
+
 
 @register_predictor("trained")
 def build_trained_predictor(
@@ -220,6 +242,12 @@ def build_trained_predictor(
     governor, then train the named learner on the pooled dataset.  The same
     recipe always yields the same predictor, which is what makes spec-built
     policies reproducible without shipping model weights.
+
+    Resolution is two-level: an in-process memo (many cells of one sweep
+    share one training run), then the content-addressed disk cache of
+    :mod:`repro.runtime.artifacts` (many *processes* — pool workers, repeated
+    sweeps, ``repro serve`` restarts — share one trained artifact).  Only a
+    cold miss on both levels collects data and trains.
     """
     key = (
         model,
@@ -229,17 +257,50 @@ def build_trained_predictor(
         include_screen,
         log_period_s,
     )
-    if key not in _TRAINED_CACHE:
-        # Imported lazily: the pipeline module sits above this one.
-        from .pipeline import collect_training_data, train_runtime_predictor
+    if key in _TRAINED_CACHE:
+        _CACHE_STATS["memory_hits"] += 1
+        return _TRAINED_CACHE[key]
 
-        data = collect_training_data(
-            benchmarks=benchmarks,
-            seed=seed,
-            log_period_s=log_period_s,
-            duration_scale=duration_scale,
-        )
-        _TRAINED_CACHE[key] = train_runtime_predictor(
-            data, model_name=model, include_screen=include_screen, seed=seed
-        )
-    return _TRAINED_CACHE[key]
+    # Imported lazily: the runtime and pipeline layers sit above this module.
+    from ..runtime.artifacts import (
+        configured_artifact_cache,
+        predictor_content_key,
+        training_data_sha,
+    )
+
+    cache = configured_artifact_cache()
+    content_key = predictor_content_key(
+        "trained",
+        {
+            "model": model,
+            "seed": seed,
+            "duration_scale": duration_scale,
+            "benchmarks": list(benchmarks) if benchmarks is not None else None,
+            "include_screen": include_screen,
+            "log_period_s": log_period_s,
+        },
+    )
+    if cache is not None:
+        cached = cache.resolve(content_key)
+        if cached is not None:
+            _CACHE_STATS["disk_hits"] += 1
+            _TRAINED_CACHE[key] = cached
+            return cached
+
+    from .pipeline import collect_training_data, train_runtime_predictor
+
+    data = collect_training_data(
+        benchmarks=benchmarks,
+        seed=seed,
+        log_period_s=log_period_s,
+        duration_scale=duration_scale,
+    )
+    predictor = train_runtime_predictor(
+        data, model_name=model, include_screen=include_screen, seed=seed
+    )
+    _CACHE_STATS["trained"] += 1
+    if cache is not None:
+        cache.store(content_key, training_data_sha(data), predictor)
+        _CACHE_STATS["stored"] += 1
+    _TRAINED_CACHE[key] = predictor
+    return predictor

@@ -17,6 +17,14 @@ Executors trade scheduling for the same deterministic results:
   :func:`~repro.runtime.vectorized.simulate_population`, turning N thermal
   solves per step into one batched solve on the cached LU factorization.
 
+For sweeps too large to hold in memory, the record path also runs
+*streaming*: executors push each completed cell through the
+:class:`~repro.runtime.stream.RecordSink` protocol into an append-only
+sharded-JSONL :class:`~repro.runtime.streamstore.StreamingResultStore`
+(crash-safe, resumable, bit-identical to the batch path), and
+:mod:`repro.runtime.artifacts` caches trained predictor artifacts by content
+key so repeated sweeps and pool workers stop retraining per process.
+
 Quickstart::
 
     from repro.runtime import BatchRunner, ExperimentPlan
@@ -29,12 +37,22 @@ Quickstart::
     store = BatchRunner.for_jobs(None).run(plan)
     for row in store.summary_rows():
         print(row["cell_id"], row["max_skin_temp_c"])
+
+    # or, bounded-memory with resume:
+    from repro.runtime import StreamingResultStore
+
+    disk = StreamingResultStore("out/")
+    BatchRunner.for_jobs(None).run_stream(plan, disk, skip=disk.completed_cell_ids)
+    disk.close()
 """
 
+from .artifacts import ArtifactCache, configured_artifact_cache
 from .executors import ProcessPoolCellExecutor, SerialExecutor, VectorizedExecutor
 from .plan import ConstantManagerFactory, ExperimentCell, ExperimentPlan
-from .runner import BatchRunner, run_cell
+from .runner import BatchRunner, run_cell, stream_cell
 from .store import CellResult, ResultStore
+from .stream import CollectorSink, RecordSink, TeeSink, push_cell_result
+from .streamstore import StoreCorruptionError, StreamingResultStore
 from .vectorized import (
     PopulationMember,
     VectorizationError,
@@ -42,17 +60,26 @@ from .vectorized import (
 )
 
 __all__ = [
+    "ArtifactCache",
     "BatchRunner",
     "CellResult",
+    "CollectorSink",
     "ConstantManagerFactory",
     "ExperimentCell",
     "ExperimentPlan",
     "PopulationMember",
     "ProcessPoolCellExecutor",
+    "RecordSink",
     "ResultStore",
     "SerialExecutor",
+    "StoreCorruptionError",
+    "StreamingResultStore",
+    "TeeSink",
     "VectorizationError",
     "VectorizedExecutor",
+    "configured_artifact_cache",
+    "push_cell_result",
     "run_cell",
     "simulate_population",
+    "stream_cell",
 ]

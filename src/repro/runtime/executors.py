@@ -14,21 +14,40 @@ parity tests in ``tests/test_runtime.py`` assert this bit-for-bit).
   default platform are batched through
   :func:`~repro.runtime.vectorized.simulate_population`; everything else
   falls back to the wrapped executor.
+
+Every executor additionally implements ``execute_stream(cells, sink)``, the
+bounded-memory form :meth:`BatchRunner.run_stream` drives: completed cells
+flow into a :class:`~repro.runtime.stream.RecordSink` instead of
+accumulating.  The serial executor streams record-by-record (live footprint
+≤ one cell); the process pool has each worker *spill* its finished cell as
+one serialised JSONL line to a scratch file and the parent merges lines into
+the sink in completion order, so neither the workers' result pickles nor the
+parent ever hold more than ~one cell; the vectorized executor integrates a
+same-trace group in lockstep (inherently O(group) live) and then drains the
+group into the sink cell by cell.  Stream delivery order is first-appearance
+group order — identical to plan order whenever grouped cells are contiguous;
+sinks key cells by id, so order never affects resume or analysis.
 """
 
 from __future__ import annotations
 
+import json
+import shutil
+import tempfile
 import time
+import uuid
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..device.platform import DevicePlatform
 from ..governors.base import Governor
 from ..sim.logger import SystemLogger
 from .plan import ExperimentCell
-from .runner import run_cell
-from .store import CellResult
+from .runner import run_cell, stream_cell
+from .store import CellResult, ResultStore, record_to_jsonable
+from .stream import RecordSink, push_cell_result
 from .vectorized import PopulationMember, VectorizationError, simulate_population
 
 __all__ = [
@@ -46,6 +65,53 @@ class SerialExecutor:
         """Yield one result per cell, in order."""
         for cell in cells:
             yield run_cell(cell)
+
+    def execute_stream(self, cells: Iterable[ExperimentCell], sink: RecordSink) -> None:
+        """Stream every cell's records into the sink, record by record."""
+        for cell in cells:
+            stream_cell(cell, sink)
+
+
+class _SpillSink:
+    """Record sink writing one cell as a single JSONL line to a scratch file.
+
+    This is the worker half of the process pool's spill-and-merge: the line
+    format is exactly the streaming store's (same prefix/suffix helpers), so
+    the parent can merge spill files into any sink — or, byte-for-byte, into
+    a shard — without the cell's records ever crossing the process pipe.
+    """
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._fh = None
+        self._records = 0
+
+    def begin_cell(self, cell, workload_name, governor_name, dt_s) -> None:
+        from .streamstore import cell_line_prefix
+
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._records = 0
+        self._fh.write(cell_line_prefix(cell, workload_name, governor_name, dt_s))
+
+    def emit(self, record) -> None:
+        if self._records:
+            self._fh.write(",")
+        self._fh.write(json.dumps(record_to_jsonable(record), separators=(",", ":")))
+        self._records += 1
+
+    def end_cell(self, wall_time_s: float = 0.0, logger=None) -> None:
+        from .streamstore import cell_line_suffix
+
+        self._fh.write(cell_line_suffix(wall_time_s) + "\n")
+        self._fh.close()
+        self._fh = None
+
+
+def _spill_cell(cell: ExperimentCell, spill_dir: str) -> str:
+    """Pool-worker unit of work: run one cell, spill it, return the file path."""
+    path = Path(spill_dir) / f"{uuid.uuid4().hex}.jsonl"
+    stream_cell(cell, _SpillSink(path))
+    return str(path)
 
 
 @dataclass
@@ -72,6 +138,48 @@ class ProcessPoolCellExecutor:
             return
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             yield from pool.map(run_cell, cell_list, chunksize=self.chunksize)
+
+    def execute_stream(self, cells: Iterable[ExperimentCell], sink: RecordSink) -> None:
+        """Fan cells out, spilling each finished cell to disk, and merge in order.
+
+        Each worker writes its cell's records as one serialised JSONL line to
+        a scratch file and returns only the path, so nothing heavier than a
+        path crosses the process pipe and the parent holds at most one cell
+        while forwarding it into the sink.  Spill files (and the scratch
+        directory) are removed as they are merged.
+        """
+        cell_list = list(cells)
+        if not cell_list:
+            return
+        if len(cell_list) == 1:
+            stream_cell(cell_list[0], sink)
+            return
+        spill_dir = tempfile.mkdtemp(prefix="repro-spill-")
+        try:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                paths = pool.map(
+                    _spill_cell,
+                    cell_list,
+                    [spill_dir] * len(cell_list),
+                    chunksize=self.chunksize,
+                )
+                for cell, path in zip(cell_list, paths):
+                    with open(path, "r", encoding="utf-8") as fh:
+                        payload = json.loads(fh.readline())
+                    parsed = ResultStore._entry_from_jsonable(payload)
+                    # Keep the parent's original cell object (the spill line's
+                    # descriptive cell would detach explicit traces).
+                    push_cell_result(
+                        sink,
+                        CellResult(
+                            cell=cell,
+                            result=parsed.result,
+                            wall_time_s=parsed.wall_time_s,
+                        ),
+                    )
+                    Path(path).unlink()
+        finally:
+            shutil.rmtree(spill_dir, ignore_errors=True)
 
 
 @dataclass
@@ -130,6 +238,33 @@ class VectorizedExecutor:
         for cell_result in results:
             assert cell_result is not None
             yield cell_result
+
+    def execute_stream(self, cells: Iterable[ExperimentCell], sink: RecordSink) -> None:
+        """Stream cells into the sink, draining each same-trace group as it completes.
+
+        Unlike :meth:`execute` (which buffers every result to restore plan
+        order), groups are processed and drained in first-appearance order,
+        so the live footprint is one group — not the whole plan.  Ungroupable
+        cells stream record-by-record.
+        """
+        cell_list = list(cells)
+        groups: Dict[Tuple, List[int]] = {}
+        units: List[List[int]] = []
+        for index, cell in enumerate(cell_list):
+            key = self._group_key(cell)
+            if key is None:
+                units.append([index])
+                continue
+            if key not in groups:
+                groups[key] = []
+                units.append(groups[key])
+            groups[key].append(index)
+        for unit in units:
+            if len(unit) == 1:
+                stream_cell(cell_list[unit[0]], sink)
+            else:
+                for entry in self._run_group([cell_list[i] for i in unit]):
+                    push_cell_result(sink, entry)
 
     def _run_group(self, group: Sequence[ExperimentCell]) -> List[CellResult]:
         if len(group) == 1:

@@ -1,23 +1,29 @@
 """The batch runner: executes an :class:`ExperimentPlan` through an executor.
 
-:func:`run_cell` is the single-cell unit of work — a module-level function so
-the process-pool executor can pickle it — and :class:`BatchRunner` streams a
-plan through a pluggable executor into a :class:`~repro.runtime.store.ResultStore`.
+:func:`stream_cell` is the single-cell unit of work — it replays one cell and
+pushes every step record into a :class:`~repro.runtime.stream.RecordSink` as
+it is produced.  :func:`run_cell` is the batch form (stream into an in-memory
+collector), kept as a module-level function so the process-pool executor can
+pickle it.  :class:`BatchRunner` runs a plan through a pluggable executor,
+either collecting a :class:`~repro.runtime.store.ResultStore` (:meth:`run`)
+or streaming completed cells into any sink (:meth:`run_stream`) so sweeps
+never hold more than ~one cell's records in memory.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from dataclasses import dataclass
+from typing import Callable, Collection, Iterable, Optional
 
 from ..device.platform import DevicePlatform
 from ..sim.engine import Simulator
 from ..sim.logger import SystemLogger
 from .plan import ExperimentCell, ExperimentPlan
 from .store import CellResult, ResultStore
+from .stream import CollectorSink, RecordSink, push_cell_result
 
-__all__ = ["run_cell", "BatchRunner"]
+__all__ = ["run_cell", "stream_cell", "BatchRunner"]
 
 
 def _build_platform(cell: ExperimentCell) -> DevicePlatform:
@@ -26,16 +32,16 @@ def _build_platform(cell: ExperimentCell) -> DevicePlatform:
     return DevicePlatform(seed=cell.seed)
 
 
-def run_cell(cell: ExperimentCell) -> CellResult:
-    """Execute one experiment cell from scratch and return its result.
+def stream_cell(cell: ExperimentCell, sink: RecordSink) -> None:
+    """Execute one experiment cell from scratch, streaming records into a sink.
 
     Builds the trace, a fresh seeded platform, the governor and (optionally)
     the thermal manager and logger described by the cell — whether wired by
     name/factory or declared by a :class:`~repro.api.specs.PolicySpec` —
-    then replays the trace through :class:`~repro.sim.engine.Simulator`.
-    Deterministic: the same cell always produces the same
-    :class:`StepRecord` stream, which is what lets the serial, process-pool
-    and vectorized executors be used interchangeably.
+    then replays the trace through :meth:`Simulator.iter_records`, emitting
+    each :class:`StepRecord` as it is produced.  Deterministic: the same cell
+    always produces the same record stream, so streamed and collected
+    executions are bit-identical.
     """
     start = time.perf_counter()
     trace = cell.build_trace()
@@ -49,16 +55,30 @@ def run_cell(cell: ExperimentCell) -> CellResult:
         thermal_manager=manager,
         logger=logger,
     )
-    result = simulator.run(
+    sink.begin_cell(
+        cell,
+        workload_name=trace.name,
+        governor_name=simulator.kernel.governor_label(),
+        dt_s=trace.sample_period_s,
+    )
+    for record in simulator.iter_records(
         trace,
         initial_temps=dict(cell.initial_temps) if cell.initial_temps else None,
-    )
-    return CellResult(
-        cell=cell,
-        result=result,
-        logger=logger,
-        wall_time_s=time.perf_counter() - start,
-    )
+    ):
+        sink.emit(record)
+    sink.end_cell(wall_time_s=time.perf_counter() - start, logger=logger)
+
+
+def run_cell(cell: ExperimentCell) -> CellResult:
+    """Execute one experiment cell from scratch and return its result.
+
+    The batch form of :func:`stream_cell`: the record stream is collected
+    into an in-memory :class:`CellResult`.  Both forms share one execution
+    path, which is what keeps them bit-identical.
+    """
+    collector = CollectorSink()
+    stream_cell(cell, collector)
+    return collector.results[0]
 
 
 #: An executor turns a sequence of cells into a stream of results, preserving
@@ -74,7 +94,10 @@ class BatchRunner:
         executor: object with an ``execute(cells) -> iterable of CellResult``
             method (``SerialExecutor`` by default — see
             :mod:`repro.runtime.executors` for the process-pool and vectorized
-            alternatives).
+            alternatives).  Executors may additionally implement
+            ``execute_stream(cells, sink)`` for cell-at-a-time delivery;
+            :meth:`run_stream` falls back to forwarding ``execute`` results
+            otherwise.
     """
 
     executor: Optional[object] = None
@@ -95,6 +118,39 @@ class BatchRunner:
         for cell_result in self.executor.execute(list(plan)):
             store.append(cell_result)
         return store
+
+    def run_stream(
+        self,
+        plan: ExperimentPlan,
+        sink: RecordSink,
+        skip: Collection[str] = (),
+    ) -> int:
+        """Execute a plan, streaming completed cells into a sink.
+
+        Unlike :meth:`run`, nothing is accumulated here: each cell's records
+        flow into the sink as they complete (record-by-record under the
+        serial executor), so the live footprint stays bounded by roughly one
+        cell whatever the plan size.
+
+        Args:
+            plan: the experiment plan.
+            sink: destination for the record stream (e.g. a
+                :class:`~repro.runtime.streamstore.StreamingResultStore`).
+            skip: cell ids to leave out — pass a streaming store's
+                ``completed_cell_ids`` to resume a crashed sweep.
+
+        Returns:
+            The number of cells executed (excluding skipped ones).
+        """
+        skip_set = frozenset(skip)
+        cells = [cell for cell in plan if cell.cell_id not in skip_set]
+        execute_stream = getattr(self.executor, "execute_stream", None)
+        if execute_stream is not None:
+            execute_stream(cells, sink)
+        else:
+            for cell_result in self.executor.execute(cells):
+                push_cell_result(sink, cell_result)
+        return len(cells)
 
     @classmethod
     def for_jobs(cls, jobs: Optional[int], approx_solve: bool = False) -> "BatchRunner":

@@ -24,9 +24,50 @@ from ..sim.logger import SystemLogger
 from ..sim.results import SimulationResult, StepRecord
 from .plan import ExperimentCell
 
-__all__ = ["CellResult", "ResultStore"]
+__all__ = ["CellResult", "ResultStore", "cell_to_jsonable", "record_to_jsonable"]
 
 _STEP_RECORD_FIELDS = tuple(f.name for f in fields(StepRecord))
+
+
+def cell_to_jsonable(cell: ExperimentCell) -> Dict[str, object]:
+    """The cell-identity dictionary persisted with every saved cell result.
+
+    Shared by :meth:`ResultStore.save` and the streaming store's incremental
+    line writer, so batch-saved files and streamed shards serialise cells
+    byte-for-byte identically.
+    """
+    if cell.policy is not None:
+        # The cell's `governor` field is the ignored dataclass default
+        # for policy cells; the effective governor lives in the spec.
+        governor = cell.policy.governor.name
+    elif isinstance(cell.governor, str):
+        governor = cell.governor
+    else:
+        governor = getattr(cell.governor, "name", type(cell.governor).__name__)
+    benchmark = cell.benchmark
+    if benchmark is None and cell.trace is not None:
+        benchmark = cell.trace.name
+    return {
+        "cell_id": cell.cell_id,
+        "benchmark": benchmark,
+        # Benchmark-named cells rebuild their workload faithfully from
+        # (benchmark, seed, duration); explicit traces are not persisted, so
+        # their cells load as descriptive-only.  A loaded detached-trace cell
+        # must re-save as "trace" too, or save→load→save would silently mark
+        # it re-executable.
+        "workload": "trace" if (cell.trace is not None or cell.detached_trace) else "benchmark",
+        "duration_s": cell.duration_s,
+        "governor": governor,
+        "policy": cell.policy.to_spec() if cell.policy is not None else None,
+        "adapter": cell.adapter.to_spec() if cell.adapter is not None else None,
+        "seed": cell.seed,
+        "metadata": dict(cell.metadata),
+    }
+
+
+def record_to_jsonable(record: StepRecord) -> Dict[str, object]:
+    """One step record as the plain dictionary persisted in result files."""
+    return asdict(record)
 
 
 @dataclass(frozen=True)
@@ -137,38 +178,13 @@ class ResultStore:
 
     @staticmethod
     def _entry_to_jsonable(entry: CellResult) -> Dict[str, object]:
-        cell = entry.cell
-        if cell.policy is not None:
-            # The cell's `governor` field is the ignored dataclass default
-            # for policy cells; the effective governor lives in the spec.
-            governor = cell.policy.governor.name
-        elif isinstance(cell.governor, str):
-            governor = cell.governor
-        else:
-            governor = getattr(cell.governor, "name", type(cell.governor).__name__)
-        benchmark = cell.benchmark
-        if benchmark is None and cell.trace is not None:
-            benchmark = cell.trace.name
         return {
-            "cell": {
-                "cell_id": cell.cell_id,
-                "benchmark": benchmark,
-                # Benchmark-named cells rebuild their workload faithfully from
-                # (benchmark, seed, duration); explicit traces are not
-                # persisted, so their cells load as descriptive-only.
-                "workload": "trace" if cell.trace is not None else "benchmark",
-                "duration_s": cell.duration_s,
-                "governor": governor,
-                "policy": cell.policy.to_spec() if cell.policy is not None else None,
-                "adapter": cell.adapter.to_spec() if cell.adapter is not None else None,
-                "seed": cell.seed,
-                "metadata": dict(cell.metadata),
-            },
+            "cell": cell_to_jsonable(entry.cell),
             "result": {
                 "workload_name": entry.result.workload_name,
                 "governor_name": entry.result.governor_name,
                 "dt_s": entry.result.dt_s,
-                "records": [asdict(record) for record in entry.result.records],
+                "records": [record_to_jsonable(record) for record in entry.result.records],
             },
             "wall_time_s": entry.wall_time_s,
         }

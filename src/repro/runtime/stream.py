@@ -1,0 +1,140 @@
+"""Record sinks: the streaming side of the batched experiment runtime.
+
+The batch path materialises every cell's full :class:`~repro.sim.results.
+StepRecord` list before anything is persisted, which caps a sweep at whatever
+fits in RAM.  A :class:`RecordSink` inverts that flow: the simulation layer
+*pushes* records as they are produced — ``begin_cell`` opens one cell,
+``emit`` delivers each step record, ``end_cell`` commits it — and the sink
+decides what to keep.  :class:`CollectorSink` rebuilds the classic in-memory
+:class:`~repro.runtime.store.ResultStore` (which is how the batch path is now
+implemented, guaranteeing the two paths stay bit-identical);
+:class:`~repro.runtime.streamstore.StreamingResultStore` appends each
+completed cell to sharded JSONL on disk; the analysis layer's
+:class:`~repro.analysis.streaming.SummarySink` folds records into O(1)
+running aggregates.  :class:`TeeSink` fans one stream out to several sinks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Protocol, runtime_checkable
+
+from ..sim.results import SimulationResult, StepRecord
+from .store import CellResult, ResultStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.logger import SystemLogger
+    from .plan import ExperimentCell
+
+__all__ = ["RecordSink", "CollectorSink", "TeeSink", "push_cell_result"]
+
+
+@runtime_checkable
+class RecordSink(Protocol):
+    """Consumer of an incrementally produced cell-result stream.
+
+    Executors drive the protocol strictly as ``begin_cell`` → ``emit``* →
+    ``end_cell`` per cell; a cell is only *committed* by ``end_cell``, so a
+    sink interrupted mid-cell (a crash, an executor error) must be able to
+    discard or recover the partial cell — this is what makes the streaming
+    store's resume crash-safe.
+    """
+
+    def begin_cell(
+        self,
+        cell: "ExperimentCell",
+        workload_name: str,
+        governor_name: str,
+        dt_s: float,
+    ) -> None:
+        """Open one cell's record stream."""
+        ...
+
+    def emit(self, record: StepRecord) -> None:
+        """Deliver the next step record of the open cell."""
+        ...
+
+    def end_cell(
+        self, wall_time_s: float = 0.0, logger: Optional["SystemLogger"] = None
+    ) -> None:
+        """Commit the open cell (the logger travels only to in-memory sinks)."""
+        ...
+
+
+class CollectorSink:
+    """Sink that rebuilds in-memory :class:`CellResult` entries.
+
+    This is the batch path expressed as a sink: collecting every record of
+    every cell reproduces exactly what :meth:`BatchRunner.run` returns, which
+    is why :func:`~repro.runtime.runner.run_cell` is implemented as
+    ``stream_cell`` into a collector — one code path, bit-identical outputs.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None):
+        self.store = store
+        self.results: List[CellResult] = []
+        self._cell: Optional["ExperimentCell"] = None
+        self._result: Optional[SimulationResult] = None
+
+    def begin_cell(self, cell, workload_name, governor_name, dt_s) -> None:
+        if self._cell is not None:
+            raise RuntimeError(
+                f"cell {self._cell.cell_id!r} is still open; end_cell it first"
+            )
+        self._cell = cell
+        self._result = SimulationResult(
+            workload_name=workload_name, governor_name=governor_name, dt_s=dt_s
+        )
+
+    def emit(self, record: StepRecord) -> None:
+        self._result.append(record)
+
+    def end_cell(self, wall_time_s: float = 0.0, logger=None) -> None:
+        if self._cell is None:
+            raise RuntimeError("no open cell to commit")
+        entry = CellResult(
+            cell=self._cell, result=self._result, logger=logger, wall_time_s=wall_time_s
+        )
+        self._cell = None
+        self._result = None
+        self.results.append(entry)
+        if self.store is not None:
+            self.store.append(entry)
+
+
+class TeeSink:
+    """Fans one record stream out to several sinks (e.g. disk store + summaries)."""
+
+    def __init__(self, *sinks: RecordSink):
+        if not sinks:
+            raise ValueError("a tee needs at least one sink")
+        self.sinks = sinks
+
+    def begin_cell(self, cell, workload_name, governor_name, dt_s) -> None:
+        for sink in self.sinks:
+            sink.begin_cell(cell, workload_name, governor_name, dt_s)
+
+    def emit(self, record: StepRecord) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def end_cell(self, wall_time_s: float = 0.0, logger=None) -> None:
+        for sink in self.sinks:
+            sink.end_cell(wall_time_s=wall_time_s, logger=logger)
+
+
+def push_cell_result(sink: RecordSink, entry: CellResult) -> None:
+    """Forward an already-materialised cell result through a sink.
+
+    Used wherever a whole cell arrives at once — the vectorized executor's
+    per-group results, the process pool's merged spill files — so every sink
+    sees one uniform protocol.
+    """
+    sink.begin_cell(
+        entry.cell,
+        workload_name=entry.result.workload_name,
+        governor_name=entry.result.governor_name,
+        dt_s=entry.result.dt_s,
+    )
+    for record in entry.result.records:
+        sink.emit(record)
+    sink.end_cell(wall_time_s=entry.wall_time_s, logger=entry.logger)

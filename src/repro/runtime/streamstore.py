@@ -1,0 +1,310 @@
+"""Sharded, append-only JSONL result store with crash-safe resume.
+
+A :class:`StreamingResultStore` is the on-disk counterpart of the in-memory
+:class:`~repro.runtime.store.ResultStore` for sweeps that do not fit in RAM:
+executors push each cell's records through the
+:class:`~repro.runtime.stream.RecordSink` interface and the store appends one
+JSON line per completed cell to the current shard file, rotating to a new
+shard every ``max_cells_per_shard`` cells.  Lines are *byte-identical* to
+what :meth:`ResultStore.save` writes (both build on the same serialisation
+helpers), so a directory of shards is exactly a sharded save file.
+
+Crash safety falls out of the write discipline: a cell's line is written
+incrementally (header at ``begin_cell``, one record per ``emit``, the closing
+``wall_time_s`` and newline at ``end_cell``), so a run killed mid-cell leaves
+a final line that is truncated or unterminated.  Re-opening the directory
+detects that tail, drops it, and leaves the cell out of
+:attr:`completed_cell_ids` — ``sweep --resume`` then re-runs exactly the
+missing cells.  Corruption anywhere *before* the final line is not a crash
+artifact and raises :class:`StoreCorruptionError` instead of loading garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from ..sim.results import StepRecord
+from .store import CellResult, ResultStore, cell_to_jsonable, record_to_jsonable
+
+__all__ = ["StoreCorruptionError", "StreamingResultStore"]
+
+_SHARD_RE = re.compile(r"^shard-(\d{5})\.jsonl$")
+_CELL_ID_RE = re.compile(r'"cell_id":\s*"([^"]*)"')
+
+
+def _shard_name(index: int) -> str:
+    return f"shard-{index:05d}.jsonl"
+
+
+class StoreCorruptionError(ValueError):
+    """A shard is damaged somewhere other than its recoverable final line."""
+
+
+def _dumps(obj: object) -> str:
+    """Compact JSON, matching :meth:`ResultStore.save`'s separators."""
+    return json.dumps(obj, separators=(",", ":"))
+
+
+def cell_line_prefix(cell, workload_name: str, governor_name: str, dt_s: float) -> str:
+    """Everything of a cell's JSONL line that precedes its first record.
+
+    Writing the line as prefix + ","-joined records + suffix produces bytes
+    identical to ``json.dumps(ResultStore._entry_to_jsonable(entry))`` with
+    compact separators — the invariant that makes streamed shards, spill
+    files and batch save files one interchangeable format.
+    """
+    return (
+        '{"cell":'
+        + _dumps(cell_to_jsonable(cell))
+        + ',"result":{"workload_name":'
+        + _dumps(workload_name)
+        + ',"governor_name":'
+        + _dumps(governor_name)
+        + ',"dt_s":'
+        + _dumps(dt_s)
+        + ',"records":['
+    )
+
+
+def cell_line_suffix(wall_time_s: float) -> str:
+    """The closing piece of a cell's JSONL line (without the newline)."""
+    return ']},"wall_time_s":' + _dumps(wall_time_s) + "}"
+
+
+class StreamingResultStore:
+    """Append-only sharded JSONL store implementing the record-sink protocol.
+
+    Opening a directory scans any existing shards, recovers a truncated tail
+    left by a crash (see module docstring) and positions the writer to append
+    after the last committed cell — so the same constructor serves fresh
+    sweeps, resumed sweeps and read-only loading.
+
+    Attributes:
+        directory: the shard directory (created when missing).
+        max_cells_per_shard: shard rotation threshold.
+        recovered_tail: human-readable description of a dropped partial line
+            (``None`` when the directory was clean).
+    """
+
+    def __init__(self, directory, max_cells_per_shard: int = 64):
+        if max_cells_per_shard < 1:
+            raise ValueError("max_cells_per_shard must be at least 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_cells_per_shard = max_cells_per_shard
+        self.recovered_tail: Optional[str] = None
+        self._completed: List[str] = []
+        self._completed_set: set = set()
+        self._fh = None
+        self._open_cell_id: Optional[str] = None
+        self._records_in_open_cell = 0
+        self._scan()
+
+    # -- opening / recovery -----------------------------------------------------
+
+    def _shard_paths(self) -> List[Path]:
+        paths = [p for p in self.directory.iterdir() if _SHARD_RE.match(p.name)]
+        return sorted(paths)
+
+    def _scan(self) -> None:
+        shards = self._shard_paths()
+        for shard_index, path in enumerate(shards):
+            last_shard = shard_index == len(shards) - 1
+            # One line (≈ one cell) at a time, with a single line of
+            # lookahead so the final line is recognisable — the scan keeps
+            # the store's bounded-memory promise even on huge shards.
+            pending: Optional[tuple] = None
+            offset = 0
+            with open(path, "rb") as fh:
+                for raw in fh:
+                    if pending is not None:
+                        self._register_line(*pending, path=path, at_tail=False)
+                    pending = (offset, raw)
+                    offset += len(raw)
+            if pending is not None:
+                line_offset, raw = pending
+                cell_id = self._register_line(
+                    line_offset, raw, path=path, at_tail=last_shard
+                )
+                if cell_id is None:
+                    # Recoverable tail: truncate the crash artifact so the
+                    # next append starts on a clean boundary.
+                    with open(path, "r+b") as fh:
+                        fh.truncate(line_offset)
+        self._shard_index = max(len(shards) - 1, 0)
+        self._cells_in_shard = 0
+        if shards:
+            with open(shards[-1], "r", encoding="utf-8") as fh:
+                self._cells_in_shard = sum(1 for _ in fh)
+            if self._cells_in_shard >= self.max_cells_per_shard:
+                self._shard_index += 1
+                self._cells_in_shard = 0
+
+    def _register_line(
+        self, offset: int, raw: bytes, path: Path, at_tail: bool
+    ) -> Optional[str]:
+        """Record one scanned line's cell, or return ``None`` for a dropped tail."""
+        terminated = raw.endswith(b"\n")
+        line = raw[:-1] if terminated else raw
+        cell_id = self._parse_line(line, terminated, path, at_tail, offset)
+        if cell_id is None:
+            return None
+        if cell_id in self._completed_set:
+            raise StoreCorruptionError(
+                f"duplicate cell {cell_id!r} across shards in {self.directory}"
+            )
+        self._completed.append(cell_id)
+        self._completed_set.add(cell_id)
+        return cell_id
+
+    def _parse_line(
+        self, line: bytes, terminated: bool, path: Path, at_tail: bool, offset: int
+    ) -> Optional[str]:
+        """Cell id of a committed line, or ``None`` for a recoverable tail."""
+        problem = None
+        if not terminated:
+            problem = "unterminated"
+        else:
+            try:
+                payload = json.loads(line)
+                return payload["cell"]["cell_id"]
+            except (ValueError, KeyError, TypeError):
+                problem = "unparseable"
+        if at_tail:
+            match = _CELL_ID_RE.search(line.decode("utf-8", errors="replace"))
+            hint = f" (cell {match.group(1)!r})" if match else ""
+            self.recovered_tail = (
+                f"dropped {problem} final line of {path.name}{hint}; "
+                "the interrupted cell will re-run"
+            )
+            return None
+        raise StoreCorruptionError(
+            f"{path.name}: {problem} line at byte {offset} is not the store's "
+            "final line — this is data corruption, not a crash artifact"
+        )
+
+    # -- resume bookkeeping -----------------------------------------------------
+
+    @property
+    def completed_cell_ids(self) -> frozenset:
+        """Ids of every committed cell (what ``sweep --resume`` skips)."""
+        return frozenset(self._completed_set)
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    # -- the record-sink interface ----------------------------------------------
+
+    def _writer(self):
+        if self._fh is None:
+            path = self.directory / _shard_name(self._shard_index)
+            self._fh = open(path, "a", encoding="utf-8")
+        return self._fh
+
+    def begin_cell(self, cell, workload_name: str, governor_name: str, dt_s: float) -> None:
+        if self._open_cell_id is not None:
+            raise RuntimeError(
+                f"cell {self._open_cell_id!r} is still open; end_cell it first"
+            )
+        if cell.cell_id in self._completed_set:
+            raise ValueError(f"duplicate result for cell {cell.cell_id!r}")
+        self._open_cell_id = cell.cell_id
+        self._records_in_open_cell = 0
+        self._writer().write(cell_line_prefix(cell, workload_name, governor_name, dt_s))
+
+    def emit(self, record: StepRecord) -> None:
+        if self._open_cell_id is None:
+            raise RuntimeError("emit() without an open cell")
+        fh = self._writer()
+        if self._records_in_open_cell:
+            fh.write(",")
+        fh.write(_dumps(record_to_jsonable(record)))
+        self._records_in_open_cell += 1
+
+    def end_cell(self, wall_time_s: float = 0.0, logger=None) -> None:
+        if self._open_cell_id is None:
+            raise RuntimeError("end_cell() without an open cell")
+        fh = self._writer()
+        fh.write(cell_line_suffix(wall_time_s) + "\n")
+        fh.flush()
+        self._completed.append(self._open_cell_id)
+        self._completed_set.add(self._open_cell_id)
+        self._open_cell_id = None
+        self._cells_in_shard += 1
+        if self._cells_in_shard >= self.max_cells_per_shard:
+            fh.close()
+            self._fh = None
+            self._shard_index += 1
+            self._cells_in_shard = 0
+
+    def append(self, entry: CellResult) -> None:
+        """Append one already-materialised cell result (whole-cell form)."""
+        from .stream import push_cell_result
+
+        push_cell_result(self, entry)
+
+    # -- reading ----------------------------------------------------------------
+
+    def iter_results(self) -> Iterator[CellResult]:
+        """Yield each committed cell result, one cell in memory at a time.
+
+        This is the streaming loader the analysis aggregators consume: only
+        the cell currently being processed is materialised, however many
+        shards the sweep produced.
+        """
+        if self._open_cell_id is not None:
+            raise RuntimeError("cannot read while a cell is open for writing")
+        self.flush()
+        for path in self._shard_paths():
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    yield ResultStore._entry_from_jsonable(json.loads(line))
+
+    def load(self) -> ResultStore:
+        """Materialise the whole directory as an in-memory :class:`ResultStore`."""
+        store = ResultStore()
+        for entry in self.iter_results():
+            store.append(entry)
+        return store
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One flat summary row per committed cell, computed in a single pass."""
+        return [
+            {
+                "cell_id": entry.cell.cell_id,
+                **entry.cell.metadata,
+                **entry.result.summary(),
+            }
+            for entry in self.iter_results()
+        ]
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush the current shard to disk."""
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Close the current shard file (the store can be re-opened later)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "StreamingResultStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingResultStore({str(self.directory)!r}, "
+            f"cells={len(self._completed)}, shards={len(self._shard_paths())})"
+        )

@@ -21,7 +21,7 @@ been observed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Protocol, runtime_checkable
 
 from ..api.types import CapDecision, TelemetrySample
 from ..device.platform import DevicePlatform, DeviceStepResult
@@ -238,6 +238,36 @@ class Simulator:
             logger=self.logger,
         )
 
+    def iter_records(
+        self,
+        trace: WorkloadTrace,
+        reset: bool = True,
+        initial_temps: Optional[Dict[str, float]] = None,
+    ) -> Iterator[StepRecord]:
+        """Replay a workload trace, yielding each step record as it is produced.
+
+        This is the streaming form of :meth:`run`: nothing is accumulated, so
+        a consumer that forwards records into a
+        :class:`~repro.runtime.stream.RecordSink` (or folds them into a
+        running aggregate) replays arbitrarily long traces in O(1) memory.
+        The record sequence is exactly :meth:`run`'s — ``run`` is implemented
+        on top of this iterator.
+
+        Args:
+            trace: the workload to replay.
+            reset: reset platform, governor and manager state first (set to
+                False to chain traces back-to-back on a warm device).
+            initial_temps: optional initial node temperatures (°C).
+        """
+        kernel = self.kernel
+        if reset:
+            kernel.reset(initial_temps)
+        elif initial_temps:
+            self.platform.network.set_temperatures(initial_temps)
+        dt = trace.sample_period_s
+        for sample in trace:
+            yield kernel.step(sample, dt, trace.name)
+
     def run(
         self,
         trace: WorkloadTrace,
@@ -252,20 +282,13 @@ class Simulator:
                 False to chain traces back-to-back on a warm device).
             initial_temps: optional initial node temperatures (°C).
         """
-        kernel = self.kernel
-        if reset:
-            kernel.reset(initial_temps)
-        elif initial_temps:
-            self.platform.network.set_temperatures(initial_temps)
-
-        dt = trace.sample_period_s
         result = SimulationResult(
             workload_name=trace.name,
-            governor_name=kernel.governor_label(),
-            dt_s=dt,
+            governor_name=self.kernel.governor_label(),
+            dt_s=trace.sample_period_s,
         )
-        for sample in trace:
-            result.append(kernel.step(sample, dt, trace.name))
+        for record in self.iter_records(trace, reset=reset, initial_temps=initial_temps):
+            result.append(record)
         return result
 
     # Backwards-compatible alias (the label logic moved to the kernel).

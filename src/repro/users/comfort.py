@@ -9,13 +9,18 @@ limit).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from .population import ThermalComfortProfile
 
-__all__ = ["ComfortAnalysis", "analyse_comfort", "discomfort_onset_time"]
+__all__ = [
+    "ComfortAnalysis",
+    "analyse_comfort",
+    "analyse_comfort_stream",
+    "discomfort_onset_time",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +85,55 @@ def analyse_comfort(
         peak_temp_c=float(np.max(temps)),
         peak_exceedance_c=float(np.max(exceedance)),
         mean_exceedance_c=float(np.mean(exceedance)),
+        onset_time_s=None if onset_index is None else float(onset_index * dt_s),
+    )
+
+
+def analyse_comfort_stream(
+    temperatures_c: Iterable[float],
+    limit_c: float,
+    dt_s: float = 1.0,
+    user_id: str = "default",
+) -> ComfortAnalysis:
+    """Single-pass form of :func:`analyse_comfort` for temperature *streams*.
+
+    Consumes any iterable (a generator over streamed step records included)
+    in O(1) memory.  Counts, peaks and the onset time are exactly those of
+    the array form; ``mean_exceedance_c`` is a running sum divided by the
+    count, which may differ from ``np.mean``'s pairwise summation in the
+    last ulp.
+    """
+    if dt_s <= 0:
+        raise ValueError("dt_s must be positive")
+    count = 0
+    over_count = 0
+    peak = float("-inf")
+    peak_exceedance = 0.0
+    exceedance_sum = 0.0
+    onset_index: Optional[int] = None
+    for temp in temperatures_c:
+        temp = float(temp)
+        if temp > peak:
+            peak = temp
+        if temp > limit_c:
+            if onset_index is None:
+                onset_index = count
+            over_count += 1
+            excess = temp - limit_c
+            exceedance_sum += excess
+            if excess > peak_exceedance:
+                peak_exceedance = excess
+        count += 1
+    if count == 0:
+        raise ValueError("cannot analyse an empty temperature trace")
+    return ComfortAnalysis(
+        user_id=user_id,
+        limit_c=limit_c,
+        duration_s=float(count * dt_s),
+        time_over_limit_s=float(over_count * dt_s),
+        peak_temp_c=peak,
+        peak_exceedance_c=peak_exceedance,
+        mean_exceedance_c=exceedance_sum / count,
         onset_time_s=None if onset_index is None else float(onset_index * dt_s),
     )
 

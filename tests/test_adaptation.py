@@ -113,6 +113,85 @@ class TestUserFeedbackModel:
         assert model.observe(1.0, 39.0) is not None
 
 
+class TestAdversarialFeedbackModels:
+    """The noisy/delayed reporter variants (contradictory and lagged reports)."""
+
+    def test_defaults_leave_the_ideal_model_unchanged(self):
+        """flip_probability=0 / delay_s=0 reproduce the ideal reporter exactly."""
+        ideal = UserFeedbackModel(true_limit_c=36.0, report_period_s=10.0)
+        explicit = UserFeedbackModel(
+            true_limit_c=36.0, report_period_s=10.0, flip_probability=0.0, delay_s=0.0
+        )
+        temps = [30.0, 37.0, 34.0, 39.0, 35.5, 31.0, 38.0]
+        for index, temp in enumerate(temps):
+            time_s = 10.0 * (index + 1)
+            assert ideal.observe(time_s, temp) == explicit.observe(time_s, temp)
+
+    def test_flip_probability_one_inverts_every_report(self):
+        model = UserFeedbackModel(true_limit_c=36.0, report_period_s=10.0, flip_probability=1.0)
+        hot = model.observe(10.0, 39.0)  # truly uncomfortable ...
+        assert not hot.is_discomfort  # ... reported as fine
+        fine = model.observe(20.0, 34.5)  # truly fine ...
+        assert fine.is_discomfort  # ... reported as too hot
+        assert fine.skin_temp_c == 34.5  # the felt temperature is untouched
+
+    def test_flip_noise_is_seeded_and_reproducible(self):
+        def kinds(seed):
+            model = UserFeedbackModel(
+                true_limit_c=36.0, report_period_s=5.0, flip_probability=0.5, seed=seed
+            )
+            return [model.observe(5.0 * (i + 1), 37.0).kind for i in range(40)]
+
+        assert kinds(1) == kinds(1)
+        assert kinds(1) != kinds(2)
+        model = UserFeedbackModel(
+            true_limit_c=36.0, report_period_s=5.0, flip_probability=0.5, seed=1
+        )
+        first = [model.observe(5.0 * (i + 1), 37.0).kind for i in range(40)]
+        model.reset()
+        replay = [model.observe(5.0 * (i + 1), 37.0).kind for i in range(40)]
+        assert replay == first  # reset rewinds the noise stream too
+
+    def test_delayed_reports_carry_the_stale_temperature(self):
+        model = UserFeedbackModel(true_limit_c=36.0, report_period_s=10.0, delay_s=7.0)
+        assert model.observe(10.0, 39.0) is None  # felt now, filed later
+        assert model.observe(12.0, 30.0) is None  # not due yet
+        delivered = model.observe(17.0, 30.0)  # due at 10 + 7
+        assert delivered is not None and delivered.is_discomfort
+        assert delivered.skin_temp_c == 39.0  # what the user *felt*, not 30.0
+        assert delivered.time_s == 17.0  # filed now: timestamps stay monotonic
+
+    def test_reset_clears_pending_delayed_reports(self):
+        model = UserFeedbackModel(true_limit_c=36.0, report_period_s=10.0, delay_s=5.0)
+        assert model.observe(10.0, 39.0) is None
+        model.reset()
+        assert model.observe(16.0, 30.0) is None  # the pending report is gone
+
+    def test_invalid_adversarial_parameters_are_rejected(self):
+        with pytest.raises(ValueError, match="flip_probability"):
+            UserFeedbackModel(true_limit_c=36.0, flip_probability=1.5)
+        with pytest.raises(ValueError, match="delay_s"):
+            UserFeedbackModel(true_limit_c=36.0, delay_s=-1.0)
+
+    def test_adapter_spec_accepts_the_adversarial_feedback_keys(self):
+        from repro.api.specs import AdapterSpec
+
+        spec = AdapterSpec(
+            "quantile_tracker",
+            feedback={
+                "true_limit_c": 36.0,
+                "flip_probability": 0.1,
+                "delay_s": 12.0,
+                "seed": 3,
+            },
+        )
+        model = spec.build_feedback()
+        assert model.flip_probability == 0.1
+        assert model.delay_s == 12.0
+        restored = AdapterSpec.from_spec(spec.to_spec())
+        assert restored == spec
+
+
 class TestLiveLimit:
     def test_usta_cap_reads_the_live_limit(self, linear_predictor):
         # linear_predictor: skin ≈ cpu − 5 °C.

@@ -306,6 +306,82 @@ class TestAdaptiveSessionParity:
         assert pool.average_batch_size == 8.0
         assert pool.get("s-0").current_limit_c < 37.0
 
+    def test_feed_many_carries_external_feedback_on_the_batched_path(
+        self, linear_predictor
+    ):
+        """External comfort reports passed to feed_many ride the batched
+        prediction path and decide bit-identically to scalar feed(sample,
+        feedback=...) calls."""
+        spec = self._adaptive_spec(with_feedback=False)  # external feedback only
+        pool = SessionPool()
+        scalar = []
+        for index in range(6):
+            pool.open(f"s-{index}", spec, predictor=linear_predictor)
+            scalar.append(open_session(spec, predictor=linear_predictor))
+        users = [
+            UserFeedbackModel(
+                true_limit_c=self.TRUE_LIMIT_C, report_period_s=self.REPORT_PERIOD_S
+            )
+            for _ in range(2 * 6)
+        ]
+        for t in range(30):
+            skin = 31.0 + 0.3 * t
+            sample = TelemetrySample(
+                time_s=float(t + 1),
+                utilization=0.6,
+                frequency_khz=1_512_000.0,
+                sensor_readings={"cpu": skin + 5.0, "battery": skin + 3.0, "skin": skin},
+            )
+            feedback = {}
+            for index in range(6):
+                event = users[index].observe(sample.time_s, skin)
+                if event is not None:
+                    feedback[f"s-{index}"] = [event]
+            pooled = pool.feed_many({f"s-{i}": sample for i in range(6)}, feedback=feedback)
+            for index, session in enumerate(scalar):
+                event = users[6 + index].observe(sample.time_s, skin)
+                decision = session.feed(sample, feedback=[event] if event else [])
+                assert pooled[f"s-{index}"].level_cap == decision.level_cap
+                assert pooled[f"s-{index}"].comfort_limit_c == decision.comfort_limit_c
+        # Still batched (one matrix predict per due tick), and the external
+        # reports moved the limit.
+        assert pool.batch_count == 10
+        assert pool.average_batch_size == 6.0
+        assert pool.get("s-0").current_limit_c != 37.0
+
+    def test_feed_many_rejects_feedback_without_a_sample(self, linear_predictor):
+        pool = SessionPool()
+        pool.open("a", self._adaptive_spec(with_feedback=False), predictor=linear_predictor)
+        pool.open("b", self._adaptive_spec(with_feedback=False), predictor=linear_predictor)
+        with pytest.raises(KeyError, match="without a telemetry sample"):
+            pool.feed_many(
+                {"a": _sample(1.0, 30.0)},
+                feedback={"b": [FeedbackEvent.discomfort(1.0, 36.0)]},
+            )
+
+    def test_bad_feedback_batch_has_no_effect(self, linear_predictor):
+        """Feedback aimed at an adapterless session fails the whole batch up
+        front — the adaptive session's limit must not have moved."""
+        pool = SessionPool()
+        pool.open("adaptive", self._adaptive_spec(with_feedback=False), predictor=linear_predictor)
+        pool.open(
+            "bare",
+            PolicySpec(manager=ManagerSpec("usta", params={"skin_limit_c": 37.0})),
+            predictor=linear_predictor,
+        )
+        sample = _sample(3.0, 30.0)
+        with pytest.raises(ValueError, match="no comfort adapter"):
+            pool.feed_many(
+                {"adaptive": sample, "bare": sample},
+                feedback={
+                    "adaptive": [FeedbackEvent.discomfort(3.0, 36.0)],
+                    "bare": [FeedbackEvent.discomfort(3.0, 36.0)],
+                },
+            )
+        assert pool.get("adaptive").current_limit_c == 37.0  # untouched
+        assert pool.get("adaptive").feed_count == 0
+        assert pool.feed_count == 0
+
     def test_pool_routes_feedback_by_session_id(self, linear_predictor):
         pool = SessionPool()
         pool.open(

@@ -1,0 +1,169 @@
+"""Tests for the content-addressed predictor artifact cache.
+
+The contract: a ``trained`` predictor recipe resolves by content key (spec
+hash + training-data hash) to a disk artifact, so repeated builds — in this
+process, in a later process, or in process-pool workers — load the trained
+model instead of re-collecting data and retraining, and the loaded model is
+bit-identical to a freshly trained one.
+"""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.api.specs import PredictorSpec
+from repro.core.predictor import predictor_cache_stats, reset_predictor_caches
+from repro.runtime.artifacts import (
+    ARTIFACT_ENV_VAR,
+    ArtifactCache,
+    configured_artifact_cache,
+    predictor_content_key,
+    training_data_sha,
+)
+
+#: A deliberately tiny recipe: one short skype run, linear regression.
+RECIPE = {
+    "model": "linear_regression",
+    "seed": 11,
+    "duration_scale": 0.02,
+    "benchmarks": ["skype"],
+}
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    """Point the process (and its future pool workers) at a fresh cache."""
+    directory = tmp_path / "artifacts"
+    monkeypatch.setenv(ARTIFACT_ENV_VAR, str(directory))
+    reset_predictor_caches()
+    yield directory
+    reset_predictor_caches()
+
+
+def _probe_worker(recipe):
+    """Pool-worker probe: build the recipe, report this process's cache traffic.
+
+    Resets the process-local memo and counters first — under a ``fork`` start
+    method the worker inherits the parent's, which would mask the disk path
+    this probe exists to exercise.
+    """
+    reset_predictor_caches()
+    PredictorSpec(kind="trained", params=recipe).build()
+    return predictor_cache_stats()
+
+
+class TestContentKeys:
+    def test_key_is_stable_and_order_independent(self):
+        a = predictor_content_key("trained", {"model": "reptree", "seed": 1})
+        b = predictor_content_key("trained", {"seed": 1, "model": "reptree"})
+        assert a == b
+
+    def test_key_distinguishes_recipes(self):
+        base = predictor_content_key("trained", RECIPE)
+        changed = dict(RECIPE, seed=12)
+        assert predictor_content_key("trained", changed) != base
+        assert predictor_content_key("other", RECIPE) != base
+
+    def test_training_data_sha_tracks_content(self, small_training_data):
+        sha = training_data_sha(small_training_data)
+        assert sha == training_data_sha(small_training_data)
+        assert len(sha) == 20
+
+
+class TestArtifactCache:
+    def test_store_resolve_round_trip(self, tmp_path, linear_predictor):
+        cache = ArtifactCache(tmp_path)
+        key = predictor_content_key("trained", RECIPE)
+        assert cache.resolve(key) is None
+        path = cache.store(key, "d" * 20, linear_predictor)
+        assert path.exists()
+        assert path.name.endswith("-dddddddddddddddddddd.pkl")
+        loaded = cache.resolve(key)
+        assert loaded is not None
+        features = np.array([[45.0, 42.0, 0.5, 1_512_000.0]])
+        assert loaded.skin_model.predict(features) == linear_predictor.skin_model.predict(
+            features
+        )
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_damaged_artifact_is_a_miss(self, tmp_path, linear_predictor):
+        cache = ArtifactCache(tmp_path)
+        key = predictor_content_key("trained", RECIPE)
+        path = cache.store(key, "d" * 20, linear_predictor)
+        path.write_bytes(b"\x80not a pickle")
+        assert cache.resolve(key) is None
+
+    def test_env_var_off_disables(self, monkeypatch):
+        for value in ("off", "", "none", "0"):
+            monkeypatch.setenv(ARTIFACT_ENV_VAR, value)
+            assert configured_artifact_cache() is None
+
+    def test_env_var_selects_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ARTIFACT_ENV_VAR, str(tmp_path / "c"))
+        cache = configured_artifact_cache()
+        assert cache is not None
+        assert cache.directory == tmp_path / "c"
+
+
+class TestTrainedRecipeIntegration:
+    def test_disk_cache_answers_second_process_lifetime(self, cache_dir):
+        """Clearing the in-memory memo (≈ a new process) hits the disk artifact."""
+        first = PredictorSpec(kind="trained", params=RECIPE).build()
+        stats = predictor_cache_stats()
+        assert stats["trained"] == 1 and stats["stored"] == 1
+
+        reset_predictor_caches()  # forget the in-memory memo, keep the disk
+        second = PredictorSpec(kind="trained", params=RECIPE).build()
+        stats = predictor_cache_stats()
+        assert stats["trained"] == 0
+        assert stats["disk_hits"] == 1
+
+        features = np.array([[45.0, 42.0, 0.5, 1_512_000.0], [30.0, 29.0, 0.1, 384_000.0]])
+        assert np.array_equal(
+            first.skin_model.predict(features), second.skin_model.predict(features)
+        )
+
+    def test_memory_memo_still_first(self, cache_dir):
+        PredictorSpec(kind="trained", params=RECIPE).build()
+        PredictorSpec(kind="trained", params=RECIPE).build()
+        stats = predictor_cache_stats()
+        assert stats["memory_hits"] == 1
+        assert stats["trained"] == 1
+
+    def test_two_worker_processes_hit_cache_without_retraining(self, cache_dir):
+        """The acceptance criterion: ≥1 cache hit across two processes, no retrain."""
+        # Warm the disk cache once in the parent ...
+        PredictorSpec(kind="trained", params=RECIPE).build()
+        assert predictor_cache_stats()["stored"] == 1
+        artifacts_before = {p.name: p.stat().st_mtime for p in cache_dir.glob("*.pkl")}
+
+        # ... then let two fresh worker processes build the same recipe.
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            worker_stats = list(pool.map(_probe_worker, [RECIPE, RECIPE], chunksize=1))
+        for stats in worker_stats:
+            assert stats["trained"] == 0, "a worker retrained despite the artifact cache"
+            assert stats["disk_hits"] >= 1
+        # Nobody rewrote the artifact.
+        artifacts_after = {p.name: p.stat().st_mtime for p in cache_dir.glob("*.pkl")}
+        assert artifacts_after == artifacts_before
+
+    def test_artifact_payload_names_spec_and_data(self, cache_dir, small_training_data):
+        PredictorSpec(kind="trained", params=RECIPE).build()
+        [artifact] = list(cache_dir.glob("*.pkl"))
+        spec_sha, data_sha = artifact.stem.split("-")
+        assert spec_sha == predictor_content_key(
+            "trained",
+            {
+                "model": RECIPE["model"],
+                "seed": RECIPE["seed"],
+                "duration_scale": RECIPE["duration_scale"],
+                "benchmarks": RECIPE["benchmarks"],
+                "include_screen": True,
+                "log_period_s": 3.0,
+            },
+        )
+        payload = pickle.loads(artifact.read_bytes())
+        assert payload["data_sha"] == data_sha
+        assert payload["predictor"].skin_model.is_fitted

@@ -54,6 +54,20 @@ class TestCliParser:
         with pytest.raises(SystemExit, match="--policy only applies"):
             main(["table1", "--policy", "examples/policy.json"])
 
+    def test_streaming_flags(self):
+        args = build_parser().parse_args(["sweep", "--stream-to", "out", "--resume"])
+        assert args.stream_to == "out"
+        assert args.resume is True
+        assert build_parser().parse_args(["sweep"]).stream_to is None
+
+    def test_stream_to_rejected_for_experiments_that_ignore_it(self):
+        with pytest.raises(SystemExit, match="--stream-to only applies"):
+            main(["fig1", "--stream-to", "out"])
+
+    def test_resume_requires_stream_to(self):
+        with pytest.raises(SystemExit, match="--resume needs --stream-to"):
+            main(["sweep", "--resume"])
+
 
 class TestCliExecution:
     def test_fig4_end_to_end(self, capsys):

@@ -197,6 +197,104 @@ class TestAdapterInvariants:
             assert wrapped.observe(**kwargs) == bare.observe(**kwargs)
 
 
+# -- adversarial feedback stress ---------------------------------------------------
+#
+# The documented tolerance (see UserFeedbackModel / QuantileTracker): on the
+# standard probe the quantile tracker converges within 0.5 °C of the user's
+# true limit with an ideal or delayed (≤ 30 s) reporter, and stays within its
+# trust window (3.0 °C) when up to 20 % of reports are contradictory.
+
+from repro.analysis.adaptation import limit_probe_temperatures  # noqa: E402
+
+_STRESS_PROBE = limit_probe_temperatures(dt_s=1.0)
+
+
+def _track_through_probe(
+    true_limit_c: float, comfort_band_c: float = 3.0, **feedback_kwargs
+) -> float:
+    """Final |error| of a default quantile tracker after the standard probe."""
+    tracker = QuantileTracker(initial_limit_c=37.0)
+    user = UserFeedbackModel(
+        true_limit_c=true_limit_c,
+        report_period_s=10.0,
+        comfort_band_c=comfort_band_c,
+        **feedback_kwargs,
+    )
+    for index, temp in enumerate(_STRESS_PROBE):
+        event = user.observe(float(index + 1), float(temp))
+        if event is not None:
+            tracker.observe(event)
+    return abs(tracker.current_limit_c - true_limit_c)
+
+
+class TestAdversarialFeedbackStress:
+    @given(
+        true_limit=st.floats(34.0, 42.8, **finite),
+        flip=st.floats(0.0, 0.2, **finite),
+        seed=st.integers(0, 2**16),
+    )
+    def test_quantile_tracker_tolerates_contradictory_reports(self, true_limit, flip, seed):
+        assert _track_through_probe(true_limit, flip_probability=flip, seed=seed) <= 3.0
+
+    @given(
+        true_limit=st.floats(34.0, 42.8, **finite),
+        delay=st.floats(0.0, 30.0, **finite),
+    )
+    def test_quantile_tracker_tolerates_delayed_reports(self, true_limit, delay):
+        assert _track_through_probe(true_limit, delay_s=delay) <= 0.5
+
+    @given(true_limit=st.floats(40.5, 44.5, **finite))
+    def test_trust_window_does_not_freeze_far_limits(self, true_limit):
+        """A limit far outside the trust window still converges: persistent
+        far reports escape the outlier filter (regression: the window used
+        to reject them all, freezing the tracker at its initial estimate)."""
+        assert _track_through_probe(true_limit) <= 0.5
+
+    def test_trust_window_escape_with_narrow_comfort_band(self):
+        # band 0.5 puts every informative report ≥3.5 °C from the initial
+        # estimate — only the streak escape lets the tracker move at all.
+        error = _track_through_probe(41.0, comfort_band_c=0.5)
+        assert error <= 0.5
+
+    @given(
+        true_limit=st.floats(34.0, 42.8, **finite),
+        flip=st.floats(0.0, 0.15, **finite),
+        delay=st.floats(0.0, 20.0, **finite),
+        seed=st.integers(0, 2**16),
+    )
+    def test_quantile_tracker_tolerates_combined_adversity(
+        self, true_limit, flip, delay, seed
+    ):
+        error = _track_through_probe(
+            true_limit, flip_probability=flip, delay_s=delay, seed=seed
+        )
+        assert error <= 3.0
+
+    @given(
+        true_limit=st.floats(34.0, 42.8, **finite),
+        flip=st.floats(0.0, 1.0, **finite),
+        delay=st.floats(0.0, 120.0, **finite),
+        seed=st.integers(0, 2**16),
+    )
+    def test_tracker_limit_stays_plausible_under_any_adversity(
+        self, true_limit, flip, delay, seed
+    ):
+        """Whatever the reporter does, the live limit never leaves its clamp."""
+        tracker = QuantileTracker(initial_limit_c=37.0)
+        user = UserFeedbackModel(
+            true_limit_c=true_limit,
+            report_period_s=10.0,
+            flip_probability=flip,
+            delay_s=delay,
+            seed=seed,
+        )
+        for index, temp in enumerate(_STRESS_PROBE[:600]):
+            event = user.observe(float(index + 1), float(temp))
+            if event is not None:
+                tracker.observe(event)
+            assert tracker.min_limit_c <= tracker.current_limit_c <= tracker.max_limit_c
+
+
 # -- spec round-trips ------------------------------------------------------------
 
 
