@@ -15,9 +15,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Recursively expanded (=) so the probe only runs for targets that use it.
 COV_FLAGS = $(shell $(PYTHON) -c "import importlib.util as u; print('--cov=repro --cov-fail-under=80' if u.find_spec('pytest_cov') else '')")
 
-.PHONY: check test coverage smoke serve-smoke stream-smoke golden lint bench-baseline
+.PHONY: check test coverage smoke serve-smoke stream-smoke bench-smoke golden lint bench-baseline
 
-check: test smoke serve-smoke stream-smoke
+check: test smoke serve-smoke stream-smoke bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q $(COV_FLAGS)
@@ -42,6 +42,13 @@ stream-smoke:
 	$(PYTHON) -m repro sweep --scale 0.02 --model linear_regression --stream-to .stream-smoke
 	$(PYTHON) -m repro sweep --scale 0.02 --model linear_regression --stream-to .stream-smoke --resume
 	rm -rf .stream-smoke
+
+# Perf gate for the heterogeneous vectorized engine: a scaled-down
+# mixed-trace sweep must run bit-identical to — and clearly faster than —
+# sequential execution (generous threshold; catches scalar-fallback
+# regressions, not machine noise).
+bench-smoke:
+	$(PYTHON) benchmarks/bench_batch_runtime.py --smoke
 
 lint:
 	$(PYTHON) -m ruff check .

@@ -1,21 +1,29 @@
 """Benchmarks of the batched experiment runtime.
 
-Not a paper figure: these measure the three performance tiers the runtime
+Not a paper figure: these measure the performance tiers the runtime
 introduces —
 
 1. prefactored implicit thermal stepping (vs the seed's rebuild-and-solve),
 2. a single ``Simulator.run`` on the prefactored substrate,
 3. a 16-user same-trace population through the vectorized engine (vs 16
    sequential ``Simulator.run`` calls),
+4. a heterogeneous 24-cell *mixed-trace* sweep (six distinct benchmarks ×
+   four seeds) three ways: sequential, the old same-trace-only grouping, and
+   the structure-of-arrays batch that integrates all 24 cells at once,
 
 so regressions in the batching machinery are visible over time.
 
 Run under pytest-benchmark as part of the harness, or directly::
 
-    python benchmarks/bench_batch_runtime.py
+    python benchmarks/bench_batch_runtime.py            # rewrite the baseline
+    python benchmarks/bench_batch_runtime.py --smoke    # CI gate: SoA > serial
 
-which re-measures everything and rewrites ``benchmarks/BENCH_batch_runtime.json``
-— the committed baseline that gives future PRs a perf trajectory.
+The first form re-measures everything and rewrites
+``benchmarks/BENCH_batch_runtime.json`` — the committed baseline that gives
+future PRs a perf trajectory.  ``--smoke`` runs a scaled-down mixed-trace
+sweep and exits non-zero unless the SoA batch beats sequential execution by a
+generous margin (so CI catches a silent fallback to the scalar path without
+being flaky about machine speed).
 """
 
 import json
@@ -30,7 +38,11 @@ import numpy as np
 
 from repro.device.platform import DevicePlatform
 from repro.governors import OndemandGovernor
-from repro.runtime import PopulationMember, simulate_population
+from repro.runtime import (
+    PopulationMember,
+    simulate_population,
+    simulate_population_mixed,
+)
 from repro.sim.engine import Simulator
 from repro.thermal import ThermalSolver, build_nexus4_network
 from repro.workloads.benchmarks import build_benchmark
@@ -38,6 +50,18 @@ from repro.workloads.benchmarks import build_benchmark
 POWER = {"cpu": 2.5, "screen": 0.5, "board": 0.6, "battery": 0.2}
 POPULATION_SIZE = 16
 TRACE_SECONDS = 600.0
+
+#: The heterogeneous sweep: six distinct traces of different lengths × four
+#: platform seeds = 24 cells, the shape of a realistic evaluation grid.
+MIXED_CONFIGS = (
+    ("skype", 600.0),
+    ("youtube", 480.0),
+    ("antutu_tester", 360.0),
+    ("gfxbench", 300.0),
+    ("game", 420.0),
+    ("record", 240.0),
+)
+MIXED_SEEDS = 4
 
 
 def _unfactored_step(network, dt_s, power_w):
@@ -70,6 +94,54 @@ def _sequential_population(trace, count):
         simulator = Simulator(platform=platform, governor=OndemandGovernor(table=platform.freq_table))
         results.append(simulator.run(trace))
     return results
+
+
+def _mixed_pairs(configs=MIXED_CONFIGS, seeds=MIXED_SEEDS, duration_scale=1.0):
+    """(trace, platform seed) per cell of the heterogeneous sweep."""
+    traces = [
+        build_benchmark(name, seed=0, duration_s=duration * duration_scale)
+        for name, duration in configs
+    ]
+    return [(trace, seed) for trace in traces for seed in range(seeds)]
+
+
+def _mixed_members(pairs):
+    members = []
+    for _, seed in pairs:
+        platform = DevicePlatform(seed=seed)
+        members.append(
+            PopulationMember(platform=platform, governor=OndemandGovernor(table=platform.freq_table))
+        )
+    return members
+
+
+def _mixed_sequential(pairs):
+    """The serial executor's shape: one scalar Simulator.run per cell."""
+    results = []
+    for trace, seed in pairs:
+        platform = DevicePlatform(seed=seed)
+        results.append(
+            Simulator(platform=platform, governor=OndemandGovernor(table=platform.freq_table)).run(trace)
+        )
+    return results
+
+
+def _mixed_same_trace_grouped(pairs):
+    """The pre-SoA vectorized executor: one population call per distinct trace."""
+    results = []
+    by_trace = {}
+    for trace, seed in pairs:
+        by_trace.setdefault(id(trace), (trace, []))[1].append(seed)
+    for trace, seeds in by_trace.values():
+        results.extend(
+            simulate_population(trace, _mixed_members([(trace, s) for s in seeds]))
+        )
+    return results
+
+
+def _mixed_soa(pairs):
+    """The heterogeneous engine: every cell in one structure-of-arrays batch."""
+    return simulate_population_mixed([trace for trace, _ in pairs], _mixed_members(pairs))
 
 
 # ---------------------------------------------------------------------------
@@ -121,6 +193,20 @@ def bench_population_16_vectorized_blocked(benchmark):
     assert len(results) == POPULATION_SIZE
 
 
+def bench_mixed_24_sequential(benchmark):
+    """The heterogeneous 24-cell sweep as 24 sequential Simulator.run calls."""
+    pairs = _mixed_pairs()
+    results = benchmark.pedantic(lambda: _mixed_sequential(pairs), rounds=3, iterations=1)
+    assert len(results) == len(pairs)
+
+
+def bench_mixed_24_soa_batch(benchmark):
+    """The heterogeneous 24-cell sweep as one structure-of-arrays batch."""
+    pairs = _mixed_pairs()
+    results = benchmark.pedantic(lambda: _mixed_soa(pairs), rounds=3, iterations=1)
+    assert len(results) == len(pairs)
+
+
 # ---------------------------------------------------------------------------
 # baseline writer (python benchmarks/bench_batch_runtime.py)
 # ---------------------------------------------------------------------------
@@ -160,6 +246,13 @@ def write_baseline(path=BASELINE_PATH):
         lambda: simulate_population(trace, _population_members(POPULATION_SIZE), exact=False)
     )
 
+    # -- heterogeneous mixed-trace sweep -----------------------------------
+    pairs = _mixed_pairs()
+    mixed_sequential_s = _time_call(lambda: _mixed_sequential(pairs))
+    mixed_grouped_s = _time_call(lambda: _mixed_same_trace_grouped(pairs))
+    mixed_soa_s = _time_call(lambda: _mixed_soa(pairs))
+    mixed_member_steps = sum(len(t) for t, _ in pairs)
+
     steps = len(trace)
     member_steps = steps * POPULATION_SIZE
     baseline = {
@@ -187,6 +280,18 @@ def write_baseline(path=BASELINE_PATH):
             "speedup_exact": sequential_s / vectorized_s,
             "speedup_blocked": sequential_s / blocked_s,
         },
+        "mixed_trace_population": {
+            "cells": len(pairs),
+            "distinct_traces": len(MIXED_CONFIGS),
+            "member_steps": mixed_member_steps,
+            "sequential_s": mixed_sequential_s,
+            "same_trace_grouped_s": mixed_grouped_s,
+            "soa_batch_s": mixed_soa_s,
+            "sequential_member_steps_per_s": mixed_member_steps / mixed_sequential_s,
+            "soa_member_steps_per_s": mixed_member_steps / mixed_soa_s,
+            "speedup_soa_vs_sequential": mixed_sequential_s / mixed_soa_s,
+            "speedup_soa_vs_grouped": mixed_grouped_s / mixed_soa_s,
+        },
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(baseline, handle, indent=2)
@@ -194,8 +299,46 @@ def write_baseline(path=BASELINE_PATH):
     return baseline
 
 
+#: Generous smoke-gate threshold: the committed baseline records >3x, but CI
+#: machines are noisy — the gate only has to catch a collapse to the scalar
+#: path (speedup ~1.0), not defend the exact number.
+SMOKE_MIN_SPEEDUP = 1.5
+
+
+def run_smoke(min_speedup=SMOKE_MIN_SPEEDUP):
+    """Scaled-down mixed-trace sweep; fail unless the SoA batch clearly wins."""
+    pairs = _mixed_pairs(configs=MIXED_CONFIGS[:4], seeds=3, duration_scale=0.5)
+    sequential_results = _mixed_sequential(pairs)
+    soa_results = _mixed_soa(pairs)
+    for reference, batched in zip(sequential_results, soa_results):
+        if reference.records != batched.records:
+            print("bench-smoke: FAIL — SoA batch records diverged from sequential")
+            return 1
+    sequential_s = _time_call(lambda: _mixed_sequential(pairs), repeats=2)
+    soa_s = _time_call(lambda: _mixed_soa(pairs), repeats=2)
+    member_steps = sum(len(t) for t, _ in pairs)
+    speedup = sequential_s / soa_s
+    print(
+        f"bench-smoke: {len(pairs)} mixed-trace cells, {member_steps} member-steps — "
+        f"sequential {member_steps / sequential_s:,.0f}/s, "
+        f"SoA batch {member_steps / soa_s:,.0f}/s ({speedup:.2f}x)"
+    )
+    if speedup < min_speedup:
+        print(
+            f"bench-smoke: FAIL — SoA speedup {speedup:.2f}x below the "
+            f"{min_speedup:.1f}x gate (scalar fallback regression?)"
+        )
+        return 1
+    print("bench-smoke: OK (records bit-identical, batch clearly faster)")
+    return 0
+
+
 if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        sys.exit(run_smoke())
     report = write_baseline()
     print(json.dumps(report, indent=2))
     speedup = report["population_16"]["speedup_exact"]
+    mixed = report["mixed_trace_population"]["speedup_soa_vs_sequential"]
     print(f"\n16-user population speedup (bit-exact): {speedup:.2f}x", file=sys.stderr)
+    print(f"24-cell mixed-trace SoA speedup (bit-exact): {mixed:.2f}x", file=sys.stderr)

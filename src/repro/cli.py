@@ -136,6 +136,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep: allow the blocked (non-bit-exact) vectorized thermal solve",
     )
     parser.add_argument(
+        "--explain-batching",
+        action="store_true",
+        help=(
+            "sweep: print the vectorized executor's batch plan (which cells "
+            "join the structure-of-arrays batch, which fall back to the "
+            "scalar kernel, and why) instead of running the sweep — silent "
+            "fallbacks are the usual cause of a perf regression"
+        ),
+    )
+    parser.add_argument(
         "--stream-to",
         default=None,
         metavar="DIR",
@@ -272,6 +282,18 @@ def _run_sweep(context: ReproductionContext, args: argparse.Namespace) -> str:
             )
 
     runner = BatchRunner.for_jobs(args.jobs, approx_solve=args.approx_solve)
+    if args.explain_batching:
+        from .runtime.executors import VectorizedExecutor
+
+        if not isinstance(runner.executor, VectorizedExecutor):
+            raise SystemExit(
+                "repro-usta sweep: --explain-batching describes the in-process "
+                "vectorized runner; drop --jobs to use it"
+            )
+        cells = list(plan)
+        return runner.executor.batch_plan(cells).describe(cells) + (
+            "\n(dry run: no cell was executed)"
+        )
     profiles = {p.user_id: p for p in context.population}
     start = time.perf_counter()
     footers: List[str] = []
@@ -543,6 +565,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.resume and args.stream_to is None:
         raise SystemExit("repro-usta: --resume needs --stream-to")
+    if args.explain_batching and args.experiment != "sweep":
+        raise SystemExit(
+            f"repro-usta: --explain-batching only applies to 'sweep', "
+            f"not {args.experiment!r}"
+        )
 
     # Context-free subcommands: neither needs the trained predictor, so they
     # dispatch before the expensive reproduction-context build.

@@ -12,10 +12,13 @@ Executors trade scheduling for the same deterministic results:
 * :class:`~repro.runtime.executors.SerialExecutor` — simple in-process loop;
 * :class:`~repro.runtime.executors.ProcessPoolCellExecutor` — cells fan out
   over a process pool (``repro-usta table1 --jobs 4``);
-* :class:`~repro.runtime.executors.VectorizedExecutor` — cells sharing one
-  workload trace integrate in lockstep through
-  :func:`~repro.runtime.vectorized.simulate_population`, turning N thermal
-  solves per step into one batched solve on the cached LU factorization.
+* :class:`~repro.runtime.executors.VectorizedExecutor` — every
+  batch-eligible cell, whatever its workload trace, integrates in lockstep
+  as one structure-of-arrays batch through
+  :func:`~repro.runtime.vectorized.simulate_population_mixed`, turning N
+  thermal solves per tick into one batched solve on the cached LU
+  factorization (with live-prefix early exit for short traces and a
+  columnar record path; ``plan_batches`` explains the partition).
 
 For sweeps too large to hold in memory, the record path also runs
 *streaming*: executors push each completed cell through the
@@ -48,7 +51,14 @@ Quickstart::
 
 from .artifacts import ArtifactCache, configured_artifact_cache
 from .executors import ProcessPoolCellExecutor, SerialExecutor, VectorizedExecutor
-from .plan import ConstantManagerFactory, ExperimentCell, ExperimentPlan
+from .plan import (
+    BatchPlan,
+    ConstantManagerFactory,
+    ExperimentCell,
+    ExperimentPlan,
+    batch_ineligibility,
+    plan_batches,
+)
 from .runner import BatchRunner, run_cell, stream_cell
 from .store import CellResult, ResultStore
 from .stream import CollectorSink, RecordSink, TeeSink, push_cell_result
@@ -57,10 +67,12 @@ from .vectorized import (
     PopulationMember,
     VectorizationError,
     simulate_population,
+    simulate_population_mixed,
 )
 
 __all__ = [
     "ArtifactCache",
+    "BatchPlan",
     "BatchRunner",
     "CellResult",
     "CollectorSink",
@@ -77,9 +89,12 @@ __all__ = [
     "TeeSink",
     "VectorizationError",
     "VectorizedExecutor",
+    "batch_ineligibility",
     "configured_artifact_cache",
+    "plan_batches",
     "push_cell_result",
     "run_cell",
     "simulate_population",
+    "simulate_population_mixed",
     "stream_cell",
 ]

@@ -1,19 +1,21 @@
-"""Cell executors: serial, process pool, and vectorized same-trace batching.
+"""Cell executors: serial, process pool, and heterogeneous vectorized batching.
 
 An executor consumes a list of :class:`~repro.runtime.plan.ExperimentCell`
 entries and yields one :class:`~repro.runtime.store.CellResult` per cell *in
 input order*.  All three executors are deterministic and interchangeable:
 for a given plan they produce identical :class:`StepRecord` streams (the
-parity tests in ``tests/test_runtime.py`` assert this bit-for-bit).
+parity tests in ``tests/test_runtime.py`` and
+``tests/test_heterogeneous_batch.py`` assert this bit-for-bit).
 
 * :class:`SerialExecutor` — one cell after another in the current process.
 * :class:`ProcessPoolCellExecutor` — cells fan out over a
   ``concurrent.futures`` process pool; cells and their manager factories must
   be picklable.
-* :class:`VectorizedExecutor` — cells that share a workload trace and the
-  default platform are batched through
-  :func:`~repro.runtime.vectorized.simulate_population`; everything else
-  falls back to the wrapped executor.
+* :class:`VectorizedExecutor` — every batch-eligible cell, whatever its
+  workload trace, joins one structure-of-arrays batch per sample period
+  through :func:`~repro.runtime.vectorized.simulate_population_mixed`;
+  ineligible cells fall back to the scalar kernel (the partition and its
+  reasons are inspectable via :meth:`VectorizedExecutor.batch_plan`).
 
 Every executor additionally implements ``execute_stream(cells, sink)``, the
 bounded-memory form :meth:`BatchRunner.run_stream` drives: completed cells
@@ -23,10 +25,12 @@ accumulating.  The serial executor streams record-by-record (live footprint
 one serialised JSONL line to a scratch file and the parent merges lines into
 the sink in completion order, so neither the workers' result pickles nor the
 parent ever hold more than ~one cell; the vectorized executor integrates a
-same-trace group in lockstep (inherently O(group) live) and then drains the
-group into the sink cell by cell.  Stream delivery order is first-appearance
-group order — identical to plan order whenever grouped cells are contiguous;
-sinks key cells by id, so order never affects resume or analysis.
+batch in lockstep (inherently O(batch) live — bounded by its
+``max_batch_members`` cap, 256 by default) and then drains the batch into
+the sink cell by cell.
+Stream delivery order is first-appearance unit order — identical to plan
+order whenever batched cells are contiguous; sinks key cells by id, so order
+never affects resume or analysis.
 """
 
 from __future__ import annotations
@@ -39,16 +43,20 @@ import uuid
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..device.platform import DevicePlatform
-from ..governors.base import Governor
 from ..sim.logger import SystemLogger
-from .plan import ExperimentCell
+from ..workloads.trace import WorkloadTrace
+from .plan import BatchPlan, ExperimentCell, plan_batches
 from .runner import run_cell, stream_cell
 from .store import CellResult, ResultStore, record_to_jsonable
 from .stream import RecordSink, push_cell_result
-from .vectorized import PopulationMember, VectorizationError, simulate_population
+from .vectorized import (
+    PopulationMember,
+    VectorizationError,
+    simulate_population_mixed,
+)
 
 __all__ = [
     "SerialExecutor",
@@ -184,93 +192,93 @@ class ProcessPoolCellExecutor:
 
 @dataclass
 class VectorizedExecutor:
-    """Batches same-trace cells through the vectorized population engine.
+    """Batches cells through the heterogeneous vectorized population engine.
 
-    Cells are grouped by workload identity (same explicit trace object, or
-    same ``(benchmark, seed, duration)``); each group of two or more
-    default-platform cells becomes one
-    :func:`~repro.runtime.vectorized.simulate_population` call.  Ungroupable
-    cells (custom platforms, pre-built governor instances, singleton groups)
-    run through :func:`~repro.runtime.runner.run_cell` unchanged, as does any
-    group the population engine rejects.
+    Planning (:func:`~repro.runtime.plan.plan_batches`) puts *every*
+    batch-eligible cell — whatever its benchmark, trace, duration, seed,
+    policy or adapter — into one structure-of-arrays batch per sample period,
+    executed through :func:`~repro.runtime.vectorized.
+    simulate_population_mixed`.  Ineligible cells (custom platforms,
+    pre-built governor instances, detached traces, a lone cell at its sample
+    period) run through :func:`~repro.runtime.runner.run_cell` unchanged, as
+    does any batch the population engine rejects at validation time.  Use
+    :meth:`batch_plan` (or ``repro sweep --explain-batching``) to see exactly
+    which cells batched and why the rest fell back.
 
     Attributes:
-        exact: forwarded to :func:`simulate_population`; keep True (default)
-            for bit-identical parity with the scalar engine.
+        exact: forwarded to the population engine; keep True (default) for
+            bit-identical parity with the scalar engine.
+        max_batch_members: ceiling on members per batch.  A batch's staging
+            matrices (trace columns, sensor noise, the columnar record
+            buffer) are O(members × steps) live, so the default cap keeps
+            the footprint bounded by a constant number of cells whatever the
+            plan size — the cross-member amortisation saturates far below
+            it.  ``None`` removes the cap (one batch per sample period).
     """
 
-    exact: bool = True
+    #: Default ceiling on members per SoA batch: large enough that the
+    #: vectorization win is fully amortised, small enough that a streamed
+    #: million-cell plan stages at most ~this many cells at a time.
+    DEFAULT_MAX_BATCH_MEMBERS = 256
 
-    @staticmethod
-    def _group_key(cell: ExperimentCell) -> Optional[Tuple]:
-        if cell.platform_factory is not None:
-            return None  # custom hardware — cannot assume a shared network
-        if isinstance(cell.governor, Governor):
-            return None  # pre-built instances may be shared between cells
-        if cell.trace is not None:
-            return ("trace", id(cell.trace), cell.duration_s)
-        return ("bench", cell.benchmark, cell.seed, cell.duration_s)
+    exact: bool = True
+    max_batch_members: Optional[int] = DEFAULT_MAX_BATCH_MEMBERS
+
+    def batch_plan(self, cells: Sequence[ExperimentCell]) -> BatchPlan:
+        """The batch/fallback partition this executor would use for ``cells``."""
+        return plan_batches(cells, max_batch_members=self.max_batch_members)
 
     def execute(self, cells: Iterable[ExperimentCell]) -> Iterator[CellResult]:
         """Yield one result per cell, in input order."""
         cell_list = list(cells)
-        groups: Dict[Tuple, List[int]] = {}
-        order: List[Tuple] = []
-        singles: List[int] = []
-        for index, cell in enumerate(cell_list):
-            key = self._group_key(cell)
-            if key is None:
-                singles.append(index)
-                continue
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(index)
-
+        batch_plan = self.batch_plan(cell_list)
         results: List[Optional[CellResult]] = [None] * len(cell_list)
-        for index in singles:
-            results[index] = run_cell(cell_list[index])
-        for key in order:
-            indices = groups[key]
-            group = [cell_list[i] for i in indices]
-            for i, cell_result in zip(indices, self._run_group(group)):
+        for index, _reason in batch_plan.scalar:
+            results[index] = run_cell(
+                cell_list[index], trace=batch_plan.traces.get(index)
+            )
+        for batch in batch_plan.batches:
+            group = [cell_list[i] for i in batch]
+            traces = [batch_plan.traces[i] for i in batch]
+            for i, cell_result in zip(batch, self._run_batch(group, traces)):
                 results[i] = cell_result
         for cell_result in results:
             assert cell_result is not None
             yield cell_result
 
     def execute_stream(self, cells: Iterable[ExperimentCell], sink: RecordSink) -> None:
-        """Stream cells into the sink, draining each same-trace group as it completes.
+        """Stream cells into the sink, draining each batch as it completes.
 
         Unlike :meth:`execute` (which buffers every result to restore plan
-        order), groups are processed and drained in first-appearance order,
-        so the live footprint is one group — not the whole plan.  Ungroupable
-        cells stream record-by-record.
+        order), units are processed and drained in first-appearance order —
+        each structure-of-arrays batch at the position of its first cell, and
+        each scalar cell record-by-record in place.  The live footprint is
+        one batch, bounded by ``max_batch_members`` cells (256 by default),
+        whatever the plan size.
         """
         cell_list = list(cells)
-        groups: Dict[Tuple, List[int]] = {}
-        units: List[List[int]] = []
-        for index, cell in enumerate(cell_list):
-            key = self._group_key(cell)
-            if key is None:
-                units.append([index])
-                continue
-            if key not in groups:
-                groups[key] = []
-                units.append(groups[key])
-            groups[key].append(index)
-        for unit in units:
-            if len(unit) == 1:
-                stream_cell(cell_list[unit[0]], sink)
+        batch_plan = self.batch_plan(cell_list)
+        units: List[Tuple[int, Optional[List[int]]]] = [
+            (index, None) for index, _reason in batch_plan.scalar
+        ]
+        units.extend((batch[0], batch) for batch in batch_plan.batches)
+        for first_index, batch in sorted(units, key=lambda unit: unit[0]):
+            if batch is None:
+                stream_cell(
+                    cell_list[first_index],
+                    sink,
+                    trace=batch_plan.traces.get(first_index),
+                )
             else:
-                for entry in self._run_group([cell_list[i] for i in unit]):
+                group = [cell_list[i] for i in batch]
+                traces = [batch_plan.traces[i] for i in batch]
+                for entry in self._run_batch(group, traces):
                     push_cell_result(sink, entry)
 
-    def _run_group(self, group: Sequence[ExperimentCell]) -> List[CellResult]:
-        if len(group) == 1:
-            return [run_cell(group[0])]
+    def _run_batch(
+        self, group: Sequence[ExperimentCell], traces: Sequence[WorkloadTrace]
+    ) -> List[CellResult]:
         start = time.perf_counter()
-        trace = group[0].build_trace()
         members = []
         loggers: List[Optional[SystemLogger]] = []
         for cell in group:
@@ -291,7 +299,7 @@ class VectorizedExecutor:
                 )
             )
         try:
-            sim_results = simulate_population(trace, members, exact=self.exact)
+            sim_results = simulate_population_mixed(traces, members, exact=self.exact)
         except VectorizationError:
             return [run_cell(cell) for cell in group]
         wall_each = (time.perf_counter() - start) / len(group)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import (
     Callable,
+    Dict,
     Iterator,
     List,
     Mapping,
@@ -26,6 +27,8 @@ from typing import (
     Sequence,
     Union,
 )
+
+import numpy as np
 
 from ..api.specs import AdapterSpec, PolicySpec
 from ..core.predictor import RuntimePredictor
@@ -37,7 +40,14 @@ from ..sim.engine import ThermalManager
 from ..workloads.benchmarks import BENCHMARKS, build_benchmark
 from ..workloads.trace import WorkloadTrace
 
-__all__ = ["ConstantManagerFactory", "ExperimentCell", "ExperimentPlan"]
+__all__ = [
+    "BatchPlan",
+    "ConstantManagerFactory",
+    "ExperimentCell",
+    "ExperimentPlan",
+    "batch_ineligibility",
+    "plan_batches",
+]
 
 #: A manager factory builds a fresh ThermalManager for one cell.  Factories
 #: (rather than instances) keep cells independent: managers carry run state,
@@ -173,6 +183,130 @@ class ExperimentCell:
         merged = dict(self.metadata)
         merged.update(extra)
         return replace(self, metadata=merged)
+
+
+def batch_ineligibility(cell: ExperimentCell) -> Optional[str]:
+    """Why a cell cannot join a structure-of-arrays batch (``None`` = it can).
+
+    Eligibility is *structural*: only properties that would break the shared
+    hardware configuration or alias mutable objects between cells disqualify
+    a cell.  Per-cell state — seeds (platform, benchmark or feedback-model),
+    policies, adapters, comfort limits, trace contents and lengths — is
+    batchable by construction: governors and managers are built fresh per
+    member and run per member inside the batch.
+    """
+    if cell.platform_factory is not None:
+        return "custom platform factory (hardware may differ from the shared configuration)"
+    if isinstance(cell.governor, Governor):
+        return "pre-built governor instance (instances may be shared between cells)"
+    if cell.detached_trace:
+        return "detached trace (loaded from a result store; not re-executable)"
+    return None
+
+
+@dataclass
+class BatchPlan:
+    """How a vectorized executor will run a list of cells.
+
+    Attributes:
+        batches: one list of cell indices per structure-of-arrays batch.
+        scalar: ``(cell index, reason)`` for every cell that runs through the
+            scalar kernel instead.
+        traces: the built workload trace for every batched cell (reused by the
+            executor so planning and execution agree on the workload).
+    """
+
+    batches: List[List[int]]
+    scalar: List[tuple]
+    #: Built traces for every *eligible* cell — batched ones, and singleton
+    #: fallbacks whose trace was built during planning (the executor reuses
+    #: it instead of rebuilding).
+    traces: Mapping[int, WorkloadTrace]
+
+    @property
+    def batched_indices(self) -> List[int]:
+        """Indices of every cell that joined some batch."""
+        return [index for batch in self.batches for index in batch]
+
+    def describe(self, cells: Sequence[ExperimentCell]) -> str:
+        """Human-readable plan: batch membership and every fallback reason."""
+        lines = []
+        total = len(list(cells))
+        batched = sum(len(batch) for batch in self.batches)
+        lines.append(
+            f"batch plan: {total} cell(s) — {batched} vectorized in "
+            f"{len(self.batches)} batch(es), {len(self.scalar)} scalar"
+        )
+        for number, batch in enumerate(self.batches):
+            dt = self.traces[batch[0]].sample_period_s
+            steps = max(len(self.traces[index]) for index in batch)
+            lines.append(
+                f"  batch {number}: {len(batch)} cells @ dt={dt:g}s, "
+                f"{steps} steps (longest member)"
+            )
+            for index in batch:
+                trace = self.traces[index]
+                lines.append(
+                    f"    {cells[index].cell_id}  [{trace.name}, {len(trace)} steps]"
+                )
+        if self.scalar:
+            lines.append("  scalar fallback:")
+            for index, reason in sorted(self.scalar):
+                lines.append(f"    {cells[index].cell_id}  — {reason}")
+        return "\n".join(lines)
+
+
+def plan_batches(
+    cells: Sequence[ExperimentCell],
+    max_batch_members: Optional[int] = None,
+) -> BatchPlan:
+    """Partition cells into structure-of-arrays batches plus scalar fallbacks.
+
+    Every batch-eligible cell (see :func:`batch_ineligibility`) whose trace
+    shares a sample period with at least one other eligible cell joins a
+    batch, whatever its benchmark, duration, seed, policy or adapter — this
+    is what turns a realistic mixed-trace sweep into one vectorized
+    population instead of one Python step-loop per cell.
+
+    Args:
+        cells: the cells to plan (indices in the result refer to this order).
+        max_batch_members: optional ceiling on members per batch; larger
+            groups are split into balanced chunks (bounds the live memory of
+            a batch at the cost of extra solver passes).
+    """
+    if max_batch_members is not None and max_batch_members < 2:
+        raise ValueError("max_batch_members must be at least 2 (a batch needs two members)")
+    cell_list = list(cells)
+    scalar: List[tuple] = []
+    traces: Dict[int, WorkloadTrace] = {}
+    by_dt: Dict[float, List[int]] = {}
+    for index, cell in enumerate(cell_list):
+        reason = batch_ineligibility(cell)
+        if reason is not None:
+            scalar.append((index, reason))
+            continue
+        trace = cell.build_trace()
+        traces[index] = trace
+        by_dt.setdefault(trace.sample_period_s, []).append(index)
+
+    batches: List[List[int]] = []
+    for dt, group in by_dt.items():
+        if len(group) < 2:
+            scalar.append(
+                (group[0], f"only batchable cell with sample period {dt:g}s")
+            )
+            continue
+        if max_batch_members is not None and len(group) > max_batch_members:
+            n_chunks = -(-len(group) // max_batch_members)
+            # The cap is hard (it bounds live memory), so a trailing chunk may
+            # end up a singleton; the population engine handles one-member
+            # batches, just without cross-member amortisation.
+            batches.extend(
+                [int(i) for i in chunk] for chunk in np.array_split(group, n_chunks)
+            )
+        else:
+            batches.append(list(group))
+    return BatchPlan(batches=batches, scalar=scalar, traces=traces)
 
 
 @dataclass

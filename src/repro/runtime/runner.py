@@ -19,6 +19,7 @@ from typing import Callable, Collection, Iterable, Optional
 from ..device.platform import DevicePlatform
 from ..sim.engine import Simulator
 from ..sim.logger import SystemLogger
+from ..workloads.trace import WorkloadTrace
 from .plan import ExperimentCell, ExperimentPlan
 from .store import CellResult, ResultStore
 from .stream import CollectorSink, RecordSink, push_cell_result
@@ -32,7 +33,11 @@ def _build_platform(cell: ExperimentCell) -> DevicePlatform:
     return DevicePlatform(seed=cell.seed)
 
 
-def stream_cell(cell: ExperimentCell, sink: RecordSink) -> None:
+def stream_cell(
+    cell: ExperimentCell,
+    sink: RecordSink,
+    trace: Optional["WorkloadTrace"] = None,
+) -> None:
     """Execute one experiment cell from scratch, streaming records into a sink.
 
     Builds the trace, a fresh seeded platform, the governor and (optionally)
@@ -42,9 +47,17 @@ def stream_cell(cell: ExperimentCell, sink: RecordSink) -> None:
     each :class:`StepRecord` as it is produced.  Deterministic: the same cell
     always produces the same record stream, so streamed and collected
     executions are bit-identical.
+
+    Args:
+        cell: the cell to execute.
+        sink: destination for the record stream.
+        trace: optional pre-built workload trace (must be the cell's own —
+            batch planning passes it so fallback cells do not rebuild what
+            planning already materialised).
     """
     start = time.perf_counter()
-    trace = cell.build_trace()
+    if trace is None:
+        trace = cell.build_trace()
     platform = _build_platform(cell)
     governor = cell.build_governor(table=platform.freq_table)
     manager = cell.build_manager()
@@ -69,7 +82,7 @@ def stream_cell(cell: ExperimentCell, sink: RecordSink) -> None:
     sink.end_cell(wall_time_s=time.perf_counter() - start, logger=logger)
 
 
-def run_cell(cell: ExperimentCell) -> CellResult:
+def run_cell(cell: ExperimentCell, trace: Optional["WorkloadTrace"] = None) -> CellResult:
     """Execute one experiment cell from scratch and return its result.
 
     The batch form of :func:`stream_cell`: the record stream is collected
@@ -77,7 +90,7 @@ def run_cell(cell: ExperimentCell) -> CellResult:
     path, which is what keeps them bit-identical.
     """
     collector = CollectorSink()
-    stream_cell(cell, collector)
+    stream_cell(cell, collector, trace=trace)
     return collector.results[0]
 
 

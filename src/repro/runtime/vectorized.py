@@ -1,20 +1,39 @@
-"""Vectorized same-trace population simulation.
+"""Vectorized population simulation — heterogeneous structure-of-arrays batching.
 
-The paper's sweeps repeatedly replay *one* workload trace against many device
-instances that differ only in seed, governor configuration or USTA comfort
-limit (Figs 2/4/5, and population-scale what-if studies).  Run serially, each
-instance pays the full per-step Python cost; run here, the N instances march
-through the trace in lockstep and the expensive parts of the device step —
-the implicit thermal solve, the CPU window, the power model, the sensor
-models — are evaluated once per step across the whole population with numpy.
+The paper's sweeps replay workload traces against many device instances that
+differ in seed, governor configuration, USTA comfort limit — and, in any
+realistic evaluation grid, in the *trace itself*.  Run serially, each instance
+pays the full per-step Python cost; run here, the N instances march through
+their traces in lockstep and the expensive parts of the device step — the
+implicit thermal solve, the CPU window, the power model, the sensor models —
+are evaluated once per tick across the whole population with numpy.
+
+:func:`simulate_population_mixed` is the general engine: every member brings
+its own trace (materialised up front into :class:`~repro.workloads.trace.
+TraceArrays` columns and stacked into padded step-major ``(n_steps,
+n_members)`` matrices, so each tick reads one contiguous row across the live
+members), members whose traces end early drop out of the live prefix instead
+of forcing the batch to its longest member, and per-tick hand-contact state is
+allowed to differ across members — the thermal solve partitions the live set
+between two canonical cached-LU factorizations (touching / not touching).
+:func:`simulate_population` is the same-trace special case, kept as the
+historical entry point.
+
+Per-step record data is staged in a :class:`~repro.sim.results.
+ColumnarRecordBuffer` (one numpy column per :class:`StepRecord` field);
+records are only materialised per member at the end, so the hot loop
+allocates ~zero Python objects per member-step.
 
 Bit-exactness is a hard requirement (the batched runtime must be a drop-in
 replacement for N sequential :meth:`Simulator.run` calls), which dictates a
 few implementation choices:
 
-* the thermal solve reuses the shared cached LU factorization but
-  back-substitutes per column (`exact=True`), because blocked multi-RHS
-  LAPACK calls differ from the scalar path in the last ulp;
+* the thermal solve reuses cached LU factorizations but back-substitutes per
+  column (`exact=True`), because blocked multi-RHS LAPACK calls differ from
+  the scalar path in the last ulp;
+* hand-contact toggling must round-trip bitwise on the conductance matrices
+  (verified up front), so the two canonical factorizations reproduce exactly
+  the matrices a scalar run re-factors after each toggle;
 * CPU leakage uses ``math.exp`` per instance (numpy's vectorized ``exp`` is
   not bit-identical to libm);
 * sensor noise is pre-drawn per (instance, sensor) in one block from the same
@@ -25,11 +44,13 @@ few implementation choices:
 
 Governors and thermal managers keep their (cheap) per-instance Python
 implementations, so any :class:`~repro.governors.base.Governor` subclass or
-:class:`~repro.sim.engine.ThermalManager` works unchanged.
+:class:`~repro.sim.engine.ThermalManager` works unchanged; homogeneous stock
+ondemand populations additionally take a fully vectorized governor path.
 """
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -39,12 +60,19 @@ import numpy as np
 from ..device.platform import DevicePlatform
 from ..governors.base import Governor, GovernorObservation
 from ..governors.ondemand import OndemandGovernor
-from ..sim.engine import ManagerDecision, ThermalManager
+from ..sim.engine import ThermalManager
 from ..sim.logger import SystemLogger
-from ..sim.results import SimulationResult, StepRecord
+from ..sim.results import ColumnarRecordBuffer, SimulationResult
+from ..thermal.ambient import HandContact
+from ..thermal.solver import ThermalSolver
 from ..workloads.trace import WorkloadTrace
 
-__all__ = ["PopulationMember", "VectorizationError", "simulate_population"]
+__all__ = [
+    "PopulationMember",
+    "VectorizationError",
+    "simulate_population",
+    "simulate_population_mixed",
+]
 
 
 class VectorizationError(RuntimeError):
@@ -58,7 +86,7 @@ class VectorizationError(RuntimeError):
 
 @dataclass
 class PopulationMember:
-    """One device instance of a same-trace population.
+    """One device instance of a batched population.
 
     Attributes:
         platform: the member's simulated handset (provides seeded sensors,
@@ -106,9 +134,12 @@ def _sensor_config(platform: DevicePlatform) -> Tuple:
 def _validate_members(members: Sequence[PopulationMember]) -> None:
     """Check that all members share one hardware configuration.
 
-    The population shares a single thermal factorization and a single set of
-    per-level power constants, so everything except seeds, governors,
-    managers and initial internal temperatures must be identical.
+    The population shares the canonical thermal factorizations and a single
+    set of per-level power constants, so everything except seeds, traces,
+    governors, managers and initial internal temperatures must be identical.
+    Feedback models, adapters and other *per-member state* inside the
+    managers are deliberately not compared — seeds and learned limits are
+    state, not structure, and managers run per member anyway.
     """
     if not members:
         raise VectorizationError("a population needs at least one member")
@@ -168,33 +199,134 @@ def _validate_members(members: Sequence[PopulationMember]) -> None:
                 )
 
 
+def _hand_state_solvers(template: DevicePlatform) -> Dict[bool, ThermalSolver]:
+    """The two canonical thermal solvers (hand touching / not touching).
+
+    A scalar run toggles the hand coupling on its own network in place, which
+    rewrites the conductance matrices with ``+=`` deltas; for the batch to
+    share one factorization per touch state, those toggles must round-trip
+    bitwise (so every member in a given touch state sits on the *same*
+    matrix, however many times its trace has toggled).  The round trip is
+    probed on a deep copy of the template network — the members' own networks
+    are never touched — and a drift raises :class:`VectorizationError` so
+    callers fall back to the scalar engine instead of silently diverging.
+    """
+    net = template.network
+    hand = template.hand
+    base_state = hand.touching
+    probe = copy.deepcopy(net)
+    probe_hand = HandContact(
+        contact_node=hand.contact_node,
+        conductance_w_per_c=hand.conductance_w_per_c,
+        touching=not base_state,
+    )
+    probe_hand.apply(probe)
+    probe_hand.touching = base_state
+    probe_hand.apply(probe)
+    if not (
+        np.array_equal(probe.conductance_matrix, net.conductance_matrix)
+        and np.array_equal(probe.boundary_coupling, net.boundary_coupling)
+    ):
+        raise VectorizationError(
+            "hand-contact toggling does not round-trip bitwise on this network; "
+            "falling back to scalar execution"
+        )
+    # Toggling is deterministic, so re-applying the flip reproduces the
+    # once-toggled matrices exactly.
+    probe_hand.touching = not base_state
+    probe_hand.apply(probe)
+    return {
+        base_state: ThermalSolver(copy.deepcopy(net)),
+        (not base_state): ThermalSolver(probe),
+    }
+
+
+def _stack_trace_arrays(traces: Sequence[WorkloadTrace], max_steps: int) -> Dict[str, np.ndarray]:
+    """Pad and stack every member's trace columns, step-major: (n_steps, n_members).
+
+    Step-major layout makes the per-tick access pattern — one step across the
+    live member prefix — a contiguous row view instead of a strided column.
+    """
+    n = len(traces)
+    stacked = {
+        "cpu_demand": np.zeros((max_steps, n)),
+        "gpu_activity": np.zeros((max_steps, n)),
+        "radio_activity": np.zeros((max_steps, n)),
+        "brightness": np.zeros((max_steps, n)),
+        "screen_on": np.zeros((max_steps, n), dtype=bool),
+        "charging": np.zeros((max_steps, n), dtype=bool),
+        "touching": np.zeros((max_steps, n), dtype=bool),
+    }
+    for member, trace in enumerate(traces):
+        arrays = trace.as_arrays()
+        count = len(arrays)
+        for name, column in stacked.items():
+            column[:count, member] = getattr(arrays, name)
+    # The scalar CPU window clamps demand into [0, 1]; samples are validated
+    # into that range already, so this is a bitwise no-op kept for mirroring.
+    stacked["cpu_demand"] = np.minimum(np.maximum(stacked["cpu_demand"], 0.0), 1.0)
+    return stacked
+
+
 def simulate_population(
     trace: WorkloadTrace,
     members: Sequence[PopulationMember],
     exact: bool = True,
 ) -> List[SimulationResult]:
-    """Replay one trace against N device instances in lockstep.
+    """Replay one shared trace against N device instances in lockstep.
 
-    Semantically equivalent to ``[Simulator(m...).run(trace) for m in
-    members]`` and — with ``exact=True`` — bit-for-bit identical to it, but
-    the per-step device work is evaluated across the whole population at
-    once.
+    The same-trace special case of :func:`simulate_population_mixed`, kept as
+    the historical entry point.  Semantically equivalent to
+    ``[Simulator(m...).run(trace) for m in members]`` and — with
+    ``exact=True`` — bit-for-bit identical to it.
+    """
+    return simulate_population_mixed([trace] * len(members), members, exact=exact)
+
+
+def simulate_population_mixed(
+    traces: Sequence[WorkloadTrace],
+    members: Sequence[PopulationMember],
+    exact: bool = True,
+) -> List[SimulationResult]:
+    """Advance a heterogeneous population — one trace per member — as one batch.
+
+    Semantically equivalent to ``[Simulator(m...).run(t) for t, m in
+    zip(traces, members)]`` and — with ``exact=True`` — bit-for-bit identical
+    to it, but the per-step device work is evaluated across the whole live
+    population at once:
+
+    * traces of different lengths are padded; members are ordered internally
+      by descending length so the live set is always a contiguous prefix, and
+      a member simply drops out of it when its trace ends;
+    * per-tick hand-contact state may differ across members; the thermal
+      solve partitions the live set between the two canonical cached-LU
+      factorizations (see :func:`_hand_state_solvers`);
+    * per-step record data is staged columnar and materialised per member
+      only at the end (:class:`~repro.sim.results.ColumnarRecordBuffer`).
 
     Args:
-        trace: the shared workload trace.
+        traces: one workload trace per member (sharing one object is fine and
+            materialises it once).  All traces must share the sample period.
         members: the population (platforms must share one hardware
             configuration; see :class:`VectorizationError`).
         exact: per-column thermal back-substitution for bitwise parity with
-            the scalar engine (default); ``False`` uses one blocked solve per
-            step, which is faster for large populations but may differ in the
-            last ulp.
+            the scalar engine (default); ``False`` uses blocked solves, which
+            are faster for large populations but may differ in the last ulp.
 
     Returns:
         One :class:`SimulationResult` per member, in member order.
     """
     n_members = len(members)
-    dt = trace.sample_period_s
-    n_steps = len(trace)
+    if len(traces) != n_members:
+        raise VectorizationError("one workload trace per member is required")
+    if n_members == 0:
+        raise VectorizationError("a population needs at least one member")
+    dt = traces[0].sample_period_s
+    for trace in traces:
+        if trace.sample_period_s != dt:
+            raise VectorizationError("members have different trace sample periods")
+        if len(trace) == 0:
+            raise VectorizationError(f"trace {trace.name!r} is empty")
 
     # -- reset every member exactly like SimulationKernel.reset ---------------
     for member in members:
@@ -207,13 +339,26 @@ def simulate_population(
 
     # Validation runs on the freshly reset platforms (reset re-applies each
     # member's ambient and hand contact, which is exactly the state that must
-    # agree for a shared factorization); no trace step has executed yet, so
+    # agree for the shared factorizations); no trace step has executed yet, so
     # callers can still fall back to sequential execution safely.
     _validate_members(members)
 
-    template = members[0].platform
+    # -- internal ordering: longest trace first ---------------------------------
+    lengths = np.array([len(trace) for trace in traces], dtype=np.int64)
+    order = np.argsort(-lengths, kind="stable")
+    position = np.empty(n_members, dtype=np.int64)
+    position[order] = np.arange(n_members)
+    s_members = [members[i] for i in order]
+    s_traces = [traces[i] for i in order]
+    s_lengths = lengths[order]
+    max_steps = int(s_lengths[0])
+    # Live-member count per step: lengths are descending, so the live set at
+    # step t is the prefix of members whose length exceeds t.
+    ascending = s_lengths[::-1]
+    n_active_at = n_members - np.searchsorted(ascending, np.arange(max_steps), side="right")
+
+    template = s_members[0].platform
     net = template.network
-    solver = template.solver
     table = template.freq_table
     cpu_model = template.power_model.cpu
     power_model = template.power_model
@@ -221,6 +366,7 @@ def simulate_population(
     battery = template.battery
     carry_over = template.cpu.carry_over
     max_backlog = template.cpu.max_backlog
+    solver_by_touch = _hand_state_solvers(template)
 
     internal_index = {name: i for i, name in enumerate(net.internal_names)}
     cpu_i = internal_index["cpu"]
@@ -232,6 +378,7 @@ def simulate_population(
     # -- shared per-level power constants (python-float exact) -----------------
     freqs_khz = np.array(table.frequencies_khz, dtype=np.int64)
     max_freq_khz = table.max_frequency_khz
+    max_level = table.max_level
     # dynamic_power(opp, 1.0) == ((C_eff * V^2) * f) — the prefix of the
     # scalar expression ((C_eff * V^2) * f) * util, so multiplying by util
     # afterwards reproduces the scalar result bit-for-bit.
@@ -245,51 +392,72 @@ def simulate_population(
     leak_ref = cpu_model.reference_temp_c
     leak0 = cpu_model.leakage_at_ref_w
     idle_w = cpu_model.idle_power_w
+    gpu_idle = power_model.gpu.idle_power_w
+    gpu_span = power_model.gpu.max_power_w - power_model.gpu.idle_power_w
+    display_base = power_model.display.base_power_w
+    display_span = power_model.display.max_backlight_power_w
+    radio_idle = power_model.radio.idle_power_w
+    radio_span = power_model.radio.max_power_w - power_model.radio.idle_power_w
+    charge_heat_w = charger.charge_power_w * charger.charge_loss_fraction
+    discharge_loss = charger.discharge_loss_fraction
+    battery_charge_w = battery.charge_power_w * battery.charge_efficiency
 
-    # -- per-member state ------------------------------------------------------
+    # -- per-member state (internal, longest-first order) ----------------------
     temps = np.stack(
-        [member.platform.network.temperatures_vector for member in members], axis=1
+        [member.platform.network.temperatures_vector for member in s_members], axis=1
     )
-    levels = np.array([member.platform.cpu.level for member in members], dtype=np.int64)
+    levels = np.array([member.platform.cpu.level for member in s_members], dtype=np.int64)
+    caps = np.full(n_members, max_level, dtype=np.int64)
     backlog = np.zeros(n_members)
-    soc = np.array([member.platform.battery.state_of_charge for member in members])
+    soc = np.array([member.platform.battery.state_of_charge for member in s_members])
+
+    cols = _stack_trace_arrays(s_traces, max_steps)
+    demand_mat = cols["cpu_demand"]
+    gpu_mat = cols["gpu_activity"]
+    radio_mat = cols["radio_activity"]
+    brightness_mat = cols["brightness"]
+    screen_on_mat = cols["screen_on"]
+    charging_mat = cols["charging"]
+    touching_mat = cols["touching"]
 
     # -- pre-drawn sensor noise ------------------------------------------------
     # One block draw per (member, sensor) consumes each seeded generator
     # exactly like the scalar engine's one-draw-per-step reads.
     sensor_specs = []  # (name, node_index, offset, quantization, noise (N, n_steps))
-    for s_idx, name in enumerate(template.sensors.sensors):
+    for name in template.sensors.sensors:
         sensor0 = template.sensors.sensors[name]
-        noise = np.zeros((n_members, n_steps))
+        noise = np.zeros((max_steps, n_members))
         if sensor0.noise_std_c > 0:
-            for m_idx, member in enumerate(members):
-                noise[m_idx] = member.platform.sensors.sensors[name].draw_noise(n_steps)
+            for row, member in enumerate(s_members):
+                count = int(s_lengths[row])
+                noise[:count, row] = member.platform.sensors.sensors[name].draw_noise(count)
         sensor_specs.append(
             (name, internal_index[sensor0.node], sensor0.offset_c, sensor0.quantization_c, noise)
         )
+    record_sensor_fields = (
+        ("sensor_cpu_temp_c", "cpu", cpu_i),
+        ("sensor_battery_temp_c", "battery", battery_i),
+        ("sensor_skin_temp_c", "skin", back_i),
+        ("sensor_screen_temp_c", "screen", screen_i),
+    )
 
-    results = [
-        SimulationResult(
-            workload_name=trace.name,
-            governor_name=member.governor_label(),
-            dt_s=dt,
-        )
-        for member in members
+    manager_rows = [
+        (row, member) for row, member in enumerate(s_members) if member.thermal_manager is not None
     ]
+    logger_rows = [
+        (row, member.logger) for row, member in enumerate(s_members) if member.logger is not None
+    ]
+    has_managers = bool(manager_rows)
+    needs_scalar_views = bool(manager_rows) or bool(logger_rows)
 
-    hand = template.hand
-    time_s = 0.0
-    no_decision = ManagerDecision(level_cap=None)
-    has_managers = any(member.thermal_manager is not None for member in members)
-    loggers = [
-        (i, member.logger) for i, member in enumerate(members) if member.logger is not None
-    ]
+    buf = ColumnarRecordBuffer(n_members, max_steps, with_decisions=has_managers)
+    times: List[float] = []
     node_power = np.zeros((temps.shape[0], n_members))
 
     # Homogeneous stock-ondemand populations take a fully vectorized governor
     # path (exact replica of OndemandGovernor._target_level + the level cap);
     # mixed or custom governors fall back to per-member select_level calls.
-    governors = [member.governor for member in members]
+    governors = [member.governor for member in s_members]
     fast_ondemand = all(type(g) is OndemandGovernor for g in governors) and (
         len(
             {
@@ -303,122 +471,148 @@ def simulate_population(
         up_threshold = governors[0].up_threshold
         down_threshold = governors[0].down_threshold
         down_step_levels = governors[0].down_step_levels
-        max_level = table.max_level
 
-    for t, sample in enumerate(trace):
-        # Hand contact can change between windows (shared trace — all members
-        # toggle together); the conductance change bumps the network's matrix
-        # version and the solver refactors on the next solve.
-        if sample.touching != hand.touching:
-            hand.touching = sample.touching
-            hand.apply(net)
+    time_s = 0.0
+    for t in range(max_steps):
+        n_act = int(n_active_at[t])
+        live = slice(0, n_act)
 
         # -- CPU window (Cpu.run_window, vectorized) ---------------------------
-        demand = min(max(sample.cpu_demand, 0.0), 1.0)
-        total_demand = demand + backlog if carry_over else np.full(n_members, demand)
-        freq_khz = freqs_khz[levels]
+        demand = demand_mat[t, live]
+        total_demand = demand + backlog[live] if carry_over else demand
+        live_levels = levels[live]
+        freq_khz = freqs_khz[live_levels]
         capacity = freq_khz / max_freq_khz
         delivered = np.minimum(total_demand, capacity)
         utilization = np.minimum(1.0, total_demand / capacity)
         leftover = np.maximum(0.0, total_demand - delivered)
-        backlog = np.minimum(leftover, max_backlog) if carry_over else backlog
+        if carry_over:
+            backlog[live] = np.minimum(leftover, max_backlog)
 
         # -- power model (PlatformPowerModel.evaluate, vectorized) -------------
-        die_temp = temps[cpu_i]
+        die_temp = temps[cpu_i, live]
         util_clamped = np.minimum(np.maximum(utilization, 0.0), 1.0)
-        dyn_w = dyn_k[levels] * util_clamped
+        dyn_w = dyn_k[live_levels] * util_clamped
         # math.exp, not np.exp: numpy's vectorized exp differs from libm in
         # the last ulp, which would break bitwise parity with the scalar path.
         temp_factor = np.array(
             [math.exp(leak_coeff * (td - leak_ref)) for td in die_temp.tolist()]
         )
-        leak_w = leak0 * temp_factor * volt_factor[levels]
+        leak_w = leak0 * temp_factor * volt_factor[live_levels]
         cpu_w = idle_w + dyn_w + leak_w
-        gpu_w = power_model.gpu.power(sample.gpu_activity)
-        display_w = power_model.display.power(sample.screen_on, sample.brightness)
-        radio_w = power_model.radio.power(sample.radio_activity)
+        gpu_w = gpu_idle + gpu_mat[t, live] * gpu_span
+        display_w = np.where(
+            screen_on_mat[t, live], display_base + brightness_mat[t, live] * display_span, 0.0
+        )
+        radio_w = radio_idle + radio_mat[t, live] * radio_span
         platform_draw = cpu_w + gpu_w + display_w + radio_w
-        if sample.charging:
-            battery_w = np.full(n_members, charger.charge_power_w * charger.charge_loss_fraction)
-        else:
-            battery_w = np.maximum(platform_draw, 0.0) * charger.discharge_loss_fraction
+        charging_t = charging_mat[t, live]
+        battery_w = np.where(
+            charging_t, charge_heat_w, np.maximum(platform_draw, 0.0) * discharge_loss
+        )
         total_w = platform_draw + battery_w
         soc_w = cpu_w + gpu_w
 
-        # -- thermal (one population solve) ------------------------------------
+        # -- thermal (one solve per live hand-contact state) -------------------
         # node_power rows other than the four below stay zero for the whole run.
-        node_power[cpu_i] = soc_w
-        node_power[screen_i] = 0.65 * display_w
-        node_power[board_i] = radio_w + 0.35 * display_w
-        node_power[battery_i] = battery_w
-        temps = solver.step_many(dt, node_power, temps, exact=exact)
+        node_power[cpu_i, live] = soc_w
+        node_power[screen_i, live] = 0.65 * display_w
+        node_power[board_i, live] = radio_w + 0.35 * display_w
+        node_power[battery_i, live] = battery_w
+        touch_t = touching_mat[t, live]
+        if touch_t.all():
+            temps[:, live] = solver_by_touch[True].step_many(
+                dt, node_power[:, live], temps[:, live], exact=exact
+            )
+        elif not touch_t.any():
+            temps[:, live] = solver_by_touch[False].step_many(
+                dt, node_power[:, live], temps[:, live], exact=exact
+            )
+        else:
+            for state in (True, False):
+                members_in_state = np.flatnonzero(touch_t == state)
+                temps[:, members_in_state] = solver_by_touch[state].step_many(
+                    dt, node_power, temps, exact=exact, columns=members_in_state
+                )
 
         # -- battery SoC (Battery.step, vectorized) ----------------------------
         draw_param = total_w - battery_w
         net_w = -np.maximum(draw_param, 0.0)
-        if sample.charging:
-            net_w = net_w + np.where(
-                soc >= 0.995, 0.0, battery.charge_power_w * battery.charge_efficiency
-            )
+        live_soc = soc[live]
+        net_w = net_w + np.where(
+            charging_t, np.where(live_soc >= 0.995, 0.0, battery_charge_w), 0.0
+        )
         delta_wh = net_w * dt / 3600.0
-        soc = np.minimum(1.0, np.maximum(0.0, soc + delta_wh / battery.capacity_wh))
+        soc[live] = np.minimum(1.0, np.maximum(0.0, live_soc + delta_wh / battery.capacity_wh))
 
         # -- sensors (pre-drawn noise, vectorized quantization) ----------------
-        reading_arrays = []
+        sensor_arrays: Dict[str, np.ndarray] = {}
         for name, node_idx, offset, quantization, noise in sensor_specs:
-            value = temps[node_idx] + offset
-            value = value + noise[:, t]
+            value = temps[node_idx, live] + offset
+            value = value + noise[t, live]
             if quantization > 0:
                 value = np.rint(value / quantization) * quantization
-            reading_arrays.append((name, value))
+            sensor_arrays[name] = value
 
         time_s += dt
+        times.append(time_s)
 
-        # Bulk-convert the per-member arrays once per step; .tolist() yields
-        # python ints/floats with the exact same values as scalar extraction.
-        util_list = utilization.tolist()
-        freq_list = freq_khz.tolist()
-        level_list = levels.tolist()
-        delivered_list = delivered.tolist()
-        total_w_list = total_w.tolist()
-        cpu_temp_list = temps[cpu_i].tolist()
-        battery_temp_list = temps[battery_i].tolist()
-        skin_temp_list = temps[back_i].tolist()
-        screen_temp_list = temps[screen_i].tolist()
-        reading_lists = [(name, value.tolist()) for name, value in reading_arrays]
-        sensor_values = dict(reading_lists)
-        sens_cpu = sensor_values.get("cpu", cpu_temp_list)
-        sens_battery = sensor_values.get("battery", battery_temp_list)
-        sens_skin = sensor_values.get("skin", skin_temp_list)
-        sens_screen = sensor_values.get("screen", screen_temp_list)
+        # -- columnar record staging (the hot loop builds no record objects) ---
+        buf.frequency_khz[t, live] = freq_khz
+        buf.frequency_level[t, live] = live_levels
+        buf.utilization[t, live] = utilization
+        buf.demand[t, live] = demand
+        buf.delivered_work[t, live] = delivered
+        buf.power_w[t, live] = total_w
+        buf.cpu_temp_c[t, live] = temps[cpu_i, live]
+        buf.battery_temp_c[t, live] = temps[battery_i, live]
+        buf.skin_temp_c[t, live] = temps[back_i, live]
+        buf.screen_temp_c[t, live] = temps[screen_i, live]
+        for field, sensor_name, node_idx in record_sensor_fields:
+            column = sensor_arrays.get(sensor_name)
+            getattr(buf, field)[t, live] = column if column is not None else temps[node_idx, live]
+
+        # Per-member Python views are only materialised for components that
+        # genuinely cannot batch (managers, loggers, custom governors).
+        if needs_scalar_views or not fast_ondemand:
+            util_list = utilization.tolist()
+            freq_list = freq_khz.tolist()
+            level_list = live_levels.tolist()
+            reading_lists = [
+                (name, sensor_arrays[name].tolist()) for name, _, _, _, _ in sensor_specs
+            ]
 
         # -- managers observe (may install/remove frequency caps) --------------
-        decisions = None
         if has_managers:
-            decisions = []
-            for i, member in enumerate(members):
-                if member.thermal_manager is None:
-                    decisions.append(no_decision)
-                    continue
-                readings = {name: values[i] for name, values in reading_lists}
+            for row, member in manager_rows:
+                if row >= n_act:
+                    break
+                readings = {name: values[row] for name, values in reading_lists}
                 decision = member.thermal_manager.observe(
                     time_s=time_s,
                     sensor_readings=readings,
-                    utilization=util_list[i],
-                    frequency_khz=float(freq_list[i]),
+                    utilization=util_list[row],
+                    frequency_khz=float(freq_list[row]),
                 )
                 member.governor.set_level_cap(decision.level_cap)
-                decisions.append(decision)
+                caps[row] = member.governor.level_cap
+                buf.usta_active[t, row] = decision.active and member.governor.is_capped
+                buf.predicted_skin_temp_c[t, row] = decision.predicted_skin_temp_c
+                buf.predicted_screen_temp_c[t, row] = decision.predicted_screen_temp_c
+                buf.comfort_limit_c[t, row] = decision.comfort_limit_c
+        buf.level_cap[t, live] = caps[live]
 
         # -- loggers -----------------------------------------------------------
-        for i, logger in loggers:
-            readings = {name: values[i] for name, values in reading_lists}
+        for row, logger in logger_rows:
+            if row >= n_act:
+                break
+            readings = {name: values[row] for name, values in reading_lists}
             logger.maybe_log(
                 time_s=time_s,
-                benchmark=trace.name,
+                benchmark=s_traces[row].name,
                 sensor_readings=readings,
-                utilization=util_list[i],
-                frequency_khz=float(freq_list[i]),
+                utilization=util_list[row],
+                frequency_khz=float(freq_list[row]),
             )
 
         # -- governors pick the level for the next window ----------------------
@@ -432,8 +626,8 @@ def simulate_population(
                 np.searchsorted(freqs_khz, target_khz, side="left"), max_level
             )
             stepped = np.where(
-                proportional < levels,
-                np.maximum(proportional, levels - down_step_levels),
+                proportional < live_levels,
+                np.maximum(proportional, live_levels - down_step_levels),
                 proportional,
             )
             uncapped = np.where(
@@ -442,49 +636,34 @@ def simulate_population(
                 np.where(utilization <= down_threshold, proportional, stepped),
             )
             if has_managers:
-                caps = np.array([g.level_cap for g in governors], dtype=np.int64)
-                levels = np.minimum(uncapped, caps)
+                levels[live] = np.minimum(uncapped, caps[live])
             else:
                 # Without managers nothing ever installs a cap.
-                levels = uncapped
+                levels[live] = uncapped
         else:
-            for i, member in enumerate(members):
+            for row in range(n_act):
                 observation = GovernorObservation(
-                    utilization=util_list[i],
-                    current_level=level_list[i],
+                    utilization=util_list[row],
+                    current_level=level_list[row],
                     time_s=time_s,
                     dt_s=dt,
                 )
-                levels[i] = member.governor.select_level(observation)
+                governor = governors[row]
+                levels[row] = governor.select_level(observation)
+                caps[row] = governor.level_cap
 
-        # -- per-member step records -------------------------------------------
-        for i, member in enumerate(members):
-            governor = member.governor
-            decision = decisions[i] if decisions is not None else no_decision
-            results[i].append(
-                StepRecord(
-                    time_s=time_s,
-                    frequency_khz=freq_list[i],
-                    frequency_level=level_list[i],
-                    level_cap=governor.level_cap,
-                    utilization=util_list[i],
-                    demand=demand,
-                    delivered_work=delivered_list[i],
-                    power_w=total_w_list[i],
-                    cpu_temp_c=cpu_temp_list[i],
-                    battery_temp_c=battery_temp_list[i],
-                    skin_temp_c=skin_temp_list[i],
-                    screen_temp_c=screen_temp_list[i],
-                    sensor_cpu_temp_c=sens_cpu[i],
-                    sensor_battery_temp_c=sens_battery[i],
-                    sensor_skin_temp_c=sens_skin[i],
-                    sensor_screen_temp_c=sens_screen[i],
-                    predicted_skin_temp_c=decision.predicted_skin_temp_c,
-                    predicted_screen_temp_c=decision.predicted_screen_temp_c,
-                    usta_active=decision.active and governor.is_capped,
-                    comfort_limit_c=decision.comfort_limit_c,
-                )
-            )
+    # -- materialise records per member (the batch/sink boundary) --------------
+    results: List[SimulationResult] = []
+    for index in range(n_members):
+        row = int(position[index])
+        member = members[index]
+        result = SimulationResult(
+            workload_name=traces[index].name,
+            governor_name=member.governor_label(),
+            dt_s=dt,
+        )
+        buf.extend_result(result, row, times, int(s_lengths[row]))
+        results.append(result)
 
     # -- write final state back to the member platforms ------------------------
     # A sequential run leaves every platform warm (final temperatures, SoC,
@@ -493,15 +672,15 @@ def simulate_population(
     final_levels = levels.tolist()
     final_backlog = backlog.tolist()
     final_soc = soc.tolist()
-    for i, member in enumerate(members):
+    for row, member in enumerate(s_members):
+        count = int(s_lengths[row])
         platform = member.platform
-        platform.hand.touching = hand.touching
-        if platform.hand is not hand:
-            platform.hand.apply(platform.network)
-        platform.network.apply_temperature_vector(temps[:, i])
-        platform.cpu.level = final_levels[i]
-        platform.cpu._backlog = final_backlog[i]
-        platform.battery.state_of_charge = final_soc[i]
-        platform._time_s = time_s
+        platform.hand.touching = bool(touching_mat[count - 1, row])
+        platform.hand.apply(platform.network)
+        platform.network.apply_temperature_vector(temps[:, row])
+        platform.cpu.level = final_levels[row]
+        platform.cpu._backlog = final_backlog[row]
+        platform.battery.state_of_charge = final_soc[row]
+        platform._time_s = times[count - 1]
 
     return results

@@ -9,13 +9,13 @@ and by the satisfaction model (delivered vs demanded work).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from ..users.comfort import ComfortAnalysis, analyse_comfort
 
-__all__ = ["StepRecord", "SimulationResult"]
+__all__ = ["ColumnarRecordBuffer", "StepRecord", "SimulationResult"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,130 @@ class StepRecord:
     #: Live skin comfort limit the manager decided against (None = no manager
     #: or a manager without one); adaptive policies move it over the run.
     comfort_limit_c: Optional[float] = None
+
+
+class ColumnarRecordBuffer:
+    """Structure-of-arrays staging area for a batch of record streams.
+
+    The hot loop of the heterogeneous population engine writes one numpy
+    column per :class:`StepRecord` field and allocates no per-member-step
+    Python objects; :class:`StepRecord` instances are only constructed at
+    the batch/record-sink boundary via :meth:`extend_result`, from one bulk
+    ``.tolist()`` per column per member — which yields exactly the Python
+    ints/floats scalar extraction would, so downstream records (and their
+    JSONL serialisation) stay byte-identical to the scalar engine's.
+
+    Columns are *step-major* (shape ``(n_steps, n_members)``): the engine
+    writes one step across the live member prefix per tick, and a step-major
+    layout makes that write a contiguous row instead of a strided column.
+
+    The three optional decision fields (predictions and the live comfort
+    limit) hold ``None``-able Python objects, so they live in object columns
+    allocated only when the batch carries thermal managers at all; without
+    managers every member's records use the dataclass defaults.
+    """
+
+    _FLOAT_COLUMNS = (
+        "utilization",
+        "demand",
+        "delivered_work",
+        "power_w",
+        "cpu_temp_c",
+        "battery_temp_c",
+        "skin_temp_c",
+        "screen_temp_c",
+        "sensor_cpu_temp_c",
+        "sensor_battery_temp_c",
+        "sensor_skin_temp_c",
+        "sensor_screen_temp_c",
+    )
+    _INT_COLUMNS = ("frequency_khz", "frequency_level", "level_cap")
+    _DECISION_COLUMNS = (
+        "predicted_skin_temp_c",
+        "predicted_screen_temp_c",
+        "comfort_limit_c",
+    )
+
+    def __init__(self, n_members: int, n_steps: int, with_decisions: bool = False):
+        shape = (n_steps, n_members)
+        for name in self._INT_COLUMNS:
+            setattr(self, name, np.zeros(shape, dtype=np.int64))
+        for name in self._FLOAT_COLUMNS:
+            setattr(self, name, np.zeros(shape, dtype=float))
+        self.with_decisions = with_decisions
+        if with_decisions:
+            self.usta_active = np.zeros(shape, dtype=bool)
+            for name in self._DECISION_COLUMNS:
+                setattr(self, name, np.full(shape, None, dtype=object))
+        else:
+            self.usta_active = None
+            for name in self._DECISION_COLUMNS:
+                setattr(self, name, None)
+
+    def iter_records(
+        self, member: int, times_s: Sequence[float], count: int
+    ) -> Iterator[StepRecord]:
+        """Materialise one member's first ``count`` steps as :class:`StepRecord`s.
+
+        Records are built positionally with :func:`map` (the column order is
+        pinned to the dataclass field order by ``_check_field_order`` below),
+        which is the cheapest way Python offers to turn columns back into
+        per-step objects.
+
+        Args:
+            member: column index of the member in the batch.
+            times_s: shared per-step timestamps (``times_s[t]`` is the time of
+                step ``t``; members that finished early use a prefix).
+            count: number of steps this member actually ran.
+        """
+        series = [list(times_s[:count])]
+        series.extend(
+            getattr(self, name)[:count, member].tolist()
+            for name in self._INT_COLUMNS + self._FLOAT_COLUMNS
+        )
+        if self.with_decisions:
+            series.append(self.predicted_skin_temp_c[:count, member].tolist())
+            series.append(self.predicted_screen_temp_c[:count, member].tolist())
+            series.append(self.usta_active[:count, member].tolist())
+            series.append(self.comfort_limit_c[:count, member].tolist())
+        return map(StepRecord, *series)
+
+    def extend_result(
+        self,
+        result: "SimulationResult",
+        member: int,
+        times_s: Sequence[float],
+        count: int,
+    ) -> "SimulationResult":
+        """Append one member's records to a result (returns it for chaining)."""
+        result.records.extend(self.iter_records(member, times_s, count))
+        return result
+
+
+def _check_field_order() -> None:
+    """Pin the buffer's positional column order to the dataclass field order."""
+    from dataclasses import fields
+
+    expected = tuple(f.name for f in fields(StepRecord))
+    positional = (
+        ("time_s",)
+        + ColumnarRecordBuffer._INT_COLUMNS
+        + ColumnarRecordBuffer._FLOAT_COLUMNS
+        + (
+            "predicted_skin_temp_c",
+            "predicted_screen_temp_c",
+            "usta_active",
+            "comfort_limit_c",
+        )
+    )
+    if positional != expected:
+        raise AssertionError(
+            "ColumnarRecordBuffer's positional column order no longer matches "
+            f"StepRecord's field order: {positional} != {expected}"
+        )
+
+
+_check_field_order()
 
 
 @dataclass

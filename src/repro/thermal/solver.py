@@ -214,6 +214,7 @@ class ThermalSolver:
         power_matrix: np.ndarray,
         temps_matrix: np.ndarray,
         exact: bool = True,
+        columns: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Advance N independent instances of this network by one implicit step.
 
@@ -233,9 +234,17 @@ class ThermalSolver:
                 :meth:`step` calls; when False all columns are solved in one
                 blocked LAPACK call, which is faster but may differ from the
                 scalar path in the last ulp.
+            columns: optional 1-D integer index array selecting which columns
+                to integrate — the masked/ragged form the heterogeneous batch
+                engine uses for instances that share *this* solver's matrices
+                while other instances (a different hand-contact state, an
+                already-finished trace) sit the step out.  The return value
+                then has shape ``(n_internal, len(columns))`` and the caller
+                scatters it back.
 
         Returns:
-            The new temperature matrix, shape ``(n_internal, N)``.
+            The new temperature matrix: shape ``(n_internal, N)``, or
+            ``(n_internal, len(columns))`` when ``columns`` is given.
         """
         if dt_s <= 0:
             raise ValueError("dt_s must be positive")
@@ -245,6 +254,9 @@ class ThermalSolver:
         power_matrix = np.asarray(power_matrix, dtype=float)
         if temps_matrix.ndim != 2 or power_matrix.shape != temps_matrix.shape:
             raise ValueError("power and temperature matrices must share shape (n_internal, N)")
+        if columns is not None:
+            temps_matrix = temps_matrix[:, columns]
+            power_matrix = power_matrix[:, columns]
         self._refresh_factorization(dt_s)
         b = (
             self._cache_c_over_dt[:, None] * temps_matrix

@@ -17,9 +17,10 @@ from .generators import (
     PhasedLoad,
     RampLoad,
 )
-from .trace import WorkloadSample, WorkloadTrace
+from .trace import TraceArrays, WorkloadSample, WorkloadTrace
 
 __all__ = [
+    "TraceArrays",
     "ANTUTU_TESTER_BENCHMARK",
     "BENCHMARK_NAMES",
     "BENCHMARKS",

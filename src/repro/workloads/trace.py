@@ -13,9 +13,37 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
+import numpy as np
+
 from ..device.platform import DeviceActivity
 
-__all__ = ["WorkloadSample", "WorkloadTrace"]
+__all__ = ["TraceArrays", "WorkloadSample", "WorkloadTrace"]
+
+
+@dataclass(frozen=True)
+class TraceArrays:
+    """A workload trace materialised as one numpy column per sample field.
+
+    This is the structure-of-arrays view the batched runtime consumes: the
+    heterogeneous population engine stacks each member's columns into padded
+    ``(n_members, n_steps)`` matrices and advances every member with array
+    arithmetic instead of per-sample attribute access.  Values are exactly the
+    sample fields (floats bit-identical to the scalar path; flags as booleans),
+    so array math that mirrors the scalar model's operation order stays
+    bit-exact.
+    """
+
+    cpu_demand: np.ndarray
+    gpu_activity: np.ndarray
+    radio_activity: np.ndarray
+    brightness: np.ndarray
+    screen_on: np.ndarray
+    charging: np.ndarray
+    touching: np.ndarray
+    sample_period_s: float
+
+    def __len__(self) -> int:
+        return len(self.cpu_demand)
 
 
 @dataclass(frozen=True)
@@ -100,6 +128,31 @@ class WorkloadTrace:
         if not self.samples:
             return 0.0
         return max(s.cpu_demand for s in self.samples)
+
+    def as_arrays(self) -> TraceArrays:
+        """Materialise the trace as a :class:`TraceArrays` column set.
+
+        The result is cached on the trace (keyed on the current sample count,
+        so `samples` appended after the first call invalidate it); traces are
+        treated as immutable once replayed — every trace-algebra method
+        returns a copy rather than mutating in place.
+        """
+        cached = getattr(self, "_arrays_cache", None)
+        if cached is not None and len(cached) == len(self.samples):
+            return cached
+        samples = self.samples
+        arrays = TraceArrays(
+            cpu_demand=np.array([s.cpu_demand for s in samples], dtype=float),
+            gpu_activity=np.array([s.gpu_activity for s in samples], dtype=float),
+            radio_activity=np.array([s.radio_activity for s in samples], dtype=float),
+            brightness=np.array([s.brightness for s in samples], dtype=float),
+            screen_on=np.array([s.screen_on for s in samples], dtype=bool),
+            charging=np.array([s.charging for s in samples], dtype=bool),
+            touching=np.array([s.touching for s in samples], dtype=bool),
+            sample_period_s=self.sample_period_s,
+        )
+        self._arrays_cache = arrays
+        return arrays
 
     def sample_at(self, time_s: float) -> WorkloadSample:
         """The sample active at absolute trace time ``time_s`` (clamped)."""

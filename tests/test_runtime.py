@@ -367,11 +367,13 @@ class TestExecutorParity:
             assert entry.result.governor_name == reference.governor_name
             assert entry.result.records == reference.records
 
-    def test_vectorized_groups_same_trace_cells(self):
+    def test_vectorized_batches_whole_heterogeneous_plan(self):
+        # Under the heterogeneous engine the whole plan — same-trace cells
+        # *and* the different-benchmark cell — forms one SoA batch.
         cells = _parity_cells()
-        keys = [VectorizedExecutor._group_key(cell) for cell in cells]
-        assert keys[0] == keys[1] == keys[2]
-        assert keys[3] != keys[0]
+        plan = VectorizedExecutor().batch_plan(cells)
+        assert plan.batches == [[0, 1, 2, 3]]
+        assert plan.scalar == []
 
     def test_vectorized_falls_back_for_governor_instances(self):
         trace = build_benchmark("skype", seed=0, duration_s=60)
