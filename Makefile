@@ -45,8 +45,9 @@ stream-smoke:
 
 # Perf gate for the heterogeneous vectorized engine: a scaled-down
 # mixed-trace sweep must run bit-identical to — and clearly faster than —
-# sequential execution (generous threshold; catches scalar-fallback
-# regressions, not machine noise).
+# sequential execution, and the managed (USTA + comfort-loop) variant must
+# beat the same batch with per-member scalar managers (generous thresholds;
+# they catch scalar-fallback regressions, not machine noise).
 bench-smoke:
 	$(PYTHON) benchmarks/bench_batch_runtime.py --smoke
 

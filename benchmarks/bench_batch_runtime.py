@@ -10,6 +10,11 @@ introduces —
 4. a heterogeneous 24-cell *mixed-trace* sweep (six distinct benchmarks ×
    four seeds) three ways: sequential, the old same-trace-only grouping, and
    the structure-of-arrays batch that integrates all 24 cells at once,
+5. the same 24-cell sweep *managed*: every member wraps a USTA controller
+   (skin + screen predictions every second) in an adaptive comfort manager
+   with a quantile-tracker adapter and a simulated-user feedback model —
+   measured with the vectorized policy plane against the per-member-manager
+   baseline (``vectorize_managers=False``) and full sequential runs,
 
 so regressions in the batching machinery are visible over time.
 
@@ -36,15 +41,26 @@ if __name__ == "__main__":  # allow running as a script without PYTHONPATH
 
 import numpy as np
 
+from repro.core.predictor import RuntimePredictor
+from repro.core.usta import USTAController
+from repro.device.freq_table import nexus4_frequency_table
 from repro.device.platform import DevicePlatform
 from repro.governors import OndemandGovernor
+from repro.ml.dataset import Dataset
+from repro.ml.linear import LinearRegression
 from repro.runtime import (
     PopulationMember,
     simulate_population,
     simulate_population_mixed,
 )
 from repro.sim.engine import Simulator
+from repro.sim.logger import FEATURE_NAMES
 from repro.thermal import ThermalSolver, build_nexus4_network
+from repro.users.adaptation import (
+    AdaptiveComfortManager,
+    QuantileTracker,
+    UserFeedbackModel,
+)
 from repro.workloads.benchmarks import build_benchmark
 
 POWER = {"cpu": 2.5, "screen": 0.5, "board": 0.6, "battery": 0.2}
@@ -145,6 +161,110 @@ def _mixed_soa(pairs):
 
 
 # ---------------------------------------------------------------------------
+# managed sweep (usta_mixed_population): USTA + adapter + user feedback
+# ---------------------------------------------------------------------------
+
+_USTA_PREDICTOR = None
+
+
+def _usta_training(offset_c):
+    """Deterministic synthetic thermal training set (hermetic, no I/O)."""
+    rng = np.random.default_rng(42)
+    n = 400
+    cpu = rng.uniform(25.0, 60.0, n)
+    battery = cpu - rng.uniform(1.0, 4.0, n)
+    utilization = rng.uniform(0.0, 1.0, n)
+    frequency = rng.choice(nexus4_frequency_table().frequencies_khz, n).astype(float)
+    target = cpu - offset_c + 0.02 * utilization
+    features = np.column_stack([cpu, battery, utilization, frequency])
+    return Dataset(
+        features=features,
+        target=target,
+        feature_names=FEATURE_NAMES,
+        target_name="skin_temp_c",
+    )
+
+
+def _usta_predictor():
+    """One fitted skin + screen predictor shared by every managed member."""
+    global _USTA_PREDICTOR
+    if _USTA_PREDICTOR is None:
+        _USTA_PREDICTOR = RuntimePredictor(
+            skin_model=LinearRegression().fit(_usta_training(5.0)),
+            screen_model=LinearRegression().fit(_usta_training(7.0)),
+        )
+    return _USTA_PREDICTOR
+
+
+def _managed_members(pairs):
+    """One adaptively-managed member per cell: a USTA controller predicting
+    skin *and* screen every second, wrapped in a quantile-tracker comfort
+    adapter driven by a seeded simulated user (heterogeneous true limits)."""
+    predictor = _usta_predictor()
+    members = []
+    for idx, (_, seed) in enumerate(pairs):
+        platform = DevicePlatform(seed=seed)
+        manager = AdaptiveComfortManager(
+            inner=USTAController(
+                predictor=predictor,
+                skin_limit_c=37.0,
+                prediction_period_s=1.0,
+                predict_screen=True,
+            ),
+            adapter=QuantileTracker(initial_limit_c=37.0),
+            feedback=UserFeedbackModel(
+                true_limit_c=35.0 + (idx % 5) * 0.8,
+                report_period_s=10.0,
+                seed=seed,
+            ),
+        )
+        members.append(
+            PopulationMember(
+                platform=platform,
+                governor=OndemandGovernor(table=platform.freq_table),
+                thermal_manager=manager,
+            )
+        )
+    return members
+
+
+def _managed_plane(traces, members):
+    """Managed sweep with the vectorized policy plane (the default path)."""
+    return simulate_population_mixed(traces, members)
+
+
+def _managed_scalar(traces, members):
+    """Managed sweep with per-member scalar manager calls (the baseline the
+    policy plane is gated against: same SoA engine, managers off-plane)."""
+    return simulate_population_mixed(traces, members, vectorize_managers=False)
+
+
+def _managed_sequential(pairs, members):
+    """One scalar Simulator.run per managed cell."""
+    return [
+        Simulator(
+            platform=member.platform,
+            governor=member.governor,
+            thermal_manager=member.thermal_manager,
+        ).run(trace)
+        for (trace, _), member in zip(pairs, members)
+    ]
+
+
+def _time_managed(fn, pairs, repeats):
+    """Best-of timing with a fresh member set per repeat (members are
+    stateful; construction stays outside the timed window in every arm so
+    the comparison isolates engine throughput)."""
+    best = float("inf")
+    for _ in range(repeats):
+        members = _managed_members(pairs)
+        start = time.perf_counter()
+        fn(members)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ---------------------------------------------------------------------------
 # pytest-benchmark entry points
 # ---------------------------------------------------------------------------
 
@@ -207,6 +327,26 @@ def bench_mixed_24_soa_batch(benchmark):
     assert len(results) == len(pairs)
 
 
+def bench_managed_24_scalar_managers(benchmark):
+    """The managed 24-cell sweep with per-member scalar manager calls."""
+    pairs = _mixed_pairs()
+    traces = [trace for trace, _ in pairs]
+    results = benchmark.pedantic(
+        lambda: _managed_scalar(traces, _managed_members(pairs)), rounds=3, iterations=1
+    )
+    assert len(results) == len(pairs)
+
+
+def bench_managed_24_policy_plane(benchmark):
+    """The managed 24-cell sweep through the vectorized policy plane."""
+    pairs = _mixed_pairs()
+    traces = [trace for trace, _ in pairs]
+    results = benchmark.pedantic(
+        lambda: _managed_plane(traces, _managed_members(pairs)), rounds=3, iterations=1
+    )
+    assert len(results) == len(pairs)
+
+
 # ---------------------------------------------------------------------------
 # baseline writer (python benchmarks/bench_batch_runtime.py)
 # ---------------------------------------------------------------------------
@@ -253,6 +393,14 @@ def write_baseline(path=BASELINE_PATH):
     mixed_soa_s = _time_call(lambda: _mixed_soa(pairs))
     mixed_member_steps = sum(len(t) for t, _ in pairs)
 
+    # -- managed mixed-trace sweep (usta_mixed_population) -----------------
+    traces = [trace for trace, _ in pairs]
+    managed_plane_s = _time_managed(lambda m: _managed_plane(traces, m), pairs, repeats=8)
+    managed_scalar_s = _time_managed(lambda m: _managed_scalar(traces, m), pairs, repeats=5)
+    managed_sequential_s = _time_managed(
+        lambda m: _managed_sequential(pairs, m), pairs, repeats=3
+    )
+
     steps = len(trace)
     member_steps = steps * POPULATION_SIZE
     baseline = {
@@ -292,6 +440,20 @@ def write_baseline(path=BASELINE_PATH):
             "speedup_soa_vs_sequential": mixed_sequential_s / mixed_soa_s,
             "speedup_soa_vs_grouped": mixed_grouped_s / mixed_soa_s,
         },
+        "usta_mixed_population": {
+            "cells": len(pairs),
+            "distinct_traces": len(MIXED_CONFIGS),
+            "member_steps": mixed_member_steps,
+            "prediction_period_s": 1.0,
+            "predict_screen": True,
+            "policy_plane_s": managed_plane_s,
+            "scalar_managers_s": managed_scalar_s,
+            "sequential_s": managed_sequential_s,
+            "plane_member_steps_per_s": mixed_member_steps / managed_plane_s,
+            "scalar_manager_member_steps_per_s": mixed_member_steps / managed_scalar_s,
+            "speedup_plane_vs_scalar_managers": managed_scalar_s / managed_plane_s,
+            "speedup_plane_vs_sequential": managed_sequential_s / managed_plane_s,
+        },
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(baseline, handle, indent=2)
@@ -299,14 +461,17 @@ def write_baseline(path=BASELINE_PATH):
     return baseline
 
 
-#: Generous smoke-gate threshold: the committed baseline records >3x, but CI
-#: machines are noisy — the gate only has to catch a collapse to the scalar
-#: path (speedup ~1.0), not defend the exact number.
+#: Generous smoke-gate thresholds: the committed baseline records >8x
+#: (unmanaged, vs sequential) and >3x (managed, vs scalar managers), but CI
+#: machines are noisy — the gates only have to catch a collapse to the
+#: scalar path (speedup ~1.0), not defend the exact numbers.
 SMOKE_MIN_SPEEDUP = 1.5
+SMOKE_MIN_MANAGED_SPEEDUP = 1.5
 
 
-def run_smoke(min_speedup=SMOKE_MIN_SPEEDUP):
-    """Scaled-down mixed-trace sweep; fail unless the SoA batch clearly wins."""
+def run_smoke(min_speedup=SMOKE_MIN_SPEEDUP, min_managed=SMOKE_MIN_MANAGED_SPEEDUP):
+    """Scaled-down mixed-trace sweeps (unmanaged + managed); fail unless the
+    SoA batch and the policy plane clearly win with bit-identical records."""
     pairs = _mixed_pairs(configs=MIXED_CONFIGS[:4], seeds=3, duration_scale=0.5)
     sequential_results = _mixed_sequential(pairs)
     soa_results = _mixed_soa(pairs)
@@ -329,6 +494,33 @@ def run_smoke(min_speedup=SMOKE_MIN_SPEEDUP):
             f"{min_speedup:.1f}x gate (scalar fallback regression?)"
         )
         return 1
+
+    # -- managed scenario: the policy plane vs scalar per-member managers --
+    traces = [trace for trace, _ in pairs]
+    plane_results = _managed_plane(traces, _managed_members(pairs))
+    scalar_results = _managed_scalar(traces, _managed_members(pairs))
+    sequential_managed = _managed_sequential(pairs, _managed_members(pairs))
+    for plane_r, scalar_r, seq_r in zip(plane_results, scalar_results, sequential_managed):
+        if not (plane_r.records == scalar_r.records == seq_r.records):
+            print(
+                "bench-smoke: FAIL — managed records diverged "
+                "(policy plane vs scalar managers vs sequential)"
+            )
+            return 1
+    plane_s = _time_managed(lambda m: _managed_plane(traces, m), pairs, repeats=3)
+    scalar_s = _time_managed(lambda m: _managed_scalar(traces, m), pairs, repeats=2)
+    managed_speedup = scalar_s / plane_s
+    print(
+        f"bench-smoke: managed sweep — scalar managers "
+        f"{member_steps / scalar_s:,.0f}/s, policy plane "
+        f"{member_steps / plane_s:,.0f}/s ({managed_speedup:.2f}x)"
+    )
+    if managed_speedup < min_managed:
+        print(
+            f"bench-smoke: FAIL — policy-plane speedup {managed_speedup:.2f}x below "
+            f"the {min_managed:.1f}x gate (manager scalar-fallback regression?)"
+        )
+        return 1
     print("bench-smoke: OK (records bit-identical, batch clearly faster)")
     return 0
 
@@ -340,5 +532,7 @@ if __name__ == "__main__":
     print(json.dumps(report, indent=2))
     speedup = report["population_16"]["speedup_exact"]
     mixed = report["mixed_trace_population"]["speedup_soa_vs_sequential"]
+    managed = report["usta_mixed_population"]["speedup_plane_vs_scalar_managers"]
     print(f"\n16-user population speedup (bit-exact): {speedup:.2f}x", file=sys.stderr)
     print(f"24-cell mixed-trace SoA speedup (bit-exact): {mixed:.2f}x", file=sys.stderr)
+    print(f"24-cell managed policy-plane speedup (bit-exact): {managed:.2f}x", file=sys.stderr)

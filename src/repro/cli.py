@@ -140,9 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "sweep: print the vectorized executor's batch plan (which cells "
-            "join the structure-of-arrays batch, which fall back to the "
-            "scalar kernel, and why) instead of running the sweep — silent "
-            "fallbacks are the usual cause of a perf regression"
+            "join the structure-of-arrays batch, which thermal managers ride "
+            "the vectorized policy plane versus the per-member scalar loop, "
+            "which cells fall back to the scalar kernel, and why) instead of "
+            "running the sweep — silent fallbacks are the usual cause of a "
+            "perf regression"
         ),
     )
     parser.add_argument(

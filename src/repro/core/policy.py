@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..device.freq_table import FrequencyTable
 
 __all__ = ["ThrottleStep", "ThrottlePolicy"]
@@ -49,6 +51,11 @@ class ThrottlePolicy:
     down inside 2 °C, two levels down inside 1 °C, minimum frequency inside
     0.5 °C (or when the limit is exceeded).
     """
+
+    #: Sentinel used by the array variants (:meth:`caps_for_margins`,
+    #: :meth:`cap_for_predictions`) where the scalar API returns ``None``:
+    #: "no cap installed".  Integer so the result stays a plain int64 array.
+    NO_CAP = -1
 
     steps: Tuple[ThrottleStep, ...] = (
         ThrottleStep(margin_above_c=2.0, levels_below_max=1),
@@ -101,6 +108,48 @@ class ThrottlePolicy:
     ) -> Optional[int]:
         """Convenience wrapper taking the prediction and the limit directly."""
         return self.cap_for_margin(limit_c - predicted_skin_temp_c, table)
+
+    def caps_for_margins(self, margins_c: np.ndarray, table: FrequencyTable) -> np.ndarray:
+        """Vectorized :meth:`cap_for_margin` over an array of margins.
+
+        Returns an int64 array where :data:`NO_CAP` stands in for the scalar
+        API's ``None``.  Element-for-element identical to calling
+        :meth:`cap_for_margin` on each margin: because the steps are ordered
+        by strictly decreasing margin, the rules a margin has crossed form a
+        prefix of the step list, so the winning rule is simply the last
+        satisfied one (``count - 1``).  A NaN margin satisfies no comparison
+        and, exactly like the scalar walk, falls back to the first step.
+        """
+        margins = np.asarray(margins_c, dtype=float)
+        step_caps = np.array(
+            [
+                table.min_level
+                if step.levels_below_max is None
+                else table.clamp_level(table.max_level - step.levels_below_max)
+                for step in self.steps
+            ],
+            dtype=np.int64,
+        )
+        thresholds = np.array([step.margin_above_c for step in self.steps], dtype=float)
+        counts = (margins[:, None] <= thresholds[None, :]).sum(axis=1)
+        caps = step_caps[np.maximum(counts - 1, 0)]
+        return np.where(margins >= self.activation_margin_c, np.int64(self.NO_CAP), caps)
+
+    def cap_for_predictions(
+        self,
+        predicted_skin_temps_c: np.ndarray,
+        limits_c: np.ndarray,
+        table: FrequencyTable,
+    ) -> np.ndarray:
+        """Vectorized :meth:`cap_for_prediction` over arrays of rows.
+
+        ``limits_c`` broadcasts against the predictions, so one shared limit
+        or one limit per row both work.  See :meth:`caps_for_margins` for the
+        ``None`` → :data:`NO_CAP` convention.
+        """
+        predicted = np.asarray(predicted_skin_temps_c, dtype=float)
+        limits = np.asarray(limits_c, dtype=float)
+        return self.caps_for_margins(limits - predicted, table)
 
     # -- declarative spec round-trip ---------------------------------------------------
 

@@ -25,6 +25,7 @@ from ..sim.logger import FEATURE_NAMES
 __all__ = [
     "PredictionFeatures",
     "SkinScreenPrediction",
+    "BatchPredictionArrays",
     "RuntimePredictor",
     "build_trained_predictor",
 ]
@@ -68,6 +69,21 @@ class SkinScreenPrediction:
 
     skin_temp_c: float
     screen_temp_c: Optional[float]
+    latency_s: float
+
+
+@dataclass(frozen=True)
+class BatchPredictionArrays:
+    """Column-wise result of one batched prediction.
+
+    The array counterpart of a list of :class:`SkinScreenPrediction`: row
+    ``i`` of each array is sample ``i``'s prediction, and ``latency_s`` is
+    the amortized per-sample wall-clock of the batch (the latency each
+    session reports, exactly as :meth:`RuntimePredictor.predict_batch`).
+    """
+
+    skin_temp_c: np.ndarray
+    screen_temp_c: Optional[np.ndarray]
     latency_s: float
 
 
@@ -134,6 +150,40 @@ class RuntimePredictor:
                 column order (see :meth:`PredictionFeatures.as_vector`).
             predict_screen: also evaluate the screen model when available.
         """
+        arrays = self.predict_batch_arrays(features, predict_screen=predict_screen)
+        skin = arrays.skin_temp_c
+        screen = arrays.screen_temp_c
+        return [
+            SkinScreenPrediction(
+                skin_temp_c=float(skin[i]),
+                screen_temp_c=float(screen[i]) if screen is not None else None,
+                latency_s=arrays.latency_s,
+            )
+            for i in range(len(skin))
+        ]
+
+    def predict_batch_arrays(
+        self, features: np.ndarray, predict_screen: bool = True, exact: bool = False
+    ) -> BatchPredictionArrays:
+        """Batched prediction returning columns instead of row objects.
+
+        The SoA engine's policy plane consumes this form directly: the skin
+        (and optionally screen) predictions stay arrays, avoiding N
+        ``SkinScreenPrediction`` allocations per prediction window.  With
+        ``exact=False`` values are identical to :meth:`predict_batch` — both
+        run the same single matrix predict.
+
+        ``exact=True`` evaluates a model one row at a time instead: a
+        whole-matrix predict may differ from N single-row predicts in the
+        last ulp when the model's batched evaluation depends on the row
+        count (a BLAS matmul picks different kernels by shape), and the
+        vectorized engine's bit-parity contract against the scalar path
+        cannot tolerate that — the same reason its thermal solve
+        back-substitutes per column.  Models declaring
+        ``batch_row_invariant`` (trees; the order-fixed linear sweep)
+        guarantee matrix == per-row bitwise, so they keep the one-call
+        shortcut even in exact mode.
+        """
         matrix = np.atleast_2d(np.asarray(features, dtype=float))
         if matrix.shape[1] != len(self.feature_names):
             raise ValueError(
@@ -141,19 +191,20 @@ class RuntimePredictor:
                 f"got {matrix.shape[1]}"
             )
         start = time.perf_counter()
-        skin = self.skin_model.predict(matrix)
+        want_screen = predict_screen and self.screen_model is not None
         screen: Optional[np.ndarray] = None
-        if predict_screen and self.screen_model is not None:
-            screen = self.screen_model.predict(matrix)
+
+        def _rows(model) -> np.ndarray:
+            if exact and len(matrix) > 1 and not getattr(model, "batch_row_invariant", False):
+                predict = model.predict
+                return np.array([predict(matrix[i : i + 1])[0] for i in range(len(matrix))])
+            return np.asarray(model.predict(matrix), dtype=float)
+
+        skin = _rows(self.skin_model)
+        if want_screen:
+            screen = _rows(self.screen_model)
         latency = (time.perf_counter() - start) / len(matrix)
-        return [
-            SkinScreenPrediction(
-                skin_temp_c=float(skin[i]),
-                screen_temp_c=float(screen[i]) if screen is not None else None,
-                latency_s=latency,
-            )
-            for i in range(len(matrix))
-        ]
+        return BatchPredictionArrays(skin_temp_c=skin, screen_temp_c=screen, latency_s=latency)
 
     def predict_from_readings(
         self,

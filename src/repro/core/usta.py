@@ -211,6 +211,33 @@ class USTAController:
         self._current_cap = self._cap_for(prediction)
         return self.held_decision()
 
+    def restore_batch_state(
+        self,
+        *,
+        last_prediction_time: Optional[float],
+        last_prediction: Optional[float],
+        last_screen_prediction: Optional[float],
+        total_latency_s: float,
+        prediction_count: int,
+        current_cap: Optional[int],
+        live_limit_c: float,
+    ) -> None:
+        """Install state accumulated by a vectorized policy plane.
+
+        The SoA engine keeps this controller's per-tick state in arrays and
+        writes it back through here once at the batch boundary, leaving the
+        controller exactly as if :meth:`apply_prediction` had run every
+        window.  ``live_limit_c`` goes through :meth:`set_skin_limit` so the
+        plausibility guard still applies.
+        """
+        self._last_prediction_time = last_prediction_time
+        self._last_prediction = last_prediction
+        self._last_screen_prediction = last_screen_prediction
+        self._total_latency_s = total_latency_s
+        self._prediction_count = prediction_count
+        self._current_cap = current_cap
+        self.set_skin_limit(live_limit_c)
+
     def held_decision(self) -> ManagerDecision:
         """The decision currently in force (kept between prediction windows)."""
         return ManagerDecision(

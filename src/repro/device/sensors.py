@@ -52,6 +52,7 @@ class TemperatureSensor:
         if self.quantization_c < 0:
             raise ValueError("quantization_c must be non-negative")
         self._rng = np.random.default_rng(self.seed)
+        self._rng_fresh = True
         self._last_reading: Optional[float] = None
 
     @property
@@ -63,6 +64,7 @@ class TemperatureSensor:
         """Produce a sensor reading for the given true temperature."""
         value = true_temp_c + self.offset_c
         if self.noise_std_c > 0:
+            self._rng_fresh = False
             value += float(self._rng.normal(0.0, self.noise_std_c))
         if self.quantization_c > 0:
             value = round(value / self.quantization_c) * self.quantization_c
@@ -78,13 +80,23 @@ class TemperatureSensor:
         """
         if self.noise_std_c <= 0:
             return np.zeros(count)
+        self._rng_fresh = False
         return self._rng.normal(0.0, self.noise_std_c, size=count)
 
     def reset(self, seed: Optional[int] = None) -> None:
-        """Reset the RNG (optionally with a new seed) and clear the last reading."""
-        if seed is not None:
+        """Reset the RNG (optionally with a new seed) and clear the last reading.
+
+        Rebuilding a ``Generator`` is surprisingly expensive (seed-sequence
+        entropy mixing), so an untouched generator at the right seed is kept
+        as-is — it is bitwise indistinguishable from a fresh one.
+        """
+        if seed is not None and seed != self.seed:
             self.seed = seed
-        self._rng = np.random.default_rng(self.seed)
+            self._rng = np.random.default_rng(seed)
+            self._rng_fresh = True
+        elif not self._rng_fresh:
+            self._rng = np.random.default_rng(self.seed)
+            self._rng_fresh = True
         self._last_reading = None
 
 

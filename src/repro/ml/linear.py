@@ -71,8 +71,23 @@ class LinearRegression(Regressor):
         self._intercept = float(solution[d])
         self._feature_names = data.feature_names
 
+    #: Matrix predictions equal row-by-row predictions bit-for-bit (see
+    #: _predict), so batched callers never need a per-row exactness loop.
+    batch_row_invariant = True
+
     def _predict(self, features: np.ndarray) -> np.ndarray:
-        return features @ self._coefficients + self._intercept
+        # Left-to-right column sweep rather than `features @ coefficients`:
+        # BLAS dot kernels use FMA/SIMD horizontal sums whose rounding varies
+        # with the build and (via kernel selection) the operand shapes, so a
+        # matrix predict could differ from single-row predicts in the last
+        # ulp.  The explicit sweep evaluates every row in one fixed order,
+        # making predictions reproducible and independent of how rows are
+        # batched — at identical cost for the handful of features used here.
+        coefficients = self._coefficients
+        result = features[:, 0] * coefficients[0]
+        for j in range(1, features.shape[1]):
+            result = result + features[:, j] * coefficients[j]
+        return result + self._intercept
 
     def describe(self) -> str:
         """Human-readable equation of the fitted model."""

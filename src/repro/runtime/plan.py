@@ -32,7 +32,7 @@ import numpy as np
 
 from ..api.specs import AdapterSpec, PolicySpec
 from ..core.predictor import RuntimePredictor
-from ..device.freq_table import FrequencyTable
+from ..device.freq_table import FrequencyTable, nexus4_frequency_table
 from ..device.platform import DevicePlatform
 from ..governors import create_governor
 from ..governors.base import Governor
@@ -229,7 +229,18 @@ class BatchPlan:
         return [index for batch in self.batches for index in batch]
 
     def describe(self, cells: Sequence[ExperimentCell]) -> str:
-        """Human-readable plan: batch membership and every fallback reason."""
+        """Human-readable plan: batch membership and every fallback reason.
+
+        Besides batch membership this also previews the *policy plane*: for
+        every batched cell that carries a thermal manager, whether the
+        vectorized engine will drive it through the batched USTA fast path
+        or keep it on the per-member scalar ``observe()`` loop, and why
+        (:func:`~repro.runtime.vectorized.manager_vectorization_ineligibility`).
+        """
+        # Imported here: vectorized.py is the heavyweight engine module and
+        # plan.py must stay importable for lightweight plan manipulation.
+        from .vectorized import manager_vectorization_ineligibility
+
         lines = []
         total = len(list(cells))
         batched = sum(len(batch) for batch in self.batches)
@@ -249,6 +260,33 @@ class BatchPlan:
                 lines.append(
                     f"    {cells[index].cell_id}  [{trace.name}, {len(trace)} steps]"
                 )
+        # Batched cells never carry a custom platform (batch_ineligibility
+        # rejects those), so the engine's manager-eligibility check runs
+        # against the default Nexus-4 frequency table — mirror that here.
+        table = nexus4_frequency_table()
+        plane = 0
+        scalar_managers: List[tuple] = []
+        for index in self.batched_indices:
+            manager = cells[index].build_manager()
+            if manager is None:
+                continue
+            reason = manager_vectorization_ineligibility(manager, table)
+            if reason is None:
+                plane += 1
+            else:
+                scalar_managers.append((index, reason))
+        if plane or scalar_managers:
+            lines.append(
+                f"  policy plane: {plane} of {plane + len(scalar_managers)} "
+                "managed cell(s) on the vectorized manager fast path"
+            )
+            if scalar_managers:
+                lines.append(
+                    "    scalar manager fallback (cell stays batched; its "
+                    "manager runs per member):"
+                )
+                for index, reason in scalar_managers:
+                    lines.append(f"      {cells[index].cell_id}  — {reason}")
         if self.scalar:
             lines.append("  scalar fallback:")
             for index, reason in sorted(self.scalar):

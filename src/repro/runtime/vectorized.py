@@ -42,34 +42,56 @@ few implementation choices:
 * every elementwise expression mirrors the operation order of the scalar
   model code, because float addition and multiplication are not associative.
 
-Governors and thermal managers keep their (cheap) per-instance Python
+Governors and custom thermal managers keep their (cheap) per-instance Python
 implementations, so any :class:`~repro.governors.base.Governor` subclass or
 :class:`~repro.sim.engine.ThermalManager` works unchanged; homogeneous stock
-ondemand populations additionally take a fully vectorized governor path.
+ondemand populations additionally take a fully vectorized governor path, and
+stock USTA-family managers (bare :class:`~repro.core.usta.USTAController` or
+:class:`~repro.users.adaptation.AdaptiveComfortManager` around one, with a
+stock adapter/feedback model) take a vectorized *policy plane*: prediction-due
+masks, one batched predictor call per tick over the due rows, array-wide cap
+computation and grouped comfort-adapter updates, with controller state held in
+arrays and written back to the objects only at the batch boundary
+(:class:`_PolicyPlane`; eligibility via
+:func:`manager_vectorization_ineligibility`).
 """
 
 from __future__ import annotations
 
 import copy
 import math
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.policy import ThrottlePolicy
+from ..core.predictor import RuntimePredictor
+from ..core.usta import USTAController
 from ..device.platform import DevicePlatform
 from ..governors.base import Governor, GovernorObservation
 from ..governors.ondemand import OndemandGovernor
+from ..ml.linear import LinearRegression
 from ..sim.engine import ThermalManager
 from ..sim.logger import SystemLogger
 from ..sim.results import ColumnarRecordBuffer, SimulationResult
 from ..thermal.ambient import HandContact
 from ..thermal.solver import ThermalSolver
+from ..users.adaptation import (
+    AdaptiveComfortManager,
+    FeedbackStep,
+    FixedLimit,
+    QuantileTracker,
+    UserFeedbackModel,
+)
 from ..workloads.trace import WorkloadTrace
 
 __all__ = [
     "PopulationMember",
     "VectorizationError",
+    "manager_vectorization_ineligibility",
     "simulate_population",
     "simulate_population_mixed",
 ]
@@ -199,6 +221,16 @@ def _validate_members(members: Sequence[PopulationMember]) -> None:
                 )
 
 
+#: Hand-state solver pairs memoised by network/hand content.  A batch run
+#: pays two network deep-copies plus the toggle round-trip probe otherwise;
+#: platforms built from one hardware config hash to the same key, so repeated
+#: sweeps (and the per-baseline reruns inside the benchmarks) reuse the
+#: factorizations.  The cached solvers' networks are private copies that the
+#: batch engines never mutate (they only call step_many / make_stepper).
+_HAND_SOLVER_CACHE: "OrderedDict[bytes, Dict[bool, ThermalSolver]]" = OrderedDict()
+_HAND_SOLVER_CACHE_MAX = 4
+
+
 def _hand_state_solvers(template: DevicePlatform) -> Dict[bool, ThermalSolver]:
     """The two canonical thermal solvers (hand touching / not touching).
 
@@ -214,6 +246,27 @@ def _hand_state_solvers(template: DevicePlatform) -> Dict[bool, ThermalSolver]:
     net = template.network
     hand = template.hand
     base_state = hand.touching
+    cache_key = b"".join(
+        (
+            repr(
+                (
+                    tuple(net.internal_names),
+                    tuple(net.boundary_names),
+                    hand.contact_node,
+                    hand.conductance_w_per_c,
+                    base_state,
+                )
+            ).encode(),
+            net.conductance_matrix.tobytes(),
+            net.boundary_coupling.tobytes(),
+            net.capacitances.tobytes(),
+            net.boundary_temperatures_vector.tobytes(),
+        )
+    )
+    cached = _HAND_SOLVER_CACHE.get(cache_key)
+    if cached is not None:
+        _HAND_SOLVER_CACHE.move_to_end(cache_key)
+        return cached
     probe = copy.deepcopy(net)
     probe_hand = HandContact(
         contact_node=hand.contact_node,
@@ -235,10 +288,644 @@ def _hand_state_solvers(template: DevicePlatform) -> Dict[bool, ThermalSolver]:
     # once-toggled matrices exactly.
     probe_hand.touching = not base_state
     probe_hand.apply(probe)
-    return {
+    solvers = {
         base_state: ThermalSolver(copy.deepcopy(net)),
         (not base_state): ThermalSolver(probe),
     }
+    _HAND_SOLVER_CACHE[cache_key] = solvers
+    if len(_HAND_SOLVER_CACHE) > _HAND_SOLVER_CACHE_MAX:
+        _HAND_SOLVER_CACHE.popitem(last=False)
+    return solvers
+
+
+def manager_vectorization_ineligibility(
+    manager: Optional[ThermalManager], table=None
+) -> Optional[str]:
+    """Why ``manager`` cannot ride the vectorized policy plane (``None`` = it can).
+
+    The plane mirrors controller state in arrays, so it only accepts
+    combinations whose per-tick math it replicates bit-for-bit: a stock
+    :class:`~repro.core.usta.USTAController` (or a subclass that overrides
+    none of the prediction protocol), optionally wrapped in a stock
+    :class:`~repro.users.adaptation.AdaptiveComfortManager` with a stock
+    adapter (:class:`FixedLimit` / :class:`FeedbackStep` /
+    :class:`QuantileTracker`) and at most a stock
+    :class:`UserFeedbackModel`.  Anything else falls back to the scalar
+    per-member ``observe()`` loop; the returned reason is what
+    ``--explain-batching`` reports.
+    """
+    if manager is None:
+        return None
+    inner = manager
+    if isinstance(manager, AdaptiveComfortManager):
+        if type(manager) is not AdaptiveComfortManager:
+            return f"{type(manager).__name__} subclasses AdaptiveComfortManager"
+        if type(manager.adapter) not in (FixedLimit, FeedbackStep, QuantileTracker):
+            return f"custom comfort adapter {type(manager.adapter).__name__}"
+        if manager.feedback is not None and type(manager.feedback) is not UserFeedbackModel:
+            return f"custom feedback model {type(manager.feedback).__name__}"
+        inner = manager.inner
+    if not isinstance(inner, USTAController):
+        return f"{type(inner).__name__} is not a USTA-family controller"
+    if type(inner) is not USTAController:
+        for method in ("observe", "prediction_due", "apply_prediction", "_cap_for", "set_skin_limit"):
+            if getattr(type(inner), method) is not getattr(USTAController, method):
+                return f"{type(inner).__name__} overrides USTAController.{method}"
+    if type(inner.policy) is not ThrottlePolicy:
+        return f"custom throttle policy {type(inner.policy).__name__}"
+    if type(inner.predictor) is not RuntimePredictor:
+        return f"custom predictor {type(inner.predictor).__name__}"
+    if table is not None and tuple(inner.table.frequencies_khz) != tuple(table.frequencies_khz):
+        return "manager frequency table differs from the platform's"
+    return None
+
+
+#: Adapter-kind tags used to route feedback events to the grouped updates.
+_ADAPTER_NONE, _ADAPTER_FIXED, _ADAPTER_STEP, _ADAPTER_QUANTILE = 0, 1, 2, 3
+
+_NO_CAP = ThrottlePolicy.NO_CAP
+_NO_CAP_64 = np.int64(_NO_CAP)
+
+#: Probe size for :func:`_columnwise_linear_form`.  The probe rows spread
+#: operand magnitudes over ~50 binary orders, so two genuinely different
+#: float evaluation orders disagree on most rows — a handful suffice.
+_LINEAR_PROBE_ROWS = 64
+
+
+def _columnwise_linear_form(model):
+    """``(coefficients, intercept)`` for a column-sweep evaluation of a
+    fitted stock LinearRegression, or None.
+
+    The policy plane's parity contract is against the scalar path's one-row
+    ``model.predict(row)`` calls.  :meth:`LinearRegression._predict` is an
+    order-fixed left-to-right column sweep (never a BLAS dot), so the plane
+    can evaluate the same sweep over its own feature columns and land on
+    identical bits for every row.  That equivalence is still *verified* here
+    on a magnitude-spread probe matrix rather than assumed, so a future edit
+    to the model's evaluation order degrades the plane to the (bit-exact)
+    batched-predict path instead of silently breaking parity.
+    """
+    if type(model) is not LinearRegression or not model.is_fitted:
+        return None
+    coef = model.coefficients
+    if coef.shape != (4,):
+        return None
+    intercept = model.intercept
+    rng = np.random.default_rng(0x5BA7C)
+    probe = rng.uniform(-1.0, 1.0, (_LINEAR_PROBE_ROWS, 4)) * np.exp2(
+        rng.integers(-25, 26, (_LINEAR_PROBE_ROWS, 4)).astype(float)
+    )
+    c0, c1, c2, c3 = coef.tolist()
+    f0, f1, f2, f3 = probe.T
+    sweep = ((f0 * c0 + f1 * c1) + f2 * c2) + f3 * c3 + intercept
+    if not np.array_equal(sweep, model.predict(probe)):
+        return None
+    return coef, intercept
+
+
+def _linear_kernel(coef_rows: np.ndarray, intercepts: np.ndarray):
+    """Build the column-sweep callable for one or more stacked linear models.
+
+    ``coef_rows`` is ``(m, 4)`` and ``intercepts`` ``(m, 1)``: evaluating m
+    models over n feature columns in one ``(m, n)`` broadcast sweep costs the
+    same number of ufunc dispatches as evaluating one.  Elementwise IEEE
+    multiply/add are shape-independent, so each output element carries
+    exactly the bits of the per-model column sweep the probe verified.
+    """
+    c0 = coef_rows[:, 0:1]
+    c1 = coef_rows[:, 1:2]
+    c2 = coef_rows[:, 2:3]
+    c3 = coef_rows[:, 3:4]
+    return lambda a, b, u, f: ((a * c0 + b * c1) + u * c2) + f * c3 + intercepts
+
+
+class _PolicyPlane:
+    """SoA state for the batch's vectorizable USTA-family managers.
+
+    One instance owns the plane-eligible manager rows of a population batch
+    (see :func:`manager_vectorization_ineligibility`).  Per tick it performs,
+    in the exact order of the scalar ``observe()`` chain:
+
+    1. feedback ingestion — the per-member seeded
+       :class:`UserFeedbackModel` objects stay authoritative, but they are
+       only *called* on ticks where they could report or deliver (a gate
+       computed array-wide from their report clocks and thresholds, which is
+       exact: on every other tick ``observe()`` returns ``None`` without
+       mutating state), and the resulting events update the comfort limits
+       through grouped per-strategy array math;
+    2. a vectorized ``prediction_due`` mask over the live plane rows;
+    3. one :meth:`RuntimePredictor.predict_batch_arrays` call per predictor
+       group over the due rows, features assembled column-wise from the
+       engine's sensor arrays;
+    4. an array-wide cap computation per policy group
+       (:meth:`ThrottlePolicy.cap_for_predictions`), with
+       :data:`ThrottlePolicy.NO_CAP` standing in for "no cap".
+
+    Controller/adapter state (last prediction, cap, latency, count, live
+    limit, adapter internals) lives in arrays during the run and is written
+    back to the owning objects once, at the batch boundary
+    (:meth:`finish`), leaving them exactly as a scalar run would.
+    """
+
+    def __init__(
+        self,
+        entries: Sequence[Tuple[int, "PopulationMember"]],
+        table,
+        has_skin_sensor: bool,
+        exact: bool = True,
+    ) -> None:
+        n = len(entries)
+        self.table = table
+        # Row-exact batched prediction (see predict_batch_arrays): whole-matrix
+        # model evaluation may differ from single-row predicts in the last ulp.
+        self.exact = exact
+        self.rows = np.array([row for row, _ in entries], dtype=np.int64)
+        self.governors: List[Governor] = [member.governor for _, member in entries]
+        self.managers = [member.thermal_manager for _, member in entries]
+        self.inners: List[USTAController] = []
+        self.adapters: List[Optional[object]] = []
+        self.feedbacks: List[Optional[UserFeedbackModel]] = []
+        for manager in self.managers:
+            if isinstance(manager, AdaptiveComfortManager):
+                self.inners.append(manager.inner)
+                self.adapters.append(manager.adapter)
+                self.feedbacks.append(manager.feedback)
+            else:
+                self.inners.append(manager)
+                self.adapters.append(None)
+                self.feedbacks.append(None)
+
+        # -- USTA controller state (mirrors apply_prediction) ------------------
+        self.period_minus = np.array(
+            [inner.prediction_period_s - 1e-9 for inner in self.inners]
+        )
+        self.last_time = np.full(n, np.nan)
+        self.pred_skin = np.full(n, np.nan)
+        self.skin_obj = np.full(n, None, dtype=object)
+        self.screen_obj = np.full(n, None, dtype=object)
+        self.latency = np.zeros(n)
+        self.count = np.zeros(n, dtype=np.int64)
+        self.cap_req = np.full(n, _NO_CAP, dtype=np.int64)
+        # The live comfort limit is the master copy shared by the adapter
+        # updates and the cap computation (the scalar path keeps the two in
+        # sync through set_skin_limit).
+        self.limit = np.array([inner.current_skin_limit_c for inner in self.inners])
+        self.limit_obj = np.array([float(v) for v in self.limit.tolist()], dtype=object)
+        # Initial state need not be the post-reset default (the engine resets
+        # members first, but stays faithful if that ever changes).
+        for i, inner in enumerate(self.inners):
+            if inner._last_prediction_time is not None:
+                self.last_time[i] = inner._last_prediction_time
+                self.pred_skin[i] = (
+                    np.nan if inner._last_prediction is None else inner._last_prediction
+                )
+            self.skin_obj[i] = inner._last_prediction
+            self.screen_obj[i] = inner._last_screen_prediction
+            self.latency[i] = inner._total_latency_s
+            self.count[i] = inner._prediction_count
+            self.cap_req[i] = _NO_CAP if inner._current_cap is None else inner._current_cap
+
+        # One shared prediction period and no prior prediction state means
+        # every live row's due clock stays in lockstep for the whole run
+        # (rows only ever drop out), so the per-tick due mask reduces to a
+        # single scalar clock comparison.
+        self.uniform_clock = bool(
+            n > 0
+            and np.isnan(self.last_time).all()
+            and (self.period_minus == self.period_minus[0]).all()
+        )
+        self._clock_period = float(self.period_minus[0]) if self.uniform_clock else 0.0
+        self._clock_last: Optional[float] = None
+
+        # -- predictor groups (one batched predict per group per due tick) -----
+        groups: "OrderedDict[Tuple[int, bool], List[int]]" = OrderedDict()
+        for i, inner in enumerate(self.inners):
+            groups.setdefault((id(inner.predictor), bool(inner.predict_screen)), []).append(i)
+        self.pred_groups = [
+            (np.array(local, dtype=np.int64), self.inners[local[0]].predictor, screen)
+            for (_, screen), local in groups.items()
+        ]
+        # Probe-verified column-sweep kernels (see _columnwise_linear_form):
+        # one ``(kernel, has_screen)`` entry per predictor group, None when
+        # the group must go through predict_batch_arrays.  Skin and screen
+        # models probing to the same sweep order share one stacked kernel
+        # call.  Only meaningful in exact mode — the inexact path's single
+        # matrix predict is already one BLAS call.
+        self.pred_fast: List[Optional[Tuple]] = []
+        for local, predictor, predict_screen in self.pred_groups:
+            fast = None
+            if exact and type(predictor) is RuntimePredictor:
+                form = _columnwise_linear_form(predictor.skin_model)
+                if form is not None:
+                    coef, intercept = form
+                    if predict_screen and predictor.screen_model is not None:
+                        sform = _columnwise_linear_form(predictor.screen_model)
+                        if sform is not None:
+                            fast = (
+                                _linear_kernel(
+                                    np.vstack([coef, sform[0]]),
+                                    np.array([[intercept], [sform[1]]]),
+                                ),
+                                True,
+                            )
+                    else:
+                        fast = (
+                            _linear_kernel(coef[None, :], np.array([[intercept]])),
+                            False,
+                        )
+            self.pred_fast.append(fast)
+
+        # -- policy groups (cap math depends only on the step table) -----------
+        # step_caps/thresholds are what caps_for_margins would rebuild per
+        # call; precomputing them lets tick() inline the (bit-identical)
+        # count-of-crossed-rules cap computation.
+        pgroups: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+        for i, inner in enumerate(self.inners):
+            pgroups.setdefault(inner.policy.steps, []).append(i)
+        self.policy_groups = []
+        for local in pgroups.values():
+            policy = self.inners[local[0]].policy
+            step_caps = np.array(
+                [
+                    table.min_level
+                    if step.levels_below_max is None
+                    else table.clamp_level(table.max_level - step.levels_below_max)
+                    for step in policy.steps
+                ],
+                dtype=np.int64,
+            )
+            thresholds = np.array([step.margin_above_c for step in policy.steps], dtype=float)
+            self.policy_groups.append(
+                (
+                    np.array(local, dtype=np.int64),
+                    policy,
+                    step_caps,
+                    thresholds,
+                    policy.activation_margin_c,
+                )
+            )
+
+        # Plane rows are very often the whole batch prefix (every member
+        # managed); basic slices then replace every fancy-index gather.
+        self.rows_contiguous = bool(np.array_equal(self.rows, np.arange(n)))
+        # Live-prefix views per group, cached by the live plane count k (k only
+        # changes when a member's trace ends, so the cache has O(members)
+        # entries over a whole run instead of per-tick searchsorted calls).
+        self._prefix_cache: Dict[int, Tuple] = {}
+
+        # -- feedback gate state -----------------------------------------------
+        fb_local = [
+            i
+            for i, feedback in enumerate(self.feedbacks)
+            if feedback is not None and has_skin_sensor
+        ]
+        self.fb_local = np.array(fb_local, dtype=np.int64)
+        self.fb_last = np.full(n, np.nan)
+        self.fb_period_minus = np.zeros(n)
+        self.fb_threshold = np.zeros(n)
+        self.fb_pending = np.zeros(n, dtype=bool)
+        for i in fb_local:
+            model = self.feedbacks[i]
+            if model._last_report_s is not None:
+                self.fb_last[i] = model._last_report_s
+            self.fb_period_minus[i] = model.report_period_s - 1e-9
+            self.fb_threshold[i] = model.true_limit_c - model.comfort_band_c
+            self.fb_pending[i] = bool(model._pending)
+        # Earliest future time any feedback clock can fire (-inf while any
+        # model has never reported or holds a delayed event): between firings
+        # the candidate mask is provably all-False, so tick() skips it.
+        self._fb_wake = -np.inf
+
+        # -- per-strategy adapter parameter/state arrays -----------------------
+        self.adapter_kind = np.zeros(n, dtype=np.int64)
+        self.step_down = np.zeros(n)
+        self.step_up = np.zeros(n)
+        self.step_hold = np.zeros(n)
+        self.step_min = np.zeros(n)
+        self.step_max = np.zeros(n)
+        self.step_last_change = np.full(n, np.nan)
+        self.q_quant = np.zeros(n)
+        self.q_gain = np.zeros(n)
+        self.q_decay = np.zeros(n)
+        self.q_min = np.zeros(n)
+        self.q_max = np.zeros(n)
+        self.q_window = np.full(n, np.nan)
+        self.q_streak_limit = np.zeros(n, dtype=np.int64)
+        self.q_count = np.zeros(n, dtype=np.int64)
+        self.q_streak = np.zeros(n, dtype=np.int64)
+        for i, adapter in enumerate(self.adapters):
+            if isinstance(adapter, FeedbackStep):
+                self.adapter_kind[i] = _ADAPTER_STEP
+                self.step_down[i] = adapter.step_down_c
+                self.step_up[i] = adapter.step_up_c
+                self.step_hold[i] = adapter.hold_off_s
+                self.step_min[i] = adapter.min_limit_c
+                self.step_max[i] = adapter.max_limit_c
+                if adapter._last_change_s is not None:
+                    self.step_last_change[i] = adapter._last_change_s
+            elif isinstance(adapter, QuantileTracker):
+                self.adapter_kind[i] = _ADAPTER_QUANTILE
+                self.q_quant[i] = adapter.quantile
+                self.q_gain[i] = adapter.gain_c
+                self.q_decay[i] = adapter.decay
+                self.q_min[i] = adapter.min_limit_c
+                self.q_max[i] = adapter.max_limit_c
+                if adapter.trust_window_c is not None:
+                    self.q_window[i] = adapter.trust_window_c
+                self.q_streak_limit[i] = adapter.trust_streak_limit
+                self.q_count[i] = adapter._event_count
+                self.q_streak[i] = adapter._rejection_streak
+            elif isinstance(adapter, FixedLimit):
+                self.adapter_kind[i] = _ADAPTER_FIXED
+
+    def bind_sensor_rows(self, block_row: Dict[str, int]) -> None:
+        """Resolve the engine sensor-block rows this plane reads per tick.
+
+        The cpu/battery rows feed the predictor features and the skin row the
+        feedback gate; binding them once lets tick() index the block matrix
+        directly instead of going through a per-tick name->array dict.
+        """
+        self._cpu_row = block_row["cpu"]
+        self._battery_row = block_row["battery"]
+        self._skin_row = block_row.get("skin")
+
+    # -- per-tick update -------------------------------------------------------
+
+    def _prefixes(self, k: int) -> Tuple:
+        """Cached live-prefix state for ``k`` live plane rows.
+
+        Returns ``(rows, dest, fbl, fb_prefix, pred_pre, pol_pre)`` where each
+        ``*_pre`` entry is ``(g, is_prefix)``: the group's live local indices
+        and whether they are exactly ``0..size-1`` (so basic slices can stand
+        in for fancy indexing on the plane-state arrays).
+        """
+        cached = self._prefix_cache.get(k)
+        if cached is None:
+            rows = self.rows[:k]
+            dest = slice(0, k) if self.rows_contiguous else rows
+            fk = int(self.fb_local.searchsorted(k))
+            fbl = self.fb_local[:fk]
+            fb_prefix = bool(fk) and int(self.fb_local[fk - 1]) == fk - 1
+            pred_pre = []
+            for local, _, _ in self.pred_groups:
+                size = int(local.searchsorted(k))
+                pred_pre.append((local[:size], bool(size) and int(local[size - 1]) == size - 1))
+            pol_pre = []
+            for entry in self.policy_groups:
+                local = entry[0]
+                size = int(local.searchsorted(k))
+                pol_pre.append((local[:size], bool(size) and int(local[size - 1]) == size - 1))
+            cached = (rows, dest, fbl, fb_prefix, pred_pre, pol_pre)
+            self._prefix_cache[k] = cached
+        return cached
+
+    def tick(
+        self,
+        t: int,
+        time_s: float,
+        n_act: int,
+        buf: ColumnarRecordBuffer,
+        caps: np.ndarray,
+        sensor_block: np.ndarray,
+        utilization: np.ndarray,
+        freq_khz: np.ndarray,
+        max_level: int,
+        sync_governors: bool,
+    ) -> None:
+        k = int(self.rows.searchsorted(n_act))
+        if k == 0:
+            return
+        rows, dest, fbl, fb_prefix, pred_pre, pol_pre = self._prefixes(k)
+
+        # -- 1. simulated-user feedback → grouped adapter updates --------------
+        fk = fbl.size
+        if fk and time_s >= self._fb_wake:
+            fsl = slice(0, fk) if fb_prefix else fbl
+            felt = sensor_block[self._skin_row][
+                fsl if fb_prefix and self.rows_contiguous else rows[fbl]
+            ]
+            last = self.fb_last[fsl]
+            candidate = (np.isnan(last) | (time_s - last >= self.fb_period_minus[fsl])) & (
+                felt > self.fb_threshold[fsl]
+            )
+            needs = candidate | self.fb_pending[fsl]
+            if needs.any():
+                step_events: List[Tuple[int, object]] = []
+                quant_events: List[Tuple[int, object]] = []
+                ask = fbl[needs]
+                for i, felt_c in zip(ask.tolist(), felt[needs].tolist()):
+                    model = self.feedbacks[i]
+                    event = model.observe(time_s, felt_c)
+                    report_s = model._last_report_s
+                    self.fb_last[i] = np.nan if report_s is None else report_s
+                    self.fb_pending[i] = bool(model._pending)
+                    if event is not None:
+                        kind = self.adapter_kind[i]
+                        if kind == _ADAPTER_STEP:
+                            step_events.append((i, event))
+                        elif kind == _ADAPTER_QUANTILE:
+                            quant_events.append((i, event))
+                        # _ADAPTER_FIXED consumes the event without state.
+                if step_events:
+                    self._apply_step_events(time_s, step_events)
+                if quant_events:
+                    self._apply_quantile_events(quant_events)
+                # Re-arm the wake clock from the updated report times.  A
+                # shrinking k only widens the row set the minimum ranges
+                # over, so a cached wake never skips a live row's firing.
+                last = self.fb_last[fsl]
+                if np.isnan(last).any() or self.fb_pending[fsl].any():
+                    self._fb_wake = -np.inf
+                else:
+                    self._fb_wake = float((last + self.fb_period_minus[fsl]).min())
+
+        # -- 2./3./4. due mask → batched predict → array-wide caps -------------
+        if self.uniform_clock:
+            # Lockstep clocks: one scalar comparison replaces the mask.
+            due = None
+            all_due = True
+            any_due = (
+                self._clock_last is None or time_s - self._clock_last >= self._clock_period
+            )
+            if any_due:
+                self._clock_last = time_s
+        else:
+            last_pred = self.last_time[:k]
+            due = np.isnan(last_pred) | (time_s - last_pred >= self.period_minus[:k])
+            any_due = bool(due.any())
+            all_due = any_due and bool(due.all())
+        if any_due:
+            for (local, predictor, predict_screen), fast, (g, g_is_prefix) in zip(
+                self.pred_groups, self.pred_fast, pred_pre
+            ):
+                if all_due:
+                    gd = g
+                else:
+                    gd = g[due[g]]
+                    g_is_prefix = False
+                gsize = gd.size
+                if gsize == 0:
+                    continue
+                # sl indexes the plane-state arrays; a basic slice when the
+                # live group is exactly the 0..gsize-1 prefix.
+                sl = slice(0, gsize) if g_is_prefix else gd
+                if self.rows_contiguous and g_is_prefix:
+                    grows = slice(0, gsize)
+                else:
+                    grows = self.rows[gd]
+                cpu_col = sensor_block[self._cpu_row, grows]
+                battery_col = sensor_block[self._battery_row, grows]
+                util_col = utilization[grows]
+                freq_col = freq_khz[grows]
+                if fast is not None:
+                    kernel, has_screen = fast
+                    start = time.perf_counter()
+                    stacked = kernel(cpu_col, battery_col, util_col, freq_col)
+                    latency = (time.perf_counter() - start) / gsize
+                    skin = stacked[0]
+                    screen = stacked[1] if has_screen else None
+                else:
+                    features = np.empty((gsize, 4))
+                    features[:, 0] = cpu_col
+                    features[:, 1] = battery_col
+                    features[:, 2] = util_col
+                    features[:, 3] = freq_col
+                    arrays = predictor.predict_batch_arrays(
+                        features, predict_screen=predict_screen, exact=self.exact
+                    )
+                    skin = arrays.skin_temp_c
+                    screen = arrays.screen_temp_c
+                    latency = arrays.latency_s
+                self.pred_skin[sl] = skin
+                # Assigning the tolist() result keeps Python floats in the
+                # object columns (records must serialize like scalar runs).
+                self.skin_obj[sl] = skin.tolist()
+                if screen is not None:
+                    self.screen_obj[sl] = screen.tolist()
+                self.latency[sl] += latency
+                self.count[sl] += 1
+                self.last_time[sl] = time_s
+            for (local, policy, step_caps, thresholds, activation), (g, g_is_prefix) in zip(
+                self.policy_groups, pol_pre
+            ):
+                if all_due:
+                    gd = g
+                else:
+                    gd = g[due[g]]
+                    g_is_prefix = False
+                if gd.size == 0:
+                    continue
+                sl = slice(0, gd.size) if g_is_prefix else gd
+                # Inlined caps_for_margins over the precomputed step tables
+                # (bit-identical: same expressions, constant arrays hoisted).
+                margins = self.limit[sl] - self.pred_skin[sl]
+                counts = (margins[:, None] <= thresholds).sum(axis=1)
+                step_idx = counts - 1
+                np.maximum(step_idx, 0, out=step_idx)
+                new_caps = np.where(margins >= activation, _NO_CAP_64, step_caps[step_idx])
+                self.cap_req[sl] = new_caps
+                if sync_governors:
+                    # Custom-governor path: select_level reads the governor's
+                    # internal cap, so install changes as they happen (between
+                    # due ticks the scalar path re-installs the same value —
+                    # a no-op the plane skips).
+                    for i, cap in zip(gd.tolist(), new_caps.tolist()):
+                        self.governors[i].set_level_cap(None if cap == _NO_CAP else cap)
+
+        # -- record staging + engine cap array ---------------------------------
+        cap_req = self.cap_req[:k]
+        buf.usta_active[t, dest] = (cap_req != _NO_CAP) & (cap_req < max_level)
+        buf.predicted_skin_temp_c[t, dest] = self.skin_obj[:k]
+        buf.predicted_screen_temp_c[t, dest] = self.screen_obj[:k]
+        buf.comfort_limit_c[t, dest] = self.limit_obj[:k]
+        caps[dest] = np.where(cap_req == _NO_CAP, max_level, cap_req)
+
+    def _apply_step_events(self, time_s: float, events: List[Tuple[int, object]]) -> None:
+        """Grouped FeedbackStep.observe over this tick's events (bit-exact)."""
+        loc = np.array([i for i, _ in events], dtype=np.int64)
+        discomfort = np.array([event.is_discomfort for _, event in events], dtype=bool)
+        limit = self.limit[loc]
+        last_change = self.step_last_change[loc]
+        blocked = ~np.isnan(last_change) & (time_s - last_change < self.step_hold[loc])
+        down = np.maximum(self.step_min[loc], limit - self.step_down[loc])
+        up = np.minimum(self.step_max[loc], limit + self.step_up[loc])
+        adjusted = np.where(discomfort, down, up)
+        changed = ~blocked & (adjusted != limit)
+        new_limit = np.where(changed, adjusted, limit)
+        self.limit[loc] = new_limit
+        self.step_last_change[loc[changed]] = time_s
+        self.limit_obj[loc] = new_limit.tolist()
+
+    def _apply_quantile_events(self, events: List[Tuple[int, object]]) -> None:
+        """Grouped QuantileTracker.observe over this tick's events (bit-exact)."""
+        loc = np.array([i for i, _ in events], dtype=np.int64)
+        discomfort = np.array([event.is_discomfort for _, event in events], dtype=bool)
+        temp = np.array([event.skin_temp_c for _, event in events], dtype=float)
+        limit = self.limit[loc]
+        window = self.q_window[loc]
+        streak_after = self.q_streak[loc] + 1
+        far = ~np.isnan(window) & (np.abs(temp - limit) > window)
+        rejected = far & (streak_after < self.q_streak_limit[loc])
+        accepted = ~rejected
+        self.q_streak[loc] = np.where(rejected, streak_after, 0)
+        new_count = np.where(accepted, self.q_count[loc] + 1, self.q_count[loc])
+        self.q_count[loc] = new_count
+        gain = self.q_gain[loc] / (1.0 + self.q_decay[loc] * new_count)
+        pull_down = accepted & discomfort & (temp < limit)
+        pull_up = accepted & ~discomfort & (temp > limit)
+        moved = np.where(
+            pull_down,
+            limit + (1.0 - self.q_quant[loc]) * gain * (temp - limit),
+            np.where(pull_up, limit + self.q_quant[loc] * gain * (temp - limit), limit),
+        )
+        # The scalar path clamps on every accepted event, moved or not.
+        new_limit = np.where(
+            accepted, np.minimum(self.q_max[loc], np.maximum(self.q_min[loc], moved)), moved
+        )
+        self.limit[loc] = new_limit
+        self.limit_obj[loc] = new_limit.tolist()
+
+    # -- batch-boundary writeback ---------------------------------------------
+
+    def finish(self) -> None:
+        """Write the accumulated array state back to the owning objects."""
+        for i, inner in enumerate(self.inners):
+            last_time = self.last_time[i]
+            cap = int(self.cap_req[i])
+            inner.restore_batch_state(
+                last_prediction_time=None if math.isnan(last_time) else float(last_time),
+                last_prediction=self.skin_obj[i],
+                last_screen_prediction=self.screen_obj[i],
+                total_latency_s=float(self.latency[i]),
+                prediction_count=int(self.count[i]),
+                current_cap=None if cap == _NO_CAP else cap,
+                live_limit_c=float(self.limit[i]),
+            )
+            adapter = self.adapters[i]
+            if isinstance(adapter, FeedbackStep):
+                last_change = self.step_last_change[i]
+                adapter.restore_batch_state(
+                    limit_c=float(self.limit[i]),
+                    last_change_s=None if math.isnan(last_change) else float(last_change),
+                )
+            elif isinstance(adapter, QuantileTracker):
+                adapter.restore_batch_state(
+                    limit_c=float(self.limit[i]),
+                    event_count=int(self.q_count[i]),
+                    rejection_streak=int(self.q_streak[i]),
+                )
+            self.governors[i].set_level_cap(None if cap == _NO_CAP else cap)
+
+
+#: Bounded memo of stacked trace batches, keyed by the identity of the trace
+#: objects (strong references in the value keep the ids stable).  Repeated
+#: sweeps — ``--repeat`` population copies, re-executed plans — rebuild the
+#: same (max_steps, traces) batch; the engine only ever reads the matrices,
+#: so sharing them across calls is safe.
+_TRACE_STACK_CACHE: "OrderedDict[Tuple, Tuple[Tuple[WorkloadTrace, ...], Dict[str, np.ndarray]]]" = (
+    OrderedDict()
+)
+_TRACE_STACK_CACHE_MAX = 8
 
 
 def _stack_trace_arrays(traces: Sequence[WorkloadTrace], max_steps: int) -> Dict[str, np.ndarray]:
@@ -246,7 +933,17 @@ def _stack_trace_arrays(traces: Sequence[WorkloadTrace], max_steps: int) -> Dict
 
     Step-major layout makes the per-tick access pattern — one step across the
     live member prefix — a contiguous row view instead of a strided column.
+    Members sharing one trace *object* (population sweeps replay one trace
+    against many seeds) are materialised once and column-copied, and whole
+    identical batches are answered from a small cross-call memo.
     """
+    key = (max_steps, tuple(id(trace) for trace in traces))
+    cached = _TRACE_STACK_CACHE.get(key)
+    if cached is not None:
+        held, stacked = cached
+        if len(held) == len(traces) and all(a is b for a, b in zip(held, traces)):
+            _TRACE_STACK_CACHE.move_to_end(key)
+            return stacked
     n = len(traces)
     stacked = {
         "cpu_demand": np.zeros((max_steps, n)),
@@ -257,7 +954,16 @@ def _stack_trace_arrays(traces: Sequence[WorkloadTrace], max_steps: int) -> Dict
         "charging": np.zeros((max_steps, n), dtype=bool),
         "touching": np.zeros((max_steps, n), dtype=bool),
     }
+    first_member: Dict[int, int] = {}
     for member, trace in enumerate(traces):
+        source = first_member.setdefault(id(trace), member)
+        if source != member:
+            # Same trace object as an earlier member: copy its columns
+            # instead of re-materialising the trace.
+            count = len(trace)
+            for column in stacked.values():
+                column[:count, member] = column[:count, source]
+            continue
         arrays = trace.as_arrays()
         count = len(arrays)
         for name, column in stacked.items():
@@ -265,6 +971,9 @@ def _stack_trace_arrays(traces: Sequence[WorkloadTrace], max_steps: int) -> Dict
     # The scalar CPU window clamps demand into [0, 1]; samples are validated
     # into that range already, so this is a bitwise no-op kept for mirroring.
     stacked["cpu_demand"] = np.minimum(np.maximum(stacked["cpu_demand"], 0.0), 1.0)
+    _TRACE_STACK_CACHE[key] = (tuple(traces), stacked)
+    while len(_TRACE_STACK_CACHE) > _TRACE_STACK_CACHE_MAX:
+        _TRACE_STACK_CACHE.popitem(last=False)
     return stacked
 
 
@@ -272,6 +981,7 @@ def simulate_population(
     trace: WorkloadTrace,
     members: Sequence[PopulationMember],
     exact: bool = True,
+    vectorize_managers: bool = True,
 ) -> List[SimulationResult]:
     """Replay one shared trace against N device instances in lockstep.
 
@@ -280,13 +990,16 @@ def simulate_population(
     ``[Simulator(m...).run(trace) for m in members]`` and — with
     ``exact=True`` — bit-for-bit identical to it.
     """
-    return simulate_population_mixed([trace] * len(members), members, exact=exact)
+    return simulate_population_mixed(
+        [trace] * len(members), members, exact=exact, vectorize_managers=vectorize_managers
+    )
 
 
 def simulate_population_mixed(
     traces: Sequence[WorkloadTrace],
     members: Sequence[PopulationMember],
     exact: bool = True,
+    vectorize_managers: bool = True,
 ) -> List[SimulationResult]:
     """Advance a heterogeneous population — one trace per member — as one batch.
 
@@ -312,6 +1025,10 @@ def simulate_population_mixed(
         exact: per-column thermal back-substitution for bitwise parity with
             the scalar engine (default); ``False`` uses blocked solves, which
             are faster for large populations but may differ in the last ulp.
+        vectorize_managers: drive plane-eligible USTA-family managers through
+            the vectorized policy plane (default; bit-identical).  ``False``
+            forces every manager onto the scalar per-member ``observe()``
+            loop — the per-member-manager baseline the benchmarks measure.
 
     Returns:
         One :class:`SimulationResult` per member, in member order.
@@ -367,6 +1084,15 @@ def simulate_population_mixed(
     carry_over = template.cpu.carry_over
     max_backlog = template.cpu.max_backlog
     solver_by_touch = _hand_state_solvers(template)
+    if exact:
+        # Prebound steppers: same bits as step_many(exact=True), without the
+        # per-call validation/factorization lookups (600+ calls per run).
+        step_touching = solver_by_touch[True].make_stepper(dt)
+        step_free = solver_by_touch[False].make_stepper(dt)
+    else:
+        step_touching = lambda p, T: solver_by_touch[True].step_many(dt, p, T, exact=False)
+        step_free = lambda p, T: solver_by_touch[False].step_many(dt, p, T, exact=False)
+    step_by_touch = {True: step_touching, False: step_free}
 
     internal_index = {name: i for i, name in enumerate(net.internal_names)}
     cpu_i = internal_index["cpu"]
@@ -420,14 +1146,40 @@ def simulate_population_mixed(
     charging_mat = cols["charging"]
     touching_mat = cols["touching"]
 
+    # GPU/display/radio power depend only on the trace, so the whole
+    # (max_steps, N) matrices are computed once here instead of per tick.
+    # Each element goes through exactly the scalar expression (elementwise
+    # ops against python-float constants), so the values are bit-identical.
+    gpu_w_mat = gpu_idle + gpu_mat * gpu_span
+    display_w_mat = np.where(
+        screen_on_mat, display_base + brightness_mat * display_span, 0.0
+    )
+    radio_w_mat = radio_idle + radio_mat * radio_span
+    screen_node_w_mat = 0.65 * display_w_mat
+    board_node_w_mat = radio_w_mat + 0.35 * display_w_mat
+
+    # Per-step trace classifications, hoisted: whether every / no live member
+    # is touching (selects the thermal factorization without per-tick
+    # reductions) and whether anyone charges (gates the charging branches;
+    # trace padding is all-False, so whole-row reductions see the live
+    # prefix's truth).
+    _touch_prefix = np.cumsum(touching_mat, axis=1)
+    _touch_counts = _touch_prefix[np.arange(max_steps), n_active_at - 1]
+    all_touching_at = (_touch_counts == n_active_at).tolist()
+    none_touching_at = (_touch_counts == 0).tolist()
+    any_charging_at = charging_mat.any(axis=1).tolist()
+    n_active_list = n_active_at.tolist()
+
     # -- pre-drawn sensor noise ------------------------------------------------
     # One block draw per (member, sensor) consumes each seeded generator
-    # exactly like the scalar engine's one-draw-per-step reads.
-    sensor_specs = []  # (name, node_index, offset, quantization, noise (N, n_steps))
+    # exactly like the scalar engine's one-draw-per-step reads.  Noiseless
+    # sensors carry no matrix at all (the scalar read skips the add too).
+    sensor_specs = []  # (name, node_index, offset, quantization, noise (n_steps, N) or None)
     for name in template.sensors.sensors:
         sensor0 = template.sensors.sensors[name]
-        noise = np.zeros((max_steps, n_members))
+        noise: Optional[np.ndarray] = None
         if sensor0.noise_std_c > 0:
+            noise = np.zeros((max_steps, n_members))
             for row, member in enumerate(s_members):
                 count = int(s_lengths[row])
                 noise[:count, row] = member.platform.sensors.sensors[name].draw_noise(count)
@@ -441,6 +1193,27 @@ def simulate_population_mixed(
         ("sensor_screen_temp_c", "screen", screen_i),
     )
 
+    # Block layout for the per-tick sensor reads: all sensors are read with a
+    # handful of array ops on an (n_sensors, n_live) block instead of one
+    # mini-pipeline per sensor.  Noisy sensors come first so the noise add is
+    # a single slice over a prefix — noiseless rows never see a ``+ 0.0``,
+    # exactly like the scalar read that skips the add altogether.
+    _noisy_specs = [spec for spec in sensor_specs if spec[4] is not None]
+    _clean_specs = [spec for spec in sensor_specs if spec[4] is None]
+    block_specs = _noisy_specs + _clean_specs
+    sensor_block_names = [spec[0] for spec in block_specs]
+    sensor_block_nodes = np.array([spec[1] for spec in block_specs], dtype=np.int64)
+    sensor_block_offsets = np.array([spec[2] for spec in block_specs])[:, None]
+    n_noisy = len(_noisy_specs)
+    noise_block = np.stack([spec[4] for spec in _noisy_specs]) if _noisy_specs else None
+    _quants = [spec[3] for spec in block_specs]
+    if all(q > 0 for q in _quants):
+        sensor_block_quant: Optional[np.ndarray] = np.array(_quants)[:, None]
+        quant_rows = []
+    else:
+        sensor_block_quant = None
+        quant_rows = [(i, q) for i, q in enumerate(_quants) if q > 0]
+
     manager_rows = [
         (row, member) for row, member in enumerate(s_members) if member.thermal_manager is not None
     ]
@@ -448,11 +1221,59 @@ def simulate_population_mixed(
         (row, member.logger) for row, member in enumerate(s_members) if member.logger is not None
     ]
     has_managers = bool(manager_rows)
-    needs_scalar_views = bool(manager_rows) or bool(logger_rows)
+
+    # -- policy plane: batch the eligible USTA-family managers -----------------
+    # Eligible managers leave the scalar loop entirely; anything custom stays
+    # on it (manager_vectorization_ineligibility knows why, for
+    # --explain-batching).  Plane feature assembly needs the cpu and battery
+    # sensors the scalar feature path reads.
+    sensor_names = set(template.sensors.sensors)
+    plane: Optional[_PolicyPlane] = None
+    scalar_manager_rows = manager_rows
+    if vectorize_managers and manager_rows and {"cpu", "battery"} <= sensor_names:
+        plane_rows = []
+        scalar_manager_rows = []
+        for row, member in manager_rows:
+            if manager_vectorization_ineligibility(member.thermal_manager, table) is None:
+                plane_rows.append((row, member))
+            else:
+                scalar_manager_rows.append((row, member))
+        if plane_rows:
+            plane = _PolicyPlane(
+                plane_rows, table, has_skin_sensor="skin" in sensor_names, exact=exact
+            )
+    needs_scalar_views = bool(scalar_manager_rows) or bool(logger_rows)
 
     buf = ColumnarRecordBuffer(n_members, max_steps, with_decisions=has_managers)
     times: List[float] = []
     node_power = np.zeros((temps.shape[0], n_members))
+
+    # The demand column is exactly the (clamped, padded) trace matrix the
+    # engine reads from — alias it instead of copying it back tick by tick.
+    # extend_result only ever reads buffer columns, so the memoised trace
+    # stack is never written through this alias.
+    buf.demand = demand_mat
+
+    # Hoisted buffer columns: one attribute lookup per run instead of per tick.
+    buf_frequency_khz = buf.frequency_khz
+    buf_frequency_level = buf.frequency_level
+    buf_utilization = buf.utilization
+    buf_delivered = buf.delivered_work
+    buf_power_w = buf.power_w
+    buf_cpu_temp = buf.cpu_temp_c
+    buf_battery_temp = buf.battery_temp_c
+    buf_skin_temp = buf.skin_temp_c
+    buf_screen_temp = buf.screen_temp_c
+    buf_level_cap = buf.level_cap
+    # (column, row in the sensor block or None when the platform lacks that
+    # sensor, fallback node index).
+    _block_row = {name: i for i, name in enumerate(sensor_block_names)}
+    record_sensor_cols = [
+        (getattr(buf, field), _block_row.get(sensor_name), node_idx)
+        for field, sensor_name, node_idx in record_sensor_fields
+    ]
+    if plane is not None:
+        plane.bind_sensor_rows(_block_row)
 
     # Homogeneous stock-ondemand populations take a fully vectorized governor
     # path (exact replica of OndemandGovernor._target_level + the level cap);
@@ -472,9 +1293,26 @@ def simulate_population_mixed(
         down_threshold = governors[0].down_threshold
         down_step_levels = governors[0].down_step_levels
 
+    # The name->row dict of sensor readings is only consumed by the
+    # scalar-view paths; the policy plane reads the block matrix directly
+    # through its bound rows, and the pure fast path records straight from
+    # the block matrix too.
+    needs_sensor_dict = needs_scalar_views or not fast_ondemand
+
+    # Local bindings for the tick loop (global lookups add up at 600+ ticks).
+    np_minimum = np.minimum
+    np_maximum = np.maximum
+    np_where = np.where
+    np_rint = np.rint
+    np_divide = np.divide
+    np_add = np.add
+    np_fromiter = np.fromiter
+    np_float64 = np.float64
+    math_exp = math.exp
+
     time_s = 0.0
     for t in range(max_steps):
-        n_act = int(n_active_at[t])
+        n_act = n_active_list[t]
         live = slice(0, n_act)
 
         # -- CPU window (Cpu.run_window, vectorized) ---------------------------
@@ -483,94 +1321,103 @@ def simulate_population_mixed(
         live_levels = levels[live]
         freq_khz = freqs_khz[live_levels]
         capacity = freq_khz / max_freq_khz
-        delivered = np.minimum(total_demand, capacity)
-        utilization = np.minimum(1.0, total_demand / capacity)
-        leftover = np.maximum(0.0, total_demand - delivered)
+        delivered = np_minimum(total_demand, capacity)
+        utilization = np_minimum(1.0, total_demand / capacity)
         if carry_over:
-            backlog[live] = np.minimum(leftover, max_backlog)
+            leftover = np_maximum(0.0, total_demand - delivered)
+            backlog[live] = np_minimum(leftover, max_backlog)
 
         # -- power model (PlatformPowerModel.evaluate, vectorized) -------------
         die_temp = temps[cpu_i, live]
-        util_clamped = np.minimum(np.maximum(utilization, 0.0), 1.0)
-        dyn_w = dyn_k[live_levels] * util_clamped
-        # math.exp, not np.exp: numpy's vectorized exp differs from libm in
-        # the last ulp, which would break bitwise parity with the scalar path.
-        temp_factor = np.array(
-            [math.exp(leak_coeff * (td - leak_ref)) for td in die_temp.tolist()]
-        )
+        # utilization is min(1.0, demand/capacity) with demand >= 0, so the
+        # scalar model's [0, 1] clamp returns it unchanged — bit-identically.
+        dyn_w = dyn_k[live_levels] * utilization
+        # The exp argument vectorizes bit-exactly (IEEE subtract/multiply match
+        # the scalar order), but the exp itself must be math.exp per element:
+        # numpy's vectorized exp differs from libm in the last ulp.
+        leak_arg = (die_temp - leak_ref) * leak_coeff
+        temp_factor = np_fromiter(map(math_exp, leak_arg.tolist()), np_float64, n_act)
         leak_w = leak0 * temp_factor * volt_factor[live_levels]
         cpu_w = idle_w + dyn_w + leak_w
-        gpu_w = gpu_idle + gpu_mat[t, live] * gpu_span
-        display_w = np.where(
-            screen_on_mat[t, live], display_base + brightness_mat[t, live] * display_span, 0.0
-        )
-        radio_w = radio_idle + radio_mat[t, live] * radio_span
+        gpu_w = gpu_w_mat[t, live]
+        display_w = display_w_mat[t, live]
+        radio_w = radio_w_mat[t, live]
         platform_draw = cpu_w + gpu_w + display_w + radio_w
-        charging_t = charging_mat[t, live]
-        battery_w = np.where(
-            charging_t, charge_heat_w, np.maximum(platform_draw, 0.0) * discharge_loss
-        )
+        charging_now = any_charging_at[t]
+        if charging_now:
+            charging_t = charging_mat[t, live]
+            battery_w = np_where(
+                charging_t, charge_heat_w, np_maximum(platform_draw, 0.0) * discharge_loss
+            )
+        else:
+            # All-False charging: np_where would return the discharge branch
+            # verbatim, so skip the select (same bits, two ops fewer).
+            battery_w = np_maximum(platform_draw, 0.0) * discharge_loss
         total_w = platform_draw + battery_w
-        soc_w = cpu_w + gpu_w
 
         # -- thermal (one solve per live hand-contact state) -------------------
         # node_power rows other than the four below stay zero for the whole run.
-        node_power[cpu_i, live] = soc_w
-        node_power[screen_i, live] = 0.65 * display_w
-        node_power[board_i, live] = radio_w + 0.35 * display_w
+        np_add(cpu_w, gpu_w, out=node_power[cpu_i, live])
+        node_power[screen_i, live] = screen_node_w_mat[t, live]
+        node_power[board_i, live] = board_node_w_mat[t, live]
         node_power[battery_i, live] = battery_w
-        touch_t = touching_mat[t, live]
-        if touch_t.all():
-            temps[:, live] = solver_by_touch[True].step_many(
-                dt, node_power[:, live], temps[:, live], exact=exact
-            )
-        elif not touch_t.any():
-            temps[:, live] = solver_by_touch[False].step_many(
-                dt, node_power[:, live], temps[:, live], exact=exact
-            )
+        if all_touching_at[t]:
+            temps[:, live] = step_touching(node_power[:, live], temps[:, live])
+        elif none_touching_at[t]:
+            temps[:, live] = step_free(node_power[:, live], temps[:, live])
         else:
+            touch_t = touching_mat[t, live]
             for state in (True, False):
                 members_in_state = np.flatnonzero(touch_t == state)
-                temps[:, members_in_state] = solver_by_touch[state].step_many(
-                    dt, node_power, temps, exact=exact, columns=members_in_state
+                temps[:, members_in_state] = step_by_touch[state](
+                    node_power[:, members_in_state], temps[:, members_in_state]
                 )
 
         # -- battery SoC (Battery.step, vectorized) ----------------------------
         draw_param = total_w - battery_w
-        net_w = -np.maximum(draw_param, 0.0)
+        net_w = -np_maximum(draw_param, 0.0)
         live_soc = soc[live]
-        net_w = net_w + np.where(
-            charging_t, np.where(live_soc >= 0.995, 0.0, battery_charge_w), 0.0
-        )
+        if charging_now:
+            # With no charger connected the scalar path adds an all-zero
+            # term; net_w is strictly negative (idle power alone draws), so
+            # skipping the add is bit-identical.
+            net_w = net_w + np_where(
+                charging_t, np_where(live_soc >= 0.995, 0.0, battery_charge_w), 0.0
+            )
         delta_wh = net_w * dt / 3600.0
-        soc[live] = np.minimum(1.0, np.maximum(0.0, live_soc + delta_wh / battery.capacity_wh))
+        soc[live] = np_minimum(1.0, np_maximum(0.0, live_soc + delta_wh / battery.capacity_wh))
 
-        # -- sensors (pre-drawn noise, vectorized quantization) ----------------
-        sensor_arrays: Dict[str, np.ndarray] = {}
-        for name, node_idx, offset, quantization, noise in sensor_specs:
-            value = temps[node_idx, live] + offset
-            value = value + noise[t, live]
-            if quantization > 0:
-                value = np.rint(value / quantization) * quantization
-            sensor_arrays[name] = value
+        # -- sensors (one block read; pre-drawn noise; vectorized quantization) -
+        vals = temps[sensor_block_nodes, live]
+        vals += sensor_block_offsets
+        if noise_block is not None:
+            vals[:n_noisy] += noise_block[:, t, live]
+        if sensor_block_quant is not None:
+            np_rint(np_divide(vals, sensor_block_quant, out=vals), out=vals)
+            vals *= sensor_block_quant
+        else:
+            for i, quantization in quant_rows:
+                vals[i] = np_rint(vals[i] / quantization) * quantization
+        if needs_sensor_dict:
+            sensor_arrays: Dict[str, np.ndarray] = {
+                name: vals[i] for i, name in enumerate(sensor_block_names)
+            }
 
         time_s += dt
         times.append(time_s)
 
         # -- columnar record staging (the hot loop builds no record objects) ---
-        buf.frequency_khz[t, live] = freq_khz
-        buf.frequency_level[t, live] = live_levels
-        buf.utilization[t, live] = utilization
-        buf.demand[t, live] = demand
-        buf.delivered_work[t, live] = delivered
-        buf.power_w[t, live] = total_w
-        buf.cpu_temp_c[t, live] = temps[cpu_i, live]
-        buf.battery_temp_c[t, live] = temps[battery_i, live]
-        buf.skin_temp_c[t, live] = temps[back_i, live]
-        buf.screen_temp_c[t, live] = temps[screen_i, live]
-        for field, sensor_name, node_idx in record_sensor_fields:
-            column = sensor_arrays.get(sensor_name)
-            getattr(buf, field)[t, live] = column if column is not None else temps[node_idx, live]
+        buf_frequency_khz[t, live] = freq_khz
+        buf_frequency_level[t, live] = live_levels
+        buf_utilization[t, live] = utilization
+        buf_delivered[t, live] = delivered
+        buf_power_w[t, live] = total_w
+        buf_cpu_temp[t, live] = temps[cpu_i, live]
+        buf_battery_temp[t, live] = temps[battery_i, live]
+        buf_skin_temp[t, live] = temps[back_i, live]
+        buf_screen_temp[t, live] = temps[screen_i, live]
+        for column, vals_row, node_idx in record_sensor_cols:
+            column[t, live] = vals[vals_row] if vals_row is not None else temps[node_idx, live]
 
         # Per-member Python views are only materialised for components that
         # genuinely cannot batch (managers, loggers, custom governors).
@@ -583,8 +1430,21 @@ def simulate_population_mixed(
             ]
 
         # -- managers observe (may install/remove frequency caps) --------------
-        if has_managers:
-            for row, member in manager_rows:
+        if plane is not None:
+            plane.tick(
+                t,
+                time_s,
+                n_act,
+                buf,
+                caps,
+                vals,
+                utilization,
+                freq_khz,
+                max_level,
+                sync_governors=not fast_ondemand,
+            )
+        if scalar_manager_rows:
+            for row, member in scalar_manager_rows:
                 if row >= n_act:
                     break
                 readings = {name: values[row] for name, values in reading_lists}
@@ -600,7 +1460,7 @@ def simulate_population_mixed(
                 buf.predicted_skin_temp_c[t, row] = decision.predicted_skin_temp_c
                 buf.predicted_screen_temp_c[t, row] = decision.predicted_screen_temp_c
                 buf.comfort_limit_c[t, row] = decision.comfort_limit_c
-        buf.level_cap[t, live] = caps[live]
+        buf_level_cap[t, live] = caps[live]
 
         # -- loggers -----------------------------------------------------------
         for row, logger in logger_rows:
@@ -621,22 +1481,22 @@ def simulate_population_mixed(
             # the top above up_threshold, straight to the load-proportional
             # level below down_threshold, step down gradually in between —
             # then apply each member's current level cap.
-            target_khz = np.rint((utilization / up_threshold) * max_freq_khz)
-            proportional = np.minimum(
-                np.searchsorted(freqs_khz, target_khz, side="left"), max_level
+            target_khz = np_rint((utilization / up_threshold) * max_freq_khz)
+            proportional = np_minimum(
+                freqs_khz.searchsorted(target_khz, side="left"), max_level
             )
-            stepped = np.where(
+            stepped = np_where(
                 proportional < live_levels,
-                np.maximum(proportional, live_levels - down_step_levels),
+                np_maximum(proportional, live_levels - down_step_levels),
                 proportional,
             )
-            uncapped = np.where(
+            uncapped = np_where(
                 utilization >= up_threshold,
                 max_level,
-                np.where(utilization <= down_threshold, proportional, stepped),
+                np_where(utilization <= down_threshold, proportional, stepped),
             )
             if has_managers:
-                levels[live] = np.minimum(uncapped, caps[live])
+                levels[live] = np_minimum(uncapped, caps[live])
             else:
                 # Without managers nothing ever installs a cap.
                 levels[live] = uncapped
@@ -652,7 +1512,13 @@ def simulate_population_mixed(
                 levels[row] = governor.select_level(observation)
                 caps[row] = governor.level_cap
 
-    # -- materialise records per member (the batch/sink boundary) --------------
+    # -- batch boundary: plane state back into the controller objects ----------
+    if plane is not None:
+        plane.finish()
+
+    # -- hand out the results (the batch/sink boundary) ------------------------
+    # Records stay columnar in the buffer; each result materialises its
+    # StepRecord list on first access (bit-identical to an eager build).
     results: List[SimulationResult] = []
     for index in range(n_members):
         row = int(position[index])
@@ -662,7 +1528,7 @@ def simulate_population_mixed(
             governor_name=member.governor_label(),
             dt_s=dt,
         )
-        buf.extend_result(result, row, times, int(s_lengths[row]))
+        buf.extend_result(result, row, times, int(s_lengths[row]), defer=True)
         results.append(result)
 
     # -- write final state back to the member platforms ------------------------

@@ -258,17 +258,88 @@ class ThermalSolver:
             temps_matrix = temps_matrix[:, columns]
             power_matrix = power_matrix[:, columns]
         self._refresh_factorization(dt_s)
-        b = (
-            self._cache_c_over_dt[:, None] * temps_matrix
-            + self._cache_rhs_const[:, None]
-            + power_matrix
-        )
         if not exact:
+            b = (
+                self._cache_c_over_dt[:, None] * temps_matrix
+                + self._cache_rhs_const[:, None]
+                + power_matrix
+            )
             return self._solve(b)
-        out = np.empty_like(b)
+        # Build the RHS in Fortran order so every b[:, j] below is a
+        # contiguous slice: LAPACK then back-substitutes each column in place
+        # instead of copying it in and out of the f2py wrapper.  The
+        # elementwise order ((C/dt)*T, then +const, then +P) matches the
+        # expression above, so only the memory layout differs, not the bits.
+        b = np.empty(temps_matrix.shape, order="F")
+        np.multiply(self._cache_c_over_dt[:, None], temps_matrix, out=b)
+        b += self._cache_rhs_const[:, None]
+        b += power_matrix
+        getrs = self._cache_getrs
+        if getrs is None:
+            matrix = self._cache_matrix
+            for j in range(b.shape[1]):
+                b[:, j] = np.linalg.solve(matrix, b[:, j])
+            return b
+        lu, piv = self._cache_lu
         for j in range(b.shape[1]):
-            out[:, j] = self._solve(b[:, j])
-        return out
+            _, info = getrs(lu, piv, b[:, j], overwrite_b=True)
+            if info != 0:  # pragma: no cover - defensive; A is diagonally dominant
+                raise np.linalg.LinAlgError(f"getrs failed with info={info}")
+        return b
+
+    def make_stepper(self, dt_s: float):
+        """Prebind the exact multi-instance step for a hot batch loop.
+
+        Returns ``step(power_matrix, temps_matrix) -> new_temps`` doing what
+        :meth:`step_many` with ``exact=True`` does — bit-for-bit — minus the
+        per-call argument validation and factorization lookups, which the
+        batch engines pay hundreds of times per run otherwise.  The returned
+        callable is pinned to ``dt_s`` and to the network's matrices and
+        boundary temperatures *as of this call*: rebuild it after any change
+        to either (the engines build one per run, after the members' hand
+        state has been applied).
+        """
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        if self.method != "implicit":
+            raise ValueError("make_stepper requires the implicit method")
+        self._refresh_factorization(dt_s)
+        c_over_dt = self._cache_c_over_dt[:, None]
+        rhs_const = self._cache_rhs_const[:, None]
+        empty = np.empty
+        multiply = np.multiply
+        getrs = self._cache_getrs
+        if getrs is None:
+            matrix = self._cache_matrix
+            solve = np.linalg.solve
+
+            def step(power_matrix: np.ndarray, temps_matrix: np.ndarray) -> np.ndarray:
+                b = empty(temps_matrix.shape, order="F")
+                multiply(c_over_dt, temps_matrix, out=b)
+                b += rhs_const
+                b += power_matrix
+                for j in range(b.shape[1]):
+                    b[:, j] = solve(matrix, b[:, j])
+                return b
+
+            return step
+
+        lu, piv = self._cache_lu
+
+        def step(power_matrix: np.ndarray, temps_matrix: np.ndarray) -> np.ndarray:
+            b = empty(temps_matrix.shape, order="F")
+            multiply(c_over_dt, temps_matrix, out=b)
+            b += rhs_const
+            b += power_matrix
+            # b is Fortran-ordered, so iterating b.T yields each column as a
+            # contiguous 1-D view and getrs back-substitutes it in place.
+            for col in b.T:
+                _, info = getrs(lu, piv, col, overwrite_b=True)
+                if info != 0:  # pragma: no cover - defensive; A is diagonally dominant
+                    raise np.linalg.LinAlgError(f"getrs failed with info={info}")
+            return b
+
+        return step
 
     # -- convenience -------------------------------------------------------------
 

@@ -183,6 +183,17 @@ class FeedbackStep:
             self._last_change_s = event.time_s
         return self._limit_c
 
+    def restore_batch_state(
+        self, *, limit_c: float, last_change_s: Optional[float]
+    ) -> None:
+        """Install state accumulated by the vectorized policy plane.
+
+        The SoA engine mirrors this adapter's two state variables in arrays
+        and writes them back once at the batch boundary.
+        """
+        self._limit_c = float(limit_c)
+        self._last_change_s = last_change_s
+
     def reset(self) -> None:
         self._limit_c = self.initial_limit_c
         self._last_change_s = None
@@ -299,6 +310,18 @@ class QuantileTracker:
                 self._limit_c += self.quantile * gain * (temp - self._limit_c)
         self._limit_c = min(self.max_limit_c, max(self.min_limit_c, self._limit_c))
         return self._limit_c
+
+    def restore_batch_state(
+        self, *, limit_c: float, event_count: int, rejection_streak: int
+    ) -> None:
+        """Install state accumulated by the vectorized policy plane.
+
+        The SoA engine mirrors this adapter's three state variables in
+        arrays and writes them back once at the batch boundary.
+        """
+        self._limit_c = float(limit_c)
+        self._event_count = int(event_count)
+        self._rejection_streak = int(rejection_streak)
 
     def reset(self) -> None:
         self._limit_c = self.initial_limit_c

@@ -30,10 +30,22 @@ from repro.runtime import (
     plan_batches,
     simulate_population_mixed,
 )
+from repro.core.usta import USTAController
+from repro.device.freq_table import nexus4_frequency_table
+from repro.ml.linear import LinearRegression
+from repro.runtime.vectorized import (
+    _columnwise_linear_form,
+    manager_vectorization_ineligibility,
+)
 from repro.sim.engine import Simulator
 from repro.sim.results import ColumnarRecordBuffer
 from repro.thermal import ThermalSolver, build_nexus4_network
-from repro.users.adaptation import WARM_START_TEMPS
+from repro.users.adaptation import (
+    WARM_START_TEMPS,
+    AdaptiveComfortManager,
+    QuantileTracker,
+    UserFeedbackModel,
+)
 from repro.workloads.benchmarks import build_benchmark
 from repro.workloads.trace import WorkloadSample, WorkloadTrace
 
@@ -596,3 +608,309 @@ class TestResumeIndexSidecar:
             assert loaded.get(cell.cell_id).result.records == batch.get(
                 cell.cell_id
             ).result.records
+
+
+class _DelegatingUSTA(USTAController):
+    """A behaviour-identical subclass that nevertheless overrides ``observe``.
+
+    The policy plane must refuse it (override detection is by identity, not
+    behaviour) and route it through the scalar per-member loop — which makes
+    it the perfect probe for plane/scalar coexistence: parity must hold even
+    though only *some* manager rows ride the plane.
+    """
+
+    def observe(self, *args, **kwargs):
+        return USTAController.observe(self, *args, **kwargs)
+
+
+def _plane_traces():
+    """Three distinct traces of different lengths sharing one sample period."""
+    return [
+        build_benchmark("skype", seed=0, duration_s=90.0),
+        build_benchmark("youtube", seed=1, duration_s=60.0),
+        _toggle_trace(70),
+        build_benchmark("game", seed=2, duration_s=75.0),
+    ]
+
+
+def _managed_member(
+    predictor,
+    seed,
+    *,
+    true_limit_c=35.5,
+    predict_screen=False,
+    prediction_period_s=1.0,
+    flip_probability=0.0,
+    delay_s=0.0,
+    controller_cls=USTAController,
+):
+    platform = DevicePlatform(seed=seed)
+    manager = AdaptiveComfortManager(
+        inner=controller_cls(
+            predictor=predictor,
+            skin_limit_c=37.0,
+            prediction_period_s=prediction_period_s,
+            predict_screen=predict_screen,
+        ),
+        adapter=QuantileTracker(initial_limit_c=37.0),
+        feedback=UserFeedbackModel(
+            true_limit_c=true_limit_c,
+            report_period_s=10.0,
+            flip_probability=flip_probability,
+            delay_s=delay_s,
+            seed=seed,
+        ),
+    )
+    return PopulationMember(
+        platform=platform,
+        governor=OndemandGovernor(table=platform.freq_table),
+        thermal_manager=manager,
+    )
+
+
+def _assert_three_way_parity(traces, make_members):
+    """Plane, scalar-manager batch and per-member serial runs agree bitwise.
+
+    ``make_members`` is called once per executor: members are stateful, so
+    each arm needs a fresh set.
+    """
+    plane = simulate_population_mixed(traces, make_members())
+    scalar = simulate_population_mixed(
+        traces, make_members(), vectorize_managers=False
+    )
+    serial = [
+        Simulator(
+            platform=m.platform, governor=m.governor, thermal_manager=m.thermal_manager
+        ).run(t)
+        for t, m in zip(traces, make_members())
+    ]
+    for got_plane, got_scalar, got_serial in zip(plane, scalar, serial):
+        assert got_plane.records == got_serial.records
+        assert got_scalar.records == got_serial.records
+
+
+class TestPolicyPlaneParity:
+    """Bit-parity of the vectorized manager fast path against both fallbacks."""
+
+    def test_managed_mixed_population(self, linear_predictor):
+        traces = _plane_traces()
+        _assert_three_way_parity(
+            traces,
+            lambda: [
+                _managed_member(
+                    linear_predictor, seed=i, true_limit_c=34.5 + (i % 3) * 0.8
+                )
+                for i in range(len(traces))
+            ],
+        )
+
+    def test_noisy_feedback_models(self, linear_predictor):
+        """Contradictory and delayed reports stay bit-identical on the plane."""
+        traces = _plane_traces()
+        _assert_three_way_parity(
+            traces,
+            lambda: [
+                _managed_member(
+                    linear_predictor,
+                    seed=i,
+                    true_limit_c=34.0 + i * 0.5,
+                    flip_probability=0.25,
+                    delay_s=12.0,
+                )
+                for i in range(len(traces))
+            ],
+        )
+
+    def test_screen_predictions_on_the_plane(self, linear_predictor):
+        traces = _plane_traces()
+        _assert_three_way_parity(
+            traces,
+            lambda: [
+                _managed_member(linear_predictor, seed=i, predict_screen=True)
+                for i in range(len(traces))
+            ],
+        )
+
+    def test_mixed_managed_and_unmanaged_members(self, linear_predictor):
+        """Bare members and plane members share one batch without interfering."""
+        traces = _plane_traces()
+
+        def build():
+            members = [
+                _managed_member(linear_predictor, seed=i) for i in range(2)
+            ]
+            for seed in (7, 8):
+                platform = DevicePlatform(seed=seed)
+                members.append(
+                    PopulationMember(
+                        platform=platform,
+                        governor=OndemandGovernor(table=platform.freq_table),
+                        thermal_manager=None,
+                    )
+                )
+            return members
+
+        _assert_three_way_parity(traces, build)
+
+    def test_scalar_fallback_rows_coexist_with_plane_rows(self, linear_predictor):
+        """One plan mixing plane-eligible and override-ineligible managers."""
+        traces = _plane_traces()
+
+        def build():
+            members = [
+                _managed_member(linear_predictor, seed=i) for i in range(2)
+            ]
+            members.append(
+                _managed_member(
+                    linear_predictor, seed=5, controller_cls=_DelegatingUSTA
+                )
+            )
+            members.append(_managed_member(linear_predictor, seed=6))
+            return members
+
+        sample = build()
+        assert (
+            manager_vectorization_ineligibility(sample[0].thermal_manager) is None
+        )
+        reason = manager_vectorization_ineligibility(sample[2].thermal_manager)
+        assert reason is not None and "observe" in reason
+        _assert_three_way_parity(traces, build)
+
+    def test_heterogeneous_prediction_periods(self, linear_predictor):
+        """Per-member periods break the uniform due clock; parity must survive."""
+        traces = _plane_traces()
+        _assert_three_way_parity(
+            traces,
+            lambda: [
+                _managed_member(
+                    linear_predictor, seed=i, prediction_period_s=1.0 + i
+                )
+                for i in range(len(traces))
+            ],
+        )
+
+
+class TestManagerEligibility:
+    def test_stock_stack_is_eligible(self, linear_predictor):
+        member = _managed_member(linear_predictor, seed=0)
+        assert manager_vectorization_ineligibility(member.thermal_manager) is None
+
+    def test_bare_usta_is_eligible(self, linear_predictor):
+        assert (
+            manager_vectorization_ineligibility(
+                USTAController(predictor=linear_predictor)
+            )
+            is None
+        )
+
+    def test_override_subclass_is_refused(self, linear_predictor):
+        reason = manager_vectorization_ineligibility(
+            _DelegatingUSTA(predictor=linear_predictor)
+        )
+        assert reason is not None and "_DelegatingUSTA" in reason
+
+    def test_custom_adapter_is_refused(self, linear_predictor):
+        class _Tracker(QuantileTracker):
+            pass
+
+        manager = AdaptiveComfortManager(
+            inner=USTAController(predictor=linear_predictor),
+            adapter=_Tracker(initial_limit_c=37.0),
+        )
+        reason = manager_vectorization_ineligibility(manager)
+        assert reason is not None and "_Tracker" in reason
+
+    def test_explain_batching_reports_the_plane(self, linear_predictor):
+        """The dry-run plan surfaces plane rows and scalar-manager reasons."""
+        spec = PolicySpec(manager=ManagerSpec("usta", params={"skin_limit_c": 37.0}))
+        plan = ExperimentPlan()
+        plan.add(
+            ExperimentCell(
+                cell_id="fast",
+                benchmark="skype",
+                duration_s=30.0,
+                policy=spec,
+                predictor=linear_predictor,
+            )
+        )
+        plan.add(
+            ExperimentCell(
+                cell_id="slow",
+                benchmark="youtube",
+                duration_s=30.0,
+                manager_factory=_DelegatingFactory(linear_predictor),
+            )
+        )
+        batch_plan = plan_batches(list(plan))
+        text = batch_plan.describe(list(plan))
+        assert "policy plane: 1 of 2 managed cell(s)" in text
+        assert "scalar manager fallback" in text
+        assert "slow" in text and "observe" in text
+
+
+class _DelegatingFactory:
+    """Picklable manager factory building the override-ineligible subclass."""
+
+    def __init__(self, predictor):
+        self.predictor = predictor
+
+    def __call__(self):
+        return _DelegatingUSTA(predictor=self.predictor, skin_limit_c=36.0)
+
+
+class TestLinearSweepInvariance:
+    """The order-fixed LinearRegression sweep and its plane fast-path probe."""
+
+    def test_matrix_predict_equals_per_row_bitwise(self, linear_predictor):
+        model = linear_predictor.skin_model
+        rng = np.random.default_rng(7)
+        matrix = rng.uniform(-1.0, 1.0, (257, 4)) * np.exp2(
+            rng.integers(-20, 21, (257, 4)).astype(float)
+        )
+        whole = model.predict(matrix)
+        rows = np.array(
+            [model.predict(matrix[i : i + 1])[0] for i in range(len(matrix))]
+        )
+        assert np.array_equal(whole, rows)
+        assert LinearRegression.batch_row_invariant
+
+    def test_predict_batch_arrays_exact_keeps_one_call(self, linear_predictor):
+        rng = np.random.default_rng(11)
+        matrix = np.column_stack(
+            [
+                rng.uniform(25.0, 60.0, 64),
+                rng.uniform(22.0, 58.0, 64),
+                rng.uniform(0.0, 1.0, 64),
+                rng.choice(
+                    nexus4_frequency_table().frequencies_khz, 64
+                ).astype(float),
+            ]
+        )
+        exact = linear_predictor.predict_batch_arrays(matrix, exact=True)
+        fast = linear_predictor.predict_batch_arrays(matrix, exact=False)
+        assert np.array_equal(exact.skin_temp_c, fast.skin_temp_c)
+        assert np.array_equal(exact.screen_temp_c, fast.screen_temp_c)
+
+    def test_columnwise_form_accepts_stock_fitted_model(self, linear_predictor):
+        form = _columnwise_linear_form(linear_predictor.skin_model)
+        assert form is not None
+        coef, intercept = form
+        assert np.array_equal(coef, linear_predictor.skin_model.coefficients)
+        assert intercept == linear_predictor.skin_model.intercept
+
+    def test_columnwise_form_rejects_unfitted_and_foreign_models(self):
+        assert _columnwise_linear_form(LinearRegression()) is None
+        assert _columnwise_linear_form(object()) is None
+
+    def test_columnwise_form_rejects_non_four_feature_models(self):
+        from repro.ml.dataset import Dataset
+
+        rng = np.random.default_rng(3)
+        features = rng.uniform(0.0, 1.0, (50, 2))
+        data = Dataset(
+            features=features,
+            target=features @ np.array([1.5, -0.5]) + 0.25,
+            feature_names=("a", "b"),
+            target_name="y",
+        )
+        assert _columnwise_linear_form(LinearRegression().fit(data)) is None
