@@ -15,9 +15,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Recursively expanded (=) so the probe only runs for targets that use it.
 COV_FLAGS = $(shell $(PYTHON) -c "import importlib.util as u; print('--cov=repro --cov-fail-under=80' if u.find_spec('pytest_cov') else '')")
 
-.PHONY: check test coverage smoke serve-smoke stream-smoke bench-smoke golden lint bench-baseline
+.PHONY: check test coverage smoke serve-smoke stream-smoke bench-smoke fleet-smoke serve-load-smoke golden lint bench-baseline
 
-check: test smoke serve-smoke stream-smoke bench-smoke
+check: test smoke serve-smoke stream-smoke bench-smoke fleet-smoke serve-load-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q $(COV_FLAGS)
@@ -50,6 +50,20 @@ stream-smoke:
 # they catch scalar-fallback regressions, not machine noise).
 bench-smoke:
 	$(PYTHON) benchmarks/bench_batch_runtime.py --smoke
+
+# Fault-tolerance gate for the fleet executor: a tiny 2-worker distributed
+# sweep with one worker SIGKILLed mid-run must still finish, the merged store
+# must be byte-identical to the single-process streaming run, and a resumed
+# coordinator must answer the whole plan from disk.
+fleet-smoke:
+	$(PYTHON) -m repro.fleet.smoke
+
+# Load gate for the persistent serving front end: in-process feed throughput
+# and latency over thousands of sessions, a socket RTT check, and 1-vs-2
+# worker fleet parity (generous thresholds; catches per-feed retrain-style
+# collapses, not machine noise).
+serve-load-smoke:
+	$(PYTHON) benchmarks/bench_serve_load.py --smoke
 
 lint:
 	$(PYTHON) -m ruff check .

@@ -1,0 +1,273 @@
+"""Sustained-load benchmark of the persistent serving front end + fleet sweeps.
+
+Not a paper figure: this measures what the "millions of users" story costs —
+the p50/p99 feed latency of :class:`repro.fleet.service.PolicyService` under
+sustained load at 100k+ concurrent sessions (the dispatcher itself, no
+socket), the end-to-end request RTT through the asyncio socket server, and
+how a fleet sweep's wall time scales with worker count.
+
+Run directly::
+
+    python benchmarks/bench_serve_load.py            # rewrites BENCH_serve_load.json
+    python benchmarks/bench_serve_load.py --smoke    # CI gate, reduced sizes
+
+The ``--smoke`` mode (wired into ``make check``) runs a reduced session
+count and also cross-checks that 1-worker and 2-worker fleet sweeps of the
+same plan produce byte-identical merged stores.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import socket
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+if __name__ == "__main__":  # allow running as a script without PYTHONPATH
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.api.specs import AdapterSpec, ManagerSpec, PolicySpec, PredictorSpec
+from repro.fleet import FleetCoordinator, PolicyService, run_service, stores_byte_identical
+from repro.fleet.smoke import SMOKE_RECIPE, build_smoke_plan
+from repro.runtime.artifacts import ARTIFACT_ENV_VAR
+from repro.users import paper_population
+
+BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_serve_load.json")
+
+SESSIONS = 100_000
+ROUNDS = 3
+CHUNK = 1_000  # sessions per feed_batch request (one batched predictor call)
+SOCKET_REQUESTS = 2_000
+FLEET_WORKERS = (1, 2, 4)
+
+
+def _policy() -> PolicySpec:
+    return PolicySpec(
+        manager=ManagerSpec("usta", predictor=PredictorSpec("trained", params=SMOKE_RECIPE)),
+        adapter=AdapterSpec("quantile_tracker"),
+    )
+
+
+def _service() -> PolicyService:
+    return PolicyService(_policy(), profiles={p.user_id: p for p in paper_population()})
+
+
+def _sample(time_s: float, i: int) -> dict:
+    return {
+        "time_s": time_s,
+        "utilization": 0.5 + 0.4 * ((i % 7) / 6.0),
+        "frequency_khz": 1_728_000.0,
+        "sensors": {"cpu": 40.0 + (i % 11) * 0.5, "battery": 32.0 + (i % 5) * 0.2},
+    }
+
+
+def _quantiles(values, scale=1.0):
+    ordered = sorted(values)
+    return {
+        "p50": scale * statistics.median(ordered),
+        "p99": scale * ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))],
+        "max": scale * ordered[-1],
+    }
+
+
+def serve_load(sessions: int, rounds: int, chunk: int) -> dict:
+    """Open ``sessions`` concurrent sessions and feed them ``rounds`` ticks.
+
+    Each request is one ``feed_batch`` of ``chunk`` sessions through
+    ``PolicyService.handle`` (wire-dict parsing included, no socket), so the
+    request latencies are what a front end would see per batched call and
+    the per-feed latency is that divided across the batch.
+    """
+    service = _service()
+    users = sorted(service.profiles)
+    start = time.perf_counter()
+    session_ids = []
+    for i in range(sessions):
+        sid = f"s{i:06d}"
+        response = service.handle({"op": "open", "session": sid, "user": users[i % len(users)]})
+        assert response["ok"], response
+        session_ids.append(sid)
+    open_elapsed = time.perf_counter() - start
+
+    request_s = []
+    feeds = 0
+    start = time.perf_counter()
+    for tick in range(rounds):
+        for lo in range(0, sessions, chunk):
+            ids = session_ids[lo : lo + chunk]
+            request = {
+                "op": "feed_batch",
+                "samples": {sid: _sample(float(tick), lo + k) for k, sid in enumerate(ids)},
+            }
+            # A sprinkle of feedback keeps the adapter path on, like real users.
+            if lo == 0:
+                request["feedback"] = {
+                    ids[0]: [{"time_s": float(tick), "kind": "discomfort", "skin_temp_c": 35.0}]
+                }
+            t0 = time.perf_counter()
+            response = service.handle(request)
+            request_s.append(time.perf_counter() - t0)
+            assert response["ok"], response
+            feeds += len(ids)
+    feed_elapsed = time.perf_counter() - start
+
+    return {
+        "sessions": sessions,
+        "rounds": rounds,
+        "chunk": chunk,
+        "open_seconds": open_elapsed,
+        "opens_per_s": sessions / open_elapsed,
+        "feeds": feeds,
+        "feeds_per_s": feeds / feed_elapsed,
+        "request_ms": _quantiles(request_s, scale=1e3),
+        "feed_latency_us": _quantiles([r / chunk for r in request_s], scale=1e6),
+    }
+
+
+def socket_rtt(requests: int, sessions: int) -> dict:
+    """End-to-end single-feed RTT through the asyncio socket server."""
+    service = _service()
+    users = sorted(service.profiles)
+    bound = {}
+    ready = threading.Event()
+
+    def _on_listening(host, port):
+        bound["addr"] = (host, port)
+        ready.set()
+
+    thread = threading.Thread(
+        target=run_service,
+        args=(service, "127.0.0.1", 0),
+        kwargs={"checkpoint_period_s": None, "on_listening": _on_listening},
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(timeout=30), "server never bound"
+    conn = socket.create_connection(bound["addr"])
+    fh = conn.makefile("rwb")
+
+    def rpc(request):
+        fh.write(json.dumps(request, separators=(",", ":")).encode() + b"\n")
+        fh.flush()
+        return json.loads(fh.readline())
+
+    session_ids = []
+    for i in range(sessions):
+        sid = f"r{i:05d}"
+        assert rpc({"op": "open", "session": sid, "user": users[i % len(users)]})["ok"]
+        session_ids.append(sid)
+
+    rtt_s = []
+    for i in range(requests):
+        sid = session_ids[i % len(session_ids)]
+        t0 = time.perf_counter()
+        response = rpc({"op": "feed", "session": sid, "sample": _sample(float(i), i)})
+        rtt_s.append(time.perf_counter() - t0)
+        assert response["ok"], response
+    rpc({"op": "shutdown"})
+    conn.close()
+    thread.join(timeout=30)
+    return {
+        "requests": requests,
+        "sessions": sessions,
+        "rtt_ms": _quantiles(rtt_s, scale=1e3),
+        "requests_per_s": requests / sum(rtt_s),
+    }
+
+
+def fleet_scaling(workers_list, repeat: int, duration_s: float, scratch: str) -> dict:
+    """Wall time of the same fleet sweep at increasing worker counts."""
+    plan = build_smoke_plan(repeat=repeat, duration_s=duration_s)
+    results = {}
+    directories = {}
+    for workers in workers_list:
+        directory = os.path.join(scratch, f"fleet-w{workers}")
+        report = FleetCoordinator(plan, directory, workers=workers).run()
+        results[str(workers)] = {
+            "seconds": report.elapsed_s,
+            "units": report.n_units,
+            "cells": report.n_cells,
+        }
+        directories[workers] = directory
+    base = results[str(workers_list[0])]["seconds"]
+    for workers in workers_list:
+        results[str(workers)]["speedup_vs_1"] = base / results[str(workers)]["seconds"]
+    first = directories[workers_list[0]]
+    for workers in workers_list[1:]:
+        diff = stores_byte_identical(first, directories[workers])
+        assert diff is None, f"merged stores diverge between worker counts: {diff}"
+    return results
+
+
+def run_full() -> int:
+    scratch = tempfile.mkdtemp(prefix="bench-serve-load-")
+    os.environ[ARTIFACT_ENV_VAR] = os.path.join(scratch, "artifacts")
+    try:
+        payload = {
+            "config": {
+                "sessions": SESSIONS,
+                "rounds": ROUNDS,
+                "chunk": CHUNK,
+                "policy": "usta+quantile_tracker (trained linear recipe)",
+                # Fleet speedup is bounded by the host: on a 1-core machine
+                # the workers time-slice and the scaling section measures
+                # pure coordination overhead instead.
+                "cpu_count": os.cpu_count(),
+            },
+            "serve_load": serve_load(SESSIONS, ROUNDS, CHUNK),
+            "socket_rtt": socket_rtt(SOCKET_REQUESTS, sessions=2_000),
+            "fleet_scaling": fleet_scaling(
+                FLEET_WORKERS, repeat=12, duration_s=1200.0, scratch=scratch
+            ),
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    with open(BASELINE, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(payload, indent=2))
+    print(f"wrote {BASELINE}")
+    return 0
+
+
+def run_smoke() -> int:
+    scratch = tempfile.mkdtemp(prefix="bench-serve-smoke-")
+    os.environ[ARTIFACT_ENV_VAR] = os.path.join(scratch, "artifacts")
+    try:
+        load = serve_load(sessions=2_000, rounds=2, chunk=500)
+        rtt = socket_rtt(requests=200, sessions=100)
+        scaling = fleet_scaling((1, 2), repeat=1, duration_s=20.0, scratch=scratch)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    print(
+        f"serve-load smoke: {load['feeds_per_s']:,.0f} feeds/s over "
+        f"{load['sessions']} sessions (p99 feed {load['feed_latency_us']['p99']:.1f}us), "
+        f"socket RTT p99 {rtt['rtt_ms']['p99']:.2f}ms, "
+        f"fleet 2-worker parity ok"
+    )
+    failures = []
+    # Generous gates: they catch order-of-magnitude regressions (an
+    # accidental per-feed retrain, a per-request predictor rebuild), not
+    # machine noise.
+    if load["feeds_per_s"] < 2_000:
+        failures.append(f"feed throughput collapsed: {load['feeds_per_s']:,.0f} feeds/s")
+    if load["feed_latency_us"]["p99"] > 50_000:
+        failures.append(f"p99 feed latency {load['feed_latency_us']['p99']:.0f}us")
+    if rtt["rtt_ms"]["p99"] > 1_000:
+        failures.append(f"socket RTT p99 {rtt['rtt_ms']['p99']:.0f}ms")
+    if str(2) in scaling and scaling["2"]["cells"] != scaling["1"]["cells"]:
+        failures.append("worker counts executed different cell sets")
+    for failure in failures:
+        print(f"serve-load smoke: FAIL - {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="reduced CI gate")
+    args = parser.parse_args()
+    sys.exit(run_smoke() if args.smoke else run_full())

@@ -1,0 +1,135 @@
+"""Fleet execution: a distributed sweep with fault injection, then serving.
+
+The streaming runtime bounds a sweep's *memory*; the fleet subsystem bounds
+its *blast radius*.  This example walks both halves of ``repro.fleet``:
+
+1. run a population sweep through a 2-worker :class:`FleetCoordinator` —
+   each worker is its own process streaming into a private shard directory,
+   and work units are dealt dynamically to whichever worker is idle;
+2. SIGKILL one worker mid-run (via the coordinator's event hook, exactly
+   what ``make fleet-smoke`` does): the coordinator harvests what the dead
+   worker committed to disk, requeues only the missing cells, and the merged
+   destination store still comes out byte-identical to a single-process run;
+3. open a persistent :class:`PolicyService` over a :class:`SessionStateStore`
+   and show the paper's per-user premise made durable: a user whose comfort
+   tracker converged in one session reopens *at* the converged limit in the
+   next — adaptation continues, it never restarts.
+
+Run with::
+
+    python examples/fleet_sweep.py
+
+The command-line equivalents are::
+
+    repro-usta sweep --scale 0.1 --fleet 2 --stream-to out/
+    repro-usta serve --listen 127.0.0.1:7071 --state-dir state/
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.fleet import FleetCoordinator, PolicyService, SessionStateStore, stores_byte_identical
+from repro.fleet.smoke import build_smoke_plan
+from repro.runtime import BatchRunner, StreamingResultStore
+from repro.users.population import paper_population
+
+
+def fleet_half(root: Path) -> None:
+    plan = build_smoke_plan(repeat=2, duration_s=30.0)
+    fleet_dir = root / "fleet"
+
+    # Fault injection: as soon as the pipeline is warm, SIGKILL a worker
+    # that is NOT the one currently being assigned to.
+    state = {"killed": None}
+
+    def hook(event: str, info: dict) -> None:
+        if event == "assign" and state["killed"] is None and info["unit"] >= 2:
+            victims = [
+                w for w in coordinator.live_worker_ids() if w != info["worker_id"]
+            ]
+            if victims:
+                coordinator.kill_worker(victims[0])
+                state["killed"] = victims[0]
+                print(f"   killed {victims[0]} mid-run")
+
+    coordinator = FleetCoordinator(plan, fleet_dir, workers=2, unit_size=2, on_event=hook)
+    report = coordinator.run()
+    print(
+        f"   {report.executed}/{report.n_cells} cells, {report.worker_deaths} "
+        f"death(s), {report.reassigned_cells} cell(s) reassigned, "
+        f"{report.merge.n_shards} merged shard(s)"
+    )
+
+    print("2. byte-parity against a single-process streaming run ...")
+    ref_dir = root / "reference"
+    ref = StreamingResultStore(ref_dir)
+    BatchRunner.for_jobs(None).run_stream(plan, ref)
+    ref.close()
+    diff = stores_byte_identical(fleet_dir, ref_dir)
+    print(f"   identical: {diff is None}" + (f" ({diff})" if diff else ""))
+
+
+def serving_half(root: Path) -> None:
+    profile = next(iter(paper_population()))
+    state_dir = root / "state"
+
+    def open_service():
+        from repro.api.specs import AdapterSpec, ManagerSpec, PolicySpec, PredictorSpec
+        from repro.fleet.smoke import SMOKE_RECIPE
+
+        policy = PolicySpec(
+            manager=ManagerSpec(
+                "usta", predictor=PredictorSpec("trained", params=SMOKE_RECIPE)
+            ),
+            adapter=AdapterSpec("quantile_tracker"),
+        )
+        return PolicyService(
+            policy,
+            profiles={p.user_id: p for p in paper_population()},
+            state_store=SessionStateStore(state_dir),
+        )
+
+    service = open_service()
+    opened = service.open("first-visit", profile.user_id)
+    print(f"   {profile.user_id} cold start at {opened['limit_c']:.2f} °C")
+    for i in range(30):  # thirty discomfort reports converge the tracker
+        service.feed(
+            "first-visit",
+            {
+                "time_s": i * 3.0,
+                "utilization": 0.8,
+                "frequency_khz": 1_512_000.0,
+                "sensors": {"cpu": 45.0, "battery": 42.0},
+            },
+            feedback=[{"time_s": i * 3.0, "kind": "discomfort", "skin_temp_c": 35.0}],
+        )
+    converged = service.pool.get("first-visit").current_limit_c
+    service.shutdown()  # persists state, like SIGTERM on `serve --listen`
+    print(f"   converged to {converged:.2f} °C; service shut down")
+
+    service = open_service()  # a new process lifetime
+    reopened = service.open("second-visit", profile.user_id)
+    print(
+        f"   {profile.user_id} returns: warm start={reopened['resumed']}, "
+        f"opens at {reopened['limit_c']:.2f} °C (no re-convergence)"
+    )
+    service.shutdown()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        import os
+
+        from repro.runtime.artifacts import ARTIFACT_ENV_VAR
+
+        os.environ.setdefault(ARTIFACT_ENV_VAR, str(root / "artifacts"))
+
+        print("1. distributed sweep, one worker killed mid-run ...")
+        fleet_half(root)
+        print("3. persistent serving: converge, shut down, warm-start ...")
+        serving_half(root)
+
+
+if __name__ == "__main__":
+    main()

@@ -181,10 +181,44 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--fleet",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "sweep: distribute the plan across N fleet worker processes "
+            "(needs --stream-to; each worker streams into its own shard "
+            "directory, dead workers' incomplete units are reassigned, and "
+            "the shards merge into one indexed store identical to a "
+            "single-process run)"
+        ),
+    )
+    parser.add_argument(
         "--sessions",
         type=int,
         default=2000,
         help="serve: number of concurrent policy sessions",
+    )
+    parser.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "serve: run the persistent socket front end (line-delimited JSON "
+            "over TCP; PORT 0 picks a free port) instead of the replay "
+            "driver; SIGINT/SIGTERM shut down gracefully, persisting session "
+            "state and flushing the decision log"
+        ),
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "serve --listen: persist per-user adapter/controller state in DIR "
+            "on checkpoint and shutdown, so returning users warm-start at "
+            "their converged comfort limit"
+        ),
     )
     parser.add_argument(
         "--smoke",
@@ -299,7 +333,10 @@ def _run_sweep(context: ReproductionContext, args: argparse.Namespace) -> str:
     profiles = {p.user_id: p for p in context.population}
     start = time.perf_counter()
     footers: List[str] = []
-    if args.stream_to is not None:
+    if args.fleet is not None:
+        summaries, executed_ids, footers = _fleet_sweep(plan, profiles, args)
+        metrics = [(cell.cell_id, summaries[cell.cell_id]) for cell in plan]
+    elif args.stream_to is not None:
         summaries, executed_ids, footers = _stream_sweep(runner, plan, profiles, args)
         metrics = [(cell.cell_id, summaries[cell.cell_id]) for cell in plan]
     else:
@@ -379,6 +416,40 @@ class _SweepRow:
             average_frequency_ghz=summary.average_frequency_ghz,
             usta_active_fraction=summary.usta_active_fraction,
         )
+
+
+def _fleet_sweep(plan, profiles, args):
+    """Distribute the sweep across fleet workers; rows, executed ids, footers."""
+    from .analysis.streaming import stream_summaries
+    from .fleet import FleetCoordinator, FleetError
+    from .runtime.streamstore import StreamingResultStore
+
+    coordinator = FleetCoordinator(
+        plan,
+        args.stream_to,
+        workers=args.fleet,
+        exact=not args.approx_solve,
+    )
+    try:
+        report = coordinator.run(resume=args.resume)
+    except FleetError as exc:
+        raise SystemExit(f"repro-usta sweep: {exc}")
+
+    store = StreamingResultStore(args.stream_to)
+    entries = stream_summaries(
+        store,
+        limit_for=lambda cell: profiles[cell.metadata["user_id"]].skin_limit_c,
+    )
+    store.close()
+    rows = {cell_id: _SweepRow.from_summary(e.summary) for cell_id, e in entries.items()}
+    footers = [
+        f"fleet: {report.workers} worker(s) ({report.workers_spawned} spawned, "
+        f"{report.worker_deaths} died, {report.reassigned_units} unit(s) reassigned), "
+        f"{report.n_units} unit(s) of <= {report.unit_size} cell(s)",
+        f"merged {report.merge.n_cells} cell(s) into {report.merge.n_shards} shard(s) "
+        f"at {store.directory} ({report.executed} executed, {report.resumed} resumed)",
+    ]
+    return rows, frozenset(report.executed_ids), footers
 
 
 def _stream_sweep(runner, plan, profiles, args):
@@ -476,6 +547,8 @@ def _run_serve(context: ReproductionContext, args: argparse.Namespace) -> str:
         from pathlib import Path
 
         decision_log = Path(args.stream_to) / "serve-decisions.jsonl"
+    if args.listen is not None:
+        return _listen_serve(context, policy, decision_log, args)
     report = run_serve(
         context,
         benchmark=args.benchmark,
@@ -485,6 +558,43 @@ def _run_serve(context: ReproductionContext, args: argparse.Namespace) -> str:
         decision_log=decision_log,
     )
     return report.render()
+
+
+def _listen_serve(context, policy, decision_log, args: argparse.Namespace) -> str:
+    """Run the persistent socket front end until a graceful shutdown."""
+    from .api.specs import ManagerSpec, PolicySpec
+    from .fleet import PolicyService, SessionStateStore, run_service
+
+    try:
+        host, _, port_text = args.listen.rpartition(":")
+        port = int(port_text)
+        host = host or "127.0.0.1"
+    except ValueError:
+        raise SystemExit(
+            f"repro-usta serve: --listen expects HOST:PORT, got {args.listen!r}"
+        )
+    spec = policy if policy is not None else PolicySpec(manager=ManagerSpec("usta"))
+    fallback_predictor = None
+    if spec.manager is not None and spec.manager.predictor is None:
+        fallback_predictor = context.predictor
+    state_store = SessionStateStore(args.state_dir) if args.state_dir is not None else None
+    service = PolicyService(
+        spec,
+        profiles={p.user_id: p for p in context.population},
+        predictor=fallback_predictor,
+        state_store=state_store,
+        decision_log=decision_log,
+    )
+    stats = run_service(service, host, port)
+    persisted = (
+        f", {stats['persisted_users']} user state(s) in {args.state_dir}"
+        if state_store is not None
+        else ""
+    )
+    return (
+        f"served {stats['feeds']} feed(s) across {stats['opened']} session(s) "
+        f"({stats['resumed']} warm-started) in {stats['uptime_s']:.1f}s{persisted}"
+    )
 
 
 def _run_adapt(args: argparse.Namespace) -> int:
@@ -567,6 +677,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.resume and args.stream_to is None:
         raise SystemExit("repro-usta: --resume needs --stream-to")
+    if args.fleet is not None:
+        if args.experiment != "sweep":
+            raise SystemExit(
+                f"repro-usta: --fleet only applies to 'sweep', not {args.experiment!r}"
+            )
+        if args.stream_to is None:
+            raise SystemExit("repro-usta: --fleet needs --stream-to (the merged store)")
+        if args.jobs is not None:
+            raise SystemExit(
+                "repro-usta: --fleet and --jobs are different distribution "
+                "strategies; pass one"
+            )
+        if args.fleet < 1:
+            raise SystemExit("repro-usta: --fleet must be at least 1")
+    if args.listen is not None and args.experiment != "serve":
+        raise SystemExit(
+            f"repro-usta: --listen only applies to 'serve', not {args.experiment!r}"
+        )
+    if args.state_dir is not None and args.listen is None:
+        raise SystemExit("repro-usta: --state-dir needs serve --listen")
     if args.explain_batching and args.experiment != "sweep":
         raise SystemExit(
             f"repro-usta: --explain-batching only applies to 'sweep', "

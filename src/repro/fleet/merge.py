@@ -1,0 +1,291 @@
+"""Merge and compact fleet shard directories into one indexed store.
+
+Every fleet worker streams into a private
+:class:`~repro.runtime.streamstore.StreamingResultStore` directory.
+:func:`merge_stores` compacts any number of those directories (plus whatever
+an interrupted previous merge left behind) into the destination: cells are
+copied *in plan order* with the standard shard rotation, so the resulting
+shards are byte-identical to what a single-process ``--stream-to`` run of the
+same plan writes (wall times are the one nondeterministic field per line —
+:func:`stores_byte_identical` masks them).
+
+Copying is byte-range based: opening a source directory as a
+``StreamingResultStore`` heals crash artifacts (a killed worker's truncated
+final line is dropped) and self-repairs the ``index.jsonl`` sidecar, whose
+``(shard, offset, length)`` entries then let the merge stream each cell's
+bytes without parsing a single record.
+
+The swap is crash-safe: new shards are staged in ``<dest>/.merge-tmp``, the
+old merged files (if any) move to ``<dest>/.merge-backup``, then the staged
+files move into place and both scratch directories are deleted.  A crash at
+any point leaves every cell's bytes in at least one of destination, backup,
+or the source directories, so re-running the merge recovers.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.runtime.streamstore import INDEX_NAME, StreamingResultStore
+
+MERGE_TMP = ".merge-tmp"
+MERGE_BACKUP = ".merge-backup"
+
+
+class MergeError(RuntimeError):
+    """A merge could not produce a complete store (e.g. missing cells)."""
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """What :func:`merge_stores` did."""
+
+    n_cells: int
+    n_shards: int
+    #: cells taken from each source directory (first directory wins on dupes).
+    source_cells: Dict[str, int] = field(default_factory=dict)
+    #: cell ids present in some source but absent from ``cell_order``.
+    extra_cells: Tuple[str, ...] = ()
+    #: tail-recovery notes from healing source directories.
+    recovered: Tuple[str, ...] = ()
+
+
+def _shard_name(index: int) -> str:
+    return f"shard-{index:05d}.jsonl"
+
+
+def _looks_like_store(directory: Path) -> bool:
+    if not directory.is_dir():
+        return False
+    if (directory / INDEX_NAME).exists():
+        return True
+    return any(directory.glob("shard-*.jsonl"))
+
+
+def collect_cell_locations(
+    directory: Path,
+) -> Tuple[Dict[str, Tuple[Path, int, int]], Optional[str]]:
+    """Map ``cell_id -> (shard path, offset, length)`` for one store directory.
+
+    Opening the directory as a :class:`StreamingResultStore` first heals any
+    crash artifact (truncated/unterminated final line) and rewrites a stale
+    ``index.jsonl``, so the sidecar read afterwards is authoritative.
+    Returns the location map (in commit order) and the tail-recovery note,
+    if healing dropped a partial cell.
+    """
+    directory = Path(directory)
+    if not _looks_like_store(directory):
+        return {}, None
+    store = StreamingResultStore(directory)
+    recovered = store.recovered_tail
+    store.close()
+    locations: Dict[str, Tuple[Path, int, int]] = {}
+    index_path = directory / INDEX_NAME
+    if not index_path.exists():  # pragma: no cover - empty healed directory
+        return locations, recovered
+    with open(index_path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            locations[entry["cell_id"]] = (
+                directory / entry["shard"],
+                int(entry["offset"]),
+                int(entry["length"]),
+            )
+    return locations, recovered
+
+
+def harvest_completed_ids(directories: Iterable[Path]) -> Dict[str, Path]:
+    """Committed cell ids across ``directories`` (first directory wins)."""
+    seen: Dict[str, Path] = {}
+    for directory in directories:
+        locations, _ = collect_cell_locations(Path(directory))
+        for cell_id in locations:
+            seen.setdefault(cell_id, Path(directory))
+    return seen
+
+
+class _ShardWriter:
+    """Write cell byte-ranges with the store's standard shard rotation."""
+
+    def __init__(self, directory: Path, max_cells_per_shard: int):
+        self.directory = directory
+        self.max_cells_per_shard = max_cells_per_shard
+        self.index_entries: List[dict] = []
+        self._shard_index = 0
+        self._cells_in_shard = 0
+        self._shard_bytes = 0
+        self._fh = None
+
+    def write_cell(self, cell_id: str, payload: bytes) -> None:
+        if self._fh is None:
+            self._fh = open(self.directory / _shard_name(self._shard_index), "wb")
+        offset = self._shard_bytes
+        self._fh.write(payload)
+        self._shard_bytes += len(payload)
+        self.index_entries.append(
+            {
+                "cell_id": cell_id,
+                "shard": _shard_name(self._shard_index),
+                "offset": offset,
+                "length": len(payload),
+            }
+        )
+        self._cells_in_shard += 1
+        if self._cells_in_shard >= self.max_cells_per_shard:
+            self._fh.close()
+            self._fh = None
+            self._shard_index += 1
+            self._cells_in_shard = 0
+            self._shard_bytes = 0
+
+    def close(self) -> int:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        return self._shard_index + (1 if self._cells_in_shard else 0)
+
+
+def _clear_scratch(path: Path) -> None:
+    if path.exists():
+        shutil.rmtree(path)
+
+
+def merge_stores(
+    sources: Sequence[Path],
+    destination: Path,
+    cell_order: Sequence[str],
+    max_cells_per_shard: int = 64,
+) -> MergeReport:
+    """Compact ``sources`` into ``destination`` as one plan-ordered store.
+
+    ``sources`` are scanned in priority order (earlier directories win
+    duplicate cell ids); the destination itself and its ``.merge-backup``
+    are implicitly the highest-priority sources, so re-running after a crash
+    mid-swap is safe.  Raises :class:`MergeError` if any ``cell_order`` id is
+    missing from every source.
+    """
+    destination = Path(destination)
+    destination.mkdir(parents=True, exist_ok=True)
+    tmp_dir = destination / MERGE_TMP
+    backup_dir = destination / MERGE_BACKUP
+
+    scan_order: List[Path] = [destination, backup_dir]
+    for source in sources:
+        source = Path(source)
+        if source not in scan_order:
+            scan_order.append(source)
+
+    locations: Dict[str, Tuple[Path, int, int]] = {}
+    source_cells: Dict[str, int] = {}
+    recovered: List[str] = []
+    for directory in scan_order:
+        found, note = collect_cell_locations(directory)
+        if note:
+            recovered.append(f"{directory.name}: {note}")
+        fresh = 0
+        for cell_id, location in found.items():
+            if cell_id not in locations:
+                locations[cell_id] = location
+                fresh += 1
+        if fresh:
+            source_cells[str(directory)] = fresh
+
+    missing = [cell_id for cell_id in cell_order if cell_id not in locations]
+    if missing:
+        preview = ", ".join(missing[:5])
+        raise MergeError(
+            f"merge is missing {len(missing)} cell(s) from every source "
+            f"directory (first few: {preview})"
+        )
+    extra = tuple(cell_id for cell_id in locations if cell_id not in set(cell_order))
+
+    # Stage the compacted store in .merge-tmp.
+    _clear_scratch(tmp_dir)
+    tmp_dir.mkdir()
+    writer = _ShardWriter(tmp_dir, max_cells_per_shard)
+    handles: Dict[Path, object] = {}
+    try:
+        for cell_id in cell_order:
+            path, offset, length = locations[cell_id]
+            fh = handles.get(path)
+            if fh is None:
+                fh = handles[path] = open(path, "rb")
+            fh.seek(offset)
+            payload = fh.read(length)
+            if len(payload) != length or not payload.endswith(b"\n"):
+                raise MergeError(
+                    f"{path.name}: cell {cell_id!r} byte range "
+                    f"[{offset}, {offset + length}) is damaged"
+                )
+            writer.write_cell(cell_id, payload)
+    finally:
+        for fh in handles.values():
+            fh.close()
+        n_shards = writer.close()
+    with open(tmp_dir / INDEX_NAME, "w", encoding="utf-8") as fh:
+        for entry in writer.index_entries:
+            fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+
+    # Swap: old merged files -> backup, staged files -> destination.
+    _clear_scratch(backup_dir)
+    backup_dir.mkdir()
+    for path in sorted(destination.glob("shard-*.jsonl")) + [destination / INDEX_NAME]:
+        if path.exists():
+            path.rename(backup_dir / path.name)
+    for path in sorted(tmp_dir.iterdir()):
+        path.rename(destination / path.name)
+    _clear_scratch(backup_dir)
+    _clear_scratch(tmp_dir)
+
+    return MergeReport(
+        n_cells=len(cell_order),
+        n_shards=n_shards,
+        source_cells=source_cells,
+        extra_cells=extra,
+        recovered=tuple(recovered),
+    )
+
+
+_WALL_KEY = ',"wall_time_s":'
+
+
+def _mask_wall_time(line: str) -> str:
+    try:
+        return line[: line.rindex(_WALL_KEY)]
+    except ValueError:
+        return line
+
+
+def stores_byte_identical(
+    a: Path, b: Path, ignore_wall_time: bool = True
+) -> Optional[str]:
+    """``None`` when two store directories tile identically, else a diagnosis.
+
+    With ``ignore_wall_time`` (the default) the per-line ``"wall_time_s"``
+    suffix — the one nondeterministic field the runtime writes — is masked
+    before comparing, matching the byte-parity convention used throughout
+    the test suite.
+    """
+    a, b = Path(a), Path(b)
+    shards_a = sorted(p.name for p in a.glob("shard-*.jsonl"))
+    shards_b = sorted(p.name for p in b.glob("shard-*.jsonl"))
+    if shards_a != shards_b:
+        return f"shard sets differ: {shards_a} vs {shards_b}"
+    for name in shards_a:
+        lines_a = (a / name).read_text(encoding="utf-8").splitlines()
+        lines_b = (b / name).read_text(encoding="utf-8").splitlines()
+        if len(lines_a) != len(lines_b):
+            return f"{name}: {len(lines_a)} vs {len(lines_b)} lines"
+        for number, (line_a, line_b) in enumerate(zip(lines_a, lines_b)):
+            if ignore_wall_time:
+                line_a, line_b = _mask_wall_time(line_a), _mask_wall_time(line_b)
+            if line_a != line_b:
+                return f"{name}: line {number} differs"
+    return None

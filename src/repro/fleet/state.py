@@ -1,0 +1,160 @@
+"""Per-user policy state persistence for the serving front end.
+
+The paper's whole point is that comfort limits are *per user* and take real
+interaction time to converge (the quantile tracker needs dozens of feedback
+events).  A long-running service therefore cannot afford to re-converge a
+user on every reconnect: :class:`SessionStateStore` persists each user's
+adapter state (converged limit, event counts) plus the live controller limit
+as versioned JSON, and a returning user's fresh session is warm-started from
+it — the session opens *at* the converged limit with the tracker's gain
+decay intact, so adaptation resumes instead of restarting.
+
+Snapshots reuse the adapters' ``snapshot_batch_state``/``restore_batch_state``
+pair (the same state surface the vectorized policy plane mirrors), so the
+persistence format cannot drift from the adapters' actual state variables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Dict, Optional
+
+STATE_VERSION = 1
+STATE_FILENAME = "session-state.json"
+
+
+def snapshot_session_state(session) -> Optional[dict]:
+    """JSON-able per-user policy state for one live session, or ``None``.
+
+    ``None`` means the session has nothing durable (bare-governor policies
+    carry no comfort limit at all).
+    """
+    manager = session.manager
+    if manager is None:
+        return None
+    state: dict = {}
+    limit = session.current_limit_c
+    if limit is not None:
+        state["limit_c"] = float(limit)
+    adapter = getattr(manager, "adapter", None)
+    if adapter is not None and hasattr(adapter, "snapshot_batch_state"):
+        state["adapter"] = {
+            "kind": getattr(adapter, "name", type(adapter).__name__),
+            **adapter.snapshot_batch_state(),
+        }
+    return state or None
+
+
+def restore_session_state(session, state: dict) -> bool:
+    """Warm-start a fresh session from a persisted snapshot.
+
+    Returns ``True`` when state was applied.  A snapshot taken under a
+    different adapter kind than the session's current policy is ignored
+    (restoring a tracker's limit into a different strategy would leave the
+    adapter and controller incoherent).
+    """
+    manager = session.manager
+    if manager is None or not state:
+        return False
+    adapter = getattr(manager, "adapter", None)
+    saved_adapter = state.get("adapter")
+    limit = state.get("limit_c")
+
+    if adapter is not None:
+        if not saved_adapter:
+            return False
+        kind = getattr(adapter, "name", type(adapter).__name__)
+        if saved_adapter.get("kind") != kind or not hasattr(
+            adapter, "restore_batch_state"
+        ):
+            return False
+        fields = {k: v for k, v in saved_adapter.items() if k != "kind"}
+        try:
+            adapter.restore_batch_state(**fields)
+        except TypeError:  # snapshot from an incompatible adapter version
+            return False
+        limit = adapter.current_limit_c
+
+    if limit is None:
+        return adapter is not None
+    inner = getattr(manager, "inner", manager)
+    set_limit = getattr(inner, "set_skin_limit", None)
+    if set_limit is None:
+        return adapter is not None
+    set_limit(float(limit))
+    return True
+
+
+class SessionStateStore:
+    """Versioned JSON store of per-user policy state, written atomically.
+
+    One file (``session-state.json``) maps user keys to snapshots.  Saves go
+    through a temp file + fsync + :func:`os.replace`, so a crash mid-save
+    leaves the previous complete state in place — the same durability rule
+    as the predictor artifact cache.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / STATE_FILENAME
+        self._users: Dict[str, dict] = {}
+        if self.path.exists():
+            try:
+                payload = json.loads(self.path.read_text(encoding="utf-8"))
+            except ValueError as exc:
+                raise ValueError(f"corrupt session state file {self.path}: {exc}") from exc
+            if payload.get("version") != STATE_VERSION:
+                raise ValueError(
+                    f"session state file {self.path} has version "
+                    f"{payload.get('version')!r}; this build reads {STATE_VERSION}"
+                )
+            self._users = dict(payload.get("users", {}))
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    @property
+    def users(self):
+        """Sorted user keys with persisted state."""
+        return sorted(self._users)
+
+    def state_for(self, user_key: str) -> Optional[dict]:
+        state = self._users.get(user_key)
+        return json.loads(json.dumps(state)) if state is not None else None
+
+    # -- recording and restoring -------------------------------------------------
+
+    def record(self, user_key: str, session) -> bool:
+        """Snapshot one session's state under ``user_key`` (in memory)."""
+        snapshot = snapshot_session_state(session)
+        if snapshot is None:
+            return False
+        self._users[user_key] = snapshot
+        return True
+
+    def restore(self, user_key: str, session) -> bool:
+        """Warm-start ``session`` from the persisted state, if any."""
+        state = self._users.get(user_key)
+        if state is None:
+            return False
+        return restore_session_state(session, state)
+
+    def save(self) -> None:
+        """Atomically persist every recorded snapshot."""
+        payload = {"version": STATE_VERSION, "users": self._users}
+        tmp = self.path.with_name(f".{self.path.name}.{uuid.uuid4().hex}.tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"), sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on a failed write
+                tmp.unlink()

@@ -32,6 +32,7 @@ import hashlib
 import json
 import os
 import pickle
+import time
 import uuid
 from dataclasses import asdict
 from pathlib import Path
@@ -146,9 +147,40 @@ class ArtifactCache:
         return artifact
 
     def _atomic_write(self, target: Path, content: bytes) -> None:
+        # Unique temp name + rename-into-place: concurrent fleet workers
+        # storing the same key can interleave freely — each write is all-or-
+        # nothing and the last complete one wins.  fsync before the rename so
+        # a crash cannot publish a name pointing at unwritten data; clean up
+        # the temp file on any failure so the directory doesn't accumulate
+        # orphans from killed workers.
         tmp = target.with_name(f".{target.name}.{uuid.uuid4().hex}.tmp")
-        tmp.write_bytes(content)
-        os.replace(tmp, target)
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(content)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    def sweep_stale_tmp(self, max_age_s: float = 3600.0) -> int:
+        """Delete orphaned ``.tmp`` files older than ``max_age_s``.
+
+        A SIGKILLed worker can leave its in-flight temp file behind; the
+        unique names make them harmless but they accumulate.  Recent temps
+        are left alone — they may belong to a live writer.
+        """
+        now = time.time()
+        removed = 0
+        for tmp in self.directory.glob(".*.tmp"):
+            try:
+                if now - tmp.stat().st_mtime > max_age_s:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:  # pragma: no cover - raced with another sweeper
+                continue
+        return removed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -124,6 +124,14 @@ class FixedLimit:
     def observe(self, event: FeedbackEvent) -> float:
         return self._limit_c
 
+    def snapshot_batch_state(self) -> dict:
+        """JSON-able state, symmetric with :meth:`restore_batch_state`."""
+        return {"limit_c": self._limit_c}
+
+    def restore_batch_state(self, *, limit_c: float) -> None:
+        """Install persisted state (a fixed limit can still be pinned)."""
+        self._limit_c = float(limit_c)
+
     def reset(self) -> None:
         self._limit_c = self.initial_limit_c
 
@@ -193,6 +201,14 @@ class FeedbackStep:
         """
         self._limit_c = float(limit_c)
         self._last_change_s = last_change_s
+
+    def snapshot_batch_state(self) -> dict:
+        """JSON-able state, symmetric with :meth:`restore_batch_state`.
+
+        This is also the persistence form the fleet
+        :class:`~repro.fleet.state.SessionStateStore` writes per user.
+        """
+        return {"limit_c": self._limit_c, "last_change_s": self._last_change_s}
 
     def reset(self) -> None:
         self._limit_c = self.initial_limit_c
@@ -322,6 +338,20 @@ class QuantileTracker:
         self._limit_c = float(limit_c)
         self._event_count = int(event_count)
         self._rejection_streak = int(rejection_streak)
+
+    def snapshot_batch_state(self) -> dict:
+        """JSON-able state, symmetric with :meth:`restore_batch_state`.
+
+        This is also the persistence form the fleet
+        :class:`~repro.fleet.state.SessionStateStore` writes per user, so a
+        returning user's tracker resumes mid-convergence (same gain decay)
+        instead of starting over.
+        """
+        return {
+            "limit_c": self._limit_c,
+            "event_count": self._event_count,
+            "rejection_streak": self._rejection_streak,
+        }
 
     def reset(self) -> None:
         self._limit_c = self.initial_limit_c

@@ -7,6 +7,8 @@ model instead of re-collecting data and retraining, and the loaded model is
 bit-identical to a freshly trained one.
 """
 
+import json
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 
@@ -40,6 +42,25 @@ def cache_dir(tmp_path, monkeypatch):
     reset_predictor_caches()
     yield directory
     reset_predictor_caches()
+
+
+def _hammer_worker(payload):
+    """Hammer one cache key with repeated concurrent store+resolve cycles.
+
+    Regression probe for the fleet-worker write race: every ``store`` must be
+    all-or-nothing (unique temp name + atomic rename), so a concurrent
+    ``resolve`` may see *either* complete artifact but never a torn one.
+    Returns the number of failed resolves (must be zero).
+    """
+    cache = ArtifactCache(payload["directory"])
+    predictor = payload["predictor"]
+    failures = 0
+    for round_number in range(payload["rounds"]):
+        data_sha = f"w{payload['worker']}r{round_number}".ljust(20, "0")
+        cache.store(payload["key"], data_sha, predictor)
+        if cache.resolve(payload["key"]) is None:
+            failures += 1
+    return failures
 
 
 def _probe_worker(recipe):
@@ -105,6 +126,47 @@ class TestArtifactCache:
         cache = configured_artifact_cache()
         assert cache is not None
         assert cache.directory == tmp_path / "c"
+
+
+class TestConcurrentStoreHammer:
+    def test_parallel_writers_never_tear_the_cache(self, tmp_path, linear_predictor):
+        """Four processes hammer the same content key; no resolve ever fails,
+        and no orphaned temp file survives."""
+        workers = 4
+        payloads = [
+            {
+                "directory": str(tmp_path),
+                "key": predictor_content_key("trained", RECIPE),
+                "predictor": linear_predictor,
+                "worker": worker,
+                "rounds": 15,
+            }
+            for worker in range(workers)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            failures = list(pool.map(_hammer_worker, payloads, chunksize=1))
+        assert failures == [0] * workers
+
+        cache = ArtifactCache(tmp_path)
+        assert cache.resolve(predictor_content_key("trained", RECIPE)) is not None
+        # Atomic writes leave no droppings: every temp file was renamed or
+        # cleaned up, and the index points at an artifact that exists.
+        assert list(tmp_path.glob(".*.tmp")) == []
+        index = json.loads(
+            (tmp_path / f"{predictor_content_key('trained', RECIPE)}.json").read_text()
+        )
+        assert (tmp_path / index["file"]).exists()
+
+    def test_stale_tmp_sweep_removes_only_old_orphans(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        old = tmp_path / ".dead-worker.pkl.deadbeef.tmp"
+        old.write_bytes(b"partial")
+        os.utime(old, (1, 1))  # ancient
+        fresh = tmp_path / ".live-writer.pkl.cafef00d.tmp"
+        fresh.write_bytes(b"in flight")
+        assert cache.sweep_stale_tmp(max_age_s=3600.0) == 1
+        assert not old.exists()
+        assert fresh.exists()
 
 
 class TestTrainedRecipeIntegration:

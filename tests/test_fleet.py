@@ -1,0 +1,153 @@
+"""Tests for the fleet coordinator (distributed sharded sweep executor).
+
+The contract: a fleet run over N worker processes — including one whose
+worker is SIGKILLed mid-run — produces a merged, indexed destination store
+byte-identical to a single-process streaming run of the same plan, resumes
+from its own output, and harvests whatever a crashed previous coordinator's
+workers left on disk instead of re-executing it.
+"""
+
+import pytest
+
+from repro.api.specs import GovernorSpec, ManagerSpec, PolicySpec
+from repro.fleet import FleetCoordinator, FleetError, stores_byte_identical
+from repro.runtime import (
+    BatchRunner,
+    ExperimentCell,
+    ExperimentPlan,
+    StreamingResultStore,
+)
+from repro.workloads.benchmarks import build_benchmark
+
+
+def _mini_plan(linear_predictor, n_reps=3):
+    """Six small mixed cells: a bare governor plus static-USTA users."""
+    trace = build_benchmark("skype", seed=3, duration_s=40.0)
+    plan = ExperimentPlan()
+    for rep in range(n_reps):
+        plan.add(
+            ExperimentCell(
+                cell_id=f"base/r{rep}",
+                trace=trace,
+                policy=PolicySpec(governor=GovernorSpec("ondemand")),
+                seed=rep,
+                metadata={"user_id": "base", "rep": rep},
+            )
+        )
+        plan.add(
+            ExperimentCell(
+                cell_id=f"u1/r{rep}",
+                trace=trace,
+                policy=PolicySpec(
+                    manager=ManagerSpec("usta", params={"skin_limit_c": 33.0})
+                ),
+                predictor=linear_predictor,
+                seed=rep,
+                metadata={"user_id": "u1", "rep": rep},
+            )
+        )
+    return plan
+
+
+def _reference_store(plan, directory):
+    store = StreamingResultStore(directory)
+    BatchRunner.for_jobs(None).run_stream(plan, store)
+    store.close()
+    return directory
+
+
+class TestFleetCoordinator:
+    def test_fleet_matches_single_process_and_resumes(self, tmp_path, linear_predictor):
+        plan = _mini_plan(linear_predictor)
+        fleet_dir = tmp_path / "fleet"
+        events = []
+        report = FleetCoordinator(
+            plan, fleet_dir, workers=2, on_event=lambda e, info: events.append(e)
+        ).run()
+
+        assert report.n_cells == len(plan)
+        assert report.executed == len(plan)
+        assert report.resumed == 0
+        assert report.workers_spawned == 2
+        assert report.worker_deaths == 0
+        assert sorted(report.executed_ids) == sorted(c.cell_id for c in plan)
+        assert report.merge is not None and report.merge.n_cells == len(plan)
+        assert {"spawn", "hello", "assign", "unit_done", "merge"} <= set(events)
+        # Worker scratch is compacted away; the destination is a clean store.
+        assert not (fleet_dir / "workers").exists()
+
+        ref_dir = _reference_store(plan, tmp_path / "ref")
+        assert stores_byte_identical(fleet_dir, ref_dir) is None
+        merged = StreamingResultStore(fleet_dir)
+        assert merged.resumed_via_index
+        assert merged.completed_cell_ids == {c.cell_id for c in plan}
+        merged.close()
+
+        # A second run without --resume must refuse to clobber the store ...
+        with pytest.raises(FleetError, match="--resume"):
+            FleetCoordinator(plan, fleet_dir, workers=2).run()
+        # ... and with resume everything is answered from disk: no workers.
+        resumed = FleetCoordinator(plan, fleet_dir, workers=2).run(resume=True)
+        assert resumed.executed == 0
+        assert resumed.resumed == len(plan)
+        assert resumed.workers_spawned == 0
+        assert stores_byte_identical(fleet_dir, ref_dir) is None
+
+    def test_killed_worker_is_reassigned(self, tmp_path, linear_predictor):
+        """SIGKILL one worker mid-run: the sweep still completes and the
+        merged store is byte-identical to the single-process run."""
+        plan = _mini_plan(linear_predictor)
+        fleet_dir = tmp_path / "fleet"
+        state = {"killed": None}
+
+        def hook(event, info):
+            if event == "assign" and state["killed"] is None and info["unit"] >= 2:
+                victims = [
+                    wid
+                    for wid in coordinator.live_worker_ids()
+                    if wid != info["worker_id"]
+                ]
+                if victims:
+                    coordinator.kill_worker(victims[0])
+                    state["killed"] = victims[0]
+
+        coordinator = FleetCoordinator(
+            plan, fleet_dir, workers=2, unit_size=1, on_event=hook
+        )
+        report = coordinator.run()
+
+        assert state["killed"] is not None
+        assert report.worker_deaths >= 1
+        assert report.executed == len(plan)
+        ref_dir = _reference_store(plan, tmp_path / "ref")
+        assert stores_byte_identical(fleet_dir, ref_dir) is None
+
+    def test_crashed_coordinator_worker_dirs_are_harvested(
+        self, tmp_path, linear_predictor
+    ):
+        """Cells a dead coordinator's workers committed are resumed from the
+        leftover ``workers/`` directories, not re-executed."""
+        plan = _mini_plan(linear_predictor)
+        cells = list(plan)
+        partial = ExperimentPlan()
+        for cell in cells[:2]:
+            partial.add(cell)
+
+        fleet_dir = tmp_path / "fleet"
+        leftover = fleet_dir / "workers" / "worker-00"
+        _reference_store(partial, leftover)
+
+        report = FleetCoordinator(plan, fleet_dir, workers=2).run(resume=True)
+        assert report.resumed == 2
+        assert report.executed == len(plan) - 2
+        assert {cells[0].cell_id, cells[1].cell_id}.isdisjoint(report.executed_ids)
+        assert not (fleet_dir / "workers").exists()
+        ref_dir = _reference_store(plan, tmp_path / "ref")
+        assert stores_byte_identical(fleet_dir, ref_dir) is None
+
+    def test_constructor_validation(self, tmp_path, linear_predictor):
+        plan = _mini_plan(linear_predictor, n_reps=1)
+        with pytest.raises(ValueError, match="workers"):
+            FleetCoordinator(plan, tmp_path / "x", workers=0)
+        with pytest.raises(ValueError, match="unit_size"):
+            FleetCoordinator(plan, tmp_path / "x", workers=1, unit_size=0)
