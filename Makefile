@@ -15,9 +15,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Recursively expanded (=) so the probe only runs for targets that use it.
 COV_FLAGS = $(shell $(PYTHON) -c "import importlib.util as u; print('--cov=repro --cov-fail-under=80' if u.find_spec('pytest_cov') else '')")
 
-.PHONY: check test coverage smoke serve-smoke stream-smoke bench-smoke fleet-smoke serve-load-smoke golden lint bench-baseline
+.PHONY: check test coverage smoke serve-smoke stream-smoke bench-smoke fleet-smoke serve-load-smoke hal-smoke golden lint bench-baseline
 
-check: test smoke serve-smoke stream-smoke bench-smoke fleet-smoke serve-load-smoke
+check: test smoke serve-smoke stream-smoke bench-smoke fleet-smoke serve-load-smoke hal-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q $(COV_FLAGS)
@@ -64,6 +64,13 @@ fleet-smoke:
 # collapses, not machine noise).
 serve-load-smoke:
 	$(PYTHON) benchmarks/bench_serve_load.py --smoke
+
+# Real-device ingestion gate: parse the committed dumpsys-thermal fixture
+# (torn entries, placeholder channels, cached-vs-current merge), replay it
+# through `serve --hal-trace` with the trip-point example policy, and score
+# USTA vs. trip-point on the same trace via `hal-compare`.
+hal-smoke:
+	$(PYTHON) -m repro.telemetry.smoke
 
 lint:
 	$(PYTHON) -m ruff check .

@@ -1,0 +1,51 @@
+"""Replay a recorded Android thermal HAL trace through the policy API.
+
+Equivalent CLI::
+
+    repro-usta replay-hal --hal-trace tests/data/hal_dumps --smoke \
+        --model linear_regression --policy examples/trip_point_policy.json
+    repro-usta hal-compare --hal-trace tests/data/hal_dumps --smoke \
+        --model linear_regression
+
+This script does the same three steps in Python: parse the dumps, replay
+them through a session, and print the USTA-vs-trip-point comparison.
+"""
+
+from pathlib import Path
+
+from repro.analysis import ReproductionContext, hal_comparison, render_hal_comparison
+from repro.api.session import open_session
+from repro.api.specs import ManagerSpec, PolicySpec
+from repro.telemetry import describe_hal_trace, hal_telemetry, load_hal_trace
+
+DUMPS = Path(__file__).resolve().parents[1] / "tests" / "data" / "hal_dumps"
+
+
+def main() -> None:
+    # 1. Parse the recorded dumpsys-thermal captures.
+    steps = load_hal_trace(DUMPS)
+    print(describe_hal_trace(steps))
+    print()
+
+    # 2. Replay them through one trip-point session (no predictor needed).
+    telemetry = hal_telemetry(steps)
+    session = open_session(PolicySpec(manager=ManagerSpec("trip-point")))
+    for sample in telemetry:
+        decision = session.feed(sample)
+        cap = "-" if decision.level_cap is None else str(decision.level_cap)
+        print(
+            f"t={sample.time_s:5.1f}s skin={sample.sensor_readings['skin']:5.2f}°C"
+            f" -> cap level {cap}"
+        )
+    print()
+
+    # 3. Score USTA against the trip-point throttler on the same trace.
+    context = ReproductionContext.build(
+        duration_scale=0.02, model_name="linear_regression"
+    )
+    points = hal_comparison(context, telemetry)
+    print(render_hal_comparison(points))
+
+
+if __name__ == "__main__":
+    main()

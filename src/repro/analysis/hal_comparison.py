@@ -1,0 +1,247 @@
+"""USTA vs. the stock trip-point throttler on a replayed real-device trace.
+
+The paper's core claim is that one-size-fits-all thermal management — which
+is exactly what a device's HAL threshold ladder encodes — wastes throughput
+on heat-tolerant users and leaves heat-sensitive ones uncomfortable.  This
+module stages that comparison on *recorded* telemetry: every scheme replays
+the same HAL trace (:mod:`repro.telemetry.replay`), so differences come from
+policy alone.
+
+Because the trace is recorded, the loop is open: a cap cannot cool the
+captured temperatures.  Scoring therefore measures what each scheme *would
+have done*:
+
+* **discomfort** — minutes the recorded skin temperature sat above the
+  user's true comfort limit while the scheme had **no** cap installed
+  (uncovered discomfort: the scheme watched the user overheat and did
+  nothing);
+* **throughput loss** — the time-weighted fraction of the recorded CPU
+  frequency the scheme's caps would have shaved off.
+
+Three schemes per study participant, rendered on the same
+discomfort-vs-throughput axes as the adaptation frontier:
+
+* ``trip-stock`` — the ladder the device shipped with, identical for
+  everyone (snippet 2's SKIN trips);
+* ``trip-user`` — the stock ladder re-anchored per user
+  (:func:`ladder_for_limit`): trip spacing preserved, top trip moved onto
+  the user's comfort limit — the best a trip-point mechanism can do with
+  per-user knowledge;
+* ``usta`` — the paper's controller at the user's limit, predicting skin
+  temperature from the trace's cpu/battery channels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..api.session import PolicySession, open_session
+from ..api.specs import ManagerSpec, PolicySpec
+from ..api.types import TelemetrySample
+from ..telemetry.hal import ThresholdLadder
+from ..telemetry.trip import DEFAULT_SKIN_TRIPS_C
+from ..users.population import paper_population
+from .adaptation import FrontierPoint
+from .report import format_table
+
+__all__ = [
+    "HAL_SCHEMES",
+    "default_skin_ladder",
+    "ladder_for_limit",
+    "user_trip_ladders",
+    "hal_comparison",
+    "render_hal_comparison",
+]
+
+HAL_SCHEMES = ("trip-stock", "trip-user", "usta")
+
+
+def default_skin_ladder() -> ThresholdLadder:
+    """The stock SKIN ladder (snippet 2): trips at [36, 38, 40, 42, 45] °C."""
+    return ThresholdLadder(name="SKIN", hot_thresholds_c=DEFAULT_SKIN_TRIPS_C)
+
+
+def ladder_for_limit(
+    limit_c: float, base: Optional[ThresholdLadder] = None
+) -> ThresholdLadder:
+    """Re-anchor a ladder onto one user's comfort limit.
+
+    The whole ladder shifts so its hottest trip — where the stock policy
+    clamps to the minimum frequency — lands exactly on the user's limit,
+    preserving the trip spacing (the escalation schedule) of the original.
+    This is the paper's per-user knowledge expressed in the only vocabulary
+    a trip-point mechanism has: threshold positions.
+    """
+    base = base if base is not None else default_skin_ladder()
+    top = base.top_trip_c
+    if top is None:
+        raise ValueError(
+            f"ladder {base.name!r} has no finite trip points to anchor "
+            "(all-NaN ladders cannot encode a comfort limit)"
+        )
+    return base.shifted(limit_c - top)
+
+
+def user_trip_ladders(
+    population=None, base: Optional[ThresholdLadder] = None
+) -> Dict[str, ThresholdLadder]:
+    """Per-user re-anchored ladders for the paper's population (+ default).
+
+    Maps each of the 11 comfort settings — the ten study participants plus
+    the 37 °C default user — onto a ladder position via
+    :func:`ladder_for_limit`.
+    """
+    population = population if population is not None else paper_population()
+    return {
+        profile.user_id: ladder_for_limit(profile.skin_limit_c, base=base)
+        for profile in population.with_default()
+    }
+
+
+def _session_for_scheme(
+    scheme: str, profile, context, base: ThresholdLadder
+) -> PolicySession:
+    if scheme == "trip-stock":
+        spec = PolicySpec(
+            manager=ManagerSpec(
+                "trip-point",
+                params={"hot_thresholds_c": list(base.hot_thresholds_c)},
+            )
+        )
+        return open_session(spec)
+    if scheme == "trip-user":
+        ladder = ladder_for_limit(profile.skin_limit_c, base=base)
+        spec = PolicySpec(
+            manager=ManagerSpec(
+                "trip-point",
+                params={"hot_thresholds_c": list(ladder.hot_thresholds_c)},
+            )
+        )
+        return open_session(spec)
+    if scheme == "usta":
+        spec = PolicySpec(
+            manager=ManagerSpec("usta", params={"skin_limit_c": profile.skin_limit_c})
+        )
+        return open_session(spec, predictor=context.predictor)
+    raise ValueError(f"unknown HAL comparison scheme {scheme!r}; known: {HAL_SCHEMES}")
+
+
+def _score_session(
+    session: PolicySession,
+    telemetry: Sequence[TelemetrySample],
+    user_id: str,
+    scheme: str,
+    true_limit_c: float,
+) -> FrontierPoint:
+    """Replay the trace through one session and integrate the two metrics."""
+    times = [sample.time_s for sample in telemetry]
+    # Step i covers [t_i, t_{i+1}); the last step reuses the previous width
+    # (a single-sample trace counts one nominal second).
+    widths = [t1 - t0 for t0, t1 in zip(times, times[1:])]
+    widths.append(widths[-1] if widths else 1.0)
+
+    discomfort_s = 0.0
+    recorded_freq_s = 0.0
+    allowed_freq_s = 0.0
+    for sample, dt in zip(telemetry, widths):
+        decision = session.feed(sample)
+        skin = sample.sensor_readings["skin"]
+        if skin > true_limit_c and not decision.active:
+            discomfort_s += dt
+        allowed = sample.frequency_khz
+        if decision.max_frequency_khz is not None:
+            allowed = min(allowed, decision.max_frequency_khz)
+        recorded_freq_s += sample.frequency_khz * dt
+        allowed_freq_s += allowed * dt
+    loss = 0.0
+    if recorded_freq_s > 0:
+        loss = 1.0 - allowed_freq_s / recorded_freq_s
+    return FrontierPoint(
+        user_id=user_id,
+        scheme=scheme,
+        true_limit_c=true_limit_c,
+        discomfort_minutes=discomfort_s / 60.0,
+        throughput_loss=loss,
+        final_limit_c=session.current_limit_c,
+    )
+
+
+def hal_comparison(
+    context,
+    telemetry: Sequence[TelemetrySample],
+    schemes: Sequence[str] = HAL_SCHEMES,
+    base_ladder: Optional[ThresholdLadder] = None,
+) -> List[FrontierPoint]:
+    """Score USTA against trip-point throttling on one recorded trace.
+
+    Args:
+        context: a :class:`~repro.analysis.context.ReproductionContext` (or
+            anything with ``predictor`` and ``population``); only the USTA
+            scheme consults the predictor.
+        telemetry: the replayed trace — must carry a ``skin`` channel (and
+            ``cpu``/``battery`` for USTA), e.g. from
+            :func:`repro.telemetry.replay.load_hal_telemetry`.
+        schemes: which of :data:`HAL_SCHEMES` to run.
+        base_ladder: the stock ladder (snippet 2's SKIN ladder by default);
+            also the anchor ``trip-user`` re-positions per user.
+
+    Returns one :class:`~repro.analysis.adaptation.FrontierPoint` per
+    (user, scheme), over the ten participants plus the default user.
+    """
+    telemetry = list(telemetry)
+    if not telemetry:
+        raise ValueError("empty telemetry stream: nothing to compare on")
+    if "skin" not in telemetry[0].sensor_readings:
+        channels = ", ".join(sorted(telemetry[0].sensor_readings)) or "none"
+        raise ValueError(
+            "the HAL comparison needs a 'skin' channel in the replayed "
+            f"telemetry (channels present: {channels})"
+        )
+    base = base_ladder if base_ladder is not None else default_skin_ladder()
+    population = getattr(context, "population", None) or paper_population()
+
+    points: List[FrontierPoint] = []
+    for profile in population.with_default():
+        for scheme in schemes:
+            session = _session_for_scheme(scheme, profile, context, base)
+            points.append(
+                _score_session(
+                    session,
+                    telemetry,
+                    user_id=profile.user_id,
+                    scheme=scheme,
+                    true_limit_c=profile.skin_limit_c,
+                )
+            )
+    return points
+
+
+def render_hal_comparison(points: Sequence[FrontierPoint]) -> str:
+    """The per-(user, scheme) table plus per-scheme means."""
+    if not points:
+        raise ValueError("no comparison points to render")
+    header = ["user", "scheme", "true °C", "discomfort min", "thr. loss %"]
+    table = [
+        [
+            p.user_id,
+            p.scheme,
+            f"{p.true_limit_c:.1f}",
+            f"{p.discomfort_minutes:.2f}",
+            f"{100.0 * p.throughput_loss:.1f}",
+        ]
+        for p in points
+    ]
+    lines = [format_table(header, table)]
+    by_scheme: Dict[str, List[FrontierPoint]] = {}
+    for point in points:
+        by_scheme.setdefault(point.scheme, []).append(point)
+    lines.append("")
+    lines.append("scheme means (over the population):")
+    for scheme, group in by_scheme.items():
+        discomfort = sum(p.discomfort_minutes for p in group) / len(group)
+        loss = sum(p.throughput_loss for p in group) / len(group)
+        lines.append(
+            f"  {scheme:>10}: {discomfort:.2f} uncovered-discomfort min, "
+            f"{100.0 * loss:.1f}% throughput loss"
+        )
+    return "\n".join(lines)

@@ -132,10 +132,15 @@ class ComponentRegistry:
 #: Governors by cpufreq name (``repro.governors`` registers the stock five).
 GOVERNORS = ComponentRegistry("governor", autoload_modules=("repro.governors",))
 
-#: Thermal managers by scheme name (``usta``, ``usta-screen``).
+#: Thermal managers by scheme name (``usta``, ``usta-screen``,
+#: ``trip-point``).
 MANAGERS = ComponentRegistry(
     "thermal manager",
-    autoload_modules=("repro.core.usta", "repro.core.screen_aware"),
+    autoload_modules=(
+        "repro.core.usta",
+        "repro.core.screen_aware",
+        "repro.telemetry.trip",
+    ),
 )
 
 #: Run-time predictor builders by kind (``trained``).

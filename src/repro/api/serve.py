@@ -21,11 +21,17 @@ from ..governors import create_governor
 from ..sim.engine import Simulator
 from ..workloads.benchmarks import build_benchmark
 from ..workloads.trace import WorkloadTrace
+from .registry import MANAGERS, UnknownComponentError
 from .session import SessionPool
 from .specs import ManagerSpec, PolicySpec
 from .types import TelemetrySample
 
-__all__ = ["ServeReport", "replay_telemetry", "run_serve"]
+__all__ = [
+    "ServeReport",
+    "per_user_capped_fractions",
+    "replay_telemetry",
+    "run_serve",
+]
 
 
 def replay_telemetry(
@@ -90,6 +96,44 @@ class ServeReport:
         return "\n".join(lines)
 
 
+def manager_requires_predictor(spec: PolicySpec) -> bool:
+    """Whether a policy's manager needs a predictor injected at build time.
+
+    A spec that declares its own predictor recipe resolves it itself, and a
+    registered manager may opt out entirely via a ``requires_predictor =
+    False`` class attribute (the trip-point throttler reads the sensor
+    directly) — forcing the context predictor on those would train a model
+    nobody consults.
+    """
+    if spec.manager is None or spec.manager.predictor is not None:
+        return False
+    try:
+        factory = MANAGERS.get(spec.manager.name)
+    except UnknownComponentError:
+        return True  # let the session build fail with the full spec error
+    return getattr(factory, "requires_predictor", True)
+
+
+def per_user_capped_fractions(pool: SessionPool, session_users) -> Dict[str, float]:
+    """Fraction of each user's *feeds* (not sessions) that held a cap.
+
+    Aggregates raw per-session cap/feed counts so sessions with different
+    feed counts weigh in proportionally — averaging per-session fractions
+    with equal weight mis-reports any user whose sessions consumed unequal
+    telemetry.
+    """
+    feeds: Dict[str, int] = {}
+    caps: Dict[str, int] = {}
+    for session in pool:
+        user_id = session_users[session.session_id]
+        feeds[user_id] = feeds.get(user_id, 0) + session.feed_count
+        caps[user_id] = caps.get(user_id, 0) + session.cap_count
+    return {
+        user_id: (caps[user_id] / count if count else 0.0)
+        for user_id, count in feeds.items()
+    }
+
+
 def run_serve(
     context,
     benchmark: str = "skype",
@@ -98,13 +142,15 @@ def run_serve(
     policy: Optional[PolicySpec] = None,
     seed: Optional[int] = None,
     decision_log=None,
+    telemetry: Optional[List[TelemetrySample]] = None,
 ) -> ServeReport:
     """Stream replayed telemetry through a per-user session population.
 
     Args:
         context: a :class:`~repro.analysis.context.ReproductionContext` (or
             anything with ``predictor``, ``population`` and ``seed``).
-        benchmark: benchmark whose telemetry is replayed.
+        benchmark: benchmark whose telemetry is replayed (ignored when
+            ``telemetry`` is supplied; it remains the report label).
         duration_s: optional benchmark duration override.
         sessions: number of concurrent sessions (users are cycled from the
             ten-participant study population).
@@ -113,23 +159,34 @@ def run_serve(
         seed: workload/platform seed (the context's seed by default).
         decision_log: optional JSONL path the per-step cap decisions drain
             to as the run progresses (the ``serve --stream-to`` sink): one
-            appended line per telemetry step listing the sessions holding an
-            active cap, so a fleet-scale run leaves an audit trail instead
-            of an in-memory log.
+            line per telemetry step listing the sessions holding an active
+            cap, so a fleet-scale run leaves an audit trail instead of an
+            in-memory log.  A fresh run truncates the file (a re-run must
+            not interleave duplicate ``time_s`` lines into an old audit
+            trail) and every line is flushed as it is written, so a crash
+            loses nothing — the same guarantee the socket server's SIGTERM
+            path makes.
+        telemetry: an explicit sample stream to serve instead of simulating
+            ``benchmark`` — recorded device traces
+            (:func:`repro.telemetry.replay.load_hal_telemetry`) enter here.
     """
     if sessions < 1:
         raise ValueError("sessions must be at least 1")
     seed = context.seed if seed is None else seed
     spec = policy if policy is not None else PolicySpec(manager=ManagerSpec("usta"))
 
-    trace = build_benchmark(benchmark, seed=seed, duration_s=duration_s)
-    telemetry = replay_telemetry(trace, seed=seed)
+    if telemetry is None:
+        trace = build_benchmark(benchmark, seed=seed, duration_s=duration_s)
+        telemetry = replay_telemetry(trace, seed=seed)
+    elif not telemetry:
+        raise ValueError("an explicit telemetry stream must not be empty")
 
     # The context predictor is only the fallback; a policy that declares its
     # own predictor recipe keeps it (the recipe builder caches, so the first
-    # session pays the training cost and the rest share the artifact).
+    # session pays the training cost and the rest share the artifact), and a
+    # predictor-less manager (trip-point) gets none at all.
     fallback_predictor = None
-    if spec.manager is not None and spec.manager.predictor is None:
+    if manager_requires_predictor(spec):
         fallback_predictor = context.predictor
 
     pool = SessionPool()
@@ -146,7 +203,10 @@ def run_serve(
     if decision_log is not None:
         path = Path(decision_log)
         path.parent.mkdir(parents=True, exist_ok=True)
-        log_fh = open(path, "a", encoding="utf-8")
+        # "w", not "a": a fresh run owns its audit trail.  Appending here
+        # used to interleave a re-run's lines into the previous run's log,
+        # leaving duplicate time_s entries no reader could tell apart.
+        log_fh = open(path, "w", encoding="utf-8")
         log_path = str(path)
 
     start = time.perf_counter()
@@ -171,20 +231,15 @@ def run_serve(
                     )
                     + "\n"
                 )
+                # Per-line flush: a crashed run keeps its tail, like the
+                # socket server's graceful-shutdown path guarantees.
+                log_fh.flush()
     finally:
         if log_fh is not None:
             log_fh.close()
     elapsed = time.perf_counter() - start
 
-    per_user_feeds: Dict[str, int] = {}
-    per_user_caps: Dict[str, float] = {}
-    for session in pool:
-        user_id = session_users[session.session_id]
-        per_user_feeds[user_id] = per_user_feeds.get(user_id, 0) + 1
-        per_user_caps[user_id] = per_user_caps.get(user_id, 0.0) + session.capped_fraction
-    per_user_capped_fraction = {
-        user_id: per_user_caps[user_id] / per_user_feeds[user_id] for user_id in per_user_feeds
-    }
+    per_user_capped_fraction = per_user_capped_fractions(pool, session_users)
 
     label = spec.label or (
         f"{spec.manager.name}+{spec.governor.name}" if spec.manager else spec.governor.name

@@ -156,6 +156,29 @@ class PolicySession:
         return self._feed_count
 
     @property
+    def cap_count(self) -> int:
+        """Feeds that answered with an active cap since the last reset."""
+        return self._cap_count
+
+    def restore_counters(self, feed_count: int, cap_count: int) -> None:
+        """Reinstall persisted feed/cap counters on a warm-started session.
+
+        A returning user's ``capped_fraction`` (and the service ``stats`` op)
+        must continue from where the previous connection left off instead of
+        silently restarting at zero — this is the restore half of
+        :func:`repro.fleet.state.snapshot_session_state`.
+        """
+        feed_count = int(feed_count)
+        cap_count = int(cap_count)
+        if feed_count < 0 or not 0 <= cap_count <= feed_count:
+            raise ValueError(
+                f"counters must satisfy 0 <= cap_count <= feed_count, got "
+                f"feed_count={feed_count}, cap_count={cap_count}"
+            )
+        self._feed_count = feed_count
+        self._cap_count = cap_count
+
+    @property
     def capped_fraction(self) -> float:
         """Fraction of feeds that answered with an active cap."""
         if self._feed_count == 0:

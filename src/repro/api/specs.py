@@ -245,10 +245,18 @@ class ManagerSpec:
         if resolved is None and self.predictor is not None:
             resolved = self.predictor.build()
         if resolved is None:
-            raise SpecError(
-                f"manager {self.name!r} needs a predictor: inject one via "
-                "build(predictor=...) or set the spec's 'predictor' recipe"
-            )
+            # A registered manager may opt out of the predictor requirement
+            # (class attribute requires_predictor = False): the trip-point
+            # throttler reads the sensor channel directly.
+            try:
+                factory = MANAGERS.get(self.name)
+            except UnknownComponentError as exc:
+                raise SpecError(str(exc)) from exc
+            if getattr(factory, "requires_predictor", True):
+                raise SpecError(
+                    f"manager {self.name!r} needs a predictor: inject one via "
+                    "build(predictor=...) or set the spec's 'predictor' recipe"
+                )
         kwargs = dict(self.params)
         if self.policy is not None:
             kwargs["policy"] = ThrottlePolicy.from_spec(self.policy)

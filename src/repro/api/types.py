@@ -18,6 +18,7 @@ engine can speak the session wire format without import cycles.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
@@ -27,6 +28,14 @@ __all__ = ["TelemetrySample", "CapDecision", "FeedbackEvent"]
 @dataclass(frozen=True)
 class TelemetrySample:
     """One observation of the device, as a policy daemon would see it.
+
+    Every value must be finite.  Real HAL dumps report dead sensor channels
+    as placeholder ``0.0`` and pad threshold ladders with ``NaN``; a NaN (or
+    infinity) that reaches the wire would fold silently into a linear
+    predictor and poison every downstream cap decision, so construction
+    rejects it loudly, naming the channel.  Ingest layers that meet dirty
+    data (:mod:`repro.telemetry.replay`) drop or interpolate *before*
+    building samples.
 
     Attributes:
         time_s: device uptime of the observation.
@@ -40,6 +49,35 @@ class TelemetrySample:
     utilization: float
     frequency_khz: float
     sensor_readings: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (
+            math.isfinite(self.time_s)
+            and math.isfinite(self.utilization)
+            and math.isfinite(self.frequency_khz)
+        ):
+            bad = [
+                name
+                for name, value in (
+                    ("time_s", self.time_s),
+                    ("utilization", self.utilization),
+                    ("frequency_khz", self.frequency_khz),
+                )
+                if not math.isfinite(value)
+            ]
+            raise ValueError(
+                f"telemetry sample has non-finite {', '.join(bad)} "
+                f"(time_s={self.time_s!r}, utilization={self.utilization!r}, "
+                f"frequency_khz={self.frequency_khz!r})"
+            )
+        for channel, value in self.sensor_readings.items():
+            if not math.isfinite(value):
+                raise ValueError(
+                    f"telemetry sample at t={self.time_s}s carries a non-finite "
+                    f"reading on sensor channel {channel!r} ({value!r}); drop "
+                    "or interpolate dead-channel placeholders before the wire "
+                    "(repro.telemetry.replay does this for HAL traces)"
+                )
 
     @classmethod
     def from_step_record(cls, record) -> "TelemetrySample":

@@ -73,12 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all", "sweep", "serve", "adapt", "golden"),
+        choices=EXPERIMENTS
+        + ("all", "sweep", "serve", "adapt", "golden", "replay-hal", "hal-compare"),
         help=(
             "which paper result to regenerate ('sweep' for a population sweep, "
             "'serve' for the online policy-session driver, 'adapt' for the "
             "comfort-limit adaptation convergence report, 'golden' to check or "
-            "--update the committed golden regression files)"
+            "--update the committed golden regression files, 'replay-hal' to "
+            "replay a recorded thermal HAL trace through the session driver, "
+            "'hal-compare' for the USTA-vs-trip-point report on that trace)"
         ),
     )
     parser.add_argument(
@@ -223,7 +226,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="serve: tiny CI-sized configuration (caps --scale and --sessions)",
+        help=(
+            "serve/replay-hal/hal-compare: tiny CI-sized configuration "
+            "(caps --scale and --sessions)"
+        ),
+    )
+    parser.add_argument(
+        "--hal-trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "recorded thermal HAL trace: a directory of dumpsys-thermal *.txt "
+            "dumps (timestamped file names) or a .jsonl trace log.  Required "
+            "by 'replay-hal' and 'hal-compare'; 'serve' accepts it to stream "
+            "the recorded trace instead of simulated telemetry"
+        ),
     )
     return parser
 
@@ -520,6 +537,10 @@ def _run_experiment(name: str, context: ReproductionContext, args: argparse.Name
         return f"Policy sessions — {args.benchmark} × {args.sessions} sessions\n" + _run_serve(
             context, args
         )
+    if name == "replay-hal":
+        return _run_replay_hal(context, args)
+    if name == "hal-compare":
+        return _run_hal_compare(context, args)
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -549,6 +570,9 @@ def _run_serve(context: ReproductionContext, args: argparse.Namespace) -> str:
         decision_log = Path(args.stream_to) / "serve-decisions.jsonl"
     if args.listen is not None:
         return _listen_serve(context, policy, decision_log, args)
+    telemetry = None
+    if args.hal_trace is not None:
+        _, telemetry = _load_hal_trace(args)
     report = run_serve(
         context,
         benchmark=args.benchmark,
@@ -556,12 +580,76 @@ def _run_serve(context: ReproductionContext, args: argparse.Namespace) -> str:
         sessions=args.sessions,
         policy=policy,
         decision_log=decision_log,
+        telemetry=telemetry,
     )
     return report.render()
 
 
+def _load_hal_trace(args: argparse.Namespace):
+    """Load ``--hal-trace`` as (steps, telemetry), or exit with a clear error."""
+    from .telemetry import (
+        HalParseError,
+        HalReplayError,
+        hal_telemetry,
+        load_hal_trace,
+    )
+
+    try:
+        steps = load_hal_trace(args.hal_trace)
+        return steps, hal_telemetry(steps)
+    except (HalParseError, HalReplayError, OSError) as exc:
+        raise SystemExit(f"repro-usta: cannot replay {args.hal_trace!r}: {exc}")
+
+
+def _run_replay_hal(context: ReproductionContext, args: argparse.Namespace) -> str:
+    """Replay a recorded thermal HAL trace through the session driver."""
+    from .api.serve import run_serve
+    from .telemetry import describe_hal_trace
+
+    steps, telemetry = _load_hal_trace(args)
+    decision_log = None
+    if args.stream_to is not None:
+        from pathlib import Path
+
+        decision_log = Path(args.stream_to) / "serve-decisions.jsonl"
+    report = run_serve(
+        context,
+        benchmark=f"hal:{args.hal_trace}",
+        sessions=args.sessions,
+        policy=_load_policy(args),
+        decision_log=decision_log,
+        telemetry=telemetry,
+    )
+    return (
+        f"Recorded HAL trace — {args.hal_trace}\n"
+        + describe_hal_trace(steps)
+        + "\n\n"
+        + report.render()
+    )
+
+
+def _run_hal_compare(context: ReproductionContext, args: argparse.Namespace) -> str:
+    """USTA vs. trip-point throttling on one recorded HAL trace."""
+    from .analysis.hal_comparison import hal_comparison, render_hal_comparison
+    from .telemetry import trace_thresholds
+
+    steps, telemetry = _load_hal_trace(args)
+    ladders = trace_thresholds(steps)
+    base = ladders.get("SKIN")
+    try:
+        points = hal_comparison(context, telemetry, base_ladder=base)
+    except ValueError as exc:
+        raise SystemExit(f"repro-usta hal-compare: {exc}")
+    source = "trace's SKIN ladder" if base is not None else "stock SKIN ladder"
+    return (
+        f"USTA vs. trip-point on {args.hal_trace} (base: {source})\n"
+        + render_hal_comparison(points)
+    )
+
+
 def _listen_serve(context, policy, decision_log, args: argparse.Namespace) -> str:
     """Run the persistent socket front end until a graceful shutdown."""
+    from .api.serve import manager_requires_predictor
     from .api.specs import ManagerSpec, PolicySpec
     from .fleet import PolicyService, SessionStateStore, run_service
 
@@ -575,7 +663,7 @@ def _listen_serve(context, policy, decision_log, args: argparse.Namespace) -> st
         )
     spec = policy if policy is not None else PolicySpec(manager=ManagerSpec("usta"))
     fallback_predictor = None
-    if spec.manager is not None and spec.manager.predictor is None:
+    if manager_requires_predictor(spec):
         fallback_predictor = context.predictor
     state_store = SessionStateStore(args.state_dir) if args.state_dir is not None else None
     service = PolicyService(
@@ -653,12 +741,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.policy is not None and args.experiment not in ("sweep", "serve"):
+    if args.policy is not None and args.experiment not in ("sweep", "serve", "replay-hal"):
         # Refuse rather than silently running the hardcoded schemes under a
         # label the user thinks came from their policy file.
         raise SystemExit(
-            f"repro-usta: --policy only applies to 'sweep' and 'serve', "
-            f"not {args.experiment!r}"
+            f"repro-usta: --policy only applies to 'sweep', 'serve' and "
+            f"'replay-hal', not {args.experiment!r}"
+        )
+    if args.experiment in ("replay-hal", "hal-compare") and args.hal_trace is None:
+        raise SystemExit(
+            f"repro-usta: {args.experiment!r} needs --hal-trace (a directory of "
+            "dumpsys-thermal *.txt dumps or a .jsonl trace log)"
+        )
+    if args.hal_trace is not None and args.experiment not in (
+        "serve",
+        "replay-hal",
+        "hal-compare",
+    ):
+        raise SystemExit(
+            f"repro-usta: --hal-trace only applies to 'serve', 'replay-hal' and "
+            f"'hal-compare', not {args.experiment!r}"
+        )
+    if args.hal_trace is not None and args.listen is not None:
+        raise SystemExit(
+            "repro-usta: --hal-trace replays a recorded trace; the --listen "
+            "socket front end streams live telemetry instead"
         )
     if args.adapter is not None and args.experiment not in ("sweep", "serve", "adapt"):
         raise SystemExit(
@@ -670,10 +777,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"repro-usta: --update/--golden-dir only apply to 'golden', "
             f"not {args.experiment!r}"
         )
-    if args.stream_to is not None and args.experiment not in ("sweep", "table1", "serve"):
+    if args.stream_to is not None and args.experiment not in (
+        "sweep",
+        "table1",
+        "serve",
+        "replay-hal",
+    ):
         raise SystemExit(
-            f"repro-usta: --stream-to only applies to 'sweep', 'table1' and "
-            f"'serve', not {args.experiment!r}"
+            f"repro-usta: --stream-to only applies to 'sweep', 'table1', "
+            f"'serve' and 'replay-hal', not {args.experiment!r}"
         )
     if args.resume and args.stream_to is None:
         raise SystemExit("repro-usta: --resume needs --stream-to")
@@ -710,8 +822,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.experiment == "golden":
         return _run_golden(args)
 
-    if args.experiment == "serve" and args.smoke:
-        # CI-sized serve run: a short trace and a small session population.
+    if args.experiment in ("serve", "replay-hal", "hal-compare") and args.smoke:
+        # CI-sized run: a short trace / small context and a small population.
         args.scale = min(args.scale, 0.05)
         args.sessions = min(args.sessions, 200)
 

@@ -12,6 +12,7 @@ sub-1 °C errors are ignored.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -54,13 +55,45 @@ class PredictionFeatures:
         utilization: float,
         frequency_khz: float,
     ) -> "PredictionFeatures":
-        """Build features from the sensor suite's readings plus CPU state."""
-        return cls(
-            cpu_temp_c=float(sensor_readings["cpu"]),
-            battery_temp_c=float(sensor_readings["battery"]),
+        """Build features from the sensor suite's readings plus CPU state.
+
+        Raises ``ValueError`` naming the offending channel when a required
+        sensor is missing or any input is non-finite — a NaN here would fold
+        silently into the regression and come back as a NaN "prediction" that
+        disables throttling without a trace.
+        """
+        try:
+            cpu = float(sensor_readings["cpu"])
+            battery = float(sensor_readings["battery"])
+        except KeyError as exc:
+            available = ", ".join(sorted(sensor_readings)) or "none"
+            raise ValueError(
+                f"predictor features need sensor channel {exc.args[0]!r} "
+                f"(channels present: {available})"
+            ) from None
+        features = cls(
+            cpu_temp_c=cpu,
+            battery_temp_c=battery,
             utilization=float(utilization),
             frequency_khz=float(frequency_khz),
         )
+        bad = [
+            name
+            for name, value in (
+                ("cpu", features.cpu_temp_c),
+                ("battery", features.battery_temp_c),
+                ("utilization", features.utilization),
+                ("frequency_khz", features.frequency_khz),
+            )
+            if not math.isfinite(value)
+        ]
+        if bad:
+            raise ValueError(
+                f"non-finite predictor feature(s) {', '.join(bad)}: a HAL "
+                "placeholder/NaN reading must be dropped or interpolated "
+                "before prediction, never folded into the model"
+            )
+        return features
 
 
 @dataclass(frozen=True)

@@ -45,6 +45,11 @@ def snapshot_session_state(session) -> Optional[dict]:
             "kind": getattr(adapter, "name", type(adapter).__name__),
             **adapter.snapshot_batch_state(),
         }
+    # The session's lifetime counters travel with the limit: a returning
+    # user's capped_fraction must not silently restart at zero.
+    if state and session.feed_count:
+        state["feeds"] = int(session.feed_count)
+        state["caps"] = int(session.cap_count)
     return state or None
 
 
@@ -54,8 +59,18 @@ def restore_session_state(session, state: dict) -> bool:
     Returns ``True`` when state was applied.  A snapshot taken under a
     different adapter kind than the session's current policy is ignored
     (restoring a tracker's limit into a different strategy would leave the
-    adapter and controller incoherent).
+    adapter and controller incoherent).  On a successful restore the
+    session's feed/cap counters resume from the snapshot too, so
+    ``capped_fraction`` keeps counting across reconnects.
     """
+    applied = _restore_policy_state(session, state)
+    if applied and "feeds" in state:
+        session.restore_counters(state["feeds"], state.get("caps", 0))
+    return applied
+
+
+def _restore_policy_state(session, state: dict) -> bool:
+    """The adapter/limit half of :func:`restore_session_state`."""
     manager = session.manager
     if manager is None or not state:
         return False

@@ -1,0 +1,48 @@
+"""Real-device telemetry ingestion (Android thermal HAL).
+
+Everything this system had ever served was synthetic telemetry replayed from
+the simulator.  This package is the production-facing interface: it parses
+``dumpsys thermal``-style HAL dumps (:mod:`repro.telemetry.hal`), adapts them
+onto the session wire format so recorded device logs replay through
+:class:`~repro.api.session.PolicySession` / ``repro serve``
+(:mod:`repro.telemetry.replay`), and registers the stock trip-point throttler
+those dumps' threshold ladders encode (:mod:`repro.telemetry.trip`) — the
+baseline USTA is compared against on real traces.
+"""
+
+from .hal import (
+    HalParseError,
+    HalTemperature,
+    ThermalHalDump,
+    ThresholdLadder,
+    parse_thermal_dump,
+)
+from .replay import (
+    HAL_CHANNEL_MAP,
+    HalReplayError,
+    HalTraceStep,
+    describe_hal_trace,
+    hal_telemetry,
+    load_hal_telemetry,
+    load_hal_trace,
+    trace_thresholds,
+)
+from .trip import DEFAULT_SKIN_TRIPS_C, TripPointManager
+
+__all__ = [
+    "HalParseError",
+    "HalTemperature",
+    "ThermalHalDump",
+    "ThresholdLadder",
+    "parse_thermal_dump",
+    "HAL_CHANNEL_MAP",
+    "HalReplayError",
+    "HalTraceStep",
+    "describe_hal_trace",
+    "hal_telemetry",
+    "load_hal_telemetry",
+    "load_hal_trace",
+    "trace_thresholds",
+    "DEFAULT_SKIN_TRIPS_C",
+    "TripPointManager",
+]

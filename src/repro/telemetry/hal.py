@@ -1,0 +1,334 @@
+"""Parser for ``dumpsys thermal``-style Android thermal HAL dumps.
+
+A dump (SNIPPETS.md snippet 2; ``adb shell dumpsys thermal`` on a modern
+Android device) interleaves service preamble with three payload sections::
+
+    Thermal Status: 1
+    Cached temperatures:
+        Temperature{mValue=38.1, mType=0, mName=AP, mStatus=0}
+        ...
+    HAL Ready: true
+    Current temperatures from HAL:
+        Temperature{mValue=44.8, mType=0, mName=AP, mStatus=0}
+        ...
+    Temperature static thresholds from HAL:
+        TemperatureThreshold{mType=3, mName=SKIN,
+            mHotThrottlingThresholds=[36.0, 38.0, 40.0, 42.0, 45.0, NaN, NaN],
+            mColdThrottlingThresholds=[NaN, NaN, NaN, NaN, NaN, NaN, NaN]}
+
+Real captures are messy: dead channels report a placeholder ``0.0`` (SUBBAT,
+USB), threshold ladders are ``NaN``-padded to seven severity slots, sensor
+names vary by vendor, and a dump pulled mid-write can truncate an entry.
+:func:`parse_thermal_dump` is therefore *tolerant*: complete entries parse
+into typed records, unknown sensors are kept verbatim, and anything torn is
+skipped with a note in :attr:`ThermalHalDump.warnings` instead of an error.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "SEVERITY_NAMES",
+    "HalParseError",
+    "HalTemperature",
+    "ThresholdLadder",
+    "ThermalHalDump",
+    "parse_thermal_dump",
+]
+
+#: Android ``ThrottlingSeverity`` names; a ladder's slot index is the
+#: severity entered when the sensor crosses that slot's threshold.
+SEVERITY_NAMES = (
+    "NONE",
+    "LIGHT",
+    "MODERATE",
+    "SEVERE",
+    "CRITICAL",
+    "EMERGENCY",
+    "SHUTDOWN",
+)
+
+
+class HalParseError(ValueError):
+    """A dump is beyond salvage (empty, or not HAL-dump-shaped at all)."""
+
+
+@dataclass(frozen=True)
+class HalTemperature:
+    """One ``Temperature{...}`` entry of a dump.
+
+    Attributes:
+        name: HAL sensor name (``SKIN``, ``AP``, ``BAT``, vendor-specific...).
+        value_c: reported temperature; dead channels report exactly ``0.0``.
+        sensor_type: Android ``TemperatureType`` ordinal (``mType``), when
+            present.
+        status: ``ThrottlingSeverity`` ordinal the service attributed to the
+            reading (``mStatus``), 0 = NONE.
+    """
+
+    name: str
+    value_c: float
+    sensor_type: Optional[int] = None
+    status: int = 0
+
+    @property
+    def is_placeholder(self) -> bool:
+        """True for the exact-``0.0`` reading dead HAL channels report."""
+        return self.value_c == 0.0
+
+    @property
+    def is_usable(self) -> bool:
+        """Finite and not the dead-channel placeholder."""
+        return math.isfinite(self.value_c) and not self.is_placeholder
+
+
+@dataclass(frozen=True)
+class ThresholdLadder:
+    """One sensor's ``TemperatureThreshold{...}`` hot-throttling ladder.
+
+    The HAL pads ladders to seven severity slots with ``NaN``; only the
+    finite slots are trip points (snippet 2's SKIN ladder trips at
+    [36, 38, 40, 42, 45] °C, BAT only at severities 5 and 6).
+    """
+
+    name: str
+    hot_thresholds_c: Tuple[float, ...]
+    cold_thresholds_c: Tuple[float, ...] = ()
+    sensor_type: Optional[int] = None
+
+    def finite_trips(self) -> Tuple[Tuple[int, float], ...]:
+        """The real trip points as (severity-slot, threshold °C) pairs."""
+        return tuple(
+            (slot, value)
+            for slot, value in enumerate(self.hot_thresholds_c)
+            if math.isfinite(value)
+        )
+
+    @property
+    def n_trips(self) -> int:
+        """Number of finite hot trip points (0 for an all-NaN ladder)."""
+        return len(self.finite_trips())
+
+    @property
+    def top_trip_c(self) -> Optional[float]:
+        """The hottest finite trip point, or ``None`` for an all-NaN ladder."""
+        trips = self.finite_trips()
+        return trips[-1][1] if trips else None
+
+    def severity_for(self, temp_c: float) -> int:
+        """How many trip points ``temp_c`` has crossed (0 = below them all).
+
+        Note this counts *crossed trips*, not the Android severity-slot
+        ordinal: a ladder whose only finite slots are 5 and 6 (snippet 2's
+        BAT) reports severity 1 after the first crossing.  For throttling
+        that is the quantity that matters — each crossed trip is one more
+        escalation step.
+        """
+        if not math.isfinite(temp_c):
+            raise ValueError(
+                f"severity of ladder {self.name!r} needs a finite temperature, "
+                f"got {temp_c!r}"
+            )
+        return sum(1 for _, value in self.finite_trips() if temp_c >= value)
+
+    def shifted(self, delta_c: float) -> "ThresholdLadder":
+        """The same ladder with every finite trip moved by ``delta_c`` °C.
+
+        NaN padding stays in place, so the severity-slot structure (and
+        therefore trip spacing) is preserved — this is how the paper's
+        per-user comfort limits map onto ladder positions.
+        """
+        if not math.isfinite(delta_c):
+            raise ValueError(f"ladder shift must be finite, got {delta_c!r}")
+        return ThresholdLadder(
+            name=self.name,
+            hot_thresholds_c=tuple(
+                value + delta_c if math.isfinite(value) else value
+                for value in self.hot_thresholds_c
+            ),
+            cold_thresholds_c=self.cold_thresholds_c,
+            sensor_type=self.sensor_type,
+        )
+
+
+@dataclass(frozen=True)
+class ThermalHalDump:
+    """One parsed dump: cached + current temperature blocks and the ladders."""
+
+    cached: Tuple[HalTemperature, ...] = ()
+    current: Tuple[HalTemperature, ...] = ()
+    thresholds: Tuple[ThresholdLadder, ...] = ()
+    thermal_status: Optional[int] = None
+    hal_ready: Optional[bool] = None
+    #: Notes about entries the parser had to skip (truncated/torn lines).
+    warnings: Tuple[str, ...] = ()
+
+    @property
+    def temperatures(self) -> Dict[str, HalTemperature]:
+        """Best reading per sensor name.
+
+        A fresh ``Current temperatures from HAL`` entry supersedes the
+        service's cached copy; within a block, the last entry for a repeated
+        name wins (matching how the service itself overwrites its cache).
+        """
+        merged: Dict[str, HalTemperature] = {}
+        for entry in self.cached:
+            merged[entry.name] = entry
+        for entry in self.current:
+            merged[entry.name] = entry
+        return merged
+
+    def threshold_for(self, name: str) -> Optional[ThresholdLadder]:
+        """The ladder for one sensor name, or ``None``."""
+        for ladder in self.thresholds:
+            if ladder.name == name:
+                return ladder
+        return None
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the dump yielded no readings and no ladders."""
+        return not (self.cached or self.current or self.thresholds)
+
+
+_TEMPERATURE_RE = re.compile(r"Temperature\{([^{}]*)\}")
+_THRESHOLD_RE = re.compile(r"TemperatureThreshold\{(.*)\}")
+_LIST_RE = re.compile(r"(\w+)=\[([^\]]*)\]")
+_FIELD_RE = re.compile(r"(\w+)=([^,\[\]{}]+)")
+
+# Section headers → which block subsequent Temperature{} entries land in.
+_SECTION_HEADERS = (
+    ("cached temperatures", "cached"),
+    ("current temperatures", "current"),
+    ("temperature static thresholds", "thresholds"),
+    ("current cooling devices", "other"),
+)
+
+
+def _parse_float(text: str) -> float:
+    # The HAL prints Java floats: plain decimals plus "NaN"/"Infinity".
+    text = text.strip()
+    lowered = text.lower()
+    if lowered == "nan":
+        return math.nan
+    if lowered in ("infinity", "inf"):
+        return math.inf
+    if lowered in ("-infinity", "-inf"):
+        return -math.inf
+    return float(text)
+
+
+def _parse_fields(body: str) -> Dict[str, str]:
+    return {match.group(1): match.group(2).strip() for match in _FIELD_RE.finditer(body)}
+
+
+def _parse_temperature(body: str) -> HalTemperature:
+    fields = _parse_fields(body)
+    if "mName" not in fields or "mValue" not in fields:
+        raise ValueError(f"entry is missing mName/mValue: {body!r}")
+    sensor_type = fields.get("mType")
+    status = fields.get("mStatus")
+    return HalTemperature(
+        name=fields["mName"],
+        value_c=_parse_float(fields["mValue"]),
+        sensor_type=int(sensor_type) if sensor_type is not None else None,
+        status=int(status) if status is not None else 0,
+    )
+
+
+def _parse_threshold(body: str) -> ThresholdLadder:
+    lists = {match.group(1): match.group(2) for match in _LIST_RE.finditer(body)}
+    fields = _parse_fields(_LIST_RE.sub("", body))
+    if "mName" not in fields or "mHotThrottlingThresholds" not in lists:
+        raise ValueError(f"ladder is missing mName/mHotThrottlingThresholds: {body!r}")
+
+    def values(text: str) -> Tuple[float, ...]:
+        return tuple(_parse_float(item) for item in text.split(",") if item.strip())
+
+    sensor_type = fields.get("mType")
+    return ThresholdLadder(
+        name=fields["mName"],
+        hot_thresholds_c=values(lists["mHotThrottlingThresholds"]),
+        cold_thresholds_c=values(lists.get("mColdThrottlingThresholds", "")),
+        sensor_type=int(sensor_type) if sensor_type is not None else None,
+    )
+
+
+def parse_thermal_dump(text: str) -> ThermalHalDump:
+    """Parse one ``dumpsys thermal`` capture into a :class:`ThermalHalDump`.
+
+    Tolerant by design: every complete ``Temperature{...}`` /
+    ``TemperatureThreshold{...}`` entry is kept (unknown sensor names
+    included), torn entries — e.g. a capture truncated mid-``Temperature{`` —
+    are skipped with a note in :attr:`ThermalHalDump.warnings`.
+
+    Raises:
+        HalParseError: only when the text is empty/blank — a whole-file
+            failure, not a bad entry.
+    """
+    if not text or not text.strip():
+        raise HalParseError("empty thermal HAL dump")
+
+    cached: List[HalTemperature] = []
+    current: List[HalTemperature] = []
+    thresholds: List[ThresholdLadder] = []
+    warnings: List[str] = []
+    thermal_status: Optional[int] = None
+    hal_ready: Optional[bool] = None
+    # Entries before any section header are treated as current readings —
+    # the friendliest reading of a hand-trimmed capture.
+    section = "current"
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        lowered = line.lower()
+        for prefix, name in _SECTION_HEADERS:
+            if lowered.startswith(prefix):
+                section = name
+                break
+        if lowered.startswith("thermal status:"):
+            try:
+                thermal_status = int(line.split(":", 1)[1])
+            except ValueError:
+                warnings.append(f"line {line_no}: unreadable thermal status {line!r}")
+            continue
+        if lowered.startswith("hal ready:"):
+            hal_ready = line.split(":", 1)[1].strip().lower() == "true"
+            continue
+
+        if "TemperatureThreshold{" in line:
+            match = _THRESHOLD_RE.search(line)
+            if match is None:
+                warnings.append(f"line {line_no}: truncated TemperatureThreshold entry")
+                continue
+            try:
+                thresholds.append(_parse_threshold(match.group(1)))
+            except ValueError as exc:
+                warnings.append(f"line {line_no}: {exc}")
+            continue
+        if "Temperature{" in line:
+            match = _TEMPERATURE_RE.search(line)
+            if match is None:
+                warnings.append(f"line {line_no}: truncated Temperature entry")
+                continue
+            try:
+                entry = _parse_temperature(match.group(1))
+            except ValueError as exc:
+                warnings.append(f"line {line_no}: {exc}")
+                continue
+            (cached if section == "cached" else current).append(entry)
+
+    return ThermalHalDump(
+        cached=tuple(cached),
+        current=tuple(current),
+        thresholds=tuple(thresholds),
+        thermal_status=thermal_status,
+        hal_ready=hal_ready,
+        warnings=tuple(warnings),
+    )

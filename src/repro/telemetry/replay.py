@@ -1,0 +1,369 @@
+"""Replay recorded thermal HAL dumps as online telemetry.
+
+The bridge from :mod:`repro.telemetry.hal` to the session wire format: HAL
+sensor names map onto the predictor's channels (``SKIN→skin``, ``AP→cpu``,
+``BAT→battery``), placeholder ``0.0`` readings from dead channels are
+dropped, and gaps in a channel are linearly interpolated across the trace —
+so the resulting :class:`~repro.api.types.TelemetrySample` stream is clean
+enough for :class:`~repro.api.session.PolicySession` / ``repro serve``, which
+(deliberately) reject non-finite readings at the wire.
+
+Two capture layouts load through :func:`load_hal_trace`:
+
+* a directory of ``*.txt`` dumps, one ``dumpsys thermal`` capture per file;
+  a trailing number in the file name is its timestamp in seconds
+  (``dump_0012.txt`` → t=12 s), otherwise files are spaced
+  ``sample_period_s`` apart in sorted order;
+* a ``.jsonl`` trace log, one object per line:
+  ``{"time_s": 12.0, "utilization": 0.8, "frequency_khz": 1512000,
+  "dump": "<raw dumpsys text>"}`` (or ``"sensors": {"SKIN": 39.5, ...}``
+  with already-extracted readings).
+
+HAL dumps carry no CPU utilization or frequency, so directory traces take
+constant defaults (documented below) unless the JSONL layout supplies them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..api.types import TelemetrySample
+from .hal import HalTemperature, ThermalHalDump, ThresholdLadder, parse_thermal_dump
+
+__all__ = [
+    "HAL_CHANNEL_MAP",
+    "REQUIRED_CHANNELS",
+    "DEFAULT_UTILIZATION",
+    "DEFAULT_FREQUENCY_KHZ",
+    "HalReplayError",
+    "HalTraceStep",
+    "load_hal_trace",
+    "hal_telemetry",
+    "load_hal_telemetry",
+    "trace_thresholds",
+    "describe_hal_trace",
+]
+
+#: HAL sensor name → predictor channel.  Names not listed here map to their
+#: lowercased form (``PA`` → ``pa``) and ride along as extra channels.
+HAL_CHANNEL_MAP: Dict[str, str] = {
+    "SKIN": "skin",
+    "AP": "cpu",
+    "BAT": "battery",
+    "SCREEN": "screen",
+}
+
+#: Channels the USTA predictor cannot run without.
+REQUIRED_CHANNELS: Tuple[str, ...] = ("cpu", "battery")
+
+#: CPU-state defaults for dump-directory traces (HAL dumps carry neither):
+#: a busy foreground workload at the Nexus 4 top frequency.
+DEFAULT_UTILIZATION = 0.8
+DEFAULT_FREQUENCY_KHZ = 1_512_000.0
+
+_TRAILING_NUMBER_RE = re.compile(r"(\d+(?:\.\d+)?)$")
+
+
+class HalReplayError(ValueError):
+    """A recorded trace cannot be replayed (missing channels, no dumps...)."""
+
+
+@dataclass(frozen=True)
+class HalTraceStep:
+    """One timestamped capture of a recorded trace.
+
+    Attributes:
+        time_s: capture timestamp.
+        dump: the parsed HAL dump, when the step carried raw dump text.
+        sensors: raw HAL-name → °C readings (extracted from ``dump`` or
+            supplied directly by a JSONL line).
+        utilization / frequency_khz: CPU state at the capture (defaults for
+            dump-directory traces, which record neither).
+        source: file (or ``file:line``) the step came from, for error text.
+    """
+
+    time_s: float
+    sensors: Mapping[str, float] = field(default_factory=dict)
+    dump: Optional[ThermalHalDump] = None
+    utilization: float = DEFAULT_UTILIZATION
+    frequency_khz: float = DEFAULT_FREQUENCY_KHZ
+    source: str = "?"
+
+
+def _usable_sensors(dump: ThermalHalDump) -> Dict[str, float]:
+    """Best per-sensor readings of a dump, placeholders and NaN dropped."""
+    return {
+        name: entry.value_c
+        for name, entry in dump.temperatures.items()
+        if entry.is_usable
+    }
+
+
+def _step_from_dump(
+    text: str, time_s: float, source: str, utilization: float, frequency_khz: float
+) -> HalTraceStep:
+    dump = parse_thermal_dump(text)
+    return HalTraceStep(
+        time_s=time_s,
+        sensors=_usable_sensors(dump),
+        dump=dump,
+        utilization=utilization,
+        frequency_khz=frequency_khz,
+        source=source,
+    )
+
+
+def _load_dump_directory(
+    directory: Path,
+    sample_period_s: float,
+    utilization: float,
+    frequency_khz: float,
+) -> List[HalTraceStep]:
+    files = sorted(directory.glob("*.txt"))
+    if not files:
+        raise HalReplayError(f"no *.txt HAL dumps in {directory}")
+    stamped: List[Tuple[float, Path]] = []
+    matched = 0
+    for index, path in enumerate(files):
+        match = _TRAILING_NUMBER_RE.search(path.stem)
+        if match is not None:
+            stamped.append((float(match.group(1)), path))
+            matched += 1
+        else:
+            stamped.append((index * sample_period_s, path))
+    if matched != len(files):
+        # Mixed or absent numbering: fall back to uniform spacing for all.
+        stamped = [(index * sample_period_s, path) for index, path in enumerate(files)]
+    stamped.sort(key=lambda item: (item[0], item[1].name))
+    return [
+        _step_from_dump(
+            path.read_text(encoding="utf-8"),
+            time_s=time_s,
+            source=path.name,
+            utilization=utilization,
+            frequency_khz=frequency_khz,
+        )
+        for time_s, path in stamped
+    ]
+
+
+def _load_jsonl(
+    path: Path,
+    sample_period_s: float,
+    utilization: float,
+    frequency_khz: float,
+) -> List[HalTraceStep]:
+    steps: List[HalTraceStep] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            source = f"{path.name}:{line_no}"
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise HalReplayError(f"{source}: invalid JSON: {exc}") from exc
+            if not isinstance(record, Mapping):
+                raise HalReplayError(f"{source}: expected an object per line")
+            time_s = float(record.get("time_s", len(steps) * sample_period_s))
+            step_util = float(record.get("utilization", utilization))
+            step_freq = float(record.get("frequency_khz", frequency_khz))
+            if "dump" in record:
+                steps.append(
+                    _step_from_dump(
+                        record["dump"], time_s, source, step_util, step_freq
+                    )
+                )
+            elif "sensors" in record:
+                sensors = {
+                    str(name): float(value)
+                    for name, value in record["sensors"].items()
+                }
+                steps.append(
+                    HalTraceStep(
+                        time_s=time_s,
+                        sensors={
+                            name: value
+                            for name, value in sensors.items()
+                            if math.isfinite(value) and value != 0.0
+                        },
+                        utilization=step_util,
+                        frequency_khz=step_freq,
+                        source=source,
+                    )
+                )
+            else:
+                raise HalReplayError(
+                    f"{source}: a trace line needs 'dump' (raw dumpsys text) "
+                    "or 'sensors' (name -> °C readings)"
+                )
+    if not steps:
+        raise HalReplayError(f"no trace lines in {path}")
+    return steps
+
+
+def load_hal_trace(
+    path,
+    sample_period_s: float = 1.0,
+    utilization: float = DEFAULT_UTILIZATION,
+    frequency_khz: float = DEFAULT_FREQUENCY_KHZ,
+) -> List[HalTraceStep]:
+    """Load a recorded HAL trace (dump directory or ``.jsonl`` log).
+
+    Steps come back sorted by time.  See the module docstring for the two
+    layouts and the CPU-state defaults.
+    """
+    path = Path(path)
+    if path.is_dir():
+        steps = _load_dump_directory(path, sample_period_s, utilization, frequency_khz)
+    elif path.is_file():
+        steps = _load_jsonl(path, sample_period_s, utilization, frequency_khz)
+    else:
+        raise HalReplayError(f"no HAL trace at {path}")
+    return sorted(steps, key=lambda step: step.time_s)
+
+
+def _channel_name(hal_name: str) -> str:
+    return HAL_CHANNEL_MAP.get(hal_name, hal_name.lower())
+
+
+def _interpolate_column(
+    times: Sequence[float], values: List[float]
+) -> List[float]:
+    """Fill NaN holes by linear interpolation over time (edges extend)."""
+    known = [(t, v) for t, v in zip(times, values) if math.isfinite(v)]
+    if not known:
+        return values
+    filled: List[float] = []
+    for t, v in zip(times, values):
+        if math.isfinite(v):
+            filled.append(v)
+            continue
+        before = [(kt, kv) for kt, kv in known if kt <= t]
+        after = [(kt, kv) for kt, kv in known if kt >= t]
+        if before and after:
+            (t0, v0), (t1, v1) = before[-1], after[0]
+            if t1 == t0:
+                filled.append(v0)
+            else:
+                filled.append(v0 + (v1 - v0) * (t - t0) / (t1 - t0))
+        elif before:
+            filled.append(before[-1][1])
+        else:
+            filled.append(after[0][1])
+    return filled
+
+
+def hal_telemetry(
+    steps: Sequence[HalTraceStep], interpolate: bool = True
+) -> List[TelemetrySample]:
+    """Adapt trace steps onto the session wire format.
+
+    HAL names map through :data:`HAL_CHANNEL_MAP` (unknown names keep their
+    lowercased form).  With ``interpolate`` (the default), a channel that is
+    missing from some steps — a dead placeholder in one dump, alive in the
+    next — is filled by linear interpolation over time, because the wire
+    types reject non-finite readings by design.  A required channel
+    (:data:`REQUIRED_CHANNELS`) that never reports a usable value raises
+    :class:`HalReplayError` naming the channel.
+    """
+    if not steps:
+        raise HalReplayError("empty HAL trace: nothing to replay")
+    times = [step.time_s for step in steps]
+    columns: Dict[str, List[float]] = {}
+    for index, step in enumerate(steps):
+        for hal_name, value in step.sensors.items():
+            channel = _channel_name(hal_name)
+            column = columns.setdefault(channel, [math.nan] * len(steps))
+            column[index] = value
+
+    for channel in REQUIRED_CHANNELS:
+        if channel not in columns:
+            hal_names = sorted(
+                name for name in HAL_CHANNEL_MAP if HAL_CHANNEL_MAP[name] == channel
+            )
+            raise HalReplayError(
+                f"recorded trace never reports channel {channel!r} "
+                f"(HAL sensor {'/'.join(hal_names)}); the predictor cannot "
+                f"run without it — sensors seen: "
+                f"{sorted(set().union(*(s.sensors for s in steps))) or 'none'}"
+            )
+
+    samples: List[TelemetrySample] = []
+    for channel, column in columns.items():
+        if interpolate:
+            columns[channel] = _interpolate_column(times, column)
+        elif any(not math.isfinite(v) for v in column):
+            holes = sum(1 for v in column if not math.isfinite(v))
+            raise HalReplayError(
+                f"channel {channel!r} has {holes} missing reading(s) and "
+                "interpolation is off; pass interpolate=True or repair the trace"
+            )
+    for index, step in enumerate(steps):
+        samples.append(
+            TelemetrySample(
+                time_s=step.time_s,
+                utilization=step.utilization,
+                frequency_khz=step.frequency_khz,
+                sensor_readings={
+                    channel: column[index] for channel, column in columns.items()
+                },
+            )
+        )
+    return samples
+
+
+def load_hal_telemetry(path, **kwargs) -> List[TelemetrySample]:
+    """``hal_telemetry(load_hal_trace(path))`` in one call.
+
+    Keyword arguments split between the two: ``interpolate`` goes to
+    :func:`hal_telemetry`, the rest to :func:`load_hal_trace`.
+    """
+    interpolate = kwargs.pop("interpolate", True)
+    return hal_telemetry(load_hal_trace(path, **kwargs), interpolate=interpolate)
+
+
+def trace_thresholds(steps: Sequence[HalTraceStep]) -> Dict[str, ThresholdLadder]:
+    """The threshold ladders a trace carries (first dump that reports each)."""
+    ladders: Dict[str, ThresholdLadder] = {}
+    for step in steps:
+        if step.dump is None:
+            continue
+        for ladder in step.dump.thresholds:
+            ladders.setdefault(ladder.name, ladder)
+    return ladders
+
+
+def describe_hal_trace(steps: Sequence[HalTraceStep]) -> str:
+    """Human-readable summary of a loaded trace (the ``replay-hal`` header)."""
+    if not steps:
+        return "empty HAL trace"
+    ranges: Dict[str, Tuple[float, float]] = {}
+    for step in steps:
+        for hal_name, value in step.sensors.items():
+            low, high = ranges.get(hal_name, (value, value))
+            ranges[hal_name] = (min(low, value), max(high, value))
+    duration = steps[-1].time_s - steps[0].time_s
+    lines = [
+        f"{len(steps)} capture(s) spanning {duration:.1f}s "
+        f"(t={steps[0].time_s:.1f}s .. {steps[-1].time_s:.1f}s)",
+        f"{'sensor':>8} {'channel':>8} {'min °C':>8} {'max °C':>8}",
+    ]
+    for hal_name in sorted(ranges):
+        low, high = ranges[hal_name]
+        lines.append(
+            f"{hal_name:>8} {_channel_name(hal_name):>8} {low:>8.1f} {high:>8.1f}"
+        )
+    ladders = trace_thresholds(steps)
+    for name in sorted(ladders):
+        trips = ", ".join(f"{value:.1f}" for _, value in ladders[name].finite_trips())
+        lines.append(f"ladder {name}: trips at [{trips}] °C")
+    warned = sum(len(step.dump.warnings) for step in steps if step.dump is not None)
+    if warned:
+        lines.append(f"({warned} torn entr(ies) skipped during parsing)")
+    return "\n".join(lines)

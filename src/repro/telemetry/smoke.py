@@ -1,0 +1,161 @@
+"""HAL-replay smoke: parse the committed dump fixture and replay it end to end.
+
+What ``make hal-smoke`` (and CI via ``make check``) executes::
+
+    python -m repro.telemetry.smoke
+
+The scenario, end to end:
+
+1. parse ``tests/data/hal_dumps/`` (six anonymized ``dumpsys thermal``
+   captures, one deliberately torn) and check the parser's merge,
+   placeholder and interpolation behaviour against known values;
+2. run ``repro-usta serve --hal-trace`` in-process with the committed
+   trip-point example policy and require every session to cap (the trace
+   crosses the stock 36 °C SKIN trip);
+3. run ``repro-usta hal-compare --hal-trace`` in-process and require the
+   USTA-vs-trip-point report to score all three schemes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import math
+import sys
+from pathlib import Path
+
+from .replay import hal_telemetry, load_hal_trace, trace_thresholds
+
+#: Repo-root-relative locations of the committed fixtures.
+_ROOT = Path(__file__).resolve().parents[3]
+DUMP_DIR = _ROOT / "tests" / "data" / "hal_dumps"
+TRIP_POLICY = _ROOT / "examples" / "trip_point_policy.json"
+
+
+def check_fixture(failures: list) -> None:
+    """Direct-parse assertions on the committed dump directory."""
+    steps = load_hal_trace(DUMP_DIR)
+    if len(steps) != 6:
+        failures.append(f"expected 6 captures in {DUMP_DIR}, parsed {len(steps)}")
+        return
+    times = [step.time_s for step in steps]
+    if times != [0.0, 10.0, 20.0, 30.0, 40.0, 50.0]:
+        failures.append(f"filename timestamps misparsed: {times}")
+
+    # dump_0020 drops SKIN from the current block: the cached reading must win.
+    skin_20 = steps[2].sensors.get("SKIN")
+    if skin_20 != 38.3:
+        failures.append(f"cached-SKIN fallback broken: got {skin_20!r}, want 38.3")
+    # dump_0030 reports the SKIN placeholder 0.0 in both blocks: the channel
+    # must be *absent* that step (interpolated later), never a literal 0.0.
+    if "SKIN" in steps[3].sensors:
+        failures.append("placeholder 0.0 SKIN reading leaked into step sensors")
+    # dump_0050 carries a torn USB Temperature line: a warning, not an error.
+    if not any("truncated" in w for w in steps[5].dump.warnings):
+        failures.append("torn Temperature entry did not produce a parser warning")
+
+    ladders = trace_thresholds(steps)
+    skin_ladder = ladders.get("SKIN")
+    if skin_ladder is None or skin_ladder.n_trips != 5:
+        failures.append(f"SKIN threshold ladder misparsed: {skin_ladder!r}")
+
+    telemetry = hal_telemetry(steps)
+    if len(telemetry) != 6:
+        failures.append(f"replay produced {len(telemetry)} samples, want 6")
+        return
+    # The t=30 hole sits between 38.3 (t=20) and 41.8 (t=40) -> 40.05.
+    skin_30 = telemetry[3].sensor_readings["skin"]
+    if not math.isclose(skin_30, 40.05, abs_tol=1e-9):
+        failures.append(f"interpolated SKIN at t=30 is {skin_30}, want 40.05")
+    if any(
+        not math.isfinite(v)
+        for sample in telemetry
+        for v in sample.sensor_readings.values()
+    ):
+        failures.append("non-finite reading survived into wire telemetry")
+    print(
+        f"hal-smoke: parsed {len(steps)} captures "
+        f"({sum(len(s.dump.warnings) for s in steps)} warning(s)), "
+        f"interpolated SKIN@30s={skin_30:.2f}°C"
+    )
+
+
+def run_cli(argv: list) -> str:
+    """Run the repro CLI in-process, returning its stdout (raises on failure)."""
+    from repro.cli import main as cli_main
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = cli_main(argv)
+    if code != 0:
+        raise RuntimeError(f"repro-usta {argv} exited {code}")
+    return buffer.getvalue()
+
+
+def check_replay_serve(failures: list) -> None:
+    """``serve --hal-trace`` with the trip-point example policy."""
+    output = run_cli(
+        [
+            "serve",
+            "--hal-trace",
+            str(DUMP_DIR),
+            "--policy",
+            str(TRIP_POLICY),
+            "--sessions",
+            "24",
+            "--smoke",
+            "--scale",
+            "0.02",
+            "--model",
+            "linear_regression",
+        ]
+    )
+    # The trace crosses the stock 36 °C trip, so every session must cap.
+    if "sessions ever capped: 24/24" not in output:
+        failures.append(f"serve --hal-trace did not cap all sessions:\n{output}")
+    else:
+        print("hal-smoke: serve --hal-trace capped 24/24 trip-point sessions")
+
+
+def check_hal_compare(failures: list) -> None:
+    """``hal-compare --hal-trace``: all three schemes scored for every user."""
+    output = run_cli(
+        [
+            "hal-compare",
+            "--hal-trace",
+            str(DUMP_DIR),
+            "--smoke",
+            "--scale",
+            "0.02",
+            "--model",
+            "linear_regression",
+        ]
+    )
+    missing = [s for s in ("trip-stock", "trip-user", "usta") if s not in output]
+    if missing:
+        failures.append(f"hal-compare output is missing scheme(s) {missing}")
+    else:
+        print("hal-smoke: hal-compare scored trip-stock/trip-user/usta")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.parse_args(argv)
+
+    failures: list = []
+    check_fixture(failures)
+    if not failures:
+        check_replay_serve(failures)
+        check_hal_compare(failures)
+
+    if failures:
+        for failure in failures:
+            print(f"hal-smoke: FAIL - {failure}")
+        return 1
+    print("hal-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

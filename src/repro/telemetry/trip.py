@@ -1,0 +1,142 @@
+"""The stock trip-point throttler encoded by HAL threshold ladders.
+
+This is the baseline USTA is measured against on real traces: no predictor,
+no per-user comfort model — just the device's ``TemperatureThreshold`` ladder
+(:class:`~repro.telemetry.hal.ThresholdLadder`).  Each trip point the sensor
+crosses escalates the throttle by ``levels_per_trip`` frequency levels;
+crossing the last trip clamps to the minimum level (the HAL's
+CRITICAL/SHUTDOWN behaviour, minus the shutdown).
+
+Registered as thermal manager ``"trip-point"``, so it drops into policy
+specs declaratively::
+
+    {"governor": "ondemand",
+     "manager": {"name": "trip-point",
+                 "params": {"hot_thresholds_c": [36, 38, 40, 42, 45]}}}
+
+Unlike every other registered manager it needs no predictor
+(``requires_predictor = False``): it reads the sensor directly, exactly like
+the in-kernel throttler it models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+from ..api.registry import register_manager
+from ..device.freq_table import FrequencyTable, nexus4_frequency_table
+from ..sim.engine import ManagerDecision
+from .hal import ThresholdLadder
+
+__all__ = ["DEFAULT_SKIN_TRIPS_C", "TripPointManager"]
+
+#: Snippet 2's stock SKIN ladder — what an unconfigured device ships.
+DEFAULT_SKIN_TRIPS_C = (36.0, 38.0, 40.0, 42.0, 45.0)
+
+
+@register_manager("trip-point")
+class TripPointManager:
+    """Severity-ladder frequency throttler (the HAL's stock policy).
+
+    Args:
+        predictor: accepted (and ignored) for registry-call uniformity —
+            trip-point throttling needs no model.
+        hot_thresholds_c: the ladder's hot trip points, ascending; ``None``
+            or NaN entries are severity-slot padding, exactly as the HAL
+            prints them.  Defaults to :data:`DEFAULT_SKIN_TRIPS_C`.  An
+            all-NaN ladder is legal and never throttles (dumps show such
+            ladders for sensors the vendor left unconfigured).
+        sensor: telemetry channel the ladder watches (``"skin"``).
+        levels_per_trip: frequency levels shed per crossed trip point.
+        table: platform frequency table.
+        ladder_name: label for the ladder (error text, introspection).
+    """
+
+    name = "trip-point"
+    #: ManagerSpec.build contract: no predictor required (or used).
+    requires_predictor = False
+
+    def __init__(
+        self,
+        predictor=None,
+        hot_thresholds_c: Optional[Sequence[Optional[float]]] = None,
+        sensor: str = "skin",
+        levels_per_trip: int = 2,
+        table: Optional[FrequencyTable] = None,
+        ladder_name: str = "SKIN",
+    ):
+        if hot_thresholds_c is None:
+            hot_thresholds_c = DEFAULT_SKIN_TRIPS_C
+        thresholds = tuple(
+            math.nan if value is None else float(value) for value in hot_thresholds_c
+        )
+        finite = [value for value in thresholds if math.isfinite(value)]
+        if any(b <= a for a, b in zip(finite, finite[1:])):
+            raise ValueError(
+                f"trip points must be strictly ascending, got {finite}"
+            )
+        if levels_per_trip < 1:
+            raise ValueError("levels_per_trip must be at least 1")
+        if not sensor:
+            raise ValueError("sensor channel must be a non-empty string")
+        self.ladder = ThresholdLadder(name=ladder_name, hot_thresholds_c=thresholds)
+        self.sensor = sensor
+        self.levels_per_trip = int(levels_per_trip)
+        self.table = table if table is not None else nexus4_frequency_table()
+        self._current_severity = 0
+
+    @classmethod
+    def from_ladder(cls, ladder: ThresholdLadder, **kwargs) -> "TripPointManager":
+        """Build the throttler a parsed dump's ladder encodes."""
+        kwargs.setdefault("ladder_name", ladder.name)
+        return cls(hot_thresholds_c=ladder.hot_thresholds_c, **kwargs)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def current_severity(self) -> int:
+        """Crossed-trip count of the last observation (0 before any feed)."""
+        return self._current_severity
+
+    def cap_for_temperature(self, temp_c: float) -> Optional[int]:
+        """The level cap the ladder dictates at one sensor temperature."""
+        severity = self.ladder.severity_for(temp_c)
+        if severity == 0:
+            return None
+        if severity >= self.ladder.n_trips:
+            return self.table.min_level
+        return self.table.clamp_level(
+            self.table.max_level - self.levels_per_trip * severity
+        )
+
+    # -- ThermalManager protocol ------------------------------------------------
+
+    def observe(
+        self,
+        time_s: float,
+        sensor_readings: Mapping[str, float],
+        utilization: float,
+        frequency_khz: float,
+    ) -> ManagerDecision:
+        """Compare the watched sensor against the ladder; no state, no model."""
+        try:
+            reading = sensor_readings[self.sensor]
+        except KeyError:
+            available = ", ".join(sorted(sensor_readings)) or "none"
+            raise ValueError(
+                f"trip-point ladder {self.ladder.name!r} watches channel "
+                f"{self.sensor!r}, which the telemetry does not carry "
+                f"(channels: {available})"
+            ) from None
+        if not math.isfinite(reading):
+            raise ValueError(
+                f"trip-point ladder {self.ladder.name!r} got a non-finite "
+                f"{self.sensor!r} reading ({reading!r}) at t={time_s}s"
+            )
+        self._current_severity = self.ladder.severity_for(reading)
+        return ManagerDecision(level_cap=self.cap_for_temperature(reading))
+
+    def reset(self) -> None:
+        """Trip-point throttling is stateless; only the severity echo clears."""
+        self._current_severity = 0

@@ -44,7 +44,7 @@ class TestRegistries:
             "powersave",
             "userspace",
         }
-        assert set(MANAGERS.names()) == {"usta", "usta-screen"}
+        assert set(MANAGERS.names()) == {"usta", "usta-screen", "trip-point"}
         assert "trained" in PREDICTORS.names()
 
     def test_unknown_name_suggests_close_match(self):

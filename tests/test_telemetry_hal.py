@@ -1,0 +1,347 @@
+"""Real-device telemetry: HAL dump parsing, trace replay, trip-point manager."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.hal_comparison import (
+    hal_comparison,
+    ladder_for_limit,
+    render_hal_comparison,
+    user_trip_ladders,
+)
+from repro.api.session import SessionPool, open_session
+from repro.api.specs import ManagerSpec, PolicySpec, SpecError
+from repro.device.freq_table import nexus4_frequency_table
+from repro.telemetry import (
+    DEFAULT_SKIN_TRIPS_C,
+    HalParseError,
+    HalReplayError,
+    ThresholdLadder,
+    TripPointManager,
+    describe_hal_trace,
+    hal_telemetry,
+    load_hal_trace,
+    parse_thermal_dump,
+    trace_thresholds,
+)
+TABLE = nexus4_frequency_table()
+
+DUMP = """\
+IsStatusOverride: false
+Thermal Status: 1
+Cached temperatures:
+\tTemperature{mValue=0.0, mType=2, mName=SUBBAT, mStatus=0}
+\tTemperature{mValue=37.2, mType=3, mName=SKIN, mStatus=0}
+\tTemperature{mValue=44.0, mType=0, mName=AP, mStatus=0}
+HAL Ready: true
+Current temperatures from HAL:
+\tTemperature{mValue=45.1, mType=0, mName=AP, mStatus=0}
+\tTemperature{mValue=31.5, mType=2, mName=BAT, mStatus=0}
+\tTemperature{mValue=38.8, mType=9, mName=NPU, mStatus=0}
+Current cooling devices from HAL:
+Temperature static thresholds from HAL:
+\tTemperatureThreshold{mType=3, mName=SKIN, mHotThrottlingThresholds=[36.0, 38.0, 40.0, 42.0, 45.0, NaN, NaN], mColdThrottlingThresholds=[NaN, NaN, NaN, NaN, NaN, NaN, NaN]}
+\tTemperatureThreshold{mType=2, mName=BAT, mHotThrottlingThresholds=[NaN, NaN, NaN, NaN, NaN, 55.0, 85.0], mColdThrottlingThresholds=[NaN, NaN, NaN, NaN, NaN, NaN, NaN]}
+"""
+
+
+class TestParser:
+    def test_parses_cached_and_current_blocks(self):
+        dump = parse_thermal_dump(DUMP)
+        assert dump.thermal_status == 1
+        assert dump.hal_ready is True
+        assert {t.name for t in dump.cached} == {"SUBBAT", "SKIN", "AP"}
+        assert {t.name for t in dump.current} == {"AP", "BAT", "NPU"}
+        assert not dump.warnings
+
+    def test_current_reading_wins_over_cached(self):
+        dump = parse_thermal_dump(DUMP)
+        merged = dump.temperatures
+        assert merged["AP"].value_c == 45.1  # current 45.1 beats cached 44.0
+        assert merged["SKIN"].value_c == 37.2  # cached-only channel survives
+
+    def test_placeholder_and_unknown_sensors_are_kept_but_flagged(self):
+        dump = parse_thermal_dump(DUMP)
+        subbat = dump.temperatures["SUBBAT"]
+        assert subbat.is_placeholder and not subbat.is_usable
+        # Unknown sensor names (NPU) must pass through untouched, not crash.
+        assert dump.temperatures["NPU"].is_usable
+
+    def test_threshold_ladder_nan_padding(self):
+        dump = parse_thermal_dump(DUMP)
+        skin = dump.threshold_for("SKIN")
+        assert skin.n_trips == 5
+        assert [v for _, v in skin.finite_trips()] == list(DEFAULT_SKIN_TRIPS_C)
+        assert skin.top_trip_c == 45.0
+        bat = dump.threshold_for("BAT")
+        assert bat.n_trips == 2  # NaN-led ladder: only the last two slots real
+
+    def test_truncated_temperature_entry_warns_but_parses_rest(self):
+        torn = DUMP.replace(
+            "Temperature{mValue=31.5, mType=2, mName=BAT, mStatus=0}",
+            "Temperature{mValue=31.5, mType=2, mName=BAT",
+        )
+        dump = parse_thermal_dump(torn)
+        assert any("truncated" in w for w in dump.warnings)
+        assert "BAT" not in {t.name for t in dump.current}
+        assert dump.temperatures["AP"].value_c == 45.1  # rest of block intact
+
+    def test_empty_dump_is_an_error(self):
+        with pytest.raises(HalParseError):
+            parse_thermal_dump("   \n  ")
+
+    def test_severity_counts_crossed_trips(self):
+        ladder = ThresholdLadder("SKIN", DEFAULT_SKIN_TRIPS_C)
+        assert ladder.severity_for(35.0) == 0
+        assert ladder.severity_for(36.0) == 1
+        assert ladder.severity_for(41.9) == 3
+        assert ladder.severity_for(99.0) == 5
+        with pytest.raises(ValueError, match="finite"):
+            ladder.severity_for(float("nan"))
+
+    def test_all_nan_ladder_never_trips(self):
+        ladder = ThresholdLadder("DEAD", (float("nan"),) * 7)
+        assert ladder.n_trips == 0
+        assert ladder.severity_for(500.0) == 0
+
+    def test_shifted_moves_finite_slots_only(self):
+        ladder = ThresholdLadder("SKIN", (36.0, float("nan"), 45.0))
+        shifted = ladder.shifted(-2.0)
+        assert shifted.hot_thresholds_c[0] == 34.0
+        assert math.isnan(shifted.hot_thresholds_c[1])
+        assert shifted.top_trip_c == 43.0
+
+
+class TestReplay:
+    @pytest.fixture(scope="class")
+    def fixture_dir(self):
+        import pathlib
+
+        return pathlib.Path(__file__).parent / "data" / "hal_dumps"
+
+    def test_directory_timestamps_from_filenames(self, fixture_dir):
+        steps = load_hal_trace(fixture_dir)
+        assert [s.time_s for s in steps] == [0.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+
+    def test_cached_fallback_and_placeholder_drop(self, fixture_dir):
+        steps = load_hal_trace(fixture_dir)
+        # dump_0020 only reports SKIN in the cached block.
+        assert steps[2].sensors["SKIN"] == 38.3
+        # dump_0030 reports the 0.0 placeholder: the channel must be absent.
+        assert "SKIN" not in steps[3].sensors
+
+    def test_interpolation_bridges_the_placeholder_hole(self, fixture_dir):
+        telemetry = hal_telemetry(load_hal_trace(fixture_dir))
+        assert len(telemetry) == 6
+        skin = [s.sensor_readings["skin"] for s in telemetry]
+        assert skin[2] == 38.3
+        assert skin[3] == pytest.approx(40.05)  # midway between 38.3 and 41.8
+        assert all(math.isfinite(v) for s in telemetry for v in s.sensor_readings.values())
+
+    def test_interpolate_false_refuses_holes(self, fixture_dir):
+        with pytest.raises(HalReplayError, match="missing reading"):
+            hal_telemetry(load_hal_trace(fixture_dir), interpolate=False)
+
+    def test_missing_required_channel_is_loud(self, fixture_dir):
+        steps = load_hal_trace(fixture_dir)
+        skinless = [
+            type(step)(
+                time_s=step.time_s,
+                sensors={"SKIN": step.sensors.get("SKIN", 35.0)},
+                dump=None,
+                utilization=step.utilization,
+                frequency_khz=step.frequency_khz,
+                source=step.source,
+            )
+            for step in steps
+        ]
+        with pytest.raises(HalReplayError) as err:
+            hal_telemetry(skinless)
+        assert "cpu" in str(err.value) and "SKIN" in str(err.value)
+
+    def test_jsonl_trace_loads_and_filters_placeholders(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [
+            {"time_s": 0.0, "sensors": {"AP": 40.0, "BAT": 30.0, "SKIN": 35.0}},
+            {
+                "time_s": 5.0,
+                "utilization": 0.5,
+                "frequency_khz": 1_026_000,
+                "sensors": {"AP": 41.0, "BAT": 30.5, "SKIN": 0.0, "USB": 0.0},
+            },
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        steps = load_hal_trace(path)
+        assert [s.time_s for s in steps] == [0.0, 5.0]
+        assert steps[1].utilization == 0.5
+        assert "SKIN" not in steps[1].sensors and "USB" not in steps[1].sensors
+        telemetry = hal_telemetry(steps)
+        assert telemetry[1].sensor_readings["skin"] == 35.0  # edge-extended
+
+    def test_trace_thresholds_and_describe(self, fixture_dir):
+        steps = load_hal_trace(fixture_dir)
+        ladders = trace_thresholds(steps)
+        assert set(ladders) == {"SKIN", "BAT"}
+        text = describe_hal_trace(steps)
+        assert "SKIN" in text and "skin" in text
+        assert "torn" in text  # dump_0050 carries a truncated entry
+
+
+class TestTripPointManager:
+    def _sample_readings(self, skin):
+        return {"skin": skin, "cpu": skin + 10.0, "battery": skin - 3.0}
+
+    def test_caps_step_down_per_severity(self):
+        manager = TripPointManager()
+        cases = {
+            35.0: None,
+            36.5: TABLE.max_level - 2,
+            38.5: TABLE.max_level - 4,
+            43.0: TABLE.max_level - 8,
+            46.0: TABLE.min_level,
+        }
+        for temp, expected in cases.items():
+            decision = manager.observe(0.0, self._sample_readings(temp), 0.5, 1_512_000.0)
+            assert decision.level_cap == expected, temp
+
+    def test_requires_predictor_is_false(self):
+        assert TripPointManager.requires_predictor is False
+        assert TripPointManager(predictor=None) is not None
+
+    def test_missing_channel_error_lists_available(self):
+        manager = TripPointManager()
+        with pytest.raises(ValueError) as err:
+            manager.observe(3.0, {"cpu": 40.0, "battery": 30.0}, 0.5, 1_512_000.0)
+        message = str(err.value)
+        assert "skin" in message and "cpu" in message
+
+    def test_non_finite_reading_error_names_channel_and_time(self):
+        manager = TripPointManager()
+        with pytest.raises(ValueError) as err:
+            manager.observe(7.0, self._sample_readings(float("nan")), 0.5, 1_512_000.0)
+        message = str(err.value)
+        assert "skin" in message and "7.0" in message
+
+    def test_unsorted_trips_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            TripPointManager(hot_thresholds_c=[40.0, 38.0])
+
+    def test_from_all_nan_ladder_never_caps(self):
+        manager = TripPointManager.from_ladder(ThresholdLadder("X", (float("nan"),) * 7))
+        decision = manager.observe(0.0, self._sample_readings(80.0), 0.5, 1_512_000.0)
+        assert decision.level_cap is None
+
+    def test_reset_clears_severity(self):
+        manager = TripPointManager()
+        manager.observe(0.0, self._sample_readings(41.0), 0.5, 1_512_000.0)
+        assert manager.current_severity == 3
+        manager.reset()
+        assert manager.current_severity == 0
+
+
+class TestTripPointSpec:
+    def test_spec_round_trip_builds_without_predictor(self):
+        spec = PolicySpec(
+            manager=ManagerSpec(
+                "trip-point",
+                params={"hot_thresholds_c": [36.0, 38.0], "levels_per_trip": 3},
+            )
+        )
+        rebuilt = PolicySpec.from_json(spec.to_json())
+        session = open_session(rebuilt)  # no predictor supplied on purpose
+        decision = session.feed(_hal_sample(0.0, skin=37.0))  # crosses trip 1 only
+        assert decision.level_cap == TABLE.max_level - 3
+        # Past the whole ladder the cap floors at the slowest level.
+        assert session.feed(_hal_sample(1.0, skin=39.0)).level_cap == TABLE.min_level
+
+    def test_predictor_needing_manager_still_fails_loudly(self):
+        with pytest.raises(SpecError, match="predictor"):
+            ManagerSpec("usta").build(predictor=None)
+
+
+def _hal_sample(time_s, skin, cpu=None, battery=None):
+    from repro.api.types import TelemetrySample
+
+    return TelemetrySample(
+        time_s=time_s,
+        utilization=0.8,
+        frequency_khz=1_512_000.0,
+        sensor_readings={
+            "skin": skin,
+            "cpu": cpu if cpu is not None else skin + 12.0,
+            "battery": battery if battery is not None else skin - 4.0,
+        },
+    )
+
+
+class TestScalarPoolParity:
+    def test_hal_replay_bit_identical_scalar_vs_feed_many(self, linear_predictor):
+        """CapDecisions must round-trip bit-identically through both paths."""
+        import pathlib
+
+        telemetry = hal_telemetry(
+            load_hal_trace(pathlib.Path(__file__).parent / "data" / "hal_dumps")
+        )
+        specs = {
+            "usta": PolicySpec(manager=ManagerSpec("usta", params={"skin_limit_c": 39.0})),
+            "trip": PolicySpec(manager=ManagerSpec("trip-point")),
+        }
+        scalar = {
+            name: open_session(spec, predictor=linear_predictor)
+            for name, spec in specs.items()
+        }
+        pool = SessionPool()
+        for name, spec in specs.items():
+            pool.open(name, spec, predictor=linear_predictor)
+        for sample in telemetry:
+            want = {name: session.feed(sample) for name, session in scalar.items()}
+            got = pool.feed_many({name: sample for name in specs})
+            assert got == want
+
+
+class TestHalComparison:
+    @pytest.fixture(scope="class")
+    def telemetry(self):
+        import pathlib
+
+        return hal_telemetry(
+            load_hal_trace(pathlib.Path(__file__).parent / "data" / "hal_dumps")
+        )
+
+    def test_ladder_for_limit_anchors_top_trip(self):
+        ladder = ladder_for_limit(40.0)
+        assert ladder.top_trip_c == 40.0
+        assert [v for _, v in ladder.finite_trips()] == [31.0, 33.0, 35.0, 37.0, 40.0]
+
+    def test_user_trip_ladders_cover_population_plus_default(self):
+        ladders = user_trip_ladders()
+        assert len(ladders) == 11
+        assert all(l.n_trips == 5 for l in ladders.values())
+
+    def test_comparison_scores_all_schemes_for_all_users(self, small_context, telemetry):
+        points = hal_comparison(small_context, telemetry)
+        assert len(points) == 33  # 11 profiles x 3 schemes
+        schemes = {p.scheme for p in points}
+        assert schemes == {"trip-stock", "trip-user", "usta"}
+        # The stock ladder ignores the user entirely: identical loss everywhere.
+        stock_losses = {p.throughput_loss for p in points if p.scheme == "trip-stock"}
+        assert len(stock_losses) == 1
+        text = render_hal_comparison(points)
+        assert "mean" in text and "trip-user" in text
+
+    def test_comparison_requires_skin_channel(self, small_context):
+        sample = _hal_sample(0.0, skin=35.0)
+        skinless = type(sample)(
+            time_s=0.0,
+            utilization=0.8,
+            frequency_khz=1_512_000.0,
+            sensor_readings={"cpu": 45.0, "battery": 30.0},
+        )
+        with pytest.raises(ValueError, match="skin"):
+            hal_comparison(small_context, [skinless])
+
+    def test_comparison_rejects_empty_telemetry(self, small_context):
+        with pytest.raises(ValueError, match="empty"):
+            hal_comparison(small_context, [])

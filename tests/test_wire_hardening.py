@@ -1,0 +1,201 @@
+"""Hardening of the telemetry wire path: the four bugs fixed alongside HAL ingestion.
+
+Each class is a regression suite for one named bug:
+
+1. non-finite readings crossing the wire silently (``TelemetrySample`` /
+   ``PredictionFeatures.from_readings``);
+2. the decision log opened in append mode, duplicating history on re-runs;
+3. session cap/feed counters lost across warm-start snapshot/restore;
+4. ``per_user_capped_fraction`` averaging per-session fractions with equal
+   weight instead of weighting by feeds.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.api.serve import per_user_capped_fractions, run_serve
+from repro.api.session import SessionPool, open_session
+from repro.api.specs import ManagerSpec, PolicySpec
+from repro.api.types import TelemetrySample
+from repro.core.predictor import PredictionFeatures
+from repro.fleet.state import restore_session_state, snapshot_session_state
+
+USTA = PolicySpec(manager=ManagerSpec("usta", params={"skin_limit_c": 38.0}))
+
+
+def _sample(time_s, cpu_temp_c, utilization=0.5, frequency_khz=1_512_000.0):
+    return TelemetrySample(
+        time_s=time_s,
+        utilization=utilization,
+        frequency_khz=frequency_khz,
+        sensor_readings={"cpu": cpu_temp_c, "battery": cpu_temp_c - 2.5},
+    )
+
+
+class TestNonFiniteRejection:
+    """Satellite 1: NaN/Inf must die loudly at the wire, naming the channel."""
+
+    def test_sample_rejects_nan_sensor_reading_naming_channel(self):
+        with pytest.raises(ValueError) as err:
+            TelemetrySample(
+                time_s=1.0,
+                utilization=0.5,
+                frequency_khz=1_512_000.0,
+                sensor_readings={"cpu": 40.0, "skin": float("nan")},
+            )
+        assert "skin" in str(err.value)
+
+    def test_sample_rejects_infinite_scalar_fields(self):
+        for field, kwargs in (
+            ("time_s", {"time_s": float("inf")}),
+            ("utilization", {"utilization": float("nan")}),
+            ("frequency_khz", {"frequency_khz": float("-inf")}),
+        ):
+            values = {"time_s": 0.0, "utilization": 0.5, "frequency_khz": 1e6}
+            values.update(kwargs)
+            with pytest.raises(ValueError) as err:
+                TelemetrySample(sensor_readings={"cpu": 40.0, "battery": 35.0}, **values)
+            assert field in str(err.value)
+
+    def test_finite_sample_still_constructs(self):
+        sample = _sample(0.0, 40.0)
+        assert sample.sensor_readings["cpu"] == 40.0
+
+    def test_from_readings_names_missing_channel(self):
+        with pytest.raises(ValueError) as err:
+            PredictionFeatures.from_readings({"cpu": 40.0}, 0.5, 1e6)
+        message = str(err.value)
+        assert "battery" in message and "cpu" in message  # missing + present
+
+    def test_from_readings_rejects_non_finite_feature(self):
+        with pytest.raises(ValueError) as err:
+            PredictionFeatures.from_readings(
+                {"cpu": 40.0, "battery": float("nan")}, 0.5, 1e6
+            )
+        assert "battery" in str(err.value)
+        with pytest.raises(ValueError) as err:
+            PredictionFeatures.from_readings(
+                {"cpu": 40.0, "battery": 35.0}, float("inf"), 1e6
+            )
+        assert "utilization" in str(err.value)
+
+
+class TestDecisionLogTruncation:
+    """Satellite 2: a fresh run must truncate the log, not append to history."""
+
+    TELEMETRY = [
+        TelemetrySample(
+            time_s=float(t),
+            utilization=0.5,
+            frequency_khz=1_512_000.0,
+            sensor_readings={"cpu": 40.0 + t, "battery": 37.0 + t},
+        )
+        for t in range(4)
+    ]
+
+    def _serve(self, small_context, log_path):
+        return run_serve(
+            small_context,
+            sessions=3,
+            telemetry=self.TELEMETRY,
+            decision_log=log_path,
+        )
+
+    def test_rerun_truncates_instead_of_appending(self, small_context, tmp_path):
+        log_path = tmp_path / "decisions.jsonl"
+        self._serve(small_context, log_path)
+        first = log_path.read_text().splitlines()
+        self._serve(small_context, log_path)
+        second = log_path.read_text().splitlines()
+        assert len(first) == len(self.TELEMETRY)
+        # The append-mode bug doubled this: history from run 1 stayed put and
+        # run 2's lines landed after it, with time_s restarting midway.
+        assert second == first
+        times = [json.loads(line)["time_s"] for line in second]
+        assert times == sorted(times) and len(set(times)) == len(times)
+
+
+class TestCounterWarmStart:
+    """Satellite 3: cap/feed counters must survive snapshot/restore."""
+
+    def _fed_session(self, linear_predictor, n_hot=3, n_cool=2):
+        session = open_session(USTA, predictor=linear_predictor)
+        t = 0.0
+        for _ in range(n_cool):
+            session.feed(_sample(t, 30.0))  # predicted skin 25 °C: no cap
+            t += 1.0
+        for _ in range(n_hot):
+            session.feed(_sample(t, 60.0))  # predicted skin 55 °C: caps
+            t += 1.0
+        return session
+
+    def test_snapshot_carries_counters(self, linear_predictor):
+        session = self._fed_session(linear_predictor)
+        snapshot = snapshot_session_state(session)
+        assert snapshot["feeds"] == 5
+        assert snapshot["caps"] == session.cap_count
+        assert snapshot["caps"] > 0
+
+    def test_restore_resumes_capped_fraction(self, linear_predictor):
+        donor = self._fed_session(linear_predictor)
+        snapshot = snapshot_session_state(donor)
+        fresh = open_session(USTA, predictor=linear_predictor)
+        assert fresh.feed_count == 0
+        assert restore_session_state(fresh, snapshot)
+        assert fresh.feed_count == donor.feed_count
+        assert fresh.cap_count == donor.cap_count
+
+    def test_restore_tolerates_counterless_legacy_snapshots(self, linear_predictor):
+        session = open_session(USTA, predictor=linear_predictor)
+        assert restore_session_state(session, {"limit_c": 36.5})
+        assert session.feed_count == 0 and session.cap_count == 0
+
+    def test_restore_counters_validates_invariants(self, linear_predictor):
+        session = open_session(USTA, predictor=linear_predictor)
+        with pytest.raises(ValueError):
+            session.restore_counters(feed_count=2, cap_count=3)  # caps > feeds
+        with pytest.raises(ValueError):
+            session.restore_counters(feed_count=-1, cap_count=0)
+
+
+class TestFeedWeightedCappedFraction:
+    """Satellite 4: per-user capped fraction weights by feeds, not sessions."""
+
+    def test_unequal_session_feeds_weigh_proportionally(self, linear_predictor):
+        pool = SessionPool()
+        long_session = pool.open("long", USTA, predictor=linear_predictor)
+        short_session = pool.open("short", USTA, predictor=linear_predictor)
+        # 'long': 8 feeds, 0 caps.  'short': 2 feeds, 2 caps.
+        for t in range(8):
+            long_session.feed(_sample(float(t), 30.0))
+        for t in range(2):
+            short_session.feed(_sample(float(t), 60.0))
+        fractions = per_user_capped_fractions(
+            pool, {"long": "user-a", "short": "user-a"}
+        )
+        # 2 caps over 10 feeds.  The old equal-weight average reported
+        # (0/8 + 2/2) / 2 = 0.5 — off by 2.5x for this user.
+        assert fractions["user-a"] == pytest.approx(0.2)
+
+    def test_feedless_user_reports_zero(self, linear_predictor):
+        pool = SessionPool()
+        pool.open("idle", USTA, predictor=linear_predictor)
+        fractions = per_user_capped_fractions(pool, {"idle": "user-b"})
+        assert fractions["user-b"] == 0.0
+
+    def test_run_serve_report_uses_weighted_fractions(self, small_context):
+        telemetry = [
+            TelemetrySample(
+                time_s=float(t),
+                utilization=0.5,
+                frequency_khz=1_512_000.0,
+                sensor_readings={"cpu": 55.0, "battery": 50.0},
+            )
+            for t in range(3)
+        ]
+        report = run_serve(small_context, sessions=12, telemetry=telemetry)
+        for fraction in report.per_user_capped_fraction.values():
+            assert 0.0 <= fraction <= 1.0
+            assert math.isfinite(fraction)
