@@ -58,10 +58,12 @@ bench-smoke:
 fleet-smoke:
 	$(PYTHON) -m repro.fleet.smoke
 
-# Load gate for the persistent serving front end: in-process feed throughput
-# and latency over thousands of sessions, a socket RTT check, and 1-vs-2
-# worker fleet parity (generous thresholds; catches per-feed retrain-style
-# collapses, not machine noise).
+# Load gate for the persistent serving front end: request-level parity
+# between the resident session plane and the plane-disabled scalar pool
+# (bit-identical decision wire), a >=1.5x plane-over-scalar throughput floor,
+# in-process feed throughput and single-feed latency over thousands of
+# sessions, a socket RTT check, and 1-vs-2 worker fleet parity (generous
+# thresholds; catches per-feed retrain-style collapses, not machine noise).
 serve-load-smoke:
 	$(PYTHON) benchmarks/bench_serve_load.py --smoke
 

@@ -48,7 +48,7 @@ from .sim import SimulationResult, Simulator, run_benchmark, run_workload
 from .users import ThermalComfortProfile, UserPopulation, paper_population
 from .workloads import BENCHMARK_NAMES, build_benchmark
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CapDecision",

@@ -1,0 +1,668 @@
+"""Resident session plane: columnar policy state for the serving path.
+
+The batch engine's policy plane (:mod:`repro.runtime.vectorized`) owns its
+members for one run and writes state back at the batch boundary.  Serving has
+no boundary — sessions live for days and ticks arrive forever — so the
+:class:`SessionPlane` keeps eligible sessions' controller/adapter/counter
+state in columnar arrays that persist *across* ``feed_many`` calls.  A tick
+then becomes: a vectorized feedback gate, a vectorized prediction-due mask,
+one stacked feature build without per-session ``PredictionFeatures`` objects,
+one batched predict (or probe-verified column-sweep kernel) per predictor
+group, array-wide cap computation via the shared
+:mod:`~repro.runtime.plane_kernels`, and grouped adapter updates.
+
+**Parity contract.**  Decisions must be bit-identical to today's
+``SessionPool.feed_many`` path (which itself matches the scalar
+``PolicySession.feed``).  Eligibility (:func:`session_plane_ineligibility`)
+therefore requires, beyond the batch plane's manager checks, that the
+predictor either probes to the verified column-sweep linear form or declares
+``batch_row_invariant`` models — so batch *composition* can never change any
+row's bits, and a resident session may drop to a scalar feed (external
+feedback ticks, warm restores) and return without any observable difference.
+
+**Coherence protocol.**  The plane's arrays are the master copy while a
+session is resident.  Out-of-band object access brackets itself with
+:meth:`sync_to_session` (arrays → objects) before reading/mutating and
+:meth:`refresh_from_session` (objects → arrays, decision cache invalidated)
+after — :class:`~repro.api.session.PolicySession` does this inside ``feed``,
+``feed_feedback`` and ``reset``, and :mod:`repro.fleet.state` around
+snapshot/restore.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.predictor import PredictionFeatures
+from ..runtime.plane_kernels import (
+    ADAPTER_QUANTILE,
+    ADAPTER_STEP,
+    AdapterArrays,
+    NO_CAP,
+    caps_from_margins,
+    compile_policy_steps,
+    manager_vectorization_ineligibility,
+    predictor_fast_kernel,
+)
+from ..users.adaptation import AdaptiveComfortManager
+from .types import CapDecision
+
+__all__ = ["SessionPlane", "session_plane_ineligibility"]
+
+
+def session_plane_ineligibility(session) -> Optional[str]:
+    """Why ``session`` cannot ride the resident plane (``None`` = it can).
+
+    Extends :func:`manager_vectorization_ineligibility` with the serving
+    path's batch-composition requirement: without a probe-verified linear
+    kernel, every consulted model must declare ``batch_row_invariant`` so a
+    whole-pool matrix predict, a partial-batch predict and a scalar
+    single-row predict all land on the same bits.
+    """
+    manager = session.manager
+    if manager is None:
+        return "bare-governor policy (no thermal manager)"
+    reason = manager_vectorization_ineligibility(manager)
+    if reason is not None:
+        return reason
+    inner = manager.inner if isinstance(manager, AdaptiveComfortManager) else manager
+    if predictor_fast_kernel(inner.predictor, inner.predict_screen) is None:
+        models = [inner.predictor.skin_model]
+        if inner.predict_screen and inner.predictor.screen_model is not None:
+            models.append(inner.predictor.screen_model)
+        for model in models:
+            if not getattr(model, "batch_row_invariant", False):
+                return (
+                    f"predictor model {type(model).__name__} is not "
+                    "batch-row-invariant and has no verified column-sweep form"
+                )
+    return None
+
+
+#: (array attribute name, dtype, fill) — the plane's numeric columns.
+_NUMERIC_FIELDS = (
+    ("period_minus", float, 0.0),
+    ("last_time", float, np.nan),
+    ("pred_skin", float, np.nan),
+    ("latency", float, 0.0),
+    ("count", np.int64, 0),
+    ("cap_req", np.int64, NO_CAP),
+    ("feeds", np.int64, 0),
+    ("caps", np.int64, 0),
+    ("valid", bool, False),
+    ("has_fb", bool, False),
+    ("fb_last", float, np.nan),
+    ("fb_period_minus", float, 0.0),
+    ("fb_threshold", float, 0.0),
+    ("fb_pending", bool, False),
+    ("group_id", np.int64, 0),
+    ("policy_id", np.int64, 0),
+)
+
+#: Object columns (per-row Python objects; fancy indexing still vectorizes).
+_OBJECT_FIELDS = ("skin_obj", "screen_obj", "decisions", "freq_levels")
+
+
+class SessionPlane:
+    """SoA state for a pool's resident (plane-eligible) sessions.
+
+    Rows are dense ``0.._n-1``; closing a session swap-removes its row (the
+    moved session's ``_plane_row`` is updated).  Per-row ``CapDecision``
+    objects are cached and only rebuilt when their inputs changed (a due
+    prediction, an adapter limit move, or an out-of-band refresh) — between
+    prediction windows the scalar path returns a *value-equal* held decision
+    every tick, so reusing the frozen object is observably identical.
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._capacity = 0
+        for name, dtype, fill in _NUMERIC_FIELDS:
+            setattr(self, name, np.empty(0, dtype=dtype))
+        for name in _OBJECT_FIELDS:
+            setattr(self, name, np.empty(0, dtype=object))
+        self.ad = AdapterArrays(0)
+        self.sessions: List[object] = []
+        self.inners: List[object] = []
+        self.adapters: List[Optional[object]] = []
+        self.feedbacks: List[Optional[object]] = []
+        # An empty plane's (empty) groups are trivially consistent, so adds
+        # take the incremental path from the first session on — a 100k-open
+        # serving warm-up must not defer an O(n) rebuild onto the first tick.
+        self._groups_stale = False
+        self._pred_groups: List[Tuple] = []
+        self._policy_groups: List[Tuple] = []
+        self._pred_key_to_gid: Dict[Tuple, int] = {}
+        self._pol_key_to_gid: Dict[Tuple, int] = {}
+        self._fb_rows_list: List[int] = []
+        self._fb_rows_dirty = False
+        self._fb_rows = np.empty(0, dtype=np.int64)
+        self._fb_wake = -np.inf
+        self._freq_cache: Dict[Tuple, Tuple] = {}
+        # Value-keyed CapDecision memo: fleets have far fewer *distinct*
+        # decisions than sessions (shared tables, quantized sensor grids), and
+        # frozen-dataclass construction is the rebuild loop's dominant cost.
+        # Decisions are immutable, so sharing one object per value is
+        # observably identical.  Cleared when it outgrows its cap (a bound on
+        # long-run growth, not an LRU — hit rates are all-or-nothing here).
+        self._decision_memo: Dict[Tuple, CapDecision] = {}
+        # -- observability (PolicyService.stats / ServeReport) ----------------
+        self.tick_count = 0
+        self.prediction_count = 0
+        self.batch_count = 0
+
+    @property
+    def size(self) -> int:
+        """Resident session count."""
+        return self._n
+
+    # -- membership -------------------------------------------------------------
+
+    def _grow(self, capacity: int) -> None:
+        old = self._capacity
+        for name, dtype, fill in _NUMERIC_FIELDS:
+            fresh = np.full(capacity, fill, dtype=dtype)
+            fresh[:old] = getattr(self, name)
+            setattr(self, name, fresh)
+        for name in _OBJECT_FIELDS:
+            fresh = np.full(capacity, None, dtype=object)
+            fresh[:old] = getattr(self, name)
+            setattr(self, name, fresh)
+        self.ad.grow(capacity)
+        self._capacity = capacity
+
+    def _freq_tuple(self, table) -> Optional[Tuple[int, ...]]:
+        """Cached level→frequency lookup for decision building.
+
+        Keyed by the table's *frequency ladder*, not object identity: every
+        session owns its own ``FrequencyTable`` instance, and the decision
+        memo uses ``id(levels)`` as the table component of its key — without
+        value canonicalization here, 100k sessions on the same ladder would
+        produce 100k distinct memo keys and the memo would never hit.
+        """
+        if table is None:
+            return None
+        key = tuple(table.frequencies_khz)
+        cached = self._freq_cache.get(key)
+        if cached is None:
+            cached = tuple(
+                table.frequency_at(level)
+                for level in range(table.min_level, table.max_level + 1)
+            )
+            self._freq_cache[key] = cached
+        return cached
+
+    def add(self, session) -> int:
+        """Adopt one eligible session onto the plane (row index back)."""
+        i = self._n
+        if i == self._capacity:
+            self._grow(max(64, 2 * self._capacity))
+        manager = session.manager
+        if isinstance(manager, AdaptiveComfortManager):
+            inner, adapter, model = manager.inner, manager.adapter, manager.feedback
+        else:
+            inner, adapter, model = manager, None, None
+        self.sessions.append(session)
+        self.inners.append(inner)
+        self.adapters.append(adapter)
+        self.feedbacks.append(model)
+        self._n = i + 1
+        self.freq_levels[i] = self._freq_tuple(
+            session.table if session.resolve_frequency else None
+        )
+        session._plane = self
+        session._plane_row = i
+        self._load_row(i, session)
+        if not self._groups_stale:
+            # Incremental group assignment keeps open→feed interleavings from
+            # paying an O(n) rebuild per open; an unseen predictor or policy
+            # simply opens a new group (probe/compile costs are per group,
+            # not per session).
+            pkey = (id(inner.predictor), bool(inner.predict_screen))
+            gid = self._pred_key_to_gid.get(pkey)
+            if gid is None:
+                gid = len(self._pred_groups)
+                fast = predictor_fast_kernel(inner.predictor, bool(inner.predict_screen))
+                self._pred_groups.append((inner.predictor, bool(inner.predict_screen), fast))
+                self._pred_key_to_gid[pkey] = gid
+            self.group_id[i] = gid
+            pol_key = (inner.policy.steps, tuple(inner.table.frequencies_khz))
+            pid = self._pol_key_to_gid.get(pol_key)
+            if pid is None:
+                pid = len(self._policy_groups)
+                self._policy_groups.append(compile_policy_steps(inner.policy, inner.table))
+                self._pol_key_to_gid[pol_key] = pid
+            self.policy_id[i] = pid
+            if model is not None:
+                self._fb_rows_list.append(i)
+                self._fb_rows_dirty = True
+        return i
+
+    def remove(self, session) -> None:
+        """Swap-remove one resident session, writing its state back first."""
+        self.sync_to_session(session)
+        row = session._plane_row
+        last = self._n - 1
+        if row != last:
+            for name, _, _ in _NUMERIC_FIELDS:
+                column = getattr(self, name)
+                column[row] = column[last]
+            for name in _OBJECT_FIELDS:
+                column = getattr(self, name)
+                column[row] = column[last]
+            self.ad.move_row(row, last)
+            moved = self.sessions[last]
+            self.sessions[row] = moved
+            self.inners[row] = self.inners[last]
+            self.adapters[row] = self.adapters[last]
+            self.feedbacks[row] = self.feedbacks[last]
+            moved._plane_row = row
+        self.sessions.pop()
+        self.inners.pop()
+        self.adapters.pop()
+        self.feedbacks.pop()
+        self._n = last
+        session._plane = None
+        session._plane_row = -1
+        self._groups_stale = True
+        self._fb_wake = -np.inf
+
+    # -- coherence protocol ------------------------------------------------------
+
+    def _load_row(self, i: int, session) -> None:
+        """Mirror one session's object state into row ``i`` (objects → arrays)."""
+        inner = self.inners[i]
+        self.period_minus[i] = inner.prediction_period_s - 1e-9
+        last_time = inner._last_prediction_time
+        self.last_time[i] = np.nan if last_time is None else last_time
+        last_pred = inner._last_prediction
+        self.pred_skin[i] = np.nan if last_pred is None else last_pred
+        self.skin_obj[i] = last_pred
+        self.screen_obj[i] = inner._last_screen_prediction
+        self.latency[i] = inner._total_latency_s
+        self.count[i] = inner._prediction_count
+        cap = inner._current_cap
+        self.cap_req[i] = NO_CAP if cap is None else cap
+        self.ad.load(i, self.adapters[i], inner.current_skin_limit_c)
+        model = self.feedbacks[i]
+        self.has_fb[i] = model is not None
+        if model is not None:
+            report_s = model._last_report_s
+            self.fb_last[i] = np.nan if report_s is None else report_s
+            self.fb_period_minus[i] = model.report_period_s - 1e-9
+            self.fb_threshold[i] = model.true_limit_c - model.comfort_band_c
+            self.fb_pending[i] = bool(model._pending)
+        else:
+            self.fb_last[i] = np.nan
+            self.fb_pending[i] = False
+        self.feeds[i] = session._feed_count
+        self.caps[i] = session._cap_count
+        self.decisions[i] = session._last_decision
+        # Force a rebuild from the (authoritative) arrays on the next tick:
+        # the cached object may predate an adapter/limit mutation.
+        self.valid[i] = False
+        self._fb_wake = -np.inf
+
+    def sync_to_session(self, session) -> None:
+        """Write row state back into the session's policy objects (arrays → objects).
+
+        Leaves the objects exactly as if every tick had run scalar; callers
+        that then mutate them must :meth:`refresh_from_session`.
+        """
+        i = session._plane_row
+        inner = self.inners[i]
+        last_time = self.last_time[i]
+        cap = int(self.cap_req[i])
+        inner.restore_batch_state(
+            last_prediction_time=None if math.isnan(last_time) else float(last_time),
+            last_prediction=self.skin_obj[i],
+            last_screen_prediction=self.screen_obj[i],
+            total_latency_s=float(self.latency[i]),
+            prediction_count=int(self.count[i]),
+            current_cap=None if cap == NO_CAP else cap,
+            live_limit_c=float(self.ad.limit[i]),
+        )
+        self.ad.writeback(i, self.adapters[i])
+        # Feedback-model objects are authoritative already (the gate calls
+        # them and mirrors their clocks), as are the session's counters here:
+        session._feed_count = int(self.feeds[i])
+        session._cap_count = int(self.caps[i])
+        session._last_decision = self.decisions[i]
+
+    def refresh_from_session(self, session) -> None:
+        """Re-adopt a session's object state after out-of-band mutation."""
+        self._load_row(session._plane_row, session)
+
+    def set_counters(self, row: int, feed_count: int, cap_count: int) -> None:
+        """Install restored feed/cap counters (``restore_counters`` support)."""
+        self.feeds[row] = feed_count
+        self.caps[row] = cap_count
+
+    # -- grouping ---------------------------------------------------------------
+
+    def _rebuild_groups(self) -> None:
+        n = self._n
+        pred: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+        pol: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+        for i in range(n):
+            inner = self.inners[i]
+            pred.setdefault((id(inner.predictor), bool(inner.predict_screen)), []).append(i)
+            pol.setdefault(
+                (inner.policy.steps, tuple(inner.table.frequencies_khz)), []
+            ).append(i)
+        self._pred_groups = []
+        self._pred_key_to_gid = {}
+        for gid, (key, members) in enumerate(pred.items()):
+            inner = self.inners[members[0]]
+            fast = predictor_fast_kernel(inner.predictor, bool(inner.predict_screen))
+            self._pred_groups.append((inner.predictor, bool(inner.predict_screen), fast))
+            self._pred_key_to_gid[key] = gid
+            self.group_id[np.array(members, dtype=np.int64)] = gid
+        self._policy_groups = []
+        self._pol_key_to_gid = {}
+        for pid, (key, members) in enumerate(pol.items()):
+            inner = self.inners[members[0]]
+            self._policy_groups.append(compile_policy_steps(inner.policy, inner.table))
+            self._pol_key_to_gid[key] = pid
+            self.policy_id[np.array(members, dtype=np.int64)] = pid
+        self._fb_rows_list = [i for i in range(n) if self.feedbacks[i] is not None]
+        self._fb_rows = np.array(self._fb_rows_list, dtype=np.int64)
+        self._fb_rows_dirty = False
+        self._fb_wake = -np.inf
+        self._groups_stale = False
+
+    # -- the resident tick ------------------------------------------------------
+
+    def tick_many(self, rows_list: Sequence[int], samples: Sequence) -> List[CapDecision]:
+        """Advance the given resident rows by their per-session samples."""
+        rows = np.array(rows_list, dtype=np.int64)
+        t = np.fromiter((s.time_s for s in samples), dtype=float, count=len(samples))
+        self._tick(rows, t, samples, None)
+        return self.decisions[rows].tolist()
+
+    def tick_all(self, sample) -> None:
+        """Advance every resident row by one shared sample (``feed_all``).
+
+        Decisions land in :attr:`decisions`; the caller gathers them by row
+        (returning a list here would only be re-keyed into a dict anyway).
+        """
+        rows = np.arange(self._n, dtype=np.int64)
+        self._tick(rows, sample.time_s, None, sample)
+
+    def _tick(self, rows, t, samples, shared_sample) -> None:
+        """One vectorized tick over ``rows``.
+
+        ``t``/``samples`` are per-row (general path) or ``t`` is a scalar and
+        ``shared_sample`` the one sample every row consumes (``feed_all``).
+        Step order mirrors the scalar ``observe()`` chain exactly: external
+        feedback never reaches here (those sessions drop to scalar feeds), so
+        a tick is gate → due predictions → caps → decisions → counters.
+        """
+        if self._groups_stale:
+            self._rebuild_groups()
+        elif self._fb_rows_dirty:
+            rows_list = self._fb_rows_list
+            self._fb_rows = np.array(rows_list, dtype=np.int64)
+            self._fb_rows_dirty = False
+            self._fb_wake = -np.inf
+        self.tick_count += 1
+        shared = shared_sample is not None
+
+        # -- 1. simulated-user feedback gate → grouped adapter updates ---------
+        if self._fb_rows.size:
+            tmax = t if shared else (float(t.max()) if rows.size else -np.inf)
+            if tmax >= self._fb_wake:
+                self._feedback_gate(rows, t, samples, shared_sample)
+
+        # -- 2./3./4. due mask → batched predict → array-wide caps -------------
+        last = self.last_time[rows]
+        due = np.isnan(last) | (t - last >= self.period_minus[rows])
+        if due.any():
+            due_pos = np.nonzero(due)[0]
+            drows = rows[due_pos]
+            single_group = len(self._pred_groups) == 1
+            gid = None if single_group else self.group_id[drows]
+            for g, (predictor, predict_screen, fast) in enumerate(self._pred_groups):
+                if single_group:
+                    sel_pos, grows = due_pos, drows
+                else:
+                    in_group = gid == g
+                    if not in_group.any():
+                        continue
+                    sel_pos, grows = due_pos[in_group], drows[in_group]
+                gsize = grows.size
+                if shared:
+                    columns = self._shared_features(shared_sample)
+                else:
+                    columns = self._stacked_features(samples, sel_pos)
+                cpu_col, battery_col, util_col, freq_col = columns
+                if fast is not None:
+                    kernel, has_screen = fast
+                    start = time.perf_counter()
+                    stacked = kernel(cpu_col, battery_col, util_col, freq_col)
+                    latency = (time.perf_counter() - start) / gsize
+                    skin = stacked[0]
+                    screen = stacked[1] if has_screen else None
+                else:
+                    k = 1 if shared else gsize
+                    features = np.empty((k, 4))
+                    features[:, 0] = cpu_col
+                    features[:, 1] = battery_col
+                    features[:, 2] = util_col
+                    features[:, 3] = freq_col
+                    # exact=False is today's pool path (predict_batch); the
+                    # eligibility contract (row-invariant models) makes the
+                    # matrix call bitwise equal to per-row predicts anyway.
+                    arrays = predictor.predict_batch_arrays(
+                        features, predict_screen=predict_screen, exact=False
+                    )
+                    skin = arrays.skin_temp_c
+                    screen = arrays.screen_temp_c
+                    latency = arrays.latency_s
+                if shared:
+                    # One shared feature row → one prediction, broadcast.
+                    skin_value = float(skin[0])
+                    self.pred_skin[grows] = skin_value
+                    self.skin_obj[grows] = skin_value
+                    if screen is not None:
+                        self.screen_obj[grows] = float(screen[0])
+                    self.last_time[grows] = t
+                else:
+                    self.pred_skin[grows] = skin
+                    # tolist() keeps Python floats in the object columns
+                    # (decisions must serialize like scalar runs).
+                    self.skin_obj[grows] = skin.tolist()
+                    if screen is not None:
+                        self.screen_obj[grows] = screen.tolist()
+                    self.last_time[grows] = t[sel_pos]
+                self.latency[grows] += latency
+                self.count[grows] += 1
+                self.prediction_count += gsize
+                self.batch_count += 1
+            single_policy = len(self._policy_groups) == 1
+            pid = None if single_policy else self.policy_id[drows]
+            for p, (step_caps, thresholds, activation) in enumerate(self._policy_groups):
+                if single_policy:
+                    prows = drows
+                else:
+                    in_group = pid == p
+                    if not in_group.any():
+                        continue
+                    prows = drows[in_group]
+                margins = self.ad.limit[prows] - self.pred_skin[prows]
+                self.cap_req[prows] = caps_from_margins(
+                    margins, step_caps, thresholds, activation
+                )
+            need = due | ~self.valid[rows]
+        else:
+            need = ~self.valid[rows]
+
+        # -- decision cache rebuild --------------------------------------------
+        if need.any():
+            nrows = rows[np.nonzero(need)[0]]
+            caps_list = self.cap_req[nrows].tolist()
+            skins = self.skin_obj[nrows].tolist()
+            screens = self.screen_obj[nrows].tolist()
+            limits = self.ad.limit_obj[nrows].tolist()
+            tables = self.freq_levels[nrows].tolist()
+            decisions = self.decisions
+            memo = self._decision_memo
+            if len(memo) > 65_536:
+                memo.clear()
+            for j, r in enumerate(nrows.tolist()):
+                cap = caps_list[j]
+                levels = tables[j]
+                # id(levels) stands in for the table: the tuples live in
+                # _freq_cache for the plane's lifetime, so ids are stable.
+                key = (cap, skins[j], screens[j], limits[j], id(levels))
+                decision = memo.get(key)
+                if decision is None:
+                    if cap == NO_CAP:
+                        decision = CapDecision(
+                            None, None, skins[j], screens[j], limits[j]
+                        )
+                    else:
+                        decision = CapDecision(
+                            cap,
+                            None if levels is None else levels[cap],
+                            skins[j],
+                            screens[j],
+                            limits[j],
+                        )
+                    memo[key] = decision
+                decisions[r] = decision
+            self.valid[nrows] = True
+
+        # -- counters ----------------------------------------------------------
+        self.feeds[rows] += 1
+        self.caps[rows] += self.cap_req[rows] != NO_CAP
+
+    def _shared_features(self, sample) -> Tuple[float, float, float, float]:
+        """The one feature row every session shares on a ``feed_all`` tick."""
+        readings = sample.sensor_readings
+        try:
+            return (
+                readings["cpu"],
+                readings["battery"],
+                sample.utilization,
+                sample.frequency_khz,
+            )
+        except KeyError:
+            # Re-raise the scalar path's exact channel-naming error.
+            PredictionFeatures.from_readings(
+                readings, sample.utilization, sample.frequency_khz
+            )
+            raise
+
+    def _stacked_features(self, samples, sel_pos) -> Tuple[np.ndarray, ...]:
+        """Feature columns for the due subset, without per-session objects."""
+        sel = sel_pos.tolist()
+        k = len(sel)
+        try:
+            cpu = np.fromiter(
+                (samples[j].sensor_readings["cpu"] for j in sel), dtype=float, count=k
+            )
+            battery = np.fromiter(
+                (samples[j].sensor_readings["battery"] for j in sel), dtype=float, count=k
+            )
+        except KeyError:
+            for j in sel:
+                sample = samples[j]
+                PredictionFeatures.from_readings(
+                    sample.sensor_readings, sample.utilization, sample.frequency_khz
+                )
+            raise
+        util = np.fromiter((samples[j].utilization for j in sel), dtype=float, count=k)
+        freq = np.fromiter((samples[j].frequency_khz for j in sel), dtype=float, count=k)
+        return cpu, battery, util, freq
+
+    def _feedback_gate(self, rows, t, samples, shared_sample) -> None:
+        """Call feedback models on exactly the ticks scalar ``observe`` would.
+
+        A model is only invoked when its sample carries a ``"skin"`` reading
+        and either its report clock elapsed with the felt temperature above
+        the report threshold, or it holds a delayed (pending) report — on
+        every other tick the scalar ``observe()`` returns ``None`` without
+        mutating state, so skipping the call is exact.
+        """
+        pos = np.nonzero(self.has_fb[rows])[0]
+        if not pos.size:
+            return
+        prows = rows[pos]
+        pt = t if shared_sample is not None else t[pos]
+        fb_last = self.fb_last[prows]
+        clock = np.isnan(fb_last) | (pt - fb_last >= self.fb_period_minus[prows])
+        pending = self.fb_pending[prows]
+        consider = clock | pending
+        step_events: List[Tuple[int, object]] = []
+        quant_events: List[Tuple[int, object]] = []
+        changed_rows: List[int] = []
+        if consider.any():
+            cpos = np.nonzero(consider)[0]
+            if shared_sample is not None:
+                felt = shared_sample.sensor_readings.get("skin")
+                if felt is None:
+                    needs = np.zeros(cpos.size, dtype=bool)
+                else:
+                    needs = (clock[cpos] & (felt > self.fb_threshold[prows[cpos]])) | pending[
+                        cpos
+                    ]
+                felt_vals: Optional[List] = None
+            else:
+                bpos = pos[cpos]
+                felt_vals = [
+                    samples[j].sensor_readings.get("skin") for j in bpos.tolist()
+                ]
+                have = np.array([value is not None for value in felt_vals], dtype=bool)
+                felt_arr = np.array(
+                    [(-np.inf if value is None else value) for value in felt_vals]
+                )
+                needs = have & (
+                    (clock[cpos] & (felt_arr > self.fb_threshold[prows[cpos]]))
+                    | pending[cpos]
+                )
+            if needs.any():
+                need_idx = np.nonzero(needs)[0]
+                sel = cpos[need_idx]
+                ask_rows = prows[sel].tolist()
+                if felt_vals is None:
+                    ask_times: List[float] = [pt] * len(ask_rows)
+                    ask_felt: List[float] = [felt] * len(ask_rows)
+                else:
+                    ask_times = pt[sel].tolist()
+                    ask_felt = [felt_vals[k] for k in need_idx.tolist()]
+                kinds = self.ad.kind
+                for row, time_s, felt_c in zip(ask_rows, ask_times, ask_felt):
+                    model = self.feedbacks[row]
+                    event = model.observe(time_s, felt_c)
+                    report_s = model._last_report_s
+                    self.fb_last[row] = np.nan if report_s is None else report_s
+                    self.fb_pending[row] = bool(model._pending)
+                    if event is not None:
+                        kind = kinds[row]
+                        if kind == ADAPTER_STEP:
+                            step_events.append((row, event))
+                            changed_rows.append(row)
+                        elif kind == ADAPTER_QUANTILE:
+                            quant_events.append((row, event))
+                            changed_rows.append(row)
+                        # FixedLimit consumes the event without state.
+                if step_events:
+                    self.ad.apply_step_events(step_events)
+                if quant_events:
+                    self.ad.apply_quantile_events(quant_events)
+                if changed_rows:
+                    # A moved limit invalidates the cached decision objects.
+                    self.valid[np.array(changed_rows, dtype=np.int64)] = False
+        # Re-arm the wake clock over every resident model (not just the fed
+        # subset): between firings the candidate mask is provably all-False.
+        fb_last = self.fb_last[self._fb_rows]
+        if np.isnan(fb_last).any() or self.fb_pending[self._fb_rows].any():
+            self._fb_wake = -np.inf
+        else:
+            self._fb_wake = float((fb_last + self.fb_period_minus[self._fb_rows]).min())

@@ -28,6 +28,8 @@ from .types import TelemetrySample
 
 __all__ = [
     "ServeReport",
+    "build_serve_pool",
+    "describe_serve_plane",
     "per_user_capped_fractions",
     "replay_telemetry",
     "run_serve",
@@ -69,6 +71,10 @@ class ServeReport:
     per_user_capped_fraction: Dict[str, float]
     #: Path of the session decision log, when the run drained one.
     decision_log: Optional[str] = None
+    #: Sessions resident on the columnar plane (0 when disabled/ineligible).
+    plane_resident: int = 0
+    #: Vectorized plane ticks executed across the run.
+    plane_ticks: int = 0
 
     @property
     def feeds_per_second(self) -> float:
@@ -85,6 +91,8 @@ class ServeReport:
             f"in {self.elapsed_s:.2f}s ({self.feeds_per_second:,.0f} feeds/s)",
             f"predictions: {self.prediction_count} in {self.batch_count} batches "
             f"(avg batch {self.average_batch_size:.1f} sessions)",
+            f"plane: {self.plane_resident}/{self.n_sessions} sessions resident "
+            f"({self.plane_ticks} vectorized ticks)",
             f"sessions ever capped: {self.capped_sessions}/{self.n_sessions}",
         ]
         if self.decision_log is not None:
@@ -134,6 +142,75 @@ def per_user_capped_fractions(pool: SessionPool, session_users) -> Dict[str, flo
     }
 
 
+def build_serve_pool(
+    context,
+    sessions: int = 1000,
+    policy: Optional[PolicySpec] = None,
+    use_plane: bool = True,
+):
+    """The session population :func:`run_serve` drives, before any telemetry.
+
+    Returns ``(pool, session_users, spec)``.  Shared with the
+    ``serve --explain-plane`` dry run so eligibility is reported against the
+    exact pool the real run would build.
+    """
+    if sessions < 1:
+        raise ValueError("sessions must be at least 1")
+    spec = policy if policy is not None else PolicySpec(manager=ManagerSpec("usta"))
+
+    # The context predictor is only the fallback; a policy that declares its
+    # own predictor recipe keeps it (the recipe builder caches, so the first
+    # session pays the training cost and the rest share the artifact), and a
+    # predictor-less manager (trip-point) gets none at all.
+    fallback_predictor = None
+    if manager_requires_predictor(spec):
+        fallback_predictor = context.predictor
+
+    pool = SessionPool(use_plane=use_plane)
+    profiles = list(context.population)
+    session_users: Dict[str, str] = {}
+    for index in range(sessions):
+        profile = profiles[index % len(profiles)]
+        session_id = f"{profile.user_id}-{index:05d}"
+        pool.open(session_id, spec, user_profile=profile, predictor=fallback_predictor)
+        session_users[session_id] = profile.user_id
+    return pool, session_users, spec
+
+
+def describe_serve_plane(
+    context,
+    sessions: int = 1000,
+    policy: Optional[PolicySpec] = None,
+) -> str:
+    """Human-readable plane residency report (``serve --explain-plane``).
+
+    Mirrors ``sweep --explain-batching``: a summary of how many sessions ride
+    the resident columnar plane, then one line per scalar-fallback session
+    with the reason — silent fallbacks are the usual cause of a serving
+    throughput regression.
+    """
+    pool, _, spec = build_serve_pool(context, sessions=sessions, policy=policy)
+    report = pool.describe_plane()
+    label = spec.label or (
+        f"{spec.manager.name}+{spec.governor.name}" if spec.manager else spec.governor.name
+    )
+    lines = [
+        f"policy: {label}",
+        f"session plane: {report['resident_count']} of "
+        f"{report['session_count']} session(s) resident on the columnar "
+        f"fast path, {report['fallback_count']} scalar",
+    ]
+    fallbacks = [s for s in report["sessions"] if not s["resident"]]
+    if fallbacks:
+        lines.append(
+            "  scalar fallback (session still serves; its policy runs "
+            "per session):"
+        )
+        for entry in fallbacks:
+            lines.append(f"    {entry['session_id']}  — {entry['fallback_reason']}")
+    return "\n".join(lines)
+
+
 def run_serve(
     context,
     benchmark: str = "skype",
@@ -143,6 +220,7 @@ def run_serve(
     seed: Optional[int] = None,
     decision_log=None,
     telemetry: Optional[List[TelemetrySample]] = None,
+    use_plane: bool = True,
 ) -> ServeReport:
     """Stream replayed telemetry through a per-user session population.
 
@@ -169,11 +247,13 @@ def run_serve(
         telemetry: an explicit sample stream to serve instead of simulating
             ``benchmark`` — recorded device traces
             (:func:`repro.telemetry.replay.load_hal_telemetry`) enter here.
+        use_plane: keep eligible sessions resident on the pool's columnar
+            session plane (the default); ``False`` forces the scalar
+            per-session feed, for A/B timing and parity checks.
     """
     if sessions < 1:
         raise ValueError("sessions must be at least 1")
     seed = context.seed if seed is None else seed
-    spec = policy if policy is not None else PolicySpec(manager=ManagerSpec("usta"))
 
     if telemetry is None:
         trace = build_benchmark(benchmark, seed=seed, duration_s=duration_s)
@@ -181,22 +261,9 @@ def run_serve(
     elif not telemetry:
         raise ValueError("an explicit telemetry stream must not be empty")
 
-    # The context predictor is only the fallback; a policy that declares its
-    # own predictor recipe keeps it (the recipe builder caches, so the first
-    # session pays the training cost and the rest share the artifact), and a
-    # predictor-less manager (trip-point) gets none at all.
-    fallback_predictor = None
-    if manager_requires_predictor(spec):
-        fallback_predictor = context.predictor
-
-    pool = SessionPool()
-    profiles = list(context.population)
-    session_users: Dict[str, str] = {}
-    for index in range(sessions):
-        profile = profiles[index % len(profiles)]
-        session_id = f"{profile.user_id}-{index:05d}"
-        pool.open(session_id, spec, user_profile=profile, predictor=fallback_predictor)
-        session_users[session_id] = profile.user_id
+    pool, session_users, spec = build_serve_pool(
+        context, sessions=sessions, policy=policy, use_plane=use_plane
+    )
 
     log_fh = None
     log_path: Optional[str] = None
@@ -257,4 +324,6 @@ def run_serve(
         policy_label=label,
         per_user_capped_fraction=per_user_capped_fraction,
         decision_log=log_path,
+        plane_resident=pool.plane_resident_count,
+        plane_ticks=pool.plane_tick_count,
     )

@@ -27,6 +27,7 @@ from ..core.predictor import PredictionFeatures, RuntimePredictor
 from ..core.usta import USTAController
 from ..sim.engine import ThermalManager
 from ..users.adaptation import AdaptiveComfortManager
+from .plane import SessionPlane, session_plane_ineligibility
 from .specs import PolicySpec
 from .types import CapDecision, FeedbackEvent, TelemetrySample
 
@@ -63,6 +64,12 @@ class PolicySession:
         self._last_decision: Optional[CapDecision] = None
         self._feed_count = 0
         self._cap_count = 0
+        # Resident-plane adoption state: when a SessionPool adopts this
+        # session onto its SessionPlane, the plane's arrays become the master
+        # copy and every out-of-band object access below brackets itself with
+        # sync_to_session / refresh_from_session.
+        self._plane: Optional[SessionPlane] = None
+        self._plane_row: int = -1
 
     # -- the online loop --------------------------------------------------------
 
@@ -81,8 +88,23 @@ class PolicySession:
                 very next decision.  Raises ``ValueError`` when the policy
                 has no adapter to route them into.
         """
+        plane = self._plane
+        if plane is None:
+            return self._feed_scalar(sample, feedback)
+        plane.sync_to_session(self)
+        try:
+            return self._feed_scalar(sample, feedback)
+        finally:
+            plane.refresh_from_session(self)
+
+    def _feed_scalar(
+        self,
+        sample: TelemetrySample,
+        feedback: Sequence[FeedbackEvent] = (),
+    ) -> CapDecision:
+        """The plain object-path feed (plane coherence handled by callers)."""
         for event in feedback:
-            self.feed_feedback(event)
+            self._apply_feedback(event)
         if self.manager is None:
             decision = CapDecision.no_cap()
         else:
@@ -105,6 +127,16 @@ class PolicySession:
         ``ValueError`` for policies without an adapter — silently dropping a
         user's "too hot" tap would be the worst possible failure mode.
         """
+        plane = self._plane
+        if plane is None:
+            return self._apply_feedback(event)
+        plane.sync_to_session(self)
+        try:
+            return self._apply_feedback(event)
+        finally:
+            plane.refresh_from_session(self)
+
+    def _apply_feedback(self, event: FeedbackEvent) -> float:
         apply = getattr(self.manager, "apply_feedback", None)
         if apply is None:
             raise ValueError(
@@ -127,12 +159,34 @@ class PolicySession:
         self._last_decision = None
         self._feed_count = 0
         self._cap_count = 0
+        if self._plane is not None:
+            self._plane.refresh_from_session(self)
+
+    # -- resident-plane coherence ------------------------------------------------
+
+    def sync_policy_state(self) -> None:
+        """Flush resident-plane array state into the policy objects.
+
+        A no-op for non-resident sessions.  Callers about to *read or mutate*
+        the manager/adapter objects directly (state snapshots, warm restores)
+        call this first so the objects reflect every plane tick, and
+        :meth:`refresh_policy_state` afterwards if they mutated anything.
+        """
+        if self._plane is not None:
+            self._plane.sync_to_session(self)
+
+    def refresh_policy_state(self) -> None:
+        """Re-adopt the policy objects' state onto the resident plane."""
+        if self._plane is not None:
+            self._plane.refresh_from_session(self)
 
     # -- introspection ----------------------------------------------------------
 
     @property
     def last_decision(self) -> Optional[CapDecision]:
         """The most recent decision (``None`` before the first feed)."""
+        if self._plane is not None:
+            return self._plane.decisions[self._plane_row]
         return self._last_decision
 
     @property
@@ -143,6 +197,10 @@ class PolicySession:
         static USTA it is the configured limit; ``None`` for bare-governor
         policies with no comfort limit at all.
         """
+        if self._plane is not None:
+            # Resident sessions always have a manager; the plane's live-limit
+            # column is the same value set_skin_limit would have installed.
+            return self._plane.ad.limit_obj[self._plane_row]
         if self.manager is None:
             return None
         limit = getattr(self.manager, "current_limit_c", None)
@@ -153,11 +211,15 @@ class PolicySession:
     @property
     def feed_count(self) -> int:
         """Telemetry samples consumed since the last reset."""
+        if self._plane is not None:
+            return int(self._plane.feeds[self._plane_row])
         return self._feed_count
 
     @property
     def cap_count(self) -> int:
         """Feeds that answered with an active cap since the last reset."""
+        if self._plane is not None:
+            return int(self._plane.caps[self._plane_row])
         return self._cap_count
 
     def restore_counters(self, feed_count: int, cap_count: int) -> None:
@@ -177,17 +239,20 @@ class PolicySession:
             )
         self._feed_count = feed_count
         self._cap_count = cap_count
+        if self._plane is not None:
+            self._plane.set_counters(self._plane_row, feed_count, cap_count)
 
     @property
     def capped_fraction(self) -> float:
         """Fraction of feeds that answered with an active cap."""
-        if self._feed_count == 0:
+        feeds = self.feed_count
+        if feeds == 0:
             return 0.0
-        return self._cap_count / self._feed_count
+        return self.cap_count / feeds
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         manager = type(self.manager).__name__ if self.manager is not None else None
-        return f"PolicySession(id={self.session_id!r}, manager={manager}, feeds={self._feed_count})"
+        return f"PolicySession(id={self.session_id!r}, manager={manager}, feeds={self.feed_count})"
 
 
 def open_session(
@@ -220,19 +285,28 @@ class SessionPool:
     """Thousands of concurrent policy sessions with batched prediction.
 
     Sessions keep their per-user state (comfort limit, prediction clock,
-    current cap); the pool's contribution is scheduling: on
-    :meth:`feed_many`, every USTA session whose prediction window is due is
-    collected, their feature vectors are stacked, and the underlying
-    regressors run once per (predictor, screen-flag) group instead of once
-    per session.  Managers the pool does not understand simply fall back to
-    their sessions' scalar :meth:`PolicySession.feed`.
+    current cap); the pool's contribution is scheduling.  Eligible sessions
+    (:func:`~repro.api.plane.session_plane_ineligibility`) are adopted onto a
+    resident :class:`~repro.api.plane.SessionPlane`: their controller/adapter/
+    counter state lives in columnar arrays across ticks, so :meth:`feed_many`
+    advances them with vectorized due masks, one batched predict per
+    predictor group and array-wide cap math — bit-identical to the scalar
+    path.  Everything else keeps the historical treatment: on
+    :meth:`feed_many`, every batchable USTA session whose prediction window
+    is due is collected, their feature vectors are stacked, and the
+    underlying regressors run once per (predictor, screen-flag) group instead
+    of once per session; managers the pool does not understand at all fall
+    back to their sessions' scalar :meth:`PolicySession.feed`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, use_plane: bool = True) -> None:
         self._sessions: Dict[str, PolicySession] = {}
         self._feed_count = 0
         self._prediction_count = 0
         self._batch_count = 0
+        self._plane: Optional[SessionPlane] = SessionPlane() if use_plane else None
+        #: session_id -> why it stayed off the plane (``--explain-plane``).
+        self._plane_reasons: Dict[str, str] = {}
 
     # -- membership -------------------------------------------------------------
 
@@ -255,7 +329,17 @@ class SessionPool:
             session_id=session_id,
         )
         self._sessions[session_id] = session
+        self._adopt(session)
         return session
+
+    def _adopt(self, session: PolicySession) -> None:
+        if self._plane is None:
+            return
+        reason = session_plane_ineligibility(session)
+        if reason is None:
+            self._plane.add(session)
+        else:
+            self._plane_reasons[session.session_id] = reason
 
     def get(self, session_id: str) -> PolicySession:
         """The session registered under ``session_id`` (KeyError when missing)."""
@@ -263,7 +347,10 @@ class SessionPool:
 
     def close(self, session_id: str) -> None:
         """Remove a session from the pool."""
-        self._session(session_id)  # same known-ids hint as every other lookup
+        session = self._session(session_id)  # same known-ids hint as every lookup
+        if session._plane is not None:
+            self._plane.remove(session)
+        self._plane_reasons.pop(session_id, None)
         del self._sessions[session_id]
 
     def _session(self, session_id: str) -> PolicySession:
@@ -291,7 +378,27 @@ class SessionPool:
         sample: TelemetrySample,
         feedback: Optional[Mapping[str, Sequence[FeedbackEvent]]] = None,
     ) -> Dict[str, CapDecision]:
-        """Feed one telemetry sample to every session (a shared replayed stream)."""
+        """Feed one telemetry sample to every session (a shared replayed stream).
+
+        When every session is resident on the plane and no external feedback
+        rides along, the shared sample takes a fast path: no N-entry sample
+        dict is materialised, the feature row is built once, and one
+        prediction per predictor group is broadcast across the pool.
+        """
+        plane = self._plane
+        if (
+            not feedback
+            and plane is not None
+            and plane.size
+            and plane.size == len(self._sessions)
+        ):
+            plane.tick_all(sample)
+            self._feed_count += plane.size
+            decisions = plane.decisions
+            return {
+                session_id: decisions[session._plane_row]
+                for session_id, session in self._sessions.items()
+            }
         return self.feed_many({sid: sample for sid in self._sessions}, feedback=feedback)
 
     def feed_many(
@@ -316,29 +423,71 @@ class SessionPool:
                 feeds.  Keys must be a subset of ``samples``.
         """
         feedback = feedback or {}
+        sessions = self._sessions
+        plane = self._plane
         # Unknown ids fail loudly with the known-ids hint (historically a bare
         # dict KeyError with no context) — and they, like feedback aimed at a
         # session that cannot route it, fail before any session in the batch
         # has consumed its sample or feedback, so a bad batch has no effect.
-        for session_id in samples:
-            self._session(session_id)
+        # The same validation pass partitions the batch: resident rows go to
+        # the plane tick, resident rows carrying feedback drop to the scalar
+        # feed (bit-identical for plane-eligible policies), the rest keeps
+        # the historical batched-due/scalar treatment.
+        plane_ids: List[str] = []
+        plane_rows: List[int] = []
+        plane_samples: List[TelemetrySample] = []
+        scalar_resident: List[Tuple[str, PolicySession, TelemetrySample]] = []
+        others: List[Tuple[str, PolicySession, TelemetrySample]] = []
+        sessions_get = sessions.get
+        append_id = plane_ids.append
+        append_row = plane_rows.append
+        append_sample = plane_samples.append
+        feedback_get = feedback.get if feedback else None
+        for session_id, sample in samples.items():
+            session = sessions_get(session_id)
+            if session is None:
+                self._session(session_id)  # raises with the known-ids hint
+            row = session._plane_row
+            if row >= 0:
+                if feedback_get is not None and feedback_get(session_id):
+                    scalar_resident.append((session_id, session, sample))
+                else:
+                    append_id(session_id)
+                    append_row(row)
+                    append_sample(sample)
+            else:
+                others.append((session_id, session, sample))
         for session_id, events in feedback.items():
             if session_id not in samples:
                 raise KeyError(
                     f"feedback for session {session_id!r} without a telemetry "
                     "sample in the same batch"
                 )
-            session = self._sessions[session_id]
+            session = sessions[session_id]
             if events and getattr(session.manager, "apply_feedback", None) is None:
                 raise ValueError(
                     f"session {session_id!r}'s policy has no comfort adapter; "
                     "add an 'adapter' entry to its policy spec to accept user "
                     "feedback"
                 )
-        decisions: Dict[str, CapDecision] = {}
+
+        if plane_rows:
+            plane_decisions = plane.tick_many(plane_rows, plane_samples)
+            self._feed_count += len(plane_rows)
+            if not others and not scalar_resident:
+                # The common serving batch: every session resident, output
+                # order is samples order already.
+                return dict(zip(plane_ids, plane_decisions))
+            decisions: Dict[str, CapDecision] = dict(zip(plane_ids, plane_decisions))
+        else:
+            decisions = {}
+
+        for session_id, session, sample in scalar_resident:
+            decisions[session_id] = session.feed(sample, feedback=feedback[session_id])
+            self._feed_count += 1
+
         due: Dict[Tuple[int, bool], List[Tuple[str, PolicySession, TelemetrySample]]] = {}
-        for session_id, sample in samples.items():
-            session = self._sessions[session_id]
+        for session_id, session, sample in others:
             manager = session.manager
             if self._batchable(manager) and manager.prediction_due(sample.time_s):
                 # External feedback first (the scalar feed's ordering), then
@@ -415,17 +564,62 @@ class SessionPool:
 
     @property
     def prediction_count(self) -> int:
-        """Predictions evaluated through the batched path."""
-        return self._prediction_count
+        """Predictions evaluated through the batched path (incl. the plane)."""
+        count = self._prediction_count
+        if self._plane is not None:
+            count += self._plane.prediction_count
+        return count
 
     @property
     def batch_count(self) -> int:
-        """Matrix-predict calls issued (batches)."""
-        return self._batch_count
+        """Matrix-predict calls issued (batches, incl. the plane)."""
+        count = self._batch_count
+        if self._plane is not None:
+            count += self._plane.batch_count
+        return count
 
     @property
     def average_batch_size(self) -> float:
         """Mean sessions per batched predictor call."""
-        if self._batch_count == 0:
+        batches = self.batch_count
+        if batches == 0:
             return 0.0
-        return self._prediction_count / self._batch_count
+        return self.prediction_count / batches
+
+    @property
+    def plane_resident_count(self) -> int:
+        """Sessions currently resident on the columnar session plane."""
+        return 0 if self._plane is None else self._plane.size
+
+    @property
+    def plane_tick_count(self) -> int:
+        """Vectorized plane ticks executed (due + held rows alike)."""
+        return 0 if self._plane is None else self._plane.tick_count
+
+    def describe_plane(self) -> Dict[str, object]:
+        """Per-session plane residency report (``serve --explain-plane``).
+
+        Mirrors ``RunBatch.describe_batching``: a summary plus one entry per
+        session saying whether it rides the resident plane and, if not, why
+        it fell back to the scalar feed.
+        """
+        sessions = []
+        for session_id in sorted(self._sessions):
+            reason = self._plane_reasons.get(session_id)
+            if self._plane is None:
+                reason = "session plane disabled for this pool"
+            sessions.append(
+                {
+                    "session_id": session_id,
+                    "resident": reason is None,
+                    "fallback_reason": reason,
+                }
+            )
+        resident = sum(1 for entry in sessions if entry["resident"])
+        return {
+            "plane_enabled": self._plane is not None,
+            "session_count": len(sessions),
+            "resident_count": resident,
+            "fallback_count": len(sessions) - resident,
+            "sessions": sessions,
+        }

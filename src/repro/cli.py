@@ -151,6 +151,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--explain-plane",
+        action="store_true",
+        help=(
+            "serve: print the session pool's resident-plane report (which "
+            "sessions ride the columnar fast path, which fall back to the "
+            "scalar per-session feed, and why) instead of serving telemetry "
+            "— silent fallbacks are the usual cause of a serving throughput "
+            "regression"
+        ),
+    )
+    parser.add_argument(
         "--stream-to",
         default=None,
         metavar="DIR",
@@ -563,6 +574,12 @@ def _run_serve(context: ReproductionContext, args: argparse.Namespace) -> str:
         if policy is None:
             policy = PolicySpec(manager=ManagerSpec("usta"))
         policy = _apply_adapter(policy, args)
+    if args.explain_plane:
+        from .api.serve import describe_serve_plane
+
+        return describe_serve_plane(
+            context, sessions=args.sessions, policy=policy
+        ) + "\n(dry run: no telemetry was fed)"
     decision_log = None
     if args.stream_to is not None:
         from pathlib import Path
@@ -812,6 +829,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.explain_batching and args.experiment != "sweep":
         raise SystemExit(
             f"repro-usta: --explain-batching only applies to 'sweep', "
+            f"not {args.experiment!r}"
+        )
+    if args.explain_plane and args.experiment != "serve":
+        raise SystemExit(
+            f"repro-usta: --explain-plane only applies to 'serve', "
             f"not {args.experiment!r}"
         )
 

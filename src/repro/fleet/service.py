@@ -40,11 +40,14 @@ from .state import SessionStateStore
 
 
 def _sample_from_wire(payload: Mapping) -> TelemetrySample:
+    # The sensors dict is adopted, not copied: the request payload is owned
+    # by this call (json-decoded per line, or built per request in-process)
+    # and nothing downstream mutates sample readings.
     return TelemetrySample(
         time_s=float(payload["time_s"]),
         utilization=float(payload["utilization"]),
         frequency_khz=float(payload["frequency_khz"]),
-        sensor_readings=dict(payload.get("sensors", {})),
+        sensor_readings=payload.get("sensors") or {},
     )
 
 
@@ -57,14 +60,25 @@ def _event_from_wire(payload: Mapping) -> FeedbackEvent:
 
 
 def decision_to_wire(decision: CapDecision) -> dict:
-    return {
-        "level_cap": decision.level_cap,
-        "max_frequency_khz": decision.max_frequency_khz,
-        "predicted_skin_temp_c": decision.predicted_skin_temp_c,
-        "predicted_screen_temp_c": decision.predicted_screen_temp_c,
-        "comfort_limit_c": decision.comfort_limit_c,
-        "active": decision.active,
-    }
+    """Wire dict for one decision (cached on the decision; do not mutate).
+
+    Held ticks return the same :class:`CapDecision` object tick after tick,
+    so the serving hot path would otherwise rebuild an identical dict per
+    session per request — memoizing on the (frozen, immutable) decision
+    makes the non-due steady state allocation-free.
+    """
+    wire = getattr(decision, "_wire", None)
+    if wire is None:
+        wire = {
+            "level_cap": decision.level_cap,
+            "max_frequency_khz": decision.max_frequency_khz,
+            "predicted_skin_temp_c": decision.predicted_skin_temp_c,
+            "predicted_screen_temp_c": decision.predicted_screen_temp_c,
+            "comfort_limit_c": decision.comfort_limit_c,
+            "active": decision.active,
+        }
+        object.__setattr__(decision, "_wire", wire)
+    return wire
 
 
 class PolicyService:
@@ -90,13 +104,14 @@ class PolicyService:
         state_store: Optional[SessionStateStore] = None,
         decision_log=None,
         table=None,
+        use_plane: bool = True,
     ):
         self.policy = policy
         self.profiles = dict(profiles or {})
         self.predictor = predictor
         self.state_store = state_store
         self.table = table
-        self.pool = SessionPool()
+        self.pool = SessionPool(use_plane=use_plane)
         self._session_users: Dict[str, str] = {}
         self._log_fh = None
         self.decision_log = None
@@ -167,8 +182,9 @@ class PolicyService:
         }
         decisions = self.pool.feed_many(wire_samples, feedback=wire_feedback or None)
         self.feeds += len(decisions)
-        for sid, decision in decisions.items():
-            self._log_decision(sid, samples[sid], decision)
+        if self._log_fh is not None:
+            for sid, decision in decisions.items():
+                self._log_decision(sid, samples[sid], decision)
         return {
             "ok": True,
             "decisions": {sid: decision_to_wire(d) for sid, d in decisions.items()},
@@ -190,28 +206,40 @@ class PolicyService:
     def checkpoint(self) -> dict:
         """Persist every live session's user state and flush the log."""
         recorded = 0
+        shards_written = 0
         if self.state_store is not None:
             for session in self.pool:
                 user_key = self._session_users.get(session.session_id, session.session_id)
                 recorded += int(self.state_store.record(user_key, session))
-            self.state_store.save()
+            shards_written = self.state_store.save()
         if self._log_fh is not None:
             self._log_fh.flush()
         self.checkpoints += 1
-        return {"ok": True, "recorded": recorded, "sessions": len(self.pool)}
+        return {
+            "ok": True,
+            "recorded": recorded,
+            "sessions": len(self.pool),
+            "shards_written": shards_written,
+        }
 
     def stats(self) -> dict:
+        store = self.state_store
         return {
             "ok": True,
             "sessions": len(self.pool),
             "feeds": self.feeds,
             "predictions": self.pool.prediction_count,
             "batches": self.pool.batch_count,
+            "plane_resident": self.pool.plane_resident_count,
+            "plane_ticks": self.pool.plane_tick_count,
             "opened": self.opened,
             "resumed": self.resumed,
             "checkpoints": self.checkpoints,
             "uptime_s": time.perf_counter() - self.started_at,
-            "persisted_users": len(self.state_store) if self.state_store else 0,
+            "persisted_users": len(store) if store else 0,
+            "state_shards": store.n_shards if store else 0,
+            "state_dirty_shards": store.dirty_shard_count if store else 0,
+            "state_shards_written": store.total_shards_written if store else 0,
         }
 
     def shutdown(self) -> None:

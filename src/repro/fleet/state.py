@@ -12,6 +12,12 @@ decay intact, so adaptation resumes instead of restarting.
 Snapshots reuse the adapters' ``snapshot_batch_state``/``restore_batch_state``
 pair (the same state surface the vectorized policy plane mirrors), so the
 persistence format cannot drift from the adapters' actual state variables.
+
+The store shards users across hashed JSON files (``crc32(user_key) % shards``)
+and tracks which shards changed since the last save, so a periodic checkpoint
+of a 100k-user fleet rewrites only the shards whose sessions actually moved
+instead of serialising the whole population every time.  Legacy single-file
+stores (version 1) are migrated to the sharded layout on first save.
 """
 
 from __future__ import annotations
@@ -19,11 +25,18 @@ from __future__ import annotations
 import json
 import os
 import uuid
+import zlib
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-STATE_VERSION = 1
+STATE_VERSION = 2
+LEGACY_STATE_VERSION = 1
 STATE_FILENAME = "session-state.json"
+DEFAULT_SHARDS = 64
+
+
+def _shard_filename(index: int) -> str:
+    return f"session-state-{index:03d}.json"
 
 
 def snapshot_session_state(session) -> Optional[dict]:
@@ -32,6 +45,11 @@ def snapshot_session_state(session) -> Optional[dict]:
     ``None`` means the session has nothing durable (bare-governor policies
     carry no comfort limit at all).
     """
+    # A plane-resident session's live state is in the pool's columnar arrays;
+    # flush it back onto the manager/adapter objects before reading them.
+    sync = getattr(session, "sync_policy_state", None)
+    if sync is not None:
+        sync()
     manager = session.manager
     if manager is None:
         return None
@@ -66,6 +84,12 @@ def restore_session_state(session, state: dict) -> bool:
     applied = _restore_policy_state(session, state)
     if applied and "feeds" in state:
         session.restore_counters(state["feeds"], state.get("caps", 0))
+    if applied:
+        # The restore mutated manager/adapter objects directly; reload the
+        # session's plane row so the columnar copy picks the new state up.
+        refresh = getattr(session, "refresh_policy_state", None)
+        if refresh is not None:
+            refresh()
     return applied
 
 
@@ -104,43 +128,121 @@ def _restore_policy_state(session, state: dict) -> bool:
 
 
 class SessionStateStore:
-    """Versioned JSON store of per-user policy state, written atomically.
+    """Versioned, sharded JSON store of per-user policy state.
 
-    One file (``session-state.json``) maps user keys to snapshots.  Saves go
-    through a temp file + fsync + :func:`os.replace`, so a crash mid-save
-    leaves the previous complete state in place — the same durability rule
-    as the predictor artifact cache.
+    Users hash onto ``n_shards`` files (``session-state-NNN.json``) via
+    ``crc32(user_key) % n_shards``.  :meth:`record` marks a shard dirty only
+    when the snapshot actually differs from what is stored, and :meth:`save`
+    rewrites dirty shards exclusively — each through a temp file + fsync +
+    :func:`os.replace`, so a crash mid-save leaves every shard either fully
+    old or fully new (the same durability rule as the predictor artifact
+    cache).  A legacy single-file ``session-state.json`` (version 1) is read
+    transparently and migrated to shards on the first save.
     """
 
-    def __init__(self, directory):
+    def __init__(self, directory, n_shards: int = DEFAULT_SHARDS):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self.path = self.directory / STATE_FILENAME
-        self._users: Dict[str, dict] = {}
-        if self.path.exists():
+        self.n_shards = int(n_shards)
+        self._shards: List[Dict[str, dict]] = []
+        self._dirty: set = set()
+        self._pending_legacy: Optional[Path] = None
+        self.last_save_shard_count = 0
+        self.total_shards_written = 0
+
+        shard_paths = sorted(self.directory.glob("session-state-[0-9]*.json"))
+        legacy = self.directory / STATE_FILENAME
+        if shard_paths:
+            self._load_shards(shard_paths)
+        else:
+            self._shards = [{} for _ in range(self.n_shards)]
+            if legacy.exists():
+                self._load_legacy(legacy)
+
+    # -- layout ------------------------------------------------------------------
+
+    def _shard_of(self, user_key: str) -> int:
+        return zlib.crc32(user_key.encode("utf-8")) % self.n_shards
+
+    def shard_path(self, index: int) -> Path:
+        return self.directory / _shard_filename(index)
+
+    def _load_shards(self, shard_paths) -> None:
+        declared: Optional[int] = None
+        payloads = []
+        for path in shard_paths:
             try:
-                payload = json.loads(self.path.read_text(encoding="utf-8"))
+                payload = json.loads(path.read_text(encoding="utf-8"))
             except ValueError as exc:
-                raise ValueError(f"corrupt session state file {self.path}: {exc}") from exc
+                raise ValueError(f"corrupt session state file {path}: {exc}") from exc
             if payload.get("version") != STATE_VERSION:
                 raise ValueError(
-                    f"session state file {self.path} has version "
+                    f"session state file {path} has version "
                     f"{payload.get('version')!r}; this build reads {STATE_VERSION}"
                 )
-            self._users = dict(payload.get("users", {}))
+            shards = payload.get("shards")
+            if declared is None:
+                if not isinstance(shards, int) or shards < 1:
+                    raise ValueError(
+                        f"corrupt session state file {path}: bad shard count {shards!r}"
+                    )
+                declared = shards
+            elif shards != declared:
+                raise ValueError(
+                    f"corrupt session state file {path}: shard count {shards!r} "
+                    f"disagrees with {declared} declared by a sibling shard"
+                )
+            payloads.append((path, payload))
+        # The on-disk layout wins over the constructor argument: re-hashing an
+        # existing store under a different modulus would strand stale copies.
+        self.n_shards = int(declared)
+        self._shards = [{} for _ in range(self.n_shards)]
+        for path, payload in payloads:
+            index = payload.get("shard")
+            for user_key, state in dict(payload.get("users", {})).items():
+                if self._shard_of(user_key) != index:
+                    raise ValueError(
+                        f"corrupt session state file {path}: user {user_key!r} "
+                        f"does not hash to shard {index!r}"
+                    )
+                self._shards[index][user_key] = state
+
+    def _load_legacy(self, path: Path) -> None:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise ValueError(f"corrupt session state file {path}: {exc}") from exc
+        if payload.get("version") != LEGACY_STATE_VERSION:
+            raise ValueError(
+                f"session state file {path} has version "
+                f"{payload.get('version')!r}; this build reads "
+                f"{LEGACY_STATE_VERSION} (legacy) or {STATE_VERSION} (sharded)"
+            )
+        for user_key, state in dict(payload.get("users", {})).items():
+            index = self._shard_of(user_key)
+            self._shards[index][user_key] = state
+            self._dirty.add(index)
+        self._pending_legacy = path
 
     # -- introspection -----------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._users)
+        return sum(len(shard) for shard in self._shards)
 
     @property
     def users(self):
         """Sorted user keys with persisted state."""
-        return sorted(self._users)
+        return sorted(key for shard in self._shards for key in shard)
+
+    @property
+    def dirty_shard_count(self) -> int:
+        """Shards with unsaved changes."""
+        return len(self._dirty)
 
     def state_for(self, user_key: str) -> Optional[dict]:
-        state = self._users.get(user_key)
+        state = self._shards[self._shard_of(user_key)].get(user_key)
         return json.loads(json.dumps(state)) if state is not None else None
 
     # -- recording and restoring -------------------------------------------------
@@ -150,26 +252,50 @@ class SessionStateStore:
         snapshot = snapshot_session_state(session)
         if snapshot is None:
             return False
-        self._users[user_key] = snapshot
+        index = self._shard_of(user_key)
+        shard = self._shards[index]
+        if shard.get(user_key) != snapshot:
+            shard[user_key] = snapshot
+            self._dirty.add(index)
         return True
 
     def restore(self, user_key: str, session) -> bool:
         """Warm-start ``session`` from the persisted state, if any."""
-        state = self._users.get(user_key)
+        state = self._shards[self._shard_of(user_key)].get(user_key)
         if state is None:
             return False
         return restore_session_state(session, state)
 
-    def save(self) -> None:
-        """Atomically persist every recorded snapshot."""
-        payload = {"version": STATE_VERSION, "users": self._users}
-        tmp = self.path.with_name(f".{self.path.name}.{uuid.uuid4().hex}.tmp")
-        try:
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, separators=(",", ":"), sort_keys=True)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self.path)
-        finally:
-            if tmp.exists():  # pragma: no cover - only on a failed write
-                tmp.unlink()
+    def save(self) -> int:
+        """Atomically persist every dirty shard; returns shards written."""
+        written = 0
+        for index in sorted(self._dirty):
+            payload = {
+                "version": STATE_VERSION,
+                "shards": self.n_shards,
+                "shard": index,
+                "users": self._shards[index],
+            }
+            path = self.shard_path(index)
+            tmp = path.with_name(f".{path.name}.{uuid.uuid4().hex}.tmp")
+            try:
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, separators=(",", ":"), sort_keys=True)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            finally:
+                if tmp.exists():  # pragma: no cover - only on a failed write
+                    tmp.unlink()
+            written += 1
+        self._dirty.clear()
+        if self._pending_legacy is not None:
+            # Migration completes only once the sharded copies are durable.
+            try:
+                self._pending_legacy.unlink()
+            except FileNotFoundError:  # pragma: no cover - racing cleanup
+                pass
+            self._pending_legacy = None
+        self.last_save_shard_count = written
+        self.total_shards_written += written
+        return written

@@ -1,0 +1,382 @@
+"""Shared SoA kernels for the USTA policy planes (batch *and* serving).
+
+Two engines keep USTA-family manager state in columnar arrays: the batch
+engine's :class:`~repro.runtime.vectorized._PolicyPlane` (owns its members
+for one ``simulate_population_mixed`` run) and the serving path's resident
+:class:`~repro.api.plane.SessionPlane` (state persists across
+``SessionPool.feed_many`` calls).  Both must reproduce the scalar
+``observe()`` chain bit-for-bit, so the math they share lives here exactly
+once:
+
+* :func:`manager_vectorization_ineligibility` — the eligibility contract;
+* :func:`columnwise_linear_form` / :func:`linear_kernel` /
+  :func:`predictor_fast_kernel` — the probe-verified column-sweep predictor
+  fast path;
+* :func:`compile_policy_steps` / :func:`caps_from_margins` — the inlined
+  ``ThrottlePolicy`` cap computation over precompiled step tables;
+* :class:`AdapterArrays` — columnar comfort-adapter state (live limit plus
+  FeedbackStep/QuantileTracker internals) with the grouped bit-exact event
+  updates.
+
+Bit-exactness notes carry over from ``vectorized.py``: every elementwise
+expression mirrors the scalar model code's operation order, the linear fast
+path is *verified* on a magnitude-spread probe rather than assumed, and
+elementwise IEEE multiply/add are shape-independent so batching rows never
+changes any row's bits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.policy import ThrottlePolicy
+from ..core.predictor import RuntimePredictor
+from ..core.usta import USTAController
+from ..ml.linear import LinearRegression
+from ..users.adaptation import (
+    AdaptiveComfortManager,
+    FeedbackStep,
+    FixedLimit,
+    QuantileTracker,
+    UserFeedbackModel,
+)
+
+__all__ = [
+    "ADAPTER_FIXED",
+    "ADAPTER_NONE",
+    "ADAPTER_QUANTILE",
+    "ADAPTER_STEP",
+    "AdapterArrays",
+    "LINEAR_PROBE_ROWS",
+    "NO_CAP",
+    "NO_CAP_64",
+    "caps_from_margins",
+    "columnwise_linear_form",
+    "compile_policy_steps",
+    "linear_kernel",
+    "manager_vectorization_ineligibility",
+    "predictor_fast_kernel",
+]
+
+
+def manager_vectorization_ineligibility(manager, table=None) -> Optional[str]:
+    """Why ``manager`` cannot ride a vectorized policy plane (``None`` = it can).
+
+    The planes mirror controller state in arrays, so they only accept
+    combinations whose per-tick math they replicate bit-for-bit: a stock
+    :class:`~repro.core.usta.USTAController` (or a subclass that overrides
+    none of the prediction protocol), optionally wrapped in a stock
+    :class:`~repro.users.adaptation.AdaptiveComfortManager` with a stock
+    adapter (:class:`FixedLimit` / :class:`FeedbackStep` /
+    :class:`QuantileTracker`) and at most a stock
+    :class:`UserFeedbackModel`.  Anything else falls back to the scalar
+    per-member ``observe()`` loop; the returned reason is what
+    ``--explain-batching`` / ``--explain-plane`` report.
+    """
+    if manager is None:
+        return None
+    inner = manager
+    if isinstance(manager, AdaptiveComfortManager):
+        if type(manager) is not AdaptiveComfortManager:
+            return f"{type(manager).__name__} subclasses AdaptiveComfortManager"
+        if type(manager.adapter) not in (FixedLimit, FeedbackStep, QuantileTracker):
+            return f"custom comfort adapter {type(manager.adapter).__name__}"
+        if manager.feedback is not None and type(manager.feedback) is not UserFeedbackModel:
+            return f"custom feedback model {type(manager.feedback).__name__}"
+        inner = manager.inner
+    if not isinstance(inner, USTAController):
+        return f"{type(inner).__name__} is not a USTA-family controller"
+    if type(inner) is not USTAController:
+        for method in ("observe", "prediction_due", "apply_prediction", "_cap_for", "set_skin_limit"):
+            if getattr(type(inner), method) is not getattr(USTAController, method):
+                return f"{type(inner).__name__} overrides USTAController.{method}"
+    if type(inner.policy) is not ThrottlePolicy:
+        return f"custom throttle policy {type(inner.policy).__name__}"
+    if type(inner.predictor) is not RuntimePredictor:
+        return f"custom predictor {type(inner.predictor).__name__}"
+    if table is not None and tuple(inner.table.frequencies_khz) != tuple(table.frequencies_khz):
+        return "manager frequency table differs from the platform's"
+    return None
+
+
+#: Adapter-kind tags used to route feedback events to the grouped updates.
+ADAPTER_NONE, ADAPTER_FIXED, ADAPTER_STEP, ADAPTER_QUANTILE = 0, 1, 2, 3
+
+NO_CAP = ThrottlePolicy.NO_CAP
+NO_CAP_64 = np.int64(NO_CAP)
+
+#: Probe size for :func:`columnwise_linear_form`.  The probe rows spread
+#: operand magnitudes over ~50 binary orders, so two genuinely different
+#: float evaluation orders disagree on most rows — a handful suffice.
+LINEAR_PROBE_ROWS = 64
+
+
+def columnwise_linear_form(model):
+    """``(coefficients, intercept)`` for a column-sweep evaluation of a
+    fitted stock LinearRegression, or None.
+
+    The policy planes' parity contract is against the scalar path's one-row
+    ``model.predict(row)`` calls.  :meth:`LinearRegression._predict` is an
+    order-fixed left-to-right column sweep (never a BLAS dot), so a plane
+    can evaluate the same sweep over its own feature columns and land on
+    identical bits for every row.  That equivalence is still *verified* here
+    on a magnitude-spread probe matrix rather than assumed, so a future edit
+    to the model's evaluation order degrades the plane to the (bit-exact)
+    batched-predict path instead of silently breaking parity.
+    """
+    if type(model) is not LinearRegression or not model.is_fitted:
+        return None
+    coef = model.coefficients
+    if coef.shape != (4,):
+        return None
+    intercept = model.intercept
+    rng = np.random.default_rng(0x5BA7C)
+    probe = rng.uniform(-1.0, 1.0, (LINEAR_PROBE_ROWS, 4)) * np.exp2(
+        rng.integers(-25, 26, (LINEAR_PROBE_ROWS, 4)).astype(float)
+    )
+    c0, c1, c2, c3 = coef.tolist()
+    f0, f1, f2, f3 = probe.T
+    sweep = ((f0 * c0 + f1 * c1) + f2 * c2) + f3 * c3 + intercept
+    if not np.array_equal(sweep, model.predict(probe)):
+        return None
+    return coef, intercept
+
+
+def linear_kernel(coef_rows: np.ndarray, intercepts: np.ndarray):
+    """Build the column-sweep callable for one or more stacked linear models.
+
+    ``coef_rows`` is ``(m, 4)`` and ``intercepts`` ``(m, 1)``: evaluating m
+    models over n feature columns in one ``(m, n)`` broadcast sweep costs the
+    same number of ufunc dispatches as evaluating one.  Elementwise IEEE
+    multiply/add are shape-independent, so each output element carries
+    exactly the bits of the per-model column sweep the probe verified.
+    """
+    c0 = coef_rows[:, 0:1]
+    c1 = coef_rows[:, 1:2]
+    c2 = coef_rows[:, 2:3]
+    c3 = coef_rows[:, 3:4]
+    return lambda a, b, u, f: ((a * c0 + b * c1) + u * c2) + f * c3 + intercepts
+
+
+def predictor_fast_kernel(predictor, predict_screen: bool):
+    """Probe-verified ``(kernel, has_screen)`` for a predictor group, or None.
+
+    Skin and screen models probing to the same sweep order share one stacked
+    kernel call; a predictor whose models do not probe clean must go through
+    :meth:`RuntimePredictor.predict_batch_arrays` instead.
+    """
+    if type(predictor) is not RuntimePredictor:
+        return None
+    form = columnwise_linear_form(predictor.skin_model)
+    if form is None:
+        return None
+    coef, intercept = form
+    if predict_screen and predictor.screen_model is not None:
+        sform = columnwise_linear_form(predictor.screen_model)
+        if sform is None:
+            return None
+        return (
+            linear_kernel(np.vstack([coef, sform[0]]), np.array([[intercept], [sform[1]]])),
+            True,
+        )
+    return (linear_kernel(coef[None, :], np.array([[intercept]])), False)
+
+
+def compile_policy_steps(policy: ThrottlePolicy, table) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Precompile one policy's step table for :func:`caps_from_margins`.
+
+    ``(step_caps, thresholds, activation_margin_c)`` are what the scalar
+    ``cap_for_prediction`` rebuilds per call; hoisting them lets a plane
+    inline the (bit-identical) count-of-crossed-rules cap computation.
+    """
+    step_caps = np.array(
+        [
+            table.min_level
+            if step.levels_below_max is None
+            else table.clamp_level(table.max_level - step.levels_below_max)
+            for step in policy.steps
+        ],
+        dtype=np.int64,
+    )
+    thresholds = np.array([step.margin_above_c for step in policy.steps], dtype=float)
+    return step_caps, thresholds, policy.activation_margin_c
+
+
+def caps_from_margins(
+    margins: np.ndarray,
+    step_caps: np.ndarray,
+    thresholds: np.ndarray,
+    activation: float,
+) -> np.ndarray:
+    """Array-wide ``ThrottlePolicy`` cap computation (``NO_CAP`` = no cap).
+
+    Bit-identical to the scalar ``cap_for_prediction``: same comparison
+    expressions over the same float values, constant arrays hoisted by
+    :func:`compile_policy_steps`.
+    """
+    counts = (margins[:, None] <= thresholds).sum(axis=1)
+    step_idx = counts - 1
+    np.maximum(step_idx, 0, out=step_idx)
+    return np.where(margins >= activation, NO_CAP_64, step_caps[step_idx])
+
+
+class AdapterArrays:
+    """Columnar comfort-adapter state shared by both policy planes.
+
+    Owns the live comfort limit (the master copy shared by the adapter
+    updates and the cap computation — the scalar path keeps the two in sync
+    through ``set_skin_limit``) plus the per-strategy parameter/state arrays
+    for the stock adapters, and applies grouped feedback events with the
+    exact arithmetic of the scalar ``observe()`` implementations.
+
+    ``limit_obj`` mirrors ``limit`` as Python floats (records and
+    ``CapDecision`` objects must serialize like scalar runs).
+    """
+
+    #: (array attribute name, dtype, fill) — the schema both planes share.
+    _FIELDS = (
+        ("kind", np.int64, 0),
+        ("limit", float, 0.0),
+        ("step_down", float, 0.0),
+        ("step_up", float, 0.0),
+        ("step_hold", float, 0.0),
+        ("step_min", float, 0.0),
+        ("step_max", float, 0.0),
+        ("step_last_change", float, np.nan),
+        ("q_quant", float, 0.0),
+        ("q_gain", float, 0.0),
+        ("q_decay", float, 0.0),
+        ("q_min", float, 0.0),
+        ("q_max", float, 0.0),
+        ("q_window", float, np.nan),
+        ("q_streak_limit", np.int64, 0),
+        ("q_count", np.int64, 0),
+        ("q_streak", np.int64, 0),
+    )
+
+    def __init__(self, n: int) -> None:
+        for name, dtype, fill in self._FIELDS:
+            setattr(self, name, np.full(n, fill, dtype=dtype))
+        self.limit_obj = np.full(n, None, dtype=object)
+
+    def grow(self, n: int) -> None:
+        """Reallocate to capacity ``n`` rows, preserving the existing prefix."""
+        old = self.kind.size
+        if n <= old:
+            return
+        for name, dtype, fill in self._FIELDS:
+            fresh = np.full(n, fill, dtype=dtype)
+            fresh[:old] = getattr(self, name)
+            setattr(self, name, fresh)
+        fresh_obj = np.full(n, None, dtype=object)
+        fresh_obj[:old] = self.limit_obj
+        self.limit_obj = fresh_obj
+
+    def move_row(self, dst: int, src: int) -> None:
+        """Copy row ``src`` over row ``dst`` (swap-remove support)."""
+        for name, _, _ in self._FIELDS:
+            column = getattr(self, name)
+            column[dst] = column[src]
+        self.limit_obj[dst] = self.limit_obj[src]
+
+    def load(self, i: int, adapter, limit_c: float) -> None:
+        """Mirror one adapter's (and the controller's live-limit) state at row i."""
+        self.limit[i] = limit_c
+        self.limit_obj[i] = float(limit_c)
+        self.step_last_change[i] = np.nan
+        if isinstance(adapter, FeedbackStep):
+            self.kind[i] = ADAPTER_STEP
+            self.step_down[i] = adapter.step_down_c
+            self.step_up[i] = adapter.step_up_c
+            self.step_hold[i] = adapter.hold_off_s
+            self.step_min[i] = adapter.min_limit_c
+            self.step_max[i] = adapter.max_limit_c
+            if adapter._last_change_s is not None:
+                self.step_last_change[i] = adapter._last_change_s
+        elif isinstance(adapter, QuantileTracker):
+            self.kind[i] = ADAPTER_QUANTILE
+            self.q_quant[i] = adapter.quantile
+            self.q_gain[i] = adapter.gain_c
+            self.q_decay[i] = adapter.decay
+            self.q_min[i] = adapter.min_limit_c
+            self.q_max[i] = adapter.max_limit_c
+            self.q_window[i] = (
+                np.nan if adapter.trust_window_c is None else adapter.trust_window_c
+            )
+            self.q_streak_limit[i] = adapter.trust_streak_limit
+            self.q_count[i] = adapter._event_count
+            self.q_streak[i] = adapter._rejection_streak
+        elif isinstance(adapter, FixedLimit):
+            self.kind[i] = ADAPTER_FIXED
+        else:
+            self.kind[i] = ADAPTER_NONE
+
+    def writeback(self, i: int, adapter) -> None:
+        """Restore one adapter object from row ``i`` (inverse of :meth:`load`)."""
+        if isinstance(adapter, FeedbackStep):
+            last_change = self.step_last_change[i]
+            adapter.restore_batch_state(
+                limit_c=float(self.limit[i]),
+                last_change_s=None if math.isnan(last_change) else float(last_change),
+            )
+        elif isinstance(adapter, QuantileTracker):
+            adapter.restore_batch_state(
+                limit_c=float(self.limit[i]),
+                event_count=int(self.q_count[i]),
+                rejection_streak=int(self.q_streak[i]),
+            )
+
+    # -- grouped bit-exact event updates ---------------------------------------
+
+    def apply_step_events(self, events: List[Tuple[int, object]]) -> None:
+        """Grouped FeedbackStep.observe over one tick's events (bit-exact).
+
+        At most one event per row per call (the feedback gate emits one event
+        per model per tick), so the fancy-index scatters never collide.
+        """
+        loc = np.array([i for i, _ in events], dtype=np.int64)
+        times = np.array([event.time_s for _, event in events], dtype=float)
+        discomfort = np.array([event.is_discomfort for _, event in events], dtype=bool)
+        limit = self.limit[loc]
+        last_change = self.step_last_change[loc]
+        blocked = ~np.isnan(last_change) & (times - last_change < self.step_hold[loc])
+        down = np.maximum(self.step_min[loc], limit - self.step_down[loc])
+        up = np.minimum(self.step_max[loc], limit + self.step_up[loc])
+        adjusted = np.where(discomfort, down, up)
+        changed = ~blocked & (adjusted != limit)
+        new_limit = np.where(changed, adjusted, limit)
+        self.limit[loc] = new_limit
+        self.step_last_change[loc[changed]] = times[changed]
+        self.limit_obj[loc] = new_limit.tolist()
+
+    def apply_quantile_events(self, events: List[Tuple[int, object]]) -> None:
+        """Grouped QuantileTracker.observe over one tick's events (bit-exact)."""
+        loc = np.array([i for i, _ in events], dtype=np.int64)
+        discomfort = np.array([event.is_discomfort for _, event in events], dtype=bool)
+        temp = np.array([event.skin_temp_c for _, event in events], dtype=float)
+        limit = self.limit[loc]
+        window = self.q_window[loc]
+        streak_after = self.q_streak[loc] + 1
+        far = ~np.isnan(window) & (np.abs(temp - limit) > window)
+        rejected = far & (streak_after < self.q_streak_limit[loc])
+        accepted = ~rejected
+        self.q_streak[loc] = np.where(rejected, streak_after, 0)
+        new_count = np.where(accepted, self.q_count[loc] + 1, self.q_count[loc])
+        self.q_count[loc] = new_count
+        gain = self.q_gain[loc] / (1.0 + self.q_decay[loc] * new_count)
+        pull_down = accepted & discomfort & (temp < limit)
+        pull_up = accepted & ~discomfort & (temp > limit)
+        moved = np.where(
+            pull_down,
+            limit + (1.0 - self.q_quant[loc]) * gain * (temp - limit),
+            np.where(pull_up, limit + self.q_quant[loc] * gain * (temp - limit), limit),
+        )
+        # The scalar path clamps on every accepted event, moved or not.
+        new_limit = np.where(
+            accepted, np.minimum(self.q_max[loc], np.maximum(self.q_min[loc], moved)), moved
+        )
+        self.limit[loc] = new_limit
+        self.limit_obj[loc] = new_limit.tolist()

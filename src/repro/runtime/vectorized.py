@@ -87,6 +87,21 @@ from ..users.adaptation import (
     UserFeedbackModel,
 )
 from ..workloads.trace import WorkloadTrace
+from .plane_kernels import (
+    ADAPTER_FIXED as _ADAPTER_FIXED,
+    ADAPTER_NONE as _ADAPTER_NONE,
+    ADAPTER_QUANTILE as _ADAPTER_QUANTILE,
+    ADAPTER_STEP as _ADAPTER_STEP,
+    AdapterArrays,
+    NO_CAP as _NO_CAP,
+    NO_CAP_64 as _NO_CAP_64,
+    caps_from_margins,
+    columnwise_linear_form as _columnwise_linear_form,
+    compile_policy_steps,
+    linear_kernel as _linear_kernel,
+    manager_vectorization_ineligibility,
+    predictor_fast_kernel,
+)
 
 __all__ = [
     "PopulationMember",
@@ -298,107 +313,6 @@ def _hand_state_solvers(template: DevicePlatform) -> Dict[bool, ThermalSolver]:
     return solvers
 
 
-def manager_vectorization_ineligibility(
-    manager: Optional[ThermalManager], table=None
-) -> Optional[str]:
-    """Why ``manager`` cannot ride the vectorized policy plane (``None`` = it can).
-
-    The plane mirrors controller state in arrays, so it only accepts
-    combinations whose per-tick math it replicates bit-for-bit: a stock
-    :class:`~repro.core.usta.USTAController` (or a subclass that overrides
-    none of the prediction protocol), optionally wrapped in a stock
-    :class:`~repro.users.adaptation.AdaptiveComfortManager` with a stock
-    adapter (:class:`FixedLimit` / :class:`FeedbackStep` /
-    :class:`QuantileTracker`) and at most a stock
-    :class:`UserFeedbackModel`.  Anything else falls back to the scalar
-    per-member ``observe()`` loop; the returned reason is what
-    ``--explain-batching`` reports.
-    """
-    if manager is None:
-        return None
-    inner = manager
-    if isinstance(manager, AdaptiveComfortManager):
-        if type(manager) is not AdaptiveComfortManager:
-            return f"{type(manager).__name__} subclasses AdaptiveComfortManager"
-        if type(manager.adapter) not in (FixedLimit, FeedbackStep, QuantileTracker):
-            return f"custom comfort adapter {type(manager.adapter).__name__}"
-        if manager.feedback is not None and type(manager.feedback) is not UserFeedbackModel:
-            return f"custom feedback model {type(manager.feedback).__name__}"
-        inner = manager.inner
-    if not isinstance(inner, USTAController):
-        return f"{type(inner).__name__} is not a USTA-family controller"
-    if type(inner) is not USTAController:
-        for method in ("observe", "prediction_due", "apply_prediction", "_cap_for", "set_skin_limit"):
-            if getattr(type(inner), method) is not getattr(USTAController, method):
-                return f"{type(inner).__name__} overrides USTAController.{method}"
-    if type(inner.policy) is not ThrottlePolicy:
-        return f"custom throttle policy {type(inner.policy).__name__}"
-    if type(inner.predictor) is not RuntimePredictor:
-        return f"custom predictor {type(inner.predictor).__name__}"
-    if table is not None and tuple(inner.table.frequencies_khz) != tuple(table.frequencies_khz):
-        return "manager frequency table differs from the platform's"
-    return None
-
-
-#: Adapter-kind tags used to route feedback events to the grouped updates.
-_ADAPTER_NONE, _ADAPTER_FIXED, _ADAPTER_STEP, _ADAPTER_QUANTILE = 0, 1, 2, 3
-
-_NO_CAP = ThrottlePolicy.NO_CAP
-_NO_CAP_64 = np.int64(_NO_CAP)
-
-#: Probe size for :func:`_columnwise_linear_form`.  The probe rows spread
-#: operand magnitudes over ~50 binary orders, so two genuinely different
-#: float evaluation orders disagree on most rows — a handful suffice.
-_LINEAR_PROBE_ROWS = 64
-
-
-def _columnwise_linear_form(model):
-    """``(coefficients, intercept)`` for a column-sweep evaluation of a
-    fitted stock LinearRegression, or None.
-
-    The policy plane's parity contract is against the scalar path's one-row
-    ``model.predict(row)`` calls.  :meth:`LinearRegression._predict` is an
-    order-fixed left-to-right column sweep (never a BLAS dot), so the plane
-    can evaluate the same sweep over its own feature columns and land on
-    identical bits for every row.  That equivalence is still *verified* here
-    on a magnitude-spread probe matrix rather than assumed, so a future edit
-    to the model's evaluation order degrades the plane to the (bit-exact)
-    batched-predict path instead of silently breaking parity.
-    """
-    if type(model) is not LinearRegression or not model.is_fitted:
-        return None
-    coef = model.coefficients
-    if coef.shape != (4,):
-        return None
-    intercept = model.intercept
-    rng = np.random.default_rng(0x5BA7C)
-    probe = rng.uniform(-1.0, 1.0, (_LINEAR_PROBE_ROWS, 4)) * np.exp2(
-        rng.integers(-25, 26, (_LINEAR_PROBE_ROWS, 4)).astype(float)
-    )
-    c0, c1, c2, c3 = coef.tolist()
-    f0, f1, f2, f3 = probe.T
-    sweep = ((f0 * c0 + f1 * c1) + f2 * c2) + f3 * c3 + intercept
-    if not np.array_equal(sweep, model.predict(probe)):
-        return None
-    return coef, intercept
-
-
-def _linear_kernel(coef_rows: np.ndarray, intercepts: np.ndarray):
-    """Build the column-sweep callable for one or more stacked linear models.
-
-    ``coef_rows`` is ``(m, 4)`` and ``intercepts`` ``(m, 1)``: evaluating m
-    models over n feature columns in one ``(m, n)`` broadcast sweep costs the
-    same number of ufunc dispatches as evaluating one.  Elementwise IEEE
-    multiply/add are shape-independent, so each output element carries
-    exactly the bits of the per-model column sweep the probe verified.
-    """
-    c0 = coef_rows[:, 0:1]
-    c1 = coef_rows[:, 1:2]
-    c2 = coef_rows[:, 2:3]
-    c3 = coef_rows[:, 3:4]
-    return lambda a, b, u, f: ((a * c0 + b * c1) + u * c2) + f * c3 + intercepts
-
-
 class _PolicyPlane:
     """SoA state for the batch's vectorizable USTA-family managers.
 
@@ -466,11 +380,15 @@ class _PolicyPlane:
         self.latency = np.zeros(n)
         self.count = np.zeros(n, dtype=np.int64)
         self.cap_req = np.full(n, _NO_CAP, dtype=np.int64)
-        # The live comfort limit is the master copy shared by the adapter
-        # updates and the cap computation (the scalar path keeps the two in
-        # sync through set_skin_limit).
-        self.limit = np.array([inner.current_skin_limit_c for inner in self.inners])
-        self.limit_obj = np.array([float(v) for v in self.limit.tolist()], dtype=object)
+        # Columnar adapter state + the live comfort limit (the master copy
+        # shared by the adapter updates and the cap computation — the scalar
+        # path keeps the two in sync through set_skin_limit).
+        self.ad = AdapterArrays(n)
+        for i, adapter in enumerate(self.adapters):
+            self.ad.load(i, adapter, self.inners[i].current_skin_limit_c)
+        self.limit = self.ad.limit
+        self.limit_obj = self.ad.limit_obj
+        self.adapter_kind = self.ad.kind
         # Initial state need not be the post-reset default (the engine resets
         # members first, but stays faithful if that ever changes).
         for i, inner in enumerate(self.inners):
@@ -511,29 +429,10 @@ class _PolicyPlane:
         # models probing to the same sweep order share one stacked kernel
         # call.  Only meaningful in exact mode — the inexact path's single
         # matrix predict is already one BLAS call.
-        self.pred_fast: List[Optional[Tuple]] = []
-        for local, predictor, predict_screen in self.pred_groups:
-            fast = None
-            if exact and type(predictor) is RuntimePredictor:
-                form = _columnwise_linear_form(predictor.skin_model)
-                if form is not None:
-                    coef, intercept = form
-                    if predict_screen and predictor.screen_model is not None:
-                        sform = _columnwise_linear_form(predictor.screen_model)
-                        if sform is not None:
-                            fast = (
-                                _linear_kernel(
-                                    np.vstack([coef, sform[0]]),
-                                    np.array([[intercept], [sform[1]]]),
-                                ),
-                                True,
-                            )
-                    else:
-                        fast = (
-                            _linear_kernel(coef[None, :], np.array([[intercept]])),
-                            False,
-                        )
-            self.pred_fast.append(fast)
+        self.pred_fast: List[Optional[Tuple]] = [
+            predictor_fast_kernel(predictor, predict_screen) if exact else None
+            for _, predictor, predict_screen in self.pred_groups
+        ]
 
         # -- policy groups (cap math depends only on the step table) -----------
         # step_caps/thresholds are what caps_for_margins would rebuild per
@@ -545,24 +444,9 @@ class _PolicyPlane:
         self.policy_groups = []
         for local in pgroups.values():
             policy = self.inners[local[0]].policy
-            step_caps = np.array(
-                [
-                    table.min_level
-                    if step.levels_below_max is None
-                    else table.clamp_level(table.max_level - step.levels_below_max)
-                    for step in policy.steps
-                ],
-                dtype=np.int64,
-            )
-            thresholds = np.array([step.margin_above_c for step in policy.steps], dtype=float)
+            step_caps, thresholds, activation = compile_policy_steps(policy, table)
             self.policy_groups.append(
-                (
-                    np.array(local, dtype=np.int64),
-                    policy,
-                    step_caps,
-                    thresholds,
-                    policy.activation_margin_c,
-                )
+                (np.array(local, dtype=np.int64), policy, step_caps, thresholds, activation)
             )
 
         # Plane rows are very often the whole batch prefix (every member
@@ -595,48 +479,6 @@ class _PolicyPlane:
         # model has never reported or holds a delayed event): between firings
         # the candidate mask is provably all-False, so tick() skips it.
         self._fb_wake = -np.inf
-
-        # -- per-strategy adapter parameter/state arrays -----------------------
-        self.adapter_kind = np.zeros(n, dtype=np.int64)
-        self.step_down = np.zeros(n)
-        self.step_up = np.zeros(n)
-        self.step_hold = np.zeros(n)
-        self.step_min = np.zeros(n)
-        self.step_max = np.zeros(n)
-        self.step_last_change = np.full(n, np.nan)
-        self.q_quant = np.zeros(n)
-        self.q_gain = np.zeros(n)
-        self.q_decay = np.zeros(n)
-        self.q_min = np.zeros(n)
-        self.q_max = np.zeros(n)
-        self.q_window = np.full(n, np.nan)
-        self.q_streak_limit = np.zeros(n, dtype=np.int64)
-        self.q_count = np.zeros(n, dtype=np.int64)
-        self.q_streak = np.zeros(n, dtype=np.int64)
-        for i, adapter in enumerate(self.adapters):
-            if isinstance(adapter, FeedbackStep):
-                self.adapter_kind[i] = _ADAPTER_STEP
-                self.step_down[i] = adapter.step_down_c
-                self.step_up[i] = adapter.step_up_c
-                self.step_hold[i] = adapter.hold_off_s
-                self.step_min[i] = adapter.min_limit_c
-                self.step_max[i] = adapter.max_limit_c
-                if adapter._last_change_s is not None:
-                    self.step_last_change[i] = adapter._last_change_s
-            elif isinstance(adapter, QuantileTracker):
-                self.adapter_kind[i] = _ADAPTER_QUANTILE
-                self.q_quant[i] = adapter.quantile
-                self.q_gain[i] = adapter.gain_c
-                self.q_decay[i] = adapter.decay
-                self.q_min[i] = adapter.min_limit_c
-                self.q_max[i] = adapter.max_limit_c
-                if adapter.trust_window_c is not None:
-                    self.q_window[i] = adapter.trust_window_c
-                self.q_streak_limit[i] = adapter.trust_streak_limit
-                self.q_count[i] = adapter._event_count
-                self.q_streak[i] = adapter._rejection_streak
-            elif isinstance(adapter, FixedLimit):
-                self.adapter_kind[i] = _ADAPTER_FIXED
 
     def bind_sensor_rows(self, block_row: Dict[str, int]) -> None:
         """Resolve the engine sensor-block rows this plane reads per tick.
@@ -727,9 +569,9 @@ class _PolicyPlane:
                             quant_events.append((i, event))
                         # _ADAPTER_FIXED consumes the event without state.
                 if step_events:
-                    self._apply_step_events(time_s, step_events)
+                    self.ad.apply_step_events(step_events)
                 if quant_events:
-                    self._apply_quantile_events(quant_events)
+                    self.ad.apply_quantile_events(quant_events)
                 # Re-arm the wake clock from the updated report times.  A
                 # shrinking k only widens the row set the minimum ranges
                 # over, so a cached wake never skips a live row's firing.
@@ -816,13 +658,10 @@ class _PolicyPlane:
                 if gd.size == 0:
                     continue
                 sl = slice(0, gd.size) if g_is_prefix else gd
-                # Inlined caps_for_margins over the precomputed step tables
-                # (bit-identical: same expressions, constant arrays hoisted).
+                # caps_from_margins over the precompiled step tables is
+                # bit-identical to the scalar cap_for_prediction.
                 margins = self.limit[sl] - self.pred_skin[sl]
-                counts = (margins[:, None] <= thresholds).sum(axis=1)
-                step_idx = counts - 1
-                np.maximum(step_idx, 0, out=step_idx)
-                new_caps = np.where(margins >= activation, _NO_CAP_64, step_caps[step_idx])
+                new_caps = caps_from_margins(margins, step_caps, thresholds, activation)
                 self.cap_req[sl] = new_caps
                 if sync_governors:
                     # Custom-governor path: select_level reads the governor's
@@ -840,51 +679,6 @@ class _PolicyPlane:
         buf.comfort_limit_c[t, dest] = self.limit_obj[:k]
         caps[dest] = np.where(cap_req == _NO_CAP, max_level, cap_req)
 
-    def _apply_step_events(self, time_s: float, events: List[Tuple[int, object]]) -> None:
-        """Grouped FeedbackStep.observe over this tick's events (bit-exact)."""
-        loc = np.array([i for i, _ in events], dtype=np.int64)
-        discomfort = np.array([event.is_discomfort for _, event in events], dtype=bool)
-        limit = self.limit[loc]
-        last_change = self.step_last_change[loc]
-        blocked = ~np.isnan(last_change) & (time_s - last_change < self.step_hold[loc])
-        down = np.maximum(self.step_min[loc], limit - self.step_down[loc])
-        up = np.minimum(self.step_max[loc], limit + self.step_up[loc])
-        adjusted = np.where(discomfort, down, up)
-        changed = ~blocked & (adjusted != limit)
-        new_limit = np.where(changed, adjusted, limit)
-        self.limit[loc] = new_limit
-        self.step_last_change[loc[changed]] = time_s
-        self.limit_obj[loc] = new_limit.tolist()
-
-    def _apply_quantile_events(self, events: List[Tuple[int, object]]) -> None:
-        """Grouped QuantileTracker.observe over this tick's events (bit-exact)."""
-        loc = np.array([i for i, _ in events], dtype=np.int64)
-        discomfort = np.array([event.is_discomfort for _, event in events], dtype=bool)
-        temp = np.array([event.skin_temp_c for _, event in events], dtype=float)
-        limit = self.limit[loc]
-        window = self.q_window[loc]
-        streak_after = self.q_streak[loc] + 1
-        far = ~np.isnan(window) & (np.abs(temp - limit) > window)
-        rejected = far & (streak_after < self.q_streak_limit[loc])
-        accepted = ~rejected
-        self.q_streak[loc] = np.where(rejected, streak_after, 0)
-        new_count = np.where(accepted, self.q_count[loc] + 1, self.q_count[loc])
-        self.q_count[loc] = new_count
-        gain = self.q_gain[loc] / (1.0 + self.q_decay[loc] * new_count)
-        pull_down = accepted & discomfort & (temp < limit)
-        pull_up = accepted & ~discomfort & (temp > limit)
-        moved = np.where(
-            pull_down,
-            limit + (1.0 - self.q_quant[loc]) * gain * (temp - limit),
-            np.where(pull_up, limit + self.q_quant[loc] * gain * (temp - limit), limit),
-        )
-        # The scalar path clamps on every accepted event, moved or not.
-        new_limit = np.where(
-            accepted, np.minimum(self.q_max[loc], np.maximum(self.q_min[loc], moved)), moved
-        )
-        self.limit[loc] = new_limit
-        self.limit_obj[loc] = new_limit.tolist()
-
     # -- batch-boundary writeback ---------------------------------------------
 
     def finish(self) -> None:
@@ -901,19 +695,7 @@ class _PolicyPlane:
                 current_cap=None if cap == _NO_CAP else cap,
                 live_limit_c=float(self.limit[i]),
             )
-            adapter = self.adapters[i]
-            if isinstance(adapter, FeedbackStep):
-                last_change = self.step_last_change[i]
-                adapter.restore_batch_state(
-                    limit_c=float(self.limit[i]),
-                    last_change_s=None if math.isnan(last_change) else float(last_change),
-                )
-            elif isinstance(adapter, QuantileTracker):
-                adapter.restore_batch_state(
-                    limit_c=float(self.limit[i]),
-                    event_count=int(self.q_count[i]),
-                    rejection_streak=int(self.q_streak[i]),
-                )
+            self.ad.writeback(i, self.adapters[i])
             self.governors[i].set_level_cap(None if cap == _NO_CAP else cap)
 
 

@@ -1,0 +1,244 @@
+"""Scalar-vs-plane parity tests for the resident session plane.
+
+The plane's contract (:mod:`repro.api.plane`) is *bit-identical* decisions:
+a pool with the resident plane enabled must emit exactly the decisions a
+plane-disabled pool (and therefore the scalar ``PolicySession.feed`` path)
+emits, tick for tick, through every interleaving serving produces — due and
+held predictions, simulated and external feedback, single feeds bracketed
+between batches, swap-removing closes, and warm restores from persisted
+state.  Every assertion here compares full ``CapDecision`` dataclasses, so
+floats must match exactly, not approximately.
+"""
+
+import pytest
+
+from repro.api.plane import session_plane_ineligibility
+from repro.api.session import SessionPool, open_session
+from repro.api.specs import AdapterSpec, GovernorSpec, ManagerSpec, PolicySpec
+from repro.api.types import FeedbackEvent, TelemetrySample
+from repro.fleet import restore_session_state, snapshot_session_state
+
+REPORT_PERIOD_S = 3.0
+TRUE_LIMIT_C = 34.3
+
+
+def _spec(with_feedback: bool = True, adapter: str = "feedback_step") -> PolicySpec:
+    feedback = (
+        {"true_limit_c": TRUE_LIMIT_C, "report_period_s": REPORT_PERIOD_S}
+        if with_feedback
+        else None
+    )
+    return PolicySpec(
+        manager=ManagerSpec("usta", params={"skin_limit_c": 37.0}),
+        adapter=AdapterSpec(
+            adapter,
+            params={"step_down_c": 0.5, "hold_off_s": 15.0}
+            if adapter == "feedback_step"
+            else {},
+            feedback=feedback,
+        ),
+    )
+
+
+def _sample(time_s: float, i: int, skin: bool = True) -> TelemetrySample:
+    """Per-session telemetry that sweeps through the comfort band."""
+    readings = {"cpu": 36.0 + (i % 9) * 0.7, "battery": 33.0 + (i % 4) * 0.4}
+    if skin:
+        readings["skin"] = 31.0 + (i % 13) * 0.35
+    return TelemetrySample(
+        time_s=time_s,
+        utilization=0.4 + (i % 6) * 0.1,
+        frequency_khz=1_200_000.0 + (i % 3) * 156_000.0,
+        sensor_readings=readings,
+    )
+
+
+def _twin_pools(spec, count: int, predictor, ids=None):
+    """The same sessions opened on a plane pool and a plane-disabled pool."""
+    plane_pool = SessionPool(use_plane=True)
+    scalar_pool = SessionPool(use_plane=False)
+    ids = ids if ids is not None else [f"s-{i}" for i in range(count)]
+    for sid in ids:
+        plane_pool.open(sid, spec, predictor=predictor)
+        scalar_pool.open(sid, spec, predictor=predictor)
+    return plane_pool, scalar_pool, ids
+
+
+def _assert_pools_agree(plane_pool, scalar_pool, ids):
+    for sid in ids:
+        a, b = plane_pool.get(sid), scalar_pool.get(sid)
+        assert a.last_decision == b.last_decision, sid
+        assert a.current_limit_c == b.current_limit_c, sid
+        assert a.feed_count == b.feed_count, sid
+        assert a.cap_count == b.cap_count, sid
+
+
+class TestPlaneParity:
+    def test_feed_many_bit_identical_over_mixed_ticks(self, linear_predictor):
+        """Due ticks, held ticks and simulated-user feedback all agree."""
+        plane_pool, scalar_pool, ids = _twin_pools(_spec(), 12, linear_predictor)
+        assert plane_pool.plane_resident_count == 12
+        for t in range(25):
+            samples = {sid: _sample(float(t + 1), i + t) for i, sid in enumerate(ids)}
+            got = plane_pool.feed_many(samples)
+            want = scalar_pool.feed_many(samples)
+            assert got == want  # full CapDecision equality, all sessions
+        _assert_pools_agree(plane_pool, scalar_pool, ids)
+        assert plane_pool.plane_tick_count == 25
+        # The simulated users actually fired (limits moved off the default).
+        assert any(plane_pool.get(sid).current_limit_c != 37.0 for sid in ids)
+        # Same predictions happened, just batched on the plane.
+        assert plane_pool.prediction_count == scalar_pool.prediction_count
+
+    def test_external_feedback_on_due_and_held_ticks(self, linear_predictor):
+        """External reports drop those sessions to scalar feeds — and the
+        next vectorized tick picks their refreshed state back up."""
+        plane_pool, scalar_pool, ids = _twin_pools(
+            _spec(with_feedback=False, adapter="quantile_tracker"),
+            6,
+            linear_predictor,
+        )
+        for t in range(20):
+            samples = {
+                sid: _sample(float(t + 1), i, skin=False) for i, sid in enumerate(ids)
+            }
+            feedback = {}
+            if t % 4 == 0:  # a due tick (period 3 s, 1 s spacing)
+                feedback[ids[0]] = [
+                    FeedbackEvent(float(t + 1), "discomfort", 34.0 + 0.05 * t)
+                ]
+            if t % 4 == 2:  # a held tick
+                feedback[ids[1]] = [FeedbackEvent(float(t + 1), "comfort", 33.0)]
+            got = plane_pool.feed_many(samples, feedback=feedback or None)
+            want = scalar_pool.feed_many(samples, feedback=feedback or None)
+            assert got == want
+        _assert_pools_agree(plane_pool, scalar_pool, ids)
+        assert plane_pool.get(ids[0]).current_limit_c != 37.0
+
+    def test_feed_feedback_brackets_resident_state(self, linear_predictor):
+        """feed_feedback between batch ticks syncs and refreshes the row."""
+        plane_pool, scalar_pool, ids = _twin_pools(
+            _spec(with_feedback=False), 4, linear_predictor
+        )
+        event = FeedbackEvent(1.5, "discomfort", 34.5)
+        samples = {sid: _sample(1.0, i) for i, sid in enumerate(ids)}
+        assert plane_pool.feed_many(samples) == scalar_pool.feed_many(samples)
+        assert plane_pool.feed_feedback(ids[2], event) == scalar_pool.feed_feedback(
+            ids[2], event
+        )
+        for t in range(2, 8):
+            samples = {sid: _sample(float(t), i) for i, sid in enumerate(ids)}
+            assert plane_pool.feed_many(samples) == scalar_pool.feed_many(samples)
+        _assert_pools_agree(plane_pool, scalar_pool, ids)
+
+    def test_single_feed_interleaved_with_batches(self, linear_predictor):
+        """A direct session.feed between feed_many calls stays coherent."""
+        plane_pool, scalar_pool, ids = _twin_pools(_spec(), 5, linear_predictor)
+        for t in range(12):
+            samples = {sid: _sample(float(t + 1), i) for i, sid in enumerate(ids)}
+            assert plane_pool.feed_many(samples) == scalar_pool.feed_many(samples)
+            if t % 3 == 1:
+                lone = _sample(t + 1.5, 7 + t)
+                assert plane_pool.get(ids[3]).feed(lone) == scalar_pool.get(
+                    ids[3]
+                ).feed(lone)
+        _assert_pools_agree(plane_pool, scalar_pool, ids)
+
+    def test_mixed_pool_keeps_fallback_sessions_scalar(self, linear_predictor):
+        """Bare-governor sessions stay off the plane but keep deciding."""
+        plane_pool = SessionPool(use_plane=True)
+        scalar_pool = SessionPool(use_plane=False)
+        bare = PolicySpec(governor=GovernorSpec("ondemand"))
+        ids = []
+        for i in range(6):
+            sid = f"m-{i}"
+            spec = bare if i % 3 == 0 else _spec()
+            plane_pool.open(sid, spec, predictor=linear_predictor)
+            scalar_pool.open(sid, spec, predictor=linear_predictor)
+            ids.append(sid)
+        report = plane_pool.describe_plane()
+        assert report["plane_enabled"] is True
+        assert report["resident_count"] == 4
+        assert report["fallback_count"] == 2
+        reasons = {
+            e["session_id"]: e["fallback_reason"]
+            for e in report["sessions"]
+            if not e["resident"]
+        }
+        assert set(reasons) == {"m-0", "m-3"}
+        assert "bare-governor" in reasons["m-0"]
+        for t in range(10):
+            samples = {sid: _sample(float(t + 1), i) for i, sid in enumerate(ids)}
+            assert plane_pool.feed_many(samples) == scalar_pool.feed_many(samples)
+        _assert_pools_agree(plane_pool, scalar_pool, ids)
+
+    def test_close_swap_removes_row_and_keeps_parity(self, linear_predictor):
+        """Closing a middle session swap-removes its plane row; the moved
+        session's decisions must not change."""
+        plane_pool, scalar_pool, ids = _twin_pools(_spec(), 7, linear_predictor)
+        for t in range(6):
+            samples = {sid: _sample(float(t + 1), i) for i, sid in enumerate(ids)}
+            assert plane_pool.feed_many(samples) == scalar_pool.feed_many(samples)
+        plane_pool.close(ids[2])
+        scalar_pool.close(ids[2])
+        remaining = [sid for sid in ids if sid != ids[2]]
+        assert plane_pool.plane_resident_count == 6
+        for t in range(6, 15):
+            samples = {
+                sid: _sample(float(t + 1), ids.index(sid)) for sid in remaining
+            }
+            assert plane_pool.feed_many(samples) == scalar_pool.feed_many(samples)
+        _assert_pools_agree(plane_pool, scalar_pool, remaining)
+
+    def test_feed_all_fast_path_matches_feed_many(self, linear_predictor):
+        """The shared-sample fast path returns exactly the dict path's
+        decisions (a twin pool fed the equivalent N-entry dict)."""
+        fast_pool, dict_pool, ids = _twin_pools(_spec(), 8, linear_predictor)
+        dict_pool2 = SessionPool(use_plane=True)
+        for sid in ids:
+            dict_pool2.open(sid, _spec(), predictor=linear_predictor)
+        for t in range(15):
+            sample = _sample(float(t + 1), t)
+            fast = fast_pool.feed_all(sample)
+            via_dict = dict_pool2.feed_many({sid: sample for sid in ids})
+            scalar = dict_pool.feed_all(sample)
+            assert fast == via_dict == scalar
+        _assert_pools_agree(fast_pool, dict_pool, ids)
+        assert fast_pool.plane_tick_count == 15
+
+    def test_warm_restore_onto_plane_resumes_identically(self, linear_predictor):
+        """Persisted state restored into a plane pool continues bit-identical
+        to the same restore into a scalar pool."""
+        donor = open_session(_spec(), predictor=linear_predictor)
+        for t in range(30):
+            donor.feed(_sample(float(t + 1), t))
+        snapshot = snapshot_session_state(donor)
+        assert snapshot is not None and snapshot["limit_c"] != 37.0
+
+        plane_pool, scalar_pool, ids = _twin_pools(_spec(), 3, linear_predictor)
+        assert restore_session_state(plane_pool.get(ids[1]), snapshot)
+        assert restore_session_state(scalar_pool.get(ids[1]), snapshot)
+        assert plane_pool.get(ids[1]).current_limit_c == snapshot["limit_c"]
+        for t in range(12):
+            samples = {sid: _sample(float(t + 1), i) for i, sid in enumerate(ids)}
+            assert plane_pool.feed_many(samples) == scalar_pool.feed_many(samples)
+        _assert_pools_agree(plane_pool, scalar_pool, ids)
+
+    def test_disabled_plane_is_reported(self, linear_predictor):
+        pool = SessionPool(use_plane=False)
+        pool.open("s-0", _spec(), predictor=linear_predictor)
+        report = pool.describe_plane()
+        assert report["plane_enabled"] is False
+        assert report["resident_count"] == 0
+        assert (
+            report["sessions"][0]["fallback_reason"]
+            == "session plane disabled for this pool"
+        )
+        assert pool.plane_resident_count == 0
+        assert pool.plane_tick_count == 0
+
+    def test_ineligibility_names_the_reason(self, linear_predictor):
+        bare = open_session(PolicySpec(governor=GovernorSpec("ondemand")))
+        assert "bare-governor" in session_plane_ineligibility(bare)
+        eligible = open_session(_spec(), predictor=linear_predictor)
+        assert session_plane_ineligibility(eligible) is None

@@ -1,0 +1,249 @@
+"""Tests for the sharded per-user session state store.
+
+The store hashes users across ``session-state-NNN.json`` shard files and
+tracks dirty shards, so a checkpoint rewrites only the shards whose users
+actually moved — the incremental half of the PR's resident-serving plane.
+Covers: round-trips across shards, dirty-set proportionality (the "1% of
+sessions touched rewrites ~1% of shards" acceptance), legacy single-file
+migration, and every corruption refusal.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro.api.session import open_session
+from repro.api.specs import AdapterSpec, ManagerSpec, PolicySpec
+from repro.api.types import FeedbackEvent
+from repro.fleet import PolicyService, SessionStateStore
+from repro.fleet.state import STATE_VERSION
+from repro.users import paper_population
+
+TRACKER_POLICY = PolicySpec(
+    manager=ManagerSpec("usta"), adapter=AdapterSpec("quantile_tracker")
+)
+
+
+def _session(linear_predictor):
+    return open_session(TRACKER_POLICY, predictor=linear_predictor)
+
+
+def _nudge(session, time_s: float) -> None:
+    """Move the session's durable state (tracker counters + limit)."""
+    session.feed_feedback(FeedbackEvent(time_s, "discomfort", 34.2))
+
+
+class TestShardedRoundTrip:
+    def test_users_round_trip_across_shards(self, tmp_path, linear_predictor):
+        store = SessionStateStore(tmp_path / "state", n_shards=8)
+        session = _session(linear_predictor)
+        _nudge(session, 1.0)
+        keys = [f"user-{i:03d}" for i in range(40)]
+        for key in keys:
+            assert store.record(key, session)
+        written = store.save()
+        assert 1 <= written <= 8
+        assert store.last_save_shard_count == written
+
+        reloaded = SessionStateStore(tmp_path / "state", n_shards=8)
+        assert len(reloaded) == 40
+        assert reloaded.users == sorted(keys)
+        for key in keys:
+            assert reloaded.state_for(key) == store.state_for(key)
+
+    def test_shard_files_follow_crc32_placement(self, tmp_path, linear_predictor):
+        store = SessionStateStore(tmp_path / "state", n_shards=4)
+        session = _session(linear_predictor)
+        _nudge(session, 1.0)
+        store.record("alice", session)
+        store.save()
+        index = zlib.crc32(b"alice") % 4
+        payload = json.loads(store.shard_path(index).read_text(encoding="utf-8"))
+        assert payload["version"] == STATE_VERSION
+        assert payload["shard"] == index
+        assert payload["shards"] == 4
+        assert "alice" in payload["users"]
+
+    def test_on_disk_shard_count_wins(self, tmp_path, linear_predictor):
+        store = SessionStateStore(tmp_path / "state", n_shards=4)
+        session = _session(linear_predictor)
+        _nudge(session, 1.0)
+        store.record("alice", session)
+        store.save()
+        reopened = SessionStateStore(tmp_path / "state", n_shards=16)
+        assert reopened.n_shards == 4
+        assert reopened.users == ["alice"]
+
+    def test_invalid_shard_count_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="n_shards"):
+            SessionStateStore(tmp_path / "state", n_shards=0)
+
+
+class TestDirtyTracking:
+    def test_clean_checkpoint_writes_nothing(self, tmp_path, linear_predictor):
+        store = SessionStateStore(tmp_path / "state", n_shards=8)
+        session = _session(linear_predictor)
+        _nudge(session, 1.0)
+        store.record("alice", session)
+        assert store.save() == 1
+        # Recording the identical snapshot again leaves every shard clean.
+        store.record("alice", session)
+        assert store.dirty_shard_count == 0
+        assert store.save() == 0
+
+    def test_one_percent_touch_rewrites_proportional_shards(
+        self, tmp_path, linear_predictor
+    ):
+        """The acceptance bound: touching 1% of sessions must rewrite only a
+        proportional subset of shards, never the whole store."""
+        store = SessionStateStore(tmp_path / "state")  # default 64 shards
+        base = _session(linear_predictor)
+        _nudge(base, 1.0)
+        moved = _session(linear_predictor)
+        _nudge(moved, 1.0)
+        keys = [f"user-{i:04d}" for i in range(1_000)]
+        for key in keys:
+            store.record(key, base)
+        first = store.save()
+        assert first > 0
+
+        # 1% of the fleet moves; a full checkpoint re-records *everyone*.
+        _nudge(moved, 2.0)
+        touched = keys[::100]  # 10 users
+        assert moved is not base
+        for key in keys:
+            store.record(key, moved if key in set(touched) else base)
+        assert store.dirty_shard_count <= len(touched)
+        written = store.save()
+        assert 1 <= written <= len(touched)
+        assert written < first
+
+    def test_untouched_shard_bytes_do_not_change(self, tmp_path, linear_predictor):
+        store = SessionStateStore(tmp_path / "state", n_shards=8)
+        base = _session(linear_predictor)
+        _nudge(base, 1.0)
+        keys = [f"user-{i:03d}" for i in range(64)]
+        for key in keys:
+            store.record(key, base)
+        store.save()
+        before = {
+            p.name: p.read_bytes() for p in sorted((tmp_path / "state").glob("*.json"))
+        }
+        moved = _session(linear_predictor)
+        _nudge(moved, 1.0)
+        _nudge(moved, 2.0)
+        store.record(keys[0], moved)
+        store.save()
+        after = {
+            p.name: p.read_bytes() for p in sorted((tmp_path / "state").glob("*.json"))
+        }
+        hot = store.shard_path(zlib.crc32(keys[0].encode()) % 8).name
+        assert before[hot] != after[hot]
+        for name in before:
+            if name != hot:
+                assert before[name] == after[name]
+
+
+class TestLegacyMigration:
+    def _write_legacy(self, directory, users):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "session-state.json").write_text(
+            json.dumps({"version": 1, "users": users}), encoding="utf-8"
+        )
+
+    def test_legacy_single_file_reads_and_migrates(self, tmp_path):
+        users = {f"user-{i}": {"limit_c": 35.0 + i * 0.1} for i in range(6)}
+        self._write_legacy(tmp_path / "state", users)
+        store = SessionStateStore(tmp_path / "state", n_shards=4)
+        assert store.users == sorted(users)
+        assert store.state_for("user-3") == {"limit_c": 35.3}
+        # Every populated shard is dirty: the first save materialises the
+        # sharded layout and retires the legacy file.
+        assert store.dirty_shard_count > 0
+        store.save()
+        assert not (tmp_path / "state" / "session-state.json").exists()
+        reloaded = SessionStateStore(tmp_path / "state")
+        assert reloaded.n_shards == 4
+        assert reloaded.users == sorted(users)
+
+    def test_legacy_version_mismatch_refused(self, tmp_path):
+        directory = tmp_path / "state"
+        directory.mkdir()
+        (directory / "session-state.json").write_text(
+            json.dumps({"version": 99, "users": {}}), encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match="version"):
+            SessionStateStore(directory)
+
+
+class TestShardCorruption:
+    def _seed(self, tmp_path, linear_predictor, n_shards=4):
+        store = SessionStateStore(tmp_path / "state", n_shards=n_shards)
+        session = _session(linear_predictor)
+        _nudge(session, 1.0)
+        for i in range(16):
+            store.record(f"user-{i:02d}", session)
+        store.save()
+        return tmp_path / "state"
+
+    def _one_shard(self, directory):
+        return sorted(directory.glob("session-state-[0-9]*.json"))[0]
+
+    def test_bad_json_shard_refused(self, tmp_path, linear_predictor):
+        directory = self._seed(tmp_path, linear_predictor)
+        self._one_shard(directory).write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt"):
+            SessionStateStore(directory)
+
+    def test_shard_version_mismatch_refused(self, tmp_path, linear_predictor):
+        directory = self._seed(tmp_path, linear_predictor)
+        path = self._one_shard(directory)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["version"] = 99
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            SessionStateStore(directory)
+
+    def test_shard_count_disagreement_refused(self, tmp_path, linear_predictor):
+        directory = self._seed(tmp_path, linear_predictor)
+        paths = sorted(directory.glob("session-state-[0-9]*.json"))
+        assert len(paths) > 1, "need two shards to disagree"
+        payload = json.loads(paths[-1].read_text(encoding="utf-8"))
+        payload["shards"] = 32
+        paths[-1].write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ValueError, match="disagrees"):
+            SessionStateStore(directory)
+
+    def test_misplaced_user_refused(self, tmp_path, linear_predictor):
+        directory = self._seed(tmp_path, linear_predictor)
+        path = self._one_shard(directory)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["users"]["definitely-elsewhere-0xZZ"] = {"limit_c": 35.0}
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ValueError, match="does not hash"):
+            SessionStateStore(directory)
+
+
+class TestServiceCheckpointIntegration:
+    def test_checkpoint_reports_shards_written(self, tmp_path, linear_predictor):
+        profile = next(iter(paper_population()))
+        service = PolicyService(
+            TRACKER_POLICY,
+            profiles={profile.user_id: profile},
+            predictor=linear_predictor,
+            state_store=SessionStateStore(tmp_path / "state", n_shards=8),
+        )
+        for i in range(8):
+            assert service.open(f"s-{i}", profile.user_id)["ok"]
+        first = service.checkpoint()
+        assert first["ok"] and first["recorded"] == 8
+        assert first["shards_written"] >= 1
+        stats = service.stats()
+        assert stats["state_shards"] == 8
+        assert stats["state_dirty_shards"] == 0
+        assert stats["state_shards_written"] == first["shards_written"]
+        # Nothing moved since: a second checkpoint writes nothing.
+        second = service.checkpoint()
+        assert second["recorded"] == 8
+        assert second["shards_written"] == 0
