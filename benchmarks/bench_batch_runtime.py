@@ -15,6 +15,10 @@ introduces —
    with a quantile-tracker adapter and a simulated-user feedback model —
    measured with the vectorized policy plane against the per-member-manager
    baseline (``vectorize_managers=False``) and full sequential runs,
+6. a synthetic multi-hour trace through the *windowed* engine with an
+   incremental record drain, against the unwindowed engine holding every
+   record at once — peak memory (tracemalloc) must collapse while
+   throughput stays level,
 
 so regressions in the batching machinery are visible over time.
 
@@ -265,6 +269,103 @@ def _time_managed(fn, pairs, repeats):
 
 
 # ---------------------------------------------------------------------------
+# windowed long-trace streaming (long_trace_windowed)
+# ---------------------------------------------------------------------------
+
+LONG_TRACE_SECONDS = 3 * 3600.0  # baseline: a three-hour trace per member
+LONG_TRACE_MEMBERS = 4
+LONG_TRACE_WINDOW = 512
+
+
+class _DiscardingDrain:
+    """Window drain that consumes records immediately — the bounded-memory
+    consumer shape (a real sink would serialise each record as it passes)."""
+
+    def __init__(self):
+        self.records = 0
+        self.done = 0
+
+    def emit_member_window(self, index, records, done):
+        for _ in records:
+            self.records += 1
+        if done:
+            self.done += 1
+
+
+def _long_unwindowed(traces):
+    """Unwindowed engine: full-trace staging plus every record held at once."""
+    results = simulate_population_mixed(traces, _population_members(len(traces)))
+    return sum(len(r.records) for r in results)
+
+
+def _long_windowed(traces, window):
+    """Windowed engine draining each window's records as it completes."""
+    drain = _DiscardingDrain()
+    simulate_population_mixed(
+        traces,
+        _population_members(len(traces)),
+        window_steps=window,
+        window_drain=drain,
+    )
+    return drain.records
+
+
+def _traced_peak(fn):
+    """Peak traced allocation (bytes) across one call, numpy buffers included."""
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def measure_long_trace_windowed(
+    duration_s=LONG_TRACE_SECONDS,
+    members=LONG_TRACE_MEMBERS,
+    window=LONG_TRACE_WINDOW,
+    repeats=3,
+):
+    """Time and peak-memory both engines over one long synthetic trace.
+
+    Timing runs untraced (tracemalloc costs ~2-3x); memory runs traced.  Both
+    arms materialise every record — the unwindowed arm keeps them all live,
+    the windowed arm drains and discards per window — so the comparison
+    isolates *holding* cost, not record-construction cost.
+    """
+    trace = build_benchmark("skype", seed=0, duration_s=duration_s)
+    trace.as_arrays()  # warm the trace's own column cache for both arms
+    traces = [trace] * members
+    steps = len(trace)
+    member_steps = steps * members
+
+    unwindowed_s = _time_call(lambda: _long_unwindowed(traces), repeats=repeats)
+    windowed_s = _time_call(lambda: _long_windowed(traces, window), repeats=repeats)
+    unwindowed_peak = _traced_peak(lambda: _long_unwindowed(traces))
+    windowed_peak = _traced_peak(lambda: _long_windowed(traces, window))
+
+    return {
+        "trace": "skype",
+        "duration_s": duration_s,
+        "trace_steps": steps,
+        "members": members,
+        "member_steps": member_steps,
+        "window_steps": window,
+        "unwindowed_s": unwindowed_s,
+        "windowed_s": windowed_s,
+        "unwindowed_member_steps_per_s": member_steps / unwindowed_s,
+        "windowed_member_steps_per_s": member_steps / windowed_s,
+        "throughput_ratio": windowed_s / unwindowed_s,
+        "unwindowed_peak_mib": unwindowed_peak / (1024 * 1024),
+        "windowed_peak_mib": windowed_peak / (1024 * 1024),
+        "peak_memory_ratio": unwindowed_peak / windowed_peak,
+    }
+
+
+# ---------------------------------------------------------------------------
 # pytest-benchmark entry points
 # ---------------------------------------------------------------------------
 
@@ -401,6 +502,9 @@ def write_baseline(path=BASELINE_PATH):
         lambda m: _managed_sequential(pairs, m), pairs, repeats=3
     )
 
+    # -- windowed long-trace streaming -------------------------------------
+    long_trace = measure_long_trace_windowed()
+
     steps = len(trace)
     member_steps = steps * POPULATION_SIZE
     baseline = {
@@ -454,6 +558,7 @@ def write_baseline(path=BASELINE_PATH):
             "speedup_plane_vs_scalar_managers": managed_scalar_s / managed_plane_s,
             "speedup_plane_vs_sequential": managed_sequential_s / managed_plane_s,
         },
+        "long_trace_windowed": long_trace,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(baseline, handle, indent=2)
@@ -467,6 +572,33 @@ def write_baseline(path=BASELINE_PATH):
 #: scalar path (speedup ~1.0), not defend the exact numbers.
 SMOKE_MIN_SPEEDUP = 1.5
 SMOKE_MIN_MANAGED_SPEEDUP = 1.5
+#: Windowed long-trace gates: windowing must collapse peak memory by at least
+#: an order of magnitude (the baseline records far more) while staying within
+#: 10% of the unwindowed engine's wall time (best-of-3 per arm — the two arms
+#: do identical work, so this is noise-tolerant).
+SMOKE_MIN_PEAK_MEMORY_RATIO = 10.0
+SMOKE_MAX_WINDOWED_SLOWDOWN = 1.10
+
+
+class _ParityDrain:
+    """Window drain that checks each drained record against a reference."""
+
+    def __init__(self, expected):
+        self.expected = expected
+        self.offsets = [0] * len(expected)
+        self.mismatch = False
+        self.done = [False] * len(expected)
+
+    def emit_member_window(self, index, records, done):
+        offset = self.offsets[index]
+        reference = self.expected[index]
+        for record in records:
+            if offset >= len(reference) or record != reference[offset]:
+                self.mismatch = True
+            offset += 1
+        self.offsets[index] = offset
+        if done:
+            self.done[index] = True
 
 
 def run_smoke(min_speedup=SMOKE_MIN_SPEEDUP, min_managed=SMOKE_MIN_MANAGED_SPEEDUP):
@@ -519,6 +651,50 @@ def run_smoke(min_speedup=SMOKE_MIN_SPEEDUP, min_managed=SMOKE_MIN_MANAGED_SPEED
         print(
             f"bench-smoke: FAIL — policy-plane speedup {managed_speedup:.2f}x below "
             f"the {min_managed:.1f}x gate (manager scalar-fallback regression?)"
+        )
+        return 1
+
+    # -- windowed long-trace scenario: bounded memory at level throughput --
+    parity_trace = build_benchmark("skype", seed=0, duration_s=600.0)
+    parity_traces = [parity_trace] * 3
+    reference = [
+        r.records
+        for r in simulate_population_mixed(parity_traces, _population_members(3))
+    ]
+    parity = _ParityDrain(reference)
+    simulate_population_mixed(
+        parity_traces,
+        _population_members(3),
+        window_steps=64,
+        window_drain=parity,
+    )
+    if parity.mismatch or parity.offsets != [len(r) for r in reference] or not all(
+        parity.done
+    ):
+        print("bench-smoke: FAIL — windowed drain records diverged from unwindowed")
+        return 1
+
+    stats = measure_long_trace_windowed(duration_s=3600.0, window=256, repeats=3)
+    print(
+        f"bench-smoke: windowed long trace — {stats['members']} members x "
+        f"{stats['trace_steps']} steps, window {stats['window_steps']}: "
+        f"peak {stats['unwindowed_peak_mib']:.1f} MiB -> "
+        f"{stats['windowed_peak_mib']:.1f} MiB "
+        f"({stats['peak_memory_ratio']:.1f}x lower), throughput "
+        f"{stats['windowed_member_steps_per_s']:,.0f}/s vs "
+        f"{stats['unwindowed_member_steps_per_s']:,.0f}/s unwindowed"
+    )
+    if stats["peak_memory_ratio"] < SMOKE_MIN_PEAK_MEMORY_RATIO:
+        print(
+            f"bench-smoke: FAIL — windowed peak memory only "
+            f"{stats['peak_memory_ratio']:.1f}x below unwindowed (gate: "
+            f"{SMOKE_MIN_PEAK_MEMORY_RATIO:.0f}x; window drain regression?)"
+        )
+        return 1
+    if stats["throughput_ratio"] > SMOKE_MAX_WINDOWED_SLOWDOWN:
+        print(
+            f"bench-smoke: FAIL — windowed engine {stats['throughput_ratio']:.2f}x "
+            f"the unwindowed wall time (gate: {SMOKE_MAX_WINDOWED_SLOWDOWN:.2f}x)"
         )
         return 1
     print("bench-smoke: OK (records bit-identical, batch clearly faster)")

@@ -139,6 +139,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep: allow the blocked (non-bit-exact) vectorized thermal solve",
     )
     parser.add_argument(
+        "--window-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "sweep: process every trace in windows of exactly N steps (>= 2) "
+            "through the vectorized runner — bounds staging memory for long "
+            "traces; results stay bit-identical"
+        ),
+    )
+    parser.add_argument(
+        "--window-bytes",
+        type=int,
+        default=None,
+        metavar="B",
+        help=(
+            "sweep: size the vectorized runner's step window from a staging "
+            "budget of B bytes instead of a fixed step count (default: 64 MiB)"
+        ),
+    )
+    parser.add_argument(
         "--explain-batching",
         action="store_true",
         help=(
@@ -345,7 +366,12 @@ def _run_sweep(context: ReproductionContext, args: argparse.Namespace) -> str:
                 )
             )
 
-    runner = BatchRunner.for_jobs(args.jobs, approx_solve=args.approx_solve)
+    runner = BatchRunner.for_jobs(
+        args.jobs,
+        approx_solve=args.approx_solve,
+        window_steps=args.window_steps,
+        window_bytes=args.window_bytes,
+    )
     if args.explain_batching:
         from .runtime.executors import VectorizedExecutor
 
@@ -355,9 +381,11 @@ def _run_sweep(context: ReproductionContext, args: argparse.Namespace) -> str:
                 "vectorized runner; drop --jobs to use it"
             )
         cells = list(plan)
-        return runner.executor.batch_plan(cells).describe(cells) + (
-            "\n(dry run: no cell was executed)"
-        )
+        return runner.executor.batch_plan(cells).describe(
+            cells,
+            window_steps=runner.executor.window_steps,
+            max_window_bytes=runner.executor.max_window_bytes,
+        ) + "\n(dry run: no cell was executed)"
     profiles = {p.user_id: p for p in context.population}
     start = time.perf_counter()
     footers: List[str] = []
@@ -836,6 +864,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"repro-usta: --explain-plane only applies to 'serve', "
             f"not {args.experiment!r}"
         )
+    if args.window_steps is not None or args.window_bytes is not None:
+        window_flag = "--window-steps" if args.window_steps is not None else "--window-bytes"
+        if args.experiment != "sweep":
+            raise SystemExit(
+                f"repro-usta: {window_flag} only applies to 'sweep', "
+                f"not {args.experiment!r}"
+            )
+        if args.window_steps is not None and args.window_bytes is not None:
+            raise SystemExit(
+                "repro-usta: --window-steps and --window-bytes are different "
+                "window sizings; pass one"
+            )
+        if args.window_steps is not None and args.window_steps < 2:
+            raise SystemExit(
+                "repro-usta: --window-steps must be at least 2 "
+                "(a window needs two steps)"
+            )
+        if args.window_bytes is not None and args.window_bytes <= 0:
+            raise SystemExit("repro-usta: --window-bytes must be positive")
+        if args.jobs is not None and args.jobs > 1:
+            raise SystemExit(
+                f"repro-usta: {window_flag} tunes the in-process vectorized "
+                "runner; drop --jobs to use it"
+            )
+        if args.fleet is not None:
+            raise SystemExit(
+                f"repro-usta: {window_flag} tunes the in-process vectorized "
+                "runner, not --fleet shards; pass one"
+            )
 
     # Context-free subcommands: neither needs the trained predictor, so they
     # dispatch before the expensive reproduction-context build.

@@ -51,10 +51,12 @@ from ..workloads.trace import WorkloadTrace
 from .plan import BatchPlan, ExperimentCell, plan_batches
 from .runner import run_cell, stream_cell
 from .store import CellResult, ResultStore, record_to_jsonable
-from .stream import RecordSink, push_cell_result
+from .stream import RecordSink, emit_serialized_records, push_cell_result
 from .vectorized import (
+    DEFAULT_MAX_WINDOW_BYTES,
     PopulationMember,
     VectorizationError,
+    resolve_window_steps,
     simulate_population_mixed,
 )
 
@@ -120,6 +122,70 @@ def _spill_cell(cell: ExperimentCell, spill_dir: str) -> str:
     path = Path(spill_dir) / f"{uuid.uuid4().hex}.jsonl"
     stream_cell(cell, _SpillSink(path))
     return str(path)
+
+
+class _WindowSpoolDrain:
+    """Per-member record spool for the windowed streaming batch path.
+
+    The windowed engine emits each live member's record rows at every window
+    boundary, but the sink protocol commits whole cells — so the rows are
+    spooled to one JSONL file per member (one serialised record per line,
+    exactly the shard/spill record serialization) and replayed into the sink
+    cell by cell once the batch finishes.  Peak memory is one window of
+    staging plus one replay chunk; the spool itself is sequential disk I/O.
+    """
+
+    #: Replay chunk size: spooled lines are forwarded to the sink in
+    #: ~256 KiB ","-joined fragments, so replay never holds a whole
+    #: multi-hour cell in memory either.
+    CHUNK_CHARS = 256 * 1024
+
+    def __init__(self, n_members: int):
+        self._dir = tempfile.mkdtemp(prefix="repro-windowspool-")
+        self._paths = [
+            Path(self._dir) / f"member-{index:05d}.jsonl" for index in range(n_members)
+        ]
+        self._handles: List[Optional[object]] = [None] * n_members
+        self._counts = [0] * n_members
+
+    def emit_member_window(self, index: int, records, done: bool) -> None:
+        """Spool one member's rows of the just-finished window."""
+        fh = self._handles[index]
+        if fh is None:
+            fh = self._handles[index] = open(self._paths[index], "w", encoding="utf-8")
+        count = 0
+        for record in records:
+            fh.write(json.dumps(record_to_jsonable(record), separators=(",", ":")))
+            fh.write("\n")
+            count += 1
+        self._counts[index] += count
+        if done:
+            fh.close()
+            self._handles[index] = None
+
+    def replay_member(self, index: int, sink: RecordSink) -> None:
+        """Forward one member's spooled records into an open sink cell."""
+        if self._counts[index] == 0:
+            return
+        with open(self._paths[index], "r", encoding="utf-8") as fh:
+            pending: List[str] = []
+            size = 0
+            for line in fh:
+                pending.append(line.rstrip("\n"))
+                size += len(line)
+                if size >= self.CHUNK_CHARS:
+                    emit_serialized_records(sink, ",".join(pending), len(pending))
+                    pending = []
+                    size = 0
+            if pending:
+                emit_serialized_records(sink, ",".join(pending), len(pending))
+
+    def cleanup(self) -> None:
+        for index, fh in enumerate(self._handles):
+            if fh is not None:
+                fh.close()
+                self._handles[index] = None
+        shutil.rmtree(self._dir, ignore_errors=True)
 
 
 @dataclass
@@ -214,6 +280,15 @@ class VectorizedExecutor:
             the footprint bounded by a constant number of cells whatever the
             plan size — the cross-member amortisation saturates far below
             it.  ``None`` removes the cap (one batch per sample period).
+        window_steps: explicit step-window length for the engine (>= 2);
+            windows bound the *per-step* axis the member cap cannot — the
+            two caps compose, splitting wide plans by members and long
+            traces by steps.  ``None`` (default) defers to the byte budget.
+        max_window_bytes: staging byte budget the window length is sized
+            from when ``window_steps`` is None (see
+            :func:`~repro.runtime.vectorized.resolve_window_steps`).  The
+            default keeps every paper-scale plan unwindowed; multi-hour
+            traces are windowed automatically.  ``None`` disables windowing.
     """
 
     #: Default ceiling on members per SoA batch: large enough that the
@@ -223,6 +298,8 @@ class VectorizedExecutor:
 
     exact: bool = True
     max_batch_members: Optional[int] = DEFAULT_MAX_BATCH_MEMBERS
+    window_steps: Optional[int] = None
+    max_window_bytes: Optional[int] = DEFAULT_MAX_WINDOW_BYTES
 
     def batch_plan(self, cells: Sequence[ExperimentCell]) -> BatchPlan:
         """The batch/fallback partition this executor would use for ``cells``."""
@@ -272,14 +349,12 @@ class VectorizedExecutor:
             else:
                 group = [cell_list[i] for i in batch]
                 traces = [batch_plan.traces[i] for i in batch]
-                for entry in self._run_batch(group, traces):
-                    push_cell_result(sink, entry)
+                self._stream_batch(group, traces, sink)
 
-    def _run_batch(
-        self, group: Sequence[ExperimentCell], traces: Sequence[WorkloadTrace]
-    ) -> List[CellResult]:
-        start = time.perf_counter()
-        members = []
+    def _build_members(
+        self, group: Sequence[ExperimentCell]
+    ) -> Tuple[List[PopulationMember], List[Optional[SystemLogger]]]:
+        members: List[PopulationMember] = []
         loggers: List[Optional[SystemLogger]] = []
         for cell in group:
             platform = DevicePlatform(seed=cell.seed)
@@ -298,8 +373,21 @@ class VectorizedExecutor:
                     initial_temps=cell.initial_temps,
                 )
             )
+        return members, loggers
+
+    def _run_batch(
+        self, group: Sequence[ExperimentCell], traces: Sequence[WorkloadTrace]
+    ) -> List[CellResult]:
+        start = time.perf_counter()
+        members, loggers = self._build_members(group)
         try:
-            sim_results = simulate_population_mixed(traces, members, exact=self.exact)
+            sim_results = simulate_population_mixed(
+                traces,
+                members,
+                exact=self.exact,
+                window_steps=self.window_steps,
+                max_window_bytes=self.max_window_bytes,
+            )
         except VectorizationError:
             return [run_cell(cell) for cell in group]
         wall_each = (time.perf_counter() - start) / len(group)
@@ -307,3 +395,86 @@ class VectorizedExecutor:
             CellResult(cell=cell, result=result, logger=logger, wall_time_s=wall_each)
             for cell, result, logger in zip(group, sim_results, loggers)
         ]
+
+    def _resolved_window_steps(
+        self, members: Sequence[PopulationMember], traces: Sequence[WorkloadTrace]
+    ) -> int:
+        """The window length the engine will pick for this batch."""
+        template = members[0].platform
+        n_noisy = sum(
+            1 for s in template.sensors.sensors.values() if s.noise_std_c > 0
+        )
+        return resolve_window_steps(
+            len(members),
+            max(len(trace) for trace in traces),
+            window_steps=self.window_steps,
+            max_window_bytes=self.max_window_bytes,
+            n_noisy_sensors=n_noisy,
+            with_decisions=any(m.thermal_manager is not None for m in members),
+        )
+
+    def _stream_batch(
+        self,
+        group: Sequence[ExperimentCell],
+        traces: Sequence[WorkloadTrace],
+        sink: RecordSink,
+    ) -> None:
+        """Run one batch and stream it into the sink.
+
+        Unwindowed batches take the classic whole-cell push path.  Windowed
+        batches run with a :class:`_WindowSpoolDrain`: the engine's record
+        buffer stays one window long, each window's completed rows spool to
+        per-member scratch files, and the spool replays into the sink cell by
+        cell — shard bytes are identical to the unwindowed path (the spool
+        lines are the exact record serialization).
+        """
+        start = time.perf_counter()
+        members, loggers = self._build_members(group)
+        max_steps = max(len(trace) for trace in traces)
+        if self._resolved_window_steps(members, traces) >= max_steps:
+            try:
+                sim_results = simulate_population_mixed(
+                    traces, members, exact=self.exact
+                )
+            except VectorizationError:
+                for cell in group:
+                    stream_cell(cell, sink)
+                return
+            wall_each = (time.perf_counter() - start) / len(group)
+            for cell, result, logger in zip(group, sim_results, loggers):
+                push_cell_result(
+                    sink,
+                    CellResult(
+                        cell=cell, result=result, logger=logger, wall_time_s=wall_each
+                    ),
+                )
+            return
+        spool = _WindowSpoolDrain(len(group))
+        try:
+            try:
+                sim_results = simulate_population_mixed(
+                    traces,
+                    members,
+                    exact=self.exact,
+                    window_steps=self.window_steps,
+                    max_window_bytes=self.max_window_bytes,
+                    window_drain=spool,
+                )
+            except VectorizationError:
+                for cell in group:
+                    stream_cell(cell, sink)
+                return
+            wall_each = (time.perf_counter() - start) / len(group)
+            for index, (cell, result, logger) in enumerate(
+                zip(group, sim_results, loggers)
+            ):
+                sink.begin_cell(
+                    cell,
+                    workload_name=result.workload_name,
+                    governor_name=result.governor_name,
+                    dt_s=result.dt_s,
+                )
+                spool.replay_member(index, sink)
+                sink.end_cell(wall_time_s=wall_each, logger=logger)
+        finally:
+            spool.cleanup()

@@ -228,7 +228,12 @@ class BatchPlan:
         """Indices of every cell that joined some batch."""
         return [index for batch in self.batches for index in batch]
 
-    def describe(self, cells: Sequence[ExperimentCell]) -> str:
+    def describe(
+        self,
+        cells: Sequence[ExperimentCell],
+        window_steps: Optional[int] = None,
+        max_window_bytes: Optional[int] = None,
+    ) -> str:
         """Human-readable plan: batch membership and every fallback reason.
 
         Besides batch membership this also previews the *policy plane*: for
@@ -236,10 +241,14 @@ class BatchPlan:
         vectorized engine will drive it through the batched USTA fast path
         or keep it on the per-member scalar ``observe()`` loop, and why
         (:func:`~repro.runtime.vectorized.manager_vectorization_ineligibility`).
+        With ``window_steps``/``max_window_bytes`` (the executor's window
+        configuration) each batch additionally gets its step-window plan —
+        the member cap splits wide plans, the window splits long traces, and
+        both reasons show up here.
         """
         # Imported here: vectorized.py is the heavyweight engine module and
         # plan.py must stay importable for lightweight plan manipulation.
-        from .vectorized import manager_vectorization_ineligibility
+        from .vectorized import describe_window_plan, manager_vectorization_ineligibility
 
         lines = []
         total = len(list(cells))
@@ -248,13 +257,36 @@ class BatchPlan:
             f"batch plan: {total} cell(s) — {batched} vectorized in "
             f"{len(self.batches)} batch(es), {len(self.scalar)} scalar"
         )
+        # More than one batch at a sample period means the member cap split
+        # the group; say so on each of its batches.
+        dt_batches: Dict[float, int] = {}
+        for batch in self.batches:
+            dt = self.traces[batch[0]].sample_period_s
+            dt_batches[dt] = dt_batches.get(dt, 0) + 1
         for number, batch in enumerate(self.batches):
             dt = self.traces[batch[0]].sample_period_s
             steps = max(len(self.traces[index]) for index in batch)
+            split_note = (
+                " — split by max_batch_members" if dt_batches[dt] > 1 else ""
+            )
             lines.append(
                 f"  batch {number}: {len(batch)} cells @ dt={dt:g}s, "
-                f"{steps} steps (longest member)"
+                f"{steps} steps (longest member){split_note}"
             )
+            if window_steps is not None or max_window_bytes is not None:
+                managed = any(
+                    cells[index].build_manager() is not None for index in batch
+                )
+                lines.append(
+                    "    "
+                    + describe_window_plan(
+                        len(batch),
+                        steps,
+                        window_steps=window_steps,
+                        max_window_bytes=max_window_bytes,
+                        with_decisions=managed,
+                    )
+                )
             for index in batch:
                 trace = self.traces[index]
                 lines.append(

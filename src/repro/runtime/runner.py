@@ -166,7 +166,13 @@ class BatchRunner:
         return len(cells)
 
     @classmethod
-    def for_jobs(cls, jobs: Optional[int], approx_solve: bool = False) -> "BatchRunner":
+    def for_jobs(
+        cls,
+        jobs: Optional[int],
+        approx_solve: bool = False,
+        window_steps: Optional[int] = None,
+        window_bytes: Optional[int] = None,
+    ) -> "BatchRunner":
         """A runner matching a CLI ``--jobs`` setting.
 
         ``jobs`` of ``None``/``0``/``1`` selects the vectorized in-process
@@ -179,9 +185,20 @@ class BatchRunner:
                 (``exact=False``) multi-RHS thermal solve — faster for large
                 populations, bit-parity with the scalar engine traded for
                 last-ulp-level differences.  Ignored by the process pool.
+            window_steps: explicit step-window length for the vectorized
+                executor (``--window-steps``); ``None`` keeps the executor's
+                byte-budget default.  Ignored by the process pool.
+            window_bytes: staging byte budget for the vectorized executor
+                (``--window-bytes``); ``None`` keeps the default.  Ignored by
+                the process pool.
         """
         from .executors import ProcessPoolCellExecutor, VectorizedExecutor
 
         if jobs is not None and jobs > 1:
             return cls(executor=ProcessPoolCellExecutor(max_workers=jobs))
-        return cls(executor=VectorizedExecutor(exact=not approx_solve))
+        kwargs = {}
+        if window_steps is not None:
+            kwargs["window_steps"] = window_steps
+        if window_bytes is not None:
+            kwargs["max_window_bytes"] = window_bytes
+        return cls(executor=VectorizedExecutor(exact=not approx_solve, **kwargs))

@@ -25,7 +25,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.logger import SystemLogger
     from .plan import ExperimentCell
 
-__all__ = ["RecordSink", "CollectorSink", "TeeSink", "push_cell_result"]
+__all__ = [
+    "RecordSink",
+    "CollectorSink",
+    "TeeSink",
+    "emit_serialized_records",
+    "push_cell_result",
+]
 
 
 @runtime_checkable
@@ -101,6 +107,29 @@ class CollectorSink:
             self.store.append(entry)
 
 
+def emit_serialized_records(sink: RecordSink, fragment: str, records: int) -> None:
+    """Deliver pre-serialised records to a sink, fast path when it has one.
+
+    ``fragment`` is ``records`` compact-JSON record objects joined by ``","``
+    (the shard/spool line serialization).  Sinks exposing ``emit_serialized``
+    — the streaming store, the tee — take the text verbatim (no parse, no
+    record objects); any other sink gets the fragment parsed back into
+    :class:`StepRecord` objects and per-record :meth:`~RecordSink.emit`
+    calls, which is bit-identical because the record JSON round-trips
+    exactly.
+    """
+    if records <= 0:
+        return
+    fast = getattr(sink, "emit_serialized", None)
+    if fast is not None:
+        fast(fragment, records)
+        return
+    import json
+
+    for payload in json.loads("[" + fragment + "]"):
+        sink.emit(StepRecord(**payload))
+
+
 class TeeSink:
     """Fans one record stream out to several sinks (e.g. disk store + summaries)."""
 
@@ -116,6 +145,26 @@ class TeeSink:
     def emit(self, record: StepRecord) -> None:
         for sink in self.sinks:
             sink.emit(record)
+
+    def emit_serialized(self, fragment: str, records: int) -> None:
+        """Forward pre-serialised records: verbatim text to capable children,
+        one parse shared across the rest."""
+        if records <= 0:
+            return
+        parsed: Optional[List[StepRecord]] = None
+        for sink in self.sinks:
+            fast = getattr(sink, "emit_serialized", None)
+            if fast is not None:
+                fast(fragment, records)
+                continue
+            if parsed is None:
+                import json
+
+                parsed = [
+                    StepRecord(**payload) for payload in json.loads("[" + fragment + "]")
+                ]
+            for record in parsed:
+                sink.emit(record)
 
     def end_cell(self, wall_time_s: float = 0.0, logger=None) -> None:
         for sink in self.sinks:

@@ -493,6 +493,24 @@ class StreamingResultStore:
         self._write(_dumps(record_to_jsonable(record)))
         self._records_in_open_cell += 1
 
+    def emit_serialized(self, fragment: str, records: int) -> None:
+        """Append ``records`` pre-serialised records in one write.
+
+        ``fragment`` must be exactly what :meth:`emit` would have written for
+        those records minus the leading comma: ``records`` compact-JSON
+        record objects joined by ``","``.  The windowed streaming path uses
+        this to forward spooled record lines verbatim — the shard bytes are
+        identical to per-record :meth:`emit` calls.
+        """
+        if self._open_cell_id is None:
+            raise RuntimeError("emit_serialized() without an open cell")
+        if records <= 0:
+            return
+        if self._records_in_open_cell:
+            self._write(",")
+        self._write(fragment)
+        self._records_in_open_cell += records
+
     def end_cell(self, wall_time_s: float = 0.0, logger=None) -> None:
         if self._open_cell_id is None:
             raise RuntimeError("end_cell() without an open cell")

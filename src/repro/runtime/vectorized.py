@@ -24,6 +24,21 @@ ColumnarRecordBuffer` (one numpy column per :class:`StepRecord` field);
 records are only materialised per member at the end, so the hot loop
 allocates ~zero Python objects per member-step.
 
+Long traces are processed in fixed-size step **windows** (an explicit
+``window_steps``, or sized from a staging byte budget via
+``max_window_bytes`` and :func:`resolve_window_steps`): one set of
+window-sized staging buffers — the seven trace columns, the five derived
+power matrices, the pre-drawn sensor noise (:class:`_WindowStage`) — is
+refilled per window instead of materialising O(trace) matrices, while every
+piece of cross-step state (node temperatures, the cached LU factorizations,
+governor/manager objects, :class:`_PolicyPlane` arrays, the live-prefix
+ordering, battery SoC, CPU backlog) carries across window boundaries
+untouched — so windowed runs are bit-identical to unwindowed ones and to the
+scalar engine.  A ``window_drain`` additionally flushes each live member's
+record rows out of a window-sized record buffer at every window boundary,
+bounding the engine's live footprint by one window however long the traces
+run; without one, only the record buffer stays O(trace).
+
 Bit-exactness is a hard requirement (the batched runtime must be a drop-in
 replacement for N sequential :meth:`Simulator.run` calls), which dictates a
 few implementation choices:
@@ -60,6 +75,7 @@ from __future__ import annotations
 
 import copy
 import math
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -104,11 +120,15 @@ from .plane_kernels import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_WINDOW_BYTES",
     "PopulationMember",
     "VectorizationError",
+    "describe_window_plan",
     "manager_vectorization_ineligibility",
+    "resolve_window_steps",
     "simulate_population",
     "simulate_population_mixed",
+    "window_bytes_per_step",
 ]
 
 
@@ -523,7 +543,7 @@ class _PolicyPlane:
 
     def tick(
         self,
-        t: int,
+        buf_row: int,
         time_s: float,
         n_act: int,
         buf: ColumnarRecordBuffer,
@@ -673,10 +693,10 @@ class _PolicyPlane:
 
         # -- record staging + engine cap array ---------------------------------
         cap_req = self.cap_req[:k]
-        buf.usta_active[t, dest] = (cap_req != _NO_CAP) & (cap_req < max_level)
-        buf.predicted_skin_temp_c[t, dest] = self.skin_obj[:k]
-        buf.predicted_screen_temp_c[t, dest] = self.screen_obj[:k]
-        buf.comfort_limit_c[t, dest] = self.limit_obj[:k]
+        buf.usta_active[buf_row, dest] = (cap_req != _NO_CAP) & (cap_req < max_level)
+        buf.predicted_skin_temp_c[buf_row, dest] = self.skin_obj[:k]
+        buf.predicted_screen_temp_c[buf_row, dest] = self.screen_obj[:k]
+        buf.comfort_limit_c[buf_row, dest] = self.limit_obj[:k]
         caps[dest] = np.where(cap_req == _NO_CAP, max_level, cap_req)
 
     # -- batch-boundary writeback ---------------------------------------------
@@ -703,11 +723,26 @@ class _PolicyPlane:
 #: objects (strong references in the value keep the ids stable).  Repeated
 #: sweeps — ``--repeat`` population copies, re-executed plans — rebuild the
 #: same (max_steps, traces) batch; the engine only ever reads the matrices,
-#: so sharing them across calls is safe.
-_TRACE_STACK_CACHE: "OrderedDict[Tuple, Tuple[Tuple[WorkloadTrace, ...], Dict[str, np.ndarray]]]" = (
+#: so sharing them across calls is safe.  The memo is bounded by *bytes*, not
+#: entries — a handful of multi-hour stacks would otherwise dwarf the
+#: simulation itself — and stacks above the whole budget are simply not
+#: cached.  Override with the env var below (bytes).
+_TRACE_STACK_CACHE: "OrderedDict[Tuple, Tuple[Tuple[WorkloadTrace, ...], Dict[str, np.ndarray], int]]" = (
     OrderedDict()
 )
-_TRACE_STACK_CACHE_MAX = 8
+_TRACE_STACK_CACHE_DEFAULT_BYTES = 256 * 1024 * 1024
+_TRACE_STACK_CACHE_ENV = "REPRO_TRACE_STACK_CACHE_BYTES"
+
+
+def _trace_cache_budget() -> int:
+    """The trace-stack cache byte budget (env-overridable, read per call)."""
+    raw = os.environ.get(_TRACE_STACK_CACHE_ENV)
+    if raw is not None:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return _TRACE_STACK_CACHE_DEFAULT_BYTES
 
 
 def _stack_trace_arrays(traces: Sequence[WorkloadTrace], max_steps: int) -> Dict[str, np.ndarray]:
@@ -717,12 +752,13 @@ def _stack_trace_arrays(traces: Sequence[WorkloadTrace], max_steps: int) -> Dict
     live member prefix — a contiguous row view instead of a strided column.
     Members sharing one trace *object* (population sweeps replay one trace
     against many seeds) are materialised once and column-copied, and whole
-    identical batches are answered from a small cross-call memo.
+    identical batches are answered from a small cross-call memo (byte-bounded;
+    see :data:`_TRACE_STACK_CACHE`).
     """
     key = (max_steps, tuple(id(trace) for trace in traces))
     cached = _TRACE_STACK_CACHE.get(key)
     if cached is not None:
-        held, stacked = cached
+        held, stacked, _ = cached
         if len(held) == len(traces) and all(a is b for a, b in zip(held, traces)):
             _TRACE_STACK_CACHE.move_to_end(key)
             return stacked
@@ -753,10 +789,224 @@ def _stack_trace_arrays(traces: Sequence[WorkloadTrace], max_steps: int) -> Dict
     # The scalar CPU window clamps demand into [0, 1]; samples are validated
     # into that range already, so this is a bitwise no-op kept for mirroring.
     stacked["cpu_demand"] = np.minimum(np.maximum(stacked["cpu_demand"], 0.0), 1.0)
-    _TRACE_STACK_CACHE[key] = (tuple(traces), stacked)
-    while len(_TRACE_STACK_CACHE) > _TRACE_STACK_CACHE_MAX:
-        _TRACE_STACK_CACHE.popitem(last=False)
+    budget = _trace_cache_budget()
+    nbytes = sum(column.nbytes for column in stacked.values())
+    if nbytes > budget:
+        return stacked
+    _TRACE_STACK_CACHE[key] = (tuple(traces), stacked, nbytes)
+    total = sum(entry[2] for entry in _TRACE_STACK_CACHE.values())
+    while total > budget and len(_TRACE_STACK_CACHE) > 1:
+        _, _, evicted = _TRACE_STACK_CACHE.popitem(last=False)[1]
+        total -= evicted
     return stacked
+
+
+#: Default staging byte budget for the windowed engine (see
+#: :func:`resolve_window_steps`).  Sized so every plan the paper's own sweeps
+#: produce (hundreds of members over minutes-long traces) stays unwindowed —
+#: windowing only engages for the multi-hour-trace regime it exists for.
+DEFAULT_MAX_WINDOW_BYTES = 64 * 1024 * 1024
+
+
+def window_bytes_per_step(
+    n_members: int, n_noisy_sensors: int = 0, with_decisions: bool = False
+) -> int:
+    """Estimated staging bytes one trace step costs across the population.
+
+    Counts what the engine holds per (step, member): the seven staged trace
+    columns (four float64, three bool), the five derived power matrices, the
+    pre-drawn noise rows, and the record buffer's float/int (and optional
+    decision) columns.  Cross-step state (temperatures, LU factorizations,
+    plane arrays) is excluded — it does not scale with the window.
+    """
+    per_member = 4 * 8 + 3 * 1  # staged trace columns
+    per_member += 5 * 8  # derived power matrices
+    per_member += n_noisy_sensors * 8  # pre-drawn sensor noise
+    per_member += 3 * 8 + 12 * 8  # record buffer int + float columns
+    if with_decisions:
+        per_member += 1 + 3 * 8  # usta_active + object decision columns
+    return per_member * max(1, n_members)
+
+
+def _validate_window_args(
+    window_steps: Optional[int], max_window_bytes: Optional[int]
+) -> None:
+    """Fail fast on malformed window parameters (plain ValueError, *not*
+    :class:`VectorizationError` — executors must surface bad arguments, not
+    silently fall back to the scalar path)."""
+    if window_steps is not None and window_steps < 2:
+        raise ValueError(
+            f"window_steps must be at least 2 (a window needs two steps), got {window_steps}"
+        )
+    if max_window_bytes is not None and max_window_bytes <= 0:
+        raise ValueError(f"max_window_bytes must be positive, got {max_window_bytes}")
+
+
+def resolve_window_steps(
+    n_members: int,
+    max_steps: int,
+    window_steps: Optional[int] = None,
+    max_window_bytes: Optional[int] = None,
+    n_noisy_sensors: int = 0,
+    with_decisions: bool = False,
+) -> int:
+    """The window length (in steps) the engine will actually use.
+
+    An explicit ``window_steps`` wins; otherwise ``max_window_bytes`` divides
+    through :func:`window_bytes_per_step` (floored at 2 steps so a window
+    always makes progress); with neither, the run is unwindowed
+    (``max_steps``).  The result never exceeds ``max_steps``.
+    """
+    _validate_window_args(window_steps, max_window_bytes)
+    if window_steps is not None:
+        return min(int(window_steps), max_steps)
+    if max_window_bytes is not None:
+        per_step = window_bytes_per_step(
+            n_members, n_noisy_sensors=n_noisy_sensors, with_decisions=with_decisions
+        )
+        return max(2, min(max_steps, int(max_window_bytes) // per_step))
+    return max_steps
+
+
+def describe_window_plan(
+    n_members: int,
+    max_steps: int,
+    window_steps: Optional[int] = None,
+    max_window_bytes: Optional[int] = None,
+    with_decisions: bool = True,
+) -> str:
+    """One human-readable line describing the window plan for a batch.
+
+    Used by ``BatchPlan.describe`` / ``sweep --explain-batching``; the noisy
+    sensor count comes from the default instrumented suite (cheap — no
+    thermal network is built).
+    """
+    from ..device.sensors import SensorSuite
+
+    suite = SensorSuite.nexus4_instrumented()
+    n_noisy = sum(1 for s in suite.sensors.values() if s.noise_std_c > 0)
+    chosen = resolve_window_steps(
+        n_members,
+        max_steps,
+        window_steps=window_steps,
+        max_window_bytes=max_window_bytes,
+        n_noisy_sensors=n_noisy,
+        with_decisions=with_decisions,
+    )
+    per_step = window_bytes_per_step(
+        n_members, n_noisy_sensors=n_noisy, with_decisions=with_decisions
+    )
+    stage_mib = chosen * per_step / (1024 * 1024)
+    if chosen >= max_steps:
+        if window_steps is None and max_window_bytes is not None:
+            return (
+                f"windowing: off — {max_steps} steps x {n_members} members fits the "
+                f"{max_window_bytes / (1024 * 1024):.0f} MiB staging budget"
+            )
+        return "windowing: off (unwindowed run)"
+    n_windows = -(-max_steps // chosen)
+    reason = (
+        f"window_steps={window_steps}"
+        if window_steps is not None
+        else f"budget {max_window_bytes / (1024 * 1024):.0f} MiB"
+    )
+    return (
+        f"windowing: {n_windows} windows x {chosen} steps ({reason}; "
+        f"~{stage_mib:.1f} MiB staged per window)"
+    )
+
+
+class _WindowStage:
+    """Reusable window-sized staging buffers for the windowed engine.
+
+    Owns the seven trace columns and the five derived power matrices as
+    ``(window_cap, n_members)`` arrays that :meth:`load` refills per window
+    — the windowed run's staging footprint is one window however long the
+    traces are.  Every refilled element goes through exactly the expressions
+    the unwindowed path applies to its full matrices (same operation order,
+    in-place ufuncs are bit-identical to the allocating forms), so windowed
+    staging is bitwise indistinguishable from slicing full-trace matrices.
+    """
+
+    _TRACE_COLUMNS = (
+        ("cpu_demand", float),
+        ("gpu_activity", float),
+        ("radio_activity", float),
+        ("brightness", float),
+        ("screen_on", bool),
+        ("charging", bool),
+        ("touching", bool),
+    )
+
+    def __init__(self, traces: Sequence[WorkloadTrace], lengths: np.ndarray, window_cap: int) -> None:
+        self.traces = traces
+        self.lengths = lengths
+        n = len(traces)
+        shape = (window_cap, n)
+        for name, dtype in self._TRACE_COLUMNS:
+            setattr(self, name, np.zeros(shape, dtype=dtype))
+        self.gpu_w = np.zeros(shape)
+        self.display_w = np.zeros(shape)
+        self.radio_w = np.zeros(shape)
+        self.screen_node_w = np.zeros(shape)
+        self.board_node_w = np.zeros(shape)
+
+    def load(self, w0: int, w_len: int, n_live: int) -> None:
+        """Stage steps ``[w0, w0 + w_len)`` for the first ``n_live`` members."""
+        first_member: Dict[int, int] = {}
+        columns = [(name, getattr(self, name)) for name, _ in self._TRACE_COLUMNS]
+        for member in range(n_live):
+            trace = self.traces[member]
+            count = min(int(self.lengths[member]) - w0, w_len)
+            source = first_member.setdefault(id(trace), member)
+            if source != member:
+                # Same trace object as an earlier member (same object implies
+                # the same length, hence the same staged count).
+                for _, column in columns:
+                    column[:count, member] = column[:count, source]
+            else:
+                arrays = self.traces[member].arrays_window(w0, w0 + count)
+                for name, column in columns:
+                    column[:count, member] = getattr(arrays, name)
+            if count < w_len:
+                # The buffers still hold the previous window; re-zero the pad
+                # so padded reads match the unwindowed zero-padded matrices.
+                for _, column in columns:
+                    column[count:w_len, member] = False
+        view = np.s_[:w_len, :n_live]
+        demand = self.cpu_demand[view]
+        np.maximum(demand, 0.0, out=demand)
+        np.minimum(demand, 1.0, out=demand)
+        gpu_w = self.gpu_w[view]
+        np.multiply(self.gpu_activity[view], self._gpu_span, out=gpu_w)
+        np.add(self._gpu_idle, gpu_w, out=gpu_w)
+        display_w = self.display_w[view]
+        np.multiply(self.brightness[view], self._display_span, out=display_w)
+        np.add(self._display_base, display_w, out=display_w)
+        display_w[~self.screen_on[view]] = 0.0
+        radio_w = self.radio_w[view]
+        np.multiply(self.radio_activity[view], self._radio_span, out=radio_w)
+        np.add(self._radio_idle, radio_w, out=radio_w)
+        np.multiply(0.65, display_w, out=self.screen_node_w[view])
+        board_w = self.board_node_w[view]
+        np.multiply(0.35, display_w, out=board_w)
+        np.add(radio_w, board_w, out=board_w)
+
+    def bind_power_constants(
+        self,
+        gpu_idle: float,
+        gpu_span: float,
+        display_base: float,
+        display_span: float,
+        radio_idle: float,
+        radio_span: float,
+    ) -> None:
+        self._gpu_idle = gpu_idle
+        self._gpu_span = gpu_span
+        self._display_base = display_base
+        self._display_span = display_span
+        self._radio_idle = radio_idle
+        self._radio_span = radio_span
 
 
 def simulate_population(
@@ -764,6 +1014,9 @@ def simulate_population(
     members: Sequence[PopulationMember],
     exact: bool = True,
     vectorize_managers: bool = True,
+    window_steps: Optional[int] = None,
+    max_window_bytes: Optional[int] = None,
+    window_drain: Optional[object] = None,
 ) -> List[SimulationResult]:
     """Replay one shared trace against N device instances in lockstep.
 
@@ -773,7 +1026,13 @@ def simulate_population(
     ``exact=True`` — bit-for-bit identical to it.
     """
     return simulate_population_mixed(
-        [trace] * len(members), members, exact=exact, vectorize_managers=vectorize_managers
+        [trace] * len(members),
+        members,
+        exact=exact,
+        vectorize_managers=vectorize_managers,
+        window_steps=window_steps,
+        max_window_bytes=max_window_bytes,
+        window_drain=window_drain,
     )
 
 
@@ -782,6 +1041,9 @@ def simulate_population_mixed(
     members: Sequence[PopulationMember],
     exact: bool = True,
     vectorize_managers: bool = True,
+    window_steps: Optional[int] = None,
+    max_window_bytes: Optional[int] = None,
+    window_drain: Optional[object] = None,
 ) -> List[SimulationResult]:
     """Advance a heterogeneous population — one trace per member — as one batch.
 
@@ -811,6 +1073,19 @@ def simulate_population_mixed(
             the vectorized policy plane (default; bit-identical).  ``False``
             forces every manager onto the scalar per-member ``observe()``
             loop — the per-member-manager baseline the benchmarks measure.
+        window_steps: process the traces in windows of exactly this many
+            steps, reusing one set of window-sized staging buffers (must be
+            >= 2; bit-identical to the unwindowed run).  ``None`` defers to
+            ``max_window_bytes``.
+        max_window_bytes: size the window from this staging byte budget
+            instead (see :func:`resolve_window_steps`).  With both ``None``
+            the run is unwindowed.
+        window_drain: optional record drain.  When given, the record buffer
+            is window-sized and after each window every live member's rows
+            flush through ``drain.emit_member_window(index, records, done)``
+            (``index`` in input member order; the records iterator is only
+            valid during the call); the returned results then carry *no*
+            records — the drain owns them.
 
     Returns:
         One :class:`SimulationResult` per member, in member order.
@@ -820,6 +1095,7 @@ def simulate_population_mixed(
         raise VectorizationError("one workload trace per member is required")
     if n_members == 0:
         raise VectorizationError("a population needs at least one member")
+    _validate_window_args(window_steps, max_window_bytes)
     dt = traces[0].sample_period_s
     for trace in traces:
         if trace.sample_period_s != dt:
@@ -919,55 +1195,107 @@ def simulate_population_mixed(
     backlog = np.zeros(n_members)
     soc = np.array([member.platform.battery.state_of_charge for member in s_members])
 
-    cols = _stack_trace_arrays(s_traces, max_steps)
-    demand_mat = cols["cpu_demand"]
-    gpu_mat = cols["gpu_activity"]
-    radio_mat = cols["radio_activity"]
-    brightness_mat = cols["brightness"]
-    screen_on_mat = cols["screen_on"]
-    charging_mat = cols["charging"]
-    touching_mat = cols["touching"]
+    manager_rows = [
+        (row, member) for row, member in enumerate(s_members) if member.thermal_manager is not None
+    ]
+    logger_rows = [
+        (row, member.logger) for row, member in enumerate(s_members) if member.logger is not None
+    ]
+    has_managers = bool(manager_rows)
 
-    # GPU/display/radio power depend only on the trace, so the whole
-    # (max_steps, N) matrices are computed once here instead of per tick.
-    # Each element goes through exactly the scalar expression (elementwise
-    # ops against python-float constants), so the values are bit-identical.
-    gpu_w_mat = gpu_idle + gpu_mat * gpu_span
-    display_w_mat = np.where(
-        screen_on_mat, display_base + brightness_mat * display_span, 0.0
+    # -- window plan -----------------------------------------------------------
+    # The run advances in windows of window_len steps; unwindowed runs are the
+    # single-window special case (w0 == 0, w_len == max_steps), so one loop
+    # body serves both and r (window-relative step) == t (absolute step) when
+    # unwindowed.
+    n_noisy = sum(1 for s in template.sensors.sensors.values() if s.noise_std_c > 0)
+    window_len = resolve_window_steps(
+        n_members,
+        max_steps,
+        window_steps=window_steps,
+        max_window_bytes=max_window_bytes,
+        n_noisy_sensors=n_noisy,
+        with_decisions=has_managers,
     )
-    radio_w_mat = radio_idle + radio_mat * radio_span
-    screen_node_w_mat = 0.65 * display_w_mat
-    board_node_w_mat = radio_w_mat + 0.35 * display_w_mat
+    windowed = window_len < max_steps
 
-    # Per-step trace classifications, hoisted: whether every / no live member
-    # is touching (selects the thermal factorization without per-tick
-    # reductions) and whether anyone charges (gates the charging branches;
-    # trace padding is all-False, so whole-row reductions see the live
-    # prefix's truth).
-    _touch_prefix = np.cumsum(touching_mat, axis=1)
-    _touch_counts = _touch_prefix[np.arange(max_steps), n_active_at - 1]
-    all_touching_at = (_touch_counts == n_active_at).tolist()
-    none_touching_at = (_touch_counts == 0).tolist()
-    any_charging_at = charging_mat.any(axis=1).tolist()
-    n_active_list = n_active_at.tolist()
+    if windowed:
+        # Window-sized staging buffers, refilled per window (bit-identical to
+        # slicing the full matrices; see _WindowStage).
+        stage = _WindowStage(s_traces, s_lengths, window_len)
+        stage.bind_power_constants(
+            gpu_idle, gpu_span, display_base, display_span, radio_idle, radio_span
+        )
+        demand_mat = stage.cpu_demand
+        charging_mat = stage.charging
+        touching_mat = stage.touching
+        gpu_w_mat = stage.gpu_w
+        display_w_mat = stage.display_w
+        radio_w_mat = stage.radio_w
+        screen_node_w_mat = stage.screen_node_w
+        board_node_w_mat = stage.board_node_w
+    else:
+        cols = _stack_trace_arrays(s_traces, max_steps)
+        demand_mat = cols["cpu_demand"]
+        gpu_mat = cols["gpu_activity"]
+        radio_mat = cols["radio_activity"]
+        brightness_mat = cols["brightness"]
+        screen_on_mat = cols["screen_on"]
+        charging_mat = cols["charging"]
+        touching_mat = cols["touching"]
+
+        # GPU/display/radio power depend only on the trace, so the whole
+        # (max_steps, N) matrices are computed once here instead of per tick.
+        # Each element goes through exactly the scalar expression (elementwise
+        # ops against python-float constants), so the values are bit-identical.
+        gpu_w_mat = gpu_idle + gpu_mat * gpu_span
+        display_w_mat = np.where(
+            screen_on_mat, display_base + brightness_mat * display_span, 0.0
+        )
+        radio_w_mat = radio_idle + radio_mat * radio_span
+        screen_node_w_mat = 0.65 * display_w_mat
+        board_node_w_mat = radio_w_mat + 0.35 * display_w_mat
 
     # -- pre-drawn sensor noise ------------------------------------------------
     # One block draw per (member, sensor) consumes each seeded generator
-    # exactly like the scalar engine's one-draw-per-step reads.  Noiseless
-    # sensors carry no matrix at all (the scalar read skips the add too).
-    sensor_specs = []  # (name, node_index, offset, quantization, noise (n_steps, N) or None)
+    # exactly like the scalar engine's one-draw-per-step reads; a windowed run
+    # draws the same stream in window-sized chunks, which consumes each
+    # generator identically.  Noiseless sensors carry no matrix at all (the
+    # scalar read skips the add too).
+    sensor_specs = []  # (name, node_index, offset, quantization, noisy)
     for name in template.sensors.sensors:
         sensor0 = template.sensors.sensors[name]
-        noise: Optional[np.ndarray] = None
-        if sensor0.noise_std_c > 0:
-            noise = np.zeros((max_steps, n_members))
-            for row, member in enumerate(s_members):
-                count = int(s_lengths[row])
-                noise[:count, row] = member.platform.sensors.sensors[name].draw_noise(count)
         sensor_specs.append(
-            (name, internal_index[sensor0.node], sensor0.offset_c, sensor0.quantization_c, noise)
+            (
+                name,
+                internal_index[sensor0.node],
+                sensor0.offset_c,
+                sensor0.quantization_c,
+                sensor0.noise_std_c > 0,
+            )
         )
+    _noisy_specs = [spec for spec in sensor_specs if spec[4]]
+    _clean_specs = [spec for spec in sensor_specs if not spec[4]]
+    noise_block: Optional[np.ndarray] = None
+    noisy_sensor_objs: List[List] = []
+    if _noisy_specs:
+        if windowed:
+            # Refilled per window from the prebound per-(sensor, member)
+            # generator objects.
+            noise_block = np.zeros((n_noisy, window_len, n_members))
+            noisy_sensor_objs = [
+                [member.platform.sensors.sensors[spec[0]] for member in s_members]
+                for spec in _noisy_specs
+            ]
+        else:
+            noise_block = np.zeros((n_noisy, max_steps, n_members))
+            for s_idx, spec in enumerate(_noisy_specs):
+                name = spec[0]
+                for row, member in enumerate(s_members):
+                    count = int(s_lengths[row])
+                    noise_block[s_idx, :count, row] = member.platform.sensors.sensors[
+                        name
+                    ].draw_noise(count)
     record_sensor_fields = (
         ("sensor_cpu_temp_c", "cpu", cpu_i),
         ("sensor_battery_temp_c", "battery", battery_i),
@@ -980,14 +1308,10 @@ def simulate_population_mixed(
     # mini-pipeline per sensor.  Noisy sensors come first so the noise add is
     # a single slice over a prefix — noiseless rows never see a ``+ 0.0``,
     # exactly like the scalar read that skips the add altogether.
-    _noisy_specs = [spec for spec in sensor_specs if spec[4] is not None]
-    _clean_specs = [spec for spec in sensor_specs if spec[4] is None]
     block_specs = _noisy_specs + _clean_specs
     sensor_block_names = [spec[0] for spec in block_specs]
     sensor_block_nodes = np.array([spec[1] for spec in block_specs], dtype=np.int64)
     sensor_block_offsets = np.array([spec[2] for spec in block_specs])[:, None]
-    n_noisy = len(_noisy_specs)
-    noise_block = np.stack([spec[4] for spec in _noisy_specs]) if _noisy_specs else None
     _quants = [spec[3] for spec in block_specs]
     if all(q > 0 for q in _quants):
         sensor_block_quant: Optional[np.ndarray] = np.array(_quants)[:, None]
@@ -995,14 +1319,6 @@ def simulate_population_mixed(
     else:
         sensor_block_quant = None
         quant_rows = [(i, q) for i, q in enumerate(_quants) if q > 0]
-
-    manager_rows = [
-        (row, member) for row, member in enumerate(s_members) if member.thermal_manager is not None
-    ]
-    logger_rows = [
-        (row, member.logger) for row, member in enumerate(s_members) if member.logger is not None
-    ]
-    has_managers = bool(manager_rows)
 
     # -- policy plane: batch the eligible USTA-family managers -----------------
     # Eligible managers leave the scalar loop entirely; anything custom stays
@@ -1026,15 +1342,23 @@ def simulate_population_mixed(
             )
     needs_scalar_views = bool(scalar_manager_rows) or bool(logger_rows)
 
-    buf = ColumnarRecordBuffer(n_members, max_steps, with_decisions=has_managers)
+    # With a drain the record buffer is window-sized (rows are flushed at
+    # every window boundary); otherwise it spans the whole run.
+    buf_steps = window_len if window_drain is not None else max_steps
+    buf = ColumnarRecordBuffer(n_members, buf_steps, with_decisions=has_managers)
     times: List[float] = []
     node_power = np.zeros((temps.shape[0], n_members))
 
     # The demand column is exactly the (clamped, padded) trace matrix the
-    # engine reads from — alias it instead of copying it back tick by tick.
-    # extend_result only ever reads buffer columns, so the memoised trace
-    # stack is never written through this alias.
-    buf.demand = demand_mat
+    # engine reads from — alias it instead of copying it back tick by tick
+    # whenever the shapes line up (unwindowed, or drained window-sized
+    # buffer).  extend_result only ever reads buffer columns, so the memoised
+    # trace stack is never written through this alias.  A windowed run
+    # without a drain copies each window's staged demand into the full-size
+    # buffer instead.
+    copy_demand = windowed and window_drain is None
+    if not copy_demand:
+        buf.demand = demand_mat
 
     # Hoisted buffer columns: one attribute lookup per run instead of per tick.
     buf_frequency_khz = buf.frequency_khz
@@ -1093,206 +1417,248 @@ def simulate_population_mixed(
     math_exp = math.exp
 
     time_s = 0.0
-    for t in range(max_steps):
-        n_act = n_active_list[t]
-        live = slice(0, n_act)
+    for w0 in range(0, max_steps, window_len):
+        w_len = min(window_len, max_steps - w0)
+        n_live = int(n_active_at[w0])
+        buf_base = 0 if window_drain is not None else w0
+        if windowed:
+            stage.load(w0, w_len, n_live)
+            if noise_block is not None:
+                for s_idx, sensor_objs in enumerate(noisy_sensor_objs):
+                    block = noise_block[s_idx]
+                    for row in range(n_live):
+                        count = min(int(s_lengths[row]) - w0, w_len)
+                        block[:count, row] = sensor_objs[row].draw_noise(count)
+                        if count < w_len:
+                            block[count:w_len, row] = 0.0
+        if copy_demand:
+            buf.demand[w0 : w0 + w_len, :n_live] = demand_mat[:w_len, :n_live]
 
-        # -- CPU window (Cpu.run_window, vectorized) ---------------------------
-        demand = demand_mat[t, live]
-        total_demand = demand + backlog[live] if carry_over else demand
-        live_levels = levels[live]
-        freq_khz = freqs_khz[live_levels]
-        capacity = freq_khz / max_freq_khz
-        delivered = np_minimum(total_demand, capacity)
-        utilization = np_minimum(1.0, total_demand / capacity)
-        if carry_over:
-            leftover = np_maximum(0.0, total_demand - delivered)
-            backlog[live] = np_minimum(leftover, max_backlog)
+        # Per-window trace classifications, hoisted: whether every / no live
+        # member is touching (selects the thermal factorization without
+        # per-tick reductions) and whether anyone charges (gates the charging
+        # branches; trace padding is all-False, so whole-row reductions see
+        # the live prefix's truth).  Unwindowed runs compute these once.
+        act_w = n_active_at[w0 : w0 + w_len]
+        _touch_prefix = np.cumsum(touching_mat[:w_len], axis=1)
+        _touch_counts = _touch_prefix[np.arange(w_len), act_w - 1]
+        all_touching_w = (_touch_counts == act_w).tolist()
+        none_touching_w = (_touch_counts == 0).tolist()
+        any_charging_w = charging_mat[:w_len].any(axis=1).tolist()
+        n_active_w = act_w.tolist()
 
-        # -- power model (PlatformPowerModel.evaluate, vectorized) -------------
-        die_temp = temps[cpu_i, live]
-        # utilization is min(1.0, demand/capacity) with demand >= 0, so the
-        # scalar model's [0, 1] clamp returns it unchanged — bit-identically.
-        dyn_w = dyn_k[live_levels] * utilization
-        # The exp argument vectorizes bit-exactly (IEEE subtract/multiply match
-        # the scalar order), but the exp itself must be math.exp per element:
-        # numpy's vectorized exp differs from libm in the last ulp.
-        leak_arg = (die_temp - leak_ref) * leak_coeff
-        temp_factor = np_fromiter(map(math_exp, leak_arg.tolist()), np_float64, n_act)
-        leak_w = leak0 * temp_factor * volt_factor[live_levels]
-        cpu_w = idle_w + dyn_w + leak_w
-        gpu_w = gpu_w_mat[t, live]
-        display_w = display_w_mat[t, live]
-        radio_w = radio_w_mat[t, live]
-        platform_draw = cpu_w + gpu_w + display_w + radio_w
-        charging_now = any_charging_at[t]
-        if charging_now:
-            charging_t = charging_mat[t, live]
-            battery_w = np_where(
-                charging_t, charge_heat_w, np_maximum(platform_draw, 0.0) * discharge_loss
-            )
-        else:
-            # All-False charging: np_where would return the discharge branch
-            # verbatim, so skip the select (same bits, two ops fewer).
-            battery_w = np_maximum(platform_draw, 0.0) * discharge_loss
-        total_w = platform_draw + battery_w
+        for r in range(w_len):
+            n_act = n_active_w[r]
+            live = slice(0, n_act)
+            bt = buf_base + r
 
-        # -- thermal (one solve per live hand-contact state) -------------------
-        # node_power rows other than the four below stay zero for the whole run.
-        np_add(cpu_w, gpu_w, out=node_power[cpu_i, live])
-        node_power[screen_i, live] = screen_node_w_mat[t, live]
-        node_power[board_i, live] = board_node_w_mat[t, live]
-        node_power[battery_i, live] = battery_w
-        if all_touching_at[t]:
-            temps[:, live] = step_touching(node_power[:, live], temps[:, live])
-        elif none_touching_at[t]:
-            temps[:, live] = step_free(node_power[:, live], temps[:, live])
-        else:
-            touch_t = touching_mat[t, live]
-            for state in (True, False):
-                members_in_state = np.flatnonzero(touch_t == state)
-                temps[:, members_in_state] = step_by_touch[state](
-                    node_power[:, members_in_state], temps[:, members_in_state]
+            # -- CPU window (Cpu.run_window, vectorized) ---------------------------
+            demand = demand_mat[r, live]
+            total_demand = demand + backlog[live] if carry_over else demand
+            live_levels = levels[live]
+            freq_khz = freqs_khz[live_levels]
+            capacity = freq_khz / max_freq_khz
+            delivered = np_minimum(total_demand, capacity)
+            utilization = np_minimum(1.0, total_demand / capacity)
+            if carry_over:
+                leftover = np_maximum(0.0, total_demand - delivered)
+                backlog[live] = np_minimum(leftover, max_backlog)
+
+            # -- power model (PlatformPowerModel.evaluate, vectorized) -------------
+            die_temp = temps[cpu_i, live]
+            # utilization is min(1.0, demand/capacity) with demand >= 0, so the
+            # scalar model's [0, 1] clamp returns it unchanged — bit-identically.
+            dyn_w = dyn_k[live_levels] * utilization
+            # The exp argument vectorizes bit-exactly (IEEE subtract/multiply match
+            # the scalar order), but the exp itself must be math.exp per element:
+            # numpy's vectorized exp differs from libm in the last ulp.
+            leak_arg = (die_temp - leak_ref) * leak_coeff
+            temp_factor = np_fromiter(map(math_exp, leak_arg.tolist()), np_float64, n_act)
+            leak_w = leak0 * temp_factor * volt_factor[live_levels]
+            cpu_w = idle_w + dyn_w + leak_w
+            gpu_w = gpu_w_mat[r, live]
+            display_w = display_w_mat[r, live]
+            radio_w = radio_w_mat[r, live]
+            platform_draw = cpu_w + gpu_w + display_w + radio_w
+            charging_now = any_charging_w[r]
+            if charging_now:
+                charging_t = charging_mat[r, live]
+                battery_w = np_where(
+                    charging_t, charge_heat_w, np_maximum(platform_draw, 0.0) * discharge_loss
                 )
+            else:
+                # All-False charging: np_where would return the discharge branch
+                # verbatim, so skip the select (same bits, two ops fewer).
+                battery_w = np_maximum(platform_draw, 0.0) * discharge_loss
+            total_w = platform_draw + battery_w
 
-        # -- battery SoC (Battery.step, vectorized) ----------------------------
-        draw_param = total_w - battery_w
-        net_w = -np_maximum(draw_param, 0.0)
-        live_soc = soc[live]
-        if charging_now:
-            # With no charger connected the scalar path adds an all-zero
-            # term; net_w is strictly negative (idle power alone draws), so
-            # skipping the add is bit-identical.
-            net_w = net_w + np_where(
-                charging_t, np_where(live_soc >= 0.995, 0.0, battery_charge_w), 0.0
-            )
-        delta_wh = net_w * dt / 3600.0
-        soc[live] = np_minimum(1.0, np_maximum(0.0, live_soc + delta_wh / battery.capacity_wh))
+            # -- thermal (one solve per live hand-contact state) -------------------
+            # node_power rows other than the four below stay zero for the whole run.
+            np_add(cpu_w, gpu_w, out=node_power[cpu_i, live])
+            node_power[screen_i, live] = screen_node_w_mat[r, live]
+            node_power[board_i, live] = board_node_w_mat[r, live]
+            node_power[battery_i, live] = battery_w
+            if all_touching_w[r]:
+                temps[:, live] = step_touching(node_power[:, live], temps[:, live])
+            elif none_touching_w[r]:
+                temps[:, live] = step_free(node_power[:, live], temps[:, live])
+            else:
+                touch_t = touching_mat[r, live]
+                for state in (True, False):
+                    members_in_state = np.flatnonzero(touch_t == state)
+                    temps[:, members_in_state] = step_by_touch[state](
+                        node_power[:, members_in_state], temps[:, members_in_state]
+                    )
 
-        # -- sensors (one block read; pre-drawn noise; vectorized quantization) -
-        vals = temps[sensor_block_nodes, live]
-        vals += sensor_block_offsets
-        if noise_block is not None:
-            vals[:n_noisy] += noise_block[:, t, live]
-        if sensor_block_quant is not None:
-            np_rint(np_divide(vals, sensor_block_quant, out=vals), out=vals)
-            vals *= sensor_block_quant
-        else:
-            for i, quantization in quant_rows:
-                vals[i] = np_rint(vals[i] / quantization) * quantization
-        if needs_sensor_dict:
-            sensor_arrays: Dict[str, np.ndarray] = {
-                name: vals[i] for i, name in enumerate(sensor_block_names)
-            }
+            # -- battery SoC (Battery.step, vectorized) ----------------------------
+            draw_param = total_w - battery_w
+            net_w = -np_maximum(draw_param, 0.0)
+            live_soc = soc[live]
+            if charging_now:
+                # With no charger connected the scalar path adds an all-zero
+                # term; net_w is strictly negative (idle power alone draws), so
+                # skipping the add is bit-identical.
+                net_w = net_w + np_where(
+                    charging_t, np_where(live_soc >= 0.995, 0.0, battery_charge_w), 0.0
+                )
+            delta_wh = net_w * dt / 3600.0
+            soc[live] = np_minimum(1.0, np_maximum(0.0, live_soc + delta_wh / battery.capacity_wh))
 
-        time_s += dt
-        times.append(time_s)
+            # -- sensors (one block read; pre-drawn noise; vectorized quantization) -
+            vals = temps[sensor_block_nodes, live]
+            vals += sensor_block_offsets
+            if noise_block is not None:
+                vals[:n_noisy] += noise_block[:, r, live]
+            if sensor_block_quant is not None:
+                np_rint(np_divide(vals, sensor_block_quant, out=vals), out=vals)
+                vals *= sensor_block_quant
+            else:
+                for i, quantization in quant_rows:
+                    vals[i] = np_rint(vals[i] / quantization) * quantization
+            if needs_sensor_dict:
+                sensor_arrays: Dict[str, np.ndarray] = {
+                    name: vals[i] for i, name in enumerate(sensor_block_names)
+                }
 
-        # -- columnar record staging (the hot loop builds no record objects) ---
-        buf_frequency_khz[t, live] = freq_khz
-        buf_frequency_level[t, live] = live_levels
-        buf_utilization[t, live] = utilization
-        buf_delivered[t, live] = delivered
-        buf_power_w[t, live] = total_w
-        buf_cpu_temp[t, live] = temps[cpu_i, live]
-        buf_battery_temp[t, live] = temps[battery_i, live]
-        buf_skin_temp[t, live] = temps[back_i, live]
-        buf_screen_temp[t, live] = temps[screen_i, live]
-        for column, vals_row, node_idx in record_sensor_cols:
-            column[t, live] = vals[vals_row] if vals_row is not None else temps[node_idx, live]
+            time_s += dt
+            times.append(time_s)
 
-        # Per-member Python views are only materialised for components that
-        # genuinely cannot batch (managers, loggers, custom governors).
-        if needs_scalar_views or not fast_ondemand:
-            util_list = utilization.tolist()
-            freq_list = freq_khz.tolist()
-            level_list = live_levels.tolist()
-            reading_lists = [
-                (name, sensor_arrays[name].tolist()) for name, _, _, _, _ in sensor_specs
-            ]
+            # -- columnar record staging (the hot loop builds no record objects) ---
+            buf_frequency_khz[bt, live] = freq_khz
+            buf_frequency_level[bt, live] = live_levels
+            buf_utilization[bt, live] = utilization
+            buf_delivered[bt, live] = delivered
+            buf_power_w[bt, live] = total_w
+            buf_cpu_temp[bt, live] = temps[cpu_i, live]
+            buf_battery_temp[bt, live] = temps[battery_i, live]
+            buf_skin_temp[bt, live] = temps[back_i, live]
+            buf_screen_temp[bt, live] = temps[screen_i, live]
+            for column, vals_row, node_idx in record_sensor_cols:
+                column[bt, live] = vals[vals_row] if vals_row is not None else temps[node_idx, live]
 
-        # -- managers observe (may install/remove frequency caps) --------------
-        if plane is not None:
-            plane.tick(
-                t,
-                time_s,
-                n_act,
-                buf,
-                caps,
-                vals,
-                utilization,
-                freq_khz,
-                max_level,
-                sync_governors=not fast_ondemand,
-            )
-        if scalar_manager_rows:
-            for row, member in scalar_manager_rows:
+            # Per-member Python views are only materialised for components that
+            # genuinely cannot batch (managers, loggers, custom governors).
+            if needs_scalar_views or not fast_ondemand:
+                util_list = utilization.tolist()
+                freq_list = freq_khz.tolist()
+                level_list = live_levels.tolist()
+                reading_lists = [
+                    (name, sensor_arrays[name].tolist()) for name, _, _, _, _ in sensor_specs
+                ]
+
+            # -- managers observe (may install/remove frequency caps) --------------
+            if plane is not None:
+                plane.tick(
+                    bt,
+                    time_s,
+                    n_act,
+                    buf,
+                    caps,
+                    vals,
+                    utilization,
+                    freq_khz,
+                    max_level,
+                    sync_governors=not fast_ondemand,
+                )
+            if scalar_manager_rows:
+                for row, member in scalar_manager_rows:
+                    if row >= n_act:
+                        break
+                    readings = {name: values[row] for name, values in reading_lists}
+                    decision = member.thermal_manager.observe(
+                        time_s=time_s,
+                        sensor_readings=readings,
+                        utilization=util_list[row],
+                        frequency_khz=float(freq_list[row]),
+                    )
+                    member.governor.set_level_cap(decision.level_cap)
+                    caps[row] = member.governor.level_cap
+                    buf.usta_active[bt, row] = decision.active and member.governor.is_capped
+                    buf.predicted_skin_temp_c[bt, row] = decision.predicted_skin_temp_c
+                    buf.predicted_screen_temp_c[bt, row] = decision.predicted_screen_temp_c
+                    buf.comfort_limit_c[bt, row] = decision.comfort_limit_c
+            buf_level_cap[bt, live] = caps[live]
+
+            # -- loggers -----------------------------------------------------------
+            for row, logger in logger_rows:
                 if row >= n_act:
                     break
                 readings = {name: values[row] for name, values in reading_lists}
-                decision = member.thermal_manager.observe(
+                logger.maybe_log(
                     time_s=time_s,
+                    benchmark=s_traces[row].name,
                     sensor_readings=readings,
                     utilization=util_list[row],
                     frequency_khz=float(freq_list[row]),
                 )
-                member.governor.set_level_cap(decision.level_cap)
-                caps[row] = member.governor.level_cap
-                buf.usta_active[t, row] = decision.active and member.governor.is_capped
-                buf.predicted_skin_temp_c[t, row] = decision.predicted_skin_temp_c
-                buf.predicted_screen_temp_c[t, row] = decision.predicted_screen_temp_c
-                buf.comfort_limit_c[t, row] = decision.comfort_limit_c
-        buf_level_cap[t, live] = caps[live]
 
-        # -- loggers -----------------------------------------------------------
-        for row, logger in logger_rows:
-            if row >= n_act:
-                break
-            readings = {name: values[row] for name, values in reading_lists}
-            logger.maybe_log(
-                time_s=time_s,
-                benchmark=s_traces[row].name,
-                sensor_readings=readings,
-                utilization=util_list[row],
-                frequency_khz=float(freq_list[row]),
-            )
-
-        # -- governors pick the level for the next window ----------------------
-        if fast_ondemand:
-            # Exact vectorization of OndemandGovernor._target_level: jump to
-            # the top above up_threshold, straight to the load-proportional
-            # level below down_threshold, step down gradually in between —
-            # then apply each member's current level cap.
-            target_khz = np_rint((utilization / up_threshold) * max_freq_khz)
-            proportional = np_minimum(
-                freqs_khz.searchsorted(target_khz, side="left"), max_level
-            )
-            stepped = np_where(
-                proportional < live_levels,
-                np_maximum(proportional, live_levels - down_step_levels),
-                proportional,
-            )
-            uncapped = np_where(
-                utilization >= up_threshold,
-                max_level,
-                np_where(utilization <= down_threshold, proportional, stepped),
-            )
-            if has_managers:
-                levels[live] = np_minimum(uncapped, caps[live])
-            else:
-                # Without managers nothing ever installs a cap.
-                levels[live] = uncapped
-        else:
-            for row in range(n_act):
-                observation = GovernorObservation(
-                    utilization=util_list[row],
-                    current_level=level_list[row],
-                    time_s=time_s,
-                    dt_s=dt,
+            # -- governors pick the level for the next window ----------------------
+            if fast_ondemand:
+                # Exact vectorization of OndemandGovernor._target_level: jump to
+                # the top above up_threshold, straight to the load-proportional
+                # level below down_threshold, step down gradually in between —
+                # then apply each member's current level cap.
+                target_khz = np_rint((utilization / up_threshold) * max_freq_khz)
+                proportional = np_minimum(
+                    freqs_khz.searchsorted(target_khz, side="left"), max_level
                 )
-                governor = governors[row]
-                levels[row] = governor.select_level(observation)
-                caps[row] = governor.level_cap
+                stepped = np_where(
+                    proportional < live_levels,
+                    np_maximum(proportional, live_levels - down_step_levels),
+                    proportional,
+                )
+                uncapped = np_where(
+                    utilization >= up_threshold,
+                    max_level,
+                    np_where(utilization <= down_threshold, proportional, stepped),
+                )
+                if has_managers:
+                    levels[live] = np_minimum(uncapped, caps[live])
+                else:
+                    # Without managers nothing ever installs a cap.
+                    levels[live] = uncapped
+            else:
+                for row in range(n_act):
+                    observation = GovernorObservation(
+                        utilization=util_list[row],
+                        current_level=level_list[row],
+                        time_s=time_s,
+                        dt_s=dt,
+                    )
+                    governor = governors[row]
+                    levels[row] = governor.select_level(observation)
+                    caps[row] = governor.level_cap
+
+        # -- window boundary: flush completed record rows through the drain ----
+        if window_drain is not None:
+            for row in range(n_live):
+                remaining = int(s_lengths[row]) - w0
+                count = min(remaining, w_len)
+                window_drain.emit_member_window(
+                    int(order[row]),
+                    buf.drain_window(row, times[w0 : w0 + count], count),
+                    remaining <= w_len,
+                )
 
     # -- batch boundary: plane state back into the controller objects ----------
     if plane is not None:
@@ -1301,6 +1667,8 @@ def simulate_population_mixed(
     # -- hand out the results (the batch/sink boundary) ------------------------
     # Records stay columnar in the buffer; each result materialises its
     # StepRecord list on first access (bit-identical to an eager build).
+    # With a window drain the records already left through it at the window
+    # boundaries, so the results carry none.
     results: List[SimulationResult] = []
     for index in range(n_members):
         row = int(position[index])
@@ -1310,7 +1678,8 @@ def simulate_population_mixed(
             governor_name=member.governor_label(),
             dt_s=dt,
         )
-        buf.extend_result(result, row, times, int(s_lengths[row]), defer=True)
+        if window_drain is None:
+            buf.extend_result(result, row, times, int(s_lengths[row]), defer=True)
         results.append(result)
 
     # -- write final state back to the member platforms ------------------------
@@ -1323,7 +1692,7 @@ def simulate_population_mixed(
     for row, member in enumerate(s_members):
         count = int(s_lengths[row])
         platform = member.platform
-        platform.hand.touching = bool(touching_mat[count - 1, row])
+        platform.hand.touching = bool(s_traces[row][count - 1].touching)
         platform.hand.apply(platform.network)
         platform.network.apply_temperature_vector(temps[:, row])
         platform.cpu.level = final_levels[row]

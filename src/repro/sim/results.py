@@ -144,6 +144,25 @@ class ColumnarRecordBuffer:
             series.append(nones)
         return _fast_records(series)
 
+    def drain_window(
+        self, member: int, times_s: Sequence[float], count: int
+    ) -> Iterator[StepRecord]:
+        """Incremental drain: one member's rows of the *current window*.
+
+        The windowed population engine reuses one window-sized buffer across
+        windows: at each window boundary it drains every live member's filled
+        rows through this method (into a spool or a
+        :class:`~repro.runtime.stream.RecordSink` adapter) and then overwrites
+        the buffer with the next window.  ``member``/``count`` address buffer
+        rows ``[0, count)`` exactly like :meth:`iter_records` — the caller
+        passes the window's absolute timestamps as ``times_s`` — and the
+        positional column order is the same ``_check_field_order``-pinned one,
+        so drained records are bit-identical to batch-boundary ones.  The
+        returned iterator is only valid until the buffer is rewritten: consume
+        it before the next window starts.
+        """
+        return self.iter_records(member, times_s, count)
+
     def extend_result(
         self,
         result: "SimulationResult",

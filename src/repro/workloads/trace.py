@@ -154,6 +154,60 @@ class WorkloadTrace:
         self._arrays_cache = arrays
         return arrays
 
+    def arrays_window(self, start: int, stop: int) -> TraceArrays:
+        """Materialise just the samples in ``[start, stop)`` as columns.
+
+        The windowed population engine replays long traces in fixed-size step
+        windows, so the full :meth:`as_arrays` materialisation (O(len) numpy
+        columns per trace) is never required.  When a full-trace cache already
+        exists the window is answered as zero-copy views into it; otherwise the
+        window's columns are built from the sample slice and *not* cached —
+        windows are consumed once, and caching them would defeat the bounded
+        memory the windowed engine exists to provide.  Values are bit-identical
+        to the corresponding ``as_arrays()`` slices either way.
+        """
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid trace window [{start}, {stop})")
+        cached = getattr(self, "_arrays_cache", None)
+        if cached is not None and len(cached) == len(self.samples):
+            return TraceArrays(
+                cpu_demand=cached.cpu_demand[start:stop],
+                gpu_activity=cached.gpu_activity[start:stop],
+                radio_activity=cached.radio_activity[start:stop],
+                brightness=cached.brightness[start:stop],
+                screen_on=cached.screen_on[start:stop],
+                charging=cached.charging[start:stop],
+                touching=cached.touching[start:stop],
+                sample_period_s=self.sample_period_s,
+            )
+        samples = self.samples[start:stop]
+        return TraceArrays(
+            cpu_demand=np.array([s.cpu_demand for s in samples], dtype=float),
+            gpu_activity=np.array([s.gpu_activity for s in samples], dtype=float),
+            radio_activity=np.array([s.radio_activity for s in samples], dtype=float),
+            brightness=np.array([s.brightness for s in samples], dtype=float),
+            screen_on=np.array([s.screen_on for s in samples], dtype=bool),
+            charging=np.array([s.charging for s in samples], dtype=bool),
+            touching=np.array([s.touching for s in samples], dtype=bool),
+            sample_period_s=self.sample_period_s,
+        )
+
+    def iter_windows(
+        self, window_steps: int, start: int = 0, stop: Optional[int] = None
+    ) -> Iterator[tuple]:
+        """Yield ``(window_start, TraceArrays)`` chunks of ``window_steps`` samples.
+
+        The chunked counterpart of :meth:`as_arrays`: the concatenation of the
+        yielded columns equals the full materialisation exactly, but at most
+        one window of columns is live at a time (see :meth:`arrays_window`).
+        The final window may be shorter.
+        """
+        if window_steps < 1:
+            raise ValueError("window_steps must be at least 1")
+        end = len(self.samples) if stop is None else min(stop, len(self.samples))
+        for w0 in range(start, end, window_steps):
+            yield w0, self.arrays_window(w0, min(w0 + window_steps, end))
+
     def sample_at(self, time_s: float) -> WorkloadSample:
         """The sample active at absolute trace time ``time_s`` (clamped)."""
         if not self.samples:
